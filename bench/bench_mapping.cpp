@@ -1,0 +1,146 @@
+// Experiment E2 — computed access (F*) vs B-tree chunk indexing
+// (DESIGN.md §4.2; paper Sec. V: "the chunks can be addressed by a
+// computed access function in a manner similar to hashing").
+//
+// google-benchmark microbenchmarks:
+//   - F* address computation as the expansion count E grows,
+//   - F*^-1 inverse mapping,
+//   - conventional row-major linearization (the lower bound),
+//   - B-tree lookups with warm and cold node caches (the HDF5 path).
+//
+// Expected shape: F* stays within a small constant factor of the plain
+// row-major computation and grows only logarithmically with E; warm
+// B-tree lookups cost a pointer chase per level; cold B-tree lookups pay
+// storage reads and are orders of magnitude slower.
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "baselines/btree_chunk_store.hpp"
+#include "baselines/order_mappings.hpp"
+#include "core/axial_mapping.hpp"
+#include "util/rng.hpp"
+
+using namespace drx;  // NOLINT: bench brevity
+using core::AxialMapping;
+using core::Index;
+using core::Shape;
+
+namespace {
+
+/// Builds a 3-D mapping grown through `expansions` interleaved extensions
+/// (worst case for E: every extension is interrupted).
+AxialMapping grown_mapping(int expansions) {
+  AxialMapping m(Shape{4, 4, 4});
+  for (int i = 0; i < expansions; ++i) {
+    m.extend(static_cast<std::size_t>(i) % 3, 1);
+  }
+  return m;
+}
+
+std::vector<Index> random_indices(const AxialMapping& m, std::size_t n) {
+  SplitMix64 rng(99);
+  std::vector<Index> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Index idx(m.rank());
+    for (std::size_t d = 0; d < m.rank(); ++d) {
+      idx[d] = rng.next_below(m.bounds()[d]);
+    }
+    out.push_back(std::move(idx));
+  }
+  return out;
+}
+
+void BM_FStar(benchmark::State& state) {
+  const AxialMapping m = grown_mapping(static_cast<int>(state.range(0)));
+  const auto indices = random_indices(m, 1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.address_of(indices[i++ & 1023]));
+  }
+  state.SetLabel("E=" + std::to_string(m.total_records()));
+}
+BENCHMARK(BM_FStar)->Arg(0)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_FStarInverse(benchmark::State& state) {
+  const AxialMapping m = grown_mapping(static_cast<int>(state.range(0)));
+  SplitMix64 rng(7);
+  std::vector<std::uint64_t> addrs(1024);
+  for (auto& a : addrs) a = rng.next_below(m.total_chunks());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.index_of(addrs[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_FStarInverse)->Arg(0)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_RowMajorLinearize(benchmark::State& state) {
+  const AxialMapping m = grown_mapping(64);
+  const baselines::RowMajorMapping rm(m.bounds());
+  const auto indices = random_indices(m, 1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rm.address_of(indices[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_RowMajorLinearize);
+
+void BM_BTreeLookupWarm(benchmark::State& state) {
+  const auto nchunks = static_cast<std::uint64_t>(state.range(0));
+  baselines::BTreeChunkStore::Options opts;
+  opts.cache_pages = 1 << 20;  // everything stays cached
+  auto store = baselines::BTreeChunkStore::create(
+      std::make_unique<pfs::MemStorage>(), 3, 64, opts);
+  DRX_CHECK(store.is_ok());
+  std::vector<std::byte> chunk(64, std::byte{1});
+  for (std::uint64_t v = 0; v < nchunks; ++v) {
+    const std::uint64_t key[] = {v % 97, (v / 97) % 89, v / (97 * 89)};
+    DRX_CHECK(store.value().write_chunk(key, chunk).is_ok());
+  }
+  SplitMix64 rng(5);
+  std::vector<std::array<std::uint64_t, 3>> keys(1024);
+  for (auto& k : keys) {
+    const std::uint64_t v = rng.next_below(nchunks);
+    k = {v % 97, (v / 97) % 89, v / (97 * 89)};
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.value().lookup(keys[i++ & 1023]).value());
+  }
+}
+BENCHMARK(BM_BTreeLookupWarm)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BTreeLookupCold(benchmark::State& state) {
+  const auto nchunks = static_cast<std::uint64_t>(state.range(0));
+  baselines::BTreeChunkStore::Options opts;
+  opts.cache_pages = 8;  // thrashes: nearly every level misses
+  auto store = baselines::BTreeChunkStore::create(
+      std::make_unique<pfs::MemStorage>(), 3, 64, opts);
+  DRX_CHECK(store.is_ok());
+  std::vector<std::byte> chunk(64, std::byte{1});
+  for (std::uint64_t v = 0; v < nchunks; ++v) {
+    const std::uint64_t key[] = {v % 97, (v / 97) % 89, v / (97 * 89)};
+    DRX_CHECK(store.value().write_chunk(key, chunk).is_ok());
+  }
+  SplitMix64 rng(5);
+  std::vector<std::array<std::uint64_t, 3>> keys(1024);
+  for (auto& k : keys) {
+    const std::uint64_t v = rng.next_below(nchunks);
+    k = {v % 97, (v / 97) % 89, v / (97 * 89)};
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.value().lookup(keys[i++ & 1023]).value());
+  }
+  state.counters["node_fetches_per_lookup"] =
+      static_cast<double>(store.value().stats().node_fetches) /
+      static_cast<double>(store.value().stats().lookups);
+}
+BENCHMARK(BM_BTreeLookupCold)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

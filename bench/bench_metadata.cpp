@@ -1,0 +1,86 @@
+// Experiment E8 — metadata overhead of the axial-vector scheme
+// (DESIGN.md §4.2; paper Sec. III-B: the number of records per axial
+// vector "is exactly the number of uninterrupted expansions along the
+// dimension", and F* costs O(k + log E)).
+//
+// Workload: adversarial expansion sequences (strictly alternating
+// dimensions — every extension creates a record) versus benign sequences
+// (repeated same-dimension extensions — everything merges). We report the
+// .xmd size against the data size, and the measured F* latency as E grows.
+// Expected shape: .xmd bytes ~ E and stay vanishingly small next to the
+// data; F* latency grows only with log E.
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/metadata.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace drx;  // NOLINT: bench brevity
+using core::AxialMapping;
+using core::Index;
+using core::Metadata;
+using core::Shape;
+
+namespace {
+
+double fstar_ns(const AxialMapping& m, int iterations = 200000) {
+  SplitMix64 rng(4);
+  std::vector<Index> indices(512);
+  for (auto& idx : indices) {
+    idx.resize(m.rank());
+    for (std::size_t d = 0; d < m.rank(); ++d) {
+      idx[d] = rng.next_below(m.bounds()[d]);
+    }
+  }
+  // Warm up + measure.
+  std::uint64_t sink = 0;
+  Stopwatch watch;
+  for (int i = 0; i < iterations; ++i) {
+    sink += m.address_of(indices[static_cast<std::size_t>(i) & 511]) + 1;
+  }
+  const double ns = watch.elapsed_seconds() * 1e9 / iterations;
+  DRX_CHECK(sink >= static_cast<std::uint64_t>(iterations));
+  return ns;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E8: axial-vector metadata growth and F* cost vs expansion "
+              "count (2-D array, 64x64-element double chunks)\n\n");
+  bench::Table table({"extensions", "pattern", "records E", "xmd bytes",
+                      "data MB", "xmd/data", "F* ns"});
+  for (const int steps : {0, 16, 64, 256, 1024}) {
+    for (const bool adversarial : {true, false}) {
+      Metadata meta(core::ElementType::kDouble,
+                    core::MemoryOrder::kRowMajor, Shape{64, 64},
+                    Shape{64, 64});
+      for (int i = 0; i < steps; ++i) {
+        const std::size_t dim =
+            adversarial ? static_cast<std::size_t>(i) % 2 : 0;
+        meta.mapping.extend(dim, 1);
+        meta.element_bounds[dim] += 64;
+      }
+      const std::uint64_t xmd = meta.to_bytes().size();
+      const double data_mb =
+          static_cast<double>(meta.data_file_bytes()) / 1e6;
+      table.add_row(
+          {bench::strf("%d", steps),
+           adversarial ? "alternating (worst)" : "same-dim (merged)",
+           bench::strf("%llu", static_cast<unsigned long long>(
+                                   meta.mapping.total_records())),
+           bench::strf("%llu", static_cast<unsigned long long>(xmd)),
+           bench::strf("%.1f", data_mb),
+           bench::strf("%.6f%%",
+                       100.0 * static_cast<double>(xmd) /
+                           static_cast<double>(meta.data_file_bytes())),
+           bench::strf("%.0f", fstar_ns(meta.mapping))});
+    }
+  }
+  table.print();
+  std::printf("\nexpected shape: merged pattern stays at E = O(1); "
+              "alternating grows E linearly yet .xmd stays <<0.1%% of the "
+              "data and F* grows ~log E.\n");
+  return 0;
+}

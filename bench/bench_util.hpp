@@ -1,0 +1,94 @@
+// Shared helpers for the experiment harness: aligned table printing and
+// simulated-time measurement around PFS phases.
+//
+// Each bench binary regenerates one experiment from DESIGN.md §4.2 and
+// prints a self-contained table; absolute numbers come from the PFS cost
+// model (DESIGN.md §2), so only the *shapes* — who wins, by what factor,
+// where crossovers fall — are meaningful.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "pfs/pfs.hpp"
+
+namespace drx::bench {
+
+/// printf-append into a std::string.
+inline std::string strf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buf[256];
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+/// Minimal fixed-width table writer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+      for (const auto& row : rows_) {
+        if (c < row.size()) width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf("| ");
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string();
+        std::printf("%-*s | ", static_cast<int>(width[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      std::printf("%s|", std::string(width[c] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Captures per-server stats around a phase and reports simulated elapsed
+/// time (max per-server busy delta) plus aggregate deltas.
+class PfsPhase {
+ public:
+  explicit PfsPhase(const pfs::Pfs& fs)
+      : fs_(&fs), before_(fs.server_stats()) {}
+
+  [[nodiscard]] double elapsed_ms() const {
+    return pfs::Pfs::phase_elapsed_us(before_, fs_->server_stats()) / 1000.0;
+  }
+
+  [[nodiscard]] pfs::IoStats delta() const {
+    pfs::IoStats total;
+    const auto after = fs_->server_stats();
+    for (std::size_t i = 0; i < after.size(); ++i) {
+      total += after[i] - before_[i];
+    }
+    return total;
+  }
+
+ private:
+  const pfs::Pfs* fs_;
+  std::vector<pfs::IoStats> before_;
+};
+
+}  // namespace drx::bench

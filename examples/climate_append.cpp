@@ -1,0 +1,143 @@
+// Climate-modeling scenario from the paper's introduction: a
+// (time, lat, lon) dataset that grows incrementally. New time slabs arrive
+// every simulation step (the classic record dimension), and mid-study the
+// model resolution is refined so the LATITUDE dimension must grow too —
+// the case that forces a full reorganization in conventional formats and
+// is a cheap append with DRX-MP.
+//
+// Four ranks run the workflow: collective writes of each new time slab,
+// a latitude extension, and a final collective read-back with per-rank
+// zone analysis.
+#include <cstdio>
+#include <vector>
+
+#include "core/drxmp.hpp"
+#include "simpi/runtime.hpp"
+
+using namespace drx;                // NOLINT: example brevity
+using core::Box;
+using core::Distribution;
+using core::DrxFile;
+using core::DrxMpFile;
+using core::Index;
+using core::MemoryOrder;
+using core::Shape;
+
+namespace {
+
+/// Synthetic temperature field: smooth in space, drifting in time.
+double temperature(std::uint64_t t, std::uint64_t lat, std::uint64_t lon) {
+  return 15.0 + 0.1 * static_cast<double>(t) +
+         0.5 * static_cast<double>(lat % 7) -
+         0.25 * static_cast<double>(lon % 5);
+}
+
+}  // namespace
+
+int main() {
+  pfs::PfsConfig cfg;
+  cfg.num_servers = 4;
+  cfg.stripe_size = 4096;
+  pfs::Pfs fs(cfg);
+
+  constexpr std::uint64_t kLat = 24;
+  constexpr std::uint64_t kLon = 48;
+  constexpr std::uint64_t kSteps = 6;
+
+  simpi::run(4, [&](simpi::Comm& comm) {
+    DrxFile::Options options;
+    options.dtype = core::ElementType::kDouble;
+    // Start with a single time slab; 1x6x16-element chunks (latitude bands
+    // align with the 4 ranks so collective writes never share a chunk).
+    auto created = DrxMpFile::create(comm, fs, "climate",
+                                     Shape{1, kLat, kLon}, Shape{1, 6, 16},
+                                     options);
+    if (!created.is_ok()) return;
+    DrxMpFile f = std::move(created).value();
+
+    // --- Phase 1: append time slabs, each written collectively ---------
+    for (std::uint64_t t = 0; t < kSteps; ++t) {
+      if (t > 0 && !f.extend_all(0, 1)) return;
+      // Each rank writes a latitude band of the new slab.
+      const auto nb = static_cast<std::uint64_t>(comm.size());
+      const auto r = static_cast<std::uint64_t>(comm.rank());
+      const std::uint64_t lat_lo = r * kLat / nb;
+      const std::uint64_t lat_hi = (r + 1) * kLat / nb;
+      const Box band{{t, lat_lo, 0}, {t + 1, lat_hi, kLon}};
+      std::vector<double> slab(
+          static_cast<std::size_t>(band.volume()));
+      std::size_t i = 0;
+      core::for_each_index(band, [&](const Index& idx) {
+        slab[i++] = temperature(idx[0], idx[1], idx[2]);
+      });
+      if (!f.write_box_all(band, MemoryOrder::kRowMajor,
+                           std::as_bytes(std::span<const double>(slab)))) {
+        return;
+      }
+      if (comm.rank() == 0) {
+        std::printf("step %llu: slab appended (bounds now %llu x %llu x "
+                    "%llu)\n",
+                    static_cast<unsigned long long>(t),
+                    static_cast<unsigned long long>(f.bounds()[0]),
+                    static_cast<unsigned long long>(f.bounds()[1]),
+                    static_cast<unsigned long long>(f.bounds()[2]));
+      }
+    }
+
+    // --- Phase 2: refine the grid — extend LATITUDE by 8 rows ----------
+    if (!f.extend_all(1, 8)) return;
+    if (comm.rank() == 0) {
+      std::printf("latitude refined: bounds now %llu x %llu x %llu — no "
+                  "stored byte moved\n",
+                  static_cast<unsigned long long>(f.bounds()[0]),
+                  static_cast<unsigned long long>(f.bounds()[1]),
+                  static_cast<unsigned long long>(f.bounds()[2]));
+    }
+    // Fill the new latitude rows of the last time step.
+    const Box new_rows{{kSteps - 1, kLat, 0}, {kSteps, kLat + 8, kLon}};
+    if (comm.rank() == 0) {
+      std::vector<double> rows(static_cast<std::size_t>(new_rows.volume()));
+      std::size_t i = 0;
+      core::for_each_index(new_rows, [&](const Index& idx) {
+        rows[i++] = temperature(idx[0], idx[1], idx[2]);
+      });
+      if (!f.write_box_all(new_rows, MemoryOrder::kRowMajor,
+                           std::as_bytes(std::span<const double>(rows)))) {
+        return;
+      }
+    } else {
+      const Box empty{Index(3, 0), Index(3, 0)};
+      if (!f.write_box_all(empty, MemoryOrder::kRowMajor, {})) return;
+    }
+
+    // --- Phase 3: collective analysis over BLOCK zones ------------------
+    const Distribution dist = f.block_distribution();
+    const Box zone = f.zone_element_box(dist, comm.rank());
+    std::vector<double> data(static_cast<std::size_t>(zone.volume()));
+    if (!f.read_my_zone(dist, MemoryOrder::kRowMajor,
+                        std::as_writable_bytes(std::span<double>(data)))) {
+      return;
+    }
+    double mean = 0;
+    for (double v : data) mean += v;
+    if (!data.empty()) mean /= static_cast<double>(data.size());
+    std::printf("rank %d zone [%llu..%llu)x[%llu..%llu)x[%llu..%llu): mean "
+                "temp %.3f over %zu cells\n",
+                comm.rank(), static_cast<unsigned long long>(zone.lo[0]),
+                static_cast<unsigned long long>(zone.hi[0]),
+                static_cast<unsigned long long>(zone.lo[1]),
+                static_cast<unsigned long long>(zone.hi[1]),
+                static_cast<unsigned long long>(zone.lo[2]),
+                static_cast<unsigned long long>(zone.hi[2]), mean,
+                data.size());
+    (void)f.close();
+  });
+
+  const auto stats = fs.total_stats();
+  std::printf("\nPFS totals: %llu MB written, %llu read requests, %llu "
+              "seeks\n",
+              static_cast<unsigned long long>(stats.bytes_written >> 20),
+              static_cast<unsigned long long>(stats.read_requests),
+              static_cast<unsigned long long>(stats.seeks));
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Out-of-core transpose-on-read: a large matrix written in C (row-major)
+// order is consumed by a FORTRAN-order application — with DRX the file is
+// scanned ONCE sequentially and elements land in column-major memory on
+// the fly, versus the strided small reads a conventional row-major file
+// suffers. Prints the simulated I/O cost of both approaches.
+#include <cstdio>
+#include <vector>
+
+#include "baselines/rowmajor_file.hpp"
+#include "core/drx_file.hpp"
+
+using namespace drx;  // NOLINT: example brevity
+using core::Box;
+using core::DrxFile;
+using core::Index;
+using core::MemoryOrder;
+using core::Shape;
+
+int main() {
+  constexpr std::uint64_t kRows = 256;
+  constexpr std::uint64_t kCols = 384;
+  const Box full{{0, 0}, {kRows, kCols}};
+  std::vector<double> matrix(kRows * kCols);
+  for (std::size_t i = 0; i < matrix.size(); ++i) {
+    matrix[i] = static_cast<double>(i % 9973);
+  }
+
+  // ---- DRX: chunked + inverse mapping => sequential scan ---------------
+  DrxFile::Options options;
+  options.dtype = core::ElementType::kDouble;
+  auto drx_storage = std::make_unique<pfs::MemStorage>();
+  pfs::MemStorage* drx_raw = drx_storage.get();
+  auto drx_file = DrxFile::create(std::make_unique<pfs::MemStorage>(),
+                                  std::move(drx_storage), Shape{kRows, kCols},
+                                  Shape{32, 32}, options);
+  if (!drx_file.is_ok()) return 1;
+  if (!drx_file.value().write_box(
+          full, MemoryOrder::kRowMajor,
+          std::as_bytes(std::span<const double>(matrix)))) {
+    return 1;
+  }
+
+  std::vector<double> col_major(matrix.size());
+  const auto drx_before = drx_raw->stats();
+  if (!drx_file.value().scan_read_all(
+          MemoryOrder::kColMajor,
+          std::as_writable_bytes(std::span<double>(col_major)))) {
+    return 1;
+  }
+  const auto drx_after = drx_raw->stats();
+
+  // ---- Conventional row-major file: strided column reads ---------------
+  auto row_storage = std::make_unique<pfs::MemStorage>();
+  pfs::MemStorage* row_raw = row_storage.get();
+  auto row_file = baselines::RowMajorFile::create(std::move(row_storage),
+                                                  Shape{kRows, kCols}, 8);
+  if (!row_file.is_ok()) return 1;
+  if (!row_file.value().write_box(
+          full, MemoryOrder::kRowMajor,
+          std::as_bytes(std::span<const double>(matrix)))) {
+    return 1;
+  }
+  std::vector<double> col_major2(matrix.size());
+  const auto row_before = row_raw->stats();
+  // Column-by-column consumption, as a FORTRAN nested loop would access.
+  for (std::uint64_t j = 0; j < kCols; ++j) {
+    std::vector<double> column(kRows);
+    if (!row_file.value().read_box(
+            Box{{0, j}, {kRows, j + 1}}, MemoryOrder::kColMajor,
+            std::as_writable_bytes(std::span<double>(column)))) {
+      return 1;
+    }
+    for (std::uint64_t i = 0; i < kRows; ++i) {
+      col_major2[j * kRows + i] = column[i];
+    }
+  }
+  const auto row_after = row_raw->stats();
+
+  if (col_major != col_major2) {
+    std::printf("MISMATCH between DRX and row-major results!\n");
+    return 1;
+  }
+
+  const auto delta = [](const pfs::IoStats& a, const pfs::IoStats& b) {
+    return b - a;
+  };
+  const auto d = delta(drx_before, drx_after);
+  const auto r = delta(row_before, row_after);
+  std::printf("column-major read of a %llux%llu row-major-written matrix\n",
+              static_cast<unsigned long long>(kRows),
+              static_cast<unsigned long long>(kCols));
+  std::printf("  DRX chunked scan : %8llu requests, %6llu seeks, %8.1f ms "
+              "simulated\n",
+              static_cast<unsigned long long>(d.read_requests),
+              static_cast<unsigned long long>(d.seeks), d.busy_us / 1000.0);
+  std::printf("  row-major strided: %8llu requests, %6llu seeks, %8.1f ms "
+              "simulated\n",
+              static_cast<unsigned long long>(r.read_requests),
+              static_cast<unsigned long long>(r.seeks), r.busy_us / 1000.0);
+  std::printf("  speedup: %.1fx\n", r.busy_us / d.busy_us);
+  return 0;
+}

@@ -1,0 +1,397 @@
+#include "baselines/btree_chunk_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/serde.hpp"
+
+namespace drx::baselines {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x48354254;  // "H5BT"
+constexpr std::uint64_t kHeaderPage = 0;
+}  // namespace
+
+Result<BTreeChunkStore> BTreeChunkStore::create(
+    std::unique_ptr<pfs::Storage> storage, std::size_t rank,
+    std::uint64_t chunk_bytes, const Options& options) {
+  if (rank == 0 || rank > 16 || chunk_bytes == 0) {
+    return Status(ErrorCode::kInvalidArgument, "bad rank or chunk size");
+  }
+  BTreeChunkStore store(std::move(storage), options);
+  store.rank_ = rank;
+  store.chunk_bytes_ = chunk_bytes;
+  store.tail_ = kPageBytes;  // page 0 is the header
+  DRX_RETURN_IF_ERROR(store.storage_->truncate(0));
+  store.root_ = store.allocate_page();
+  Node root;
+  root.is_leaf = true;
+  DRX_RETURN_IF_ERROR(store.write_node(store.root_, root));
+  store.put(store.root_, std::move(root), /*dirty=*/false);
+  DRX_RETURN_IF_ERROR(store.write_header());
+  return store;
+}
+
+Result<BTreeChunkStore> BTreeChunkStore::open(
+    std::unique_ptr<pfs::Storage> storage, const Options& options) {
+  BTreeChunkStore store(std::move(storage), options);
+  DRX_RETURN_IF_ERROR(store.read_header());
+  return store;
+}
+
+Status BTreeChunkStore::write_header() {
+  ByteWriter w;
+  w.put_u32(kMagic);
+  w.put_u32(static_cast<std::uint32_t>(rank_));
+  w.put_u64(chunk_bytes_);
+  w.put_u64(chunk_count_);
+  w.put_u64(root_);
+  w.put_u64(tail_);
+  std::vector<std::byte> page(checked_size(kPageBytes), std::byte{0});
+  DRX_CHECK(w.size() <= page.size());
+  std::memcpy(page.data(), w.bytes().data(), w.size());
+  return storage_->write_at(kHeaderPage, page);
+}
+
+Status BTreeChunkStore::read_header() {
+  std::vector<std::byte> page(checked_size(kPageBytes));
+  DRX_RETURN_IF_ERROR(storage_->read_at(kHeaderPage, page));
+  ByteReader r(page);
+  DRX_ASSIGN_OR_RETURN(std::uint32_t magic, r.get_u32());
+  if (magic != kMagic) {
+    return Status(ErrorCode::kCorrupt, "bad B-tree store magic");
+  }
+  DRX_ASSIGN_OR_RETURN(std::uint32_t k, r.get_u32());
+  if (k == 0 || k > 16) {
+    return Status(ErrorCode::kCorrupt, "implausible rank");
+  }
+  rank_ = k;
+  DRX_ASSIGN_OR_RETURN(chunk_bytes_, r.get_u64());
+  DRX_ASSIGN_OR_RETURN(chunk_count_, r.get_u64());
+  DRX_ASSIGN_OR_RETURN(root_, r.get_u64());
+  DRX_ASSIGN_OR_RETURN(tail_, r.get_u64());
+  return Status::ok();
+}
+
+int BTreeChunkStore::compare_keys(std::span<const std::uint64_t> a,
+                                  std::span<const std::uint64_t> b) {
+  DRX_CHECK(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<std::byte> BTreeChunkStore::encode_node(const Node& node) const {
+  ByteWriter w;
+  w.put_u8(node.is_leaf ? 1 : 0);
+  w.put_u8(0);
+  w.put_u32(static_cast<std::uint32_t>(node.keys.size()));
+  if (node.is_leaf) {
+    for (std::size_t i = 0; i < node.keys.size(); ++i) {
+      for (std::uint64_t v : node.keys[i]) w.put_u64(v);
+      w.put_u64(node.values[i]);
+    }
+  } else {
+    w.put_u64(node.children[0]);
+    for (std::size_t i = 0; i < node.keys.size(); ++i) {
+      for (std::uint64_t v : node.keys[i]) w.put_u64(v);
+      w.put_u64(node.children[i + 1]);
+    }
+  }
+  std::vector<std::byte> page(checked_size(kPageBytes), std::byte{0});
+  DRX_CHECK_MSG(w.size() <= page.size(), "node overflows its page");
+  std::memcpy(page.data(), w.bytes().data(), w.size());
+  return page;
+}
+
+Result<BTreeChunkStore::Node> BTreeChunkStore::decode_node(
+    std::span<const std::byte> page) const {
+  ByteReader r(page);
+  Node node;
+  DRX_ASSIGN_OR_RETURN(std::uint8_t leaf, r.get_u8());
+  node.is_leaf = leaf != 0;
+  DRX_ASSIGN_OR_RETURN(std::uint8_t pad, r.get_u8());
+  (void)pad;
+  DRX_ASSIGN_OR_RETURN(std::uint32_t count, r.get_u32());
+  if (count > kPageBytes / 8) {
+    return Status(ErrorCode::kCorrupt, "implausible node entry count");
+  }
+  if (!node.is_leaf) {
+    std::uint64_t child0 = 0;
+    DRX_ASSIGN_OR_RETURN(child0, r.get_u64());
+    node.children.push_back(child0);
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::vector<std::uint64_t> key(rank_);
+    for (auto& v : key) {
+      DRX_ASSIGN_OR_RETURN(v, r.get_u64());
+    }
+    node.keys.push_back(std::move(key));
+    std::uint64_t v = 0;
+    DRX_ASSIGN_OR_RETURN(v, r.get_u64());
+    if (node.is_leaf) {
+      node.values.push_back(v);
+    } else {
+      node.children.push_back(v);
+    }
+  }
+  return node;
+}
+
+Status BTreeChunkStore::write_node(std::uint64_t page_offset,
+                                   const Node& node) {
+  return storage_->write_at(page_offset, encode_node(node));
+}
+
+Result<BTreeChunkStore::Node*> BTreeChunkStore::fetch(
+    std::uint64_t page_offset) {
+  auto it = cache_.find(page_offset);
+  if (it != cache_.end()) {
+    ++stats_.cache_hits;
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(page_offset);
+    it->second.lru_it = lru_.begin();
+    return &it->second.node;
+  }
+  ++stats_.node_fetches;
+  std::vector<std::byte> page(checked_size(kPageBytes));
+  DRX_RETURN_IF_ERROR(storage_->read_at(page_offset, page));
+  DRX_ASSIGN_OR_RETURN(Node node, decode_node(page));
+  return put(page_offset, std::move(node), /*dirty=*/false);
+}
+
+BTreeChunkStore::Node* BTreeChunkStore::put(std::uint64_t page_offset,
+                                            Node node, bool dirty) {
+  // Eviction failures only matter on flush; drop the status here.
+  (void)evict_if_needed();
+  lru_.push_front(page_offset);
+  CacheEntry entry;
+  entry.node = std::move(node);
+  entry.dirty = dirty;
+  entry.lru_it = lru_.begin();
+  auto [it, inserted] = cache_.insert_or_assign(page_offset,
+                                                std::move(entry));
+  (void)inserted;
+  return &it->second.node;
+}
+
+void BTreeChunkStore::mark_dirty(std::uint64_t page_offset) {
+  auto it = cache_.find(page_offset);
+  DRX_CHECK(it != cache_.end());
+  it->second.dirty = true;
+}
+
+Status BTreeChunkStore::evict_if_needed() {
+  while (cache_.size() >= options_.cache_pages && !lru_.empty()) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    auto it = cache_.find(victim);
+    DRX_CHECK(it != cache_.end());
+    if (it->second.dirty) {
+      DRX_RETURN_IF_ERROR(write_node(victim, it->second.node));
+    }
+    cache_.erase(it);
+  }
+  return Status::ok();
+}
+
+std::uint64_t BTreeChunkStore::allocate_page() {
+  const std::uint64_t off = tail_;
+  tail_ += kPageBytes;
+  return off;
+}
+
+std::uint64_t BTreeChunkStore::allocate_chunk() {
+  const std::uint64_t off = tail_;
+  tail_ += chunk_bytes_;
+  ++chunk_count_;
+  return off;
+}
+
+Result<std::uint64_t> BTreeChunkStore::lookup(
+    std::span<const std::uint64_t> key) {
+  DRX_CHECK(key.size() == rank_);
+  ++stats_.lookups;
+  std::uint64_t page = root_;
+  for (;;) {
+    DRX_ASSIGN_OR_RETURN(Node* node, fetch(page));
+    // First key strictly greater than `key`.
+    std::size_t pos = node->keys.size();
+    for (std::size_t i = 0; i < node->keys.size(); ++i) {
+      if (compare_keys(key, node->keys[i]) < 0) {
+        pos = i;
+        break;
+      }
+    }
+    if (node->is_leaf) {
+      // Leaf keys are exact entries; pos-1 is the last key <= `key`.
+      if (pos == 0 || compare_keys(node->keys[pos - 1], key) != 0) {
+        return Status(ErrorCode::kNotFound, "chunk not in index");
+      }
+      return node->values[pos - 1];
+    }
+    page = node->children[pos];
+  }
+}
+
+Status BTreeChunkStore::insert_into(std::uint64_t page_offset,
+                                    std::span<const std::uint64_t> key,
+                                    std::uint64_t value, bool* did_split,
+                                    std::vector<std::uint64_t>* split_key,
+                                    std::uint64_t* split_page) {
+  *did_split = false;
+  DRX_ASSIGN_OR_RETURN(Node* node_ptr, fetch(page_offset));
+
+  if (!node_ptr->is_leaf) {
+    std::size_t pos = node_ptr->keys.size();
+    for (std::size_t i = 0; i < node_ptr->keys.size(); ++i) {
+      if (compare_keys(key, node_ptr->keys[i]) < 0) {
+        pos = i;
+        break;
+      }
+    }
+    const std::uint64_t child = node_ptr->children[pos];
+    bool child_split = false;
+    std::vector<std::uint64_t> child_key;
+    std::uint64_t child_page = 0;
+    // The recursive call may evict node_ptr; re-fetch after it returns.
+    DRX_RETURN_IF_ERROR(insert_into(child, key, value, &child_split,
+                                    &child_key, &child_page));
+    if (!child_split) return Status::ok();
+
+    DRX_ASSIGN_OR_RETURN(node_ptr, fetch(page_offset));
+    node_ptr->keys.insert(
+        node_ptr->keys.begin() + static_cast<std::ptrdiff_t>(pos), child_key);
+    node_ptr->children.insert(
+        node_ptr->children.begin() + static_cast<std::ptrdiff_t>(pos) + 1,
+        child_page);
+    mark_dirty(page_offset);
+
+    if (node_ptr->keys.size() > internal_capacity()) {
+      ++stats_.splits;
+      Node right;
+      right.is_leaf = false;
+      const std::size_t mid = node_ptr->keys.size() / 2;
+      *split_key = node_ptr->keys[mid];
+      right.keys.assign(node_ptr->keys.begin() +
+                            static_cast<std::ptrdiff_t>(mid) + 1,
+                        node_ptr->keys.end());
+      right.children.assign(node_ptr->children.begin() +
+                                static_cast<std::ptrdiff_t>(mid) + 1,
+                            node_ptr->children.end());
+      node_ptr->keys.resize(mid);
+      node_ptr->children.resize(mid + 1);
+      const std::uint64_t right_page = allocate_page();
+      DRX_RETURN_IF_ERROR(write_node(right_page, right));
+      put(right_page, std::move(right), /*dirty=*/false);
+      *did_split = true;
+      *split_page = right_page;
+    }
+    return Status::ok();
+  }
+
+  // Leaf insert (keys unique; overwrite if present).
+  std::size_t pos = node_ptr->keys.size();
+  for (std::size_t i = 0; i < node_ptr->keys.size(); ++i) {
+    const int c = compare_keys(key, node_ptr->keys[i]);
+    if (c == 0) {
+      node_ptr->values[i] = value;
+      mark_dirty(page_offset);
+      return Status::ok();
+    }
+    if (c < 0) {
+      pos = i;
+      break;
+    }
+  }
+  node_ptr->keys.insert(node_ptr->keys.begin() +
+                            static_cast<std::ptrdiff_t>(pos),
+                        std::vector<std::uint64_t>(key.begin(), key.end()));
+  node_ptr->values.insert(
+      node_ptr->values.begin() + static_cast<std::ptrdiff_t>(pos), value);
+  mark_dirty(page_offset);
+
+  if (node_ptr->keys.size() > leaf_capacity()) {
+    ++stats_.splits;
+    Node right;
+    right.is_leaf = true;
+    const std::size_t mid = node_ptr->keys.size() / 2;
+    right.keys.assign(node_ptr->keys.begin() +
+                          static_cast<std::ptrdiff_t>(mid),
+                      node_ptr->keys.end());
+    right.values.assign(node_ptr->values.begin() +
+                            static_cast<std::ptrdiff_t>(mid),
+                        node_ptr->values.end());
+    *split_key = right.keys.front();
+    node_ptr->keys.resize(mid);
+    node_ptr->values.resize(mid);
+    const std::uint64_t right_page = allocate_page();
+    DRX_RETURN_IF_ERROR(write_node(right_page, right));
+    put(right_page, std::move(right), /*dirty=*/false);
+    *did_split = true;
+    *split_page = right_page;
+  }
+  return Status::ok();
+}
+
+Status BTreeChunkStore::write_chunk(std::span<const std::uint64_t> key,
+                                    std::span<const std::byte> data) {
+  DRX_CHECK(key.size() == rank_);
+  DRX_CHECK(data.size() == chunk_bytes_);
+  auto found = lookup(key);
+  std::uint64_t offset = 0;
+  if (found.is_ok()) {
+    offset = found.value();
+  } else if (found.status().code() == ErrorCode::kNotFound) {
+    offset = allocate_chunk();
+    bool did_split = false;
+    std::vector<std::uint64_t> split_key;
+    std::uint64_t split_page = 0;
+    DRX_RETURN_IF_ERROR(
+        insert_into(root_, key, offset, &did_split, &split_key, &split_page));
+    if (did_split) {
+      Node new_root;
+      new_root.is_leaf = false;
+      new_root.keys.push_back(split_key);
+      new_root.children.push_back(root_);
+      new_root.children.push_back(split_page);
+      const std::uint64_t new_root_page = allocate_page();
+      DRX_RETURN_IF_ERROR(write_node(new_root_page, new_root));
+      put(new_root_page, std::move(new_root), /*dirty=*/false);
+      root_ = new_root_page;
+    }
+    // Header (root pointer, tail, counts) is persisted on flush(), as a
+    // real file format would; writing it per insert would add a seek to
+    // page 0 on every chunk allocation.
+  } else {
+    return found.status();
+  }
+  return storage_->write_at(offset, data);
+}
+
+Status BTreeChunkStore::read_chunk(std::span<const std::uint64_t> key,
+                                   std::span<std::byte> out) {
+  DRX_CHECK(out.size() == chunk_bytes_);
+  DRX_ASSIGN_OR_RETURN(std::uint64_t offset, lookup(key));
+  return storage_->read_at(offset, out);
+}
+
+Status BTreeChunkStore::flush() {
+  for (auto& [offset, entry] : cache_) {
+    if (entry.dirty) {
+      DRX_RETURN_IF_ERROR(write_node(offset, entry.node));
+      entry.dirty = false;
+    }
+  }
+  return write_header();
+}
+
+Status BTreeChunkStore::drop_cache() {
+  DRX_RETURN_IF_ERROR(flush());
+  cache_.clear();
+  lru_.clear();
+  return Status::ok();
+}
+
+}  // namespace drx::baselines

@@ -1,0 +1,212 @@
+#include "baselines/dra_like.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "core/scatter.hpp"
+#include "util/serde.hpp"
+
+namespace drx::baselines {
+
+using core::Box;
+using core::Index;
+using core::MemoryOrder;
+using core::Shape;
+
+namespace {
+constexpr std::uint32_t kMagic = 0x44524131;  // "DRA1"
+}
+
+Result<DraLikeFile> DraLikeFile::create(simpi::Comm& comm, pfs::Pfs& fs,
+                                        const std::string& name,
+                                        core::Shape element_bounds,
+                                        core::Shape chunk_shape,
+                                        std::uint64_t element_bytes) {
+  if (element_bounds.size() != chunk_shape.size() || element_bounds.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "rank mismatch");
+  }
+  auto file = mpio::File::open(comm, fs, name + ".dra",
+                               mpio::kModeRdWr | mpio::kModeCreate);
+  if (!file.is_ok()) return file.status();
+
+  DraLikeFile dra(comm, std::move(element_bounds), std::move(chunk_shape),
+                  element_bytes, std::move(file).value());
+  if (comm.rank() == 0) {
+    ByteWriter w;
+    w.put_u32(kMagic);
+    w.put_u32(static_cast<std::uint32_t>(dra.rank()));
+    w.put_u64(dra.esize_);
+    for (std::uint64_t b : dra.element_bounds_) w.put_u64(b);
+    for (std::uint64_t c : dra.chunk_shape_) w.put_u64(c);
+    std::vector<std::byte> header(checked_size(kHeaderBytes), std::byte{0});
+    DRX_CHECK(w.size() <= header.size());
+    std::memcpy(header.data(), w.bytes().data(), w.size());
+    auto handle = fs.open(name + ".dra");
+    DRX_RETURN_IF_ERROR(handle.status());
+    DRX_RETURN_IF_ERROR(handle.value().write_at(0, header));
+  }
+  // Allocate all chunks (zero-filled) up front: DRA is not extendible.
+  DRX_RETURN_IF_ERROR(dra.data_.set_size(
+      checked_add(kHeaderBytes, checked_mul(checked_product(dra.chunk_bounds_),
+                                            dra.chunk_bytes()))));
+  return dra;
+}
+
+Result<DraLikeFile> DraLikeFile::open(simpi::Comm& comm, pfs::Pfs& fs,
+                                      const std::string& name) {
+  std::vector<std::byte> header(checked_size(kHeaderBytes));
+  std::uint8_t ok = 1;
+  if (comm.rank() == 0) {
+    auto handle = fs.open(name + ".dra");
+    if (!handle.is_ok() || !handle.value().read_at(0, header).is_ok()) {
+      ok = 0;
+    }
+  }
+  comm.bcast_value(ok, 0);
+  if (ok == 0) {
+    return Status(ErrorCode::kNotFound, "cannot read DRA header: " + name);
+  }
+  comm.bcast_bytes(header, 0);
+
+  ByteReader r(header);
+  DRX_ASSIGN_OR_RETURN(std::uint32_t magic, r.get_u32());
+  if (magic != kMagic) {
+    return Status(ErrorCode::kCorrupt, "bad DRA magic");
+  }
+  DRX_ASSIGN_OR_RETURN(std::uint32_t k, r.get_u32());
+  if (k == 0 || k > 64) {
+    return Status(ErrorCode::kCorrupt, "implausible DRA rank");
+  }
+  std::uint64_t esize = 0;
+  DRX_ASSIGN_OR_RETURN(esize, r.get_u64());
+  Shape bounds(k), chunk(k);
+  for (auto& b : bounds) {
+    DRX_ASSIGN_OR_RETURN(b, r.get_u64());
+  }
+  for (auto& c : chunk) {
+    DRX_ASSIGN_OR_RETURN(c, r.get_u64());
+    if (c == 0) return Status(ErrorCode::kCorrupt, "zero chunk extent");
+  }
+  auto file = mpio::File::open(comm, fs, name + ".dra", mpio::kModeRdWr);
+  if (!file.is_ok()) return file.status();
+  return DraLikeFile(comm, std::move(bounds), std::move(chunk), esize,
+                     std::move(file).value());
+}
+
+Status DraLikeFile::close() { return data_.close(); }
+
+Box DraLikeFile::zone_element_box(const core::Distribution& dist,
+                                  int proc) const {
+  const std::vector<Box> zones = dist.zones_of(proc);
+  Box out{Index(rank(), 0), Index(rank(), 0)};
+  if (zones.empty()) return out;
+  DRX_CHECK(zones.size() == 1);
+  for (std::size_t d = 0; d < rank(); ++d) {
+    out.lo[d] = checked_mul(zones[0].lo[d], chunk_shape_[d]);
+    out.hi[d] = std::min(checked_mul(zones[0].hi[d], chunk_shape_[d]),
+                         element_bounds_[d]);
+    out.lo[d] = std::min(out.lo[d], out.hi[d]);
+  }
+  return out;
+}
+
+Status DraLikeFile::transfer_zone(const core::Distribution& dist,
+                                  MemoryOrder order, void* buf,
+                                  bool collective, bool writing) {
+  const Box box = zone_element_box(dist, comm_->rank());
+  std::vector<Index> chunks;
+  for (const Box& z : dist.zones_of(comm_->rank())) {
+    core::for_each_index(z, [&](const Index& c) { chunks.push_back(c); });
+  }
+  const std::uint64_t cb = chunk_bytes();
+  const std::size_t n = chunks.size();
+
+  std::vector<std::uint64_t> addresses(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    addresses[i] = chunk_address(chunks[i]);
+  }
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+    return addresses[a] < addresses[b];
+  });
+  std::vector<std::uint64_t> ones(n, 1);
+  std::vector<std::uint64_t> displs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    displs[i] = checked_add(kHeaderBytes, checked_mul(addresses[perm[i]], cb));
+  }
+  const simpi::Datatype chunk_type = simpi::Datatype::bytes(cb);
+  const simpi::Datatype filetype =
+      n == 0 ? simpi::Datatype::bytes(1)
+             : simpi::Datatype::hindexed(ones, displs, chunk_type);
+  data_.set_view(0, simpi::Datatype::bytes(1), filetype);
+
+  std::vector<std::byte> staging(checked_size(checked_mul(n, cb)));
+  const simpi::Datatype memtype =
+      simpi::Datatype::bytes(staging.size());
+  const std::uint64_t count = n == 0 ? 0 : 1;
+
+  if (writing) {
+    // Gather zone elements into chunk-major staging (sorted order).
+    for (std::size_t i = 0; i < n; ++i) {
+      const Index& cidx = chunks[perm[i]];
+      const Box clip = chunk_space_.chunk_box(cidx).intersect(box);
+      if (clip.empty()) continue;
+      core::gather_box_into_chunk(
+          chunk_space_, esize_,
+          std::span<std::byte>(staging).subspan(checked_size(i * cb),
+                                                checked_size(cb)),
+          clip, box, order,
+          std::span<const std::byte>(static_cast<const std::byte*>(buf),
+                                     checked_size(checked_mul(box.volume(),
+                                                              esize_))));
+    }
+    DRX_RETURN_IF_ERROR(collective
+                            ? data_.write_at_all(0, staging.data(), count,
+                                                 memtype)
+                            : data_.write_at(0, staging.data(), count,
+                                             memtype));
+    return Status::ok();
+  }
+
+  DRX_RETURN_IF_ERROR(collective
+                          ? data_.read_at_all(0, staging.data(), count,
+                                              memtype)
+                          : data_.read_at(0, staging.data(), count, memtype));
+  for (std::size_t i = 0; i < n; ++i) {
+    const Index& cidx = chunks[perm[i]];
+    const Box clip = chunk_space_.chunk_box(cidx).intersect(box);
+    if (clip.empty()) continue;
+    core::scatter_chunk_into_box(
+        chunk_space_, esize_,
+        std::span<const std::byte>(staging).subspan(checked_size(i * cb),
+                                                    checked_size(cb)),
+        clip, box, order,
+        std::span<std::byte>(static_cast<std::byte*>(buf),
+                             checked_size(checked_mul(box.volume(),
+                                                      esize_))));
+  }
+  return Status::ok();
+}
+
+Status DraLikeFile::read_my_zone(const core::Distribution& dist,
+                                 MemoryOrder order, std::span<std::byte> out,
+                                 bool collective) {
+  const Box box = zone_element_box(dist, comm_->rank());
+  DRX_CHECK(out.size() == checked_mul(box.volume(), esize_));
+  return transfer_zone(dist, order, out.data(), collective,
+                       /*writing=*/false);
+}
+
+Status DraLikeFile::write_my_zone(const core::Distribution& dist,
+                                  MemoryOrder order,
+                                  std::span<const std::byte> in,
+                                  bool collective) {
+  const Box box = zone_element_box(dist, comm_->rank());
+  DRX_CHECK(in.size() == checked_mul(box.volume(), esize_));
+  return transfer_zone(dist, order, const_cast<std::byte*>(in.data()),
+                       collective, /*writing=*/true);
+}
+
+}  // namespace drx::baselines

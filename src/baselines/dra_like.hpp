@@ -1,0 +1,92 @@
+// DRA-like baseline: the Disk Resident Arrays model (Nieplocha & Foster)
+// that DRX-MP subsumes (paper Sec. II-B). A DRA is a *fixed-bounds*
+// chunked array file: chunk coordinates map to file addresses by plain
+// row-major order over the (immutable) chunk grid. Zone I/O mirrors
+// DRX-MP's collective path, so the E9 comparison isolates the cost of
+// extendibility (axial mapping + metadata) against the fixed layout.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/coords.hpp"
+#include "core/chunk_space.hpp"
+#include "core/zone.hpp"
+#include "mpio/file.hpp"
+#include "simpi/comm.hpp"
+
+namespace drx::baselines {
+
+class DraLikeFile {
+ public:
+  static Result<DraLikeFile> create(simpi::Comm& comm, pfs::Pfs& fs,
+                                    const std::string& name,
+                                    core::Shape element_bounds,
+                                    core::Shape chunk_shape,
+                                    std::uint64_t element_bytes);
+  static Result<DraLikeFile> open(simpi::Comm& comm, pfs::Pfs& fs,
+                                  const std::string& name);
+
+  Status close();
+
+  [[nodiscard]] const core::Shape& bounds() const noexcept {
+    return element_bounds_;
+  }
+  [[nodiscard]] std::size_t rank() const noexcept {
+    return element_bounds_.size();
+  }
+  [[nodiscard]] std::uint64_t chunk_bytes() const {
+    return checked_mul(checked_product(chunk_shape_), esize_);
+  }
+  [[nodiscard]] const core::Shape& chunk_grid() const noexcept {
+    return chunk_bounds_;
+  }
+
+  [[nodiscard]] core::Distribution block_distribution(int nprocs) const {
+    return core::Distribution::block(chunk_bounds_, nprocs);
+  }
+
+  /// Clipped element box of `proc`'s BLOCK zone.
+  [[nodiscard]] core::Box zone_element_box(const core::Distribution& dist,
+                                           int proc) const;
+
+  Status read_my_zone(const core::Distribution& dist, core::MemoryOrder order,
+                      std::span<std::byte> out, bool collective = true);
+  Status write_my_zone(const core::Distribution& dist,
+                       core::MemoryOrder order, std::span<const std::byte> in,
+                       bool collective = true);
+
+ private:
+  DraLikeFile(simpi::Comm& comm, core::Shape element_bounds,
+              core::Shape chunk_shape, std::uint64_t esize, mpio::File data)
+      : comm_(&comm),
+        element_bounds_(std::move(element_bounds)),
+        chunk_shape_(std::move(chunk_shape)),
+        esize_(esize),
+        chunk_space_(chunk_shape_, core::MemoryOrder::kRowMajor),
+        chunk_bounds_(chunk_space_.chunk_bounds_for(element_bounds_)),
+        data_(std::move(data)) {}
+
+  [[nodiscard]] std::uint64_t chunk_address(
+      std::span<const std::uint64_t> chunk) const {
+    return core::linearize(chunk, chunk_bounds_,
+                           core::MemoryOrder::kRowMajor);
+  }
+
+  Status transfer_zone(const core::Distribution& dist,
+                       core::MemoryOrder order, void* buf, bool collective,
+                       bool writing);
+
+  static constexpr std::uint64_t kHeaderBytes = 4096;
+
+  simpi::Comm* comm_;
+  core::Shape element_bounds_;
+  core::Shape chunk_shape_;
+  std::uint64_t esize_;
+  core::ChunkSpace chunk_space_;
+  core::Shape chunk_bounds_;
+  mpio::File data_;
+};
+
+}  // namespace drx::baselines

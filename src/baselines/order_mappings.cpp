@@ -1,0 +1,50 @@
+#include "baselines/order_mappings.hpp"
+
+namespace drx::baselines {
+
+std::uint64_t ZOrderMapping::address_of(
+    std::span<const std::uint64_t> idx) const {
+  DRX_CHECK(idx.size() == rank_);
+  std::uint64_t addr = 0;
+  const std::size_t max_bits = 64 / rank_;
+  for (std::size_t d = 0; d < rank_; ++d) {
+    DRX_CHECK_MSG(idx[d] < (1ULL << max_bits),
+                  "index too large for interleaving");
+    for (std::size_t b = 0; b < max_bits; ++b) {
+      addr |= ((idx[d] >> b) & 1ULL) << (b * rank_ + (rank_ - 1 - d));
+    }
+  }
+  return addr;
+}
+
+core::Index ZOrderMapping::index_of(std::uint64_t addr) const {
+  core::Index idx(rank_, 0);
+  const std::size_t max_bits = 64 / rank_;
+  for (std::size_t d = 0; d < rank_; ++d) {
+    for (std::size_t b = 0; b < max_bits; ++b) {
+      idx[d] |= ((addr >> (b * rank_ + (rank_ - 1 - d))) & 1ULL) << b;
+    }
+  }
+  return idx;
+}
+
+std::uint64_t SymmetricShellMapping::address_of(std::uint64_t i,
+                                                std::uint64_t j) const {
+  const std::uint64_t s = std::max(i, j);
+  if (i == s) return s * s + j;        // row part: (s, 0..s)
+  return s * s + s + (s - i);          // column part: (s-1..0, s)
+}
+
+std::pair<std::uint64_t, std::uint64_t> SymmetricShellMapping::index_of(
+    std::uint64_t addr) const {
+  // s = floor(sqrt(addr)), computed exactly with integer arithmetic.
+  std::uint64_t s = static_cast<std::uint64_t>(
+      std::sqrt(static_cast<double>(addr)));
+  while (s * s > addr) --s;
+  while ((s + 1) * (s + 1) <= addr) ++s;
+  const std::uint64_t r = addr - s * s;
+  if (r <= s) return {s, r};
+  return {2 * s - r, s};
+}
+
+}  // namespace drx::baselines

@@ -1,0 +1,71 @@
+// The element-allocation schemes of paper Fig. 2: row-major order,
+// Z (Morton) order, and the symmetric linear shell order. The fourth
+// scheme — the arbitrary linear shell order of Fig. 2d — is the axial
+// mapping itself (core/axial_mapping.hpp).
+//
+// These are the comparison points for extendibility semantics:
+//   - row-major extends in one dimension only;
+//   - Z-order grows only by doubling, cyclically;
+//   - symmetric shell grows linearly but only cyclically;
+//   - the axial mapping grows linearly along arbitrary dimensions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/coords.hpp"
+
+namespace drx::baselines {
+
+/// Conventional row-major (C order) mapping over fixed bounds (Fig. 2a).
+class RowMajorMapping {
+ public:
+  explicit RowMajorMapping(core::Shape bounds) : bounds_(std::move(bounds)) {}
+
+  [[nodiscard]] std::uint64_t address_of(
+      std::span<const std::uint64_t> idx) const {
+    return core::linearize(idx, bounds_, core::MemoryOrder::kRowMajor);
+  }
+  [[nodiscard]] core::Index index_of(std::uint64_t addr) const {
+    return core::delinearize(addr, bounds_, core::MemoryOrder::kRowMajor);
+  }
+  [[nodiscard]] const core::Shape& bounds() const noexcept { return bounds_; }
+
+ private:
+  core::Shape bounds_;
+};
+
+/// Z-order / Morton mapping (Fig. 2b): bit-interleaved indices. Growth is
+/// exponential — the array doubles along dimensions in cyclic order.
+/// Bit b of dimension d lands at position b*k + (k-1-d), making the last
+/// dimension vary fastest (matching row-major convention at small scales).
+class ZOrderMapping {
+ public:
+  explicit ZOrderMapping(std::size_t rank) : rank_(rank) {
+    DRX_CHECK(rank >= 1 && rank <= 8);
+  }
+
+  [[nodiscard]] std::uint64_t address_of(
+      std::span<const std::uint64_t> idx) const;
+  [[nodiscard]] core::Index index_of(std::uint64_t addr) const;
+  [[nodiscard]] std::size_t rank() const noexcept { return rank_; }
+
+ private:
+  std::size_t rank_;
+};
+
+/// Symmetric linear shell order, 2-D (Fig. 2c): shell s = max(i, j) covers
+/// addresses [s^2, (s+1)^2); within a shell, the row part (s, 0..s) comes
+/// first, then the column part (s-1..0, s). Growth is linear but the two
+/// dimensions must expand in strict alternation, otherwise "chunk
+/// locations may be assigned but unused" (paper Sec. III-A).
+class SymmetricShellMapping {
+ public:
+  [[nodiscard]] std::uint64_t address_of(std::uint64_t i,
+                                         std::uint64_t j) const;
+  /// (i, j) of a linear address.
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> index_of(
+      std::uint64_t addr) const;
+};
+
+}  // namespace drx::baselines

@@ -1,0 +1,191 @@
+#include "baselines/pnetcdf_like.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "util/serde.hpp"
+
+namespace drx::baselines {
+
+using core::Shape;
+
+Result<PnetcdfLikeFile> PnetcdfLikeFile::create(simpi::Comm& comm,
+                                                pfs::Pfs& fs,
+                                                const std::string& name,
+                                                core::Shape bounds,
+                                                std::uint64_t element_bytes) {
+  if (bounds.empty() || element_bytes == 0) {
+    return Status(ErrorCode::kInvalidArgument, "bad geometry");
+  }
+  auto data = mpio::File::open(comm, fs, name + ".nc",
+                               mpio::kModeRdWr | mpio::kModeCreate);
+  if (!data.is_ok()) return data.status();
+  PnetcdfLikeFile file(comm, fs, name, std::move(bounds), element_bytes,
+                       std::move(data).value());
+  DRX_RETURN_IF_ERROR(file.persist_header());
+  // Allocate the initial records zero-filled.
+  DRX_RETURN_IF_ERROR(file.data_.set_size(
+      checked_add(kHeaderBytes,
+                  checked_mul(file.bounds_[0], file.record_bytes()))));
+  return file;
+}
+
+Result<PnetcdfLikeFile> PnetcdfLikeFile::open(simpi::Comm& comm,
+                                              pfs::Pfs& fs,
+                                              const std::string& name) {
+  std::vector<std::byte> header(checked_size(kHeaderBytes));
+  std::uint8_t ok = 1;
+  if (comm.rank() == 0) {
+    auto handle = fs.open(name + ".nc");
+    if (!handle.is_ok() || !handle.value().read_at(0, header).is_ok()) {
+      ok = 0;
+    }
+  }
+  comm.bcast_value(ok, 0);
+  if (ok == 0) {
+    return Status(ErrorCode::kNotFound, "cannot read header: " + name);
+  }
+  comm.bcast_bytes(header, 0);
+
+  ByteReader r(header);
+  DRX_ASSIGN_OR_RETURN(std::uint32_t magic, r.get_u32());
+  if (magic != kMagic) return Status(ErrorCode::kCorrupt, "bad magic");
+  DRX_ASSIGN_OR_RETURN(std::uint32_t k, r.get_u32());
+  if (k == 0 || k > 64) return Status(ErrorCode::kCorrupt, "bad rank");
+  std::uint64_t esize = 0;
+  DRX_ASSIGN_OR_RETURN(esize, r.get_u64());
+  Shape bounds(k);
+  for (auto& b : bounds) {
+    DRX_ASSIGN_OR_RETURN(b, r.get_u64());
+  }
+  auto data = mpio::File::open(comm, fs, name + ".nc", mpio::kModeRdWr);
+  if (!data.is_ok()) return data.status();
+  return PnetcdfLikeFile(comm, fs, name, std::move(bounds), esize,
+                         std::move(data).value());
+}
+
+Status PnetcdfLikeFile::persist_header() {
+  comm_->barrier();
+  std::uint8_t ok = 1;
+  if (comm_->rank() == 0) {
+    ByteWriter w;
+    w.put_u32(kMagic);
+    w.put_u32(static_cast<std::uint32_t>(bounds_.size()));
+    w.put_u64(esize_);
+    for (std::uint64_t b : bounds_) w.put_u64(b);
+    std::vector<std::byte> page(checked_size(kHeaderBytes), std::byte{0});
+    DRX_CHECK(w.size() <= page.size());
+    std::memcpy(page.data(), w.bytes().data(), w.size());
+    auto handle = fs_->open(name_ + ".nc");
+    if (!handle.is_ok() || !handle.value().write_at(0, page).is_ok()) {
+      ok = 0;
+    }
+  }
+  comm_->bcast_value(ok, 0);
+  return ok != 0 ? Status::ok()
+                 : Status(ErrorCode::kIoError, "header write failed");
+}
+
+Status PnetcdfLikeFile::close() {
+  DRX_RETURN_IF_ERROR(persist_header());
+  return data_.close();
+}
+
+Status PnetcdfLikeFile::append_records(std::uint64_t count) {
+  comm_->barrier();
+  bounds_[0] = checked_add(bounds_[0], count);
+  DRX_RETURN_IF_ERROR(data_.set_size(
+      checked_add(kHeaderBytes, checked_mul(bounds_[0], record_bytes()))));
+  return persist_header();
+}
+
+Result<std::uint64_t> PnetcdfLikeFile::redefine_grow(std::size_t dim,
+                                                     std::uint64_t delta) {
+  if (dim == 0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "record dimension grows via append_records");
+  }
+  if (dim >= bounds_.size()) {
+    return Status(ErrorCode::kInvalidArgument, "dimension out of range");
+  }
+  comm_->barrier();
+
+  // Define mode: rank 0 streams every record from the old geometry into
+  // the new one. Records shrink-relative to the file tail, so the copy
+  // runs backwards to stay in place without a scratch file.
+  const Shape old_bounds = bounds_;
+  const std::uint64_t old_record = record_bytes();
+  bounds_[dim] = checked_add(bounds_[dim], delta);
+  const std::uint64_t new_record = record_bytes();
+  std::uint64_t moved = 0;
+
+  std::uint8_t ok = 1;
+  if (comm_->rank() == 0) {
+    const std::size_t k = bounds_.size();
+    const Shape old_fixed(old_bounds.begin() + 1, old_bounds.end());
+    const Shape new_fixed(bounds_.begin() + 1, bounds_.end());
+    std::vector<std::byte> old_rec(checked_size(old_record));
+    std::vector<std::byte> new_rec(checked_size(new_record));
+    for (std::uint64_t rec = old_bounds[0]; rec-- > 0;) {
+      Status s = data_.read_at(
+          checked_add(kHeaderBytes, checked_mul(rec, old_record)),
+          old_rec.data(), old_record, simpi::Datatype::bytes(1));
+      if (!s.is_ok()) {
+        ok = 0;
+        break;
+      }
+      // Re-linearize the record image into the grown fixed geometry.
+      std::fill(new_rec.begin(), new_rec.end(), std::byte{0});
+      core::Box old_box{core::Index(k - 1, 0), old_fixed};
+      core::for_each_index(old_box, [&](const core::Index& idx) {
+        const std::uint64_t src = core::linearize(
+            idx, old_fixed, core::MemoryOrder::kRowMajor);
+        const std::uint64_t dst = core::linearize(
+            idx, new_fixed, core::MemoryOrder::kRowMajor);
+        std::memcpy(new_rec.data() + dst * esize_,
+                    old_rec.data() + src * esize_, checked_size(esize_));
+      });
+      s = data_.write_at(
+          checked_add(kHeaderBytes, checked_mul(rec, new_record)),
+          new_rec.data(), new_record, simpi::Datatype::bytes(1));
+      if (!s.is_ok()) {
+        ok = 0;
+        break;
+      }
+      moved += old_record + new_record;
+    }
+  }
+  comm_->bcast_value(ok, 0);
+  if (ok == 0) {
+    return Status(ErrorCode::kIoError, "redefine copy failed");
+  }
+  comm_->bcast_value(moved, 0);
+  DRX_RETURN_IF_ERROR(persist_header());
+  return moved;
+}
+
+Status PnetcdfLikeFile::write_records_all(std::uint64_t first,
+                                          std::uint64_t count,
+                                          std::span<const std::byte> in) {
+  DRX_CHECK(in.size() == checked_mul(count, record_bytes()));
+  if (first + count > bounds_[0]) {
+    return Status(ErrorCode::kOutOfRange, "records out of range");
+  }
+  return data_.write_at_all(
+      checked_add(kHeaderBytes, checked_mul(first, record_bytes())),
+      in.data(), in.size(), simpi::Datatype::bytes(1));
+}
+
+Status PnetcdfLikeFile::read_records_all(std::uint64_t first,
+                                         std::uint64_t count,
+                                         std::span<std::byte> out) {
+  DRX_CHECK(out.size() == checked_mul(count, record_bytes()));
+  if (first + count > bounds_[0]) {
+    return Status(ErrorCode::kOutOfRange, "records out of range");
+  }
+  return data_.read_at_all(
+      checked_add(kHeaderBytes, checked_mul(first, record_bytes())),
+      out.data(), out.size(), simpi::Datatype::bytes(1));
+}
+
+}  // namespace drx::baselines

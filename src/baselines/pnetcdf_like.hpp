@@ -1,0 +1,87 @@
+// Parallel-NetCDF-like baseline: a record-variable array file (paper
+// Sec. II-B: NetCDF's data part holds "data record of variables that have
+// an expandable dimension. Only one dimension is extendible").
+//
+// Layout: a fixed-size header page, then records of the UNLIMITED
+// dimension (dimension 0) stored back to back; each record is the
+// row-major image of one index of dimension 0. Parallel access goes
+// through MPI-IO on record-aligned offsets.
+//
+// Extension semantics are NetCDF's:
+//   - dimension 0 (the record dimension) grows by appending records;
+//   - growing any fixed dimension requires `redefine()` — the
+//     enter-define-mode / copy-every-record dance real NetCDF users
+//     perform, costing a full rewrite (the cost DRX avoids).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/coords.hpp"
+#include "mpio/file.hpp"
+#include "simpi/comm.hpp"
+
+namespace drx::baselines {
+
+class PnetcdfLikeFile {
+ public:
+  /// Collective creation. `bounds[0]` is the initial record count; the
+  /// remaining dimensions are fixed.
+  static Result<PnetcdfLikeFile> create(simpi::Comm& comm, pfs::Pfs& fs,
+                                        const std::string& name,
+                                        core::Shape bounds,
+                                        std::uint64_t element_bytes);
+  static Result<PnetcdfLikeFile> open(simpi::Comm& comm, pfs::Pfs& fs,
+                                      const std::string& name);
+
+  Status close();
+
+  [[nodiscard]] const core::Shape& bounds() const noexcept {
+    return bounds_;
+  }
+  [[nodiscard]] std::uint64_t record_bytes() const {
+    core::Shape fixed(bounds_.begin() + 1, bounds_.end());
+    return checked_mul(checked_product(fixed), esize_);
+  }
+
+  /// Appends `count` zeroed records (collective; cheap — the NetCDF
+  /// unlimited-dimension path).
+  Status append_records(std::uint64_t count);
+
+  /// Grows a FIXED dimension: enter define mode and copy every record
+  /// into the new geometry (collective; rank 0 performs the copy).
+  /// Returns payload bytes moved.
+  Result<std::uint64_t> redefine_grow(std::size_t dim, std::uint64_t delta);
+
+  /// Collective write/read of whole records [first, first+count) from a
+  /// row-major buffer.
+  Status write_records_all(std::uint64_t first, std::uint64_t count,
+                           std::span<const std::byte> in);
+  Status read_records_all(std::uint64_t first, std::uint64_t count,
+                          std::span<std::byte> out);
+
+ private:
+  PnetcdfLikeFile(simpi::Comm& comm, pfs::Pfs& fs, std::string name,
+                  core::Shape bounds, std::uint64_t esize, mpio::File data)
+      : comm_(&comm),
+        fs_(&fs),
+        name_(std::move(name)),
+        bounds_(std::move(bounds)),
+        esize_(esize),
+        data_(std::move(data)) {}
+
+  Status persist_header();
+
+  static constexpr std::uint64_t kHeaderBytes = 1024;
+  static constexpr std::uint32_t kMagic = 0x704E4331;  // "pNC1"
+
+  simpi::Comm* comm_;
+  pfs::Pfs* fs_;
+  std::string name_;
+  core::Shape bounds_;
+  std::uint64_t esize_;
+  mpio::File data_;
+};
+
+}  // namespace drx::baselines

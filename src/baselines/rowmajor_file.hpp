@@ -1,0 +1,76 @@
+// The conventional array file the paper motivates against (Sec. I):
+// elements mapped to consecutive locations in row-major order. Behaves
+// like a NetCDF-style fixed layout:
+//   - extension along dimension 0 (the outermost / "record" dimension)
+//     appends and is cheap;
+//   - extension along any other dimension changes every element's linear
+//     address and forces a full storage reorganization;
+//   - reading in the non-native (column-major) order degenerates into
+//     strided small accesses.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "core/coords.hpp"
+#include "core/types.hpp"
+#include "pfs/storage.hpp"
+
+namespace drx::baselines {
+
+class RowMajorFile {
+ public:
+  static Result<RowMajorFile> create(
+      std::unique_ptr<pfs::Storage> storage, core::Shape bounds,
+      std::uint64_t element_bytes);
+
+  [[nodiscard]] const core::Shape& bounds() const noexcept { return bounds_; }
+  [[nodiscard]] std::uint64_t element_bytes() const noexcept {
+    return esize_;
+  }
+  [[nodiscard]] std::uint64_t total_elements() const {
+    return checked_product(bounds_);
+  }
+
+  Status read_element(std::span<const std::uint64_t> index,
+                      std::span<std::byte> out);
+  Status write_element(std::span<const std::uint64_t> index,
+                       std::span<const std::byte> value);
+
+  /// Reads element box [lo, hi) into `out` in the requested order. Issues
+  /// one storage request per contiguous file run — exactly the access
+  /// pattern a nested-loop application would generate.
+  Status read_box(const core::Box& box, core::MemoryOrder order,
+                  std::span<std::byte> out);
+  Status write_box(const core::Box& box, core::MemoryOrder order,
+                   std::span<const std::byte> in);
+
+  /// Extends dimension `dim` by `delta`. dim == 0 appends zeroed rows;
+  /// any other dimension rewrites the whole file (the reorganization the
+  /// paper's scheme avoids). Returns the number of payload bytes moved by
+  /// reorganization (0 for appends).
+  Result<std::uint64_t> extend(std::size_t dim, std::uint64_t delta);
+
+  [[nodiscard]] pfs::Storage& storage() noexcept { return *storage_; }
+
+ private:
+  RowMajorFile(std::unique_ptr<pfs::Storage> storage, core::Shape bounds,
+               std::uint64_t esize)
+      : storage_(std::move(storage)),
+        bounds_(std::move(bounds)),
+        esize_(esize) {}
+
+  [[nodiscard]] std::uint64_t offset_of(
+      std::span<const std::uint64_t> index) const {
+    return checked_mul(
+        core::linearize(index, bounds_, core::MemoryOrder::kRowMajor),
+        esize_);
+  }
+
+  std::unique_ptr<pfs::Storage> storage_;
+  core::Shape bounds_;
+  std::uint64_t esize_;
+};
+
+}  // namespace drx::baselines

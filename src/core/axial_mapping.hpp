@@ -1,0 +1,154 @@
+// The paper's core contribution: the axial-vector mapping function F*()
+// and its inverse F*^-1() for dense extendible arrays (Otoo & Rotem,
+// CLUSTER 2007, Section III).
+//
+// The mapping operates on the *chunk grid*: indices are chunk coordinates
+// and addresses are linear chunk positions in the .xta file. The array
+// grows by adjoining a *segment* of chunks along any dimension l; within a
+// segment, addresses follow row-major order with l as the least-varying
+// dimension (all other dimensions keep their relative order). Each
+// dimension keeps an axial vector of expansion records
+//
+//     Γ_l<i> = ( N*_l  — first chunk index the segment covers,
+//                M*_l  — linear address of the segment's first chunk,
+//                C[k]  — multiplying coefficients inside the segment,
+//                S     — byte displacement of the segment in the file )
+//
+// Repeated extensions of the same dimension with no intervening extension
+// of another dimension ("uninterrupted" extensions) are merged into the
+// existing record.
+//
+// Complexity: F* is O(k + log E) and F*^-1 is O(k + log E), where E is the
+// total number of expansion records — the computed-access property the
+// paper contrasts with HDF5's B-tree chunk index.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/coords.hpp"
+#include "util/error.hpp"
+#include "util/serde.hpp"
+
+namespace drx::core {
+
+/// One expansion record of an axial vector (paper Fig. 3b).
+struct ExpansionRecord {
+  /// First chunk index of the extended dimension the segment covers
+  /// (the paper's N*_l at expansion time).
+  std::uint64_t start_index = 0;
+
+  /// Linear chunk address of the segment's first chunk (the paper's M*_l).
+  /// kUnallocated marks the sentinel record of a never-extended dimension.
+  std::int64_t start_address = 0;
+
+  /// Multiplying coefficients C[0..k-1]; C[l] is the segment's
+  /// per-extended-index stride, C[j] (j != l) the row-major coefficients
+  /// of the remaining dimensions in their relative order.
+  std::vector<std::uint64_t> coeffs;
+
+  /// Byte displacement of the segment in the principal array file (the
+  /// paper's S field; address * chunk bytes since segments are appended).
+  std::uint64_t file_displacement = 0;
+
+  static constexpr std::int64_t kUnallocated = -1;
+
+  friend bool operator==(const ExpansionRecord&,
+                         const ExpansionRecord&) = default;
+};
+
+/// The axial vector Γ_l of one dimension: its expansion history.
+class AxialVector {
+ public:
+  [[nodiscard]] const std::vector<ExpansionRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t record_count() const noexcept {
+    return records_.size();
+  }
+
+  /// Modified binary search (paper Sec. III-B): the record with the
+  /// largest start_index <= index. Precondition: a record with
+  /// start_index 0 exists (the sentinel or the initial segment).
+  [[nodiscard]] const ExpansionRecord& find(std::uint64_t index) const;
+
+  void append(ExpansionRecord record);
+  [[nodiscard]] ExpansionRecord& back();
+
+  friend bool operator==(const AxialVector&, const AxialVector&) = default;
+
+ private:
+  std::vector<ExpansionRecord> records_;
+};
+
+/// The complete mapping state of a k-dimensional extendible chunk grid.
+class AxialMapping {
+ public:
+  /// Creates the grid with `initial_bounds` chunks per dimension (all
+  /// bounds >= 1). The initial allocation is recorded as the first segment
+  /// of the last dimension, matching the paper's running example where
+  /// A[4][3][1]'s initial block lives in Γ_2 with start index and address 0.
+  explicit AxialMapping(Shape initial_bounds);
+
+  [[nodiscard]] std::size_t rank() const noexcept { return bounds_.size(); }
+
+  /// Current chunk-grid bounds N*_0 .. N*_{k-1}.
+  [[nodiscard]] const Shape& bounds() const noexcept { return bounds_; }
+
+  /// Total allocated chunks; equals the product of bounds().
+  [[nodiscard]] std::uint64_t total_chunks() const noexcept { return total_; }
+
+  [[nodiscard]] const AxialVector& axial_vector(std::size_t dim) const;
+
+  /// Total number of expansion records across all axial vectors (E).
+  [[nodiscard]] std::uint64_t total_records() const noexcept;
+
+  /// Extends dimension `dim` by `delta` chunk indices, allocating one
+  /// segment (or growing the previous one when the extension is
+  /// uninterrupted). Returns the linear address of the first new chunk.
+  std::uint64_t extend(std::size_t dim, std::uint64_t delta);
+
+  /// F*: linear chunk address of chunk `index`. Aborts if out of bounds
+  /// (bounds are replicated metadata; an out-of-range index is a caller
+  /// bug, not an I/O condition).
+  [[nodiscard]] std::uint64_t address_of(
+      std::span<const std::uint64_t> index) const;
+
+  /// F*^-1: chunk index of linear address `address` (< total_chunks()).
+  [[nodiscard]] Index index_of(std::uint64_t address) const;
+
+  // ---- persistence (.xmd payload) --------------------------------------
+
+  void serialize(ByteWriter& out) const;
+  static Result<AxialMapping> deserialize(ByteReader& in);
+
+  friend bool operator==(const AxialMapping&, const AxialMapping&) = default;
+
+ private:
+  AxialMapping() = default;
+
+  /// (dim, record index) of one allocation in start-address order; used by
+  /// the O(log E) inverse search.
+  struct HistoryEntry {
+    std::uint32_t dim = 0;
+    std::uint32_t record = 0;
+    std::uint64_t start_address = 0;
+    std::uint64_t chunk_count = 0;  ///< chunks the segment currently holds
+
+    friend bool operator==(const HistoryEntry&,
+                           const HistoryEntry&) = default;
+  };
+
+  /// Recomputes C[] for a fresh segment extending `dim`.
+  [[nodiscard]] std::vector<std::uint64_t> segment_coeffs(
+      std::size_t dim) const;
+
+  Shape bounds_;
+  std::uint64_t total_ = 0;
+  std::vector<AxialVector> axial_;
+  std::vector<HistoryEntry> history_;  ///< ascending start_address
+};
+
+}  // namespace drx::core

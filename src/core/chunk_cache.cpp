@@ -1,0 +1,98 @@
+#include "core/chunk_cache.hpp"
+
+namespace drx::core {
+
+Result<std::span<std::byte>> ChunkCache::pin(std::uint64_t address) {
+  auto it = frames_.find(address);
+  if (it != frames_.end()) {
+    ++stats_.hits;
+    Frame& frame = it->second;
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_it);
+      frame.in_lru = false;
+    }
+    ++frame.pins;
+    return std::span<std::byte>(frame.data.get(),
+                                checked_size(file_->chunk_bytes()));
+  }
+
+  ++stats_.misses;
+  while (frames_.size() >= capacity_) {
+    DRX_RETURN_IF_ERROR(evict_one());
+  }
+
+  Frame frame;
+  frame.data =
+      std::make_unique<std::byte[]>(checked_size(file_->chunk_bytes()));
+  DRX_RETURN_IF_ERROR(file_->read_chunk(
+      address, std::span<std::byte>(frame.data.get(),
+                                    checked_size(file_->chunk_bytes()))));
+  frame.pins = 1;
+  auto [pos, inserted] = frames_.emplace(address, std::move(frame));
+  DRX_CHECK(inserted);
+  return std::span<std::byte>(pos->second.data.get(),
+                              checked_size(file_->chunk_bytes()));
+}
+
+void ChunkCache::unpin(std::uint64_t address, bool dirty) {
+  auto it = frames_.find(address);
+  DRX_CHECK_MSG(it != frames_.end(), "unpin of non-resident chunk");
+  Frame& frame = it->second;
+  DRX_CHECK_MSG(frame.pins > 0, "unpin without matching pin");
+  frame.dirty = frame.dirty || dirty;
+  if (--frame.pins == 0) {
+    lru_.push_front(address);
+    frame.lru_it = lru_.begin();
+    frame.in_lru = true;
+  }
+}
+
+Status ChunkCache::evict_one() {
+  if (lru_.empty()) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "all cache frames are pinned");
+  }
+  const std::uint64_t victim = lru_.back();
+  lru_.pop_back();
+  auto it = frames_.find(victim);
+  DRX_CHECK(it != frames_.end());
+  if (it->second.dirty) {
+    ++stats_.writebacks;
+    DRX_RETURN_IF_ERROR(file_->write_chunk(
+        victim,
+        std::span<const std::byte>(it->second.data.get(),
+                                   checked_size(file_->chunk_bytes()))));
+  }
+  frames_.erase(it);
+  ++stats_.evictions;
+  return Status::ok();
+}
+
+Status ChunkCache::flush() {
+  for (auto& [address, frame] : frames_) {
+    if (frame.dirty) {
+      ++stats_.writebacks;
+      DRX_RETURN_IF_ERROR(file_->write_chunk(
+          address,
+          std::span<const std::byte>(frame.data.get(),
+                                     checked_size(file_->chunk_bytes()))));
+      frame.dirty = false;
+    }
+  }
+  return Status::ok();
+}
+
+Status ChunkCache::invalidate() {
+  DRX_RETURN_IF_ERROR(flush());
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    if (it->second.pins == 0) {
+      if (it->second.in_lru) lru_.erase(it->second.lru_it);
+      it = frames_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace drx::core

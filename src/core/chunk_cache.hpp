@@ -1,0 +1,139 @@
+// Chunk buffer pool for serial DRX (paper Sec. I: serial DRX maintains
+// "I/O caching using the BerkeleyDB Mpool sub-system").
+//
+// A write-back LRU pool of fixed-size chunk buffers keyed by linear chunk
+// address, with Mpool-style pin/unpin discipline: a pinned buffer cannot
+// be evicted; unpinning with `dirty` schedules write-back. CachedDrxFile
+// layers element/box access on top, so repeated touches to a hot chunk
+// cost one I/O instead of one per element.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <list>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "core/drx_file.hpp"
+
+namespace drx::core {
+
+class ChunkCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;
+  };
+
+  /// `capacity` chunks stay resident. The cache serves exactly one
+  /// DrxFile; the file must outlive the cache.
+  ChunkCache(DrxFile& file, std::size_t capacity)
+      : file_(&file), capacity_(capacity) {
+    DRX_CHECK(capacity >= 1);
+  }
+
+  ~ChunkCache() { (void)flush(); }
+  ChunkCache(const ChunkCache&) = delete;
+  ChunkCache& operator=(const ChunkCache&) = delete;
+
+  /// Pins the chunk at linear address `address` into the pool, faulting it
+  /// from the file on a miss, and returns its buffer. The buffer stays
+  /// valid (and the frame unevictable) until the matching unpin().
+  Result<std::span<std::byte>> pin(std::uint64_t address);
+
+  /// Releases a pin; `dirty` marks the buffer modified (written back on
+  /// eviction or flush — write-back, not write-through).
+  void unpin(std::uint64_t address, bool dirty);
+
+  /// Writes back every dirty frame (pinned or not) without evicting.
+  Status flush();
+
+  /// Flush + drop all unpinned frames (cold-cache tool for benches).
+  Status invalidate();
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t resident() const noexcept {
+    return frames_.size();
+  }
+
+ private:
+  struct Frame {
+    std::unique_ptr<std::byte[]> data;
+    int pins = 0;
+    bool dirty = false;
+    std::list<std::uint64_t>::iterator lru_it;  ///< valid when pins == 0
+    bool in_lru = false;
+  };
+
+  Status evict_one();
+
+  DrxFile* file_;
+  std::size_t capacity_;
+  std::unordered_map<std::uint64_t, Frame> frames_;
+  std::list<std::uint64_t> lru_;  ///< unpinned frames, front = most recent
+  Stats stats_;
+};
+
+/// Element/box access through the pool. Same semantics as DrxFile element
+/// and box I/O, but chunk-granular faults instead of per-call I/O.
+class CachedDrxFile {
+ public:
+  CachedDrxFile(DrxFile& file, std::size_t capacity_chunks)
+      : file_(&file),
+        cache_(file, capacity_chunks),
+        space_(file.metadata().chunk_space()) {}
+
+  template <typename T>
+  Result<T> get(std::span<const std::uint64_t> index) {
+    DRX_CHECK(ElementTypeOf<T>::value == file_->dtype());
+    DRX_RETURN_IF_ERROR(check_index(index));
+    const std::uint64_t q = file_->chunk_address(space_.chunk_of(index));
+    DRX_ASSIGN_OR_RETURN(std::span<std::byte> chunk, cache_.pin(q));
+    T v{};
+    std::memcpy(&v,
+                chunk.data() + space_.offset_in_chunk(index) * sizeof(T),
+                sizeof(T));
+    cache_.unpin(q, /*dirty=*/false);
+    return v;
+  }
+
+  template <typename T>
+  Status set(std::span<const std::uint64_t> index, const T& v) {
+    DRX_CHECK(ElementTypeOf<T>::value == file_->dtype());
+    DRX_RETURN_IF_ERROR(check_index(index));
+    const std::uint64_t q = file_->chunk_address(space_.chunk_of(index));
+    DRX_ASSIGN_OR_RETURN(std::span<std::byte> chunk, cache_.pin(q));
+    std::memcpy(chunk.data() + space_.offset_in_chunk(index) * sizeof(T),
+                &v, sizeof(T));
+    cache_.unpin(q, /*dirty=*/true);
+    return Status::ok();
+  }
+
+  Status flush() { return cache_.flush(); }
+  [[nodiscard]] const ChunkCache::Stats& stats() const noexcept {
+    return cache_.stats();
+  }
+  [[nodiscard]] ChunkCache& cache() noexcept { return cache_; }
+
+ private:
+  Status check_index(std::span<const std::uint64_t> index) const {
+    if (index.size() != file_->rank()) {
+      return Status(ErrorCode::kInvalidArgument, "index rank mismatch");
+    }
+    for (std::size_t d = 0; d < index.size(); ++d) {
+      if (index[d] >= file_->bounds()[d]) {
+        return Status(ErrorCode::kOutOfRange, "element index out of bounds");
+      }
+    }
+    return Status::ok();
+  }
+
+  DrxFile* file_;
+  ChunkCache cache_;
+  ChunkSpace space_;
+};
+
+}  // namespace drx::core

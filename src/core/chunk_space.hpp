@@ -1,0 +1,101 @@
+// Element-space <-> chunk-space geometry.
+//
+// The extendible array has two coordinate systems: *element* indices
+// (bounded by the array bounds N_i, extendible by arbitrary deltas) and
+// *chunk* indices (the grid the axial mapping addresses). A chunk is a
+// fixed-shape k-dimensional block; boundary chunks are allocated at full
+// chunk size with unused slots, so the element bound need not fall on a
+// chunk boundary (paper Sec. II-A: N_1 = 10 inside a 4-chunk-wide grid).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/coords.hpp"
+#include "core/types.hpp"
+#include "util/checked.hpp"
+
+namespace drx::core {
+
+class ChunkSpace {
+ public:
+  /// `chunk_shape` elements per chunk along each dimension (all >= 1).
+  /// `in_chunk_order` fixes the element layout inside a chunk.
+  ChunkSpace(Shape chunk_shape, MemoryOrder in_chunk_order)
+      : shape_(std::move(chunk_shape)), order_(in_chunk_order) {
+    DRX_CHECK(!shape_.empty());
+    for (std::uint64_t c : shape_) DRX_CHECK(c >= 1);
+    elements_per_chunk_ = checked_product(shape_);
+  }
+
+  [[nodiscard]] std::size_t rank() const noexcept { return shape_.size(); }
+  [[nodiscard]] const Shape& chunk_shape() const noexcept { return shape_; }
+  [[nodiscard]] MemoryOrder in_chunk_order() const noexcept { return order_; }
+  [[nodiscard]] std::uint64_t elements_per_chunk() const noexcept {
+    return elements_per_chunk_;
+  }
+
+  /// Chunk-grid bounds covering `element_bounds` (ceil division per dim).
+  [[nodiscard]] Shape chunk_bounds_for(
+      std::span<const std::uint64_t> element_bounds) const {
+    DRX_CHECK(element_bounds.size() == rank());
+    Shape cb(rank());
+    for (std::size_t d = 0; d < rank(); ++d) {
+      // A zero element bound still occupies one chunk row so the chunk
+      // grid stays a valid (>=1-per-dim) extendible grid.
+      cb[d] = element_bounds[d] == 0 ? 1 : ceil_div(element_bounds[d],
+                                                    shape_[d]);
+    }
+    return cb;
+  }
+
+  /// Chunk coordinate containing an element index.
+  [[nodiscard]] Index chunk_of(std::span<const std::uint64_t> element) const {
+    Index c(rank());
+    for (std::size_t d = 0; d < rank(); ++d) c[d] = element[d] / shape_[d];
+    return c;
+  }
+
+  /// Linear offset of an element within its chunk, in the in-chunk order.
+  [[nodiscard]] std::uint64_t offset_in_chunk(
+      std::span<const std::uint64_t> element) const {
+    Index within(rank());
+    for (std::size_t d = 0; d < rank(); ++d) {
+      within[d] = element[d] % shape_[d];
+    }
+    return linearize(within, shape_, order_);
+  }
+
+  /// Element box covered by chunk `chunk` (unclipped; callers clip to the
+  /// array bounds for boundary chunks).
+  [[nodiscard]] Box chunk_box(std::span<const std::uint64_t> chunk) const {
+    Box box;
+    box.lo.resize(rank());
+    box.hi.resize(rank());
+    for (std::size_t d = 0; d < rank(); ++d) {
+      box.lo[d] = checked_mul(chunk[d], shape_[d]);
+      box.hi[d] = box.lo[d] + shape_[d];
+    }
+    return box;
+  }
+
+  /// Chunk-coordinate box covering an element box (half-open).
+  [[nodiscard]] Box covering_chunks(const Box& element_box) const {
+    DRX_CHECK(element_box.rank() == rank());
+    Box out;
+    out.lo.resize(rank());
+    out.hi.resize(rank());
+    for (std::size_t d = 0; d < rank(); ++d) {
+      out.lo[d] = element_box.lo[d] / shape_[d];
+      out.hi[d] = ceil_div(element_box.hi[d], shape_[d]);
+    }
+    return out;
+  }
+
+ private:
+  Shape shape_;
+  MemoryOrder order_;
+  std::uint64_t elements_per_chunk_ = 0;
+};
+
+}  // namespace drx::core

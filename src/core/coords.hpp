@@ -1,0 +1,143 @@
+// k-dimensional coordinate helpers shared across the core library.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/checked.hpp"
+#include "util/error.hpp"
+
+namespace drx::core {
+
+/// A k-dimensional index or extent vector. Rank is small (typically <= 4),
+/// so std::vector keeps the interface simple; hot paths reuse buffers.
+using Index = std::vector<std::uint64_t>;
+using Shape = std::vector<std::uint64_t>;
+
+/// Strides of a dense array of `shape` in the given order: linear address
+/// = sum_i idx[i] * strides[i].
+inline Shape strides_of(std::span<const std::uint64_t> shape,
+                        MemoryOrder order) {
+  Shape strides(shape.size(), 1);
+  if (shape.empty()) return strides;
+  if (order == MemoryOrder::kRowMajor) {
+    for (std::size_t d = shape.size() - 1; d-- > 0;) {
+      strides[d] = checked_mul(strides[d + 1], shape[d + 1]);
+    }
+  } else {
+    for (std::size_t d = 1; d < shape.size(); ++d) {
+      strides[d] = checked_mul(strides[d - 1], shape[d - 1]);
+    }
+  }
+  return strides;
+}
+
+/// Linearizes `idx` within a dense array of `shape` in the given order.
+inline std::uint64_t linearize(std::span<const std::uint64_t> idx,
+                               std::span<const std::uint64_t> shape,
+                               MemoryOrder order) {
+  DRX_CHECK(idx.size() == shape.size());
+  std::uint64_t addr = 0;
+  if (order == MemoryOrder::kRowMajor) {
+    for (std::size_t d = 0; d < shape.size(); ++d) {
+      DRX_CHECK(idx[d] < shape[d]);
+      addr = checked_add(checked_mul(addr, shape[d]), idx[d]);
+    }
+  } else {
+    for (std::size_t d = shape.size(); d-- > 0;) {
+      DRX_CHECK(idx[d] < shape[d]);
+      addr = checked_add(checked_mul(addr, shape[d]), idx[d]);
+    }
+  }
+  return addr;
+}
+
+/// Inverse of linearize.
+inline Index delinearize(std::uint64_t addr,
+                         std::span<const std::uint64_t> shape,
+                         MemoryOrder order) {
+  Index idx(shape.size(), 0);
+  if (order == MemoryOrder::kRowMajor) {
+    for (std::size_t d = shape.size(); d-- > 0;) {
+      idx[d] = addr % shape[d];
+      addr /= shape[d];
+    }
+  } else {
+    for (std::size_t d = 0; d < shape.size(); ++d) {
+      idx[d] = addr % shape[d];
+      addr /= shape[d];
+    }
+  }
+  DRX_CHECK_MSG(addr == 0, "address outside array shape");
+  return idx;
+}
+
+/// A half-open k-dimensional box [lo, hi).
+struct Box {
+  Index lo;
+  Index hi;
+
+  [[nodiscard]] std::size_t rank() const noexcept { return lo.size(); }
+
+  [[nodiscard]] bool empty() const noexcept {
+    for (std::size_t d = 0; d < lo.size(); ++d) {
+      if (lo[d] >= hi[d]) return true;
+    }
+    return lo.empty();
+  }
+
+  [[nodiscard]] Shape shape() const {
+    Shape s(lo.size());
+    for (std::size_t d = 0; d < lo.size(); ++d) {
+      s[d] = hi[d] > lo[d] ? hi[d] - lo[d] : 0;
+    }
+    return s;
+  }
+
+  [[nodiscard]] std::uint64_t volume() const {
+    if (empty()) return 0;
+    return checked_product(shape());
+  }
+
+  [[nodiscard]] bool contains(std::span<const std::uint64_t> idx) const {
+    DRX_CHECK(idx.size() == lo.size());
+    for (std::size_t d = 0; d < lo.size(); ++d) {
+      if (idx[d] < lo[d] || idx[d] >= hi[d]) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] Box intersect(const Box& other) const {
+    DRX_CHECK(other.rank() == rank());
+    Box out{lo, hi};
+    for (std::size_t d = 0; d < lo.size(); ++d) {
+      out.lo[d] = std::max(lo[d], other.lo[d]);
+      out.hi[d] = std::min(hi[d], other.hi[d]);
+      if (out.hi[d] < out.lo[d]) out.hi[d] = out.lo[d];
+    }
+    return out;
+  }
+
+  friend bool operator==(const Box&, const Box&) = default;
+};
+
+/// Calls `fn(idx)` for every index of the box in row-major order.
+template <typename Fn>
+void for_each_index(const Box& box, Fn&& fn) {
+  if (box.empty()) return;
+  Index idx = box.lo;
+  for (;;) {
+    fn(static_cast<const Index&>(idx));
+    std::size_t d = idx.size();
+    for (;;) {
+      if (d == 0) return;
+      --d;
+      if (++idx[d] < box.hi[d]) break;
+      idx[d] = box.lo[d];
+    }
+  }
+}
+
+}  // namespace drx::core

@@ -1,0 +1,244 @@
+#include "core/drx_file.hpp"
+
+#include <cstring>
+
+#include "core/scatter.hpp"
+
+namespace drx::core {
+
+Result<DrxFile> DrxFile::create(std::unique_ptr<pfs::Storage> meta_storage,
+                                std::unique_ptr<pfs::Storage> data_storage,
+                                Shape element_bounds, Shape chunk_shape,
+                                const Options& options) {
+  if (element_bounds.size() != chunk_shape.size() || element_bounds.empty()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "element bounds and chunk shape must have equal rank >= 1");
+  }
+  for (std::uint64_t c : chunk_shape) {
+    if (c == 0) {
+      return Status(ErrorCode::kInvalidArgument, "zero chunk extent");
+    }
+  }
+  Metadata meta(options.dtype, options.in_chunk_order,
+                std::move(element_bounds), std::move(chunk_shape));
+  DrxFile file(std::move(meta_storage), std::move(data_storage),
+               std::move(meta));
+  // Zero-initialize the initial allocation so every allocated chunk is
+  // readable immediately.
+  DRX_RETURN_IF_ERROR(file.data_->truncate(0));
+  const std::uint64_t bytes = file.meta_.data_file_bytes();
+  if (bytes > 0) {
+    std::vector<std::byte> zeros(checked_size(file.meta_.chunk_bytes()),
+                                 std::byte{0});
+    for (std::uint64_t q = 0; q < file.meta_.mapping.total_chunks(); ++q) {
+      DRX_RETURN_IF_ERROR(
+          file.data_->write_at(q * file.meta_.chunk_bytes(), zeros));
+    }
+  }
+  DRX_RETURN_IF_ERROR(file.flush());
+  return file;
+}
+
+Result<DrxFile> DrxFile::open(std::unique_ptr<pfs::Storage> meta_storage,
+                              std::unique_ptr<pfs::Storage> data_storage) {
+  std::vector<std::byte> image(
+      checked_size(meta_storage->size()));
+  DRX_RETURN_IF_ERROR(meta_storage->read_at(0, image));
+  DRX_ASSIGN_OR_RETURN(Metadata meta, Metadata::from_bytes(image));
+  if (data_storage->size() < meta.data_file_bytes()) {
+    return Status(ErrorCode::kCorrupt,
+                  ".xta smaller than the metadata requires");
+  }
+  return DrxFile(std::move(meta_storage), std::move(data_storage),
+                 std::move(meta));
+}
+
+Result<DrxFile> DrxFile::create_posix(const std::string& name,
+                                      Shape element_bounds, Shape chunk_shape,
+                                      const Options& options) {
+  DRX_ASSIGN_OR_RETURN(auto meta_storage,
+                       pfs::PosixStorage::open(name + ".xmd"));
+  DRX_ASSIGN_OR_RETURN(auto data_storage,
+                       pfs::PosixStorage::open(name + ".xta"));
+  return create(std::move(meta_storage), std::move(data_storage),
+                std::move(element_bounds), std::move(chunk_shape), options);
+}
+
+Result<DrxFile> DrxFile::open_posix(const std::string& name) {
+  DRX_ASSIGN_OR_RETURN(auto meta_storage,
+                       pfs::PosixStorage::open(name + ".xmd"));
+  DRX_ASSIGN_OR_RETURN(auto data_storage,
+                       pfs::PosixStorage::open(name + ".xta"));
+  return open(std::move(meta_storage), std::move(data_storage));
+}
+
+Status DrxFile::flush() {
+  const std::vector<std::byte> image = meta_.to_bytes();
+  DRX_RETURN_IF_ERROR(meta_store_->write_at(0, image));
+  DRX_RETURN_IF_ERROR(meta_store_->flush());
+  return data_->flush();
+}
+
+Status DrxFile::extend(std::size_t dim, std::uint64_t delta) {
+  if (dim >= rank()) {
+    return Status(ErrorCode::kInvalidArgument, "dimension out of range");
+  }
+  if (delta == 0) return Status::ok();
+
+  meta_.element_bounds[dim] = checked_add(meta_.element_bounds[dim], delta);
+  const Shape needed = chunk_space_.chunk_bounds_for(meta_.element_bounds);
+  if (needed[dim] > meta_.mapping.bounds()[dim]) {
+    const std::uint64_t grow = needed[dim] - meta_.mapping.bounds()[dim];
+    const std::uint64_t first = meta_.mapping.extend(dim, grow);
+    // Zero-fill the appended segment (it is physically contiguous: new
+    // chunks always append to the file).
+    const std::uint64_t chunk_sz = meta_.chunk_bytes();
+    std::vector<std::byte> zeros(checked_size(chunk_sz), std::byte{0});
+    for (std::uint64_t q = first; q < meta_.mapping.total_chunks(); ++q) {
+      DRX_RETURN_IF_ERROR(data_->write_at(q * chunk_sz, zeros));
+    }
+  }
+  return flush();
+}
+
+Status DrxFile::check_index(std::span<const std::uint64_t> index) const {
+  if (index.size() != rank()) {
+    return Status(ErrorCode::kInvalidArgument, "index rank mismatch");
+  }
+  for (std::size_t d = 0; d < rank(); ++d) {
+    if (index[d] >= meta_.element_bounds[d]) {
+      return Status(ErrorCode::kOutOfRange, "element index out of bounds");
+    }
+  }
+  return Status::ok();
+}
+
+Status DrxFile::read_element(std::span<const std::uint64_t> index,
+                             std::span<std::byte> out) {
+  DRX_RETURN_IF_ERROR(check_index(index));
+  DRX_CHECK(out.size() == element_bytes());
+  const Index chunk = chunk_space_.chunk_of(index);
+  const std::uint64_t q = meta_.mapping.address_of(chunk);
+  const std::uint64_t off = chunk_space_.offset_in_chunk(index);
+  return data_->read_at(
+      checked_add(checked_mul(q, meta_.chunk_bytes()),
+                  checked_mul(off, element_bytes())),
+      out);
+}
+
+Status DrxFile::write_element(std::span<const std::uint64_t> index,
+                              std::span<const std::byte> value) {
+  DRX_RETURN_IF_ERROR(check_index(index));
+  DRX_CHECK(value.size() == element_bytes());
+  const Index chunk = chunk_space_.chunk_of(index);
+  const std::uint64_t q = meta_.mapping.address_of(chunk);
+  const std::uint64_t off = chunk_space_.offset_in_chunk(index);
+  return data_->write_at(
+      checked_add(checked_mul(q, meta_.chunk_bytes()),
+                  checked_mul(off, element_bytes())),
+      value);
+}
+
+void DrxFile::scatter_chunk(std::span<const std::byte> chunk, const Box& clip,
+                            const Box& box, MemoryOrder order,
+                            std::span<std::byte> out) const {
+  scatter_chunk_into_box(chunk_space_, element_bytes(), chunk, clip, box,
+                         order, out);
+}
+
+void DrxFile::gather_chunk(std::span<std::byte> chunk, const Box& clip,
+                           const Box& box, MemoryOrder order,
+                           std::span<const std::byte> in) const {
+  gather_box_into_chunk(chunk_space_, element_bytes(), chunk, clip, box,
+                        order, in);
+}
+
+Status DrxFile::read_box(const Box& box, MemoryOrder order,
+                         std::span<std::byte> out) {
+  if (box.rank() != rank()) {
+    return Status(ErrorCode::kInvalidArgument, "box rank mismatch");
+  }
+  for (std::size_t d = 0; d < rank(); ++d) {
+    if (box.hi[d] > meta_.element_bounds[d]) {
+      return Status(ErrorCode::kOutOfRange, "box exceeds array bounds");
+    }
+  }
+  DRX_CHECK(out.size() == checked_mul(box.volume(), element_bytes()));
+  if (box.empty()) return Status::ok();
+
+  std::vector<std::byte> chunk_buf(checked_size(meta_.chunk_bytes()));
+  const Box chunk_range = chunk_space_.covering_chunks(box);
+  Status status;
+  for_each_index(chunk_range, [&](const Index& cidx) {
+    if (!status.is_ok()) return;
+    const std::uint64_t q = meta_.mapping.address_of(cidx);
+    status = read_chunk(q, chunk_buf);
+    if (!status.is_ok()) return;
+    const Box clip = chunk_space_.chunk_box(cidx).intersect(box);
+    scatter_chunk(chunk_buf, clip, box, order, out);
+  });
+  return status;
+}
+
+Status DrxFile::write_box(const Box& box, MemoryOrder order,
+                          std::span<const std::byte> in) {
+  if (box.rank() != rank()) {
+    return Status(ErrorCode::kInvalidArgument, "box rank mismatch");
+  }
+  for (std::size_t d = 0; d < rank(); ++d) {
+    if (box.hi[d] > meta_.element_bounds[d]) {
+      return Status(ErrorCode::kOutOfRange, "box exceeds array bounds");
+    }
+  }
+  DRX_CHECK(in.size() == checked_mul(box.volume(), element_bytes()));
+  if (box.empty()) return Status::ok();
+
+  std::vector<std::byte> chunk_buf(checked_size(meta_.chunk_bytes()));
+  const Box chunk_range = chunk_space_.covering_chunks(box);
+  Status status;
+  for_each_index(chunk_range, [&](const Index& cidx) {
+    if (!status.is_ok()) return;
+    const std::uint64_t q = meta_.mapping.address_of(cidx);
+    const Box chunk_box = chunk_space_.chunk_box(cidx);
+    const Box clip = chunk_box.intersect(box);
+    // Read-modify-write unless the chunk is fully covered by the box.
+    if (clip == chunk_box) {
+      std::memset(chunk_buf.data(), 0, chunk_buf.size());
+    } else {
+      status = read_chunk(q, chunk_buf);
+      if (!status.is_ok()) return;
+    }
+    gather_chunk(chunk_buf, clip, box, order, in);
+    status = write_chunk(q, chunk_buf);
+  });
+  return status;
+}
+
+Status DrxFile::scan_read_all(MemoryOrder order, std::span<std::byte> out) {
+  const Box full{Index(rank(), 0), meta_.element_bounds};
+  DRX_CHECK(out.size() == checked_mul(full.volume(), element_bytes()));
+  std::vector<std::byte> chunk_buf(checked_size(meta_.chunk_bytes()));
+  // One strictly sequential pass over the .xta file; F*^-1 recovers each
+  // chunk's grid coordinates for placement.
+  for (std::uint64_t q = 0; q < meta_.mapping.total_chunks(); ++q) {
+    DRX_RETURN_IF_ERROR(read_chunk(q, chunk_buf));
+    const Index cidx = meta_.mapping.index_of(q);
+    const Box clip = chunk_space_.chunk_box(cidx).intersect(full);
+    if (clip.empty()) continue;  // chunk entirely in the slack region
+    scatter_chunk(chunk_buf, clip, full, order, out);
+  }
+  return Status::ok();
+}
+
+Status DrxFile::read_chunk(std::uint64_t address, std::span<std::byte> out) {
+  DRX_CHECK(out.size() == meta_.chunk_bytes());
+  return data_->read_at(checked_mul(address, meta_.chunk_bytes()), out);
+}
+
+Status DrxFile::write_chunk(std::uint64_t address,
+                            std::span<const std::byte> in) {
+  DRX_CHECK(in.size() == meta_.chunk_bytes());
+  return data_->write_at(checked_mul(address, meta_.chunk_bytes()), in);
+}
+
+}  // namespace drx::core

@@ -1,0 +1,146 @@
+// DRX: the serial disk-resident extendible array library (paper Sec. I,
+// IV). An array named `xyz` is a pair of files — `xyz.xmd` (metadata) and
+// `xyz.xta` (chunk data) — on any byte-addressable storage (POSIX file,
+// in-memory simulator, or a PFS file).
+//
+// Supported operations: create/open/flush, extend along any dimension
+// (appending segments, never reorganizing), element get/set, rectilinear
+// box read/write in either C or FORTRAN memory order (transposition
+// happens on the fly during scatter/gather — never out-of-core), and a
+// sequential whole-file scan read driven by the inverse mapping F*^-1.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "core/metadata.hpp"
+#include "pfs/storage.hpp"
+
+namespace drx::core {
+
+class DrxFile {
+ public:
+  struct Options {
+    ElementType dtype = ElementType::kDouble;
+    MemoryOrder in_chunk_order = MemoryOrder::kRowMajor;
+  };
+
+  /// Creates a fresh array over the given storage pair. `element_bounds`
+  /// are the initial bounds (>= 1 chunk per dimension is allocated even
+  /// for zero bounds); all chunks are zero-initialized.
+  static Result<DrxFile> create(std::unique_ptr<pfs::Storage> meta_storage,
+                                std::unique_ptr<pfs::Storage> data_storage,
+                                Shape element_bounds, Shape chunk_shape,
+                                const Options& options);
+
+  /// Opens an existing array; validates the .xmd image.
+  static Result<DrxFile> open(std::unique_ptr<pfs::Storage> meta_storage,
+                              std::unique_ptr<pfs::Storage> data_storage);
+
+  /// POSIX convenience: `<name>.xmd` / `<name>.xta` on the host FS.
+  static Result<DrxFile> create_posix(const std::string& name,
+                                      Shape element_bounds, Shape chunk_shape,
+                                      const Options& options);
+  static Result<DrxFile> open_posix(const std::string& name);
+
+  [[nodiscard]] const Metadata& metadata() const noexcept { return meta_; }
+  [[nodiscard]] std::size_t rank() const noexcept { return meta_.rank(); }
+  [[nodiscard]] const Shape& bounds() const noexcept {
+    return meta_.element_bounds;
+  }
+  [[nodiscard]] ElementType dtype() const noexcept { return meta_.dtype; }
+  [[nodiscard]] std::uint64_t element_bytes() const noexcept {
+    return meta_.element_bytes();
+  }
+
+  /// Extends dimension `dim` by `delta` element indices (paper Sec. II-A:
+  /// which dimension and when is the application's choice). Appends zeroed
+  /// segments as needed; existing data never moves. Metadata is persisted
+  /// immediately.
+  Status extend(std::size_t dim, std::uint64_t delta);
+
+  // ---- element access ---------------------------------------------------
+
+  Status read_element(std::span<const std::uint64_t> index,
+                      std::span<std::byte> out);
+  Status write_element(std::span<const std::uint64_t> index,
+                       std::span<const std::byte> value);
+
+  template <typename T>
+  Result<T> get(std::span<const std::uint64_t> index) {
+    DRX_CHECK(ElementTypeOf<T>::value == meta_.dtype);
+    T v{};
+    DRX_RETURN_IF_ERROR(read_element(
+        index, std::as_writable_bytes(std::span<T>(&v, 1))));
+    return v;
+  }
+
+  template <typename T>
+  Status set(std::span<const std::uint64_t> index, const T& v) {
+    DRX_CHECK(ElementTypeOf<T>::value == meta_.dtype);
+    return write_element(index, std::as_bytes(std::span<const T>(&v, 1)));
+  }
+
+  // ---- box (sub-array) access -------------------------------------------
+
+  /// Reads element box [box.lo, box.hi) into `out`, linearized in `order`
+  /// (the on-the-fly transposition of paper Sec. I). `out` must hold
+  /// box.volume() * element_bytes() bytes.
+  Status read_box(const Box& box, MemoryOrder order, std::span<std::byte> out);
+
+  /// Writes `in` (linearized in `order`) into element box [box.lo, box.hi).
+  Status write_box(const Box& box, MemoryOrder order,
+                   std::span<const std::byte> in);
+
+  /// Reads the entire array by one sequential pass over the .xta file,
+  /// placing elements via F*^-1 (paper Sec. II-A: "independent I/O of
+  /// sub-array regions are done as sequential scan of the chunks on
+  /// disk"). `out` must hold the full array in `order`.
+  Status scan_read_all(MemoryOrder order, std::span<std::byte> out);
+
+  // ---- chunk-level access (used by DRX-MP and the benches) --------------
+
+  [[nodiscard]] std::uint64_t chunk_address(
+      std::span<const std::uint64_t> chunk_index) const {
+    return meta_.mapping.address_of(chunk_index);
+  }
+  [[nodiscard]] std::uint64_t chunk_bytes() const {
+    return meta_.chunk_bytes();
+  }
+  Status read_chunk(std::uint64_t address, std::span<std::byte> out);
+  Status write_chunk(std::uint64_t address, std::span<const std::byte> in);
+
+  /// Persists metadata (also called by extend/create).
+  Status flush();
+
+  [[nodiscard]] pfs::Storage& data_storage() noexcept { return *data_; }
+  [[nodiscard]] pfs::Storage& meta_storage() noexcept { return *meta_store_; }
+
+ private:
+  DrxFile(std::unique_ptr<pfs::Storage> meta_storage,
+          std::unique_ptr<pfs::Storage> data_storage, Metadata meta)
+      : meta_store_(std::move(meta_storage)),
+        data_(std::move(data_storage)),
+        meta_(std::move(meta)),
+        chunk_space_(meta_.chunk_space()) {}
+
+  Status check_index(std::span<const std::uint64_t> index) const;
+
+  /// Scatter/gather between a chunk buffer and a box-linearized user
+  /// buffer for the element range `clip` (which lies inside one chunk).
+  void scatter_chunk(std::span<const std::byte> chunk, const Box& clip,
+                     const Box& box, MemoryOrder order,
+                     std::span<std::byte> out) const;
+  void gather_chunk(std::span<std::byte> chunk, const Box& clip,
+                    const Box& box, MemoryOrder order,
+                    std::span<const std::byte> in) const;
+
+  std::unique_ptr<pfs::Storage> meta_store_;
+  std::unique_ptr<pfs::Storage> data_;
+  Metadata meta_;
+  ChunkSpace chunk_space_;
+};
+
+}  // namespace drx::core

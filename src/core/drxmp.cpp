@@ -1,0 +1,408 @@
+#include "core/drxmp.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+namespace drx::core {
+
+namespace {
+std::string meta_name(const std::string& name) { return name + ".xmd"; }
+std::string data_name(const std::string& name) { return name + ".xta"; }
+}  // namespace
+
+Result<DrxMpFile> DrxMpFile::create(simpi::Comm& comm, pfs::Pfs& fs,
+                                    const std::string& name,
+                                    Shape element_bounds, Shape chunk_shape,
+                                    const DrxFile::Options& options) {
+  if (element_bounds.size() != chunk_shape.size() || element_bounds.empty()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "element bounds and chunk shape must have equal rank >= 1");
+  }
+  Metadata meta(options.dtype, options.in_chunk_order,
+                std::move(element_bounds), std::move(chunk_shape));
+
+  // Rank 0 creates the metadata file; all ranks open the data file
+  // collectively through MPI-IO.
+  std::uint8_t ok = 1;
+  if (comm.rank() == 0) {
+    auto created = fs.create(meta_name(name), /*overwrite=*/true);
+    if (!created.is_ok()) {
+      ok = 0;
+    } else {
+      const std::vector<std::byte> image = meta.to_bytes();
+      if (!created.value().write_at(0, image).is_ok()) ok = 0;
+    }
+  }
+  comm.bcast_value(ok, 0);
+  if (ok == 0) {
+    return Status(ErrorCode::kIoError, "metadata creation failed");
+  }
+
+  auto data = mpio::File::open(comm, fs, data_name(name),
+                               mpio::kModeRdWr | mpio::kModeCreate);
+  if (!data.is_ok()) return data.status();
+  DrxMpFile file(comm, fs, name, std::move(meta), std::move(data).value());
+  // The initial allocation reads back as zeros: grow the file (the PFS
+  // zero-fills) collectively.
+  DRX_RETURN_IF_ERROR(file.data_.set_size(file.meta_.data_file_bytes()));
+  return file;
+}
+
+Result<DrxMpFile> DrxMpFile::open(simpi::Comm& comm, pfs::Pfs& fs,
+                                  const std::string& name) {
+  // Rank 0 reads the .xmd image and replicates it to every process
+  // (paper Sec. IV-A: "When a file is opened, the content of the meta-data
+  // file is replicated in all participating processes").
+  std::vector<std::byte> image;
+  std::uint8_t ok = 1;
+  if (comm.rank() == 0) {
+    auto handle = fs.open(meta_name(name));
+    if (!handle.is_ok()) {
+      ok = 0;
+    } else {
+      image.resize(checked_size(handle.value().size()));
+      if (!handle.value().read_at(0, image).is_ok()) ok = 0;
+    }
+  }
+  comm.bcast_value(ok, 0);
+  if (ok == 0) {
+    return Status(ErrorCode::kNotFound, "cannot read metadata: " + name);
+  }
+  comm.bcast_vector(image, 0);
+  DRX_ASSIGN_OR_RETURN(Metadata meta, Metadata::from_bytes(image));
+
+  auto data = mpio::File::open(comm, fs, data_name(name), mpio::kModeRdWr);
+  if (!data.is_ok()) return data.status();
+  if (data.value().get_size() < meta.data_file_bytes()) {
+    return Status(ErrorCode::kCorrupt, ".xta smaller than metadata requires");
+  }
+  return DrxMpFile(comm, fs, name, std::move(meta), std::move(data).value());
+}
+
+Status DrxMpFile::close() {
+  DRX_RETURN_IF_ERROR(flush_metadata());
+  return data_.close();
+}
+
+Status DrxMpFile::flush_metadata() {
+  comm_->barrier();
+  std::uint8_t ok = 1;
+  if (comm_->rank() == 0) {
+    auto handle = fs_->open(meta_name(name_));
+    if (!handle.is_ok()) {
+      ok = 0;
+    } else {
+      const std::vector<std::byte> image = meta_.to_bytes();
+      if (!handle.value().truncate(0).is_ok() ||
+          !handle.value().write_at(0, image).is_ok()) {
+        ok = 0;
+      }
+    }
+  }
+  comm_->bcast_value(ok, 0);
+  if (ok == 0) {
+    return Status(ErrorCode::kIoError, "metadata flush failed");
+  }
+  return Status::ok();
+}
+
+Box DrxMpFile::zone_element_box(const Distribution& dist, int proc) const {
+  const std::vector<Box> zones = dist.zones_of(proc);
+  Box out{Index(rank(), 0), Index(rank(), 0)};
+  if (zones.empty()) return out;
+  DRX_CHECK_MSG(zones.size() == 1,
+                "zone_element_box requires a BLOCK distribution");
+  const Box& z = zones.front();
+  for (std::size_t d = 0; d < rank(); ++d) {
+    out.lo[d] = checked_mul(z.lo[d], meta_.chunk_shape[d]);
+    out.hi[d] = std::min(checked_mul(z.hi[d], meta_.chunk_shape[d]),
+                         meta_.element_bounds[d]);
+    out.lo[d] = std::min(out.lo[d], out.hi[d]);
+  }
+  return out;
+}
+
+Status DrxMpFile::transfer_chunks(std::span<const Index> chunks,
+                                  void* staging, bool collective,
+                                  bool writing) {
+  const std::uint64_t cb = chunk_bytes();
+  const std::size_t n = chunks.size();
+
+  // Sort by linear address: the file view must be monotonic, and ascending
+  // address order is what makes zone I/O a near-sequential disk scan
+  // (paper Sec. II-A).
+  std::vector<std::uint64_t> addresses(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    addresses[i] = meta_.mapping.address_of(chunks[i]);
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return addresses[a] < addresses[b];
+  });
+
+  std::vector<std::uint64_t> ones(n, 1);
+  std::vector<std::uint64_t> file_displs(n);
+  std::vector<std::uint64_t> mem_displs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    file_displs[i] = checked_mul(addresses[order[i]], cb);
+    mem_displs[i] = checked_mul(order[i], cb);
+  }
+  const simpi::Datatype chunk_type = simpi::Datatype::bytes(cb);
+  const simpi::Datatype filetype =
+      n == 0 ? simpi::Datatype::bytes(0)
+             : simpi::Datatype::hindexed(ones, file_displs, chunk_type);
+  const simpi::Datatype memtype =
+      n == 0 ? simpi::Datatype::bytes(0)
+             : simpi::Datatype::hindexed(ones, mem_displs, chunk_type);
+
+  // With zero chunks a rank still participates in collective calls.
+  data_.set_view(0, simpi::Datatype::bytes(1),
+                 n == 0 ? simpi::Datatype::bytes(1) : filetype);
+  const std::uint64_t count = n == 0 ? 0 : 1;
+  if (writing) {
+    return collective ? data_.write_at_all(0, staging, count, memtype)
+                      : data_.write_at(0, staging, count, memtype);
+  }
+  return collective ? data_.read_at_all(0, staging, count, memtype)
+                    : data_.read_at(0, staging, count, memtype);
+}
+
+Status DrxMpFile::read_chunks(std::span<const Index> chunks,
+                              std::span<std::byte> staging, bool collective) {
+  DRX_CHECK(staging.size() ==
+            checked_mul(chunks.size(), chunk_bytes()));
+  return transfer_chunks(chunks, staging.data(), collective,
+                         /*writing=*/false);
+}
+
+Status DrxMpFile::write_chunks(std::span<const Index> chunks,
+                               std::span<const std::byte> staging,
+                               bool collective) {
+  DRX_CHECK(staging.size() ==
+            checked_mul(chunks.size(), chunk_bytes()));
+  return transfer_chunks(chunks, const_cast<std::byte*>(staging.data()),
+                         collective, /*writing=*/true);
+}
+
+Status DrxMpFile::read_my_zone(const Distribution& dist, MemoryOrder order,
+                               std::span<std::byte> out, bool collective) {
+  const Box box = zone_element_box(dist, comm_->rank());
+  DRX_CHECK(out.size() == checked_mul(box.volume(), meta_.element_bytes()));
+
+  std::vector<Index> chunks;
+  for (const Box& z : dist.zones_of(comm_->rank())) {
+    for_each_index(z, [&](const Index& c) { chunks.push_back(c); });
+  }
+  std::vector<std::byte> staging(
+      checked_size(checked_mul(chunks.size(), chunk_bytes())));
+  DRX_RETURN_IF_ERROR(read_chunks(chunks, staging, collective));
+
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const Box clip = chunk_space_.chunk_box(chunks[i]).intersect(box);
+    if (clip.empty()) continue;
+    scatter_chunk_into_box(
+        chunk_space_, meta_.element_bytes(),
+        std::span<const std::byte>(staging).subspan(
+            checked_size(checked_mul(i, chunk_bytes())),
+            checked_size(chunk_bytes())),
+        clip, box, order, out);
+  }
+  return Status::ok();
+}
+
+Status DrxMpFile::write_my_zone(const Distribution& dist, MemoryOrder order,
+                                std::span<const std::byte> in,
+                                bool collective) {
+  const Box box = zone_element_box(dist, comm_->rank());
+  DRX_CHECK(in.size() == checked_mul(box.volume(), meta_.element_bytes()));
+
+  std::vector<Index> chunks;
+  for (const Box& z : dist.zones_of(comm_->rank())) {
+    for_each_index(z, [&](const Index& c) { chunks.push_back(c); });
+  }
+  std::vector<std::byte> staging(
+      checked_size(checked_mul(chunks.size(), chunk_bytes())), std::byte{0});
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const Box clip = chunk_space_.chunk_box(chunks[i]).intersect(box);
+    if (clip.empty()) continue;
+    gather_box_into_chunk(
+        chunk_space_, meta_.element_bytes(),
+        std::span<std::byte>(staging).subspan(
+            checked_size(checked_mul(i, chunk_bytes())),
+            checked_size(chunk_bytes())),
+        clip, box, order, in);
+  }
+  return write_chunks(chunks, staging, collective);
+}
+
+Status DrxMpFile::read_box_all(const Box& box, MemoryOrder order,
+                               std::span<std::byte> out) {
+  return read_box_impl(box, order, out, /*collective=*/true);
+}
+
+Status DrxMpFile::read_box_independent(const Box& box, MemoryOrder order,
+                                       std::span<std::byte> out) {
+  return read_box_impl(box, order, out, /*collective=*/false);
+}
+
+Status DrxMpFile::read_box_impl(const Box& box, MemoryOrder order,
+                                std::span<std::byte> out, bool collective) {
+  DRX_CHECK(box.rank() == rank());
+  DRX_CHECK(out.size() == checked_mul(box.volume(), meta_.element_bytes()));
+  for (std::size_t d = 0; d < rank(); ++d) {
+    if (!box.empty() && box.hi[d] > meta_.element_bounds[d]) {
+      return Status(ErrorCode::kOutOfRange, "box exceeds array bounds");
+    }
+  }
+
+  std::vector<Index> chunks;
+  if (!box.empty()) {
+    for_each_index(chunk_space_.covering_chunks(box),
+                   [&](const Index& c) { chunks.push_back(c); });
+  }
+  std::vector<std::byte> staging(
+      checked_size(checked_mul(chunks.size(), chunk_bytes())));
+  DRX_RETURN_IF_ERROR(read_chunks(chunks, staging, collective));
+
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const Box clip = chunk_space_.chunk_box(chunks[i]).intersect(box);
+    if (clip.empty()) continue;
+    scatter_chunk_into_box(
+        chunk_space_, meta_.element_bytes(),
+        std::span<const std::byte>(staging).subspan(
+            checked_size(checked_mul(i, chunk_bytes())),
+            checked_size(chunk_bytes())),
+        clip, box, order, out);
+  }
+  return Status::ok();
+}
+
+Status DrxMpFile::write_box_all(const Box& box, MemoryOrder order,
+                                std::span<const std::byte> in) {
+  return write_box_impl(box, order, in, /*collective=*/true);
+}
+
+Status DrxMpFile::write_box_independent(const Box& box, MemoryOrder order,
+                                        std::span<const std::byte> in) {
+  return write_box_impl(box, order, in, /*collective=*/false);
+}
+
+Status DrxMpFile::write_box_impl(const Box& box, MemoryOrder order,
+                                 std::span<const std::byte> in,
+                                 bool collective) {
+  DRX_CHECK(box.rank() == rank());
+  DRX_CHECK(in.size() == checked_mul(box.volume(), meta_.element_bytes()));
+  for (std::size_t d = 0; d < rank(); ++d) {
+    if (!box.empty() && box.hi[d] > meta_.element_bounds[d]) {
+      return Status(ErrorCode::kOutOfRange, "box exceeds array bounds");
+    }
+  }
+
+  std::vector<Index> chunks;
+  if (!box.empty()) {
+    for_each_index(chunk_space_.covering_chunks(box),
+                   [&](const Index& c) { chunks.push_back(c); });
+  }
+  std::vector<std::byte> staging(
+      checked_size(checked_mul(chunks.size(), chunk_bytes())), std::byte{0});
+
+  // Boundary chunks not fully covered by the box (nor by the slack beyond
+  // the array bounds) must be read-modify-written. The read is independent:
+  // different ranks have different RMW sets, so it cannot be collective.
+  const Box live{Index(rank(), 0), meta_.element_bounds};
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const Box cbox = chunk_space_.chunk_box(chunks[i]);
+    const Box covered = cbox.intersect(box);
+    const Box alive = cbox.intersect(live);
+    const bool fully_covered = covered == alive;
+    auto slot = std::span<std::byte>(staging).subspan(
+        checked_size(checked_mul(i, chunk_bytes())),
+        checked_size(chunk_bytes()));
+    if (!fully_covered) {
+      Index single[] = {chunks[i]};
+      DRX_RETURN_IF_ERROR(
+          read_chunks(std::span<const Index>(single, 1), slot,
+                      /*collective=*/false));
+    }
+    gather_box_into_chunk(chunk_space_, meta_.element_bytes(), slot, covered,
+                          box, order, in);
+  }
+  return write_chunks(chunks, staging, collective);
+}
+
+Status DrxMpFile::extend_all(std::size_t dim, std::uint64_t delta) {
+  if (dim >= rank()) {
+    return Status(ErrorCode::kInvalidArgument, "dimension out of range");
+  }
+  comm_->barrier();
+  if (delta > 0) {
+    // Deterministic, identical update on every rank keeps the replicated
+    // metadata consistent without communication.
+    meta_.element_bounds[dim] = checked_add(meta_.element_bounds[dim], delta);
+    const Shape needed =
+        chunk_space_.chunk_bounds_for(meta_.element_bounds);
+    if (needed[dim] > meta_.mapping.bounds()[dim]) {
+      meta_.mapping.extend(dim, needed[dim] - meta_.mapping.bounds()[dim]);
+      DRX_RETURN_IF_ERROR(data_.set_size(meta_.data_file_bytes()));
+    }
+  }
+  return flush_metadata();
+}
+
+GlobalAccessor::GlobalAccessor(simpi::Comm& comm, const Metadata& meta,
+                               const Distribution& dist, MemoryOrder order,
+                               std::span<std::byte> zone)
+    : comm_(&comm),
+      meta_(&meta),
+      dist_(dist),
+      order_(order),
+      chunk_space_(meta.chunk_space()),
+      window_(comm, zone) {
+  // Precompute every rank's clipped zone element box (identical on all
+  // ranks — derived from replicated metadata).
+  zone_boxes_.reserve(static_cast<std::size_t>(comm.size()));
+  for (int r = 0; r < comm.size(); ++r) {
+    const std::vector<Box> zones = dist_.zones_of(r);
+    Box out{Index(meta.rank(), 0), Index(meta.rank(), 0)};
+    if (!zones.empty()) {
+      DRX_CHECK_MSG(zones.size() == 1,
+                    "GlobalAccessor requires a BLOCK distribution");
+      for (std::size_t d = 0; d < meta.rank(); ++d) {
+        out.lo[d] = checked_mul(zones[0].lo[d], meta.chunk_shape[d]);
+        out.hi[d] = std::min(checked_mul(zones[0].hi[d], meta.chunk_shape[d]),
+                             meta.element_bounds[d]);
+        out.lo[d] = std::min(out.lo[d], out.hi[d]);
+      }
+    }
+    zone_boxes_.push_back(std::move(out));
+  }
+  const Box& mine = zone_boxes_[static_cast<std::size_t>(comm.rank())];
+  DRX_CHECK_MSG(zone.size() ==
+                    checked_mul(mine.volume(), meta.element_bytes()),
+                "zone buffer size does not match the zone element box");
+}
+
+int GlobalAccessor::owner_of(std::span<const std::uint64_t> element) const {
+  return dist_.owner_of(chunk_space_.chunk_of(element));
+}
+
+std::pair<int, std::uint64_t> GlobalAccessor::locate(
+    std::span<const std::uint64_t> element, std::uint64_t esize) const {
+  DRX_CHECK(esize == meta_->element_bytes());
+  for (std::size_t d = 0; d < meta_->rank(); ++d) {
+    DRX_CHECK_MSG(element[d] < meta_->element_bounds[d],
+                  "element index out of bounds");
+  }
+  const int target = owner_of(element);
+  const Box& box = zone_boxes_[static_cast<std::size_t>(target)];
+  Index rel(meta_->rank());
+  for (std::size_t d = 0; d < meta_->rank(); ++d) {
+    rel[d] = element[d] - box.lo[d];
+  }
+  const std::uint64_t linear = linearize(rel, box.shape(), order_);
+  return {target, checked_mul(linear, esize)};
+}
+
+}  // namespace drx::core

@@ -1,0 +1,210 @@
+#include "core/drxmp_api.hpp"
+
+namespace drx::core::api {
+
+namespace {
+
+ElementType to_element_type(DrxType t) {
+  switch (t) {
+    case DrxType::kInt: return ElementType::kInt32;
+    case DrxType::kDouble: return ElementType::kDouble;
+    case DrxType::kComplex: return ElementType::kComplexDouble;
+  }
+  return ElementType::kDouble;
+}
+
+Result<DrxType> to_drx_type(ElementType t) {
+  switch (t) {
+    case ElementType::kInt32: return DrxType::kInt;
+    case ElementType::kDouble: return DrxType::kDouble;
+    case ElementType::kComplexDouble: return DrxType::kComplex;
+    case ElementType::kInt64:
+      return Status(ErrorCode::kUnsupported,
+                    "int64 arrays predate the DRXType enum");
+  }
+  return Status(ErrorCode::kInternal, "unknown element type");
+}
+
+}  // namespace
+
+int Env::from_status(const Status& s) {
+  switch (s.code()) {
+    case ErrorCode::kOk: return DRXMP_SUCCESS;
+    case ErrorCode::kInvalidArgument: return DRXMP_ERR_INVALID_ARG;
+    case ErrorCode::kNotFound: return DRXMP_ERR_NO_SUCH_FILE;
+    case ErrorCode::kCorrupt: return DRXMP_ERR_CORRUPT;
+    default: return DRXMP_ERR_IO;
+  }
+}
+
+DrxMpFile* Env::lookup(DrxmpHandle handle) {
+  if (handle < 0 || static_cast<std::size_t>(handle) >= files_.size()) {
+    return nullptr;
+  }
+  return files_[static_cast<std::size_t>(handle)].get();
+}
+
+int Env::init(DrxmpHandle* handle, int kdim, const std::uint64_t* initsize,
+              const std::uint64_t* chkshape, DrxType dtype,
+              const std::string& filename) {
+  if (handle == nullptr || kdim < 1 || initsize == nullptr ||
+      chkshape == nullptr) {
+    return DRXMP_ERR_INVALID_ARG;
+  }
+  *handle = kInvalidHandle;
+  DrxFile::Options options;
+  options.dtype = to_element_type(dtype);
+  auto file = DrxMpFile::create(
+      *comm_, *fs_, filename,
+      Shape(initsize, initsize + kdim),
+      Shape(chkshape, chkshape + kdim), options);
+  if (!file.is_ok()) return from_status(file.status());
+  files_.push_back(std::make_unique<DrxMpFile>(std::move(file).value()));
+  *handle = static_cast<DrxmpHandle>(files_.size() - 1);
+  return DRXMP_SUCCESS;
+}
+
+int Env::open(DrxmpHandle* handle, const std::string& filename,
+              const std::string& mode) {
+  if (handle == nullptr || (mode != "r" && mode != "rw")) {
+    return DRXMP_ERR_INVALID_ARG;
+  }
+  *handle = kInvalidHandle;
+  auto file = DrxMpFile::open(*comm_, *fs_, filename);
+  if (!file.is_ok()) return from_status(file.status());
+  files_.push_back(std::make_unique<DrxMpFile>(std::move(file).value()));
+  *handle = static_cast<DrxmpHandle>(files_.size() - 1);
+  return DRXMP_SUCCESS;
+}
+
+int Env::close(DrxmpHandle handle) {
+  DrxMpFile* file = lookup(handle);
+  if (file == nullptr) return DRXMP_ERR_BAD_HANDLE;
+  const Status s = file->close();
+  files_[static_cast<std::size_t>(handle)].reset();
+  return from_status(s);
+}
+
+int Env::terminate() {
+  int rc = DRXMP_SUCCESS;
+  for (auto& file : files_) {
+    if (file != nullptr) {
+      const Status s = file->close();
+      if (!s.is_ok()) rc = from_status(s);
+      file.reset();
+    }
+  }
+  files_.clear();
+  return rc;
+}
+
+int Env::transfer(DrxmpHandle handle, const MemHandle& mem,
+                  DrxmpStatus* status, bool writing, bool collective) {
+  DrxMpFile* file = lookup(handle);
+  if (file == nullptr) return DRXMP_ERR_BAD_HANDLE;
+  if (mem.base == nullptr && mem.box.volume() > 0) {
+    return DRXMP_ERR_INVALID_ARG;
+  }
+  if (mem.box.rank() != file->rank()) return DRXMP_ERR_INVALID_ARG;
+
+  const std::uint64_t bytes =
+      checked_mul(mem.box.volume(), file->metadata().element_bytes());
+  Status s;
+  if (writing) {
+    const std::span<const std::byte> in(
+        static_cast<const std::byte*>(mem.base), checked_size(bytes));
+    s = collective ? file->write_box_all(mem.box, mem.order, in)
+                   : file->write_box_independent(mem.box, mem.order, in);
+  } else {
+    const std::span<std::byte> out(static_cast<std::byte*>(mem.base),
+                                   checked_size(bytes));
+    if (collective) {
+      s = file->read_box_all(mem.box, mem.order, out);
+    } else {
+      // Independent read: per-rank box read through the chunk primitive.
+      s = file->read_box_independent(mem.box, mem.order, out);
+    }
+  }
+  if (!s.is_ok()) return from_status(s);
+  if (status != nullptr) {
+    status->elements = mem.box.volume();
+    status->bytes = bytes;
+  }
+  return DRXMP_SUCCESS;
+}
+
+int Env::read(DrxmpHandle handle, const MemHandle& mem,
+              DrxmpStatus* status) {
+  return transfer(handle, mem, status, /*writing=*/false,
+                  /*collective=*/false);
+}
+
+int Env::read_all(DrxmpHandle handle, const MemHandle& mem,
+                  DrxmpStatus* status) {
+  return transfer(handle, mem, status, /*writing=*/false,
+                  /*collective=*/true);
+}
+
+int Env::write(DrxmpHandle handle, const MemHandle& mem,
+               DrxmpStatus* status) {
+  return transfer(handle, mem, status, /*writing=*/true,
+                  /*collective=*/false);
+}
+
+int Env::write_all(DrxmpHandle handle, const MemHandle& mem,
+                   DrxmpStatus* status) {
+  return transfer(handle, mem, status, /*writing=*/true,
+                  /*collective=*/true);
+}
+
+int Env::extend(DrxmpHandle handle, int dim, std::uint64_t delta) {
+  DrxMpFile* file = lookup(handle);
+  if (file == nullptr) return DRXMP_ERR_BAD_HANDLE;
+  if (dim < 0) return DRXMP_ERR_INVALID_ARG;
+  return from_status(file->extend_all(static_cast<std::size_t>(dim), delta));
+}
+
+int Env::get_rank(DrxmpHandle handle, int* out) {
+  DrxMpFile* file = lookup(handle);
+  if (file == nullptr) return DRXMP_ERR_BAD_HANDLE;
+  if (out == nullptr) return DRXMP_ERR_INVALID_ARG;
+  *out = static_cast<int>(file->rank());
+  return DRXMP_SUCCESS;
+}
+
+int Env::get_bounds(DrxmpHandle handle, std::uint64_t* out, int capacity) {
+  DrxMpFile* file = lookup(handle);
+  if (file == nullptr) return DRXMP_ERR_BAD_HANDLE;
+  if (out == nullptr || capacity < static_cast<int>(file->rank())) {
+    return DRXMP_ERR_INVALID_ARG;
+  }
+  for (std::size_t d = 0; d < file->rank(); ++d) {
+    out[d] = file->bounds()[d];
+  }
+  return DRXMP_SUCCESS;
+}
+
+int Env::get_chunk_shape(DrxmpHandle handle, std::uint64_t* out,
+                         int capacity) {
+  DrxMpFile* file = lookup(handle);
+  if (file == nullptr) return DRXMP_ERR_BAD_HANDLE;
+  if (out == nullptr || capacity < static_cast<int>(file->rank())) {
+    return DRXMP_ERR_INVALID_ARG;
+  }
+  for (std::size_t d = 0; d < file->rank(); ++d) {
+    out[d] = file->metadata().chunk_shape[d];
+  }
+  return DRXMP_SUCCESS;
+}
+
+int Env::get_type(DrxmpHandle handle, DrxType* out) {
+  DrxMpFile* file = lookup(handle);
+  if (file == nullptr) return DRXMP_ERR_BAD_HANDLE;
+  if (out == nullptr) return DRXMP_ERR_INVALID_ARG;
+  auto t = to_drx_type(file->metadata().dtype);
+  if (!t.is_ok()) return from_status(t.status());
+  *out = t.value();
+  return DRXMP_SUCCESS;
+}
+
+}  // namespace drx::core::api

@@ -1,0 +1,126 @@
+// drxmp.h-style programming interface (paper Sec. IV-C).
+//
+// The paper exposes DRX-MP through C-flavoured functions operating on
+// opaque metadata handles:
+//
+//   int DRXMP_Init(DRXMDHdl*, int kdim, size_t* initsize, int* chkshape,
+//                  DRXType dtype, DRXComm comm);
+//   int DRXMP_Open(DRXMDHdl*, char* filename, char* mode);
+//   int DRXMP_Close(DRXMDHdl);
+//   int DRXMP_Terminate();
+//   int DRXMP_Read(DRXMDHdl, DRXMDMemHdl, DRXMPStatus*);
+//   int DRXMP_Read_all(DRXMDHdl, DRXMDMemHdl, DRXMPStatus*);
+//
+// This header reproduces that interface (with C++ types where the paper
+// used raw pointers) over the DrxMpFile implementation. "All DRX-MP
+// functions must be enclosed by MPI_Init() and MPI_Finalize()" becomes:
+// all functions must run inside a simpi::run() rank body. Handles are
+// per-rank (each rank holds its own replica, as in the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/drxmp.hpp"
+
+namespace drx::core::api {
+
+/// Error codes "defined in the context of the extendible array file
+/// environment" (paper Sec. IV-C).
+enum DrxmpError : int {
+  DRXMP_SUCCESS = 0,
+  DRXMP_ERR_INVALID_ARG = -1,
+  DRXMP_ERR_NO_SUCH_FILE = -2,
+  DRXMP_ERR_IO = -3,
+  DRXMP_ERR_CORRUPT = -4,
+  DRXMP_ERR_BAD_HANDLE = -5,
+  DRXMP_ERR_NOT_INITIALIZED = -6,
+};
+
+/// DRXType of the paper: the element types RMA accumulate supports.
+enum class DrxType : std::uint8_t {
+  kInt = 0,
+  kDouble = 1,
+  kComplex = 2,
+};
+
+/// Opaque handle to the per-rank metadata replica (the paper's DRXMDHdl;
+/// "similar to the use of a FILE handle in C").
+using DrxmpHandle = std::int32_t;
+inline constexpr DrxmpHandle kInvalidHandle = -1;
+
+/// Description of a memory-resident array a transfer targets (the paper's
+/// DRXMDMemHdl): base address, element box, and in-memory order.
+struct MemHandle {
+  void* base = nullptr;
+  Box box;  ///< element box the buffer holds
+  MemoryOrder order = MemoryOrder::kRowMajor;
+};
+
+/// Transfer outcome (the paper's DRXMPStatus).
+struct DrxmpStatus {
+  std::uint64_t elements = 0;  ///< elements transferred
+  std::uint64_t bytes = 0;
+};
+
+/// The per-rank DRX-MP environment: owns every open array of this rank.
+/// One Env per rank body; mirrors the library-global state the paper's
+/// DRXMP_Terminate() tears down.
+class Env {
+ public:
+  Env(simpi::Comm& comm, pfs::Pfs& fs) : comm_(&comm), fs_(&fs) {}
+  ~Env() { (void)terminate(); }
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  /// DRXMP_Init: collective creation of a fresh principal array.
+  int init(DrxmpHandle* handle, int kdim, const std::uint64_t* initsize,
+           const std::uint64_t* chkshape, DrxType dtype,
+           const std::string& filename);
+
+  /// DRXMP_Open: collective open of an existing array. `mode` accepts
+  /// "r" or "rw" (the file must exist, per the paper).
+  int open(DrxmpHandle* handle, const std::string& filename,
+           const std::string& mode);
+
+  /// DRXMP_Close.
+  int close(DrxmpHandle handle);
+
+  /// DRXMP_Terminate: closes every open array and frees all structures.
+  int terminate();
+
+  /// DRXMP_Read / DRXMP_Read_all: read the elements of mem.box from the
+  /// principal array into mem.base (independent / collective).
+  int read(DrxmpHandle handle, const MemHandle& mem, DrxmpStatus* status);
+  int read_all(DrxmpHandle handle, const MemHandle& mem,
+               DrxmpStatus* status);
+
+  /// DRXMP_Write / DRXMP_Write_all (the paper lists reading functions as
+  /// examples "of the extensive list"; writes are symmetric).
+  int write(DrxmpHandle handle, const MemHandle& mem, DrxmpStatus* status);
+  int write_all(DrxmpHandle handle, const MemHandle& mem,
+                DrxmpStatus* status);
+
+  /// DRXMP_Extend: collective extension of one dimension.
+  int extend(DrxmpHandle handle, int dim, std::uint64_t delta);
+
+  /// Metadata field accessors (paper: "Various fields of the DRX-MP
+  /// meta-data object can be accessed ... via various meta-data
+  /// functions").
+  int get_rank(DrxmpHandle handle, int* out);
+  int get_bounds(DrxmpHandle handle, std::uint64_t* out, int capacity);
+  int get_chunk_shape(DrxmpHandle handle, std::uint64_t* out, int capacity);
+  int get_type(DrxmpHandle handle, DrxType* out);
+
+ private:
+  DrxMpFile* lookup(DrxmpHandle handle);
+  int transfer(DrxmpHandle handle, const MemHandle& mem,
+               DrxmpStatus* status, bool writing, bool collective);
+  static int from_status(const Status& s);
+
+  simpi::Comm* comm_;
+  pfs::Pfs* fs_;
+  std::vector<std::unique_ptr<DrxMpFile>> files_;  ///< index = handle
+};
+
+}  // namespace drx::core::api

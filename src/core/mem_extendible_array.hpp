@@ -1,0 +1,120 @@
+// Memory-resident extendible arrays (paper Sec. I: "DRX has the added
+// feature that the memory arrays can be maintained as either conventional
+// arrays or memory resident extendible arrays").
+//
+// The same axial-vector mapping drives an in-core array: chunks are heap
+// blocks addressed by F*, so the array grows along any dimension in O(1)
+// amortized allocations and NO element ever moves — in contrast to a
+// std::vector-of-rows style reshape. The companion realization function
+// discussion is in the authors' STDBM'06 paper ([22] in the references).
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/axial_mapping.hpp"
+#include "core/chunk_space.hpp"
+#include "core/coords.hpp"
+
+namespace drx::core {
+
+template <typename T>
+class MemExtendibleArray {
+ public:
+  /// Creates with initial element bounds; chunk shape picks the in-core
+  /// allocation granularity.
+  MemExtendibleArray(Shape element_bounds, Shape chunk_shape,
+                     MemoryOrder in_chunk_order = MemoryOrder::kRowMajor)
+      : bounds_(std::move(element_bounds)),
+        space_(std::move(chunk_shape), in_chunk_order),
+        mapping_(space_.chunk_bounds_for(bounds_)) {
+    chunks_.resize(checked_size(mapping_.total_chunks()));
+  }
+
+  [[nodiscard]] std::size_t rank() const noexcept { return bounds_.size(); }
+  [[nodiscard]] const Shape& bounds() const noexcept { return bounds_; }
+  [[nodiscard]] std::uint64_t allocated_chunks() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& c : chunks_) n += c != nullptr ? 1u : 0u;
+    return n;
+  }
+  [[nodiscard]] const AxialMapping& mapping() const noexcept {
+    return mapping_;
+  }
+
+  /// Extends dimension `dim` by `delta` element indices. Existing chunk
+  /// blocks are untouched; new grid rows get lazily-allocated slots.
+  void extend(std::size_t dim, std::uint64_t delta) {
+    DRX_CHECK(dim < rank());
+    if (delta == 0) return;
+    bounds_[dim] = checked_add(bounds_[dim], delta);
+    const Shape needed = space_.chunk_bounds_for(bounds_);
+    if (needed[dim] > mapping_.bounds()[dim]) {
+      mapping_.extend(dim, needed[dim] - mapping_.bounds()[dim]);
+      chunks_.resize(checked_size(mapping_.total_chunks()));
+    }
+  }
+
+  /// Element access; unwritten regions read as T{}.
+  [[nodiscard]] T get(std::span<const std::uint64_t> index) const {
+    check_index(index);
+    const std::uint64_t q = mapping_.address_of(space_.chunk_of(index));
+    const auto& chunk = chunks_[checked_size(q)];
+    if (chunk == nullptr) return T{};
+    return chunk[checked_size(space_.offset_in_chunk(index))];
+  }
+
+  void set(std::span<const std::uint64_t> index, const T& value) {
+    check_index(index);
+    const std::uint64_t q = mapping_.address_of(space_.chunk_of(index));
+    auto& chunk = chunks_[checked_size(q)];
+    if (chunk == nullptr) {
+      chunk = std::make_unique<T[]>(
+          checked_size(space_.elements_per_chunk()));
+      std::fill_n(chunk.get(), checked_size(space_.elements_per_chunk()),
+                  T{});
+    }
+    chunk[checked_size(space_.offset_in_chunk(index))] = value;
+  }
+
+  /// Reference access that materializes the chunk (operator[]-style).
+  T& at(std::span<const std::uint64_t> index) {
+    check_index(index);
+    const std::uint64_t q = mapping_.address_of(space_.chunk_of(index));
+    auto& chunk = chunks_[checked_size(q)];
+    if (chunk == nullptr) {
+      chunk = std::make_unique<T[]>(
+          checked_size(space_.elements_per_chunk()));
+      std::fill_n(chunk.get(), checked_size(space_.elements_per_chunk()),
+                  T{});
+    }
+    return chunk[checked_size(space_.offset_in_chunk(index))];
+  }
+
+  /// Dense copy-out of a box in the requested order.
+  void read_box(const Box& box, MemoryOrder order, std::span<T> out) const {
+    DRX_CHECK(out.size() == box.volume());
+    const Shape shape = box.shape();
+    Index rel(rank());
+    for_each_index(box, [&](const Index& idx) {
+      for (std::size_t d = 0; d < rank(); ++d) rel[d] = idx[d] - box.lo[d];
+      out[checked_size(linearize(rel, shape, order))] = get(idx);
+    });
+  }
+
+ private:
+  void check_index(std::span<const std::uint64_t> index) const {
+    DRX_CHECK(index.size() == rank());
+    for (std::size_t d = 0; d < rank(); ++d) {
+      DRX_CHECK_MSG(index[d] < bounds_[d], "element index out of bounds");
+    }
+  }
+
+  Shape bounds_;
+  ChunkSpace space_;
+  AxialMapping mapping_;
+  std::vector<std::unique_ptr<T[]>> chunks_;  ///< indexed by F* address
+};
+
+}  // namespace drx::core

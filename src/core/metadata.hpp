@@ -1,0 +1,58 @@
+// The .xmd metadata of a DRX extendible array file (paper Sec. IV-A).
+//
+// Holds everything a process needs to compute any chunk address locally:
+// rank, element type, chunk shape, instantaneous element bounds, the
+// in-chunk layout order, and the full axial-vector state. On open, this
+// structure is replicated into every participating process.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/axial_mapping.hpp"
+#include "core/chunk_space.hpp"
+#include "core/types.hpp"
+#include "util/serde.hpp"
+
+namespace drx::core {
+
+struct Metadata {
+  static constexpr std::uint32_t kMagic = 0x44525831;  // "DRX1"
+  static constexpr std::uint32_t kVersion = 1;
+
+  ElementType dtype = ElementType::kDouble;
+  MemoryOrder in_chunk_order = MemoryOrder::kRowMajor;
+  Shape element_bounds;  ///< instantaneous N_0 .. N_{k-1}
+  Shape chunk_shape;     ///< c_0 .. c_{k-1}
+  AxialMapping mapping;  ///< chunk-grid axial-vector state
+
+  Metadata() : mapping(Shape{1}) {}
+  Metadata(ElementType t, MemoryOrder order, Shape elem_bounds,
+           Shape chunk_shape_in);
+
+  [[nodiscard]] std::size_t rank() const noexcept {
+    return element_bounds.size();
+  }
+  [[nodiscard]] std::uint64_t element_bytes() const noexcept {
+    return element_size(dtype);
+  }
+  [[nodiscard]] ChunkSpace chunk_space() const {
+    return ChunkSpace(chunk_shape, in_chunk_order);
+  }
+  [[nodiscard]] std::uint64_t chunk_bytes() const {
+    return checked_mul(checked_product(chunk_shape), element_bytes());
+  }
+  /// Size the .xta file must have to hold all allocated chunks.
+  [[nodiscard]] std::uint64_t data_file_bytes() const {
+    return checked_mul(mapping.total_chunks(), chunk_bytes());
+  }
+
+  /// Full serialized .xmd image (magic + version + payload + checksum).
+  [[nodiscard]] std::vector<std::byte> to_bytes() const;
+  static Result<Metadata> from_bytes(std::span<const std::byte> data);
+
+  friend bool operator==(const Metadata&, const Metadata&) = default;
+};
+
+}  // namespace drx::core

@@ -1,0 +1,50 @@
+// Element scatter/gather between chunk buffers and box-linearized user
+// buffers — the "on the fly" transposition of paper Sec. I: elements are
+// placed into the requested memory order as chunks stream through memory,
+// so no out-of-core transposition is ever needed.
+#pragma once
+
+#include <cstring>
+#include <span>
+
+#include "core/chunk_space.hpp"
+#include "core/coords.hpp"
+
+namespace drx::core {
+
+/// Copies the elements of `clip` (a box inside the chunk that `chunk`
+/// buffers) into `out`, which holds box `box` linearized in `order`.
+inline void scatter_chunk_into_box(const ChunkSpace& cs, std::uint64_t esize,
+                                   std::span<const std::byte> chunk,
+                                   const Box& clip, const Box& box,
+                                   MemoryOrder order,
+                                   std::span<std::byte> out) {
+  const Shape box_shape = box.shape();
+  Index rel(cs.rank());
+  for_each_index(clip, [&](const Index& idx) {
+    const std::uint64_t src = cs.offset_in_chunk(idx);
+    for (std::size_t d = 0; d < cs.rank(); ++d) rel[d] = idx[d] - box.lo[d];
+    const std::uint64_t dst = linearize(rel, box_shape, order);
+    std::memcpy(out.data() + dst * esize, chunk.data() + src * esize,
+                checked_size(esize));
+  });
+}
+
+/// Inverse: fills the `clip` elements of `chunk` from `in` (box `box`
+/// linearized in `order`).
+inline void gather_box_into_chunk(const ChunkSpace& cs, std::uint64_t esize,
+                                  std::span<std::byte> chunk, const Box& clip,
+                                  const Box& box, MemoryOrder order,
+                                  std::span<const std::byte> in) {
+  const Shape box_shape = box.shape();
+  Index rel(cs.rank());
+  for_each_index(clip, [&](const Index& idx) {
+    const std::uint64_t dst = cs.offset_in_chunk(idx);
+    for (std::size_t d = 0; d < cs.rank(); ++d) rel[d] = idx[d] - box.lo[d];
+    const std::uint64_t src = linearize(rel, box_shape, order);
+    std::memcpy(chunk.data() + dst * esize, in.data() + src * esize,
+                checked_size(esize));
+  });
+}
+
+}  // namespace drx::core

@@ -1,0 +1,67 @@
+// Element types and memory orders of the DRX / DRX-MP libraries.
+//
+// The paper supports the three element types that MPI-2 RMA accumulate
+// operations are defined over: integer, double and complex.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <string_view>
+
+namespace drx::core {
+
+enum class ElementType : std::uint8_t {
+  kInt32 = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kComplexDouble = 3,
+};
+
+constexpr std::uint64_t element_size(ElementType t) noexcept {
+  switch (t) {
+    case ElementType::kInt32: return 4;
+    case ElementType::kInt64: return 8;
+    case ElementType::kDouble: return 8;
+    case ElementType::kComplexDouble: return 16;
+  }
+  return 0;
+}
+
+constexpr std::string_view element_type_name(ElementType t) noexcept {
+  switch (t) {
+    case ElementType::kInt32: return "int32";
+    case ElementType::kInt64: return "int64";
+    case ElementType::kDouble: return "double";
+    case ElementType::kComplexDouble: return "complex<double>";
+  }
+  return "?";
+}
+
+/// Maps a C++ element type to its ElementType tag.
+template <typename T>
+struct ElementTypeOf;
+template <>
+struct ElementTypeOf<std::int32_t> {
+  static constexpr ElementType value = ElementType::kInt32;
+};
+template <>
+struct ElementTypeOf<std::int64_t> {
+  static constexpr ElementType value = ElementType::kInt64;
+};
+template <>
+struct ElementTypeOf<double> {
+  static constexpr ElementType value = ElementType::kDouble;
+};
+template <>
+struct ElementTypeOf<std::complex<double>> {
+  static constexpr ElementType value = ElementType::kComplexDouble;
+};
+
+/// In-memory linearization order for sub-arrays (paper Sec. I: the user
+/// chooses C or FORTRAN order when the file is read).
+enum class MemoryOrder : std::uint8_t {
+  kRowMajor = 0,  ///< C order: last dimension varies fastest
+  kColMajor = 1,  ///< FORTRAN order: first dimension varies fastest
+};
+
+}  // namespace drx::core

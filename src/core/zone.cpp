@@ -1,0 +1,146 @@
+#include "core/zone.hpp"
+
+#include <algorithm>
+
+#include "simpi/cart.hpp"
+#include "util/error.hpp"
+
+namespace drx::core {
+
+Distribution Distribution::block(Shape chunk_bounds, int nprocs) {
+  DRX_CHECK(nprocs >= 1 && !chunk_bounds.empty());
+  Distribution d;
+  d.kind_ = DistributionKind::kBlock;
+  d.nprocs_ = nprocs;
+  d.chunk_bounds_ = std::move(chunk_bounds);
+  d.grid_ = simpi::dims_create(nprocs,
+                               static_cast<int>(d.chunk_bounds_.size()));
+  // Put larger grid factors on larger chunk dimensions so zones stay as
+  // square as possible: sort dims by bound descending, factors descending.
+  {
+    std::vector<std::size_t> dim_order(d.chunk_bounds_.size());
+    for (std::size_t i = 0; i < dim_order.size(); ++i) dim_order[i] = i;
+    std::stable_sort(dim_order.begin(), dim_order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return d.chunk_bounds_[a] > d.chunk_bounds_[b];
+                     });
+    std::vector<int> factors = d.grid_;  // already sorted descending
+    std::vector<int> grid(d.chunk_bounds_.size(), 1);
+    for (std::size_t i = 0; i < dim_order.size(); ++i) {
+      grid[dim_order[i]] = factors[i];
+    }
+    d.grid_ = grid;
+  }
+  // Balanced contiguous cuts: cut r of dim j at floor(r * B_j / G_j).
+  d.cuts_.resize(d.chunk_bounds_.size());
+  for (std::size_t j = 0; j < d.chunk_bounds_.size(); ++j) {
+    const auto g = static_cast<std::uint64_t>(d.grid_[j]);
+    d.cuts_[j].resize(g + 1);
+    for (std::uint64_t r = 0; r <= g; ++r) {
+      d.cuts_[j][r] = r * d.chunk_bounds_[j] / g;
+    }
+  }
+  return d;
+}
+
+Distribution Distribution::block_cyclic(Shape chunk_bounds, int nprocs,
+                                        Shape block_shape) {
+  DRX_CHECK(nprocs >= 1 && !chunk_bounds.empty());
+  DRX_CHECK(block_shape.size() == chunk_bounds.size());
+  for (std::uint64_t b : block_shape) DRX_CHECK(b >= 1);
+  Distribution d;
+  d.kind_ = DistributionKind::kBlockCyclic;
+  d.nprocs_ = nprocs;
+  d.chunk_bounds_ = std::move(chunk_bounds);
+  d.block_shape_ = std::move(block_shape);
+  d.grid_ = simpi::dims_create(nprocs,
+                               static_cast<int>(d.chunk_bounds_.size()));
+  return d;
+}
+
+int Distribution::owner_of(std::span<const std::uint64_t> chunk) const {
+  DRX_CHECK(chunk.size() == chunk_bounds_.size());
+  std::vector<int> coords(chunk_bounds_.size());
+  for (std::size_t j = 0; j < chunk_bounds_.size(); ++j) {
+    DRX_CHECK(chunk[j] < chunk_bounds_[j]);
+    if (kind_ == DistributionKind::kBlock) {
+      const auto& cuts = cuts_[j];
+      // Last cut <= chunk[j].
+      const auto it =
+          std::upper_bound(cuts.begin(), cuts.end(), chunk[j]);
+      coords[j] = static_cast<int>(it - cuts.begin()) - 1;
+      // Empty ranges share cut values; walk back to the range that
+      // actually contains the index.
+      while (cuts[static_cast<std::size_t>(coords[j]) + 1] <= chunk[j]) {
+        ++coords[j];
+      }
+    } else {
+      const std::uint64_t block = chunk[j] / block_shape_[j];
+      coords[j] = static_cast<int>(block %
+                                   static_cast<std::uint64_t>(grid_[j]));
+    }
+  }
+  return simpi::cart_rank(coords, grid_);
+}
+
+std::vector<Box> Distribution::zones_of(int proc) const {
+  DRX_CHECK(proc >= 0 && proc < nprocs_);
+  const std::vector<int> coords = simpi::cart_coords(proc, grid_);
+  const std::size_t k = chunk_bounds_.size();
+  std::vector<Box> zones;
+
+  if (kind_ == DistributionKind::kBlock) {
+    Box zone;
+    zone.lo.resize(k);
+    zone.hi.resize(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      zone.lo[j] = cuts_[j][static_cast<std::size_t>(coords[j])];
+      zone.hi[j] = cuts_[j][static_cast<std::size_t>(coords[j]) + 1];
+    }
+    if (!zone.empty()) zones.push_back(std::move(zone));
+    return zones;
+  }
+
+  // BLOCK_CYCLIC: enumerate this process's blocks along each dimension,
+  // then take the cartesian product of the per-dim block lists.
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> ranges(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const auto g = static_cast<std::uint64_t>(grid_[j]);
+    for (std::uint64_t b = static_cast<std::uint64_t>(coords[j]);
+         b * block_shape_[j] < chunk_bounds_[j]; b += g) {
+      const std::uint64_t lo = b * block_shape_[j];
+      const std::uint64_t hi =
+          std::min(lo + block_shape_[j], chunk_bounds_[j]);
+      ranges[j].emplace_back(lo, hi);
+    }
+    if (ranges[j].empty()) return zones;  // proc owns nothing
+  }
+  std::vector<std::size_t> pick(k, 0);
+  for (;;) {
+    Box zone;
+    zone.lo.resize(k);
+    zone.hi.resize(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      zone.lo[j] = ranges[j][pick[j]].first;
+      zone.hi[j] = ranges[j][pick[j]].second;
+    }
+    zones.push_back(std::move(zone));
+    std::size_t j = k;
+    for (;;) {
+      if (j == 0) return zones;
+      --j;
+      if (++pick[j] < ranges[j].size()) break;
+      pick[j] = 0;
+    }
+  }
+}
+
+std::vector<Index> Distribution::chunks_of(int proc) const {
+  std::vector<Index> chunks;
+  for (const Box& zone : zones_of(proc)) {
+    for_each_index(zone, [&](const Index& idx) { chunks.push_back(idx); });
+  }
+  return chunks;
+}
+
+}  // namespace drx::core

@@ -1,0 +1,68 @@
+// Zone partitioning of the principal array's chunk grid over the processes
+// of a parallel program (paper Sec. II-A).
+//
+// A *zone* is a rectilinear set of whole chunks owned by one process;
+// partitioning is always along chunk boundaries. The default scheme is the
+// HPF-style BLOCK distribution over a balanced cartesian process grid; the
+// BLOCK_CYCLIC(k) scheme named as future work in the paper (Sec. V) is
+// implemented as well.
+//
+// Every process holds the same Distribution (derived from replicated
+// metadata), so ownership of any chunk — and hence locality of any element
+// — is computable everywhere without communication.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/coords.hpp"
+
+namespace drx::core {
+
+enum class DistributionKind : std::uint8_t { kBlock, kBlockCyclic };
+
+class Distribution {
+ public:
+  /// BLOCK: the chunk grid is cut into one contiguous zone per process,
+  /// arranged on a balanced cartesian grid (simpi::dims_create shape).
+  static Distribution block(Shape chunk_bounds, int nprocs);
+
+  /// BLOCK_CYCLIC(k): blocks of `block_shape` chunks are dealt round-robin
+  /// along each dimension of the process grid.
+  static Distribution block_cyclic(Shape chunk_bounds, int nprocs,
+                                   Shape block_shape);
+
+  [[nodiscard]] DistributionKind kind() const noexcept { return kind_; }
+  [[nodiscard]] int nprocs() const noexcept { return nprocs_; }
+  [[nodiscard]] std::size_t rank_dims() const noexcept {
+    return chunk_bounds_.size();
+  }
+  [[nodiscard]] const Shape& chunk_bounds() const noexcept {
+    return chunk_bounds_;
+  }
+  [[nodiscard]] const std::vector<int>& grid() const noexcept {
+    return grid_;
+  }
+
+  /// Owning process of a chunk.
+  [[nodiscard]] int owner_of(std::span<const std::uint64_t> chunk) const;
+
+  /// The chunk-coordinate boxes owned by `proc` (exactly one for BLOCK,
+  /// possibly many for BLOCK_CYCLIC). Empty boxes are omitted.
+  [[nodiscard]] std::vector<Box> zones_of(int proc) const;
+
+  /// All chunk coordinates owned by `proc`, in row-major order per zone.
+  [[nodiscard]] std::vector<Index> chunks_of(int proc) const;
+
+ private:
+  Distribution() = default;
+
+  DistributionKind kind_ = DistributionKind::kBlock;
+  int nprocs_ = 1;
+  Shape chunk_bounds_;
+  std::vector<int> grid_;            ///< process grid dims
+  std::vector<std::vector<std::uint64_t>> cuts_;  ///< BLOCK: per-dim cut points
+  Shape block_shape_;                ///< BLOCK_CYCLIC only
+};
+
+}  // namespace drx::core

@@ -1,0 +1,489 @@
+#include "mpio/file.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+#include "util/checked.hpp"
+
+namespace drx::mpio {
+
+namespace {
+
+/// Gap (bytes) up to which an aggregator's read coalesces non-adjacent
+/// pieces into one device access (ROMIO-style data sieving). Writes never
+/// sieve — that would clobber the hole — and coalesce only exact-adjacent
+/// runs. Mutable for the sieve ablation bench.
+std::atomic<std::uint64_t> g_read_sieve_gap{64 * 1024};
+
+struct Piece {
+  std::uint64_t offset = 0;  ///< absolute file offset
+  std::uint64_t length = 0;
+  int source = 0;            ///< requesting rank
+  std::uint64_t reply_pos = 0;  ///< byte position in the source's reply
+};
+
+}  // namespace
+
+std::uint64_t read_sieve_gap() noexcept {
+  return g_read_sieve_gap.load(std::memory_order_relaxed);
+}
+
+void set_read_sieve_gap(std::uint64_t bytes) noexcept {
+  g_read_sieve_gap.store(bytes, std::memory_order_relaxed);
+}
+
+Result<File> File::open(simpi::Comm& comm, pfs::Pfs& fs,
+                        const std::string& name, int mode) {
+  const bool has_access_mode = (mode & (kModeRdOnly | kModeWrOnly |
+                                        kModeRdWr)) != 0;
+  if (!has_access_mode) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "open mode must include rdonly, wronly or rdwr");
+  }
+
+  // Rank 0 performs the namespace operation; the outcome is broadcast so
+  // every rank returns a consistent Result.
+  std::uint8_t ok = 1;
+  std::string error;
+  if (comm.rank() == 0) {
+    if ((mode & kModeCreate) != 0) {
+      if (fs.exists(name)) {
+        if ((mode & kModeExcl) != 0) {
+          ok = 0;
+          error = "file exists (create|excl): " + name;
+        }
+      } else {
+        auto created = fs.create(name);
+        if (!created.is_ok()) {
+          ok = 0;
+          error = created.status().message();
+        }
+      }
+    } else if (!fs.exists(name)) {
+      ok = 0;
+      error = "no such file: " + name;
+    }
+  }
+  comm.bcast_value(ok, 0);
+  if (ok == 0) {
+    if (comm.rank() != 0) error = "collective open failed on rank 0";
+    return Status(ErrorCode::kIoError, error);
+  }
+  comm.barrier();  // namespace op visible before peers open
+
+  auto handle = fs.open(name);
+  if (!handle.is_ok()) return handle.status();
+
+  auto state = std::make_unique<State>();
+  state->comm = &comm;
+  state->fs = &fs;
+  state->name = name;
+  state->mode = mode;
+  state->handle = std::move(handle).value();
+  return File(std::move(state));
+}
+
+Status File::close() {
+  DRX_CHECK(is_open());
+  state_->comm->barrier();
+  if ((state_->mode & kModeDeleteOnClose) != 0 && state_->comm->rank() == 0) {
+    DRX_RETURN_IF_ERROR(state_->fs->remove(state_->name));
+  }
+  state_->comm->barrier();
+  state_.reset();
+  return Status::ok();
+}
+
+void File::set_view(std::uint64_t disp, const simpi::Datatype& etype,
+                    const simpi::Datatype& filetype) {
+  DRX_CHECK(is_open());
+  state_->view = FileView(disp, etype, filetype);
+  state_->pointer_etypes = 0;
+}
+
+const FileView& File::view() const {
+  DRX_CHECK(is_open());
+  return state_->view;
+}
+
+Status File::check_readable() const {
+  DRX_CHECK(is_open());
+  if ((state_->mode & (kModeRdOnly | kModeRdWr)) == 0) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "file not opened for reading");
+  }
+  return Status::ok();
+}
+
+Status File::check_writable() const {
+  DRX_CHECK(is_open());
+  if ((state_->mode & (kModeWrOnly | kModeRdWr)) == 0) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "file not opened for writing");
+  }
+  return Status::ok();
+}
+
+Status File::read_at(std::uint64_t offset, void* buf, std::uint64_t count,
+                     const simpi::Datatype& memtype) {
+  DRX_RETURN_IF_ERROR(check_readable());
+  return transfer_independent(offset, buf, count, memtype, /*writing=*/false);
+}
+
+Status File::write_at(std::uint64_t offset, const void* buf,
+                      std::uint64_t count, const simpi::Datatype& memtype) {
+  DRX_RETURN_IF_ERROR(check_writable());
+  return transfer_independent(offset, const_cast<void*>(buf), count, memtype,
+                              /*writing=*/true);
+}
+
+Status File::read(void* buf, std::uint64_t count,
+                  const simpi::Datatype& memtype) {
+  DRX_RETURN_IF_ERROR(check_readable());
+  const std::uint64_t etypes_moved =
+      checked_mul(count, memtype.size()) / state_->view.etype().size();
+  DRX_RETURN_IF_ERROR(transfer_independent(state_->pointer_etypes, buf, count,
+                                           memtype, /*writing=*/false));
+  state_->pointer_etypes += etypes_moved;
+  return Status::ok();
+}
+
+Status File::write(const void* buf, std::uint64_t count,
+                   const simpi::Datatype& memtype) {
+  DRX_RETURN_IF_ERROR(check_writable());
+  const std::uint64_t etypes_moved =
+      checked_mul(count, memtype.size()) / state_->view.etype().size();
+  DRX_RETURN_IF_ERROR(transfer_independent(state_->pointer_etypes,
+                                           const_cast<void*>(buf), count,
+                                           memtype, /*writing=*/true));
+  state_->pointer_etypes += etypes_moved;
+  return Status::ok();
+}
+
+void File::seek(std::uint64_t offset_etypes) {
+  DRX_CHECK(is_open());
+  state_->pointer_etypes = offset_etypes;
+}
+
+std::uint64_t File::position() const {
+  DRX_CHECK(is_open());
+  return state_->pointer_etypes;
+}
+
+Status File::transfer_independent(std::uint64_t offset_etypes, void* buf,
+                                  std::uint64_t count,
+                                  const simpi::Datatype& memtype,
+                                  bool writing) {
+  const std::uint64_t total = checked_mul(count, memtype.size());
+  if (total == 0) return Status::ok();
+  if (total % state_->view.etype().size() != 0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "transfer size not a multiple of the view etype");
+  }
+  const std::uint64_t view_off =
+      checked_mul(offset_etypes, state_->view.etype().size());
+  const auto extents = state_->view.map_range(view_off, total);
+
+  if (writing) {
+    std::vector<std::byte> payload;
+    memtype.pack(static_cast<const std::byte*>(buf), count, payload);
+    std::uint64_t pos = 0;
+    for (const FileExtent& e : extents) {
+      DRX_RETURN_IF_ERROR(state_->handle.write_at(
+          e.offset, std::span<const std::byte>(payload)
+                        .subspan(checked_size(pos), checked_size(e.length))));
+      pos += e.length;
+    }
+  } else {
+    std::vector<std::byte> payload(checked_size(total));
+    std::uint64_t pos = 0;
+    for (const FileExtent& e : extents) {
+      DRX_RETURN_IF_ERROR(state_->handle.read_at(
+          e.offset, std::span<std::byte>(payload).subspan(
+                        checked_size(pos), checked_size(e.length))));
+      pos += e.length;
+    }
+    memtype.unpack(payload, count, static_cast<std::byte*>(buf));
+  }
+  return Status::ok();
+}
+
+Status File::read_all(void* buf, std::uint64_t count,
+                      const simpi::Datatype& memtype) {
+  DRX_RETURN_IF_ERROR(check_readable());
+  const std::uint64_t etypes_moved =
+      checked_mul(count, memtype.size()) / state_->view.etype().size();
+  DRX_RETURN_IF_ERROR(transfer_collective(state_->pointer_etypes, buf, count,
+                                          memtype, /*writing=*/false));
+  state_->pointer_etypes += etypes_moved;
+  return Status::ok();
+}
+
+Status File::write_all(const void* buf, std::uint64_t count,
+                       const simpi::Datatype& memtype) {
+  DRX_RETURN_IF_ERROR(check_writable());
+  const std::uint64_t etypes_moved =
+      checked_mul(count, memtype.size()) / state_->view.etype().size();
+  DRX_RETURN_IF_ERROR(transfer_collective(state_->pointer_etypes,
+                                          const_cast<void*>(buf), count,
+                                          memtype, /*writing=*/true));
+  state_->pointer_etypes += etypes_moved;
+  return Status::ok();
+}
+
+Status File::read_at_all(std::uint64_t offset, void* buf, std::uint64_t count,
+                         const simpi::Datatype& memtype) {
+  DRX_RETURN_IF_ERROR(check_readable());
+  return transfer_collective(offset, buf, count, memtype, /*writing=*/false);
+}
+
+Status File::write_at_all(std::uint64_t offset, const void* buf,
+                          std::uint64_t count,
+                          const simpi::Datatype& memtype) {
+  DRX_RETURN_IF_ERROR(check_writable());
+  return transfer_collective(offset, const_cast<void*>(buf), count, memtype,
+                             /*writing=*/true);
+}
+
+Status File::transfer_collective(std::uint64_t offset_etypes, void* buf,
+                                 std::uint64_t count,
+                                 const simpi::Datatype& memtype,
+                                 bool writing) {
+  simpi::Comm& comm = *state_->comm;
+  const int p = comm.size();
+  const auto np = static_cast<std::size_t>(p);
+
+  const std::uint64_t total = checked_mul(count, memtype.size());
+  if (total != 0 && total % state_->view.etype().size() != 0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "transfer size not a multiple of the view etype");
+  }
+
+  // ---- Phase 0: local request list and global file-domain bounds -------
+  std::vector<FileExtent> extents;
+  if (total != 0) {
+    extents = state_->view.map_range(
+        checked_mul(offset_etypes, state_->view.etype().size()), total);
+  }
+  std::uint64_t my_lo = UINT64_MAX;
+  std::uint64_t my_hi = 0;
+  for (const FileExtent& e : extents) {
+    my_lo = std::min(my_lo, e.offset);
+    my_hi = std::max(my_hi, e.offset + e.length);
+  }
+  const std::uint64_t lo = comm.allreduce_value(my_lo, simpi::ReduceOp::kMin);
+  const std::uint64_t hi = comm.allreduce_value(my_hi, simpi::ReduceOp::kMax);
+  if (lo >= hi) return Status::ok();  // nothing requested anywhere
+
+  // File domain split evenly over all ranks acting as aggregators.
+  const std::uint64_t domain = ceil_div(hi - lo, static_cast<std::uint64_t>(p));
+  const auto aggregator_of = [&](std::uint64_t off) {
+    return static_cast<std::size_t>((off - lo) / domain);
+  };
+  const auto domain_end = [&](std::size_t a) {
+    return lo + checked_mul(domain, static_cast<std::uint64_t>(a) + 1);
+  };
+
+  // ---- Phase 1: split extents at domain boundaries, mail to aggregators.
+  // Request wire format per aggregator: u64 npieces, then (off, len) pairs;
+  // for writes the piece payloads follow, concatenated in the same order.
+  std::vector<std::byte> payload;  // packed user data (write) or staging (read)
+  if (writing) {
+    memtype.pack(static_cast<const std::byte*>(buf), count, payload);
+  } else {
+    payload.resize(checked_size(total));
+  }
+
+  struct LocalPiece {
+    std::size_t aggregator;
+    std::uint64_t offset, length, payload_pos;
+  };
+  std::vector<LocalPiece> pieces;
+  {
+    std::uint64_t pos = 0;
+    for (const FileExtent& e : extents) {
+      std::uint64_t off = e.offset;
+      std::uint64_t remaining = e.length;
+      while (remaining > 0) {
+        const std::size_t a = aggregator_of(off);
+        const std::uint64_t take = std::min(remaining, domain_end(a) - off);
+        pieces.push_back(LocalPiece{a, off, take, pos});
+        off += take;
+        pos += take;
+        remaining -= take;
+      }
+    }
+  }
+
+  std::vector<std::vector<std::byte>> to_agg(np);
+  {
+    std::vector<std::uint64_t> counts(np, 0);
+    for (const LocalPiece& lp : pieces) ++counts[lp.aggregator];
+    for (std::size_t a = 0; a < np; ++a) {
+      to_agg[a].reserve(8 + 16 * checked_size(counts[a]));
+      const auto* cb = reinterpret_cast<const std::byte*>(&counts[a]);
+      to_agg[a].insert(to_agg[a].end(), cb, cb + 8);
+    }
+    for (const LocalPiece& lp : pieces) {
+      auto& msg = to_agg[lp.aggregator];
+      const auto* ob = reinterpret_cast<const std::byte*>(&lp.offset);
+      const auto* lb = reinterpret_cast<const std::byte*>(&lp.length);
+      msg.insert(msg.end(), ob, ob + 8);
+      msg.insert(msg.end(), lb, lb + 8);
+    }
+    if (writing) {
+      for (const LocalPiece& lp : pieces) {
+        auto& msg = to_agg[lp.aggregator];
+        msg.insert(msg.end(),
+                   payload.begin() + static_cast<std::ptrdiff_t>(lp.payload_pos),
+                   payload.begin() +
+                       static_cast<std::ptrdiff_t>(lp.payload_pos + lp.length));
+      }
+    }
+  }
+  std::vector<std::vector<std::byte>> inbound = comm.alltoallv_bytes(to_agg);
+
+  // ---- Phase 2: aggregate. Parse inbound pieces, order by file offset,
+  // coalesce, and hit the PFS with large accesses.
+  std::vector<Piece> agg_pieces;
+  std::vector<const std::byte*> agg_payload;  // write: per-piece payload ptr
+  std::vector<std::uint64_t> reply_sizes(np, 0);
+  for (std::size_t src = 0; src < np; ++src) {
+    const auto& msg = inbound[src];
+    if (msg.empty()) continue;
+    std::uint64_t n = 0;
+    DRX_CHECK(msg.size() >= 8);
+    std::memcpy(&n, msg.data(), 8);
+    const std::byte* hdr = msg.data() + 8;
+    const std::byte* data = hdr + 16 * n;
+    std::uint64_t reply_pos = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Piece piece;
+      std::memcpy(&piece.offset, hdr + 16 * i, 8);
+      std::memcpy(&piece.length, hdr + 16 * i + 8, 8);
+      piece.source = static_cast<int>(src);
+      piece.reply_pos = reply_pos;
+      reply_pos += piece.length;
+      agg_pieces.push_back(piece);
+      if (writing) {
+        agg_payload.push_back(data);
+        data += piece.length;
+      }
+    }
+    reply_sizes[src] = reply_pos;
+  }
+
+  std::vector<std::size_t> order(agg_pieces.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (agg_pieces[a].offset != agg_pieces[b].offset) {
+      return agg_pieces[a].offset < agg_pieces[b].offset;
+    }
+    return agg_pieces[a].source < agg_pieces[b].source;
+  });
+
+  std::vector<std::vector<std::byte>> replies(np);
+  for (std::size_t src = 0; src < np; ++src) {
+    replies[src].resize(checked_size(writing ? 0 : reply_sizes[src]));
+  }
+
+  Status io_status;
+  if (!agg_pieces.empty()) {
+    std::size_t run_begin = 0;
+    while (run_begin < order.size()) {
+      // Grow a run of pieces coalescible into one device access.
+      const std::uint64_t run_off = agg_pieces[order[run_begin]].offset;
+      std::uint64_t run_end_off =
+          run_off + agg_pieces[order[run_begin]].length;
+      std::size_t run_end = run_begin + 1;
+      const std::uint64_t gap_allowed =
+          writing ? 0 : g_read_sieve_gap.load(std::memory_order_relaxed);
+      while (run_end < order.size()) {
+        const Piece& nxt = agg_pieces[order[run_end]];
+        if (nxt.offset > run_end_off + gap_allowed) break;
+        run_end_off = std::max(run_end_off, nxt.offset + nxt.length);
+        ++run_end;
+      }
+
+      std::vector<std::byte> staging(checked_size(run_end_off - run_off));
+      if (writing) {
+        // Assemble then write. Exact-adjacency coalescing means every byte
+        // of the staging buffer is covered by some piece.
+        for (std::size_t i = run_begin; i < run_end; ++i) {
+          const Piece& piece = agg_pieces[order[i]];
+          std::memcpy(staging.data() + (piece.offset - run_off),
+                      agg_payload[order[i]], checked_size(piece.length));
+        }
+        io_status = state_->handle.write_at(run_off, staging);
+      } else {
+        io_status = state_->handle.read_at(run_off, staging);
+        if (io_status.is_ok()) {
+          for (std::size_t i = run_begin; i < run_end; ++i) {
+            const Piece& piece = agg_pieces[order[i]];
+            std::memcpy(replies[static_cast<std::size_t>(piece.source)].data() +
+                            piece.reply_pos,
+                        staging.data() + (piece.offset - run_off),
+                        checked_size(piece.length));
+          }
+        }
+      }
+      if (!io_status.is_ok()) break;
+      run_begin = run_end;
+    }
+  }
+
+  // Aggregator failures must surface on every rank (collective semantics).
+  const std::uint8_t ok_local = io_status.is_ok() ? 1 : 0;
+  const std::uint8_t ok_all =
+      comm.allreduce_value(ok_local, simpi::ReduceOp::kMin);
+
+  // ---- Phase 3: return read payloads to requesters.
+  if (!writing) {
+    std::vector<std::vector<std::byte>> returned =
+        comm.alltoallv_bytes(replies);
+    if (ok_all != 0) {
+      std::vector<std::uint64_t> stream_pos(np, 0);
+      for (const LocalPiece& lp : pieces) {
+        const auto& stream = returned[lp.aggregator];
+        DRX_CHECK(stream_pos[lp.aggregator] + lp.length <= stream.size());
+        std::memcpy(payload.data() + lp.payload_pos,
+                    stream.data() + stream_pos[lp.aggregator],
+                    checked_size(lp.length));
+        stream_pos[lp.aggregator] += lp.length;
+      }
+      memtype.unpack(payload, count, static_cast<std::byte*>(buf));
+    }
+  } else {
+    comm.barrier();  // writes visible before any rank proceeds
+  }
+
+  if (ok_all == 0) {
+    return io_status.is_ok()
+               ? Status(ErrorCode::kIoError, "collective I/O failed on a peer")
+               : io_status;
+  }
+  return Status::ok();
+}
+
+std::uint64_t File::get_size() const {
+  DRX_CHECK(is_open());
+  return state_->handle.size();
+}
+
+Status File::set_size(std::uint64_t bytes) {
+  DRX_CHECK(is_open());
+  state_->comm->barrier();
+  Status st;
+  if (state_->comm->rank() == 0) st = state_->handle.truncate(bytes);
+  state_->comm->barrier();
+  return st;
+}
+
+Status File::sync() {
+  DRX_CHECK(is_open());
+  state_->comm->barrier();
+  return Status::ok();
+}
+
+}  // namespace drx::mpio

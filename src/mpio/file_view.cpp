@@ -1,0 +1,71 @@
+#include "mpio/file_view.hpp"
+
+#include <algorithm>
+
+#include "util/checked.hpp"
+
+namespace drx::mpio {
+
+FileView::FileView() : FileView(0, simpi::Datatype::bytes(1),
+                                simpi::Datatype::bytes(1)) {}
+
+FileView::FileView(std::uint64_t disp, simpi::Datatype etype,
+                   simpi::Datatype filetype)
+    : disp_(disp), etype_(std::move(etype)), filetype_(std::move(filetype)) {
+  DRX_CHECK_MSG(filetype_.size() > 0, "file view filetype has no payload");
+  DRX_CHECK_MSG(etype_.size() > 0, "file view etype has no payload");
+  DRX_CHECK_MSG(filetype_.size() % etype_.size() == 0,
+                "filetype payload not a multiple of etype size");
+  DRX_CHECK_MSG(filetype_.is_monotonic(),
+                "file view filetype must have monotonic displacements");
+  payload_prefix_.reserve(filetype_.blocks().size());
+  std::uint64_t acc = 0;
+  for (const simpi::Block& b : filetype_.blocks()) {
+    payload_prefix_.push_back(acc);
+    acc = checked_add(acc, b.length);
+  }
+}
+
+std::vector<FileExtent> FileView::map_range(std::uint64_t view_offset,
+                                            std::uint64_t length) const {
+  std::vector<FileExtent> extents;
+  if (length == 0) return extents;
+  const std::uint64_t payload = filetype_.size();
+  const auto blocks = filetype_.blocks();
+
+  std::uint64_t remaining = length;
+  std::uint64_t v = view_offset;
+  while (remaining > 0) {
+    const std::uint64_t tile = v / payload;
+    const std::uint64_t within = v % payload;
+    // Block containing `within`: last prefix <= within.
+    const auto it = std::upper_bound(payload_prefix_.begin(),
+                                     payload_prefix_.end(), within);
+    const std::size_t bi =
+        static_cast<std::size_t>(it - payload_prefix_.begin()) - 1;
+    const simpi::Block& blk = blocks[bi];
+    const std::uint64_t into_block = within - payload_prefix_[bi];
+    const std::uint64_t take = std::min(remaining, blk.length - into_block);
+
+    const std::uint64_t file_off =
+        checked_add(disp_, checked_add(checked_mul(tile, filetype_.extent()),
+                                       checked_add(blk.offset, into_block)));
+    if (!extents.empty() &&
+        extents.back().offset + extents.back().length == file_off) {
+      extents.back().length += take;
+    } else {
+      extents.push_back(FileExtent{file_off, take});
+    }
+    v += take;
+    remaining -= take;
+  }
+  return extents;
+}
+
+std::uint64_t FileView::map_byte(std::uint64_t view_offset) const {
+  const auto extents = map_range(view_offset, 1);
+  DRX_CHECK(extents.size() == 1);
+  return extents.front().offset;
+}
+
+}  // namespace drx::mpio

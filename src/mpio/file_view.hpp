@@ -1,0 +1,60 @@
+// File views (MPI_File_set_view): mapping the linear "view space" a rank
+// sees onto physical file offsets through a displacement + etype + tiled
+// filetype, exactly as MPI-IO defines it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simpi/datatype.hpp"
+#include "util/error.hpp"
+
+namespace drx::mpio {
+
+/// A contiguous physical extent of a mapped range.
+struct FileExtent {
+  std::uint64_t offset = 0;  ///< absolute file offset in bytes
+  std::uint64_t length = 0;  ///< bytes
+
+  friend bool operator==(const FileExtent&, const FileExtent&) = default;
+};
+
+class FileView {
+ public:
+  /// Default view: disp 0, etype = filetype = a single byte (MPI default).
+  FileView();
+
+  /// MPI requires filetype displacements to be monotonically
+  /// non-decreasing; Datatype's normalized form guarantees it.
+  FileView(std::uint64_t disp, simpi::Datatype etype,
+           simpi::Datatype filetype);
+
+  [[nodiscard]] std::uint64_t disp() const noexcept { return disp_; }
+  [[nodiscard]] const simpi::Datatype& etype() const noexcept {
+    return etype_;
+  }
+  [[nodiscard]] const simpi::Datatype& filetype() const noexcept {
+    return filetype_;
+  }
+
+  /// Payload bytes per filetype tile.
+  [[nodiscard]] std::uint64_t tile_payload() const noexcept {
+    return filetype_.size();
+  }
+
+  /// Maps `length` visible bytes starting at visible byte `view_offset`
+  /// onto physical extents, coalescing runs that are contiguous on disk.
+  [[nodiscard]] std::vector<FileExtent> map_range(std::uint64_t view_offset,
+                                                  std::uint64_t length) const;
+
+  /// Physical offset of a single visible byte.
+  [[nodiscard]] std::uint64_t map_byte(std::uint64_t view_offset) const;
+
+ private:
+  std::uint64_t disp_;
+  simpi::Datatype etype_;
+  simpi::Datatype filetype_;
+  std::vector<std::uint64_t> payload_prefix_;  ///< per-block payload start
+};
+
+}  // namespace drx::mpio

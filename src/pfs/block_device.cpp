@@ -1,0 +1,51 @@
+#include "pfs/block_device.hpp"
+
+#include <cstring>
+
+namespace drx::pfs {
+
+void BlockDevice::charge(std::uint64_t offset, std::uint64_t nbytes,
+                         bool is_write) {
+  double us = model_->request_overhead_us + model_->network_latency_us;
+  if (offset != head_) {
+    us += model_->seek_us;
+    ++stats_.seeks;
+  }
+  us += static_cast<double>(nbytes) *
+        (model_->disk_per_byte_us + model_->network_per_byte_us);
+  stats_.busy_us += us;
+  head_ = offset + nbytes;
+  if (is_write) {
+    ++stats_.write_requests;
+    stats_.bytes_written += nbytes;
+  } else {
+    ++stats_.read_requests;
+    stats_.bytes_read += nbytes;
+  }
+}
+
+Status BlockDevice::read(std::uint64_t offset, std::span<std::byte> out) {
+  if (offset + out.size() > data_.size()) {
+    return Status(ErrorCode::kOutOfRange, "read past end of datafile");
+  }
+  charge(offset, out.size(), /*is_write=*/false);
+  std::memcpy(out.data(), data_.data() + offset, out.size());
+  return Status::ok();
+}
+
+Status BlockDevice::write(std::uint64_t offset,
+                          std::span<const std::byte> data) {
+  const std::uint64_t end = offset + data.size();
+  if (end > data_.size()) data_.resize(end);  // zero-fills the gap
+  charge(offset, data.size(), /*is_write=*/true);
+  std::memcpy(data_.data() + offset, data.data(), data.size());
+  return Status::ok();
+}
+
+Status BlockDevice::truncate(std::uint64_t new_size) {
+  data_.resize(new_size);
+  if (head_ > new_size) head_ = new_size;
+  return Status::ok();
+}
+
+}  // namespace drx::pfs

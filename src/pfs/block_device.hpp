@@ -1,0 +1,43 @@
+// A simulated disk: byte-addressable, grow-on-write storage with a moving
+// head. One BlockDevice backs one datafile (one file's stripes on one I/O
+// server), mirroring PVFS2's per-server datafile layout.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pfs/cost_model.hpp"
+#include "util/error.hpp"
+
+namespace drx::pfs {
+
+class BlockDevice {
+ public:
+  explicit BlockDevice(const CostModel* model) : model_(model) {
+    DRX_CHECK(model != nullptr);
+  }
+
+  /// Reads [offset, offset+out.size()); error if the range passes EOF.
+  Status read(std::uint64_t offset, std::span<std::byte> out);
+
+  /// Writes at offset, zero-filling any gap (sparse write semantics).
+  Status write(std::uint64_t offset, std::span<const std::byte> data);
+
+  Status truncate(std::uint64_t new_size);
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] const IoStats& stats() const noexcept { return stats_; }
+
+ private:
+  /// Charges seek (if the head moved) + transfer + request costs.
+  void charge(std::uint64_t offset, std::uint64_t nbytes, bool is_write);
+
+  const CostModel* model_;
+  std::vector<std::byte> data_;
+  std::uint64_t head_ = 0;  ///< byte position after the last access
+  IoStats stats_;
+};
+
+}  // namespace drx::pfs

@@ -1,0 +1,263 @@
+#include "pfs/pfs.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/checked.hpp"
+
+namespace drx::pfs {
+
+/// An I/O server: a service point that handles one request at a time.
+struct Pfs::Server {
+  std::mutex mu;
+};
+
+/// Striped file state: one datafile (BlockDevice) per server, plus the
+/// logical size. Holds shared ownership of the servers so handles stay
+/// valid for the life of the Pfs.
+struct FileHandle::State {
+  State(const PfsConfig& config,
+        std::vector<std::shared_ptr<Pfs::Server>> srv)
+      : cost(config.cost), stripe(config.stripe_size), servers(std::move(srv)) {
+    datafiles.reserve(servers.size());
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+      datafiles.push_back(std::make_unique<BlockDevice>(&cost));
+    }
+  }
+
+  CostModel cost;
+  std::uint64_t stripe;
+  std::vector<std::shared_ptr<Pfs::Server>> servers;
+  std::vector<std::unique_ptr<BlockDevice>> datafiles;
+
+  std::mutex size_mu;
+  std::uint64_t logical_size = 0;
+
+  /// One scatter/gather piece of a server request: `length` bytes at
+  /// `buf_offset` in the caller's buffer.
+  struct Piece {
+    std::uint64_t buf_offset;
+    std::uint64_t length;
+  };
+
+  /// One request to one server: a locally-contiguous datafile range served
+  /// by a single device access, gathered from / scattered to possibly
+  /// discontiguous caller-buffer pieces (the iovec a real PFS client
+  /// ships with the request).
+  struct Segment {
+    std::size_t server;
+    std::uint64_t local_offset;  ///< offset within the server's datafile
+    std::uint64_t length;
+    std::vector<Piece> pieces;
+  };
+
+  /// Splits a global byte range at stripe boundaries and coalesces
+  /// locally-contiguous runs per server (one request per run, as a real
+  /// PFS client would issue). Runs of different servers interleave in the
+  /// global range, so each run's buffer pieces are discontiguous.
+  [[nodiscard]] std::vector<Segment> map_range(std::uint64_t offset,
+                                               std::uint64_t length) const {
+    std::vector<Segment> segs;
+    // Index of the open segment per server, or npos.
+    constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> open(servers.size(), kNone);
+    const std::uint64_t n = servers.size();
+    std::uint64_t pos = offset;
+    std::uint64_t remaining = length;
+    std::uint64_t buf = 0;
+    while (remaining > 0) {
+      const std::uint64_t stripe_idx = pos / stripe;
+      const std::uint64_t within = pos % stripe;
+      const std::uint64_t take = std::min(remaining, stripe - within);
+      const std::size_t server = static_cast<std::size_t>(stripe_idx % n);
+      const std::uint64_t local = (stripe_idx / n) * stripe + within;
+      std::size_t& idx = open[server];
+      if (idx != kNone &&
+          segs[idx].local_offset + segs[idx].length == local) {
+        segs[idx].length += take;
+        segs[idx].pieces.push_back(Piece{buf, take});
+      } else {
+        idx = segs.size();
+        segs.push_back(Segment{server, local, take, {Piece{buf, take}}});
+      }
+      pos += take;
+      buf += take;
+      remaining -= take;
+    }
+    return segs;
+  }
+};
+
+Status FileHandle::read_at(std::uint64_t offset, std::span<std::byte> out) {
+  DRX_CHECK(valid());
+  {
+    std::lock_guard<std::mutex> lock(state_->size_mu);
+    if (checked_add(offset, out.size()) > state_->logical_size) {
+      return Status(ErrorCode::kOutOfRange, "read past end of file");
+    }
+  }
+  std::vector<std::byte> staging;
+  for (const auto& seg : state_->map_range(offset, out.size())) {
+    staging.resize(checked_size(seg.length));
+    {
+      std::lock_guard<std::mutex> lock(state_->servers[seg.server]->mu);
+      BlockDevice& device = *state_->datafiles[seg.server];
+      // The range is inside the logical file size (checked above) but may
+      // cross a sparse hole whose stripes were never materialized on this
+      // server; holes read as zeros.
+      const std::uint64_t end = seg.local_offset + seg.length;
+      if (end > device.size()) {
+        DRX_RETURN_IF_ERROR(device.truncate(end));
+      }
+      DRX_RETURN_IF_ERROR(device.read(seg.local_offset, staging));
+    }
+    std::uint64_t run = 0;
+    for (const auto& piece : seg.pieces) {
+      std::memcpy(out.data() + piece.buf_offset, staging.data() + run,
+                  checked_size(piece.length));
+      run += piece.length;
+    }
+  }
+  return Status::ok();
+}
+
+Status FileHandle::write_at(std::uint64_t offset,
+                            std::span<const std::byte> data) {
+  DRX_CHECK(valid());
+  std::vector<std::byte> staging;
+  for (const auto& seg : state_->map_range(offset, data.size())) {
+    staging.resize(checked_size(seg.length));
+    std::uint64_t run = 0;
+    for (const auto& piece : seg.pieces) {
+      std::memcpy(staging.data() + run, data.data() + piece.buf_offset,
+                  checked_size(piece.length));
+      run += piece.length;
+    }
+    std::lock_guard<std::mutex> lock(state_->servers[seg.server]->mu);
+    DRX_RETURN_IF_ERROR(
+        state_->datafiles[seg.server]->write(seg.local_offset, staging));
+  }
+  std::lock_guard<std::mutex> lock(state_->size_mu);
+  state_->logical_size =
+      std::max(state_->logical_size, checked_add(offset, data.size()));
+  return Status::ok();
+}
+
+std::uint64_t FileHandle::size() const {
+  DRX_CHECK(valid());
+  std::lock_guard<std::mutex> lock(state_->size_mu);
+  return state_->logical_size;
+}
+
+Status FileHandle::truncate(std::uint64_t new_size) {
+  DRX_CHECK(valid());
+  std::lock_guard<std::mutex> size_lock(state_->size_mu);
+  // Resize every datafile to exactly the portion of new_size it holds;
+  // growth zero-fills (sparse-file semantics).
+  for (std::size_t s = 0; s < state_->servers.size(); ++s) {
+    std::lock_guard<std::mutex> lock(state_->servers[s]->mu);
+    const std::uint64_t n = state_->servers.size();
+    const std::uint64_t full_stripes = new_size / state_->stripe;
+    const std::uint64_t rem = new_size % state_->stripe;
+    std::uint64_t local = (full_stripes / n) * state_->stripe;
+    const std::uint64_t last_server = full_stripes % n;
+    if (s < last_server) local += state_->stripe;
+    if (s == last_server) local += rem;
+    DRX_RETURN_IF_ERROR(state_->datafiles[s]->truncate(local));
+  }
+  state_->logical_size = new_size;
+  return Status::ok();
+}
+
+std::uint64_t FileHandle::stripe_size() const {
+  DRX_CHECK(valid());
+  return state_->stripe;
+}
+
+Pfs::Pfs(PfsConfig config) : config_(config) {
+  DRX_CHECK(config_.num_servers >= 1);
+  DRX_CHECK(config_.stripe_size >= 1);
+  servers_.reserve(static_cast<std::size_t>(config_.num_servers));
+  for (int i = 0; i < config_.num_servers; ++i) {
+    servers_.push_back(std::make_unique<Server>());
+  }
+}
+
+Pfs::~Pfs() = default;
+
+Result<FileHandle> Pfs::create(const std::string& name, bool overwrite) {
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  if (files_.contains(name) && !overwrite) {
+    return Status(ErrorCode::kAlreadyExists, "file exists: " + name);
+  }
+  std::vector<std::shared_ptr<Server>> shared_servers;
+  shared_servers.reserve(servers_.size());
+  for (auto& s : servers_) {
+    shared_servers.push_back(
+        std::shared_ptr<Server>(s.get(), [](Server*) {}));
+  }
+  auto state = std::make_shared<FileHandle::State>(
+      config_, std::move(shared_servers));
+  files_[name] = state;
+  return FileHandle(state);
+}
+
+Result<FileHandle> Pfs::open(const std::string& name) {
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Status(ErrorCode::kNotFound, "no such file: " + name);
+  }
+  return FileHandle(it->second);
+}
+
+bool Pfs::exists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  return files_.contains(name);
+}
+
+Status Pfs::remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  if (files_.erase(name) == 0) {
+    return Status(ErrorCode::kNotFound, "no such file: " + name);
+  }
+  return Status::ok();
+}
+
+std::vector<std::string> Pfs::list() const {
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, _] : files_) names.push_back(name);
+  return names;
+}
+
+std::vector<IoStats> Pfs::server_stats() const {
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  std::vector<IoStats> stats(servers_.size());
+  for (const auto& [_, state] : files_) {
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+      std::lock_guard<std::mutex> server_lock(servers_[s]->mu);
+      stats[s] += state->datafiles[s]->stats();
+    }
+  }
+  return stats;
+}
+
+IoStats Pfs::total_stats() const {
+  IoStats total;
+  for (const IoStats& s : server_stats()) total += s;
+  return total;
+}
+
+double Pfs::phase_elapsed_us(const std::vector<IoStats>& before,
+                             const std::vector<IoStats>& after) {
+  DRX_CHECK(before.size() == after.size());
+  double max_us = 0.0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    max_us = std::max(max_us, after[i].busy_us - before[i].busy_us);
+  }
+  return max_us;
+}
+
+}  // namespace drx::pfs

@@ -1,0 +1,112 @@
+// Byte-addressable storage abstraction used by the serial DRX library.
+//
+// The paper's serial DRX runs on "any POSIX-compliant Unix file system";
+// DRX-MP runs on a parallel file system through MPI-IO. Both paths in this
+// reproduction go through small interfaces so the core array logic is
+// storage-agnostic:
+//   - PosixStorage  — a real file on the host file system
+//   - MemStorage    — in-memory, with the simulator's cost accounting
+//   - PfsStorage    — adapter over a striped pfs::FileHandle
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pfs/block_device.hpp"
+#include "pfs/pfs.hpp"
+#include "util/error.hpp"
+
+namespace drx::pfs {
+
+class Storage {
+ public:
+  virtual ~Storage() = default;
+
+  virtual Status read_at(std::uint64_t offset, std::span<std::byte> out) = 0;
+  virtual Status write_at(std::uint64_t offset,
+                          std::span<const std::byte> data) = 0;
+  [[nodiscard]] virtual std::uint64_t size() const = 0;
+  virtual Status truncate(std::uint64_t new_size) = 0;
+  virtual Status flush() = 0;
+};
+
+/// In-memory storage with simulated-cost accounting (single "server").
+class MemStorage final : public Storage {
+ public:
+  explicit MemStorage(CostModel model = CostModel{})
+      : model_(model), device_(&model_) {}
+
+  Status read_at(std::uint64_t offset, std::span<std::byte> out) override {
+    return device_.read(offset, out);
+  }
+  Status write_at(std::uint64_t offset,
+                  std::span<const std::byte> data) override {
+    return device_.write(offset, data);
+  }
+  [[nodiscard]] std::uint64_t size() const override { return device_.size(); }
+  Status truncate(std::uint64_t new_size) override {
+    return device_.truncate(new_size);
+  }
+  Status flush() override { return Status::ok(); }
+
+  [[nodiscard]] const IoStats& stats() const { return device_.stats(); }
+
+ private:
+  CostModel model_;
+  BlockDevice device_;
+};
+
+/// A real file on the host file system (the POSIX path of serial DRX).
+class PosixStorage final : public Storage {
+ public:
+  /// Opens (creating if absent) `path` for read/write.
+  static Result<std::unique_ptr<PosixStorage>> open(const std::string& path);
+
+  ~PosixStorage() override;
+  PosixStorage(const PosixStorage&) = delete;
+  PosixStorage& operator=(const PosixStorage&) = delete;
+
+  Status read_at(std::uint64_t offset, std::span<std::byte> out) override;
+  Status write_at(std::uint64_t offset,
+                  std::span<const std::byte> data) override;
+  [[nodiscard]] std::uint64_t size() const override { return size_; }
+  Status truncate(std::uint64_t new_size) override;
+  Status flush() override;
+
+ private:
+  explicit PosixStorage(std::FILE* f, std::uint64_t size)
+      : file_(f), size_(size) {}
+
+  std::FILE* file_;
+  std::uint64_t size_;
+};
+
+/// Adapter presenting a striped PFS file as Storage.
+class PfsStorage final : public Storage {
+ public:
+  explicit PfsStorage(FileHandle handle) : handle_(std::move(handle)) {
+    DRX_CHECK(handle_.valid());
+  }
+
+  Status read_at(std::uint64_t offset, std::span<std::byte> out) override {
+    return handle_.read_at(offset, out);
+  }
+  Status write_at(std::uint64_t offset,
+                  std::span<const std::byte> data) override {
+    return handle_.write_at(offset, data);
+  }
+  [[nodiscard]] std::uint64_t size() const override { return handle_.size(); }
+  Status truncate(std::uint64_t new_size) override {
+    return handle_.truncate(new_size);
+  }
+  Status flush() override { return Status::ok(); }
+
+ private:
+  FileHandle handle_;
+};
+
+}  // namespace drx::pfs

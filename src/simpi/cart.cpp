@@ -1,0 +1,54 @@
+#include "simpi/cart.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace drx::simpi {
+
+std::vector<int> dims_create(int nnodes, int ndims) {
+  DRX_CHECK(nnodes >= 1 && ndims >= 1);
+  std::vector<int> dims(static_cast<std::size_t>(ndims), 1);
+  // Repeatedly peel the largest prime factor onto the currently smallest
+  // dimension; yields the balanced factorization MPI_Dims_create produces
+  // for unconstrained inputs.
+  int remaining = nnodes;
+  std::vector<int> primes;
+  for (int f = 2; f * f <= remaining; ++f) {
+    while (remaining % f == 0) {
+      primes.push_back(f);
+      remaining /= f;
+    }
+  }
+  if (remaining > 1) primes.push_back(remaining);
+  std::sort(primes.rbegin(), primes.rend());
+  for (int p : primes) {
+    auto smallest = std::min_element(dims.begin(), dims.end());
+    *smallest *= p;
+  }
+  std::sort(dims.rbegin(), dims.rend());
+  return dims;
+}
+
+std::vector<int> cart_coords(int rank, const std::vector<int>& dims) {
+  std::vector<int> coords(dims.size());
+  int rem = rank;
+  for (std::size_t d = dims.size(); d-- > 0;) {
+    coords[d] = rem % dims[d];
+    rem /= dims[d];
+  }
+  DRX_CHECK_MSG(rem == 0, "rank outside cartesian grid");
+  return coords;
+}
+
+int cart_rank(const std::vector<int>& coords, const std::vector<int>& dims) {
+  DRX_CHECK(coords.size() == dims.size());
+  int rank = 0;
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    DRX_CHECK(coords[d] >= 0 && coords[d] < dims[d]);
+    rank = rank * dims[d] + coords[d];
+  }
+  return rank;
+}
+
+}  // namespace drx::simpi

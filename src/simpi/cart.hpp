@@ -1,0 +1,22 @@
+// Cartesian process topology helpers (MPI_Dims_create / MPI_Cart_coords),
+// used by DRX-MP's default BLOCK zone partitioner to arrange P processes
+// into a k-dimensional process grid.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace drx::simpi {
+
+/// Balanced factorization of `nnodes` into `ndims` factors, most-significant
+/// first (MPI_Dims_create with all dims unconstrained). Factors are as close
+/// to each other as possible and sorted descending.
+std::vector<int> dims_create(int nnodes, int ndims);
+
+/// Row-major rank -> coords in a grid of the given dims (MPI_Cart_coords).
+std::vector<int> cart_coords(int rank, const std::vector<int>& dims);
+
+/// Row-major coords -> rank (MPI_Cart_rank).
+int cart_rank(const std::vector<int>& coords, const std::vector<int>& dims);
+
+}  // namespace drx::simpi

@@ -1,0 +1,75 @@
+#include "simpi/rma.hpp"
+
+#include <cstring>
+
+namespace drx::simpi {
+
+Window::Window(Comm& comm, std::span<std::byte> local) : comm_(&comm) {
+  struct Info {
+    std::uintptr_t base;
+    std::uint64_t size;
+  };
+  Info mine{reinterpret_cast<std::uintptr_t>(local.data()), local.size()};
+  const auto n = static_cast<std::size_t>(comm.size());
+  std::vector<Info> all(n);
+  comm.allgather_bytes(std::as_bytes(std::span<const Info>(&mine, 1)),
+                       std::as_writable_bytes(std::span<Info>(all)));
+  bases_.resize(n);
+  sizes_.resize(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    bases_[r] = all[r].base;
+    sizes_[r] = all[r].size;
+  }
+
+  // Rank 0 owns the lock table; its address is shared with the group.
+  std::uintptr_t shared_addr = 0;
+  if (comm.rank() == 0) {
+    shared_ = new Shared(n);
+    shared_addr = reinterpret_cast<std::uintptr_t>(shared_);
+  }
+  comm.bcast_value(shared_addr, 0);
+  shared_ = reinterpret_cast<Shared*>(shared_addr);
+  comm.barrier();
+}
+
+Window::~Window() {
+  comm_->barrier();
+  if (comm_->rank() == 0) delete shared_;
+  shared_ = nullptr;
+}
+
+std::uint64_t Window::size_at(int rank) const {
+  DRX_CHECK(rank >= 0 && rank < comm_->size());
+  return sizes_[static_cast<std::size_t>(rank)];
+}
+
+std::byte* Window::target_base(int target_rank, std::uint64_t offset,
+                               std::uint64_t len) const {
+  DRX_CHECK(target_rank >= 0 && target_rank < comm_->size());
+  const auto r = static_cast<std::size_t>(target_rank);
+  DRX_CHECK_MSG(offset + len <= sizes_[r],
+                "RMA access outside target window");
+  return reinterpret_cast<std::byte*>(bases_[r]) + offset;
+}
+
+std::mutex& Window::target_mutex(int target_rank) const {
+  return shared_->locks[static_cast<std::size_t>(target_rank)];
+}
+
+void Window::get(int target_rank, std::uint64_t target_offset,
+                 std::span<std::byte> out) {
+  const std::byte* src = target_base(target_rank, target_offset, out.size());
+  std::lock_guard<std::mutex> lock(target_mutex(target_rank));
+  std::memcpy(out.data(), src, out.size());
+}
+
+void Window::put(int target_rank, std::uint64_t target_offset,
+                 std::span<const std::byte> data) {
+  std::byte* dst = target_base(target_rank, target_offset, data.size());
+  std::lock_guard<std::mutex> lock(target_mutex(target_rank));
+  std::memcpy(dst, data.data(), data.size());
+}
+
+void Window::fence() { comm_->barrier(); }
+
+}  // namespace drx::simpi

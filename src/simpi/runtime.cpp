@@ -1,0 +1,39 @@
+#include "simpi/runtime.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace drx::simpi {
+
+void run(int nprocs, const std::function<void(Comm&)>& body) {
+  DRX_CHECK(nprocs >= 1);
+  auto world = std::make_shared<World>(nprocs);
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) {
+    threads.emplace_back([world, r, &body] {
+      Comm comm(world, r);
+      try {
+        body(comm);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "[simpi] rank %d terminated by exception: %s\n",
+                     r, e.what());
+        std::fflush(stderr);
+        std::abort();
+      } catch (...) {
+        std::fprintf(stderr, "[simpi] rank %d terminated by unknown exception\n",
+                     r);
+        std::fflush(stderr);
+        std::abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace drx::simpi

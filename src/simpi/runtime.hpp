@@ -1,0 +1,20 @@
+// Job launcher: runs an SPMD body on N thread-ranks, mirroring
+// `mpiexec -n N` + MPI_Init/MPI_Finalize.
+#pragma once
+
+#include <functional>
+
+#include "simpi/comm.hpp"
+
+namespace drx::simpi {
+
+/// Runs `body(world_comm)` on `nprocs` ranks, each on its own thread, and
+/// joins them all. Any rank aborting (DRX_CHECK failure) aborts the
+/// process, matching MPI_Abort semantics.
+///
+/// Exceptions escaping a rank body are caught, reported, and turned into
+/// a process abort: a rank silently disappearing would deadlock its peers,
+/// which is the worst possible failure mode for tests.
+void run(int nprocs, const std::function<void(Comm&)>& body);
+
+}  // namespace drx::simpi

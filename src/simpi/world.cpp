@@ -1,0 +1,114 @@
+#include "simpi/world.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace drx::simpi {
+
+namespace detail {
+
+void Mailbox::push(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+bool Mailbox::matches(const Message& m, int source, int tag,
+                      std::uint32_t context) const {
+  if (m.context != context) return false;
+  if (source != kAnySource && m.source != source) return false;
+  if (tag != kAnyTag && m.tag != tag) return false;
+  return true;
+}
+
+Message Mailbox::pop(int source, int tag, std::uint32_t context) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = std::find_if(queue_.begin(), queue_.end(),
+                           [&](const Message& m) {
+                             return matches(m, source, tag, context);
+                           });
+    if (it != queue_.end()) {
+      Message msg = std::move(*it);
+      queue_.erase(it);
+      return msg;
+    }
+    cv_.wait(lock);
+  }
+}
+
+std::optional<Message> Mailbox::try_pop(int source, int tag,
+                                        std::uint32_t context) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::find_if(queue_.begin(), queue_.end(),
+                         [&](const Message& m) {
+                           return matches(m, source, tag, context);
+                         });
+  if (it == queue_.end()) return std::nullopt;
+  Message msg = std::move(*it);
+  queue_.erase(it);
+  return msg;
+}
+
+void Mailbox::probe(int source, int tag, std::uint32_t context,
+                    int& out_source, int& out_tag, std::size_t& out_size) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = std::find_if(queue_.begin(), queue_.end(),
+                           [&](const Message& m) {
+                             return matches(m, source, tag, context);
+                           });
+    if (it != queue_.end()) {
+      out_source = it->source;
+      out_tag = it->tag;
+      out_size = it->payload.size();
+      return;
+    }
+    cv_.wait(lock);
+  }
+}
+
+void BarrierState::arrive_and_wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::uint64_t my_generation = generation_;
+  if (++arrived_ == nranks_) {
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return generation_ != my_generation; });
+}
+
+}  // namespace detail
+
+World::World(int nranks)
+    : nranks_(nranks), mailboxes_(static_cast<std::size_t>(nranks)) {
+  DRX_CHECK(nranks >= 1);
+}
+
+detail::Mailbox& World::mailbox(int rank) {
+  DRX_CHECK(rank >= 0 && rank < nranks_);
+  return mailboxes_[static_cast<std::size_t>(rank)];
+}
+
+detail::BarrierState& World::barrier(std::uint32_t context, int nranks) {
+  std::lock_guard<std::mutex> lock(barrier_mu_);
+  for (auto& [id, state] : barriers_) {
+    if (id == context) return *state;
+  }
+  barriers_.emplace_back(
+      context, std::make_unique<detail::BarrierState>(nranks));
+  return *barriers_.back().second;
+}
+
+std::uint32_t World::allocate_context() {
+  std::lock_guard<std::mutex> lock(context_mu_);
+  return next_context_++;
+}
+
+}  // namespace drx::simpi

@@ -1,0 +1,53 @@
+// Overflow-checked size arithmetic.
+//
+// Array-shape products routinely approach 2^63 for out-of-core datasets;
+// every bound/offset computation in the library goes through these helpers
+// so overflow surfaces as a hard error instead of silent wraparound.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+
+#include "util/error.hpp"
+
+namespace drx {
+
+/// a * b, aborting on overflow.
+inline std::uint64_t checked_mul(std::uint64_t a, std::uint64_t b) {
+  if (a != 0 && b > std::numeric_limits<std::uint64_t>::max() / a) {
+    DRX_DIE("u64 multiplication overflow");
+  }
+  return a * b;
+}
+
+/// a + b, aborting on overflow.
+inline std::uint64_t checked_add(std::uint64_t a, std::uint64_t b) {
+  if (b > std::numeric_limits<std::uint64_t>::max() - a) {
+    DRX_DIE("u64 addition overflow");
+  }
+  return a + b;
+}
+
+/// Product of a span of extents, overflow-checked. Empty span yields 1
+/// (the conventional empty product, matching a rank-0 array of one element).
+inline std::uint64_t checked_product(std::span<const std::uint64_t> dims) {
+  std::uint64_t p = 1;
+  for (std::uint64_t d : dims) p = checked_mul(p, d);
+  return p;
+}
+
+/// Ceiling division for non-negative integers; divisor must be positive.
+inline std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  DRX_CHECK(b != 0);
+  return a / b + (a % b != 0 ? 1 : 0);
+}
+
+/// Narrow u64 -> size_t with a range check (no-op on 64-bit platforms,
+/// kept for 32-bit portability).
+inline std::size_t checked_size(std::uint64_t v) {
+  DRX_CHECK(v <= std::numeric_limits<std::size_t>::max());
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace drx

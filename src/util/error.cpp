@@ -1,0 +1,42 @@
+#include "util/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace drx {
+
+std::string_view error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid-argument";
+    case ErrorCode::kOutOfRange: return "out-of-range";
+    case ErrorCode::kNotFound: return "not-found";
+    case ErrorCode::kAlreadyExists: return "already-exists";
+    case ErrorCode::kCorrupt: return "corrupt";
+    case ErrorCode::kIoError: return "io-error";
+    case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kFailedPrecondition: return "failed-precondition";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string out(error_code_name(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+namespace detail {
+void die(const char* file, int line, const std::string& what) {
+  std::fprintf(stderr, "[drx fatal] %s:%d: %s\n", file, line, what.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace drx

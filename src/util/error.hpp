@@ -1,0 +1,131 @@
+// Error handling primitives for the DRX-MP library.
+//
+// The library reports recoverable failures through Status / Result<T>
+// values (Core Guidelines E.2/E.3: exceptions are reserved for programming
+// errors and unrecoverable states; file-format and I/O failures are
+// expected and therefore value-encoded).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace drx {
+
+/// Error categories used across all DRX-MP modules.
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something structurally wrong
+  kOutOfRange,        ///< index/offset beyond current array or file bounds
+  kNotFound,          ///< named file or chunk does not exist
+  kAlreadyExists,     ///< create over an existing name without overwrite
+  kCorrupt,           ///< on-disk metadata failed validation
+  kIoError,           ///< underlying storage failure
+  kUnsupported,       ///< valid request outside implemented feature set
+  kFailedPrecondition,///< operation illegal in current object state
+  kInternal,          ///< invariant violation inside the library
+};
+
+/// Human-readable name of an ErrorCode ("ok", "invalid-argument", ...).
+std::string_view error_code_name(ErrorCode code) noexcept;
+
+/// A cheap, copyable success-or-error value.
+class [[nodiscard]] Status {
+ public:
+  /// Success.
+  Status() noexcept = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return Status(); }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "ok" or "<code-name>: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.to_string();
+}
+
+/// A value or a Status error. Minimal expected<> stand-in: the library
+/// targets toolchains without std::expected.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+  Result(ErrorCode code, std::string message)
+      : status_(code, std::move(message)) {}
+
+  [[nodiscard]] bool is_ok() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  /// Status of the error branch; Status::ok() when a value is present.
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  /// Precondition: is_ok().
+  [[nodiscard]] T& value() & { return *value_; }
+  [[nodiscard]] const T& value() const& { return *value_; }
+  [[nodiscard]] T&& value() && { return *std::move(value_); }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return is_ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace detail {
+[[noreturn]] void die(const char* file, int line, const std::string& what);
+}  // namespace detail
+
+}  // namespace drx
+
+/// Aborts with location info; used for unrecoverable invariant violations.
+#define DRX_DIE(msg) ::drx::detail::die(__FILE__, __LINE__, (msg))
+
+/// Asserts an invariant in both debug and release builds (these guards are
+/// cheap relative to I/O and catch file-format corruption early).
+#define DRX_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond)) DRX_DIE(std::string("check failed: ") + #cond);     \
+  } while (0)
+
+#define DRX_CHECK_MSG(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      DRX_DIE(std::string("check failed: ") + #cond + " — " + (msg));        \
+  } while (0)
+
+/// Propagates an error Status from an expression returning Status.
+#define DRX_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::drx::Status drx_st_ = (expr);                \
+    if (!drx_st_.is_ok()) return drx_st_;          \
+  } while (0)
+
+/// Evaluates an expression returning Result<T>; on error returns its Status,
+/// otherwise assigns the unwrapped value to `lhs`.
+#define DRX_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto DRX_CONCAT_(drx_res_, __LINE__) = (expr);   \
+  if (!DRX_CONCAT_(drx_res_, __LINE__).is_ok())    \
+    return DRX_CONCAT_(drx_res_, __LINE__).status(); \
+  lhs = std::move(DRX_CONCAT_(drx_res_, __LINE__)).value()
+
+#define DRX_CONCAT_INNER_(a, b) a##b
+#define DRX_CONCAT_(a, b) DRX_CONCAT_INNER_(a, b)

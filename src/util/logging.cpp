@@ -1,0 +1,35 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace drx {
+
+LogLevel log_level() noexcept {
+  static const LogLevel level = [] {
+    const char* env = std::getenv("DRX_LOG_LEVEL");
+    if (env == nullptr) return LogLevel::kOff;
+    int v = std::atoi(env);
+    if (v < 0) v = 0;
+    if (v > 4) v = 4;
+    return static_cast<LogLevel>(v);
+  }();
+  return level;
+}
+
+void log_message(LogLevel level, const std::string& msg) {
+  static std::mutex mu;
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kError: tag = "E"; break;
+    case LogLevel::kWarn: tag = "W"; break;
+    case LogLevel::kInfo: tag = "I"; break;
+    case LogLevel::kDebug: tag = "D"; break;
+    case LogLevel::kOff: return;
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[drx %s] %s\n", tag, msg.c_str());
+}
+
+}  // namespace drx

@@ -1,0 +1,49 @@
+// Minimal leveled logging. Off by default; enabled via DRX_LOG_LEVEL env
+// var (0=off, 1=error, 2=warn, 3=info, 4=debug) — libraries must never
+// chatter on stdout unasked.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace drx {
+
+enum class LogLevel : int { kOff = 0, kError = 1, kWarn = 2, kInfo = 3, kDebug = 4 };
+
+/// Current level, read once from the environment.
+LogLevel log_level() noexcept;
+
+/// Thread-safe sink to stderr; prepends level tag.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace drx
+
+#define DRX_LOG(level)                                          \
+  if (static_cast<int>(::drx::log_level()) >=                   \
+      static_cast<int>(::drx::LogLevel::level))                 \
+  ::drx::detail::LogLine(::drx::LogLevel::level)
+
+#define DRX_LOG_INFO DRX_LOG(kInfo)
+#define DRX_LOG_WARN DRX_LOG(kWarn)
+#define DRX_LOG_ERROR DRX_LOG(kError)
+#define DRX_LOG_DEBUG DRX_LOG(kDebug)

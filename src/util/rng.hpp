@@ -1,0 +1,42 @@
+// Deterministic pseudo-random generation for tests and benchmarks.
+//
+// splitmix64: tiny, fast, and identical across platforms, so property tests
+// and benchmark workloads are reproducible byte-for-byte.
+#pragma once
+
+#include <cstdint>
+
+namespace drx {
+
+/// splitmix64 generator (Steele, Lea & Flood).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return next() % bound;
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace drx

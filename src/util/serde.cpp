@@ -1,0 +1,95 @@
+#include "util/serde.hpp"
+
+#include <cstring>
+
+namespace drx {
+
+namespace {
+template <typename T>
+void put_le(std::vector<std::byte>& buf, T v) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buf.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+  }
+}
+}  // namespace
+
+void ByteWriter::put_u32(std::uint32_t v) { put_le(buf_, v); }
+void ByteWriter::put_u64(std::uint64_t v) { put_le(buf_, v); }
+void ByteWriter::put_i64(std::int64_t v) {
+  put_le(buf_, static_cast<std::uint64_t>(v));
+}
+void ByteWriter::put_f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_le(buf_, bits);
+}
+void ByteWriter::put_string(std::string_view s) {
+  DRX_CHECK(s.size() <= UINT32_MAX);
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  for (char c : s) buf_.push_back(static_cast<std::byte>(c));
+}
+void ByteWriter::put_bytes(std::span<const std::byte> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+Status ByteReader::need(std::size_t n) {
+  if (remaining() < n) {
+    return Status(ErrorCode::kCorrupt, "truncated metadata buffer");
+  }
+  return Status::ok();
+}
+
+Result<std::uint8_t> ByteReader::get_u8() {
+  DRX_RETURN_IF_ERROR(need(1));
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+Result<std::uint32_t> ByteReader::get_u32() {
+  DRX_RETURN_IF_ERROR(need(4));
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<std::uint64_t> ByteReader::get_u64() {
+  DRX_RETURN_IF_ERROR(need(8));
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<std::int64_t> ByteReader::get_i64() {
+  DRX_ASSIGN_OR_RETURN(std::uint64_t v, get_u64());
+  return static_cast<std::int64_t>(v);
+}
+
+Result<double> ByteReader::get_f64() {
+  DRX_ASSIGN_OR_RETURN(std::uint64_t bits, get_u64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> ByteReader::get_string() {
+  DRX_ASSIGN_OR_RETURN(std::uint32_t len, get_u32());
+  DRX_RETURN_IF_ERROR(need(len));
+  std::string s(len, '\0');
+  std::memcpy(s.data(), data_.data() + pos_, len);
+  pos_ += len;
+  return s;
+}
+
+Status ByteReader::get_bytes(std::span<std::byte> out) {
+  DRX_RETURN_IF_ERROR(need(out.size()));
+  std::memcpy(out.data(), data_.data() + pos_, out.size());
+  pos_ += out.size();
+  return Status::ok();
+}
+
+}  // namespace drx

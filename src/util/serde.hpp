@@ -1,0 +1,64 @@
+// Byte-level (de)serialization for on-disk metadata.
+//
+// All multi-byte integers are written little-endian regardless of host
+// order so .xmd files are portable across nodes of a heterogeneous cluster.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace drx {
+
+/// Appends primitive values to a growable byte buffer.
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_i64(std::int64_t v);
+  void put_f64(double v);
+  /// Length-prefixed (u32) string.
+  void put_string(std::string_view s);
+  void put_bytes(std::span<const std::byte> bytes);
+
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept { return buf_; }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  std::vector<std::byte> take() && { return std::move(buf_); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Reads primitive values back; every getter returns an error Result on
+/// truncation so corrupt metadata files fail cleanly rather than crash.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  Result<std::uint8_t> get_u8();
+  Result<std::uint32_t> get_u32();
+  Result<std::uint64_t> get_u64();
+  Result<std::int64_t> get_i64();
+  Result<double> get_f64();
+  Result<std::string> get_string();
+  Status get_bytes(std::span<std::byte> out);
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+
+ private:
+  Status need(std::size_t n);
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace drx

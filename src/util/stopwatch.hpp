@@ -1,0 +1,26 @@
+// Wall-clock stopwatch used by benches alongside the PFS simulated clock.
+#pragma once
+
+#include <chrono>
+
+namespace drx {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  [[nodiscard]] double elapsed_micros() const {
+    return elapsed_seconds() * 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace drx

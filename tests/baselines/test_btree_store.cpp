@@ -1,0 +1,195 @@
+#include "baselines/btree_chunk_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace drx::baselines {
+namespace {
+
+std::vector<std::byte> chunk_payload(std::uint64_t tag,
+                                     std::uint64_t bytes) {
+  std::vector<std::byte> buf(static_cast<std::size_t>(bytes));
+  SplitMix64 rng(tag + 1);
+  for (auto& b : buf) b = static_cast<std::byte>(rng.next() & 0xFF);
+  return buf;
+}
+
+TEST(BTreeStore, WriteReadSingleChunk) {
+  auto store = BTreeChunkStore::create(std::make_unique<pfs::MemStorage>(),
+                                       2, 64);
+  ASSERT_TRUE(store.is_ok());
+  const std::uint64_t key[] = {3, 4};
+  const auto data = chunk_payload(1, 64);
+  ASSERT_TRUE(store.value().write_chunk(key, data).is_ok());
+  std::vector<std::byte> out(64);
+  ASSERT_TRUE(store.value().read_chunk(key, out).is_ok());
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(store.value().chunk_count(), 1u);
+}
+
+TEST(BTreeStore, MissingChunkIsNotFound) {
+  auto store = BTreeChunkStore::create(std::make_unique<pfs::MemStorage>(),
+                                       2, 32);
+  ASSERT_TRUE(store.is_ok());
+  const std::uint64_t key[] = {0, 0};
+  std::vector<std::byte> out(32);
+  EXPECT_EQ(store.value().read_chunk(key, out).code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(store.value().lookup(key).status().code(), ErrorCode::kNotFound);
+}
+
+TEST(BTreeStore, OverwriteKeepsSingleCopy) {
+  auto store = BTreeChunkStore::create(std::make_unique<pfs::MemStorage>(),
+                                       1, 16);
+  ASSERT_TRUE(store.is_ok());
+  const std::uint64_t key[] = {7};
+  ASSERT_TRUE(store.value().write_chunk(key, chunk_payload(1, 16)).is_ok());
+  ASSERT_TRUE(store.value().write_chunk(key, chunk_payload(2, 16)).is_ok());
+  EXPECT_EQ(store.value().chunk_count(), 1u);
+  std::vector<std::byte> out(16);
+  ASSERT_TRUE(store.value().read_chunk(key, out).is_ok());
+  EXPECT_EQ(out, chunk_payload(2, 16));
+}
+
+class BTreeScaleP : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreeScaleP, ManyChunksWithSplitsRoundTrip) {
+  const int n = GetParam();
+  auto store = BTreeChunkStore::create(std::make_unique<pfs::MemStorage>(),
+                                       2, 32);
+  ASSERT_TRUE(store.is_ok());
+  // Insert in a shuffled order to exercise splits at both ends.
+  std::vector<std::uint64_t> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    order[static_cast<std::size_t>(i)] = static_cast<std::uint64_t>(i);
+  }
+  SplitMix64 rng(9);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+  for (std::uint64_t v : order) {
+    const std::uint64_t key[] = {v / 37, v % 37};
+    ASSERT_TRUE(store.value()
+                    .write_chunk(key, chunk_payload(v, 32))
+                    .is_ok());
+  }
+  EXPECT_EQ(store.value().chunk_count(), static_cast<std::uint64_t>(n));
+  if (n > 500) {
+    EXPECT_GT(store.value().stats().splits, 0u);
+  }
+
+  for (std::uint64_t v = 0; v < static_cast<std::uint64_t>(n); ++v) {
+    const std::uint64_t key[] = {v / 37, v % 37};
+    std::vector<std::byte> out(32);
+    ASSERT_TRUE(store.value().read_chunk(key, out).is_ok()) << v;
+    ASSERT_EQ(out, chunk_payload(v, 32)) << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BTreeScaleP,
+                         ::testing::Values(1, 10, 200, 2000));
+
+TEST(BTreeStore, PersistsAcrossReopen) {
+  // Snapshot taken while the store (which owns the storage) is alive.
+  auto snapshot = std::make_unique<pfs::MemStorage>();
+  {
+    auto storage = std::make_unique<pfs::MemStorage>();
+    pfs::MemStorage* raw = storage.get();
+    auto store = BTreeChunkStore::create(std::move(storage), 2, 16);
+    ASSERT_TRUE(store.is_ok());
+    for (std::uint64_t v = 0; v < 300; ++v) {
+      const std::uint64_t key[] = {v, v * 3};
+      ASSERT_TRUE(
+          store.value().write_chunk(key, chunk_payload(v, 16)).is_ok());
+    }
+    ASSERT_TRUE(store.value().flush().is_ok());
+    std::vector<std::byte> bytes(static_cast<std::size_t>(raw->size()));
+    ASSERT_TRUE(raw->read_at(0, bytes).is_ok());
+    ASSERT_TRUE(snapshot->write_at(0, bytes).is_ok());
+  }
+  auto reopened = BTreeChunkStore::open(std::move(snapshot));
+  ASSERT_TRUE(reopened.is_ok()) << reopened.status();
+  EXPECT_EQ(reopened.value().chunk_count(), 300u);
+  EXPECT_EQ(reopened.value().rank(), 2u);
+  for (std::uint64_t v = 0; v < 300; ++v) {
+    const std::uint64_t key[] = {v, v * 3};
+    std::vector<std::byte> out(16);
+    ASSERT_TRUE(reopened.value().read_chunk(key, out).is_ok()) << v;
+    EXPECT_EQ(out, chunk_payload(v, 16));
+  }
+}
+
+TEST(BTreeStore, ColdCacheCostsNodeFetches) {
+  BTreeChunkStore::Options opts;
+  opts.cache_pages = 4;
+  auto store = BTreeChunkStore::create(std::make_unique<pfs::MemStorage>(),
+                                       2, 16, opts);
+  ASSERT_TRUE(store.is_ok());
+  for (std::uint64_t v = 0; v < 2000; ++v) {
+    const std::uint64_t key[] = {v, v};
+    ASSERT_TRUE(store.value().write_chunk(key, chunk_payload(v, 16)).is_ok());
+  }
+  ASSERT_TRUE(store.value().drop_cache().is_ok());
+  store.value().reset_stats();
+
+  SplitMix64 rng(3);
+  std::vector<std::byte> out(16);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t v = rng.next_below(2000);
+    const std::uint64_t key[] = {v, v};
+    ASSERT_TRUE(store.value().read_chunk(key, out).is_ok());
+  }
+  // Random lookups on a tiny cache must hit storage for most lookups (the
+  // root stays hot, leaves thrash) — the index-traffic cost the paper's
+  // computed access avoids.
+  EXPECT_GT(store.value().stats().node_fetches, 100u);
+}
+
+TEST(BTreeStore, WarmCacheAvoidsFetches) {
+  BTreeChunkStore::Options opts;
+  opts.cache_pages = 4096;
+  auto store = BTreeChunkStore::create(std::make_unique<pfs::MemStorage>(),
+                                       2, 16, opts);
+  ASSERT_TRUE(store.is_ok());
+  for (std::uint64_t v = 0; v < 500; ++v) {
+    const std::uint64_t key[] = {v, v};
+    ASSERT_TRUE(store.value().write_chunk(key, chunk_payload(v, 16)).is_ok());
+  }
+  store.value().reset_stats();
+  std::vector<std::byte> out(16);
+  for (std::uint64_t v = 0; v < 500; ++v) {
+    const std::uint64_t key[] = {v, v};
+    ASSERT_TRUE(store.value().read_chunk(key, out).is_ok());
+  }
+  EXPECT_EQ(store.value().stats().node_fetches, 0u);
+  EXPECT_GT(store.value().stats().cache_hits, 0u);
+}
+
+TEST(BTreeStore, OpenRejectsGarbage) {
+  auto storage = std::make_unique<pfs::MemStorage>();
+  std::vector<std::byte> junk(BTreeChunkStore::kPageBytes, std::byte{0x13});
+  ASSERT_TRUE(storage->write_at(0, junk).is_ok());
+  EXPECT_FALSE(BTreeChunkStore::open(std::move(storage)).is_ok());
+}
+
+TEST(BTreeStore, HighRankKeys) {
+  auto store = BTreeChunkStore::create(std::make_unique<pfs::MemStorage>(),
+                                       4, 8);
+  ASSERT_TRUE(store.is_ok());
+  for (std::uint64_t v = 0; v < 256; ++v) {
+    const std::uint64_t key[] = {v & 3, (v >> 2) & 3, (v >> 4) & 3,
+                                 (v >> 6) & 3};
+    ASSERT_TRUE(store.value().write_chunk(key, chunk_payload(v, 8)).is_ok());
+  }
+  for (std::uint64_t v = 0; v < 256; ++v) {
+    const std::uint64_t key[] = {v & 3, (v >> 2) & 3, (v >> 4) & 3,
+                                 (v >> 6) & 3};
+    std::vector<std::byte> out(8);
+    ASSERT_TRUE(store.value().read_chunk(key, out).is_ok());
+    EXPECT_EQ(out, chunk_payload(v, 8));
+  }
+}
+
+}  // namespace
+}  // namespace drx::baselines

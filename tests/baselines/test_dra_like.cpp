@@ -1,0 +1,119 @@
+#include "baselines/dra_like.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simpi/runtime.hpp"
+
+namespace drx::baselines {
+namespace {
+
+using core::Box;
+using core::Index;
+using core::MemoryOrder;
+using core::Shape;
+
+pfs::PfsConfig cfg() {
+  pfs::PfsConfig c;
+  c.num_servers = 3;
+  c.stripe_size = 128;
+  return c;
+}
+
+double cell_value(const Index& idx) {
+  return static_cast<double>(idx[0]) * 50 + static_cast<double>(idx[1]);
+}
+
+class DraP : public ::testing::TestWithParam<int> {};
+
+TEST_P(DraP, ZoneWriteReadRoundTrip) {
+  const int p = GetParam();
+  pfs::Pfs fs(cfg());
+  simpi::run(p, [&](simpi::Comm& comm) {
+    auto fr = DraLikeFile::create(comm, fs, "d", Shape{12, 10}, Shape{3, 2},
+                                  sizeof(double));
+    ASSERT_TRUE(fr.is_ok()) << fr.status();
+    DraLikeFile f = std::move(fr).value();
+
+    const auto dist = f.block_distribution(comm.size());
+    const Box box = f.zone_element_box(dist, comm.rank());
+    const Shape shape = box.shape();
+    std::vector<double> zone(static_cast<std::size_t>(box.volume()));
+    core::for_each_index(box, [&](const Index& idx) {
+      Index rel = {idx[0] - box.lo[0], idx[1] - box.lo[1]};
+      zone[static_cast<std::size_t>(
+          core::linearize(rel, shape, MemoryOrder::kRowMajor))] =
+          cell_value(idx);
+    });
+    ASSERT_TRUE(f.write_my_zone(dist, MemoryOrder::kRowMajor,
+                                std::as_bytes(std::span<const double>(zone)))
+                    .is_ok());
+    comm.barrier();
+
+    std::vector<double> out(zone.size(), -1);
+    ASSERT_TRUE(f.read_my_zone(dist, MemoryOrder::kRowMajor,
+                               std::as_writable_bytes(std::span<double>(out)))
+                    .is_ok());
+    EXPECT_EQ(out, zone);
+    ASSERT_TRUE(f.close().is_ok());
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, DraP, ::testing::Values(1, 2, 4));
+
+TEST(DraLike, PersistsAcrossOpen) {
+  pfs::Pfs fs(cfg());
+  simpi::run(2, [&](simpi::Comm& comm) {
+    {
+      DraLikeFile f = DraLikeFile::create(comm, fs, "d", Shape{6, 6},
+                                          Shape{2, 2}, sizeof(double))
+                          .value();
+      const auto dist = f.block_distribution(comm.size());
+      const Box box = f.zone_element_box(dist, comm.rank());
+      const Shape shape = box.shape();
+      std::vector<double> zone(static_cast<std::size_t>(box.volume()));
+      core::for_each_index(box, [&](const Index& idx) {
+        Index rel = {idx[0] - box.lo[0], idx[1] - box.lo[1]};
+        zone[static_cast<std::size_t>(
+            core::linearize(rel, shape, MemoryOrder::kRowMajor))] =
+            cell_value(idx);
+      });
+      ASSERT_TRUE(
+          f.write_my_zone(dist, MemoryOrder::kRowMajor,
+                          std::as_bytes(std::span<const double>(zone)))
+              .is_ok());
+      ASSERT_TRUE(f.close().is_ok());
+    }
+    comm.barrier();
+    {
+      auto fr = DraLikeFile::open(comm, fs, "d");
+      ASSERT_TRUE(fr.is_ok()) << fr.status();
+      DraLikeFile f = std::move(fr).value();
+      EXPECT_EQ(f.bounds(), (Shape{6, 6}));
+      const auto dist = f.block_distribution(comm.size());
+      const Box box = f.zone_element_box(dist, comm.rank());
+      const Shape shape = box.shape();
+      std::vector<double> out(static_cast<std::size_t>(box.volume()));
+      ASSERT_TRUE(
+          f.read_my_zone(dist, MemoryOrder::kRowMajor,
+                         std::as_writable_bytes(std::span<double>(out)))
+              .is_ok());
+      core::for_each_index(box, [&](const Index& idx) {
+        Index rel = {idx[0] - box.lo[0], idx[1] - box.lo[1]};
+        ASSERT_EQ(out[static_cast<std::size_t>(core::linearize(
+                      rel, shape, MemoryOrder::kRowMajor))],
+                  cell_value(idx));
+      });
+      ASSERT_TRUE(f.close().is_ok());
+    }
+  });
+}
+
+TEST(DraLike, OpenMissingFails) {
+  pfs::Pfs fs(cfg());
+  simpi::run(2, [&](simpi::Comm& comm) {
+    EXPECT_FALSE(DraLikeFile::open(comm, fs, "missing").is_ok());
+  });
+}
+
+}  // namespace
+}  // namespace drx::baselines

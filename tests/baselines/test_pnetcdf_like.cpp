@@ -1,0 +1,148 @@
+#include "baselines/pnetcdf_like.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simpi/runtime.hpp"
+
+namespace drx::baselines {
+namespace {
+
+using core::Shape;
+
+pfs::PfsConfig cfg() {
+  pfs::PfsConfig c;
+  c.num_servers = 3;
+  c.stripe_size = 512;
+  return c;
+}
+
+TEST(PnetcdfLike, RecordAppendAndRoundTrip) {
+  pfs::Pfs fs(cfg());
+  simpi::run(4, [&](simpi::Comm& comm) {
+    auto f = PnetcdfLikeFile::create(comm, fs, "nc", Shape{4, 3, 5},
+                                     sizeof(double))
+                 .value();
+    EXPECT_EQ(f.record_bytes(), 15u * 8);
+    ASSERT_TRUE(f.append_records(4).is_ok());
+    EXPECT_EQ(f.bounds()[0], 8u);
+
+    // Each rank collectively writes two records.
+    const auto r = static_cast<std::uint64_t>(comm.rank());
+    std::vector<double> recs(2 * 15);
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      recs[i] = static_cast<double>(r * 100 + i);
+    }
+    ASSERT_TRUE(f.write_records_all(
+                     2 * r, 2, std::as_bytes(std::span<const double>(recs)))
+                    .is_ok());
+    comm.barrier();
+
+    // Everyone reads all 8 records and checks ownership patterns.
+    std::vector<double> all(8 * 15);
+    ASSERT_TRUE(
+        f.read_records_all(0, 8,
+                           std::as_writable_bytes(std::span<double>(all)))
+            .is_ok());
+    for (std::uint64_t rec = 0; rec < 8; ++rec) {
+      const std::uint64_t owner = rec / 2;
+      for (std::uint64_t e = 0; e < 15; ++e) {
+        EXPECT_EQ(all[rec * 15 + e],
+                  static_cast<double>(owner * 100 + (rec % 2) * 15 + e));
+      }
+    }
+    ASSERT_TRUE(f.close().is_ok());
+  });
+}
+
+TEST(PnetcdfLike, PersistsAcrossOpen) {
+  pfs::Pfs fs(cfg());
+  simpi::run(2, [&](simpi::Comm& comm) {
+    {
+      auto f = PnetcdfLikeFile::create(comm, fs, "nc", Shape{2, 4},
+                                       sizeof(double))
+                   .value();
+      std::vector<double> rec(4, 3.5);
+      if (comm.rank() == 0) {
+        // Independent-free API: both ranks participate, rank 1 writes none.
+      }
+      ASSERT_TRUE(
+          f.write_records_all(static_cast<std::uint64_t>(comm.rank()), 1,
+                              std::as_bytes(std::span<const double>(rec)))
+              .is_ok());
+      ASSERT_TRUE(f.close().is_ok());
+    }
+    comm.barrier();
+    auto f = PnetcdfLikeFile::open(comm, fs, "nc").value();
+    EXPECT_EQ(f.bounds(), (Shape{2, 4}));
+    std::vector<double> all(8);
+    ASSERT_TRUE(
+        f.read_records_all(0, 2,
+                           std::as_writable_bytes(std::span<double>(all)))
+            .is_ok());
+    for (double v : all) EXPECT_EQ(v, 3.5);
+    ASSERT_TRUE(f.close().is_ok());
+  });
+}
+
+TEST(PnetcdfLike, RedefineGrowPreservesDataAndReportsCost) {
+  pfs::Pfs fs(cfg());
+  simpi::run(2, [&](simpi::Comm& comm) {
+    auto f = PnetcdfLikeFile::create(comm, fs, "nc", Shape{3, 2, 2},
+                                     sizeof(double))
+                 .value();
+    // Fill records with identifiable values (rank 0 writes all).
+    std::vector<double> recs(3 * 4);
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      recs[i] = static_cast<double>(i);
+    }
+    if (comm.rank() == 0) {
+      ASSERT_TRUE(
+          f.write_records_all(0, 3,
+                              std::as_bytes(std::span<const double>(recs)))
+              .is_ok());
+    } else {
+      ASSERT_TRUE(f.write_records_all(0, 0, {}).is_ok());
+    }
+    comm.barrier();
+
+    auto moved = f.redefine_grow(2, 1);
+    ASSERT_TRUE(moved.is_ok()) << moved.status();
+    EXPECT_GT(moved.value(), 0u);  // every record moved
+    EXPECT_EQ(f.bounds(), (Shape{3, 2, 3}));
+
+    std::vector<double> all(3 * 6);
+    ASSERT_TRUE(
+        f.read_records_all(0, 3,
+                           std::as_writable_bytes(std::span<double>(all)))
+            .is_ok());
+    // Old element (rec, i, j) at new position rec*6 + i*3 + j.
+    for (std::uint64_t rec = 0; rec < 3; ++rec) {
+      for (std::uint64_t i = 0; i < 2; ++i) {
+        for (std::uint64_t j = 0; j < 3; ++j) {
+          const double expect =
+              j < 2 ? static_cast<double>(rec * 4 + i * 2 + j) : 0.0;
+          EXPECT_EQ(all[rec * 6 + i * 3 + j], expect)
+              << rec << "," << i << "," << j;
+        }
+      }
+    }
+    ASSERT_TRUE(f.close().is_ok());
+  });
+}
+
+TEST(PnetcdfLike, RecordDimMustUseAppend) {
+  pfs::Pfs fs(cfg());
+  simpi::run(1, [&](simpi::Comm& comm) {
+    auto f = PnetcdfLikeFile::create(comm, fs, "nc", Shape{2, 2},
+                                     sizeof(double))
+                 .value();
+    EXPECT_EQ(f.redefine_grow(0, 1).status().code(),
+              ErrorCode::kInvalidArgument);
+    EXPECT_EQ(f.redefine_grow(5, 1).status().code(),
+              ErrorCode::kInvalidArgument);
+    ASSERT_TRUE(f.close().is_ok());
+  });
+}
+
+}  // namespace
+}  // namespace drx::baselines

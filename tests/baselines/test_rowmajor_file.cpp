@@ -1,0 +1,175 @@
+#include "baselines/rowmajor_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace drx::baselines {
+namespace {
+
+using core::Box;
+using core::Index;
+using core::MemoryOrder;
+using core::Shape;
+
+RowMajorFile make(Shape bounds, std::uint64_t esize = 8) {
+  auto f = RowMajorFile::create(std::make_unique<pfs::MemStorage>(),
+                                std::move(bounds), esize);
+  EXPECT_TRUE(f.is_ok());
+  return std::move(f).value();
+}
+
+TEST(RowMajorFile, ElementRoundTrip) {
+  RowMajorFile f = make(Shape{4, 5});
+  const double v = 2.75;
+  ASSERT_TRUE(f.write_element(Index{2, 3},
+                              std::as_bytes(std::span<const double>(&v, 1)))
+                  .is_ok());
+  double out = 0;
+  ASSERT_TRUE(
+      f.read_element(Index{2, 3},
+                     std::as_writable_bytes(std::span<double>(&out, 1)))
+          .is_ok());
+  EXPECT_EQ(out, v);
+}
+
+TEST(RowMajorFile, BoxRoundTripBothOrders) {
+  RowMajorFile f = make(Shape{6, 7});
+  const Box box{{1, 2}, {5, 6}};
+  std::vector<double> data(static_cast<std::size_t>(box.volume()));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<double>(i);
+  }
+  for (auto order : {MemoryOrder::kRowMajor, MemoryOrder::kColMajor}) {
+    ASSERT_TRUE(f.write_box(box, order,
+                            std::as_bytes(std::span<const double>(data)))
+                    .is_ok());
+    std::vector<double> out(data.size(), -1);
+    ASSERT_TRUE(f.read_box(box, order,
+                           std::as_writable_bytes(std::span<double>(out)))
+                    .is_ok());
+    EXPECT_EQ(out, data);
+  }
+}
+
+TEST(RowMajorFile, AppendAlongDim0IsCheap) {
+  RowMajorFile f = make(Shape{4, 8});
+  const double v = 5.0;
+  ASSERT_TRUE(f.write_element(Index{3, 7},
+                              std::as_bytes(std::span<const double>(&v, 1)))
+                  .is_ok());
+  auto moved = f.extend(0, 4);
+  ASSERT_TRUE(moved.is_ok());
+  EXPECT_EQ(moved.value(), 0u);  // no reorganization
+  EXPECT_EQ(f.bounds(), (Shape{8, 8}));
+  double out = 0;
+  ASSERT_TRUE(
+      f.read_element(Index{3, 7},
+                     std::as_writable_bytes(std::span<double>(&out, 1)))
+          .is_ok());
+  EXPECT_EQ(out, 5.0);
+  // New rows read as zero.
+  ASSERT_TRUE(
+      f.read_element(Index{7, 7},
+                     std::as_writable_bytes(std::span<double>(&out, 1)))
+          .is_ok());
+  EXPECT_EQ(out, 0.0);
+}
+
+TEST(RowMajorFile, ExtendingInnerDimReorganizesButPreservesData) {
+  RowMajorFile f = make(Shape{5, 4});
+  std::vector<double> all(20);
+  for (std::size_t i = 0; i < 20; ++i) all[i] = static_cast<double>(i);
+  ASSERT_TRUE(f.write_box(Box{{0, 0}, {5, 4}}, MemoryOrder::kRowMajor,
+                          std::as_bytes(std::span<const double>(all)))
+                  .is_ok());
+
+  auto moved = f.extend(1, 3);
+  ASSERT_TRUE(moved.is_ok());
+  // Reorganization moved the whole old image plus the new image.
+  EXPECT_EQ(moved.value(), 20u * 8 + 35u * 8);
+  EXPECT_EQ(f.bounds(), (Shape{5, 7}));
+
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    for (std::uint64_t j = 0; j < 7; ++j) {
+      double out = -1;
+      ASSERT_TRUE(
+          f.read_element(Index{i, j},
+                         std::as_writable_bytes(std::span<double>(&out, 1)))
+              .is_ok());
+      EXPECT_EQ(out, j < 4 ? all[i * 4 + j] : 0.0) << i << "," << j;
+    }
+  }
+}
+
+TEST(RowMajorFile, RepeatedInnerExtensionCostGrowsWithArray) {
+  // The quadratic-total-cost behavior the paper motivates against: each
+  // inner-dimension extension moves the whole (growing) file.
+  RowMajorFile f = make(Shape{8, 8});
+  std::uint64_t last = 0;
+  for (int step = 0; step < 4; ++step) {
+    auto moved = f.extend(1, 2);
+    ASSERT_TRUE(moved.is_ok());
+    EXPECT_GT(moved.value(), last);
+    last = moved.value();
+  }
+}
+
+TEST(RowMajorFile, ColumnReadIsStrided) {
+  // Reading one column of an N x M row-major file issues N separate
+  // storage requests (the poor access pattern of paper Sec. I).
+  auto storage = std::make_unique<pfs::MemStorage>();
+  pfs::MemStorage* raw = storage.get();
+  auto f = RowMajorFile::create(std::move(storage), Shape{16, 16}, 8);
+  ASSERT_TRUE(f.is_ok());
+  const std::uint64_t reads_before = raw->stats().read_requests;
+  std::vector<double> col(16);
+  ASSERT_TRUE(f.value()
+                  .read_box(Box{{0, 3}, {16, 4}}, MemoryOrder::kColMajor,
+                            std::as_writable_bytes(std::span<double>(col)))
+                  .is_ok());
+  EXPECT_EQ(raw->stats().read_requests - reads_before, 16u);
+}
+
+TEST(RowMajorFile, OneDimensionalFile) {
+  RowMajorFile f = make(Shape{10}, 4);
+  const std::int32_t v = -9;
+  ASSERT_TRUE(
+      f.write_element(Index{9},
+                      std::as_bytes(std::span<const std::int32_t>(&v, 1)))
+          .is_ok());
+  auto moved = f.extend(0, 5);
+  ASSERT_TRUE(moved.is_ok());
+  EXPECT_EQ(moved.value(), 0u);
+  std::int32_t out = 0;
+  ASSERT_TRUE(f.read_element(Index{9}, std::as_writable_bytes(
+                                           std::span<std::int32_t>(&out, 1)))
+                  .is_ok());
+  EXPECT_EQ(out, -9);
+}
+
+TEST(RowMajorFile, MatchesMirrorUnderRandomOps) {
+  RowMajorFile f = make(Shape{6, 6});
+  std::vector<double> mirror(36, 0.0);
+  SplitMix64 rng(11);
+  for (int op = 0; op < 200; ++op) {
+    Index idx{rng.next_below(6), rng.next_below(6)};
+    if (rng.next() % 2 == 0) {
+      const double v = rng.next_double();
+      ASSERT_TRUE(
+          f.write_element(idx, std::as_bytes(std::span<const double>(&v, 1)))
+              .is_ok());
+      mirror[static_cast<std::size_t>(idx[0] * 6 + idx[1])] = v;
+    } else {
+      double out = -1;
+      ASSERT_TRUE(
+          f.read_element(idx,
+                         std::as_writable_bytes(std::span<double>(&out, 1)))
+              .is_ok());
+      EXPECT_EQ(out, mirror[static_cast<std::size_t>(idx[0] * 6 + idx[1])]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace drx::baselines

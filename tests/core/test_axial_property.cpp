@@ -1,0 +1,142 @@
+// Property tests of the axial mapping over randomized expansion histories:
+// for ANY sequence of extensions,
+//   (1) F* is a bijection from the chunk grid onto [0, total),
+//   (2) F*^-1 inverts F*,
+//   (3) already-assigned addresses never change (no reorganization),
+//   (4) the axial-vector count equals the number of interrupted runs,
+//   (5) serialization round-trips.
+#include <gtest/gtest.h>
+
+#include "core/axial_mapping.hpp"
+#include "util/rng.hpp"
+
+namespace drx::core {
+namespace {
+
+struct Scenario {
+  std::uint64_t seed;
+  std::size_t rank;
+  int steps;
+};
+
+void PrintTo(const Scenario& s, std::ostream* os) {
+  *os << "seed" << s.seed << "_rank" << s.rank << "_steps" << s.steps;
+}
+
+class AxialPropertyP : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(AxialPropertyP, RandomHistoryInvariants) {
+  const Scenario sc = GetParam();
+  SplitMix64 rng(sc.seed);
+
+  Shape initial(sc.rank);
+  for (auto& b : initial) b = rng.next_in(1, 3);
+  AxialMapping m(initial);
+
+  // Pin (index -> address) as we go; verify stability after every step.
+  std::vector<std::pair<Index, std::uint64_t>> pinned;
+  const auto pin_some = [&] {
+    Box full{Index(sc.rank, 0), m.bounds()};
+    // Pin corners plus a few random cells.
+    pinned.emplace_back(full.lo, m.address_of(full.lo));
+    Index corner(sc.rank);
+    for (std::size_t d = 0; d < sc.rank; ++d) {
+      corner[d] = m.bounds()[d] - 1;
+    }
+    pinned.emplace_back(corner, m.address_of(corner));
+    for (int i = 0; i < 3; ++i) {
+      Index idx(sc.rank);
+      for (std::size_t d = 0; d < sc.rank; ++d) {
+        idx[d] = rng.next_below(m.bounds()[d]);
+      }
+      pinned.emplace_back(idx, m.address_of(idx));
+    }
+  };
+  pin_some();
+
+  std::uint64_t interrupted_runs = 1;  // the initial allocation
+  std::size_t last_dim = sc.rank - 1;  // dim of the initial allocation
+  bool after_initial_only = true;
+  for (int step = 0; step < sc.steps; ++step) {
+    const std::size_t dim = rng.next_below(sc.rank);
+    const std::uint64_t delta = rng.next_in(1, 3);
+    m.extend(dim, delta);
+    if (dim != last_dim || after_initial_only) ++interrupted_runs;
+    after_initial_only = false;
+    last_dim = dim;
+    pin_some();
+
+    for (const auto& [idx, addr] : pinned) {
+      ASSERT_EQ(m.address_of(idx), addr) << "address changed at step " << step;
+    }
+  }
+
+  // (4) Record count: one sentinel per never-initial dim plus the runs.
+  EXPECT_EQ(m.total_records(), (sc.rank - 1) + interrupted_runs);
+
+  // (1) + (2): bijectivity and inverse, on the full grid (bounded size).
+  const std::uint64_t total = m.total_chunks();
+  ASSERT_LE(total, 2'000'000u) << "scenario too large for dense check";
+  std::vector<bool> seen(total, false);
+  Box full{Index(sc.rank, 0), m.bounds()};
+  for_each_index(full, [&](const Index& idx) {
+    const std::uint64_t q = m.address_of(idx);
+    ASSERT_LT(q, total);
+    ASSERT_FALSE(seen[q]);
+    seen[q] = true;
+    ASSERT_EQ(m.index_of(q), idx);
+  });
+
+  // (5) serialization round-trip.
+  ByteWriter w;
+  m.serialize(w);
+  ByteReader r(w.bytes());
+  auto restored = AxialMapping::deserialize(r);
+  ASSERT_TRUE(restored.is_ok());
+  EXPECT_EQ(restored.value(), m);
+}
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> out;
+  std::uint64_t seed = 1000;
+  for (std::size_t rank : {1u, 2u, 3u, 4u}) {
+    for (int steps : {0, 1, 5, 20}) {
+      out.push_back(Scenario{seed++, rank, steps});
+      out.push_back(Scenario{seed++, rank, steps});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomHistories, AxialPropertyP,
+                         ::testing::ValuesIn(scenarios()));
+
+TEST(AxialProperty, ManyInterleavedExtensionsStayDense) {
+  // Worst-case record growth: strictly alternating dimensions.
+  AxialMapping m(Shape{1, 1});
+  for (int i = 0; i < 40; ++i) {
+    m.extend(static_cast<std::size_t>(i % 2), 1);
+  }
+  EXPECT_EQ(m.bounds(), (Shape{21, 21}));
+  EXPECT_EQ(m.total_chunks(), 441u);
+  // E = 40 extension records + initial + 1 sentinel.
+  EXPECT_EQ(m.total_records(), 42u);
+  std::vector<bool> seen(441, false);
+  Box full{Index{0, 0}, m.bounds()};
+  for_each_index(full, [&](const Index& idx) {
+    const std::uint64_t q = m.address_of(idx);
+    ASSERT_FALSE(seen[q]);
+    seen[q] = true;
+  });
+}
+
+TEST(AxialProperty, LargeSingleDimensionGrowthStaysO1Records) {
+  AxialMapping m(Shape{2, 2, 2});
+  for (int i = 0; i < 1000; ++i) m.extend(0, 1);
+  EXPECT_EQ(m.total_records(), 2u + 1u + 1u);  // 2 sentinels + initial + run
+  EXPECT_EQ(m.bounds()[0], 1002u);
+  EXPECT_EQ(m.address_of(Index{1001, 1, 1}), m.total_chunks() - 1);
+}
+
+}  // namespace
+}  // namespace drx::core

@@ -1,0 +1,161 @@
+#include "core/chunk_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace drx::core {
+namespace {
+
+DrxFile make_file(Shape bounds, Shape chunk) {
+  DrxFile::Options options;
+  options.dtype = ElementType::kDouble;
+  auto f = DrxFile::create(std::make_unique<pfs::MemStorage>(),
+                           std::make_unique<pfs::MemStorage>(),
+                           std::move(bounds), std::move(chunk), options);
+  EXPECT_TRUE(f.is_ok());
+  return std::move(f).value();
+}
+
+TEST(ChunkCache, PinFaultsOnceThenHits) {
+  DrxFile file = make_file(Shape{8, 8}, Shape{2, 2});
+  ChunkCache cache(file, 4);
+  auto first = cache.pin(0);
+  ASSERT_TRUE(first.is_ok());
+  cache.unpin(0, false);
+  auto second = cache.pin(0);
+  ASSERT_TRUE(second.is_ok());
+  cache.unpin(0, false);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ChunkCache, EvictionRespectsCapacityAndLru) {
+  DrxFile file = make_file(Shape{8, 8}, Shape{2, 2});  // 16 chunks
+  ChunkCache cache(file, 2);
+  for (std::uint64_t q : {0u, 1u, 2u, 3u}) {
+    auto p = cache.pin(q);
+    ASSERT_TRUE(p.is_ok());
+    cache.unpin(q, false);
+  }
+  EXPECT_LE(cache.resident(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  // 3 most recently used; re-pinning it must hit.
+  auto p = cache.pin(3);
+  ASSERT_TRUE(p.is_ok());
+  cache.unpin(3, false);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ChunkCache, PinnedFramesCannotBeEvicted) {
+  DrxFile file = make_file(Shape{8, 8}, Shape{2, 2});
+  ChunkCache cache(file, 2);
+  auto a = cache.pin(0);
+  ASSERT_TRUE(a.is_ok());
+  auto b = cache.pin(1);
+  ASSERT_TRUE(b.is_ok());
+  // Both frames pinned: a third pin cannot evict.
+  auto c = cache.pin(2);
+  ASSERT_FALSE(c.is_ok());
+  EXPECT_EQ(c.status().code(), ErrorCode::kFailedPrecondition);
+  cache.unpin(0, false);
+  auto c2 = cache.pin(2);
+  ASSERT_TRUE(c2.is_ok());
+  cache.unpin(2, false);
+  cache.unpin(1, false);
+}
+
+TEST(ChunkCache, WriteBackOnEvictionAndFlush) {
+  DrxFile file = make_file(Shape{4, 4}, Shape{2, 2});
+  {
+    ChunkCache cache(file, 1);
+    auto p = cache.pin(0);
+    ASSERT_TRUE(p.is_ok());
+    double v = 9.75;
+    std::memcpy(p.value().data(), &v, sizeof(v));
+    cache.unpin(0, /*dirty=*/true);
+    // Evict by pinning another chunk: must write back.
+    auto q = cache.pin(1);
+    ASSERT_TRUE(q.is_ok());
+    cache.unpin(1, false);
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+  }
+  EXPECT_EQ(file.get<double>(Index{0, 0}).value(), 9.75);
+}
+
+TEST(ChunkCache, DirtyDataInvisibleUntilWriteback) {
+  DrxFile file = make_file(Shape{4, 4}, Shape{2, 2});
+  ChunkCache cache(file, 2);
+  auto p = cache.pin(0);
+  ASSERT_TRUE(p.is_ok());
+  double v = 5.0;
+  std::memcpy(p.value().data(), &v, sizeof(v));
+  cache.unpin(0, true);
+  // Not yet flushed: the file still holds the old zero.
+  EXPECT_EQ(file.get<double>(Index{0, 0}).value(), 0.0);
+  ASSERT_TRUE(cache.flush().is_ok());
+  EXPECT_EQ(file.get<double>(Index{0, 0}).value(), 5.0);
+}
+
+TEST(CachedDrxFile, ElementAccessReducesIo) {
+  DrxFile file = make_file(Shape{8, 8}, Shape{4, 4});
+  auto& stats = static_cast<pfs::MemStorage&>(file.data_storage()).stats();
+  CachedDrxFile cached(file, 4);
+
+  const std::uint64_t reads_before = stats.read_requests;
+  // 16 touches within one chunk: one fault.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    for (std::uint64_t j = 0; j < 4; ++j) {
+      ASSERT_TRUE(cached.set<double>(Index{i, j},
+                                     static_cast<double>(i + j))
+                      .is_ok());
+    }
+  }
+  EXPECT_EQ(stats.read_requests - reads_before, 1u);
+  ASSERT_TRUE(cached.flush().is_ok());
+
+  // Values round-trip through the pool and the file agrees after flush.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    for (std::uint64_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(cached.get<double>(Index{i, j}).value(),
+                static_cast<double>(i + j));
+      EXPECT_EQ(file.get<double>(Index{i, j}).value(),
+                static_cast<double>(i + j));
+    }
+  }
+}
+
+TEST(CachedDrxFile, MirrorsUncachedUnderRandomOps) {
+  DrxFile file = make_file(Shape{10, 10}, Shape{3, 3});
+  DrxFile mirror = make_file(Shape{10, 10}, Shape{3, 3});
+  CachedDrxFile cached(file, 3);  // small pool: constant eviction traffic
+  SplitMix64 rng(23);
+  for (int op = 0; op < 600; ++op) {
+    Index idx{rng.next_below(10), rng.next_below(10)};
+    if (rng.next() % 2 == 0) {
+      const double v = rng.next_double();
+      ASSERT_TRUE(cached.set<double>(idx, v).is_ok());
+      ASSERT_TRUE(mirror.set<double>(idx, v).is_ok());
+    } else {
+      ASSERT_EQ(cached.get<double>(idx).value(),
+                mirror.get<double>(idx).value());
+    }
+  }
+  ASSERT_TRUE(cached.flush().is_ok());
+  for_each_index(Box{{0, 0}, {10, 10}}, [&](const Index& idx) {
+    ASSERT_EQ(file.get<double>(idx).value(),
+              mirror.get<double>(idx).value());
+  });
+}
+
+TEST(CachedDrxFile, BoundsErrors) {
+  DrxFile file = make_file(Shape{4, 4}, Shape{2, 2});
+  CachedDrxFile cached(file, 2);
+  EXPECT_EQ(cached.get<double>(Index{4, 0}).status().code(),
+            ErrorCode::kOutOfRange);
+  EXPECT_EQ(cached.set<double>(Index{0, 9}, 1.0).code(),
+            ErrorCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace drx::core

@@ -1,0 +1,73 @@
+#include "core/chunk_space.hpp"
+
+#include <gtest/gtest.h>
+
+namespace drx::core {
+namespace {
+
+TEST(ChunkSpace, Basics) {
+  ChunkSpace cs(Shape{2, 3}, MemoryOrder::kRowMajor);
+  EXPECT_EQ(cs.rank(), 2u);
+  EXPECT_EQ(cs.elements_per_chunk(), 6u);
+  EXPECT_EQ(cs.chunk_shape(), (Shape{2, 3}));
+}
+
+TEST(ChunkSpace, ChunkBoundsCeil) {
+  ChunkSpace cs(Shape{2, 3}, MemoryOrder::kRowMajor);
+  EXPECT_EQ(cs.chunk_bounds_for(Shape{10, 12}), (Shape{5, 4}));
+  EXPECT_EQ(cs.chunk_bounds_for(Shape{9, 10}), (Shape{5, 4}));
+  EXPECT_EQ(cs.chunk_bounds_for(Shape{1, 1}), (Shape{1, 1}));
+  // Zero bounds still occupy one chunk row.
+  EXPECT_EQ(cs.chunk_bounds_for(Shape{0, 5}), (Shape{1, 2}));
+}
+
+TEST(ChunkSpace, ChunkOfAndOffsetRowMajor) {
+  ChunkSpace cs(Shape{2, 3}, MemoryOrder::kRowMajor);
+  EXPECT_EQ(cs.chunk_of(Index{0, 0}), (Index{0, 0}));
+  EXPECT_EQ(cs.chunk_of(Index{5, 7}), (Index{2, 2}));
+  // Element (5,7) sits at (1,1) within its chunk: offset 1*3+1 = 4.
+  EXPECT_EQ(cs.offset_in_chunk(Index{5, 7}), 4u);
+  EXPECT_EQ(cs.offset_in_chunk(Index{0, 0}), 0u);
+  EXPECT_EQ(cs.offset_in_chunk(Index{1, 2}), 5u);
+}
+
+TEST(ChunkSpace, OffsetColMajor) {
+  ChunkSpace cs(Shape{2, 3}, MemoryOrder::kColMajor);
+  // (1,2) within chunk: col-major offset = 1 + 2*2 = 5; (0,1) -> 2.
+  EXPECT_EQ(cs.offset_in_chunk(Index{1, 2}), 5u);
+  EXPECT_EQ(cs.offset_in_chunk(Index{0, 1}), 2u);
+}
+
+TEST(ChunkSpace, ChunkBox) {
+  ChunkSpace cs(Shape{2, 3}, MemoryOrder::kRowMajor);
+  EXPECT_EQ(cs.chunk_box(Index{2, 1}), (Box{{4, 3}, {6, 6}}));
+}
+
+TEST(ChunkSpace, CoveringChunks) {
+  ChunkSpace cs(Shape{2, 3}, MemoryOrder::kRowMajor);
+  // Element box [1,2) x [2,8) touches chunk rows 0 and columns 0..2.
+  EXPECT_EQ(cs.covering_chunks(Box{{1, 2}, {2, 8}}), (Box{{0, 0}, {1, 3}}));
+  EXPECT_EQ(cs.covering_chunks(Box{{0, 0}, {2, 3}}), (Box{{0, 0}, {1, 1}}));
+  EXPECT_EQ(cs.covering_chunks(Box{{2, 3}, {4, 6}}), (Box{{1, 1}, {2, 2}}));
+}
+
+TEST(ChunkSpace, EveryElementOffsetUniqueWithinChunk) {
+  for (auto order : {MemoryOrder::kRowMajor, MemoryOrder::kColMajor}) {
+    ChunkSpace cs(Shape{3, 4, 2}, order);
+    std::vector<bool> seen(24, false);
+    for_each_index(Box{{0, 0, 0}, {3, 4, 2}}, [&](const Index& idx) {
+      const std::uint64_t off = cs.offset_in_chunk(idx);
+      ASSERT_LT(off, 24u);
+      EXPECT_FALSE(seen[off]);
+      seen[off] = true;
+    });
+  }
+}
+
+TEST(ChunkSpace, ZeroChunkExtentAborts) {
+  EXPECT_DEATH((void)ChunkSpace(Shape{2, 0}, MemoryOrder::kRowMajor),
+               "check failed");
+}
+
+}  // namespace
+}  // namespace drx::core

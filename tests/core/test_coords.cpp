@@ -1,0 +1,101 @@
+#include "core/coords.hpp"
+
+#include <gtest/gtest.h>
+
+namespace drx::core {
+namespace {
+
+TEST(Coords, StridesRowMajor) {
+  const Shape shape = {2, 3, 4};
+  EXPECT_EQ(strides_of(shape, MemoryOrder::kRowMajor), (Shape{12, 4, 1}));
+}
+
+TEST(Coords, StridesColMajor) {
+  const Shape shape = {2, 3, 4};
+  EXPECT_EQ(strides_of(shape, MemoryOrder::kColMajor), (Shape{1, 2, 6}));
+}
+
+TEST(Coords, LinearizeRowMajor) {
+  const Shape shape = {2, 3, 4};
+  const Index idx = {1, 2, 3};
+  EXPECT_EQ(linearize(idx, shape, MemoryOrder::kRowMajor), 23u);
+  EXPECT_EQ(linearize(Index{0, 0, 0}, shape, MemoryOrder::kRowMajor), 0u);
+}
+
+TEST(Coords, LinearizeColMajor) {
+  const Shape shape = {2, 3, 4};
+  EXPECT_EQ(linearize(Index{1, 0, 0}, shape, MemoryOrder::kColMajor), 1u);
+  EXPECT_EQ(linearize(Index{0, 1, 0}, shape, MemoryOrder::kColMajor), 2u);
+  EXPECT_EQ(linearize(Index{0, 0, 1}, shape, MemoryOrder::kColMajor), 6u);
+  EXPECT_EQ(linearize(Index{1, 2, 3}, shape, MemoryOrder::kColMajor), 23u);
+}
+
+TEST(Coords, RoundTripBothOrders) {
+  const Shape shape = {3, 5, 2, 4};
+  const std::uint64_t total = checked_product(shape);
+  for (auto order : {MemoryOrder::kRowMajor, MemoryOrder::kColMajor}) {
+    std::vector<bool> seen(total, false);
+    Box full{Index(4, 0), shape};
+    for_each_index(full, [&](const Index& idx) {
+      const std::uint64_t a = linearize(idx, shape, order);
+      ASSERT_LT(a, total);
+      EXPECT_FALSE(seen[a]);
+      seen[a] = true;
+      EXPECT_EQ(delinearize(a, shape, order), idx);
+    });
+  }
+}
+
+TEST(Coords, LinearizeOutOfBoundsAborts) {
+  const Shape shape = {2, 2};
+  EXPECT_DEATH((void)linearize(Index{2, 0}, shape, MemoryOrder::kRowMajor),
+               "check failed");
+}
+
+TEST(Box, ShapeVolumeEmpty) {
+  Box b{{1, 2}, {4, 5}};
+  EXPECT_EQ(b.shape(), (Shape{3, 3}));
+  EXPECT_EQ(b.volume(), 9u);
+  EXPECT_FALSE(b.empty());
+
+  Box e{{1, 2}, {1, 5}};
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.volume(), 0u);
+}
+
+TEST(Box, Contains) {
+  Box b{{1, 1}, {3, 3}};
+  EXPECT_TRUE(b.contains(Index{1, 1}));
+  EXPECT_TRUE(b.contains(Index{2, 2}));
+  EXPECT_FALSE(b.contains(Index{3, 2}));
+  EXPECT_FALSE(b.contains(Index{0, 1}));
+}
+
+TEST(Box, Intersect) {
+  Box a{{0, 0}, {4, 4}};
+  Box b{{2, 3}, {6, 5}};
+  EXPECT_EQ(a.intersect(b), (Box{{2, 3}, {4, 4}}));
+  Box c{{5, 5}, {6, 6}};
+  EXPECT_TRUE(a.intersect(c).empty());
+}
+
+TEST(Box, ForEachIndexVisitsRowMajor) {
+  Box b{{0, 1}, {2, 3}};
+  std::vector<Index> visited;
+  for_each_index(b, [&](const Index& i) { visited.push_back(i); });
+  ASSERT_EQ(visited.size(), 4u);
+  EXPECT_EQ(visited[0], (Index{0, 1}));
+  EXPECT_EQ(visited[1], (Index{0, 2}));
+  EXPECT_EQ(visited[2], (Index{1, 1}));
+  EXPECT_EQ(visited[3], (Index{1, 2}));
+}
+
+TEST(Box, ForEachIndexEmptyBoxNoVisit) {
+  Box b{{2, 0}, {2, 5}};
+  int count = 0;
+  for_each_index(b, [&](const Index&) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace drx::core

@@ -1,0 +1,265 @@
+#include "core/drxmp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simpi/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace drx::core {
+namespace {
+
+pfs::PfsConfig cfg(int servers = 4, std::uint64_t stripe = 256) {
+  pfs::PfsConfig c;
+  c.num_servers = servers;
+  c.stripe_size = stripe;
+  return c;
+}
+
+DrxFile::Options dbl_opts() {
+  DrxFile::Options o;
+  o.dtype = ElementType::kDouble;
+  return o;
+}
+
+double cell_value(const Index& idx) {
+  double v = 0;
+  for (std::uint64_t x : idx) v = v * 1000 + static_cast<double>(x) + 1;
+  return v;
+}
+
+/// Fills `buf` (the zone box in `order`) with cell_value per element.
+void fill_zone(const Box& box, MemoryOrder order, std::span<double> buf) {
+  const Shape shape = box.shape();
+  for_each_index(box, [&](const Index& idx) {
+    Index rel(idx.size());
+    for (std::size_t d = 0; d < idx.size(); ++d) rel[d] = idx[d] - box.lo[d];
+    buf[static_cast<std::size_t>(linearize(rel, shape, order))] =
+        cell_value(idx);
+  });
+}
+
+void check_zone(const Box& box, MemoryOrder order,
+                std::span<const double> buf) {
+  const Shape shape = box.shape();
+  for_each_index(box, [&](const Index& idx) {
+    Index rel(idx.size());
+    for (std::size_t d = 0; d < idx.size(); ++d) rel[d] = idx[d] - box.lo[d];
+    ASSERT_EQ(buf[static_cast<std::size_t>(linearize(rel, shape, order))],
+              cell_value(idx))
+        << "element (" << idx[0] << (idx.size() > 1 ? "," : "")
+        << (idx.size() > 1 ? std::to_string(idx[1]) : "") << ")";
+  });
+}
+
+class DrxMpP : public ::testing::TestWithParam<int> {};
+
+TEST_P(DrxMpP, CreateWriteReadZonesCollective) {
+  const int p = GetParam();
+  pfs::Pfs fs(cfg());
+  simpi::run(p, [&](simpi::Comm& comm) {
+    auto fr = DrxMpFile::create(comm, fs, "arr", Shape{12, 10}, Shape{3, 2},
+                                dbl_opts());
+    ASSERT_TRUE(fr.is_ok()) << fr.status();
+    DrxMpFile f = std::move(fr).value();
+
+    const Distribution dist = f.block_distribution();
+    const Box box = f.zone_element_box(dist, comm.rank());
+    std::vector<double> zone(static_cast<std::size_t>(box.volume()));
+    fill_zone(box, MemoryOrder::kRowMajor, zone);
+    ASSERT_TRUE(f.write_my_zone(dist, MemoryOrder::kRowMajor,
+                                std::as_bytes(std::span<const double>(zone)))
+                    .is_ok());
+    comm.barrier();
+
+    // Read back my zone in FORTRAN order (exercises transposition).
+    std::vector<double> out(zone.size(), -1);
+    ASSERT_TRUE(f.read_my_zone(dist, MemoryOrder::kColMajor,
+                               std::as_writable_bytes(std::span<double>(out)))
+                    .is_ok());
+    check_zone(box, MemoryOrder::kColMajor, out);
+    ASSERT_TRUE(f.close().is_ok());
+  });
+}
+
+TEST_P(DrxMpP, IndependentMatchesCollective) {
+  const int p = GetParam();
+  pfs::Pfs fs(cfg());
+  simpi::run(p, [&](simpi::Comm& comm) {
+    DrxMpFile f = DrxMpFile::create(comm, fs, "arr", Shape{8, 8}, Shape{2, 2},
+                                    dbl_opts())
+                      .value();
+    const Distribution dist = f.block_distribution();
+    const Box box = f.zone_element_box(dist, comm.rank());
+    std::vector<double> zone(static_cast<std::size_t>(box.volume()));
+    fill_zone(box, MemoryOrder::kRowMajor, zone);
+    ASSERT_TRUE(f.write_my_zone(dist, MemoryOrder::kRowMajor,
+                                std::as_bytes(std::span<const double>(zone)),
+                                /*collective=*/false)
+                    .is_ok());
+    comm.barrier();
+
+    std::vector<double> coll(zone.size()), ind(zone.size());
+    ASSERT_TRUE(f.read_my_zone(dist, MemoryOrder::kRowMajor,
+                               std::as_writable_bytes(std::span<double>(coll)),
+                               /*collective=*/true)
+                    .is_ok());
+    ASSERT_TRUE(f.read_my_zone(dist, MemoryOrder::kRowMajor,
+                               std::as_writable_bytes(std::span<double>(ind)),
+                               /*collective=*/false)
+                    .is_ok());
+    EXPECT_EQ(coll, ind);
+    EXPECT_EQ(coll, zone);
+    ASSERT_TRUE(f.close().is_ok());
+  });
+}
+
+TEST_P(DrxMpP, ParallelExtendPreservesAndGrows) {
+  const int p = GetParam();
+  pfs::Pfs fs(cfg());
+  simpi::run(p, [&](simpi::Comm& comm) {
+    DrxMpFile f = DrxMpFile::create(comm, fs, "arr", Shape{6, 6}, Shape{2, 3},
+                                    dbl_opts())
+                      .value();
+    {
+      const Distribution dist = f.block_distribution();
+      const Box box = f.zone_element_box(dist, comm.rank());
+      std::vector<double> zone(static_cast<std::size_t>(box.volume()));
+      fill_zone(box, MemoryOrder::kRowMajor, zone);
+      ASSERT_TRUE(
+          f.write_my_zone(dist, MemoryOrder::kRowMajor,
+                          std::as_bytes(std::span<const double>(zone)))
+              .is_ok());
+    }
+    ASSERT_TRUE(f.extend_all(0, 4).is_ok());
+    ASSERT_TRUE(f.extend_all(1, 3).is_ok());
+    EXPECT_EQ(f.bounds(), (Shape{10, 9}));
+
+    // Whole-array collective read, split by the NEW distribution; old data
+    // intact, new region zero.
+    const Distribution dist = f.block_distribution();
+    const Box box = f.zone_element_box(dist, comm.rank());
+    std::vector<double> out(static_cast<std::size_t>(box.volume()), -1);
+    ASSERT_TRUE(f.read_my_zone(dist, MemoryOrder::kRowMajor,
+                               std::as_writable_bytes(std::span<double>(out)))
+                    .is_ok());
+    const Shape shape = box.shape();
+    for_each_index(box, [&](const Index& idx) {
+      Index rel = {idx[0] - box.lo[0], idx[1] - box.lo[1]};
+      const double got = out[static_cast<std::size_t>(
+          linearize(rel, shape, MemoryOrder::kRowMajor))];
+      if (idx[0] < 6 && idx[1] < 6) {
+        ASSERT_EQ(got, cell_value(idx));
+      } else {
+        ASSERT_EQ(got, 0.0);
+      }
+    });
+    ASSERT_TRUE(f.close().is_ok());
+  });
+}
+
+TEST_P(DrxMpP, OpenReplicatesMetadata) {
+  const int p = GetParam();
+  pfs::Pfs fs(cfg());
+  // Phase 1: a single "serial" process creates and extends the array.
+  simpi::run(1, [&](simpi::Comm& comm) {
+    DrxMpFile f = DrxMpFile::create(comm, fs, "arr", Shape{4, 4}, Shape{2, 2},
+                                    dbl_opts())
+                      .value();
+    ASSERT_TRUE(f.extend_all(1, 4).is_ok());
+    const Distribution dist = f.block_distribution();
+    const Box box = f.zone_element_box(dist, 0);
+    std::vector<double> zone(static_cast<std::size_t>(box.volume()));
+    fill_zone(box, MemoryOrder::kRowMajor, zone);
+    ASSERT_TRUE(f.write_my_zone(dist, MemoryOrder::kRowMajor,
+                                std::as_bytes(std::span<const double>(zone)))
+                    .is_ok());
+    ASSERT_TRUE(f.close().is_ok());
+  });
+  // Phase 2: a parallel program opens it; every rank sees the metadata.
+  simpi::run(p, [&](simpi::Comm& comm) {
+    auto fr = DrxMpFile::open(comm, fs, "arr");
+    ASSERT_TRUE(fr.is_ok()) << fr.status();
+    DrxMpFile f = std::move(fr).value();
+    EXPECT_EQ(f.bounds(), (Shape{4, 8}));
+    EXPECT_EQ(f.metadata().chunk_shape, (Shape{2, 2}));
+
+    const Distribution dist = f.block_distribution();
+    const Box box = f.zone_element_box(dist, comm.rank());
+    std::vector<double> out(static_cast<std::size_t>(box.volume()));
+    ASSERT_TRUE(f.read_my_zone(dist, MemoryOrder::kRowMajor,
+                               std::as_writable_bytes(std::span<double>(out)))
+                    .is_ok());
+    check_zone(box, MemoryOrder::kRowMajor, out);
+    ASSERT_TRUE(f.close().is_ok());
+  });
+}
+
+TEST_P(DrxMpP, ReadBoxAllArbitraryOverlappingBoxes) {
+  const int p = GetParam();
+  pfs::Pfs fs(cfg());
+  simpi::run(p, [&](simpi::Comm& comm) {
+    DrxMpFile f = DrxMpFile::create(comm, fs, "arr", Shape{10, 10},
+                                    Shape{3, 3}, dbl_opts())
+                      .value();
+    const Distribution dist = f.block_distribution();
+    const Box mine = f.zone_element_box(dist, comm.rank());
+    std::vector<double> zone(static_cast<std::size_t>(mine.volume()));
+    fill_zone(mine, MemoryOrder::kRowMajor, zone);
+    ASSERT_TRUE(f.write_my_zone(dist, MemoryOrder::kRowMajor,
+                                std::as_bytes(std::span<const double>(zone)))
+                    .is_ok());
+    comm.barrier();
+
+    // Every rank reads a (different, overlapping) box.
+    const auto r = static_cast<std::uint64_t>(comm.rank());
+    const Box box{{r % 3, r % 2}, {7 + r % 3, 8}};
+    std::vector<double> out(static_cast<std::size_t>(box.volume()));
+    ASSERT_TRUE(f.read_box_all(box, MemoryOrder::kRowMajor,
+                               std::as_writable_bytes(std::span<double>(out)))
+                    .is_ok());
+    check_zone(box, MemoryOrder::kRowMajor, out);
+    ASSERT_TRUE(f.close().is_ok());
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, DrxMpP, ::testing::Values(1, 2, 4, 8));
+
+TEST(DrxMp, SerialDrxCanOpenWhatDrxMpWrote) {
+  // File-format compatibility: DRX-MP and serial DRX share the pair
+  // format, so a serial process can open the parallel array through
+  // PfsStorage adapters.
+  pfs::Pfs fs(cfg());
+  simpi::run(4, [&](simpi::Comm& comm) {
+    DrxMpFile f = DrxMpFile::create(comm, fs, "arr", Shape{8, 6}, Shape{2, 2},
+                                    dbl_opts())
+                      .value();
+    const Distribution dist = f.block_distribution();
+    const Box box = f.zone_element_box(dist, comm.rank());
+    std::vector<double> zone(static_cast<std::size_t>(box.volume()));
+    fill_zone(box, MemoryOrder::kRowMajor, zone);
+    ASSERT_TRUE(f.write_my_zone(dist, MemoryOrder::kRowMajor,
+                                std::as_bytes(std::span<const double>(zone)))
+                    .is_ok());
+    ASSERT_TRUE(f.close().is_ok());
+  });
+
+  auto serial = DrxFile::open(
+      std::make_unique<pfs::PfsStorage>(fs.open("arr.xmd").value()),
+      std::make_unique<pfs::PfsStorage>(fs.open("arr.xta").value()));
+  ASSERT_TRUE(serial.is_ok()) << serial.status();
+  EXPECT_EQ(serial.value().bounds(), (Shape{8, 6}));
+  for_each_index(Box{{0, 0}, {8, 6}}, [&](const Index& idx) {
+    ASSERT_EQ(serial.value().get<double>(idx).value(), cell_value(idx));
+  });
+}
+
+TEST(DrxMp, OpenMissingFileFailsEverywhere) {
+  pfs::Pfs fs(cfg());
+  simpi::run(3, [&](simpi::Comm& comm) {
+    auto fr = DrxMpFile::open(comm, fs, "no_such_array");
+    EXPECT_FALSE(fr.is_ok());
+  });
+}
+
+}  // namespace
+}  // namespace drx::core

@@ -1,0 +1,169 @@
+// The paper's Section IV-C programming interface (DRXMP_Init / Open /
+// Close / Terminate / Read / Read_all / ...) over the DrxMpFile engine.
+#include "core/drxmp_api.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simpi/runtime.hpp"
+
+namespace drx::core::api {
+namespace {
+
+pfs::PfsConfig cfg() {
+  pfs::PfsConfig c;
+  c.num_servers = 2;
+  c.stripe_size = 512;
+  return c;
+}
+
+TEST(DrxmpApi, InitWriteReadAllLifecycle) {
+  pfs::Pfs fs(cfg());
+  simpi::run(4, [&](simpi::Comm& comm) {
+    Env env(comm, fs);
+    DrxmpHandle handle = kInvalidHandle;
+    const std::uint64_t initsize[] = {8, 8};
+    const std::uint64_t chkshape[] = {2, 2};
+    ASSERT_EQ(env.init(&handle, 2, initsize, chkshape, DrxType::kDouble,
+                       "api_array"),
+              DRXMP_SUCCESS);
+    ASSERT_NE(handle, kInvalidHandle);
+
+    int k = 0;
+    EXPECT_EQ(env.get_rank(handle, &k), DRXMP_SUCCESS);
+    EXPECT_EQ(k, 2);
+    std::uint64_t bounds[2] = {};
+    EXPECT_EQ(env.get_bounds(handle, bounds, 2), DRXMP_SUCCESS);
+    EXPECT_EQ(bounds[0], 8u);
+    DrxType t{};
+    EXPECT_EQ(env.get_type(handle, &t), DRXMP_SUCCESS);
+    EXPECT_EQ(t, DrxType::kDouble);
+
+    // Each rank writes two rows collectively, then reads everything back.
+    const auto r = static_cast<std::uint64_t>(comm.rank());
+    std::vector<double> rows(16);
+    for (std::size_t i = 0; i < 16; ++i) {
+      rows[i] = static_cast<double>(r * 100 + i);
+    }
+    MemHandle wmem{rows.data(), Box{{2 * r, 0}, {2 * r + 2, 8}},
+                   MemoryOrder::kRowMajor};
+    DrxmpStatus st{};
+    ASSERT_EQ(env.write_all(handle, wmem, &st), DRXMP_SUCCESS);
+    EXPECT_EQ(st.elements, 16u);
+    EXPECT_EQ(st.bytes, 128u);
+    comm.barrier();
+
+    std::vector<double> all(64, -1);
+    MemHandle rmem{all.data(), Box{{0, 0}, {8, 8}}, MemoryOrder::kRowMajor};
+    ASSERT_EQ(env.read_all(handle, rmem, &st), DRXMP_SUCCESS);
+    EXPECT_EQ(st.elements, 64u);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      for (std::uint64_t j = 0; j < 8; ++j) {
+        EXPECT_EQ(all[i * 8 + j],
+                  static_cast<double>((i / 2) * 100 + (i % 2) * 8 + j));
+      }
+    }
+    EXPECT_EQ(env.close(handle), DRXMP_SUCCESS);
+  });
+}
+
+TEST(DrxmpApi, OpenRequiresExistingFile) {
+  pfs::Pfs fs(cfg());
+  simpi::run(2, [&](simpi::Comm& comm) {
+    Env env(comm, fs);
+    DrxmpHandle handle = kInvalidHandle;
+    EXPECT_EQ(env.open(&handle, "ghost", "rw"), DRXMP_ERR_NO_SUCH_FILE);
+    EXPECT_EQ(handle, kInvalidHandle);
+    EXPECT_EQ(env.open(&handle, "ghost", "w"), DRXMP_ERR_INVALID_ARG);
+  });
+}
+
+TEST(DrxmpApi, OpenAfterInitSeesSameArray) {
+  pfs::Pfs fs(cfg());
+  simpi::run(2, [&](simpi::Comm& comm) {
+    Env env(comm, fs);
+    DrxmpHandle a = kInvalidHandle;
+    const std::uint64_t initsize[] = {4, 4};
+    const std::uint64_t chkshape[] = {2, 2};
+    ASSERT_EQ(env.init(&a, 2, initsize, chkshape, DrxType::kInt, "arr"),
+              DRXMP_SUCCESS);
+    ASSERT_EQ(env.extend(a, 1, 4), DRXMP_SUCCESS);
+    ASSERT_EQ(env.close(a), DRXMP_SUCCESS);
+    comm.barrier();
+
+    DrxmpHandle b = kInvalidHandle;
+    ASSERT_EQ(env.open(&b, "arr", "r"), DRXMP_SUCCESS);
+    std::uint64_t bounds[2] = {};
+    ASSERT_EQ(env.get_bounds(b, bounds, 2), DRXMP_SUCCESS);
+    EXPECT_EQ(bounds[1], 8u);
+    DrxType t{};
+    ASSERT_EQ(env.get_type(b, &t), DRXMP_SUCCESS);
+    EXPECT_EQ(t, DrxType::kInt);
+    EXPECT_EQ(env.close(b), DRXMP_SUCCESS);
+  });
+}
+
+TEST(DrxmpApi, IndependentReadAndWrite) {
+  pfs::Pfs fs(cfg());
+  simpi::run(3, [&](simpi::Comm& comm) {
+    Env env(comm, fs);
+    DrxmpHandle handle = kInvalidHandle;
+    const std::uint64_t initsize[] = {6, 6};
+    const std::uint64_t chkshape[] = {2, 2};
+    ASSERT_EQ(env.init(&handle, 2, initsize, chkshape, DrxType::kDouble,
+                       "ind"),
+              DRXMP_SUCCESS);
+    // Rank r independently writes its chunk-aligned row band [2r, 2r+2).
+    const auto r = static_cast<std::uint64_t>(comm.rank());
+    std::vector<double> band(12, static_cast<double>(comm.rank() + 1));
+    MemHandle wmem{band.data(), Box{{2 * r, 0}, {2 * r + 2, 6}},
+                   MemoryOrder::kRowMajor};
+    ASSERT_EQ(env.write(handle, wmem, nullptr), DRXMP_SUCCESS);
+    comm.barrier();
+
+    std::vector<double> all(36, -1);
+    MemHandle rmem{all.data(), Box{{0, 0}, {6, 6}}, MemoryOrder::kColMajor};
+    ASSERT_EQ(env.read(handle, rmem, nullptr), DRXMP_SUCCESS);
+    for (std::uint64_t j = 0; j < 6; ++j) {
+      for (std::uint64_t i = 0; i < 6; ++i) {
+        EXPECT_EQ(all[j * 6 + i], static_cast<double>(i / 2 + 1));
+      }
+    }
+    EXPECT_EQ(env.close(handle), DRXMP_SUCCESS);
+  });
+}
+
+TEST(DrxmpApi, BadHandlesAndArgs) {
+  pfs::Pfs fs(cfg());
+  simpi::run(1, [&](simpi::Comm& comm) {
+    Env env(comm, fs);
+    EXPECT_EQ(env.close(0), DRXMP_ERR_BAD_HANDLE);
+    EXPECT_EQ(env.close(kInvalidHandle), DRXMP_ERR_BAD_HANDLE);
+    int k = 0;
+    EXPECT_EQ(env.get_rank(7, &k), DRXMP_ERR_BAD_HANDLE);
+    DrxmpHandle handle = kInvalidHandle;
+    EXPECT_EQ(env.init(nullptr, 2, nullptr, nullptr, DrxType::kInt, "x"),
+              DRXMP_ERR_INVALID_ARG);
+    EXPECT_EQ(env.init(&handle, 0, nullptr, nullptr, DrxType::kInt, "x"),
+              DRXMP_ERR_INVALID_ARG);
+  });
+}
+
+TEST(DrxmpApi, TerminateClosesEverything) {
+  pfs::Pfs fs(cfg());
+  simpi::run(2, [&](simpi::Comm& comm) {
+    Env env(comm, fs);
+    const std::uint64_t initsize[] = {4};
+    const std::uint64_t chkshape[] = {2};
+    DrxmpHandle a, b;
+    ASSERT_EQ(env.init(&a, 1, initsize, chkshape, DrxType::kDouble, "t1"),
+              DRXMP_SUCCESS);
+    ASSERT_EQ(env.init(&b, 1, initsize, chkshape, DrxType::kDouble, "t2"),
+              DRXMP_SUCCESS);
+    EXPECT_EQ(env.terminate(), DRXMP_SUCCESS);
+    EXPECT_EQ(env.close(a), DRXMP_ERR_BAD_HANDLE);
+    EXPECT_EQ(env.close(b), DRXMP_ERR_BAD_HANDLE);
+  });
+}
+
+}  // namespace
+}  // namespace drx::core::api

@@ -1,0 +1,121 @@
+// Cross-implementation equivalence under randomized operation streams:
+// the out-of-core DrxFile, the in-core MemExtendibleArray, and the
+// parallel DrxMpFile must agree element-for-element through arbitrary
+// interleavings of writes, reads and extensions.
+#include <gtest/gtest.h>
+
+#include "core/drxmp.hpp"
+#include "core/mem_extendible_array.hpp"
+#include "simpi/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace drx::core {
+namespace {
+
+class EquivalenceP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EquivalenceP, DrxFileMatchesMemArrayUnderRandomOps) {
+  SplitMix64 rng(GetParam());
+  const std::size_t k = rng.next_in(1, 3);
+  Shape bounds(k), chunk(k);
+  for (std::size_t d = 0; d < k; ++d) {
+    bounds[d] = rng.next_in(2, 5);
+    chunk[d] = rng.next_in(1, 3);
+  }
+
+  DrxFile::Options options;
+  options.dtype = ElementType::kInt64;
+  options.in_chunk_order =
+      rng.next() % 2 == 0 ? MemoryOrder::kRowMajor : MemoryOrder::kColMajor;
+  auto file = DrxFile::create(std::make_unique<pfs::MemStorage>(),
+                              std::make_unique<pfs::MemStorage>(), bounds,
+                              chunk, options);
+  ASSERT_TRUE(file.is_ok());
+  MemExtendibleArray<std::int64_t> mem(bounds, chunk,
+                                       options.in_chunk_order);
+
+  for (int op = 0; op < 300; ++op) {
+    const auto choice = rng.next_below(12);
+    Index idx(k);
+    for (std::size_t d = 0; d < k; ++d) {
+      idx[d] = rng.next_below(mem.bounds()[d]);
+    }
+    if (choice < 5) {
+      const auto v = static_cast<std::int64_t>(rng.next());
+      ASSERT_TRUE(file.value().set<std::int64_t>(idx, v).is_ok());
+      mem.set(idx, v);
+    } else if (choice < 10) {
+      ASSERT_EQ(file.value().get<std::int64_t>(idx).value(), mem.get(idx));
+    } else if (checked_product(mem.bounds()) < 5000) {
+      const std::size_t dim = rng.next_below(k);
+      const std::uint64_t delta = rng.next_in(1, 3);
+      ASSERT_TRUE(file.value().extend(dim, delta).is_ok());
+      mem.extend(dim, delta);
+    }
+  }
+
+  // Full sweep in both orders.
+  const Box full{Index(k, 0), mem.bounds()};
+  const std::size_t n = static_cast<std::size_t>(full.volume());
+  for (auto order : {MemoryOrder::kRowMajor, MemoryOrder::kColMajor}) {
+    std::vector<std::int64_t> via_file(n), via_mem(n);
+    ASSERT_TRUE(
+        file.value()
+            .read_box(full, order,
+                      std::as_writable_bytes(std::span<std::int64_t>(via_file)))
+            .is_ok());
+    mem.read_box(full, order, via_mem);
+    ASSERT_EQ(via_file, via_mem);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivalenceP,
+                         ::testing::Range<std::uint64_t>(3000, 3012));
+
+TEST(Equivalence, DrxMpElementAccessMatchesSerial) {
+  pfs::PfsConfig cfg;
+  cfg.num_servers = 2;
+  pfs::Pfs fs(cfg);
+  DrxFile::Options options;
+  options.dtype = ElementType::kDouble;
+
+  simpi::run(3, [&](simpi::Comm& comm) {
+    DrxMpFile f = DrxMpFile::create(comm, fs, "eq", Shape{6, 6}, Shape{2, 2},
+                                    options)
+                      .value();
+    // Rank r writes elements of its chunk-aligned column band via the
+    // element API (chunks per rank are disjoint: columns 2r..2r+1).
+    const auto r = static_cast<std::uint64_t>(comm.rank());
+    for (std::uint64_t i = 0; i < 6; ++i) {
+      for (std::uint64_t j = 2 * r; j < 2 * r + 2; ++j) {
+        ASSERT_TRUE(f.set<double>(Index{i, j},
+                                  static_cast<double>(i * 10 + j))
+                        .is_ok());
+      }
+    }
+    comm.barrier();
+    for (int probes = 0; probes < 30; ++probes) {
+      SplitMix64 rng(static_cast<std::uint64_t>(probes) * 7 + r);
+      Index idx{rng.next_below(6), rng.next_below(6)};
+      ASSERT_EQ(f.get<double>(idx).value(),
+                static_cast<double>(idx[0] * 10 + idx[1]));
+    }
+    // Out-of-bounds element access is an error, not UB.
+    EXPECT_EQ(f.get<double>(Index{6, 0}).status().code(),
+              ErrorCode::kOutOfRange);
+    ASSERT_TRUE(f.close().is_ok());
+  });
+
+  // Serial DRX agrees with everything the parallel ranks wrote.
+  auto serial = DrxFile::open(
+      std::make_unique<pfs::PfsStorage>(fs.open("eq.xmd").value()),
+      std::make_unique<pfs::PfsStorage>(fs.open("eq.xta").value()));
+  ASSERT_TRUE(serial.is_ok());
+  for_each_index(Box{{0, 0}, {6, 6}}, [&](const Index& idx) {
+    ASSERT_EQ(serial.value().get<double>(idx).value(),
+              static_cast<double>(idx[0] * 10 + idx[1]));
+  });
+}
+
+}  // namespace
+}  // namespace drx::core

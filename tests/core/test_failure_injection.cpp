@@ -1,0 +1,156 @@
+// Failure-path coverage: corrupt metadata files, truncated data files,
+// invalid arguments, and storage-level error propagation.
+#include <gtest/gtest.h>
+
+#include "core/drx_file.hpp"
+#include "core/drxmp.hpp"
+#include "simpi/runtime.hpp"
+
+namespace drx::core {
+namespace {
+
+DrxFile::Options dbl_opts() {
+  DrxFile::Options o;
+  o.dtype = ElementType::kDouble;
+  return o;
+}
+
+std::unique_ptr<pfs::MemStorage> storage_with(std::span<const std::byte> b) {
+  auto s = std::make_unique<pfs::MemStorage>();
+  EXPECT_TRUE(s->write_at(0, b).is_ok());
+  return s;
+}
+
+TEST(FailureInjection, CreateRejectsBadArguments) {
+  EXPECT_FALSE(DrxFile::create(std::make_unique<pfs::MemStorage>(),
+                               std::make_unique<pfs::MemStorage>(), Shape{},
+                               Shape{}, dbl_opts())
+                   .is_ok());
+  EXPECT_FALSE(DrxFile::create(std::make_unique<pfs::MemStorage>(),
+                               std::make_unique<pfs::MemStorage>(),
+                               Shape{4, 4}, Shape{2}, dbl_opts())
+                   .is_ok());
+  EXPECT_FALSE(DrxFile::create(std::make_unique<pfs::MemStorage>(),
+                               std::make_unique<pfs::MemStorage>(),
+                               Shape{4, 4}, Shape{2, 0}, dbl_opts())
+                   .is_ok());
+}
+
+TEST(FailureInjection, OpenRejectsEmptyMetadata) {
+  auto r = DrxFile::open(std::make_unique<pfs::MemStorage>(),
+                         std::make_unique<pfs::MemStorage>());
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kCorrupt);
+}
+
+TEST(FailureInjection, OpenRejectsGarbageMetadata) {
+  std::vector<std::byte> junk(256, std::byte{0x5A});
+  auto r = DrxFile::open(storage_with(junk),
+                         std::make_unique<pfs::MemStorage>());
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kCorrupt);
+}
+
+TEST(FailureInjection, OpenRejectsBitFlipAnywhereInMetadata) {
+  // Build a valid .xmd image, then flip each byte in turn; open must never
+  // succeed with different semantics — either it fails, or (for bytes in
+  // ignorable padding, of which this format has none) yields the original.
+  Metadata meta(ElementType::kInt64, MemoryOrder::kColMajor, Shape{6, 4},
+                Shape{2, 2});
+  meta.mapping.extend(0, 2);
+  const auto good = meta.to_bytes();
+  int rejected = 0;
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    auto bad = good;
+    bad[i] ^= std::byte{0x01};
+    auto r = Metadata::from_bytes(bad);
+    if (!r.is_ok()) {
+      ++rejected;
+    } else {
+      // A surviving flip must decode identically (impossible here since
+      // the checksum covers the payload, magic and version are pinned,
+      // and length mismatches fail) — so reaching this means corruption
+      // slipped through.
+      ADD_FAILURE() << "bit flip at byte " << i << " was accepted";
+    }
+  }
+  EXPECT_EQ(rejected, static_cast<int>(good.size()));
+}
+
+TEST(FailureInjection, OpenRejectsTruncatedDataFile) {
+  auto meta_storage = std::make_unique<pfs::MemStorage>();
+  auto data_storage = std::make_unique<pfs::MemStorage>();
+  pfs::MemStorage* meta_raw = meta_storage.get();
+  {
+    auto f = DrxFile::create(std::move(meta_storage), std::move(data_storage),
+                             Shape{4, 4}, Shape{2, 2}, dbl_opts());
+    ASSERT_TRUE(f.is_ok());
+  }
+  std::vector<std::byte> meta_bytes(
+      static_cast<std::size_t>(meta_raw->size()));
+  ASSERT_TRUE(meta_raw->read_at(0, meta_bytes).is_ok());
+  // Fresh (empty) data storage: too small for the promised chunks.
+  auto r = DrxFile::open(storage_with(meta_bytes),
+                         std::make_unique<pfs::MemStorage>());
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kCorrupt);
+}
+
+TEST(FailureInjection, ExtendInvalidDimension) {
+  auto f = DrxFile::create(std::make_unique<pfs::MemStorage>(),
+                           std::make_unique<pfs::MemStorage>(), Shape{4, 4},
+                           Shape{2, 2}, dbl_opts());
+  ASSERT_TRUE(f.is_ok());
+  EXPECT_EQ(f.value().extend(2, 1).code(), ErrorCode::kInvalidArgument);
+  EXPECT_TRUE(f.value().extend(0, 0).is_ok());  // no-op is fine
+}
+
+TEST(FailureInjection, DrxMpOpenCorruptMetadataFailsOnAllRanks) {
+  pfs::PfsConfig cfg;
+  cfg.num_servers = 2;
+  pfs::Pfs fs(cfg);
+  {
+    auto h = fs.create("bad.xmd").value();
+    std::vector<std::byte> junk(64, std::byte{0xEE});
+    ASSERT_TRUE(h.write_at(0, junk).is_ok());
+    ASSERT_TRUE(fs.create("bad.xta").is_ok());
+  }
+  simpi::run(3, [&](simpi::Comm& comm) {
+    auto r = DrxMpFile::open(comm, fs, "bad");
+    EXPECT_FALSE(r.is_ok());
+  });
+}
+
+TEST(FailureInjection, DrxMpCreateRankMismatchArgs) {
+  pfs::PfsConfig cfg;
+  cfg.num_servers = 2;
+  pfs::Pfs fs(cfg);
+  simpi::run(2, [&](simpi::Comm& comm) {
+    auto r = DrxMpFile::create(comm, fs, "x", Shape{4, 4}, Shape{2},
+                               dbl_opts());
+    EXPECT_FALSE(r.is_ok());
+    comm.barrier();
+  });
+}
+
+TEST(FailureInjection, MetadataSurvivesWhatItValidates) {
+  // Round-trip sanity after adversarial growth, and rejection of element
+  // bounds the chunk grid cannot cover.
+  Metadata meta(ElementType::kComplexDouble, MemoryOrder::kRowMajor,
+                Shape{3, 3, 3}, Shape{2, 2, 2});
+  for (int i = 0; i < 30; ++i) {
+    meta.mapping.extend(static_cast<std::size_t>(i) % 3, 1);
+  }
+  // Largest coverable bounds: grid * chunk extent. One element more in any
+  // dimension needs a grid row that does not exist.
+  const Shape grid = meta.mapping.bounds();
+  meta.element_bounds = {grid[0] * 2, grid[1] * 2, grid[2] * 2};
+  EXPECT_TRUE(Metadata::from_bytes(meta.to_bytes()).is_ok());
+  meta.element_bounds[1] += 1;
+  EXPECT_FALSE(Metadata::from_bytes(meta.to_bytes()).is_ok());
+  meta.element_bounds = {grid[0], 1, 2};
+  EXPECT_TRUE(Metadata::from_bytes(meta.to_bytes()).is_ok());
+}
+
+}  // namespace
+}  // namespace drx::core

@@ -1,0 +1,123 @@
+// Exact reproduction of paper Figure 1: a 2-D extendible array A[10][12]
+// stored in 2x3-element chunks, grown through the stated expansion
+// sequence, partitioned into 4 zones.
+#include <gtest/gtest.h>
+
+#include "core/axial_mapping.hpp"
+#include "core/chunk_space.hpp"
+#include "core/zone.hpp"
+
+namespace drx::core {
+namespace {
+
+/// Builds the Figure 1 chunk grid: "The array ... grew from an initial
+/// allocation of chunk 0. It was then expanded by extending dimension 1
+/// with chunk 1. This was followed with the extension of dimension 0 by
+/// allocating the segment consisting of chunks 2 and 3. The same dimension
+/// was then extended by appending chunks 4 and 5." The growth to the final
+/// 5x4 chunk grid then alternates dimensions — the assignment that
+/// reproduces the figure's zone contents and the Section II example
+/// F*(4,2) = 18.
+AxialMapping fig1_mapping() {
+  AxialMapping m(Shape{1, 1});  // chunk 0
+  m.extend(1, 1);              // chunk 1
+  m.extend(0, 1);              // chunks 2, 3
+  m.extend(0, 1);              // chunks 4, 5 (uninterrupted, merged)
+  m.extend(1, 1);              // chunks 6, 7, 8
+  m.extend(0, 1);              // chunks 9, 10, 11
+  m.extend(1, 1);              // chunks 12..15
+  m.extend(0, 1);              // chunks 16..19
+  return m;
+}
+
+TEST(Fig1, ChunkAddressesMatchTheFigure) {
+  const AxialMapping m = fig1_mapping();
+  EXPECT_EQ(m.bounds(), (Shape{5, 4}));
+  EXPECT_EQ(m.total_chunks(), 20u);
+
+  // The figure's full chunk-address table (row = I0, col = I1).
+  const std::uint64_t expect[5][4] = {{0, 1, 6, 12},
+                                      {2, 3, 7, 13},
+                                      {4, 5, 8, 14},
+                                      {9, 10, 11, 15},
+                                      {16, 17, 18, 19}};
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    for (std::uint64_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(m.address_of(Index{i, j}), expect[i][j])
+          << "chunk (" << i << "," << j << ")";
+      EXPECT_EQ(m.index_of(expect[i][j]), (Index{i, j}));
+    }
+  }
+}
+
+TEST(Fig1, ElementGeometryMatches) {
+  // A[10][12] with 2x3 chunks: 5x4 chunk grid; the paper notes the maximum
+  // element index of dimension 1 (9, bound N1 = 10 in the text's notation
+  // for the *other* dim — the figure uses bounds 10 and 12) need not fall
+  // on a segment boundary.
+  const ChunkSpace cs(Shape{2, 3}, MemoryOrder::kRowMajor);
+  EXPECT_EQ(cs.chunk_bounds_for(Shape{10, 12}), (Shape{5, 4}));
+  EXPECT_EQ(cs.chunk_bounds_for(Shape{10, 10}), (Shape{5, 4}));
+  EXPECT_EQ(cs.chunk_of(Index{9, 11}), (Index{4, 3}));
+  EXPECT_EQ(cs.elements_per_chunk(), 6u);
+}
+
+TEST(Fig1, FourProcessZonesMatchTheFigure) {
+  // The figure's zones — P0 = {0..5}, P1 = {6,7,8,12,13,14},
+  // P2 = {9,10,16,17}, P3 = {11,15,18,19} — are the 2x2 rectilinear
+  // quadrants of the chunk grid cut at row 3 and column 2 (Sec. II-A:
+  // "disjoint rectilinear regions ... of adjacent connected chunks").
+  const AxialMapping m = fig1_mapping();
+  const std::uint64_t cut_row = 3;
+  const std::uint64_t cut_col = 2;
+
+  const std::vector<std::vector<std::uint64_t>> expected_zones = {
+      {0, 1, 2, 3, 4, 5},
+      {6, 7, 8, 12, 13, 14},
+      {9, 10, 16, 17},
+      {11, 15, 18, 19}};
+
+  for (int p = 0; p < 4; ++p) {
+    Box zone;
+    zone.lo = {p / 2 == 0 ? 0 : cut_row, p % 2 == 0 ? 0 : cut_col};
+    zone.hi = {p / 2 == 0 ? cut_row : 5, p % 2 == 0 ? cut_col : 4};
+    std::vector<std::uint64_t> addresses;
+    for_each_index(zone, [&](const Index& c) {
+      addresses.push_back(m.address_of(c));
+    });
+    std::sort(addresses.begin(), addresses.end());
+    auto expect = expected_zones[static_cast<std::size_t>(p)];
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(addresses, expect) << "zone of P" << p;
+  }
+}
+
+TEST(Fig1, BlockDistributionTilesTheGrid) {
+  const AxialMapping m = fig1_mapping();
+  const Distribution dist = Distribution::block(m.bounds(), 4);
+  std::vector<int> owners(20, -1);
+  Box full{Index{0, 0}, m.bounds()};
+  for_each_index(full, [&](const Index& c) {
+    const int owner = dist.owner_of(c);
+    ASSERT_GE(owner, 0);
+    ASSERT_LT(owner, 4);
+    owners[m.address_of(c)] = owner;
+  });
+  // Every chunk owned exactly once (owner_of is total), and each process's
+  // zones_of agrees with owner_of.
+  for (int p = 0; p < 4; ++p) {
+    for (const Index& c : dist.chunks_of(p)) {
+      EXPECT_EQ(owners[m.address_of(c)], p);
+    }
+  }
+}
+
+TEST(Fig1, MappingFunctionExampleFromSectionII) {
+  // "The chunk A[4,2] is assigned to the linear address location 18 in the
+  // file. Hence the mapping function computes F*(4, 2) = 18."
+  const AxialMapping m = fig1_mapping();
+  EXPECT_EQ(m.address_of(Index{4, 2}), 18u);
+}
+
+}  // namespace
+}  // namespace drx::core

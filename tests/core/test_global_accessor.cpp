@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "core/drxmp.hpp"
+#include "simpi/runtime.hpp"
+
+namespace drx::core {
+namespace {
+
+pfs::PfsConfig cfg() {
+  pfs::PfsConfig c;
+  c.num_servers = 2;
+  c.stripe_size = 128;
+  return c;
+}
+
+DrxFile::Options dbl_opts() {
+  DrxFile::Options o;
+  o.dtype = ElementType::kDouble;
+  return o;
+}
+
+TEST(GlobalAccessor, GetSeesEveryRanksZone) {
+  pfs::Pfs fs(cfg());
+  simpi::run(4, [&](simpi::Comm& comm) {
+    DrxMpFile f = DrxMpFile::create(comm, fs, "g", Shape{8, 8}, Shape{2, 2},
+                                    dbl_opts())
+                      .value();
+    const Distribution dist = f.block_distribution();
+    const Box box = f.zone_element_box(dist, comm.rank());
+    std::vector<double> zone(static_cast<std::size_t>(box.volume()));
+    // Local fill: element (i, j) = i * 100 + j.
+    const Shape shape = box.shape();
+    for_each_index(box, [&](const Index& idx) {
+      Index rel = {idx[0] - box.lo[0], idx[1] - box.lo[1]};
+      zone[static_cast<std::size_t>(
+          linearize(rel, shape, MemoryOrder::kRowMajor))] =
+          static_cast<double>(idx[0] * 100 + idx[1]);
+    });
+
+    GlobalAccessor ga(comm, f.metadata(), dist, MemoryOrder::kRowMajor,
+                      std::as_writable_bytes(std::span<double>(zone)));
+    ga.fence();
+    // Every rank reads the whole principal array one-sided.
+    for_each_index(Box{{0, 0}, {8, 8}}, [&](const Index& idx) {
+      ASSERT_EQ(ga.get<double>(idx),
+                static_cast<double>(idx[0] * 100 + idx[1]));
+    });
+    ga.fence();
+    ASSERT_TRUE(f.close().is_ok());
+  });
+}
+
+TEST(GlobalAccessor, OwnershipIsComputedLocally) {
+  pfs::Pfs fs(cfg());
+  simpi::run(4, [&](simpi::Comm& comm) {
+    DrxMpFile f = DrxMpFile::create(comm, fs, "g", Shape{6, 6}, Shape{3, 3},
+                                    dbl_opts())
+                      .value();
+    const Distribution dist = f.block_distribution();
+    const Box box = f.zone_element_box(dist, comm.rank());
+    std::vector<double> zone(static_cast<std::size_t>(box.volume()), 0.0);
+    GlobalAccessor ga(comm, f.metadata(), dist, MemoryOrder::kRowMajor,
+                      std::as_writable_bytes(std::span<double>(zone)));
+    ga.fence();
+    int local = 0, remote = 0;
+    for_each_index(Box{{0, 0}, {6, 6}}, [&](const Index& idx) {
+      if (ga.is_local(idx)) {
+        EXPECT_TRUE(box.contains(idx));
+        ++local;
+      } else {
+        EXPECT_FALSE(box.contains(idx));
+        ++remote;
+      }
+    });
+    EXPECT_EQ(local, static_cast<int>(box.volume()));
+    EXPECT_EQ(local + remote, 36);
+    ga.fence();
+    ASSERT_TRUE(f.close().is_ok());
+  });
+}
+
+TEST(GlobalAccessor, PutThenNeighborsObserve) {
+  pfs::Pfs fs(cfg());
+  simpi::run(4, [&](simpi::Comm& comm) {
+    DrxMpFile f = DrxMpFile::create(comm, fs, "g", Shape{4, 4}, Shape{2, 2},
+                                    dbl_opts())
+                      .value();
+    const Distribution dist = f.block_distribution();
+    const Box box = f.zone_element_box(dist, comm.rank());
+    std::vector<double> zone(static_cast<std::size_t>(box.volume()), 0.0);
+    GlobalAccessor ga(comm, f.metadata(), dist, MemoryOrder::kRowMajor,
+                      std::as_writable_bytes(std::span<double>(zone)));
+    ga.fence();
+    // Each rank writes a diagonal element (owned by different ranks).
+    const auto r = static_cast<std::uint64_t>(comm.rank());
+    ga.put<double>(Index{r, r}, static_cast<double>(100 + comm.rank()));
+    ga.fence();
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      ASSERT_EQ(ga.get<double>(Index{i, i}), static_cast<double>(100 + i));
+    }
+    ga.fence();
+    ASSERT_TRUE(f.close().is_ok());
+  });
+}
+
+TEST(GlobalAccessor, AccumulateSumsContributions) {
+  pfs::Pfs fs(cfg());
+  simpi::run(8, [&](simpi::Comm& comm) {
+    DrxMpFile f = DrxMpFile::create(comm, fs, "g", Shape{4, 4}, Shape{2, 2},
+                                    dbl_opts())
+                      .value();
+    const Distribution dist = f.block_distribution();
+    const Box box = f.zone_element_box(dist, comm.rank());
+    std::vector<double> zone(static_cast<std::size_t>(box.volume()), 0.0);
+    GlobalAccessor ga(comm, f.metadata(), dist, MemoryOrder::kRowMajor,
+                      std::as_writable_bytes(std::span<double>(zone)));
+    ga.fence();
+    // All ranks accumulate 1.0 into the same cell, GA-style.
+    ga.accumulate<double>(Index{1, 1}, 1.0);
+    ga.fence();
+    ASSERT_EQ(ga.get<double>(Index{1, 1}), static_cast<double>(comm.size()));
+    ga.fence();
+    ASSERT_TRUE(f.close().is_ok());
+  });
+}
+
+TEST(GlobalAccessor, FortranOrderZones) {
+  pfs::Pfs fs(cfg());
+  simpi::run(2, [&](simpi::Comm& comm) {
+    DrxMpFile f = DrxMpFile::create(comm, fs, "g", Shape{4, 6}, Shape{2, 3},
+                                    dbl_opts())
+                      .value();
+    const Distribution dist = f.block_distribution();
+    const Box box = f.zone_element_box(dist, comm.rank());
+    std::vector<double> zone(static_cast<std::size_t>(box.volume()));
+    const Shape shape = box.shape();
+    for_each_index(box, [&](const Index& idx) {
+      Index rel = {idx[0] - box.lo[0], idx[1] - box.lo[1]};
+      zone[static_cast<std::size_t>(
+          linearize(rel, shape, MemoryOrder::kColMajor))] =
+          static_cast<double>(idx[0] * 10 + idx[1]);
+    });
+    GlobalAccessor ga(comm, f.metadata(), dist, MemoryOrder::kColMajor,
+                      std::as_writable_bytes(std::span<double>(zone)));
+    ga.fence();
+    for_each_index(Box{{0, 0}, {4, 6}}, [&](const Index& idx) {
+      ASSERT_EQ(ga.get<double>(idx),
+                static_cast<double>(idx[0] * 10 + idx[1]));
+    });
+    ga.fence();
+    ASSERT_TRUE(f.close().is_ok());
+  });
+}
+
+TEST(GlobalAccessor, WrongBufferSizeAborts) {
+  pfs::Pfs fs(cfg());
+  EXPECT_DEATH(simpi::run(2, [&](simpi::Comm& comm) {
+    DrxMpFile f = DrxMpFile::create(comm, fs, "g", Shape{4, 4}, Shape{2, 2},
+                                    dbl_opts())
+                      .value();
+    const Distribution dist = f.block_distribution();
+    std::vector<double> zone(1);  // far too small
+    GlobalAccessor ga(comm, f.metadata(), dist, MemoryOrder::kRowMajor,
+                      std::as_writable_bytes(std::span<double>(zone)));
+  }), "zone buffer size");
+}
+
+}  // namespace
+}  // namespace drx::core

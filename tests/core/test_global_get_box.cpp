@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "core/drxmp.hpp"
+#include "simpi/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace drx::core {
+namespace {
+
+pfs::PfsConfig cfg() {
+  pfs::PfsConfig c;
+  c.num_servers = 2;
+  return c;
+}
+
+DrxFile::Options dbl_opts() {
+  DrxFile::Options o;
+  o.dtype = ElementType::kDouble;
+  return o;
+}
+
+double cell(const Index& idx) {
+  double v = 0.5;
+  for (std::uint64_t x : idx) v = v * 19 + static_cast<double>(x);
+  return v;
+}
+
+class GetBoxP : public ::testing::TestWithParam<MemoryOrder> {};
+
+TEST_P(GetBoxP, BulkGetMatchesElementGets) {
+  const MemoryOrder order = GetParam();
+  pfs::Pfs fs(cfg());
+  simpi::run(4, [&](simpi::Comm& comm) {
+    DrxMpFile f = DrxMpFile::create(comm, fs, "gb", Shape{12, 10},
+                                    Shape{3, 2}, dbl_opts())
+                      .value();
+    const Distribution dist = f.block_distribution();
+    const Box zone = f.zone_element_box(dist, comm.rank());
+    std::vector<double> local(static_cast<std::size_t>(zone.volume()));
+    const Shape zshape = zone.shape();
+    for_each_index(zone, [&](const Index& idx) {
+      Index rel = {idx[0] - zone.lo[0], idx[1] - zone.lo[1]};
+      local[static_cast<std::size_t>(linearize(rel, zshape, order))] =
+          cell(idx);
+    });
+    GlobalAccessor ga(comm, f.metadata(), dist, order,
+                      std::as_writable_bytes(std::span<double>(local)));
+    ga.fence();
+
+    SplitMix64 rng(static_cast<std::uint64_t>(comm.rank()) + 70);
+    for (int round = 0; round < 12; ++round) {
+      // Random boxes, including ones spanning several owners.
+      Box box{Index(2, 0), Index(2, 0)};
+      for (std::size_t d = 0; d < 2; ++d) {
+        const std::uint64_t bound = f.bounds()[d];
+        box.lo[d] = rng.next_below(bound);
+        box.hi[d] = box.lo[d] + 1 + rng.next_below(bound - box.lo[d]);
+      }
+      std::vector<double> bulk(static_cast<std::size_t>(box.volume()));
+      ga.get_box<double>(box, bulk);
+      const Shape shape = box.shape();
+      for_each_index(box, [&](const Index& idx) {
+        Index rel = {idx[0] - box.lo[0], idx[1] - box.lo[1]};
+        ASSERT_EQ(bulk[static_cast<std::size_t>(linearize(rel, shape, order))],
+                  cell(idx))
+            << "box round " << round;
+        ASSERT_EQ(ga.get<double>(idx), cell(idx));
+      });
+    }
+    ga.fence();
+    ASSERT_TRUE(f.close().is_ok());
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GetBoxP,
+                         ::testing::Values(MemoryOrder::kRowMajor,
+                                           MemoryOrder::kColMajor));
+
+TEST(GetBox, WholeArrayThroughRma) {
+  pfs::Pfs fs(cfg());
+  simpi::run(4, [&](simpi::Comm& comm) {
+    DrxMpFile f = DrxMpFile::create(comm, fs, "gb2", Shape{8, 8},
+                                    Shape{2, 2}, dbl_opts())
+                      .value();
+    const Distribution dist = f.block_distribution();
+    const Box zone = f.zone_element_box(dist, comm.rank());
+    std::vector<double> local(static_cast<std::size_t>(zone.volume()));
+    const Shape zshape = zone.shape();
+    for_each_index(zone, [&](const Index& idx) {
+      Index rel = {idx[0] - zone.lo[0], idx[1] - zone.lo[1]};
+      local[static_cast<std::size_t>(
+          linearize(rel, zshape, MemoryOrder::kRowMajor))] = cell(idx);
+    });
+    GlobalAccessor ga(comm, f.metadata(), dist, MemoryOrder::kRowMajor,
+                      std::as_writable_bytes(std::span<double>(local)));
+    ga.fence();
+    const Box full{{0, 0}, {8, 8}};
+    std::vector<double> everything(64);
+    ga.get_box<double>(full, everything);
+    for_each_index(full, [&](const Index& idx) {
+      ASSERT_EQ(everything[static_cast<std::size_t>(idx[0] * 8 + idx[1])],
+                cell(idx));
+    });
+    ga.fence();
+    ASSERT_TRUE(f.close().is_ok());
+  });
+}
+
+}  // namespace
+}  // namespace drx::core

@@ -1,0 +1,108 @@
+#include "core/mem_extendible_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace drx::core {
+namespace {
+
+TEST(MemArray, GetSetDefaultZero) {
+  MemExtendibleArray<double> a(Shape{4, 4}, Shape{2, 2});
+  EXPECT_EQ(a.get(Index{3, 3}), 0.0);
+  a.set(Index{3, 3}, 2.5);
+  EXPECT_EQ(a.get(Index{3, 3}), 2.5);
+  a.at(Index{0, 0}) = -1.0;
+  EXPECT_EQ(a.get(Index{0, 0}), -1.0);
+}
+
+TEST(MemArray, LazyChunkAllocation) {
+  MemExtendibleArray<std::int64_t> a(Shape{8, 8}, Shape{2, 2});
+  EXPECT_EQ(a.allocated_chunks(), 0u);
+  a.set(Index{0, 0}, 1);
+  EXPECT_EQ(a.allocated_chunks(), 1u);
+  a.set(Index{1, 1}, 2);  // same chunk
+  EXPECT_EQ(a.allocated_chunks(), 1u);
+  a.set(Index{7, 7}, 3);
+  EXPECT_EQ(a.allocated_chunks(), 2u);
+}
+
+TEST(MemArray, ExtendAnyDimensionKeepsData) {
+  MemExtendibleArray<double> a(Shape{3, 3}, Shape{2, 2});
+  for_each_index(Box{{0, 0}, {3, 3}}, [&](const Index& idx) {
+    a.set(idx, static_cast<double>(idx[0] * 10 + idx[1]));
+  });
+  a.extend(1, 5);
+  a.extend(0, 2);
+  EXPECT_EQ(a.bounds(), (Shape{5, 8}));
+  for_each_index(Box{{0, 0}, {5, 8}}, [&](const Index& idx) {
+    const double expect = (idx[0] < 3 && idx[1] < 3)
+                              ? static_cast<double>(idx[0] * 10 + idx[1])
+                              : 0.0;
+    EXPECT_EQ(a.get(idx), expect);
+  });
+}
+
+TEST(MemArray, ReadBoxBothOrders) {
+  MemExtendibleArray<double> a(Shape{4, 3}, Shape{2, 2});
+  for_each_index(Box{{0, 0}, {4, 3}}, [&](const Index& idx) {
+    a.set(idx, static_cast<double>(idx[0] * 3 + idx[1]));
+  });
+  std::vector<double> row(12), col(12);
+  a.read_box(Box{{0, 0}, {4, 3}}, MemoryOrder::kRowMajor, row);
+  a.read_box(Box{{0, 0}, {4, 3}}, MemoryOrder::kColMajor, col);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    for (std::uint64_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(row[i * 3 + j], static_cast<double>(i * 3 + j));
+      EXPECT_EQ(col[j * 4 + i], static_cast<double>(i * 3 + j));
+    }
+  }
+}
+
+TEST(MemArray, MirrorsPlainArrayUnderRandomOps) {
+  MemExtendibleArray<std::int64_t> a(Shape{2, 2, 2}, Shape{2, 2, 2});
+  Shape bounds{2, 2, 2};
+  std::vector<std::int64_t> mirror(8, 0);
+  SplitMix64 rng(17);
+  auto mirror_at = [&](const Index& idx) -> std::int64_t& {
+    return mirror[checked_size(
+        linearize(idx, bounds, MemoryOrder::kRowMajor))];
+  };
+  for (int op = 0; op < 500; ++op) {
+    const auto choice = rng.next_below(10);
+    Index idx{rng.next_below(bounds[0]), rng.next_below(bounds[1]),
+              rng.next_below(bounds[2])};
+    if (choice < 4) {
+      const auto v = static_cast<std::int64_t>(rng.next());
+      a.set(idx, v);
+      mirror_at(idx) = v;
+    } else if (choice < 8) {
+      ASSERT_EQ(a.get(idx), mirror_at(idx));
+    } else if (checked_product(bounds) < 4000) {
+      const std::size_t dim = rng.next_below(3);
+      const std::uint64_t delta = rng.next_in(1, 2);
+      a.extend(dim, delta);
+      Shape nb = bounds;
+      nb[dim] += delta;
+      std::vector<std::int64_t> grown(checked_size(checked_product(nb)), 0);
+      for_each_index(Box{Index(3, 0), bounds}, [&](const Index& i2) {
+        grown[checked_size(linearize(i2, nb, MemoryOrder::kRowMajor))] =
+            mirror_at(i2);
+      });
+      bounds = nb;
+      mirror = std::move(grown);
+    }
+  }
+  for_each_index(Box{Index(3, 0), bounds}, [&](const Index& idx) {
+    ASSERT_EQ(a.get(idx), mirror_at(idx));
+  });
+}
+
+TEST(MemArray, OutOfBoundsAborts) {
+  MemExtendibleArray<double> a(Shape{2, 2}, Shape{2, 2});
+  EXPECT_DEATH((void)a.get(Index{2, 0}), "out of bounds");
+  EXPECT_DEATH(a.set(Index{0, 2}, 1.0), "out of bounds");
+}
+
+}  // namespace
+}  // namespace drx::core

@@ -1,0 +1,93 @@
+#include "core/metadata.hpp"
+
+#include <gtest/gtest.h>
+
+namespace drx::core {
+namespace {
+
+Metadata sample() {
+  Metadata meta(ElementType::kDouble, MemoryOrder::kRowMajor,
+                Shape{10, 12}, Shape{2, 3});
+  meta.mapping.extend(0, 2);
+  meta.mapping.extend(1, 1);
+  meta.element_bounds = {14, 15};
+  return meta;
+}
+
+TEST(Metadata, DerivedQuantities) {
+  Metadata meta(ElementType::kDouble, MemoryOrder::kRowMajor, Shape{10, 12},
+                Shape{2, 3});
+  EXPECT_EQ(meta.rank(), 2u);
+  EXPECT_EQ(meta.element_bytes(), 8u);
+  EXPECT_EQ(meta.chunk_bytes(), 48u);
+  EXPECT_EQ(meta.mapping.bounds(), (Shape{5, 4}));
+  EXPECT_EQ(meta.data_file_bytes(), 20u * 48);
+}
+
+TEST(Metadata, ElementTypeSizes) {
+  EXPECT_EQ(element_size(ElementType::kInt32), 4u);
+  EXPECT_EQ(element_size(ElementType::kInt64), 8u);
+  EXPECT_EQ(element_size(ElementType::kDouble), 8u);
+  EXPECT_EQ(element_size(ElementType::kComplexDouble), 16u);
+}
+
+TEST(Metadata, SerializationRoundTrip) {
+  const Metadata meta = sample();
+  const auto bytes = meta.to_bytes();
+  auto restored = Metadata::from_bytes(bytes);
+  ASSERT_TRUE(restored.is_ok()) << restored.status();
+  EXPECT_EQ(restored.value(), meta);
+}
+
+TEST(Metadata, AllElementTypesRoundTrip) {
+  for (auto t : {ElementType::kInt32, ElementType::kInt64,
+                 ElementType::kDouble, ElementType::kComplexDouble}) {
+    for (auto o : {MemoryOrder::kRowMajor, MemoryOrder::kColMajor}) {
+      Metadata meta(t, o, Shape{4}, Shape{2});
+      auto restored = Metadata::from_bytes(meta.to_bytes());
+      ASSERT_TRUE(restored.is_ok());
+      EXPECT_EQ(restored.value().dtype, t);
+      EXPECT_EQ(restored.value().in_chunk_order, o);
+    }
+  }
+}
+
+TEST(Metadata, RejectsBadMagic) {
+  auto bytes = sample().to_bytes();
+  bytes[0] = std::byte{0};
+  EXPECT_EQ(Metadata::from_bytes(bytes).status().code(), ErrorCode::kCorrupt);
+}
+
+TEST(Metadata, RejectsBadVersion) {
+  auto bytes = sample().to_bytes();
+  bytes[4] = std::byte{99};
+  EXPECT_EQ(Metadata::from_bytes(bytes).status().code(),
+            ErrorCode::kUnsupported);
+}
+
+TEST(Metadata, RejectsChecksumMismatch) {
+  auto bytes = sample().to_bytes();
+  bytes[bytes.size() - 1] ^= std::byte{0xFF};  // corrupt the payload tail
+  EXPECT_EQ(Metadata::from_bytes(bytes).status().code(), ErrorCode::kCorrupt);
+}
+
+TEST(Metadata, RejectsTruncation) {
+  auto bytes = sample().to_bytes();
+  for (std::size_t keep :
+       {std::size_t{0}, std::size_t{4}, std::size_t{12}, std::size_t{24},
+        bytes.size() - 5}) {
+    auto cut = bytes;
+    cut.resize(keep);
+    EXPECT_FALSE(Metadata::from_bytes(cut).is_ok()) << "kept " << keep;
+  }
+}
+
+TEST(Metadata, RejectsGridNotCoveringBounds) {
+  Metadata meta = sample();
+  meta.element_bounds = {1000, 1000};  // grid no longer covers the bounds
+  EXPECT_EQ(Metadata::from_bytes(meta.to_bytes()).status().code(),
+            ErrorCode::kCorrupt);
+}
+
+}  // namespace
+}  // namespace drx::core

@@ -1,0 +1,136 @@
+#include "core/zone.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.hpp"
+
+namespace drx::core {
+namespace {
+
+struct Case {
+  Shape bounds;
+  int nprocs;
+};
+
+void PrintTo(const Case& c, std::ostream* os) {
+  *os << "bounds";
+  for (auto b : c.bounds) *os << "_" << b;
+  *os << "_p" << c.nprocs;
+}
+
+class BlockDistP : public ::testing::TestWithParam<Case> {};
+
+TEST_P(BlockDistP, ZonesTileDisjointly) {
+  const Case c = GetParam();
+  const Distribution dist = Distribution::block(c.bounds, c.nprocs);
+
+  std::map<Index, int> owner_by_zone;
+  for (int p = 0; p < c.nprocs; ++p) {
+    for (const Index& chunk : dist.chunks_of(p)) {
+      auto [it, inserted] = owner_by_zone.emplace(chunk, p);
+      EXPECT_TRUE(inserted) << "chunk owned twice";
+      EXPECT_EQ(dist.owner_of(chunk), p);
+    }
+  }
+  EXPECT_EQ(owner_by_zone.size(), checked_product(c.bounds));
+}
+
+TEST_P(BlockDistP, ZonesAreRectilinearAndBalanced) {
+  const Case c = GetParam();
+  const Distribution dist = Distribution::block(c.bounds, c.nprocs);
+  const std::uint64_t total = checked_product(c.bounds);
+  std::uint64_t max_z = 0;
+  std::uint64_t min_nonempty = UINT64_MAX;
+  for (int p = 0; p < c.nprocs; ++p) {
+    auto zones = dist.zones_of(p);
+    EXPECT_LE(zones.size(), 1u);  // BLOCK: at most one box per process
+    const std::uint64_t v = zones.empty() ? 0 : zones[0].volume();
+    max_z = std::max(max_z, v);
+    if (v > 0) min_nonempty = std::min(min_nonempty, v);
+  }
+  EXPECT_GE(max_z, ceil_div(total, static_cast<std::uint64_t>(c.nprocs)));
+  if (total >= static_cast<std::uint64_t>(c.nprocs)) {
+    // Balance: largest zone at most ~2^k times the smallest (floor cuts).
+    EXPECT_LE(max_z, min_nonempty * (1ULL << (2 * c.bounds.size())));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, BlockDistP,
+    ::testing::Values(Case{{5, 4}, 4}, Case{{5, 4}, 1}, Case{{5, 4}, 3},
+                      Case{{1, 1}, 4}, Case{{7}, 3}, Case{{2, 3, 4}, 6},
+                      Case{{10, 10}, 7}, Case{{3, 3, 3}, 8},
+                      Case{{64, 64}, 16}));
+
+TEST(BlockDist, Fig1GridIs2x2) {
+  const Distribution dist = Distribution::block(Shape{5, 4}, 4);
+  EXPECT_EQ(dist.grid(), (std::vector<int>{2, 2}));
+}
+
+TEST(BlockDist, GridFactorsFollowLargerDims) {
+  // Balanced 6 = 3x2; the larger factor goes to the longer dimension.
+  const Distribution dist = Distribution::block(Shape{60, 2}, 6);
+  EXPECT_EQ(dist.grid(), (std::vector<int>{3, 2}));
+  const Distribution flipped = Distribution::block(Shape{2, 60}, 6);
+  EXPECT_EQ(flipped.grid(), (std::vector<int>{2, 3}));
+}
+
+class CyclicDistP : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CyclicDistP, ZonesTileDisjointly) {
+  const Case c = GetParam();
+  const Shape block(c.bounds.size(), 2);
+  const Distribution dist =
+      Distribution::block_cyclic(c.bounds, c.nprocs, block);
+
+  std::map<Index, int> owner_by_zone;
+  for (int p = 0; p < c.nprocs; ++p) {
+    for (const Index& chunk : dist.chunks_of(p)) {
+      auto [it, inserted] = owner_by_zone.emplace(chunk, p);
+      EXPECT_TRUE(inserted);
+      EXPECT_EQ(dist.owner_of(chunk), p);
+    }
+  }
+  EXPECT_EQ(owner_by_zone.size(), checked_product(c.bounds));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, CyclicDistP,
+    ::testing::Values(Case{{8, 8}, 4}, Case{{9, 7}, 4}, Case{{5, 5}, 2},
+                      Case{{16}, 3}, Case{{6, 6, 6}, 8}));
+
+TEST(CyclicDist, RoundRobinAlongOneDim) {
+  // 8 chunks, blocks of 2, 2 procs on a 1-D grid: P0 gets blocks 0,2
+  // (chunks 0,1,4,5), P1 gets blocks 1,3 (chunks 2,3,6,7).
+  const Distribution dist =
+      Distribution::block_cyclic(Shape{8}, 2, Shape{2});
+  EXPECT_EQ(dist.owner_of(Index{0}), 0);
+  EXPECT_EQ(dist.owner_of(Index{1}), 0);
+  EXPECT_EQ(dist.owner_of(Index{2}), 1);
+  EXPECT_EQ(dist.owner_of(Index{3}), 1);
+  EXPECT_EQ(dist.owner_of(Index{4}), 0);
+  EXPECT_EQ(dist.owner_of(Index{7}), 1);
+  EXPECT_EQ(dist.zones_of(0).size(), 2u);
+}
+
+TEST(CyclicDist, DealsChunksEvenlyOnOneDim) {
+  // 16 chunks, 4 procs on a 1-D grid, unit blocks: perfect 4-4-4-4 deal.
+  const Distribution cyc = Distribution::block_cyclic(Shape{16}, 4,
+                                                      Shape{1});
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_EQ(cyc.chunks_of(p).size(), 4u);
+  }
+  EXPECT_EQ(cyc.owner_of(Index{0}), 0);
+  EXPECT_EQ(cyc.owner_of(Index{5}), 1);
+  EXPECT_EQ(cyc.owner_of(Index{15}), 3);
+}
+
+TEST(Dist, OwnerOfOutOfBoundsAborts) {
+  const Distribution dist = Distribution::block(Shape{4, 4}, 2);
+  EXPECT_DEATH((void)dist.owner_of(Index{4, 0}), "check failed");
+}
+
+}  // namespace
+}  // namespace drx::core

@@ -1,0 +1,106 @@
+// Error propagation and configuration semantics of collective I/O:
+// an aggregator-side failure must surface on EVERY rank, and the
+// data-sieving gap must change access counts but never results.
+#include <gtest/gtest.h>
+
+#include "mpio/file.hpp"
+#include "simpi/runtime.hpp"
+
+namespace drx::mpio {
+namespace {
+
+using simpi::Comm;
+using simpi::Datatype;
+
+pfs::PfsConfig cfg() {
+  pfs::PfsConfig c;
+  c.num_servers = 2;
+  c.stripe_size = 64;
+  return c;
+}
+
+TEST(CollectiveErrors, ReadPastEofFailsOnAllRanks) {
+  pfs::Pfs fs(cfg());
+  simpi::run(4, [&](Comm& comm) {
+    File f = File::open(comm, fs, "f", kModeRdWr | kModeCreate).value();
+    if (comm.rank() == 0) {
+      std::vector<std::byte> v(64, std::byte{1});
+      ASSERT_TRUE(f.write_at(0, v.data(), 64, Datatype::bytes(1)).is_ok());
+    }
+    comm.barrier();
+    // Every rank asks for bytes [128, 192) of a 64-byte file. The failing
+    // device access happens on whichever aggregator owns the domain; the
+    // error must come back everywhere.
+    std::vector<std::byte> out(64);
+    const Status s =
+        f.read_at_all(128, out.data(), 64, Datatype::bytes(1));
+    EXPECT_FALSE(s.is_ok()) << "rank " << comm.rank();
+    ASSERT_TRUE(f.close().is_ok());
+  });
+}
+
+TEST(CollectiveErrors, MixedValidAndInvalidRequestsFailEverywhere) {
+  pfs::Pfs fs(cfg());
+  simpi::run(4, [&](Comm& comm) {
+    File f = File::open(comm, fs, "f", kModeRdWr | kModeCreate).value();
+    ASSERT_TRUE(f.set_size(256).is_ok());
+    // Rank 3 reads out of range; everyone else is in range. Collective
+    // semantics: the failure reaches every rank.
+    const std::uint64_t offset =
+        comm.rank() == 3 ? 10'000 : static_cast<std::uint64_t>(comm.rank()) * 64;
+    std::vector<std::byte> out(64);
+    const Status s = f.read_at_all(offset, out.data(), 64,
+                                   Datatype::bytes(1));
+    EXPECT_FALSE(s.is_ok()) << "rank " << comm.rank();
+    ASSERT_TRUE(f.close().is_ok());
+  });
+}
+
+TEST(CollectiveErrors, SieveGapChangesAccessCountsNotResults) {
+  // Strided read with 50% holes under gap 0 and gap 1 MiB: same bytes,
+  // different request counts.
+  auto run_once = [](std::uint64_t gap, std::uint64_t* requests) {
+    set_read_sieve_gap(gap);
+    pfs::Pfs fs(cfg());
+    std::vector<std::byte> result;
+    simpi::run(2, [&](Comm& comm) {
+      File f = File::open(comm, fs, "f", kModeRdWr | kModeCreate).value();
+      if (comm.rank() == 0) {
+        std::vector<std::byte> dense(4096);
+        for (std::size_t i = 0; i < dense.size(); ++i) {
+          dense[i] = static_cast<std::byte>(i * 13 & 0xFF);
+        }
+        ASSERT_TRUE(
+            f.write_at(0, dense.data(), dense.size(), Datatype::bytes(1))
+                .is_ok());
+      }
+      comm.barrier();
+      // Both ranks read the SAME strided half of the file, so the
+      // aggregate request pattern has genuine 32-byte holes.
+      auto ft = Datatype::bytes(32).resized(64);
+      f.set_view(0, Datatype::bytes(1), ft);
+      std::vector<std::byte> mine(2048);
+      const auto before = fs.total_stats();
+      ASSERT_TRUE(
+          f.read_at_all(0, mine.data(), mine.size(), Datatype::bytes(1))
+              .is_ok());
+      comm.barrier();
+      if (comm.rank() == 0) {
+        *requests = fs.total_stats().read_requests - before.read_requests;
+        result = mine;
+      }
+      ASSERT_TRUE(f.close().is_ok());
+    });
+    set_read_sieve_gap(64 * 1024);
+    return result;
+  };
+
+  std::uint64_t requests_nosieve = 0, requests_sieve = 0;
+  const auto a = run_once(0, &requests_nosieve);
+  const auto b = run_once(1 << 20, &requests_sieve);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(requests_nosieve, requests_sieve);
+}
+
+}  // namespace
+}  // namespace drx::mpio

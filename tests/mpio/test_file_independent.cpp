@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "mpio/file.hpp"
+#include "simpi/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace drx::mpio {
+namespace {
+
+using simpi::Comm;
+using simpi::Datatype;
+
+pfs::PfsConfig cfg(int servers = 4, std::uint64_t stripe = 64) {
+  pfs::PfsConfig c;
+  c.num_servers = servers;
+  c.stripe_size = stripe;
+  return c;
+}
+
+std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed = 1) {
+  SplitMix64 rng(seed);
+  std::vector<std::byte> buf(n);
+  for (auto& b : buf) b = static_cast<std::byte>(rng.next() & 0xFF);
+  return buf;
+}
+
+TEST(MpioFile, CollectiveOpenCreateAndModes) {
+  pfs::Pfs fs(cfg());
+  simpi::run(3, [&](Comm& comm) {
+    auto f = File::open(comm, fs, "a", kModeRdWr | kModeCreate);
+    ASSERT_TRUE(f.is_ok());
+    ASSERT_TRUE(f.value().close().is_ok());
+
+    // create|excl on an existing file fails on every rank.
+    auto f2 = File::open(comm, fs, "a",
+                         kModeRdWr | kModeCreate | kModeExcl);
+    EXPECT_FALSE(f2.is_ok());
+
+    // Open without create on a missing file fails everywhere.
+    auto f3 = File::open(comm, fs, "missing", kModeRdOnly);
+    EXPECT_FALSE(f3.is_ok());
+
+    // Missing access mode is invalid.
+    auto f4 = File::open(comm, fs, "a", kModeCreate);
+    EXPECT_FALSE(f4.is_ok());
+  });
+}
+
+TEST(MpioFile, IndependentWriteReadDefaultView) {
+  pfs::Pfs fs(cfg());
+  simpi::run(2, [&](Comm& comm) {
+    auto fr = File::open(comm, fs, "f", kModeRdWr | kModeCreate);
+    ASSERT_TRUE(fr.is_ok());
+    File f = std::move(fr).value();
+
+    // Each rank writes 100 bytes at disjoint offsets.
+    const auto data = pattern(100, static_cast<std::uint64_t>(comm.rank()));
+    ASSERT_TRUE(f.write_at(static_cast<std::uint64_t>(comm.rank()) * 100,
+                           data.data(), 100, Datatype::bytes(1))
+                    .is_ok());
+    comm.barrier();
+
+    // Cross-read the peer's region.
+    const int peer = 1 - comm.rank();
+    std::vector<std::byte> out(100);
+    ASSERT_TRUE(f.read_at(static_cast<std::uint64_t>(peer) * 100, out.data(),
+                          100, Datatype::bytes(1))
+                    .is_ok());
+    EXPECT_EQ(out, pattern(100, static_cast<std::uint64_t>(peer)));
+    EXPECT_EQ(f.get_size(), 200u);
+    ASSERT_TRUE(f.close().is_ok());
+  });
+}
+
+TEST(MpioFile, FilePointerAdvances) {
+  pfs::Pfs fs(cfg());
+  simpi::run(1, [&](Comm& comm) {
+    File f = File::open(comm, fs, "f", kModeRdWr | kModeCreate).value();
+    const auto data = pattern(64);
+    ASSERT_TRUE(f.write(data.data(), 64, Datatype::bytes(1)).is_ok());
+    EXPECT_EQ(f.position(), 64u);
+    ASSERT_TRUE(f.write(data.data(), 64, Datatype::bytes(1)).is_ok());
+    EXPECT_EQ(f.position(), 128u);
+
+    f.seek(32);
+    std::vector<std::byte> out(64);
+    ASSERT_TRUE(f.read(out.data(), 64, Datatype::bytes(1)).is_ok());
+    EXPECT_EQ(f.position(), 96u);
+    for (std::size_t i = 0; i < 32; ++i) {
+      EXPECT_EQ(out[i], data[32 + i]);
+      EXPECT_EQ(out[32 + i], data[i]);
+    }
+    ASSERT_TRUE(f.close().is_ok());
+  });
+}
+
+TEST(MpioFile, ViewWithEtypeOffsets) {
+  pfs::Pfs fs(cfg());
+  simpi::run(1, [&](Comm& comm) {
+    File f = File::open(comm, fs, "f", kModeRdWr | kModeCreate).value();
+    const auto data = pattern(80);
+    ASSERT_TRUE(f.write_at(0, data.data(), 80, Datatype::bytes(1)).is_ok());
+
+    // etype = 8-byte double; offsets now count doubles.
+    f.set_view(0, Datatype::bytes(8), Datatype::bytes(8));
+    std::vector<std::byte> out(16);
+    ASSERT_TRUE(f.read_at(3, out.data(), 2, Datatype::bytes(8)).is_ok());
+    for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(out[i], data[24 + i]);
+    ASSERT_TRUE(f.close().is_ok());
+  });
+}
+
+TEST(MpioFile, StridedViewReadsOnlyVisibleBytes) {
+  pfs::Pfs fs(cfg());
+  simpi::run(2, [&](Comm& comm) {
+    File f = File::open(comm, fs, "f", kModeRdWr | kModeCreate).value();
+    // Interleaved layout: rank r owns 8-byte slots at offset 8r stride 16.
+    const auto data = pattern(32, static_cast<std::uint64_t>(comm.rank()));
+    auto ft = Datatype::bytes(8)
+                  .resized(16);
+    f.set_view(static_cast<std::uint64_t>(comm.rank()) * 8,
+               Datatype::bytes(1), ft);
+    ASSERT_TRUE(f.write_at(0, data.data(), 32, Datatype::bytes(1)).is_ok());
+    comm.barrier();
+
+    std::vector<std::byte> out(32);
+    ASSERT_TRUE(f.read_at(0, out.data(), 32, Datatype::bytes(1)).is_ok());
+    EXPECT_EQ(out, data);
+
+    // The physical file interleaves both ranks' slots.
+    comm.barrier();
+    f.set_view(0, Datatype::bytes(1), Datatype::bytes(1));
+    std::vector<std::byte> raw(64);
+    ASSERT_TRUE(f.read_at(0, raw.data(), 64, Datatype::bytes(1)).is_ok());
+    const auto mine = pattern(32, static_cast<std::uint64_t>(comm.rank()));
+    const auto theirs =
+        pattern(32, static_cast<std::uint64_t>(1 - comm.rank()));
+    for (std::size_t slot = 0; slot < 4; ++slot) {
+      for (std::size_t i = 0; i < 8; ++i) {
+        const std::byte expect_mine = mine[slot * 8 + i];
+        const std::byte expect_theirs = theirs[slot * 8 + i];
+        const std::size_t base = slot * 16 + i;
+        if (comm.rank() == 0) {
+          EXPECT_EQ(raw[base], expect_mine);
+          EXPECT_EQ(raw[base + 8], expect_theirs);
+        } else {
+          EXPECT_EQ(raw[base + 8], expect_mine);
+          EXPECT_EQ(raw[base], expect_theirs);
+        }
+      }
+    }
+    ASSERT_TRUE(f.close().is_ok());
+  });
+}
+
+TEST(MpioFile, MemoryDatatypeScatter) {
+  pfs::Pfs fs(cfg());
+  simpi::run(1, [&](Comm& comm) {
+    File f = File::open(comm, fs, "f", kModeRdWr | kModeCreate).value();
+    const auto data = pattern(24);
+    ASSERT_TRUE(f.write_at(0, data.data(), 24, Datatype::bytes(1)).is_ok());
+
+    // Read 24 contiguous file bytes into memory blocks in order 2,0,1.
+    const std::uint64_t lens[] = {1, 1, 1};
+    const std::uint64_t displs[] = {2, 0, 1};
+    auto memtype = Datatype::indexed(lens, displs, Datatype::bytes(8));
+    std::vector<std::byte> out(24, std::byte{0});
+    ASSERT_TRUE(f.read_at(0, out.data(), 1, memtype).is_ok());
+    // File bytes 0..7 land at memory 16..23, 8..15 at 0..7, 16..23 at 8..15.
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_EQ(out[16 + i], data[i]);
+      EXPECT_EQ(out[i], data[8 + i]);
+      EXPECT_EQ(out[8 + i], data[16 + i]);
+    }
+    ASSERT_TRUE(f.close().is_ok());
+  });
+}
+
+TEST(MpioFile, WriteWithoutPermissionFails) {
+  pfs::Pfs fs(cfg());
+  simpi::run(1, [&](Comm& comm) {
+    {
+      File f = File::open(comm, fs, "f", kModeRdWr | kModeCreate).value();
+      ASSERT_TRUE(f.close().is_ok());
+    }
+    File f = File::open(comm, fs, "f", kModeRdOnly).value();
+    std::byte b{1};
+    EXPECT_EQ(f.write_at(0, &b, 1, Datatype::bytes(1)).code(),
+              ErrorCode::kFailedPrecondition);
+    ASSERT_TRUE(f.close().is_ok());
+  });
+}
+
+TEST(MpioFile, DeleteOnClose) {
+  pfs::Pfs fs(cfg());
+  simpi::run(2, [&](Comm& comm) {
+    File f = File::open(comm, fs, "tmp",
+                        kModeRdWr | kModeCreate | kModeDeleteOnClose)
+                 .value();
+    ASSERT_TRUE(f.close().is_ok());
+    comm.barrier();
+    EXPECT_FALSE(fs.exists("tmp"));
+  });
+}
+
+TEST(MpioFile, SetSizeGrowsZeroFilled) {
+  pfs::Pfs fs(cfg());
+  simpi::run(2, [&](Comm& comm) {
+    File f = File::open(comm, fs, "f", kModeRdWr | kModeCreate).value();
+    ASSERT_TRUE(f.set_size(128).is_ok());
+    EXPECT_EQ(f.get_size(), 128u);
+    std::vector<std::byte> out(128);
+    ASSERT_TRUE(f.read_at(0, out.data(), 128, Datatype::bytes(1)).is_ok());
+    for (std::byte b : out) EXPECT_EQ(b, std::byte{0});
+    ASSERT_TRUE(f.close().is_ok());
+  });
+}
+
+}  // namespace
+}  // namespace drx::mpio

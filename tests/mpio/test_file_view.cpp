@@ -1,0 +1,86 @@
+#include "mpio/file_view.hpp"
+
+#include <gtest/gtest.h>
+
+namespace drx::mpio {
+namespace {
+
+using simpi::Datatype;
+
+TEST(FileView, DefaultViewIsIdentity) {
+  FileView v;
+  auto extents = v.map_range(10, 5);
+  ASSERT_EQ(extents.size(), 1u);
+  EXPECT_EQ(extents[0], (FileExtent{10, 5}));
+  EXPECT_EQ(v.map_byte(1234), 1234u);
+}
+
+TEST(FileView, DisplacementShifts) {
+  FileView v(100, Datatype::bytes(1), Datatype::bytes(8));
+  EXPECT_EQ(v.map_byte(0), 100u);
+  EXPECT_EQ(v.map_byte(7), 107u);
+  EXPECT_EQ(v.map_byte(8), 108u);  // next tile, still contiguous
+}
+
+TEST(FileView, StridedFiletypeSkipsHoles) {
+  // Filetype: 4 visible bytes, then a 4-byte hole (extent 8).
+  auto ft = Datatype::bytes(4).resized(8);
+  FileView v(0, Datatype::bytes(1), ft);
+  auto extents = v.map_range(0, 10);
+  // Visible bytes 0..3 -> file 0..3, 4..7 -> 8..11, 8..9 -> 16..17.
+  ASSERT_EQ(extents.size(), 3u);
+  EXPECT_EQ(extents[0], (FileExtent{0, 4}));
+  EXPECT_EQ(extents[1], (FileExtent{8, 4}));
+  EXPECT_EQ(extents[2], (FileExtent{16, 2}));
+}
+
+TEST(FileView, RangeStartingMidTile) {
+  auto ft = Datatype::bytes(4).resized(8);
+  FileView v(0, Datatype::bytes(1), ft);
+  auto extents = v.map_range(2, 4);
+  ASSERT_EQ(extents.size(), 2u);
+  EXPECT_EQ(extents[0], (FileExtent{2, 2}));
+  EXPECT_EQ(extents[1], (FileExtent{8, 2}));
+}
+
+TEST(FileView, MultiBlockFiletype) {
+  // Two visible runs per tile: [0,2) and [6,9); extent 12.
+  const std::uint64_t lens[] = {2, 3};
+  const std::uint64_t displs[] = {0, 6};
+  auto ft = Datatype::hindexed(lens, displs, Datatype::bytes(1)).resized(12);
+  FileView v(0, Datatype::bytes(1), ft);
+  auto extents = v.map_range(0, 8);
+  // Tile 0: 0..1, 6..8; tile 1: 12..13, 18.
+  ASSERT_EQ(extents.size(), 4u);
+  EXPECT_EQ(extents[0], (FileExtent{0, 2}));
+  EXPECT_EQ(extents[1], (FileExtent{6, 3}));
+  EXPECT_EQ(extents[2], (FileExtent{12, 2}));
+  EXPECT_EQ(extents[3], (FileExtent{18, 1}));
+}
+
+TEST(FileView, AdjacentTilesCoalesce) {
+  FileView v(0, Datatype::bytes(1), Datatype::bytes(16));
+  auto extents = v.map_range(0, 64);
+  ASSERT_EQ(extents.size(), 1u);
+  EXPECT_EQ(extents[0], (FileExtent{0, 64}));
+}
+
+TEST(FileView, EmptyRange) {
+  FileView v;
+  EXPECT_TRUE(v.map_range(5, 0).empty());
+}
+
+TEST(FileView, NonMonotonicFiletypeAborts) {
+  const std::uint64_t lens[] = {1, 1};
+  const std::uint64_t displs[] = {8, 0};
+  auto ft = Datatype::hindexed(lens, displs, Datatype::bytes(4));
+  EXPECT_DEATH((void)FileView(0, Datatype::bytes(1), ft), "monotonic");
+}
+
+TEST(FileView, EtypeMustDivideFiletype) {
+  EXPECT_DEATH((void)FileView(0, Datatype::bytes(3), Datatype::bytes(8)),
+               "multiple");
+}
+
+}  // namespace
+}  // namespace drx::mpio

@@ -1,0 +1,110 @@
+#include "pfs/block_device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace drx::pfs {
+namespace {
+
+CostModel test_model() {
+  CostModel m;
+  m.seek_us = 1000;
+  m.disk_per_byte_us = 1;
+  m.request_overhead_us = 10;
+  m.network_latency_us = 0;
+  m.network_per_byte_us = 0;
+  return m;
+}
+
+TEST(BlockDevice, WriteThenReadBack) {
+  const CostModel m = test_model();
+  BlockDevice dev(&m);
+  std::vector<std::byte> data(16);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(i);
+  }
+  ASSERT_TRUE(dev.write(0, data).is_ok());
+  std::vector<std::byte> out(16);
+  ASSERT_TRUE(dev.read(0, out).is_ok());
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(dev.size(), 16u);
+}
+
+TEST(BlockDevice, ReadPastEndFails) {
+  const CostModel m = test_model();
+  BlockDevice dev(&m);
+  std::vector<std::byte> out(4);
+  EXPECT_EQ(dev.read(0, out).code(), ErrorCode::kOutOfRange);
+  ASSERT_TRUE(dev.write(0, out).is_ok());
+  EXPECT_EQ(dev.read(1, out).code(), ErrorCode::kOutOfRange);
+}
+
+TEST(BlockDevice, SparseWriteZeroFillsGap) {
+  const CostModel m = test_model();
+  BlockDevice dev(&m);
+  const std::byte one[] = {std::byte{0xAA}};
+  ASSERT_TRUE(dev.write(100, one).is_ok());
+  EXPECT_EQ(dev.size(), 101u);
+  std::vector<std::byte> out(101);
+  ASSERT_TRUE(dev.read(0, out).is_ok());
+  EXPECT_EQ(out[0], std::byte{0});
+  EXPECT_EQ(out[99], std::byte{0});
+  EXPECT_EQ(out[100], std::byte{0xAA});
+}
+
+TEST(BlockDevice, SequentialAccessAvoidsSeeks) {
+  const CostModel m = test_model();
+  BlockDevice dev(&m);
+  std::vector<std::byte> slab(64);
+  // First write from offset 0: head starts at 0, no seek.
+  ASSERT_TRUE(dev.write(0, slab).is_ok());
+  ASSERT_TRUE(dev.write(64, slab).is_ok());
+  ASSERT_TRUE(dev.write(128, slab).is_ok());
+  EXPECT_EQ(dev.stats().seeks, 0u);
+  // Jump back: one seek.
+  ASSERT_TRUE(dev.write(0, slab).is_ok());
+  EXPECT_EQ(dev.stats().seeks, 1u);
+}
+
+TEST(BlockDevice, CostAccounting) {
+  const CostModel m = test_model();
+  BlockDevice dev(&m);
+  std::vector<std::byte> slab(100);
+  ASSERT_TRUE(dev.write(0, slab).is_ok());
+  // No seek (head at 0), 10 overhead + 100 bytes * 1us.
+  EXPECT_DOUBLE_EQ(dev.stats().busy_us, 110.0);
+  std::vector<std::byte> out(50);
+  ASSERT_TRUE(dev.read(0, out).is_ok());
+  // Head was at 100 -> seek 1000 + 10 + 50.
+  EXPECT_DOUBLE_EQ(dev.stats().busy_us, 110.0 + 1060.0);
+  EXPECT_EQ(dev.stats().bytes_written, 100u);
+  EXPECT_EQ(dev.stats().bytes_read, 50u);
+  EXPECT_EQ(dev.stats().read_requests, 1u);
+  EXPECT_EQ(dev.stats().write_requests, 1u);
+}
+
+TEST(BlockDevice, TruncateShrinksAndClampsHead) {
+  const CostModel m = test_model();
+  BlockDevice dev(&m);
+  std::vector<std::byte> slab(128, std::byte{1});
+  ASSERT_TRUE(dev.write(0, slab).is_ok());
+  ASSERT_TRUE(dev.truncate(64).is_ok());
+  EXPECT_EQ(dev.size(), 64u);
+  std::vector<std::byte> out(64);
+  ASSERT_TRUE(dev.read(0, out).is_ok());
+  EXPECT_EQ(dev.read(1, out).code(), ErrorCode::kOutOfRange);
+}
+
+TEST(BlockDevice, TruncateGrowsWithZeros) {
+  const CostModel m = test_model();
+  BlockDevice dev(&m);
+  const std::byte one[] = {std::byte{9}};
+  ASSERT_TRUE(dev.write(0, one).is_ok());
+  ASSERT_TRUE(dev.truncate(10).is_ok());
+  std::vector<std::byte> out(10);
+  ASSERT_TRUE(dev.read(0, out).is_ok());
+  EXPECT_EQ(out[0], std::byte{9});
+  EXPECT_EQ(out[9], std::byte{0});
+}
+
+}  // namespace
+}  // namespace drx::pfs

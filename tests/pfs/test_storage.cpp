@@ -1,0 +1,106 @@
+#include "pfs/storage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/rng.hpp"
+
+namespace drx::pfs {
+namespace {
+
+std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed = 3) {
+  SplitMix64 rng(seed);
+  std::vector<std::byte> buf(n);
+  for (auto& b : buf) b = static_cast<std::byte>(rng.next() & 0xFF);
+  return buf;
+}
+
+/// The Storage contract, run against every implementation.
+void exercise_storage(Storage& s) {
+  EXPECT_EQ(s.size(), 0u);
+  const auto data = pattern(200);
+  ASSERT_TRUE(s.write_at(0, data).is_ok());
+  EXPECT_EQ(s.size(), 200u);
+  std::vector<std::byte> out(200);
+  ASSERT_TRUE(s.read_at(0, out).is_ok());
+  EXPECT_EQ(out, data);
+
+  // Partial read at offset.
+  std::vector<std::byte> part(50);
+  ASSERT_TRUE(s.read_at(100, part).is_ok());
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_EQ(part[i], data[100 + i]);
+
+  // Sparse write beyond EOF zero-fills.
+  const std::byte one[] = {std::byte{0x7F}};
+  ASSERT_TRUE(s.write_at(300, one).is_ok());
+  EXPECT_EQ(s.size(), 301u);
+  std::vector<std::byte> gap(100);
+  ASSERT_TRUE(s.read_at(200, gap).is_ok());
+  for (std::byte b : gap) EXPECT_EQ(b, std::byte{0});
+
+  // Read past EOF errors.
+  std::vector<std::byte> over(2);
+  EXPECT_FALSE(s.read_at(300, over).is_ok());
+
+  EXPECT_TRUE(s.flush().is_ok());
+}
+
+TEST(MemStorage, Contract) {
+  MemStorage s;
+  exercise_storage(s);
+}
+
+TEST(MemStorage, TracksStats) {
+  MemStorage s;
+  ASSERT_TRUE(s.write_at(0, pattern(64)).is_ok());
+  EXPECT_EQ(s.stats().bytes_written, 64u);
+  EXPECT_EQ(s.stats().write_requests, 1u);
+}
+
+TEST(PosixStorage, Contract) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "drx_storage_test.bin")
+          .string();
+  std::remove(path.c_str());
+  auto s = PosixStorage::open(path);
+  ASSERT_TRUE(s.is_ok());
+  exercise_storage(*s.value());
+  std::remove(path.c_str());
+}
+
+TEST(PosixStorage, PersistsAcrossReopen) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "drx_storage_persist.bin")
+          .string();
+  std::remove(path.c_str());
+  const auto data = pattern(77);
+  {
+    auto s = PosixStorage::open(path);
+    ASSERT_TRUE(s.is_ok());
+    ASSERT_TRUE(s.value()->write_at(0, data).is_ok());
+    ASSERT_TRUE(s.value()->flush().is_ok());
+  }
+  {
+    auto s = PosixStorage::open(path);
+    ASSERT_TRUE(s.is_ok());
+    EXPECT_EQ(s.value()->size(), 77u);
+    std::vector<std::byte> out(77);
+    ASSERT_TRUE(s.value()->read_at(0, out).is_ok());
+    EXPECT_EQ(out, data);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PfsStorage, Contract) {
+  PfsConfig cfg;
+  cfg.num_servers = 3;
+  cfg.stripe_size = 32;
+  Pfs fs(cfg);
+  PfsStorage s(fs.create("x").value());
+  exercise_storage(s);
+}
+
+}  // namespace
+}  // namespace drx::pfs

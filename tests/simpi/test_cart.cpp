@@ -1,0 +1,54 @@
+#include "simpi/cart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace drx::simpi {
+namespace {
+
+TEST(DimsCreate, FactorsAreBalancedAndExact) {
+  for (int n : {1, 2, 3, 4, 6, 8, 12, 16, 24, 36, 64, 100}) {
+    for (int k : {1, 2, 3}) {
+      auto dims = dims_create(n, k);
+      ASSERT_EQ(dims.size(), static_cast<std::size_t>(k));
+      int prod = 1;
+      for (int d : dims) prod *= d;
+      EXPECT_EQ(prod, n) << "n=" << n << " k=" << k;
+      // Sorted descending.
+      EXPECT_TRUE(std::is_sorted(dims.rbegin(), dims.rend()));
+    }
+  }
+}
+
+TEST(DimsCreate, KnownShapes) {
+  EXPECT_EQ(dims_create(4, 2), (std::vector<int>{2, 2}));
+  EXPECT_EQ(dims_create(6, 2), (std::vector<int>{3, 2}));
+  EXPECT_EQ(dims_create(8, 3), (std::vector<int>{2, 2, 2}));
+  EXPECT_EQ(dims_create(7, 2), (std::vector<int>{7, 1}));
+}
+
+TEST(Cart, CoordsRankRoundTrip) {
+  const std::vector<int> dims = {3, 4, 2};
+  for (int r = 0; r < 24; ++r) {
+    auto coords = cart_coords(r, dims);
+    EXPECT_EQ(cart_rank(coords, dims), r);
+  }
+}
+
+TEST(Cart, RowMajorOrdering) {
+  const std::vector<int> dims = {2, 3};
+  EXPECT_EQ(cart_coords(0, dims), (std::vector<int>{0, 0}));
+  EXPECT_EQ(cart_coords(1, dims), (std::vector<int>{0, 1}));
+  EXPECT_EQ(cart_coords(3, dims), (std::vector<int>{1, 0}));
+  EXPECT_EQ(cart_coords(5, dims), (std::vector<int>{1, 2}));
+}
+
+TEST(Cart, OutOfGridAborts) {
+  const std::vector<int> dims = {2, 2};
+  EXPECT_DEATH((void)cart_coords(4, dims), "outside");
+  EXPECT_DEATH((void)cart_rank({2, 0}, dims), "check failed");
+}
+
+}  // namespace
+}  // namespace drx::simpi

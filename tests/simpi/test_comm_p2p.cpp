@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+
+#include "simpi/runtime.hpp"
+
+namespace drx::simpi {
+namespace {
+
+TEST(Runtime, SingleRankRuns) {
+  std::atomic<int> ran{0};
+  run(1, [&](Comm& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+    ++ran;
+  });
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(Runtime, AllRanksRun) {
+  std::atomic<int> mask{0};
+  run(4, [&](Comm& comm) { mask |= 1 << comm.rank(); });
+  EXPECT_EQ(mask.load(), 0b1111);
+}
+
+TEST(P2P, PingPong) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(99, 1, 7);
+      EXPECT_EQ(comm.recv_value<int>(1, 8), 100);
+    } else {
+      int v = comm.recv_value<int>(0, 7);
+      comm.send_value<int>(v + 1, 0, 8);
+    }
+  });
+}
+
+TEST(P2P, TagMatchingIsSelective) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(1, 1, 10);
+      comm.send_value<int>(2, 1, 20);
+    } else {
+      // Receive out of send order by tag.
+      EXPECT_EQ(comm.recv_value<int>(0, 20), 2);
+      EXPECT_EQ(comm.recv_value<int>(0, 10), 1);
+    }
+  });
+}
+
+TEST(P2P, PairwiseOrderingIsFifo) {
+  run(2, [](Comm& comm) {
+    constexpr int kN = 64;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < kN; ++i) comm.send_value<int>(i, 1, 5);
+    } else {
+      for (int i = 0; i < kN; ++i) {
+        EXPECT_EQ(comm.recv_value<int>(0, 5), i);
+      }
+    }
+  });
+}
+
+TEST(P2P, AnySourceAnyTag) {
+  run(3, [](Comm& comm) {
+    if (comm.rank() != 0) {
+      comm.send_value<int>(comm.rank(), 0, comm.rank());
+    } else {
+      int sum = 0;
+      for (int i = 0; i < 2; ++i) {
+        RecvStatus st;
+        auto payload = comm.recv_any_size(kAnySource, kAnyTag, &st);
+        int v = 0;
+        ASSERT_EQ(payload.size(), sizeof(v));
+        std::memcpy(&v, payload.data(), sizeof(v));
+        EXPECT_EQ(st.source, v);
+        EXPECT_EQ(st.tag, v);
+        sum += v;
+      }
+      EXPECT_EQ(sum, 3);
+    }
+  });
+}
+
+TEST(P2P, ProbeReportsSizeWithoutConsuming) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::byte> payload(123, std::byte{7});
+      comm.send(payload, 1, 3);
+    } else {
+      RecvStatus st = comm.probe(0, 3);
+      EXPECT_EQ(st.bytes, 123u);
+      EXPECT_EQ(st.source, 0);
+      auto payload = comm.recv_any_size(0, 3);
+      EXPECT_EQ(payload.size(), 123u);
+    }
+  });
+}
+
+TEST(P2P, SendrecvExchanges) {
+  run(2, [](Comm& comm) {
+    const int peer = 1 - comm.rank();
+    int mine = comm.rank() + 10;
+    int theirs = -1;
+    comm.sendrecv(std::as_bytes(std::span<const int>(&mine, 1)), peer, 1,
+                  std::as_writable_bytes(std::span<int>(&theirs, 1)), peer,
+                  1);
+    EXPECT_EQ(theirs, peer + 10);
+  });
+}
+
+TEST(P2P, LargePayload) {
+  run(2, [](Comm& comm) {
+    constexpr std::size_t kN = 1 << 20;
+    if (comm.rank() == 0) {
+      std::vector<std::byte> buf(kN);
+      for (std::size_t i = 0; i < kN; ++i) {
+        buf[i] = static_cast<std::byte>(i * 31 % 251);
+      }
+      comm.send(buf, 1, 0);
+    } else {
+      auto buf = comm.recv_any_size(0, 0);
+      ASSERT_EQ(buf.size(), kN);
+      for (std::size_t i = 0; i < kN; i += 4099) {
+        EXPECT_EQ(buf[i], static_cast<std::byte>(i * 31 % 251));
+      }
+    }
+  });
+}
+
+TEST(CommMgmt, DupSeparatesTraffic) {
+  run(2, [](Comm& comm) {
+    Comm dup = comm.dup();
+    if (comm.rank() == 0) {
+      comm.send_value<int>(1, 1, 0);
+      dup.send_value<int>(2, 1, 0);
+    } else {
+      // The dup'ed communicator must not see the original's message.
+      EXPECT_EQ(dup.recv_value<int>(0, 0), 2);
+      EXPECT_EQ(comm.recv_value<int>(0, 0), 1);
+    }
+  });
+}
+
+TEST(CommMgmt, SplitByParity) {
+  run(4, [](Comm& comm) {
+    Comm sub = comm.split(comm.rank() % 2, comm.rank());
+    EXPECT_EQ(sub.size(), 2);
+    EXPECT_EQ(sub.rank(), comm.rank() / 2);
+    // Sum of world ranks within the sub-communicator.
+    const int sum = sub.allreduce_value(comm.rank(), ReduceOp::kSum);
+    EXPECT_EQ(sum, comm.rank() % 2 == 0 ? 0 + 2 : 1 + 3);
+  });
+}
+
+TEST(CommMgmt, SplitWithKeyReordersRanks) {
+  run(3, [](Comm& comm) {
+    // key = -rank reverses the ordering within the single color.
+    Comm sub = comm.split(0, -comm.rank());
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.rank(), 2 - comm.rank());
+  });
+}
+
+}  // namespace
+}  // namespace drx::simpi

@@ -1,0 +1,217 @@
+#include "simpi/datatype.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+namespace drx::simpi {
+namespace {
+
+std::vector<std::byte> make_pattern(std::size_t n) {
+  std::vector<std::byte> buf(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    buf[i] = static_cast<std::byte>(i * 13 % 251);
+  }
+  return buf;
+}
+
+TEST(Datatype, BytesBasics) {
+  auto t = Datatype::bytes(8);
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_EQ(t.extent(), 8u);
+  ASSERT_EQ(t.blocks().size(), 1u);
+  EXPECT_EQ(t.blocks()[0], (Block{0, 8}));
+  EXPECT_TRUE(t.is_monotonic());
+}
+
+TEST(Datatype, ZeroBytes) {
+  auto t = Datatype::bytes(0);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.blocks().empty());
+}
+
+TEST(Datatype, ContiguousCoalesces) {
+  auto t = Datatype::contiguous(5, Datatype::bytes(4));
+  EXPECT_EQ(t.size(), 20u);
+  EXPECT_EQ(t.extent(), 20u);
+  EXPECT_EQ(t.blocks().size(), 1u);  // adjacent runs merge
+}
+
+TEST(Datatype, VectorLayout) {
+  // 3 blocks of 2 elements, stride 4 elements, element = 8 bytes.
+  auto t = Datatype::vector(3, 2, 4, Datatype::bytes(8));
+  EXPECT_EQ(t.size(), 48u);
+  EXPECT_EQ(t.extent(), (2ull * 4 + 2) * 8);
+  ASSERT_EQ(t.blocks().size(), 3u);
+  EXPECT_EQ(t.blocks()[0], (Block{0, 16}));
+  EXPECT_EQ(t.blocks()[1], (Block{32, 16}));
+  EXPECT_EQ(t.blocks()[2], (Block{64, 16}));
+}
+
+TEST(Datatype, VectorStrideEqualBlocklenIsContiguous) {
+  auto t = Datatype::vector(4, 2, 2, Datatype::bytes(1));
+  EXPECT_EQ(t.blocks().size(), 1u);
+  EXPECT_EQ(t.size(), 8u);
+}
+
+TEST(Datatype, IndexedPreservesDeclarationOrder) {
+  // The paper's inMemoryMap pattern: declaration order 0,2,4,1,3,5.
+  const std::uint64_t lens[] = {1, 1, 1, 1, 1, 1};
+  const std::uint64_t displs[] = {0, 2, 4, 1, 3, 5};
+  auto t = Datatype::indexed(lens, displs, Datatype::bytes(6));
+  EXPECT_EQ(t.size(), 36u);
+  EXPECT_FALSE(t.is_monotonic());
+  ASSERT_EQ(t.blocks().size(), 6u);
+  EXPECT_EQ(t.blocks()[0].offset, 0u);
+  EXPECT_EQ(t.blocks()[1].offset, 12u);
+  EXPECT_EQ(t.blocks()[3].offset, 6u);
+}
+
+TEST(Datatype, IndexedPackScattersInDeclarationOrder) {
+  const std::uint64_t lens[] = {1, 1};
+  const std::uint64_t displs[] = {1, 0};  // second block first in memory
+  auto t = Datatype::indexed(lens, displs, Datatype::bytes(2));
+  const auto mem = make_pattern(4);
+  std::vector<std::byte> packed;
+  t.pack(mem.data(), 1, packed);
+  ASSERT_EQ(packed.size(), 4u);
+  // Declaration order: block at offset 2 first, then offset 0.
+  EXPECT_EQ(packed[0], mem[2]);
+  EXPECT_EQ(packed[1], mem[3]);
+  EXPECT_EQ(packed[2], mem[0]);
+  EXPECT_EQ(packed[3], mem[1]);
+}
+
+TEST(Datatype, OverlappingBlocksAbort) {
+  const std::uint64_t lens[] = {2, 1};
+  const std::uint64_t displs[] = {0, 1};
+  EXPECT_DEATH(
+      (void)Datatype::indexed(lens, displs, Datatype::bytes(4)),
+      "overlap");
+}
+
+TEST(Datatype, HindexedByteDisplacements) {
+  const std::uint64_t lens[] = {2, 1};
+  const std::uint64_t displs[] = {100, 7};
+  auto t = Datatype::hindexed(lens, displs, Datatype::bytes(3));
+  EXPECT_EQ(t.size(), 9u);
+  ASSERT_EQ(t.blocks().size(), 2u);
+  EXPECT_EQ(t.blocks()[0], (Block{100, 6}));
+  EXPECT_EQ(t.blocks()[1], (Block{7, 3}));
+  EXPECT_EQ(t.extent(), 106u);
+}
+
+TEST(Datatype, Subarray2DC) {
+  // 4x6 array, 2x3 sub-block at (1,2), C order, 1-byte elements.
+  const std::uint64_t sizes[] = {4, 6};
+  const std::uint64_t subsizes[] = {2, 3};
+  const std::uint64_t starts[] = {1, 2};
+  auto t = Datatype::subarray(sizes, subsizes, starts, Order::kC,
+                              Datatype::bytes(1));
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.extent(), 24u);
+  ASSERT_EQ(t.blocks().size(), 2u);
+  EXPECT_EQ(t.blocks()[0], (Block{8, 3}));   // row 1, cols 2..4
+  EXPECT_EQ(t.blocks()[1], (Block{14, 3}));  // row 2, cols 2..4
+}
+
+TEST(Datatype, Subarray2DFortran) {
+  const std::uint64_t sizes[] = {4, 6};
+  const std::uint64_t subsizes[] = {2, 3};
+  const std::uint64_t starts[] = {1, 2};
+  auto t = Datatype::subarray(sizes, subsizes, starts, Order::kFortran,
+                              Datatype::bytes(1));
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.extent(), 24u);
+  // Fortran: columns contiguous with stride 4; runs of 2 at (1 + 4c).
+  ASSERT_EQ(t.blocks().size(), 3u);
+  EXPECT_EQ(t.blocks()[0], (Block{9, 2}));
+  EXPECT_EQ(t.blocks()[1], (Block{13, 2}));
+  EXPECT_EQ(t.blocks()[2], (Block{17, 2}));
+}
+
+TEST(Datatype, Subarray3DRoundTrip) {
+  const std::uint64_t sizes[] = {3, 4, 5};
+  const std::uint64_t subsizes[] = {2, 2, 3};
+  const std::uint64_t starts[] = {1, 1, 1};
+  auto t = Datatype::subarray(sizes, subsizes, starts, Order::kC,
+                              Datatype::bytes(2));
+  EXPECT_EQ(t.size(), 2u * 2 * 3 * 2);
+  const auto mem = make_pattern(3 * 4 * 5 * 2);
+  std::vector<std::byte> packed;
+  t.pack(mem.data(), 1, packed);
+  std::vector<std::byte> restored(mem.size(), std::byte{0});
+  t.unpack(packed, 1, restored.data());
+  // Every packed byte returns to its original position.
+  for (const Block& b : t.blocks()) {
+    for (std::uint64_t i = 0; i < b.length; ++i) {
+      EXPECT_EQ(restored[b.offset + i], mem[b.offset + i]);
+    }
+  }
+}
+
+TEST(Datatype, SubarrayFullArrayIsContiguous) {
+  const std::uint64_t sizes[] = {3, 4};
+  const std::uint64_t zeros[] = {0, 0};
+  auto t = Datatype::subarray(sizes, sizes, zeros, Order::kC,
+                              Datatype::bytes(8));
+  EXPECT_EQ(t.blocks().size(), 1u);
+  EXPECT_EQ(t.size(), 96u);
+}
+
+TEST(Datatype, SubarrayOutOfBoundsAborts) {
+  const std::uint64_t sizes[] = {3, 4};
+  const std::uint64_t subsizes[] = {2, 2};
+  const std::uint64_t starts[] = {2, 0};
+  EXPECT_DEATH((void)Datatype::subarray(sizes, subsizes, starts, Order::kC,
+                                        Datatype::bytes(1)),
+               "exceeds");
+}
+
+TEST(Datatype, PackUnpackMultipleItems) {
+  auto t = Datatype::vector(2, 1, 2, Datatype::bytes(4));  // 8 payload/item
+  const auto mem = make_pattern(64);
+  std::vector<std::byte> packed;
+  t.pack(mem.data(), 3, packed);
+  ASSERT_EQ(packed.size(), 24u);
+  std::vector<std::byte> restored(64, std::byte{0xFF});
+  t.unpack(packed, 3, restored.data());
+  std::vector<std::byte> repacked;
+  t.pack(restored.data(), 3, repacked);
+  EXPECT_EQ(repacked, packed);
+}
+
+TEST(Datatype, ResizedChangesExtentOnly) {
+  auto t = Datatype::bytes(4).resized(16);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.extent(), 16u);
+  auto c = Datatype::contiguous(2, t);
+  ASSERT_EQ(c.blocks().size(), 2u);
+  EXPECT_EQ(c.blocks()[1].offset, 16u);
+}
+
+TEST(Datatype, SpanBytes) {
+  auto t = Datatype::vector(2, 1, 3, Datatype::bytes(4));
+  // blocks at 0 and 12, extent (1*3+1)*4=16.
+  EXPECT_EQ(t.span_bytes(1), 16u);
+  EXPECT_EQ(t.span_bytes(2), 16u + 16u);
+  EXPECT_EQ(t.span_bytes(0), 0u);
+}
+
+TEST(Datatype, NestedComposition) {
+  // A vector of subarray rows: exercise composition depth.
+  const std::uint64_t sizes[] = {4, 4};
+  const std::uint64_t subsizes[] = {1, 2};
+  const std::uint64_t starts[] = {0, 1};
+  auto row = Datatype::subarray(sizes, subsizes, starts, Order::kC,
+                                Datatype::bytes(1));
+  auto t = Datatype::contiguous(2, row);
+  EXPECT_EQ(t.size(), 4u);
+  ASSERT_EQ(t.blocks().size(), 2u);
+  EXPECT_EQ(t.blocks()[0], (Block{1, 2}));
+  EXPECT_EQ(t.blocks()[1], (Block{17, 2}));
+}
+
+}  // namespace
+}  // namespace drx::simpi

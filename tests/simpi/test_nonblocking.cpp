@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "simpi/runtime.hpp"
+
+namespace drx::simpi {
+namespace {
+
+TEST(Nonblocking, IrecvThenWait) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(77, 1, 4);
+    } else {
+      int v = 0;
+      auto req = comm.irecv(std::as_writable_bytes(std::span<int>(&v, 1)),
+                            0, 4);
+      comm.wait(req);
+      EXPECT_EQ(v, 77);
+      EXPECT_EQ(req.status().source, 0);
+      EXPECT_EQ(req.status().bytes, sizeof(int));
+    }
+  });
+}
+
+TEST(Nonblocking, TestPollsWithoutBlocking) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 1) {
+      int v = 0;
+      auto req = comm.irecv(std::as_writable_bytes(std::span<int>(&v, 1)),
+                            0, 9);
+      // Nothing can have been sent yet (rank 0 blocks on the go message):
+      // test must not block and must report pending.
+      EXPECT_FALSE(comm.test(req));
+      comm.send_value<int>(1, 0, 0);  // go
+      // Spin until the message lands (bounded by the send's completion).
+      while (!comm.test(req)) {
+      }
+      EXPECT_EQ(v, 5);
+      EXPECT_TRUE(comm.test(req));  // idempotent once done
+    } else {
+      (void)comm.recv_value<int>(1, 0);  // wait for go
+      comm.send_value<int>(5, 1, 9);
+    }
+  });
+}
+
+TEST(Nonblocking, PostedIrecvOrderIsByMatching) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(1, 1, 10);
+      comm.send_value<int>(2, 1, 20);
+    } else {
+      int a = 0, b = 0;
+      auto ra = comm.irecv(std::as_writable_bytes(std::span<int>(&a, 1)),
+                           0, 20);
+      auto rb = comm.irecv(std::as_writable_bytes(std::span<int>(&b, 1)),
+                           0, 10);
+      Comm::Request reqs[] = {std::move(ra), std::move(rb)};
+      comm.wait_all(reqs);
+      EXPECT_EQ(a, 2);
+      EXPECT_EQ(b, 1);
+    }
+  });
+}
+
+TEST(Nonblocking, ManyOutstandingRequests) {
+  run(4, [](Comm& comm) {
+    constexpr int kN = 32;
+    // Everyone sends kN ints to everyone (including self via peer loop).
+    for (int d = 0; d < comm.size(); ++d) {
+      if (d == comm.rank()) continue;
+      for (int i = 0; i < kN; ++i) {
+        comm.send_value<int>(comm.rank() * 1000 + i, d, i);
+      }
+    }
+    std::vector<int> values(
+        static_cast<std::size_t>((comm.size() - 1) * kN), -1);
+    std::vector<Comm::Request> reqs;
+    std::size_t slot = 0;
+    for (int s = 0; s < comm.size(); ++s) {
+      if (s == comm.rank()) continue;
+      for (int i = 0; i < kN; ++i) {
+        reqs.push_back(comm.irecv(
+            std::as_writable_bytes(std::span<int>(&values[slot++], 1)), s,
+            i));
+      }
+    }
+    comm.wait_all(reqs);
+    slot = 0;
+    for (int s = 0; s < comm.size(); ++s) {
+      if (s == comm.rank()) continue;
+      for (int i = 0; i < kN; ++i) {
+        EXPECT_EQ(values[slot++], s * 1000 + i);
+      }
+    }
+  });
+}
+
+TEST(Nonblocking, DroppingPendingRequestAborts) {
+  EXPECT_DEATH(run(1, [](Comm& comm) {
+    int v = 0;
+    auto req = comm.irecv(std::as_writable_bytes(std::span<int>(&v, 1)),
+                          kAnySource, kAnyTag);
+    // req destroyed while pending.
+  }), "pending");
+}
+
+}  // namespace
+}  // namespace drx::simpi

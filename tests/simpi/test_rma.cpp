@@ -1,0 +1,119 @@
+#include "simpi/rma.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simpi/runtime.hpp"
+
+namespace drx::simpi {
+namespace {
+
+TEST(Rma, WindowSizes) {
+  run(3, [](Comm& comm) {
+    std::vector<std::byte> local(
+        static_cast<std::size_t>(comm.rank() + 1) * 8);
+    Window win(comm, local);
+    for (int r = 0; r < comm.size(); ++r) {
+      EXPECT_EQ(win.size_at(r), static_cast<std::uint64_t>(r + 1) * 8);
+    }
+    win.fence();
+  });
+}
+
+TEST(Rma, GetReadsRemote) {
+  run(4, [](Comm& comm) {
+    std::vector<double> local(4, 100.0 * comm.rank());
+    Window win(comm, std::as_writable_bytes(std::span<double>(local)));
+    win.fence();
+    const int peer = (comm.rank() + 1) % comm.size();
+    double v = -1;
+    win.get(peer, 2 * sizeof(double),
+            std::as_writable_bytes(std::span<double>(&v, 1)));
+    EXPECT_DOUBLE_EQ(v, 100.0 * peer);
+    win.fence();
+  });
+}
+
+TEST(Rma, PutWritesRemote) {
+  run(4, [](Comm& comm) {
+    std::vector<int> local(static_cast<std::size_t>(comm.size()), -1);
+    Window win(comm, std::as_writable_bytes(std::span<int>(local)));
+    win.fence();
+    // Every rank writes its id into slot [my rank] of every peer.
+    for (int r = 0; r < comm.size(); ++r) {
+      const int v = comm.rank();
+      win.put(r, static_cast<std::uint64_t>(comm.rank()) * sizeof(int),
+              std::as_bytes(std::span<const int>(&v, 1)));
+    }
+    win.fence();
+    for (int r = 0; r < comm.size(); ++r) {
+      EXPECT_EQ(local[static_cast<std::size_t>(r)], r);
+    }
+  });
+}
+
+TEST(Rma, AccumulateSumsAtomically) {
+  run(8, [](Comm& comm) {
+    std::vector<std::int64_t> local(1, 0);
+    Window win(comm, std::as_writable_bytes(std::span<std::int64_t>(local)));
+    win.fence();
+    // All ranks accumulate into rank 0 concurrently.
+    constexpr int kIters = 250;
+    for (int i = 0; i < kIters; ++i) {
+      const std::int64_t one = 1;
+      win.accumulate_sum<std::int64_t>(0, 0,
+                                       std::span<const std::int64_t>(&one, 1));
+    }
+    win.fence();
+    if (comm.rank() == 0) {
+      EXPECT_EQ(local[0], static_cast<std::int64_t>(comm.size()) * kIters);
+    }
+  });
+}
+
+TEST(Rma, AccumulateVectorOfDoubles) {
+  run(3, [](Comm& comm) {
+    std::vector<double> local(4, 1.0);
+    Window win(comm, std::as_writable_bytes(std::span<double>(local)));
+    win.fence();
+    const std::vector<double> delta = {0.5, 0.25};
+    win.accumulate_sum<double>((comm.rank() + 1) % comm.size(),
+                               sizeof(double),
+                               std::span<const double>(delta));
+    win.fence();
+    EXPECT_DOUBLE_EQ(local[0], 1.0);
+    EXPECT_DOUBLE_EQ(local[1], 1.5);
+    EXPECT_DOUBLE_EQ(local[2], 1.25);
+    EXPECT_DOUBLE_EQ(local[3], 1.0);
+  });
+}
+
+TEST(Rma, OutOfRangeAccessAborts) {
+  EXPECT_DEATH(run(2, [](Comm& comm) {
+    std::vector<std::byte> local(8);
+    Window win(comm, local);
+    win.fence();
+    if (comm.rank() == 0) {
+      std::byte out[16];
+      win.get(1, 0, out);  // 16 bytes from an 8-byte window
+    }
+    win.fence();
+  }), "outside target window");
+}
+
+TEST(Rma, EmptyWindowParticipates) {
+  run(2, [](Comm& comm) {
+    std::vector<std::byte> local;
+    if (comm.rank() == 0) local.resize(8, std::byte{42});
+    Window win(comm, local);
+    win.fence();
+    if (comm.rank() == 1) {
+      std::byte v{0};
+      win.get(0, 7, std::span<std::byte>(&v, 1));
+      EXPECT_EQ(v, std::byte{42});
+    }
+    win.fence();
+  });
+}
+
+}  // namespace
+}  // namespace drx::simpi

@@ -1,0 +1,41 @@
+#include "util/checked.hpp"
+
+#include <gtest/gtest.h>
+
+namespace drx {
+namespace {
+
+TEST(Checked, MulBasics) {
+  EXPECT_EQ(checked_mul(0, 0), 0u);
+  EXPECT_EQ(checked_mul(1ULL << 32, 1ULL << 31), 1ULL << 63);
+}
+
+TEST(Checked, MulOverflowAborts) {
+  EXPECT_DEATH((void)checked_mul(1ULL << 33, 1ULL << 33), "overflow");
+}
+
+TEST(Checked, AddBasicsAndOverflow) {
+  EXPECT_EQ(checked_add(UINT64_MAX - 1, 1), UINT64_MAX);
+  EXPECT_DEATH((void)checked_add(UINT64_MAX, 1), "overflow");
+}
+
+TEST(Checked, ProductEmptyIsOne) {
+  EXPECT_EQ(checked_product({}), 1u);
+}
+
+TEST(Checked, ProductOfDims) {
+  const std::uint64_t dims[] = {3, 4, 5};
+  EXPECT_EQ(checked_product(dims), 60u);
+}
+
+TEST(Checked, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 3), 0u);
+  EXPECT_EQ(ceil_div(1, 3), 1u);
+  EXPECT_EQ(ceil_div(3, 3), 1u);
+  EXPECT_EQ(ceil_div(4, 3), 2u);
+  EXPECT_EQ(ceil_div(10, 2), 5u);
+  EXPECT_DEATH((void)ceil_div(1, 0), "check failed");
+}
+
+}  // namespace
+}  // namespace drx

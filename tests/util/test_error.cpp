@@ -1,0 +1,85 @@
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace drx {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s(ErrorCode::kNotFound, "missing file");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing file");
+  EXPECT_EQ(s.to_string(), "not-found: missing file");
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+    EXPECT_NE(error_code_name(static_cast<ErrorCode>(c)), "unknown");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().is_ok());
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(ErrorCode::kIoError, "disk died");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kIoError);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+Status helper_propagates(bool fail) {
+  DRX_RETURN_IF_ERROR(fail ? Status(ErrorCode::kInternal, "boom")
+                           : Status::ok());
+  return Status::ok();
+}
+
+TEST(Macros, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(helper_propagates(false).is_ok());
+  EXPECT_EQ(helper_propagates(true).code(), ErrorCode::kInternal);
+}
+
+Result<int> make_value(bool fail) {
+  if (fail) return Status(ErrorCode::kOutOfRange, "nope");
+  return 5;
+}
+
+Status helper_assign(bool fail, int* out) {
+  DRX_ASSIGN_OR_RETURN(int v, make_value(fail));
+  *out = v;
+  return Status::ok();
+}
+
+TEST(Macros, AssignOrReturn) {
+  int v = 0;
+  EXPECT_TRUE(helper_assign(false, &v).is_ok());
+  EXPECT_EQ(v, 5);
+  EXPECT_EQ(helper_assign(true, &v).code(), ErrorCode::kOutOfRange);
+}
+
+TEST(Macros, CheckAbortsOnFailure) {
+  EXPECT_DEATH({ DRX_CHECK(1 == 2); }, "check failed");
+}
+
+}  // namespace
+}  // namespace drx

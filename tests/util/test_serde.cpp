@@ -1,0 +1,89 @@
+#include "util/serde.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace drx {
+namespace {
+
+TEST(Serde, RoundTripPrimitives) {
+  ByteWriter w;
+  w.put_u8(0xAB);
+  w.put_u32(0xDEADBEEF);
+  w.put_u64(0x0123456789ABCDEFULL);
+  w.put_i64(-42);
+  w.put_f64(3.141592653589793);
+  w.put_string("extendible");
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_u8().value(), 0xAB);
+  EXPECT_EQ(r.get_u32().value(), 0xDEADBEEF);
+  EXPECT_EQ(r.get_u64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.get_i64().value(), -42);
+  EXPECT_DOUBLE_EQ(r.get_f64().value(), 3.141592653589793);
+  EXPECT_EQ(r.get_string().value(), "extendible");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serde, LittleEndianLayout) {
+  ByteWriter w;
+  w.put_u32(0x01020304);
+  auto bytes = w.bytes();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(std::to_integer<int>(bytes[0]), 0x04);
+  EXPECT_EQ(std::to_integer<int>(bytes[3]), 0x01);
+}
+
+TEST(Serde, ExtremeValues) {
+  ByteWriter w;
+  w.put_u64(std::numeric_limits<std::uint64_t>::max());
+  w.put_i64(std::numeric_limits<std::int64_t>::min());
+  w.put_f64(-0.0);
+  w.put_string("");
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_u64().value(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(r.get_i64().value(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(r.get_f64().value(), 0.0);
+  EXPECT_EQ(r.get_string().value(), "");
+}
+
+TEST(Serde, TruncationIsAnError) {
+  ByteWriter w;
+  w.put_u32(7);
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(r.get_u32().is_ok());
+  auto res = r.get_u64();
+  ASSERT_FALSE(res.is_ok());
+  EXPECT_EQ(res.status().code(), ErrorCode::kCorrupt);
+}
+
+TEST(Serde, TruncatedStringIsAnError) {
+  ByteWriter w;
+  w.put_u32(100);  // length prefix promising 100 bytes that never follow
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_string().status().code(), ErrorCode::kCorrupt);
+}
+
+TEST(Serde, GetBytesExactAndShort) {
+  ByteWriter w;
+  const std::byte payload[] = {std::byte{1}, std::byte{2}, std::byte{3}};
+  w.put_bytes(payload);
+  ByteReader r(w.bytes());
+  std::byte out[3];
+  EXPECT_TRUE(r.get_bytes(out).is_ok());
+  EXPECT_EQ(std::to_integer<int>(out[2]), 3);
+  std::byte more[1];
+  EXPECT_FALSE(r.get_bytes(more).is_ok());
+}
+
+TEST(Serde, TakeMovesBuffer) {
+  ByteWriter w;
+  w.put_u8(9);
+  std::vector<std::byte> buf = std::move(w).take();
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+}  // namespace
+}  // namespace drx

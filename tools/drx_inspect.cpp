@@ -1,0 +1,134 @@
+// drx_inspect — command-line inspector for DRX extendible array files.
+//
+// Usage:
+//   drx_inspect <array-name>            # reads <array-name>.xmd (+ .xta)
+//   drx_inspect --chunk-table <name>    # also dumps the chunk address
+//                                       # grid (small arrays only)
+//
+// Prints the metadata a DRX/DRX-MP process replicates on open: rank,
+// element type, bounds, chunk shape, data-file geometry, and the axial
+// vectors with their expansion records.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/drx_file.hpp"
+
+using namespace drx;  // NOLINT: tool brevity
+using core::Box;
+using core::Index;
+using core::Metadata;
+
+namespace {
+
+int inspect(const std::string& name, bool chunk_table) {
+  if (!std::filesystem::exists(name + ".xmd")) {
+    std::fprintf(stderr, "error: no such file: %s.xmd\n", name.c_str());
+    return 1;
+  }
+  auto meta_storage = pfs::PosixStorage::open(name + ".xmd");
+  if (!meta_storage.is_ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 meta_storage.status().to_string().c_str());
+    return 1;
+  }
+  std::vector<std::byte> image(
+      static_cast<std::size_t>(meta_storage.value()->size()));
+  if (!meta_storage.value()->read_at(0, image)) {
+    std::fprintf(stderr, "error: cannot read %s.xmd\n", name.c_str());
+    return 1;
+  }
+  auto meta = Metadata::from_bytes(image);
+  if (!meta.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", meta.status().to_string().c_str());
+    return 1;
+  }
+  const Metadata& m = meta.value();
+
+  std::printf("DRX extendible array: %s\n", name.c_str());
+  std::printf("  rank            : %zu\n", m.rank());
+  std::printf("  element type    : %s (%llu bytes)\n",
+              std::string(core::element_type_name(m.dtype)).c_str(),
+              static_cast<unsigned long long>(m.element_bytes()));
+  std::printf("  in-chunk order  : %s\n",
+              m.in_chunk_order == core::MemoryOrder::kRowMajor
+                  ? "row-major (C)"
+                  : "column-major (FORTRAN)");
+  auto print_shape = [](const char* label, const core::Shape& s) {
+    std::printf("  %-16s:", label);
+    for (std::uint64_t v : s) {
+      std::printf(" %llu", static_cast<unsigned long long>(v));
+    }
+    std::printf("\n");
+  };
+  print_shape("element bounds", m.element_bounds);
+  print_shape("chunk shape", m.chunk_shape);
+  print_shape("chunk grid", m.mapping.bounds());
+  std::printf("  chunks          : %llu (%llu bytes each; .xta = %llu "
+              "bytes)\n",
+              static_cast<unsigned long long>(m.mapping.total_chunks()),
+              static_cast<unsigned long long>(m.chunk_bytes()),
+              static_cast<unsigned long long>(m.data_file_bytes()));
+  std::printf("  axial records E : %llu (F* cost ~ O(k + log E))\n",
+              static_cast<unsigned long long>(m.mapping.total_records()));
+
+  for (std::size_t d = 0; d < m.rank(); ++d) {
+    std::printf("  axial vector D%zu:\n", d);
+    for (const auto& r : m.mapping.axial_vector(d).records()) {
+      if (r.start_address == core::ExpansionRecord::kUnallocated) {
+        std::printf("    <sentinel: dimension never hosted a segment>\n");
+        continue;
+      }
+      std::printf("    segment from index %llu at chunk address %lld, C = [",
+                  static_cast<unsigned long long>(r.start_index),
+                  static_cast<long long>(r.start_address));
+      for (std::size_t j = 0; j < r.coeffs.size(); ++j) {
+        std::printf("%s%llu", j ? ", " : "",
+                    static_cast<unsigned long long>(r.coeffs[j]));
+      }
+      std::printf("]\n");
+    }
+  }
+
+  if (chunk_table) {
+    if (m.rank() != 2 || m.mapping.total_chunks() > 4096) {
+      std::printf("  (chunk table printed for 2-D arrays up to 4096 "
+                  "chunks only)\n");
+    } else {
+      std::printf("  chunk address table (rows = D0, cols = D1):\n");
+      for (std::uint64_t i = 0; i < m.mapping.bounds()[0]; ++i) {
+        std::printf("   ");
+        for (std::uint64_t j = 0; j < m.mapping.bounds()[1]; ++j) {
+          std::printf(" %6llu", static_cast<unsigned long long>(
+                                    m.mapping.address_of(Index{i, j})));
+        }
+        std::printf("\n");
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool chunk_table = false;
+  std::string name;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--chunk-table") == 0) {
+      chunk_table = true;
+    } else if (name.empty()) {
+      name = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: drx_inspect [--chunk-table] <name>\n");
+      return 2;
+    }
+  }
+  if (name.empty()) {
+    std::fprintf(stderr, "usage: drx_inspect [--chunk-table] <name>\n");
+    return 2;
+  }
+  return inspect(name, chunk_table);
+}
