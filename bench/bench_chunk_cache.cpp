@@ -133,6 +133,7 @@ int main() {
                    bench::strf("%.1fx", plain.ms / cached.ms)});
   }
   table.print();
+  bench::write_json_report("bench_chunk_cache", table);
   std::printf("\nexpected shape: sequential and hot-set accesses become "
               "nearly I/O-free (one fault per chunk / per working-set "
               "chunk); uniform random over an array that dwarfs the pool "

@@ -105,6 +105,7 @@ int main() {
     }
   }
   table.print();
+  bench::write_json_report("bench_collective_io", table);
   std::printf("\nexpected shape: collective <= independent while zones "
               "interleave (small/moderate P); the two converge at high P "
               "where per-zone runs are already large and contiguous.\n");

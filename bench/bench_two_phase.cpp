@@ -108,6 +108,7 @@ int main() {
     }
   }
   table.print();
+  bench::write_json_report("bench_two_phase", table);
   std::printf("\nexpected shape: independent cost explodes as cells shrink "
               "(requests ~ 1/cell); two-phase stays nearly flat, crossing "
               "over only when cells reach the aggregation granularity.\n");

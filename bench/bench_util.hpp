@@ -9,9 +9,13 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "pfs/pfs.hpp"
 
 namespace drx::bench {
@@ -61,10 +65,53 @@ class Table {
     for (const auto& row : rows_) print_row(row);
   }
 
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Machine-readable bench output: when DRX_BENCH_JSON=<path> is set,
+/// appends one JSON document per call — the result table plus a snapshot
+/// of the obs metrics registry (rank registries have already folded into
+/// the process registry once simpi::run returns, so the snapshot covers
+/// the whole experiment). No-op when the variable is unset.
+inline void write_json_report(const std::string& bench_name,
+                              const Table& table) {
+  const char* path = std::getenv("DRX_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value(bench_name);
+  w.key("table").begin_object();
+  w.key("headers").begin_array();
+  for (const auto& h : table.headers()) w.value(h);
+  w.end_array();
+  w.key("rows").begin_array();
+  for (const auto& row : table.rows()) {
+    w.begin_array();
+    for (const auto& cell : row) w.value(cell);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+  w.key("metrics");
+  obs::metrics_to_json(obs::registry().snapshot(), w);
+  w.end_object();
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write DRX_BENCH_JSON=%s\n", path);
+    return;
+  }
+  out << w.str() << '\n';
+}
 
 /// Captures per-server stats around a phase and reports simulated elapsed
 /// time (max per-server busy delta) plus aggregate deltas.

@@ -1,11 +1,24 @@
 #include "core/chunk_cache.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace drx::core {
+
+namespace {
+// Cache counters mirror ChunkCache::Stats into the obs registry so cache
+// behaviour lands in cross-rank aggregates and bench JSON automatically.
+const obs::MetricId kHits = obs::counter_id("core.cache.hits");
+const obs::MetricId kMisses = obs::counter_id("core.cache.misses");
+const obs::MetricId kEvictions = obs::counter_id("core.cache.evictions");
+const obs::MetricId kWritebacks = obs::counter_id("core.cache.writebacks");
+}  // namespace
 
 Result<std::span<std::byte>> ChunkCache::pin(std::uint64_t address) {
   auto it = frames_.find(address);
   if (it != frames_.end()) {
     ++stats_.hits;
+    obs::registry().counter(kHits).add();
     Frame& frame = it->second;
     if (frame.in_lru) {
       lru_.erase(frame.lru_it);
@@ -17,6 +30,8 @@ Result<std::span<std::byte>> ChunkCache::pin(std::uint64_t address) {
   }
 
   ++stats_.misses;
+  obs::registry().counter(kMisses).add();
+  obs::ScopedSpan fault_span("core.cache_fault", "core", file_->chunk_bytes());
   while (frames_.size() >= capacity_) {
     DRX_RETURN_IF_ERROR(evict_one());
   }
@@ -58,6 +73,7 @@ Status ChunkCache::evict_one() {
   DRX_CHECK(it != frames_.end());
   if (it->second.dirty) {
     ++stats_.writebacks;
+    obs::registry().counter(kWritebacks).add();
     DRX_RETURN_IF_ERROR(file_->write_chunk(
         victim,
         std::span<const std::byte>(it->second.data.get(),
@@ -65,6 +81,7 @@ Status ChunkCache::evict_one() {
   }
   frames_.erase(it);
   ++stats_.evictions;
+  obs::registry().counter(kEvictions).add();
   return Status::ok();
 }
 
@@ -72,6 +89,7 @@ Status ChunkCache::flush() {
   for (auto& [address, frame] : frames_) {
     if (frame.dirty) {
       ++stats_.writebacks;
+      obs::registry().counter(kWritebacks).add();
       DRX_RETURN_IF_ERROR(file_->write_chunk(
           address,
           std::span<const std::byte>(frame.data.get(),

@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "core/scatter.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace drx::core {
 
@@ -232,12 +234,22 @@ Status DrxFile::scan_read_all(MemoryOrder order, std::span<std::byte> out) {
 
 Status DrxFile::read_chunk(std::uint64_t address, std::span<std::byte> out) {
   DRX_CHECK(out.size() == meta_.chunk_bytes());
+  static const obs::MetricId kReads = obs::counter_id("core.chunk_reads");
+  static const obs::MetricId kBytes = obs::counter_id("core.bytes_read");
+  obs::registry().counter(kReads).add();
+  obs::registry().counter(kBytes).add(out.size());
+  obs::ScopedSpan span("core.read_chunk", "core", out.size());
   return data_->read_at(checked_mul(address, meta_.chunk_bytes()), out);
 }
 
 Status DrxFile::write_chunk(std::uint64_t address,
                             std::span<const std::byte> in) {
   DRX_CHECK(in.size() == meta_.chunk_bytes());
+  static const obs::MetricId kWrites = obs::counter_id("core.chunk_writes");
+  static const obs::MetricId kBytes = obs::counter_id("core.bytes_written");
+  obs::registry().counter(kWrites).add();
+  obs::registry().counter(kBytes).add(in.size());
+  obs::ScopedSpan span("core.write_chunk", "core", in.size());
   return data_->write_at(checked_mul(address, meta_.chunk_bytes()), in);
 }
 

@@ -4,6 +4,9 @@
 #include <cstring>
 #include <numeric>
 
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
+
 namespace drx::core {
 
 namespace {
@@ -82,7 +85,31 @@ Result<DrxMpFile> DrxMpFile::open(simpi::Comm& comm, pfs::Pfs& fs,
 
 Status DrxMpFile::close() {
   DRX_RETURN_IF_ERROR(flush_metadata());
+  aggregate_metrics();
   return data_.close();
+}
+
+obs::MetricsSnapshot DrxMpFile::aggregate_metrics() {
+  obs::ScopedSpan span("core.aggregate_metrics", "core");
+  obs::MetricsSnapshot local = obs::registry().snapshot();
+  const std::vector<std::byte> mine = local.serialize();
+  std::vector<std::vector<std::byte>> all = comm_->gatherv_bytes(mine, 0);
+  if (comm_->rank() != 0) return local;
+
+  obs::MetricsSnapshot total;
+  for (const std::vector<std::byte>& image : all) {
+    auto snap = obs::MetricsSnapshot::deserialize(image);
+    if (!snap.is_ok()) {
+      // A malformed peer snapshot only degrades observability; keep the
+      // ranks we could decode rather than failing the close.
+      DRX_LOG_WARN << "dropping undecodable metrics snapshot: "
+                   << snap.status().message();
+      continue;
+    }
+    total.merge(snap.value());
+  }
+  obs::set_aggregated_snapshot(total);
+  return total;
 }
 
 Status DrxMpFile::flush_metadata() {
@@ -128,6 +155,8 @@ Status DrxMpFile::transfer_chunks(std::span<const Index> chunks,
                                   bool writing) {
   const std::uint64_t cb = chunk_bytes();
   const std::size_t n = chunks.size();
+  obs::ScopedSpan span(writing ? "core.write_chunks" : "core.read_chunks",
+                       "core", checked_mul(n, cb));
 
   // Sort by linear address: the file view must be monotonic, and ascending
   // address order is what makes zone I/O a near-sequential disk scan

@@ -22,6 +22,7 @@
 #include "core/scatter.hpp"
 #include "core/zone.hpp"
 #include "mpio/file.hpp"
+#include "obs/metrics.hpp"
 #include "simpi/comm.hpp"
 #include "simpi/rma.hpp"
 
@@ -42,8 +43,15 @@ class DrxMpFile {
   static Result<DrxMpFile> open(simpi::Comm& comm, pfs::Pfs& fs,
                                 const std::string& name);
 
-  /// Collective close; persists metadata.
+  /// Collective close; persists metadata and reduces every rank's obs
+  /// metrics registry to rank 0 (see aggregate_metrics()).
   Status close();
+
+  /// Collective: gathers each rank's metrics registry snapshot to rank 0
+  /// and merges them. Rank 0 returns the cross-rank totals and publishes
+  /// them via obs::set_aggregated_snapshot(); other ranks return their own
+  /// local snapshot.
+  obs::MetricsSnapshot aggregate_metrics();
 
   [[nodiscard]] const Metadata& metadata() const noexcept { return meta_; }
   [[nodiscard]] std::size_t rank() const noexcept { return meta_.rank(); }

@@ -1,5 +1,7 @@
 #include "core/drxmp_api.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace drx::core::api {
 
 namespace {
@@ -204,6 +206,22 @@ int Env::get_type(DrxmpHandle handle, DrxType* out) {
   auto t = to_drx_type(file->metadata().dtype);
   if (!t.is_ok()) return from_status(t.status());
   *out = t.value();
+  return DRXMP_SUCCESS;
+}
+
+int Env::get_io_stats(DrxmpIoStats* out) {
+  if (out == nullptr) return DRXMP_ERR_INVALID_ARG;
+  const obs::MetricsSnapshot snap = obs::registry().snapshot();
+  out->independent_ops = snap.counter("mpio.independent_ops");
+  out->collective_ops = snap.counter("mpio.collective_ops");
+  out->bytes_read = snap.counter("mpio.bytes_read");
+  out->bytes_written = snap.counter("mpio.bytes_written");
+  out->cache_hits = snap.counter("core.cache.hits");
+  out->cache_misses = snap.counter("core.cache.misses");
+  out->cache_evictions = snap.counter("core.cache.evictions");
+  out->cache_writebacks = snap.counter("core.cache.writebacks");
+  out->pfs_seeks = snap.counter("pfs.seeks");
+  out->pfs_busy_us = snap.counter("pfs.busy_us");
   return DRXMP_SUCCESS;
 }
 

@@ -63,6 +63,21 @@ struct DrxmpStatus {
   std::uint64_t bytes = 0;
 };
 
+/// Per-rank I/O counters drawn from this rank's obs metrics registry
+/// (see docs/OBSERVABILITY.md for the naming scheme behind each field).
+struct DrxmpIoStats {
+  std::uint64_t independent_ops = 0;   ///< mpio.independent_ops
+  std::uint64_t collective_ops = 0;    ///< mpio.collective_ops
+  std::uint64_t bytes_read = 0;        ///< mpio.bytes_read
+  std::uint64_t bytes_written = 0;     ///< mpio.bytes_written
+  std::uint64_t cache_hits = 0;        ///< core.cache.hits
+  std::uint64_t cache_misses = 0;      ///< core.cache.misses
+  std::uint64_t cache_evictions = 0;   ///< core.cache.evictions
+  std::uint64_t cache_writebacks = 0;  ///< core.cache.writebacks
+  std::uint64_t pfs_seeks = 0;         ///< pfs.seeks
+  std::uint64_t pfs_busy_us = 0;       ///< pfs.busy_us
+};
+
 /// The per-rank DRX-MP environment: owns every open array of this rank.
 /// One Env per rank body; mirrors the library-global state the paper's
 /// DRXMP_Terminate() tears down.
@@ -111,6 +126,10 @@ class Env {
   int get_bounds(DrxmpHandle handle, std::uint64_t* out, int capacity);
   int get_chunk_shape(DrxmpHandle handle, std::uint64_t* out, int capacity);
   int get_type(DrxmpHandle handle, DrxType* out);
+
+  /// Snapshot of the calling rank's I/O counters (monotonic across the
+  /// rank body; subtract two snapshots to meter a phase). Not collective.
+  int get_io_stats(DrxmpIoStats* out);
 
  private:
   DrxMpFile* lookup(DrxmpHandle handle);

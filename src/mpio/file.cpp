@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cstring>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/checked.hpp"
 
 namespace drx::mpio {
@@ -177,6 +179,18 @@ Status File::transfer_independent(std::uint64_t offset_etypes, void* buf,
                                   bool writing) {
   const std::uint64_t total = checked_mul(count, memtype.size());
   if (total == 0) return Status::ok();
+  obs::ScopedSpan span(
+      writing ? "mpio.independent_write" : "mpio.independent_read", "mpio",
+      total);
+  {
+    static const obs::MetricId kOps = obs::counter_id("mpio.independent_ops");
+    static const obs::MetricId kRead = obs::counter_id("mpio.bytes_read");
+    static const obs::MetricId kWritten =
+        obs::counter_id("mpio.bytes_written");
+    obs::Registry& reg = obs::registry();
+    reg.counter(kOps).add();
+    reg.counter(writing ? kWritten : kRead).add(total);
+  }
   if (total % state_->view.etype().size() != 0) {
     return Status(ErrorCode::kInvalidArgument,
                   "transfer size not a multiple of the view etype");
@@ -258,6 +272,18 @@ Status File::transfer_collective(std::uint64_t offset_etypes, void* buf,
   if (total != 0 && total % state_->view.etype().size() != 0) {
     return Status(ErrorCode::kInvalidArgument,
                   "transfer size not a multiple of the view etype");
+  }
+  obs::ScopedSpan coll_span(
+      writing ? "mpio.collective_write" : "mpio.collective_read", "mpio",
+      total);
+  {
+    static const obs::MetricId kOps = obs::counter_id("mpio.collective_ops");
+    static const obs::MetricId kRead = obs::counter_id("mpio.bytes_read");
+    static const obs::MetricId kWritten =
+        obs::counter_id("mpio.bytes_written");
+    obs::Registry& reg = obs::registry();
+    reg.counter(kOps).add();
+    reg.counter(writing ? kWritten : kRead).add(total);
   }
 
   // ---- Phase 0: local request list and global file-domain bounds -------
@@ -342,7 +368,13 @@ Status File::transfer_collective(std::uint64_t offset_etypes, void* buf,
       }
     }
   }
-  std::vector<std::vector<std::byte>> inbound = comm.alltoallv_bytes(to_agg);
+  std::vector<std::vector<std::byte>> inbound;
+  {
+    // Request (and, for writes, payload) exchange: every rank mails its
+    // pieces to the aggregators that own them.
+    obs::ScopedSpan exchange_span("mpio.coll.exchange", "mpio");
+    inbound = comm.alltoallv_bytes(to_agg);
+  }
 
   // ---- Phase 2: aggregate. Parse inbound pieces, order by file offset,
   // coalesce, and hit the PFS with large accesses.
@@ -390,6 +422,12 @@ Status File::transfer_collective(std::uint64_t offset_etypes, void* buf,
 
   Status io_status;
   if (!agg_pieces.empty()) {
+    // Aggregated file access: the paper's amortization step, where many
+    // small per-rank requests become few large device accesses.
+    obs::ScopedSpan io_span("mpio.coll.io", "mpio");
+    static const obs::MetricId kPieces = obs::counter_id("mpio.agg_pieces");
+    static const obs::MetricId kRuns = obs::counter_id("mpio.agg_runs");
+    obs::registry().counter(kPieces).add(agg_pieces.size());
     std::size_t run_begin = 0;
     while (run_begin < order.size()) {
       // Grow a run of pieces coalescible into one device access.
@@ -429,6 +467,7 @@ Status File::transfer_collective(std::uint64_t offset_etypes, void* buf,
         }
       }
       if (!io_status.is_ok()) break;
+      obs::registry().counter(kRuns).add();
       run_begin = run_end;
     }
   }
@@ -440,6 +479,7 @@ Status File::transfer_collective(std::uint64_t offset_etypes, void* buf,
 
   // ---- Phase 3: return read payloads to requesters.
   if (!writing) {
+    obs::ScopedSpan shuffle_span("mpio.coll.shuffle", "mpio");
     std::vector<std::vector<std::byte>> returned =
         comm.alltoallv_bytes(replies);
     if (ok_all != 0) {

@@ -1,0 +1,56 @@
+// Minimal JSON emission + validation shared by the observability layer
+// and the command-line tools (drx_stats, drx_inspect --json, the bench
+// JSON reports). Emission is a streaming writer (no DOM); validation is a
+// strict RFC 8259 recursive-descent checker used by tests and CI to prove
+// emitted trace/metric files parse.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace drx::obs {
+
+/// Streaming JSON writer. The caller drives structure with begin/end
+/// calls; the writer inserts commas and escapes strings. Misuse (value
+/// where a key is required, unbalanced end) is a programming error and
+/// asserts via DRX_CHECK in the implementation.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by exactly one value.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Finished document. Valid only when every begin_ has been ended.
+  [[nodiscard]] const std::string& str() const;
+
+ private:
+  void comma();
+  void emit_string(std::string_view s);
+
+  enum class Frame : std::uint8_t { kObject, kArray };
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool need_comma_ = false;
+  bool after_key_ = false;
+};
+
+/// Strict whole-document JSON validity check (single top-level value,
+/// no trailing garbage). Returns true iff `text` is well-formed JSON.
+[[nodiscard]] bool json_validate(std::string_view text);
+
+}  // namespace drx::obs

@@ -1,0 +1,380 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <unordered_map>
+
+#include "obs/json.hpp"
+#include "util/logging.hpp"
+#include "util/serde.hpp"
+
+namespace drx::obs {
+
+namespace {
+
+enum class MetricKind : std::uint8_t { kCounter, kHistogram };
+
+/// Process-global name -> id intern table. Never destroyed: metric ids may
+/// be used from static destructors (atexit dump).
+struct InternTable {
+  std::mutex mu;
+  std::unordered_map<std::string, MetricId> ids;
+  std::vector<std::string> names;      // index = id
+  std::vector<MetricKind> kinds;       // index = id
+};
+
+InternTable& interns() {
+  static InternTable* table = new InternTable;
+  return *table;
+}
+
+MetricId intern(std::string_view name, MetricKind kind) {
+  InternTable& t = interns();
+  std::lock_guard<std::mutex> lock(t.mu);
+  auto it = t.ids.find(std::string(name));
+  if (it != t.ids.end()) {
+    DRX_CHECK_MSG(t.kinds[it->second] == kind,
+                  "metric registered twice with different kinds");
+    return it->second;
+  }
+  const MetricId id = static_cast<MetricId>(t.names.size());
+  t.names.emplace_back(name);
+  t.kinds.push_back(kind);
+  t.ids.emplace(std::string(name), id);
+  return id;
+}
+
+std::string metric_name(MetricId id) {
+  InternTable& t = interns();
+  std::lock_guard<std::mutex> lock(t.mu);
+  DRX_CHECK(id < t.names.size());
+  return t.names[id];
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+thread_local Registry* tls_registry = nullptr;
+thread_local int tls_rank = -1;
+
+std::mutex g_aggregated_mu;
+MetricsSnapshot g_aggregated;
+
+/// Writes the process registry to $DRX_METRICS (binary snapshot readable
+/// by drx_stats) when the process exits.
+void dump_metrics_at_exit() {
+  const char* path = std::getenv("DRX_METRICS");
+  if (path == nullptr || path[0] == '\0') return;
+  const MetricsSnapshot snap = process_registry().snapshot();
+  const std::vector<std::byte> blob = snap.serialize();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "[drx obs] cannot write DRX_METRICS file %s\n", path);
+    return;
+  }
+  out.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+}
+
+}  // namespace
+
+MetricId counter_id(std::string_view name) {
+  return intern(name, MetricKind::kCounter);
+}
+
+MetricId histogram_id(std::string_view name) {
+  return intern(name, MetricKind::kHistogram);
+}
+
+void Histogram::accumulate(
+    std::uint64_t count, std::uint64_t sum,
+    const std::array<std::uint64_t, kHistogramBuckets>& buckets) noexcept {
+  count_.fetch_add(count, std::memory_order_relaxed);
+  sum_.fetch_add(sum, std::memory_order_relaxed);
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (buckets[b] != 0) {
+      buckets_[b].fetch_add(buckets[b], std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::observe(std::uint64_t v) noexcept {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  const auto b = static_cast<std::size_t>(std::bit_width(v));
+  buckets_[std::min(b, kHistogramBuckets - 1)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+Counter& Registry::counter(MetricId id) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (id < counters_.size() && counters_[id] != nullptr) {
+      return *counters_[id];
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (id >= counters_.size()) counters_.resize(id + 1);
+  if (counters_[id] == nullptr) counters_[id] = std::make_unique<Counter>();
+  return *counters_[id];
+}
+
+Histogram& Registry::histogram(MetricId id) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (id < histograms_.size() && histograms_[id] != nullptr) {
+      return *histograms_[id];
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (id >= histograms_.size()) histograms_.resize(id + 1);
+  if (histograms_[id] == nullptr) {
+    histograms_[id] = std::make_unique<Histogram>();
+  }
+  return *histograms_[id];
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (MetricId id = 0; id < counters_.size(); ++id) {
+    if (counters_[id] == nullptr) continue;
+    snap.counters.push_back(CounterSample{metric_name(id),
+                                          counters_[id]->value()});
+  }
+  for (MetricId id = 0; id < histograms_.size(); ++id) {
+    if (histograms_[id] == nullptr) continue;
+    HistogramSample s;
+    s.name = metric_name(id);
+    s.count = histograms_[id]->count();
+    s.sum = histograms_[id]->sum();
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      s.buckets[b] = histograms_[id]->bucket(b);
+    }
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void Registry::merge_into(Registry& dst) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (MetricId id = 0; id < counters_.size(); ++id) {
+    if (counters_[id] == nullptr || counters_[id]->value() == 0) continue;
+    dst.counter(id).add(counters_[id]->value());
+  }
+  for (MetricId id = 0; id < histograms_.size(); ++id) {
+    if (histograms_[id] == nullptr || histograms_[id]->count() == 0) continue;
+    const Histogram& in = *histograms_[id];
+    std::array<std::uint64_t, kHistogramBuckets> buckets{};
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      buckets[b] = in.bucket(b);
+    }
+    dst.histogram(id).accumulate(in.count(), in.sum(), buckets);
+  }
+}
+
+void Registry::reset() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  counters_.clear();
+  histograms_.clear();
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const CounterSample& c : other.counters) {
+    auto it = std::find_if(counters.begin(), counters.end(),
+                           [&](const CounterSample& s) {
+                             return s.name == c.name;
+                           });
+    if (it == counters.end()) {
+      counters.push_back(c);
+    } else {
+      it->value += c.value;
+    }
+  }
+  for (const HistogramSample& h : other.histograms) {
+    auto it = std::find_if(histograms.begin(), histograms.end(),
+                           [&](const HistogramSample& s) {
+                             return s.name == h.name;
+                           });
+    if (it == histograms.end()) {
+      histograms.push_back(h);
+    } else {
+      it->count += h.count;
+      it->sum += h.sum;
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        it->buckets[b] += h.buckets[b];
+      }
+    }
+  }
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const CounterSample& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+std::vector<std::byte> MetricsSnapshot::serialize() const {
+  ByteWriter w;
+  w.put_u32(0x4452584dU);  // "DRXM"
+  w.put_u32(1);            // format version
+  w.put_u32(static_cast<std::uint32_t>(counters.size()));
+  for (const CounterSample& c : counters) {
+    w.put_string(c.name);
+    w.put_u64(c.value);
+  }
+  w.put_u32(static_cast<std::uint32_t>(histograms.size()));
+  for (const HistogramSample& h : histograms) {
+    w.put_string(h.name);
+    w.put_u64(h.count);
+    w.put_u64(h.sum);
+    for (std::uint64_t b : h.buckets) w.put_u64(b);
+  }
+  return std::move(w).take();
+}
+
+Result<MetricsSnapshot> MetricsSnapshot::deserialize(
+    std::span<const std::byte> data) {
+  ByteReader r(data);
+  DRX_ASSIGN_OR_RETURN(std::uint32_t magic, r.get_u32());
+  if (magic != 0x4452584dU) {
+    return Status(ErrorCode::kCorrupt, "not a DRX metrics snapshot");
+  }
+  DRX_ASSIGN_OR_RETURN(std::uint32_t version, r.get_u32());
+  if (version != 1) {
+    return Status(ErrorCode::kUnsupported, "unknown metrics snapshot version");
+  }
+  MetricsSnapshot snap;
+  DRX_ASSIGN_OR_RETURN(std::uint32_t nc, r.get_u32());
+  snap.counters.reserve(nc);
+  for (std::uint32_t i = 0; i < nc; ++i) {
+    CounterSample c;
+    DRX_ASSIGN_OR_RETURN(c.name, r.get_string());
+    DRX_ASSIGN_OR_RETURN(c.value, r.get_u64());
+    snap.counters.push_back(std::move(c));
+  }
+  DRX_ASSIGN_OR_RETURN(std::uint32_t nh, r.get_u32());
+  snap.histograms.reserve(nh);
+  for (std::uint32_t i = 0; i < nh; ++i) {
+    HistogramSample h;
+    DRX_ASSIGN_OR_RETURN(h.name, r.get_string());
+    DRX_ASSIGN_OR_RETURN(h.count, r.get_u64());
+    DRX_ASSIGN_OR_RETURN(h.sum, r.get_u64());
+    for (std::uint64_t& b : h.buckets) {
+      DRX_ASSIGN_OR_RETURN(b, r.get_u64());
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+Registry& process_registry() noexcept {
+  // Leaked intentionally: counters may be touched from static destructors.
+  static Registry* reg = [] {
+    std::atexit(dump_metrics_at_exit);
+    return new Registry;
+  }();
+  return *reg;
+}
+
+Registry& registry() noexcept {
+  return tls_registry != nullptr ? *tls_registry : process_registry();
+}
+
+int current_rank() noexcept { return tls_rank; }
+
+RankScope::RankScope(int rank)
+    : prev_registry_(tls_registry), prev_rank_(tls_rank) {
+  tls_registry = &registry_;
+  tls_rank = rank;
+}
+
+RankScope::~RankScope() {
+  tls_registry = prev_registry_;
+  tls_rank = prev_rank_;
+  registry_.merge_into(registry());
+}
+
+ScopedTimer::ScopedTimer(MetricId hist_id) noexcept
+    : id_(hist_id), start_ns_(now_ns()) {}
+
+ScopedTimer::~ScopedTimer() {
+  const std::uint64_t elapsed_us = (now_ns() - start_ns_) / 1000;
+  registry().histogram(id_).observe(elapsed_us);
+}
+
+std::string metrics_to_text(const MetricsSnapshot& snap) {
+  std::string out;
+  std::size_t width = 0;
+  for (const CounterSample& c : snap.counters) {
+    width = std::max(width, c.name.size());
+  }
+  for (const HistogramSample& h : snap.histograms) {
+    width = std::max(width, h.name.size());
+  }
+  char buf[192];
+  out += "counters:\n";
+  for (const CounterSample& c : snap.counters) {
+    std::snprintf(buf, sizeof(buf), "  %-*s %llu\n", static_cast<int>(width),
+                  c.name.c_str(), static_cast<unsigned long long>(c.value));
+    out += buf;
+  }
+  out += "histograms:\n";
+  for (const HistogramSample& h : snap.histograms) {
+    const double mean =
+        h.count == 0 ? 0.0
+                     : static_cast<double>(h.sum) / static_cast<double>(h.count);
+    std::snprintf(buf, sizeof(buf), "  %-*s count=%llu sum=%llu mean=%.1f\n",
+                  static_cast<int>(width), h.name.c_str(),
+                  static_cast<unsigned long long>(h.count),
+                  static_cast<unsigned long long>(h.sum), mean);
+    out += buf;
+  }
+  return out;
+}
+
+void metrics_to_json(const MetricsSnapshot& snap, JsonWriter& w) {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const CounterSample& c : snap.counters) {
+    w.key(c.name).value(c.value);
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const HistogramSample& h : snap.histograms) {
+    w.key(h.name).begin_object();
+    w.key("count").value(h.count);
+    w.key("sum").value(h.sum);
+    w.key("buckets").begin_array();
+    // Trailing zero buckets are elided to keep reports small.
+    std::size_t last = kHistogramBuckets;
+    while (last > 0 && h.buckets[last - 1] == 0) --last;
+    for (std::size_t b = 0; b < last; ++b) w.value(h.buckets[b]);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void set_aggregated_snapshot(MetricsSnapshot snap) {
+  std::lock_guard<std::mutex> lock(g_aggregated_mu);
+  g_aggregated = std::move(snap);
+}
+
+MetricsSnapshot aggregated_snapshot() {
+  std::lock_guard<std::mutex> lock(g_aggregated_mu);
+  return g_aggregated;
+}
+
+}  // namespace drx::obs

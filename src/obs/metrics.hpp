@@ -1,0 +1,195 @@
+// Process-wide metrics for the DRX stack (ROADMAP: the observability
+// spine every perf PR reports against).
+//
+// Design:
+//  - Metric *names* are interned once into process-global ids
+//    (`counter_id` / `histogram_id`); call sites cache the id in a
+//    function-local static so the steady-state cost of an increment is one
+//    relaxed atomic add plus a shared-lock slot lookup.
+//  - Metric *values* live in a Registry. There is one process registry
+//    plus one registry per simulated rank: simpi::run installs a RankScope
+//    on each rank thread, so counters incremented inside a rank body are
+//    attributed to that rank. When a rank finishes, its registry folds
+//    into the process registry, so whole-run totals survive the threads.
+//  - Cross-rank aggregation for a live job goes through
+//    MetricsSnapshot::serialize()/merge() (used by DrxMpFile::close() to
+//    reduce all rank registries to rank 0).
+//
+// Naming scheme: `<layer>.<object>.<metric>` with layers `core`, `mpio`,
+// `simpi`, `pfs` (see docs/OBSERVABILITY.md).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace drx::obs {
+
+class JsonWriter;
+
+/// Process-global id of a named metric. Ids are dense and shared by every
+/// registry; a counter id is never also a histogram id (checked).
+using MetricId = std::uint32_t;
+
+MetricId counter_id(std::string_view name);
+MetricId histogram_id(std::string_view name);
+
+/// Monotonic counter: one relaxed atomic, safe from any thread.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+inline constexpr std::size_t kHistogramBuckets = 64;
+
+/// Fixed log2-bucket histogram: bucket i counts observations v with
+/// bit_width(v) == i (bucket 0 holds v == 0). Suited to byte counts and
+/// microsecond latencies, which span many decades.
+class Histogram {
+ public:
+  void observe(std::uint64_t v) noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Adds another histogram's totals wholesale (registry/snapshot merge).
+  void accumulate(std::uint64_t count, std::uint64_t sum,
+                  const std::array<std::uint64_t, kHistogramBuckets>& buckets)
+      noexcept;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
+};
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+};
+
+/// A point-in-time copy of a registry, mergeable and serializable (the
+/// unit of cross-rank reduction and of on-disk metric dumps).
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<HistogramSample> histograms;
+
+  /// Adds `other` into this snapshot, matching metrics by name.
+  void merge(const MetricsSnapshot& other);
+
+  /// Value of a counter by name; 0 if absent.
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+
+  [[nodiscard]] std::vector<std::byte> serialize() const;
+  static Result<MetricsSnapshot> deserialize(std::span<const std::byte> data);
+};
+
+/// A set of metric values. Thread-safe; slot creation is lazy.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(MetricId id);
+  Histogram& histogram(MetricId id);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Adds every metric of this registry into `dst` (used to fold a rank
+  /// registry into the process registry).
+  void merge_into(Registry& dst) const;
+
+  /// Zeroes every metric (bench/test isolation).
+  void reset();
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::vector<std::unique_ptr<Counter>> counters_;      // index = MetricId
+  std::vector<std::unique_ptr<Histogram>> histograms_;  // index = MetricId
+};
+
+/// The registry increments should go to on this thread: the innermost
+/// RankScope's registry, or the process registry outside any rank.
+Registry& registry() noexcept;
+
+/// The whole-process registry (rank registries fold into it on exit).
+Registry& process_registry() noexcept;
+
+/// Simulated rank of the calling thread, or -1 outside any RankScope.
+int current_rank() noexcept;
+
+/// Installs a per-rank registry + rank id on the current thread for the
+/// scope's lifetime; folds the registry into the enclosing one (normally
+/// the process registry) on destruction.
+class RankScope {
+ public:
+  explicit RankScope(int rank);
+  ~RankScope();
+  RankScope(const RankScope&) = delete;
+  RankScope& operator=(const RankScope&) = delete;
+
+  [[nodiscard]] Registry& local() noexcept { return registry_; }
+
+ private:
+  Registry registry_;
+  Registry* prev_registry_;
+  int prev_rank_;
+};
+
+/// RAII timer: observes elapsed wall microseconds into a histogram.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(MetricId hist_id) noexcept;
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricId id_;
+  std::uint64_t start_ns_;
+};
+
+// ---- rendering & cross-run plumbing ---------------------------------------
+
+/// Fixed-width text table of a snapshot (drx_stats, drx_inspect --stats).
+[[nodiscard]] std::string metrics_to_text(const MetricsSnapshot& snap);
+
+/// Emits the snapshot as one JSON object {"counters":{...},
+/// "histograms":{...}} into an open writer position expecting a value.
+void metrics_to_json(const MetricsSnapshot& snap, JsonWriter& w);
+
+/// Rank-0 result of the last cross-rank reduction (DrxMpFile::close()).
+void set_aggregated_snapshot(MetricsSnapshot snap);
+[[nodiscard]] MetricsSnapshot aggregated_snapshot();
+
+}  // namespace drx::obs

@@ -1,0 +1,197 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
+
+namespace drx::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  const char* category;
+  std::uint64_t ts_ns;
+  std::uint64_t dur_ns;
+  std::uint64_t bytes;
+  int rank;       ///< -1 = host thread
+  std::uint32_t tid;
+};
+
+/// Hard cap so a runaway loop cannot eat the heap; ~56 MB worst case.
+constexpr std::size_t kMaxEvents = 1U << 20;
+
+struct TraceState {
+  std::mutex mu;
+  std::string path;
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState;
+  return *s;
+}
+
+std::uint32_t thread_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t tid = next.fetch_add(1);
+  return tid;
+}
+
+void flush_at_exit() {
+  const Status s = flush_trace();
+  if (!s.is_ok()) {
+    // The user explicitly asked for a trace via DRX_TRACE; report the loss
+    // even when logging is off.
+    std::fprintf(stderr, "[drx E] DRX_TRACE flush failed: %s\n",
+                 s.message().c_str());
+  }
+}
+
+/// Reads DRX_TRACE once at startup; set_trace_path can override later.
+struct EnvInit {
+  EnvInit() {
+    const char* env = std::getenv("DRX_TRACE");
+    if (env != nullptr && env[0] != '\0') {
+      state().path = env;
+      detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+      std::atexit(flush_at_exit);
+    }
+  }
+};
+EnvInit g_env_init;
+
+}  // namespace
+
+std::uint64_t trace_now_ns() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+void set_trace_path(const std::string& path) {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.path = path;
+  detail::g_trace_enabled.store(!path.empty(), std::memory_order_relaxed);
+}
+
+std::string trace_path() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.path;
+}
+
+void record_span(const char* name, const char* category, std::uint64_t ts_ns,
+                 std::uint64_t dur_ns, std::uint64_t bytes) {
+  const int rank = current_rank();
+  const std::uint32_t tid = thread_tid();
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.events.size() >= kMaxEvents) {
+    ++s.dropped;
+    return;
+  }
+  s.events.push_back(TraceEvent{name, category, ts_ns, dur_ns, bytes,
+                                rank, tid});
+}
+
+Status write_trace(const std::string& path) {
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+  {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    events = s.events;
+    dropped = s.dropped;
+  }
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status(ErrorCode::kIoError, "cannot open trace file: " + path);
+  }
+
+  // Emitted by hand rather than via JsonWriter: a trace can hold a million
+  // events, and one line per event keeps the file diffable and streamable.
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+
+  // One pseudo-process per rank, named for human consumption.
+  std::set<int> ranks;
+  for (const TraceEvent& e : events) ranks.insert(e.rank);
+  for (int r : ranks) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << (r + 1)
+        << ",\"tid\":0,\"args\":{\"name\":\""
+        << (r < 0 ? std::string("host") : "rank " + std::to_string(r))
+        << "\"}}";
+  }
+
+  char buf[256];
+  for (const TraceEvent& e : events) {
+    if (!first) out << ",\n";
+    first = false;
+    const double ts_us = static_cast<double>(e.ts_ns) / 1000.0;
+    const double dur_us = static_cast<double>(e.dur_ns) / 1000.0;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                  "\"pid\":%d,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f",
+                  e.name, e.category, e.rank + 1, e.tid, ts_us, dur_us);
+    out << buf;
+    if (e.bytes != 0) {
+      out << ",\"args\":{\"bytes\":" << e.bytes << "}";
+    }
+    out << "}";
+  }
+  out << "\n]}\n";
+  if (!out.good()) {
+    return Status(ErrorCode::kIoError, "short write to trace file: " + path);
+  }
+  DRX_LOG_INFO << "wrote " << events.size() << " trace events to " << path
+               << (dropped != 0
+                       ? " (" + std::to_string(dropped) + " dropped)"
+                       : "");
+  return Status::ok();
+}
+
+Status flush_trace() {
+  const std::string path = trace_path();
+  if (path.empty()) return Status::ok();
+  return write_trace(path);
+}
+
+void clear_trace() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.events.clear();
+  s.dropped = 0;
+}
+
+std::size_t trace_event_count() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.events.size();
+}
+
+std::uint64_t trace_dropped_count() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.dropped;
+}
+
+}  // namespace drx::obs

@@ -1,0 +1,94 @@
+// Per-rank trace spans exported in Chrome "Trace Event Format" JSON
+// (open in chrome://tracing or https://ui.perfetto.dev).
+//
+// Tracing is off unless DRX_TRACE=<path> is set in the environment (or a
+// test installs a path via set_trace_path). When off, every span is a
+// single relaxed-atomic-bool branch — no clock reads, no allocation, no
+// locks — so instrumentation can stay in hot paths permanently.
+//
+// Each simulated rank (obs::current_rank(), installed by simpi::run)
+// renders as its own pseudo-process: pid = rank + 1, pid 0 = the host
+// thread(s). A two-phase collective therefore shows as aligned span rows
+// across ranks, exactly the paper's exchange/IO pipeline picture.
+//
+// Span names/categories must be string literals (or otherwise outlive the
+// process): the ring buffer stores the pointers, not copies.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace drx::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace detail
+
+/// True iff spans are being recorded. The one branch on the fast path.
+inline bool trace_enabled() noexcept {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Overrides the output path (test hook; DRX_TRACE is read once at
+/// startup). An empty path disables tracing.
+void set_trace_path(const std::string& path);
+[[nodiscard]] std::string trace_path();
+
+/// Records a complete ("X") event. `ts_ns`/`dur_ns` are nanoseconds on
+/// the process-local monotonic clock; `bytes` != 0 adds an args payload.
+void record_span(const char* name, const char* category, std::uint64_t ts_ns,
+                 std::uint64_t dur_ns, std::uint64_t bytes);
+
+/// Nanoseconds since the first trace clock read (monotonic).
+[[nodiscard]] std::uint64_t trace_now_ns();
+
+/// RAII span covering its C++ scope.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* category,
+                      std::uint64_t bytes = 0) noexcept {
+    if (!trace_enabled()) return;
+    name_ = name;
+    category_ = category;
+    bytes_ = bytes;
+    start_ns_ = trace_now_ns();
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) {
+      record_span(name_, category_, start_ns_, trace_now_ns() - start_ns_,
+                  bytes_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches/updates the bytes arg after construction (e.g. once a
+  /// transfer size is known).
+  void set_bytes(std::uint64_t bytes) noexcept { bytes_ = bytes; }
+
+ private:
+  const char* name_ = nullptr;  ///< nullptr = disarmed (tracing off)
+  const char* category_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Writes buffered events as Trace Event Format JSON to `path`.
+Status write_trace(const std::string& path);
+
+/// write_trace() to the configured path (no-op status if none).
+Status flush_trace();
+
+/// Drops all buffered events (test isolation).
+void clear_trace();
+
+/// Number of events currently buffered (plus none that were dropped).
+[[nodiscard]] std::size_t trace_event_count();
+
+/// Events dropped because the ring buffer filled.
+[[nodiscard]] std::uint64_t trace_dropped_count();
+
+}  // namespace drx::obs

@@ -2,12 +2,15 @@
 
 #include <cstring>
 
+#include "obs/metrics.hpp"
+
 namespace drx::pfs {
 
 void BlockDevice::charge(std::uint64_t offset, std::uint64_t nbytes,
                          bool is_write) {
   double us = model_->request_overhead_us + model_->network_latency_us;
-  if (offset != head_) {
+  const bool seeked = offset != head_;
+  if (seeked) {
     us += model_->seek_us;
     ++stats_.seeks;
   }
@@ -22,6 +25,30 @@ void BlockDevice::charge(std::uint64_t offset, std::uint64_t nbytes,
     ++stats_.read_requests;
     stats_.bytes_read += nbytes;
   }
+
+  // Device costs are also charged to the *calling rank's* obs registry, so
+  // a collective's per-rank trace/metrics carry the seeks and busy-time it
+  // caused — the causal link the ad-hoc IoStats never had.
+  static const obs::MetricId kReads = obs::counter_id("pfs.read_requests");
+  static const obs::MetricId kWrites = obs::counter_id("pfs.write_requests");
+  static const obs::MetricId kBytesRead = obs::counter_id("pfs.bytes_read");
+  static const obs::MetricId kBytesWritten =
+      obs::counter_id("pfs.bytes_written");
+  static const obs::MetricId kSeeks = obs::counter_id("pfs.seeks");
+  static const obs::MetricId kBusyUs = obs::counter_id("pfs.busy_us");
+  static const obs::MetricId kRequestBytes =
+      obs::histogram_id("pfs.request_bytes");
+  obs::Registry& reg = obs::registry();
+  if (seeked) reg.counter(kSeeks).add();
+  reg.counter(kBusyUs).add(static_cast<std::uint64_t>(us));
+  if (is_write) {
+    reg.counter(kWrites).add();
+    reg.counter(kBytesWritten).add(nbytes);
+  } else {
+    reg.counter(kReads).add();
+    reg.counter(kBytesRead).add(nbytes);
+  }
+  reg.histogram(kRequestBytes).observe(nbytes);
 }
 
 Status BlockDevice::read(std::uint64_t offset, std::span<std::byte> out) {
@@ -29,7 +56,10 @@ Status BlockDevice::read(std::uint64_t offset, std::span<std::byte> out) {
     return Status(ErrorCode::kOutOfRange, "read past end of datafile");
   }
   charge(offset, out.size(), /*is_write=*/false);
-  std::memcpy(out.data(), data_.data() + offset, out.size());
+  // Empty spans may carry a null data(), which memcpy must never see.
+  if (!out.empty()) {
+    std::memcpy(out.data(), data_.data() + offset, out.size());
+  }
   return Status::ok();
 }
 
@@ -38,7 +68,9 @@ Status BlockDevice::write(std::uint64_t offset,
   const std::uint64_t end = offset + data.size();
   if (end > data_.size()) data_.resize(end);  // zero-fills the gap
   charge(offset, data.size(), /*is_write=*/true);
-  std::memcpy(data_.data() + offset, data.data(), data.size());
+  if (!data.empty()) {
+    std::memcpy(data_.data() + offset, data.data(), data.size());
+  }
   return Status::ok();
 }
 

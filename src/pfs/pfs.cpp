@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/trace.hpp"
 #include "util/checked.hpp"
 
 namespace drx::pfs {
@@ -90,6 +91,7 @@ struct FileHandle::State {
 
 Status FileHandle::read_at(std::uint64_t offset, std::span<std::byte> out) {
   DRX_CHECK(valid());
+  obs::ScopedSpan span("pfs.read", "pfs", out.size());
   {
     std::lock_guard<std::mutex> lock(state_->size_mu);
     if (checked_add(offset, out.size()) > state_->logical_size) {
@@ -100,6 +102,7 @@ Status FileHandle::read_at(std::uint64_t offset, std::span<std::byte> out) {
   for (const auto& seg : state_->map_range(offset, out.size())) {
     staging.resize(checked_size(seg.length));
     {
+      obs::ScopedSpan seg_span("pfs.server_read", "pfs", seg.length);
       std::lock_guard<std::mutex> lock(state_->servers[seg.server]->mu);
       BlockDevice& device = *state_->datafiles[seg.server];
       // The range is inside the logical file size (checked above) but may
@@ -124,6 +127,7 @@ Status FileHandle::read_at(std::uint64_t offset, std::span<std::byte> out) {
 Status FileHandle::write_at(std::uint64_t offset,
                             std::span<const std::byte> data) {
   DRX_CHECK(valid());
+  obs::ScopedSpan span("pfs.write", "pfs", data.size());
   std::vector<std::byte> staging;
   for (const auto& seg : state_->map_range(offset, data.size())) {
     staging.resize(checked_size(seg.length));
@@ -133,6 +137,7 @@ Status FileHandle::write_at(std::uint64_t offset,
                   checked_size(piece.length));
       run += piece.length;
     }
+    obs::ScopedSpan seg_span("pfs.server_write", "pfs", seg.length);
     std::lock_guard<std::mutex> lock(state_->servers[seg.server]->mu);
     DRX_RETURN_IF_ERROR(
         state_->datafiles[seg.server]->write(seg.local_offset, staging));

@@ -5,9 +5,31 @@
 #include <cstring>
 #include <numeric>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace drx::simpi {
 
 namespace {
+
+/// Counts one message + its bytes against the calling rank's registry.
+void note_message(bool collective, std::size_t bytes) {
+  static const obs::MetricId kP2pMsgs = obs::counter_id("simpi.p2p.messages");
+  static const obs::MetricId kP2pBytes = obs::counter_id("simpi.p2p.bytes");
+  static const obs::MetricId kCollMsgs =
+      obs::counter_id("simpi.coll.messages");
+  static const obs::MetricId kCollBytes =
+      obs::counter_id("simpi.coll.bytes");
+  obs::Registry& reg = obs::registry();
+  reg.counter(collective ? kCollMsgs : kP2pMsgs).add();
+  reg.counter(collective ? kCollBytes : kP2pBytes).add(bytes);
+}
+
+/// Counts one collective operation entry. The name lookup is an interned
+/// hash probe — noise next to the mailbox traffic a collective performs.
+void note_collective(const char* which) {
+  obs::registry().counter(obs::counter_id(which)).add();
+}
 // Internal tags for collective phases. Collective traffic lives on its own
 // context, so these never collide with user tags; distinct tags per
 // operation keep the mailbox matching honest when algorithms overlap.
@@ -46,6 +68,7 @@ int Comm::world_rank(int r) const {
 
 void Comm::send(std::span<const std::byte> data, int dest, int tag) {
   DRX_CHECK(tag >= 0);
+  note_message(/*collective=*/false, data.size());
   detail::Message msg;
   msg.source = rank_;
   msg.tag = tag;
@@ -124,6 +147,7 @@ void Comm::wait_all(std::span<Request> requests) {
 }
 
 void Comm::coll_send(std::span<const std::byte> data, int dest, int tag) {
+  note_message(/*collective=*/true, data.size());
   detail::Message msg;
   msg.source = rank_;
   msg.tag = tag;
@@ -139,10 +163,13 @@ std::vector<std::byte> Comm::coll_recv(int source, int tag) {
 }
 
 void Comm::barrier() {
+  note_collective("simpi.coll.barriers");
+  obs::ScopedSpan span("simpi.barrier", "simpi");
   world_->barrier(coll_context_, size()).arrive_and_wait();
 }
 
 void Comm::bcast_bytes(std::span<std::byte> data, int root) {
+  note_collective("simpi.coll.bcasts");
   // Binomial tree rooted at `root` (ranks rotated so root maps to 0).
   const int p = size();
   if (p == 1) return;
@@ -178,6 +205,7 @@ void Comm::bcast_vector(std::vector<std::byte>& data, int root) {
 void Comm::reduce_bytes(std::span<const std::byte> in,
                         std::span<std::byte> out, std::size_t elem_size,
                         const CombineFn& combine, int root) {
+  note_collective("simpi.coll.reduces");
   DRX_CHECK(in.size() % elem_size == 0);
   const std::size_t count = in.size() / elem_size;
   if (rank_ == root) {
@@ -205,6 +233,7 @@ void Comm::allreduce_bytes(std::span<const std::byte> in,
 
 void Comm::gather_bytes(std::span<const std::byte> in,
                         std::span<std::byte> out, int root) {
+  note_collective("simpi.coll.gathers");
   if (rank_ == root) {
     DRX_CHECK(out.size() == in.size() * static_cast<std::size_t>(size()));
     std::memcpy(out.data() + static_cast<std::size_t>(root) * in.size(),
@@ -229,6 +258,7 @@ void Comm::allgather_bytes(std::span<const std::byte> in,
 
 std::vector<std::vector<std::byte>> Comm::gatherv_bytes(
     std::span<const std::byte> in, int root) {
+  note_collective("simpi.coll.gathers");
   std::vector<std::vector<std::byte>> result;
   if (rank_ == root) {
     result.resize(static_cast<std::size_t>(size()));
@@ -276,6 +306,7 @@ std::vector<std::vector<std::byte>> Comm::allgatherv_bytes(
 
 std::vector<std::byte> Comm::scatterv_bytes(
     const std::vector<std::vector<std::byte>>& chunks, int root) {
+  note_collective("simpi.coll.scatters");
   if (rank_ == root) {
     DRX_CHECK(chunks.size() == static_cast<std::size_t>(size()));
     for (int r = 0; r < size(); ++r) {
@@ -289,6 +320,10 @@ std::vector<std::byte> Comm::scatterv_bytes(
 
 std::vector<std::vector<std::byte>> Comm::alltoallv_bytes(
     const std::vector<std::vector<std::byte>>& send_chunks) {
+  note_collective("simpi.coll.alltoalls");
+  std::uint64_t outbound = 0;
+  for (const auto& chunk : send_chunks) outbound += chunk.size();
+  obs::ScopedSpan span("simpi.alltoallv", "simpi", outbound);
   DRX_CHECK(send_chunks.size() == static_cast<std::size_t>(size()));
   for (int r = 0; r < size(); ++r) {
     if (r == rank_) continue;
@@ -306,6 +341,7 @@ std::vector<std::vector<std::byte>> Comm::alltoallv_bytes(
 }
 
 std::uint64_t Comm::scan_sum_u64(std::uint64_t value) {
+  note_collective("simpi.coll.scans");
   // Linear chain: rank r receives the prefix from r-1, adds, forwards.
   std::uint64_t prefix = value;
   if (rank_ > 0) {

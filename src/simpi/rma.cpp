@@ -2,7 +2,26 @@
 
 #include <cstring>
 
+#include "obs/metrics.hpp"
+
 namespace drx::simpi {
+
+namespace {
+
+void note_rma(const char* op_counter, const char* bytes_counter,
+              std::size_t bytes) {
+  obs::Registry& reg = obs::registry();
+  reg.counter(obs::counter_id(op_counter)).add();
+  reg.counter(obs::counter_id(bytes_counter)).add(bytes);
+}
+
+}  // namespace
+
+namespace detail {
+void note_rma_accumulate(std::size_t bytes) {
+  note_rma("simpi.rma.accumulates", "simpi.rma.bytes_accumulate", bytes);
+}
+}  // namespace detail
 
 Window::Window(Comm& comm, std::span<std::byte> local) : comm_(&comm) {
   struct Info {
@@ -58,6 +77,7 @@ std::mutex& Window::target_mutex(int target_rank) const {
 
 void Window::get(int target_rank, std::uint64_t target_offset,
                  std::span<std::byte> out) {
+  note_rma("simpi.rma.gets", "simpi.rma.bytes_get", out.size());
   const std::byte* src = target_base(target_rank, target_offset, out.size());
   std::lock_guard<std::mutex> lock(target_mutex(target_rank));
   std::memcpy(out.data(), src, out.size());
@@ -65,6 +85,7 @@ void Window::get(int target_rank, std::uint64_t target_offset,
 
 void Window::put(int target_rank, std::uint64_t target_offset,
                  std::span<const std::byte> data) {
+  note_rma("simpi.rma.puts", "simpi.rma.bytes_put", data.size());
   std::byte* dst = target_base(target_rank, target_offset, data.size());
   std::lock_guard<std::mutex> lock(target_mutex(target_rank));
   std::memcpy(dst, data.data(), data.size());

@@ -18,6 +18,12 @@
 
 namespace drx::simpi {
 
+namespace detail {
+/// Counts an RMA accumulate against the calling rank's obs registry
+/// (out-of-line so the header stays free of obs includes).
+void note_rma_accumulate(std::size_t bytes);
+}  // namespace detail
+
 class Window {
  public:
   /// Collective: every rank of `comm` exposes `local` (may be empty).
@@ -47,6 +53,7 @@ class Window {
   void accumulate_sum(int target_rank, std::uint64_t target_offset,
                       std::span<const T> data) {
     static_assert(std::is_trivially_copyable_v<T>);
+    detail::note_rma_accumulate(data.size_bytes());
     std::byte* base = target_base(target_rank, target_offset,
                                   data.size_bytes());
     std::lock_guard<std::mutex> lock(target_mutex(target_rank));

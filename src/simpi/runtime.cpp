@@ -7,6 +7,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace drx::simpi {
 
 void run(int nprocs, const std::function<void(Comm&)>& body) {
@@ -17,8 +20,12 @@ void run(int nprocs, const std::function<void(Comm&)>& body) {
   threads.reserve(static_cast<std::size_t>(nprocs));
   for (int r = 0; r < nprocs; ++r) {
     threads.emplace_back([world, r, &body] {
+      // Rank-local metrics registry + trace pseudo-pid for the body's
+      // lifetime; counters fold into the process registry on exit.
+      obs::RankScope obs_scope(r);
       Comm comm(world, r);
       try {
+        obs::ScopedSpan span("simpi.rank_body", "simpi");
         body(comm);
       } catch (const std::exception& e) {
         std::fprintf(stderr, "[simpi] rank %d terminated by exception: %s\n",

@@ -10,8 +10,13 @@ namespace drx {
 
 enum class LogLevel : int { kOff = 0, kError = 1, kWarn = 2, kInfo = 3, kDebug = 4 };
 
-/// Current level, read once from the environment.
+/// Current level: DRX_LOG_LEVEL is read once, lazily, but the value can be
+/// overridden at any time with set_log_level() (test hook; also how
+/// embedding applications route their own verbosity knobs through drx).
 LogLevel log_level() noexcept;
+
+/// Overrides the level for the rest of the process (thread-safe).
+void set_log_level(LogLevel level) noexcept;
 
 /// Thread-safe sink to stderr; prepends level tag.
 void log_message(LogLevel level, const std::string& msg);

@@ -78,17 +78,19 @@ TEST(FailureInjection, OpenRejectsBitFlipAnywhereInMetadata) {
 }
 
 TEST(FailureInjection, OpenRejectsTruncatedDataFile) {
-  auto meta_storage = std::make_unique<pfs::MemStorage>();
-  auto data_storage = std::make_unique<pfs::MemStorage>();
-  pfs::MemStorage* meta_raw = meta_storage.get();
+  // Read the flushed metadata image back while the file (which owns the
+  // storage) is still alive.
+  std::vector<std::byte> meta_bytes;
   {
-    auto f = DrxFile::create(std::move(meta_storage), std::move(data_storage),
+    auto meta_storage = std::make_unique<pfs::MemStorage>();
+    pfs::MemStorage* meta_raw = meta_storage.get();
+    auto f = DrxFile::create(std::move(meta_storage),
+                             std::make_unique<pfs::MemStorage>(),
                              Shape{4, 4}, Shape{2, 2}, dbl_opts());
     ASSERT_TRUE(f.is_ok());
+    meta_bytes.resize(static_cast<std::size_t>(meta_raw->size()));
+    ASSERT_TRUE(meta_raw->read_at(0, meta_bytes).is_ok());
   }
-  std::vector<std::byte> meta_bytes(
-      static_cast<std::size_t>(meta_raw->size()));
-  ASSERT_TRUE(meta_raw->read_at(0, meta_bytes).is_ok());
   // Fresh (empty) data storage: too small for the promised chunks.
   auto r = DrxFile::open(storage_with(meta_bytes),
                          std::make_unique<pfs::MemStorage>());

@@ -1,0 +1,99 @@
+// Cross-rank metric aggregation (DrxMpFile::close() reduces every rank's
+// registry to rank 0): the aggregated totals must equal the sum of the
+// per-rank values.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/drxmp.hpp"
+#include "obs/metrics.hpp"
+#include "simpi/runtime.hpp"
+
+namespace drx::obs {
+namespace {
+
+TEST(Aggregate, RankZeroTotalsEqualSumOfPerRank) {
+  constexpr int kRanks = 5;
+  pfs::PfsConfig cfg;
+  cfg.num_servers = 2;
+  pfs::Pfs fs(cfg);
+
+  const MetricId marker = counter_id("test.agg.marker");
+  std::atomic<std::uint64_t> expected_bytes_written{0};
+
+  simpi::run(kRanks, [&](simpi::Comm& comm) {
+    core::DrxFile::Options opts;
+    opts.dtype = core::ElementType::kInt32;
+    auto fr = core::DrxMpFile::create(comm, fs, "agg", core::Shape{20, 8},
+                                      core::Shape{4, 4}, opts);
+    ASSERT_TRUE(fr.is_ok());
+    core::DrxMpFile file = std::move(fr).value();
+
+    // A synthetic counter with a rank-dependent value: rank r adds r + 1,
+    // so the cross-rank total must be 1 + 2 + ... + kRanks.
+    registry().counter(marker).add(
+        static_cast<std::uint64_t>(comm.rank()) + 1);
+
+    const core::Distribution dist = file.block_distribution();
+    std::vector<std::byte> buf(static_cast<std::size_t>(
+        file.zone_buffer_bytes(dist, comm.rank())));
+    ASSERT_TRUE(file
+                    .write_my_zone(dist, core::MemoryOrder::kRowMajor, buf,
+                                   /*collective=*/true)
+                    .is_ok());
+
+    // Sum an organic counter across ranks before close() for comparison
+    // against the aggregate (each rank reads its own registry).
+    const std::uint64_t mine =
+        registry().snapshot().counter("mpio.bytes_written");
+    std::uint64_t total = 0;
+    for (std::uint64_t v : comm.allgather_value(mine)) total += v;
+    if (comm.rank() == 0) {
+      expected_bytes_written.store(total, std::memory_order_relaxed);
+    }
+
+    ASSERT_TRUE(file.close().is_ok());
+  });
+
+  const MetricsSnapshot agg = aggregated_snapshot();
+  EXPECT_EQ(agg.counter("test.agg.marker"),
+            static_cast<std::uint64_t>(kRanks) * (kRanks + 1) / 2);
+  const std::uint64_t expected =
+      expected_bytes_written.load(std::memory_order_relaxed);
+  EXPECT_GT(expected, 0u);
+  EXPECT_EQ(agg.counter("mpio.bytes_written"), expected);
+  EXPECT_GT(agg.counter("mpio.collective_ops"), 0u);
+}
+
+TEST(Aggregate, ExplicitAggregateReturnsLocalOffRankZero) {
+  constexpr int kRanks = 4;
+  pfs::PfsConfig cfg;
+  pfs::Pfs fs(cfg);
+  const MetricId marker = counter_id("test.agg.local");
+
+  simpi::run(kRanks, [&](simpi::Comm& comm) {
+    core::DrxFile::Options opts;
+    opts.dtype = core::ElementType::kInt32;
+    auto fr = core::DrxMpFile::create(comm, fs, "agg2", core::Shape{8, 8},
+                                      core::Shape{4, 4}, opts);
+    ASSERT_TRUE(fr.is_ok());
+    core::DrxMpFile file = std::move(fr).value();
+
+    registry().counter(marker).add(10);
+    const MetricsSnapshot snap = file.aggregate_metrics();
+    if (comm.rank() == 0) {
+      // Rank 0 sees the cross-rank total...
+      EXPECT_EQ(snap.counter("test.agg.local"),
+                10u * static_cast<std::uint64_t>(kRanks));
+    } else {
+      // ...every other rank gets its own local snapshot back.
+      EXPECT_EQ(snap.counter("test.agg.local"), 10u);
+    }
+    ASSERT_TRUE(file.close().is_ok());
+  });
+}
+
+}  // namespace
+}  // namespace drx::obs

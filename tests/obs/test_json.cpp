@@ -1,0 +1,88 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace drx::obs {
+namespace {
+
+TEST(JsonWriter, ObjectWithScalars) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("drx");
+  w.key("count").value(std::uint64_t{42});
+  w.key("delta").value(std::int64_t{-7});
+  w.key("ratio").value(0.5);
+  w.key("ok").value(true);
+  w.key("none").null();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"drx\",\"count\":42,\"delta\":-7,\"ratio\":0.5,"
+            "\"ok\":true,\"none\":null}");
+  EXPECT_TRUE(json_validate(w.str()));
+}
+
+TEST(JsonWriter, NestedArrays) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("rows").begin_array();
+  w.begin_array().value(1).value(2).end_array();
+  w.begin_array().end_array();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"rows\":[[1,2],[]]}");
+  EXPECT_TRUE(json_validate(w.str()));
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter w;
+  w.begin_array();
+  w.value("a\"b\\c\n\t\x01");
+  w.end_array();
+  EXPECT_EQ(w.str(), "[\"a\\\"b\\\\c\\n\\t\\u0001\"]");
+  EXPECT_TRUE(json_validate(w.str()));
+}
+
+TEST(JsonWriter, LargeUnsignedSurvives) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<std::uint64_t>::max());
+  w.end_array();
+  EXPECT_EQ(w.str(), "[18446744073709551615]");
+  EXPECT_TRUE(json_validate(w.str()));
+}
+
+TEST(JsonValidate, AcceptsWellFormedDocuments) {
+  EXPECT_TRUE(json_validate("null"));
+  EXPECT_TRUE(json_validate("true"));
+  EXPECT_TRUE(json_validate("-0.5e+10"));
+  EXPECT_TRUE(json_validate("\"\\u00e9\""));
+  EXPECT_TRUE(json_validate("  {\"a\": [1, 2, {\"b\": null}]}  "));
+}
+
+TEST(JsonValidate, RejectsMalformedDocuments) {
+  EXPECT_FALSE(json_validate(""));
+  EXPECT_FALSE(json_validate("{"));
+  EXPECT_FALSE(json_validate("{\"a\":1,}"));
+  EXPECT_FALSE(json_validate("[1 2]"));
+  EXPECT_FALSE(json_validate("01"));
+  EXPECT_FALSE(json_validate("\"unterminated"));
+  EXPECT_FALSE(json_validate("\"bad\\x\""));
+  EXPECT_FALSE(json_validate("nul"));
+  EXPECT_FALSE(json_validate("{} trailing"));
+  EXPECT_FALSE(json_validate("\"tab\there\""));
+}
+
+TEST(JsonValidate, RejectsOverlyDeepNesting) {
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  EXPECT_FALSE(json_validate(deep));
+  std::string fine(200, '[');
+  fine += std::string(200, ']');
+  EXPECT_TRUE(json_validate(fine));
+}
+
+}  // namespace
+}  // namespace drx::obs

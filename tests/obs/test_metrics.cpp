@@ -1,0 +1,151 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace drx::obs {
+namespace {
+
+// Metric names are process-global; every test uses its own names so the
+// aggregated binary stays order-independent.
+
+TEST(Metrics, CounterAccumulates) {
+  const MetricId id = counter_id("test.m.counter");
+  Registry reg;
+  reg.counter(id).add();
+  reg.counter(id).add(41);
+  EXPECT_EQ(reg.counter(id).value(), 42u);
+}
+
+TEST(Metrics, CounterIdIsStable) {
+  EXPECT_EQ(counter_id("test.m.stable"), counter_id("test.m.stable"));
+}
+
+TEST(Metrics, HistogramBucketsByBitWidth) {
+  const MetricId id = histogram_id("test.m.hist");
+  Registry reg;
+  Histogram& h = reg.histogram(id);
+  h.observe(0);     // bucket 0
+  h.observe(1);     // bucket 1
+  h.observe(7);     // bucket 3
+  h.observe(8);     // bucket 4
+  h.observe(1023);  // bucket 10
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 0u + 1 + 7 + 8 + 1023);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_EQ(h.bucket(10), 1u);
+  EXPECT_EQ(h.bucket(2), 0u);
+}
+
+TEST(Metrics, ScopedTimerObservesElapsedMicros) {
+  const MetricId id = histogram_id("test.m.timer");
+  RankScope scope(7);  // timer writes through registry(); redirect it
+  { ScopedTimer t(id); }
+  // The observation landed in the rank registry installed above.
+  const MetricsSnapshot snap = scope.local().snapshot();
+  bool found = false;
+  for (const auto& h : snap.histograms) {
+    if (h.name == "test.m.timer") {
+      EXPECT_EQ(h.count, 1u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Metrics, SnapshotMergeMatchesByName) {
+  const MetricId c = counter_id("test.m.merge_c");
+  const MetricId h = histogram_id("test.m.merge_h");
+  Registry a;
+  Registry b;
+  a.counter(c).add(10);
+  b.counter(c).add(32);
+  a.histogram(h).observe(4);
+  b.histogram(h).observe(4);
+  b.histogram(h).observe(100);
+
+  MetricsSnapshot sa = a.snapshot();
+  sa.merge(b.snapshot());
+  EXPECT_EQ(sa.counter("test.m.merge_c"), 42u);
+  for (const auto& hs : sa.histograms) {
+    if (hs.name != "test.m.merge_h") continue;
+    EXPECT_EQ(hs.count, 3u);
+    EXPECT_EQ(hs.sum, 108u);
+    EXPECT_EQ(hs.buckets[3], 2u);  // two observations of 4
+    EXPECT_EQ(hs.buckets[7], 1u);  // one of 100
+  }
+}
+
+TEST(Metrics, SnapshotSerializeRoundTrips) {
+  const MetricId c = counter_id("test.m.serde_c");
+  const MetricId h = histogram_id("test.m.serde_h");
+  Registry reg;
+  reg.counter(c).add(123456789);
+  reg.histogram(h).observe(0);
+  reg.histogram(h).observe(1ULL << 40);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  auto back = MetricsSnapshot::deserialize(snap.serialize());
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().counter("test.m.serde_c"), 123456789u);
+  bool found = false;
+  for (const auto& hs : back.value().histograms) {
+    if (hs.name != "test.m.serde_h") continue;
+    found = true;
+    EXPECT_EQ(hs.count, 2u);
+    EXPECT_EQ(hs.sum, 1ULL << 40);
+    EXPECT_EQ(hs.buckets[0], 1u);
+    EXPECT_EQ(hs.buckets[41], 1u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Metrics, DeserializeRejectsGarbage) {
+  std::vector<std::byte> junk(16, std::byte{0x5A});
+  EXPECT_FALSE(MetricsSnapshot::deserialize(junk).is_ok());
+  EXPECT_FALSE(MetricsSnapshot::deserialize({}).is_ok());
+}
+
+TEST(Metrics, RankScopeRedirectsAndFoldsIntoParent) {
+  const MetricId c = counter_id("test.m.fold");
+  const std::uint64_t before = process_registry().counter(c).value();
+  std::thread t([&] {
+    EXPECT_EQ(current_rank(), -1);
+    RankScope scope(3);
+    EXPECT_EQ(current_rank(), 3);
+    registry().counter(c).add(5);
+    // Increment went to the rank registry, not the process one.
+    EXPECT_EQ(scope.local().counter(c).value(), 5u);
+    EXPECT_EQ(process_registry().counter(c).value(), before);
+  });
+  t.join();
+  // After the scope ends the rank's counts fold into the process registry.
+  EXPECT_EQ(process_registry().counter(c).value(), before + 5);
+}
+
+TEST(Metrics, TextAndJsonRenderings) {
+  const MetricId c = counter_id("test.m.render");
+  Registry reg;
+  reg.counter(c).add(9);
+  reg.histogram(histogram_id("test.m.render_h")).observe(512);
+  const MetricsSnapshot snap = reg.snapshot();
+
+  const std::string text = metrics_to_text(snap);
+  EXPECT_NE(text.find("test.m.render"), std::string::npos);
+  EXPECT_NE(text.find('9'), std::string::npos);
+
+  JsonWriter w;
+  metrics_to_json(snap, w);
+  EXPECT_TRUE(json_validate(w.str()));
+  EXPECT_NE(w.str().find("\"test.m.render\":9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace drx::obs

@@ -1,0 +1,127 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/drxmp.hpp"
+#include "obs/json.hpp"
+#include "simpi/runtime.hpp"
+
+namespace drx::obs {
+namespace {
+
+/// RAII: enable tracing to a temp file, restore the prior state after.
+class TraceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "drx_trace_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".json";
+    clear_trace();
+    set_trace_path(path_);
+  }
+  void TearDown() override {
+    set_trace_path("");
+    clear_trace();
+    std::remove(path_.c_str());
+  }
+
+  [[nodiscard]] std::string read_back() const {
+    std::ifstream in(path_);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  std::string path_;
+};
+
+TEST(Trace, DisabledByDefaultAndSpansAreFree) {
+  ASSERT_TRUE(trace_path().empty())
+      << "DRX_TRACE must not be set in the test environment";
+  EXPECT_FALSE(trace_enabled());
+  const std::size_t before = trace_event_count();
+  { ScopedSpan span("test.noop", "test", 128); }
+  EXPECT_EQ(trace_event_count(), before);
+}
+
+TEST_F(TraceFixture, RecordsSpansAndWritesValidJson) {
+  EXPECT_TRUE(trace_enabled());
+  { ScopedSpan span("test.outer", "test"); }
+  { ScopedSpan span("test.sized", "test", 4096); }
+  EXPECT_EQ(trace_event_count(), 2u);
+  ASSERT_TRUE(flush_trace().is_ok());
+
+  const std::string text = read_back();
+  EXPECT_TRUE(json_validate(text)) << text.substr(0, 400);
+  EXPECT_NE(text.find("\"test.outer\""), std::string::npos);
+  EXPECT_NE(text.find("\"test.sized\""), std::string::npos);
+  EXPECT_NE(text.find("\"bytes\":4096"), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  // Host-thread spans belong to pseudo-pid 0.
+  EXPECT_NE(text.find("\"pid\":0"), std::string::npos);
+}
+
+TEST_F(TraceFixture, CollectiveTransferSpansAllFourLayers) {
+  constexpr int kRanks = 4;
+  pfs::PfsConfig cfg;
+  cfg.num_servers = 2;
+  cfg.stripe_size = 256;
+  pfs::Pfs fs(cfg);
+  simpi::run(kRanks, [&](simpi::Comm& comm) {
+    core::DrxFile::Options opts;
+    opts.dtype = core::ElementType::kDouble;
+    auto fr = core::DrxMpFile::create(comm, fs, "traced", core::Shape{16, 16},
+                                      core::Shape{4, 4}, opts);
+    ASSERT_TRUE(fr.is_ok());
+    core::DrxMpFile file = std::move(fr).value();
+    const core::Distribution dist = file.block_distribution();
+    const core::Box zone = file.zone_element_box(dist, comm.rank());
+    std::vector<std::byte> buf(static_cast<std::size_t>(
+        file.zone_buffer_bytes(dist, comm.rank())));
+    ASSERT_TRUE(file
+                    .write_my_zone(dist, core::MemoryOrder::kRowMajor, buf,
+                                   /*collective=*/true)
+                    .is_ok());
+    ASSERT_TRUE(file
+                    .read_my_zone(dist, core::MemoryOrder::kRowMajor, buf,
+                                  /*collective=*/true)
+                    .is_ok());
+    (void)zone;
+    ASSERT_TRUE(file.close().is_ok());
+  });
+  ASSERT_TRUE(flush_trace().is_ok());
+
+  const std::string text = read_back();
+  ASSERT_TRUE(json_validate(text));
+  // One span from each instrumented layer of the stack.
+  EXPECT_NE(text.find("\"core.write_chunks\""), std::string::npos);
+  EXPECT_NE(text.find("\"mpio.collective_write\""), std::string::npos);
+  EXPECT_NE(text.find("\"mpio.coll.exchange\""), std::string::npos);
+  EXPECT_NE(text.find("\"mpio.coll.io\""), std::string::npos);
+  EXPECT_NE(text.find("\"simpi.alltoallv\""), std::string::npos);
+  EXPECT_NE(text.find("\"pfs.write\""), std::string::npos);
+  // Every rank renders as its own pseudo-process (pid = rank + 1), each
+  // announced by a process_name metadata record.
+  for (int r = 0; r < kRanks; ++r) {
+    const std::string pid = "\"pid\":" + std::to_string(r + 1);
+    EXPECT_NE(text.find(pid), std::string::npos) << "missing rank " << r;
+  }
+  EXPECT_NE(text.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(text.find("\"rank 0\""), std::string::npos);
+}
+
+TEST_F(TraceFixture, ClearTraceDropsBufferedEvents) {
+  { ScopedSpan span("test.cleared", "test"); }
+  EXPECT_GE(trace_event_count(), 1u);
+  clear_trace();
+  EXPECT_EQ(trace_event_count(), 0u);
+}
+
+}  // namespace
+}  // namespace drx::obs

@@ -1,0 +1,64 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace drx {
+namespace {
+
+/// Restores the level a test found so the aggregated binary stays
+/// order-independent.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_ = LogLevel::kOff;
+};
+
+TEST_F(LoggingTest, SetLogLevelOverridesImmediately) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+  // Repeated reads keep returning the override (the original bug: the env
+  // value was latched once and later overrides were ignored).
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+TEST_F(LoggingTest, MacroEmitsAtOrBelowCurrentLevel) {
+  set_log_level(LogLevel::kWarn);
+  ::testing::internal::CaptureStderr();
+  DRX_LOG_ERROR << "error-visible";
+  DRX_LOG_WARN << "warn-visible";
+  DRX_LOG_INFO << "info-hidden";
+  DRX_LOG_DEBUG << "debug-hidden";
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("error-visible"), std::string::npos);
+  EXPECT_NE(err.find("warn-visible"), std::string::npos);
+  EXPECT_EQ(err.find("info-hidden"), std::string::npos);
+  EXPECT_EQ(err.find("debug-hidden"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  ::testing::internal::CaptureStderr();
+  DRX_LOG_ERROR << "silent";
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LoggingTest, MessagesCarryLevelTag) {
+  set_log_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  DRX_LOG_INFO << "tagged";
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("tagged"), std::string::npos);
+  EXPECT_NE(err.find("[drx I]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace drx

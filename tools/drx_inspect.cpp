@@ -4,6 +4,9 @@
 //   drx_inspect <array-name>            # reads <array-name>.xmd (+ .xta)
 //   drx_inspect --chunk-table <name>    # also dumps the chunk address
 //                                       # grid (small arrays only)
+//   drx_inspect --json <name>           # metadata as a JSON object
+//   drx_inspect --stats <snapshot>      # text table of a DRX_METRICS
+//                                       # snapshot (same as drx_stats)
 //
 // Prints the metadata a DRX/DRX-MP process replicates on open: rank,
 // element type, bounds, chunk shape, data-file geometry, and the axial
@@ -11,10 +14,14 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/drx_file.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 using namespace drx;  // NOLINT: tool brevity
 using core::Box;
@@ -23,24 +30,99 @@ using core::Metadata;
 
 namespace {
 
-int inspect(const std::string& name, bool chunk_table) {
+drx::Result<Metadata> load_metadata(const std::string& name) {
   if (!std::filesystem::exists(name + ".xmd")) {
-    std::fprintf(stderr, "error: no such file: %s.xmd\n", name.c_str());
-    return 1;
+    return drx::Status(drx::ErrorCode::kNotFound,
+                       "no such file: " + name + ".xmd");
   }
   auto meta_storage = pfs::PosixStorage::open(name + ".xmd");
-  if (!meta_storage.is_ok()) {
-    std::fprintf(stderr, "error: %s\n",
-                 meta_storage.status().to_string().c_str());
-    return 1;
-  }
+  if (!meta_storage.is_ok()) return meta_storage.status();
   std::vector<std::byte> image(
       static_cast<std::size_t>(meta_storage.value()->size()));
   if (!meta_storage.value()->read_at(0, image)) {
-    std::fprintf(stderr, "error: cannot read %s.xmd\n", name.c_str());
+    return drx::Status(drx::ErrorCode::kIoError,
+                       "cannot read " + name + ".xmd");
+  }
+  return Metadata::from_bytes(image);
+}
+
+void shape_to_json(const core::Shape& s, obs::JsonWriter& w) {
+  w.begin_array();
+  for (std::uint64_t v : s) w.value(v);
+  w.end_array();
+}
+
+/// Metadata as a JSON object (same writer the metrics JSON uses, so tool
+/// output stays uniformly parseable).
+int inspect_json(const std::string& name) {
+  auto meta = load_metadata(name);
+  if (!meta.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", meta.status().to_string().c_str());
     return 1;
   }
-  auto meta = Metadata::from_bytes(image);
+  const Metadata& m = meta.value();
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("name").value(name);
+  w.key("rank").value(static_cast<std::uint64_t>(m.rank()));
+  w.key("element_type").value(core::element_type_name(m.dtype));
+  w.key("element_bytes").value(m.element_bytes());
+  w.key("in_chunk_order")
+      .value(m.in_chunk_order == core::MemoryOrder::kRowMajor ? "row-major"
+                                                              : "column-major");
+  w.key("element_bounds");
+  shape_to_json(m.element_bounds, w);
+  w.key("chunk_shape");
+  shape_to_json(m.chunk_shape, w);
+  w.key("chunk_grid");
+  shape_to_json(m.mapping.bounds(), w);
+  w.key("total_chunks").value(m.mapping.total_chunks());
+  w.key("chunk_bytes").value(m.chunk_bytes());
+  w.key("data_file_bytes").value(m.data_file_bytes());
+  w.key("axial_records").value(m.mapping.total_records());
+  w.key("axial_vectors").begin_array();
+  for (std::size_t d = 0; d < m.rank(); ++d) {
+    w.begin_array();
+    for (const auto& r : m.mapping.axial_vector(d).records()) {
+      if (r.start_address == core::ExpansionRecord::kUnallocated) continue;
+      w.begin_object();
+      w.key("start_index").value(r.start_index);
+      w.key("start_address").value(static_cast<std::int64_t>(r.start_address));
+      w.key("coeffs").begin_array();
+      for (std::uint64_t c : r.coeffs) w.value(c);
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+  std::printf("%s\n", w.str().c_str());
+  return 0;
+}
+
+/// Text table of a DRX_METRICS snapshot (shared rendering with drx_stats).
+int show_stats(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  auto snap = obs::MetricsSnapshot::deserialize(std::span(
+      reinterpret_cast<const std::byte*>(raw.data()), raw.size()));
+  if (!snap.is_ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                 snap.status().to_string().c_str());
+    return 1;
+  }
+  std::fputs(obs::metrics_to_text(snap.value()).c_str(), stdout);
+  return 0;
+}
+
+int inspect(const std::string& name, bool chunk_table) {
+  auto meta = load_metadata(name);
   if (!meta.is_ok()) {
     std::fprintf(stderr, "error: %s\n", meta.status().to_string().c_str());
     return 1;
@@ -114,21 +196,32 @@ int inspect(const std::string& name, bool chunk_table) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const char* const kUsage =
+      "usage: drx_inspect [--chunk-table|--json] <name>\n"
+      "       drx_inspect --stats <snapshot>\n";
   bool chunk_table = false;
+  bool json = false;
+  bool stats = false;
   std::string name;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--chunk-table") == 0) {
       chunk_table = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      stats = true;
     } else if (name.empty()) {
       name = argv[i];
     } else {
-      std::fprintf(stderr, "usage: drx_inspect [--chunk-table] <name>\n");
+      std::fputs(kUsage, stderr);
       return 2;
     }
   }
-  if (name.empty()) {
-    std::fprintf(stderr, "usage: drx_inspect [--chunk-table] <name>\n");
+  if (name.empty() || (json && stats) || (chunk_table && (json || stats))) {
+    std::fputs(kUsage, stderr);
     return 2;
   }
+  if (stats) return show_stats(name);
+  if (json) return inspect_json(name);
   return inspect(name, chunk_table);
 }

@@ -1,0 +1,105 @@
+// drx_stats — renders DRX metrics snapshots and validates emitted JSON.
+//
+// Usage:
+//   drx_stats <snapshot>            # text table (snapshot written via
+//                                   # DRX_METRICS=<path>)
+//   drx_stats --json <snapshot>     # same snapshot as a JSON object
+//   drx_stats --check-json <file>   # exit 0 iff <file> is well-formed
+//                                   # JSON (used by CI on DRX_TRACE output)
+//
+// The text and JSON renderings are the same ones drx_inspect --stats and
+// the bench JSON reports use (obs::metrics_to_text / metrics_to_json), so
+// every surface prints metrics identically.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::vector<char>& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return false;
+  in.seekg(0, std::ios::beg);
+  out.resize(static_cast<std::size_t>(size));
+  in.read(out.data(), size);
+  return static_cast<bool>(in);
+}
+
+int check_json(const std::string& path) {
+  std::vector<char> text;
+  if (!read_file(path, text)) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  if (!drx::obs::json_validate(
+          std::string_view(text.data(), text.size()))) {
+    std::fprintf(stderr, "error: %s is not well-formed JSON\n", path.c_str());
+    return 1;
+  }
+  std::printf("%s: valid JSON (%zu bytes)\n", path.c_str(), text.size());
+  return 0;
+}
+
+int render(const std::string& path, bool json) {
+  std::vector<char> raw;
+  if (!read_file(path, raw)) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  auto snap = drx::obs::MetricsSnapshot::deserialize(std::span(
+      reinterpret_cast<const std::byte*>(raw.data()), raw.size()));
+  if (!snap.is_ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                 snap.status().to_string().c_str());
+    return 1;
+  }
+  if (json) {
+    drx::obs::JsonWriter w;
+    drx::obs::metrics_to_json(snap.value(), w);
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::fputs(drx::obs::metrics_to_text(snap.value()).c_str(), stdout);
+  }
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: drx_stats [--json] <snapshot>\n"
+               "       drx_stats --check-json <file>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool check = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--check-json") == 0) {
+      check = true;
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (path.empty() || (json && check)) {
+    usage();
+    return 2;
+  }
+  return check ? check_json(path) : render(path, json);
+}
