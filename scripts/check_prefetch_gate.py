@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""CI perf-smoke gate for the async chunk I/O engine (docs/ASYNC_IO.md).
+
+Compares two DRX_BENCH_JSON reports from bench_chunk_cache — one with the
+async engine off (DRX_IO_THREADS=0) and one with read-ahead enabled — and
+fails unless prefetch-on beats prefetch-off on the sequential streaming
+scan, both in simulated time and in storage request count (the request
+count is deterministic, so a scheduler hiccup cannot mask a regression).
+
+Usage: check_prefetch_gate.py <bench-off.json> <bench-on.json>
+"""
+
+import json
+import sys
+
+
+def load_report(path):
+    with open(path, encoding="utf-8") as f:
+        line = f.readline().strip()
+    doc = json.loads(line)
+    if doc.get("bench") != "bench_chunk_cache":
+        raise SystemExit(f"{path}: expected a bench_chunk_cache report")
+    return doc
+
+
+def sequential_cached_row(doc, path):
+    rows = doc["table"]["rows"]
+    for i, row in enumerate(rows):
+        if row[0] == "sequential sweep":
+            cached = rows[i + 1]
+            if not cached[1].startswith("CachedDrxFile"):
+                raise SystemExit(f"{path}: unexpected row layout: {cached}")
+            return float(cached[2]), int(cached[3])
+    raise SystemExit(f"{path}: no 'sequential sweep' row found")
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    off_path, on_path = sys.argv[1], sys.argv[2]
+    off = load_report(off_path)
+    on = load_report(on_path)
+
+    off_ms, off_reqs = sequential_cached_row(off, off_path)
+    on_ms, on_reqs = sequential_cached_row(on, on_path)
+    issued = on["metrics"]["counters"].get("core.cache.prefetch_issued", 0)
+
+    print(f"sequential cached scan: off {off_ms:.1f} sim ms / {off_reqs} "
+          f"requests, on {on_ms:.1f} sim ms / {on_reqs} requests "
+          f"({issued} chunks prefetched)")
+
+    failures = []
+    if issued <= 0:
+        failures.append("prefetch-on run never issued a prefetch "
+                        "(DRX_IO_THREADS/DRX_PREFETCH_DEPTH not applied?)")
+    if not on_ms < off_ms:
+        failures.append(f"sim time regressed: on {on_ms:.1f} >= "
+                        f"off {off_ms:.1f} ms")
+    if not on_reqs < off_reqs:
+        failures.append(f"storage requests regressed: on {on_reqs} >= "
+                        f"off {off_reqs}")
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    if failures:
+        return 1
+    print("PASS: read-ahead beats the synchronous path on the "
+          "sequential scan")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,11 @@
 #include "core/chunk_cache.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/logging.hpp"
 
 namespace drx::core {
 
@@ -12,44 +16,286 @@ const obs::MetricId kHits = obs::counter_id("core.cache.hits");
 const obs::MetricId kMisses = obs::counter_id("core.cache.misses");
 const obs::MetricId kEvictions = obs::counter_id("core.cache.evictions");
 const obs::MetricId kWritebacks = obs::counter_id("core.cache.writebacks");
+const obs::MetricId kDeferredWb =
+    obs::counter_id("core.cache.deferred_writebacks");
+const obs::MetricId kWriteQueueHits =
+    obs::counter_id("core.cache.write_queue_hits");
+const obs::MetricId kPrefIssued = obs::counter_id("core.cache.prefetch_issued");
+const obs::MetricId kPrefUseful = obs::counter_id("core.cache.prefetch_useful");
+const obs::MetricId kPrefWasted = obs::counter_id("core.cache.prefetch_wasted");
+const obs::MetricId kPrefWaits = obs::counter_id("core.cache.prefetch_waits");
+const obs::MetricId kPrefWaitUs =
+    obs::histogram_id("core.cache.prefetch_wait_us");
 }  // namespace
 
+ChunkCache::ChunkCache(DrxFile& file, std::size_t capacity,
+                       const AsyncOptions& async)
+    : file_(&file), capacity_(capacity) {
+  DRX_CHECK(capacity >= 1);
+  if (async.io_threads > 0) {
+    io::AsyncIoPool::Options pool_options;
+    pool_options.threads = async.io_threads;
+    pool_options.queue_capacity = std::max<std::size_t>(16, 2 * capacity);
+    pool_ = std::make_unique<io::AsyncIoPool>(pool_options);
+    prefetch_depth_ = async.prefetch_depth;
+    // Become the file's prefetch sink so higher-layer hints
+    // (DrxFile::prefetch_box) turn into background faults.
+    if (file_->prefetch_sink() == nullptr) file_->set_prefetch_sink(this);
+  }
+}
+
+ChunkCache::~ChunkCache() {
+  const Status st = flush();
+  if (!st.is_ok()) {
+    // The destructor cannot return the failure; a silent drop here would
+    // lose a deferred write error for good, so it goes to the error log.
+    DRX_LOG(kError) << "ChunkCache destroyed with unflushed write-back error: "
+                    << st.to_string();
+  }
+  if (file_->prefetch_sink() == this) file_->set_prefetch_sink(nullptr);
+  pool_.reset();  // queue is empty after flush(); joins the workers
+}
+
+std::size_t ChunkCache::chunk_size() const {
+  return checked_size(file_->chunk_bytes());
+}
+
+void ChunkCache::record_error_locked(const Status& status, bool surfaced) {
+  if (last_error_.is_ok()) {
+    last_error_ = status;
+    error_unsurfaced_ = !surfaced;
+  }
+}
+
+void ChunkCache::queue_write_locked(std::uint64_t address,
+                                    std::unique_ptr<std::byte[]> data,
+                                    std::vector<std::uint64_t>& write_submits) {
+  auto [it, fresh] = pending_writes_.try_emplace(address);
+  it->second.data = std::shared_ptr<std::byte[]>(data.release());
+  ++it->second.seq;
+  ++stats_.deferred_writebacks;
+  obs::registry().counter(kDeferredWb).add();
+  // One job per pending address: a replacement just swaps the buffer and
+  // the existing job re-writes until seq is stable.
+  if (fresh) write_submits.push_back(address);
+}
+
+Status ChunkCache::evict_one_locked(std::unique_lock<std::mutex>& lock,
+                                    std::vector<std::uint64_t>& write_submits) {
+  if (lru_.empty()) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "all cache frames are pinned");
+  }
+  const std::uint64_t victim = lru_.back();
+  lru_.pop_back();
+  auto it = frames_.find(victim);
+  DRX_CHECK(it != frames_.end());
+  Frame frame = std::move(it->second);
+  frames_.erase(it);
+  ++stats_.evictions;
+  obs::registry().counter(kEvictions).add();
+  if (frame.prefetched) {
+    ++stats_.prefetch_wasted;
+    obs::registry().counter(kPrefWasted).add();
+  }
+  if (!frame.dirty) return Status::ok();
+
+  if (async()) {
+    // Write-behind: hand the buffer to the pool instead of blocking.
+    queue_write_locked(victim, std::move(frame.data), write_submits);
+    return Status::ok();
+  }
+  // Synchronous legacy path: write back before the eviction completes.
+  lock.unlock();
+  Status st;
+  {
+    std::lock_guard<std::mutex> io(io_mu_);
+    st = file_->write_chunk(
+        victim, std::span<const std::byte>(frame.data.get(), chunk_size()));
+  }
+  lock.lock();
+  ++stats_.writebacks;
+  obs::registry().counter(kWritebacks).add();
+  if (!st.is_ok()) record_error_locked(st, /*surfaced=*/true);
+  return st;
+}
+
+std::uint64_t ChunkCache::reserve_readahead_locked(
+    std::unique_lock<std::mutex>& lock, std::uint64_t first, std::uint64_t want,
+    std::vector<std::uint64_t>& write_submits) {
+  const std::uint64_t total = file_->metadata().mapping.total_chunks();
+  // Never let speculation displace more than half the pool.
+  const std::uint64_t cap =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(capacity_) / 2);
+  std::uint64_t run = 0;
+  while (run < std::min(want, cap)) {
+    const std::uint64_t address = first + run;
+    // Stop at resident frames (cached or in flight) and at queued writes:
+    // the newest bytes for a queued-write chunk are not on storage yet.
+    if (address >= total || frames_.count(address) != 0 ||
+        pending_writes_.count(address) != 0) {
+      break;
+    }
+    ++run;
+  }
+  if (run == 0) return 0;
+  // Make room by evicting unpinned frames; their dirty write-backs are
+  // deferred to the pool, so speculation never blocks on I/O here.
+  while (frames_.size() + checked_size(run) > capacity_ && !lru_.empty()) {
+    (void)evict_one_locked(lock, write_submits);
+  }
+  if (frames_.size() >= capacity_) return 0;
+  run = std::min<std::uint64_t>(run, capacity_ - frames_.size());
+
+  for (std::uint64_t i = 0; i < run; ++i) {
+    Frame frame;
+    frame.data = std::make_unique<std::byte[]>(chunk_size());
+    frame.loading = true;
+    frame.prefetched = true;
+    const auto [pos, inserted] = frames_.emplace(first + i, std::move(frame));
+    DRX_CHECK(inserted);
+  }
+  ++loads_inflight_;
+  stats_.prefetch_issued += run;
+  obs::registry().counter(kPrefIssued).add(run);
+  // Keep the detector's run alive across the hits the prefetch creates.
+  last_miss_ = first + run - 1;
+  return run;
+}
+
+void ChunkCache::submit_writes(const std::vector<std::uint64_t>& addresses) {
+  for (const std::uint64_t address : addresses) {
+    pool_->submit([this, address] { return run_write_job(address); });
+  }
+}
+
 Result<std::span<std::byte>> ChunkCache::pin(std::uint64_t address) {
+  const std::size_t cb = chunk_size();
+  std::unique_lock<std::mutex> lock(mu_);
+restart:
   auto it = frames_.find(address);
+  if (it != frames_.end() && it->second.loading) {
+    // A speculative fault for this chunk is in flight: wait for it rather
+    // than issuing a duplicate read.
+    ++stats_.prefetch_waits;
+    obs::registry().counter(kPrefWaits).add();
+    obs::ScopedTimer wait_timer(kPrefWaitUs);
+    do {
+      cv_.wait(lock);
+      it = frames_.find(address);
+    } while (it != frames_.end() && it->second.loading);
+  }
   if (it != frames_.end()) {
+    Frame& frame = it->second;
     ++stats_.hits;
     obs::registry().counter(kHits).add();
-    Frame& frame = it->second;
+    if (frame.prefetched) {
+      frame.prefetched = false;
+      ++stats_.prefetch_useful;
+      obs::registry().counter(kPrefUseful).add();
+    }
     if (frame.in_lru) {
       lru_.erase(frame.lru_it);
       frame.in_lru = false;
     }
     ++frame.pins;
-    return std::span<std::byte>(frame.data.get(),
-                                checked_size(file_->chunk_bytes()));
+    return std::span<std::byte>(frame.data.get(), cb);
   }
 
   ++stats_.misses;
   obs::registry().counter(kMisses).add();
-  obs::ScopedSpan fault_span("core.cache_fault", "core", file_->chunk_bytes());
-  while (frames_.size() >= capacity_) {
-    DRX_RETURN_IF_ERROR(evict_one());
+
+  // Sequential-scan detector (async mode only): consecutive miss
+  // addresses accumulate a run; once it is long enough, read ahead.
+  std::uint64_t readahead_want = 0;
+  if (async() && prefetch_depth_ > 0) {
+    seq_run_ = (last_miss_ != kNoAddress && address == last_miss_ + 1)
+                   ? seq_run_ + 1
+                   : 1;
+    last_miss_ = address;
+    if (seq_run_ >= kSequentialThreshold) readahead_want = prefetch_depth_;
   }
 
-  Frame frame;
-  frame.data =
-      std::make_unique<std::byte[]>(checked_size(file_->chunk_bytes()));
-  DRX_RETURN_IF_ERROR(file_->read_chunk(
-      address, std::span<std::byte>(frame.data.get(),
-                                    checked_size(file_->chunk_bytes()))));
-  frame.pins = 1;
-  auto [pos, inserted] = frames_.emplace(address, std::move(frame));
-  DRX_CHECK(inserted);
-  return std::span<std::byte>(pos->second.data.get(),
-                              checked_size(file_->chunk_bytes()));
+  obs::ScopedSpan fault_span("core.cache_fault", "core", file_->chunk_bytes());
+  std::vector<std::uint64_t> write_submits;
+  while (frames_.size() >= capacity_) {
+    DRX_RETURN_IF_ERROR(evict_one_locked(lock, write_submits));
+    // The synchronous eviction path drops the lock to write; another
+    // thread may have faulted our chunk meanwhile.
+    if (!async() && frames_.count(address) != 0) goto restart;
+  }
+
+  // Miss served from the write-behind queue: the newest bytes for this
+  // chunk sit in a queued (not yet completed) write; copying them is both
+  // correct and cheaper than re-reading the file.
+  if (auto pw = pending_writes_.find(address); pw != pending_writes_.end()) {
+    Frame frame;
+    frame.data = std::make_unique<std::byte[]>(cb);
+    std::memcpy(frame.data.get(), pw->second.data.get(), cb);
+    frame.pins = 1;
+    frame.dirty = true;  // storage still holds stale bytes for this chunk
+    const auto [pos, inserted] = frames_.emplace(address, std::move(frame));
+    DRX_CHECK(inserted);
+    ++stats_.write_queue_hits;
+    obs::registry().counter(kWriteQueueHits).add();
+    std::byte* buffer = pos->second.data.get();
+    if (!write_submits.empty()) {
+      lock.unlock();
+      submit_writes(write_submits);
+    }
+    return std::span<std::byte>(buffer, cb);
+  }
+
+  // Reserve the frame (loading, pinned) so concurrent pins wait instead
+  // of double-faulting, then do the read outside the lock.
+  std::byte* buffer = nullptr;
+  {
+    Frame frame;
+    frame.data = std::make_unique<std::byte[]>(cb);
+    frame.pins = 1;
+    frame.loading = true;
+    buffer = frame.data.get();
+    const auto [pos, inserted] = frames_.emplace(address, std::move(frame));
+    DRX_CHECK(inserted);
+  }
+  std::uint64_t readahead_n = 0;
+  if (readahead_want > 0) {
+    readahead_n = reserve_readahead_locked(lock, address + 1, readahead_want,
+                                           write_submits);
+  }
+  lock.unlock();
+
+  if (!write_submits.empty()) submit_writes(write_submits);
+  if (readahead_n > 0) {
+    const std::uint64_t first = address + 1;
+    const std::uint64_t count = readahead_n;
+    pool_->submit(
+        [this, first, count] { return run_prefetch_job(first, count); });
+  }
+
+  Status st;
+  {
+    std::lock_guard<std::mutex> io(io_mu_);
+    st = file_->read_chunk(address, std::span<std::byte>(buffer, cb));
+  }
+
+  lock.lock();
+  auto pos = frames_.find(address);
+  DRX_CHECK(pos != frames_.end() && pos->second.loading);
+  if (!st.is_ok()) {
+    frames_.erase(pos);
+    lock.unlock();
+    cv_.notify_all();
+    return st;
+  }
+  pos->second.loading = false;
+  lock.unlock();
+  cv_.notify_all();
+  return std::span<std::byte>(buffer, cb);
 }
 
 void ChunkCache::unpin(std::uint64_t address, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = frames_.find(address);
   DRX_CHECK_MSG(it != frames_.end(), "unpin of non-resident chunk");
   Frame& frame = it->second;
@@ -62,48 +308,174 @@ void ChunkCache::unpin(std::uint64_t address, bool dirty) {
   }
 }
 
-Status ChunkCache::evict_one() {
-  if (lru_.empty()) {
-    return Status(ErrorCode::kFailedPrecondition,
-                  "all cache frames are pinned");
+void ChunkCache::prefetch(std::uint64_t first, std::uint64_t count) {
+  if (!async() || count == 0) return;
+  std::vector<std::uint64_t> write_submits;
+  std::uint64_t run = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    run = reserve_readahead_locked(lock, first, count, write_submits);
   }
-  const std::uint64_t victim = lru_.back();
-  lru_.pop_back();
-  auto it = frames_.find(victim);
-  DRX_CHECK(it != frames_.end());
-  if (it->second.dirty) {
+  if (!write_submits.empty()) submit_writes(write_submits);
+  if (run > 0) {
+    pool_->submit([this, first, run] { return run_prefetch_job(first, run); });
+  }
+}
+
+Status ChunkCache::run_write_job(std::uint64_t address) {
+  const std::size_t cb = chunk_size();
+  for (;;) {
+    std::shared_ptr<std::byte[]> data;
+    std::uint64_t seq = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = pending_writes_.find(address);
+      DRX_CHECK(it != pending_writes_.end());  // only this job erases it
+      data = it->second.data;
+      seq = it->second.seq;
+    }
+    Status st;
+    {
+      std::lock_guard<std::mutex> io(io_mu_);
+      st = file_->write_chunk(address,
+                              std::span<const std::byte>(data.get(), cb));
+    }
+    if (!st.is_ok()) {
+      DRX_LOG(kError) << "deferred chunk write-back failed (address " << address
+                      << "): " << st.to_string();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.writebacks;
+      obs::registry().counter(kWritebacks).add();
+      if (!st.is_ok()) record_error_locked(st, /*surfaced=*/false);
+      auto it = pending_writes_.find(address);
+      DRX_CHECK(it != pending_writes_.end());
+      if (it->second.seq != seq) continue;  // replaced mid-write: go again
+      pending_writes_.erase(it);
+    }
+    cv_.notify_all();
+    return st;
+  }
+}
+
+Status ChunkCache::run_prefetch_job(std::uint64_t first, std::uint64_t count) {
+  const std::size_t cb = chunk_size();
+  const std::size_t total = checked_size(count) * cb;
+  auto staging = std::make_unique<std::byte[]>(total);
+  Status st;
+  {
+    std::lock_guard<std::mutex> io(io_mu_);
+    st = file_->read_chunks(first, count,
+                            std::span<std::byte>(staging.get(), total));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      auto it = frames_.find(first + i);
+      if (it == frames_.end() || !it->second.loading) continue;
+      if (st.is_ok()) {
+        std::memcpy(it->second.data.get(), staging.get() + i * cb, cb);
+        it->second.loading = false;
+      } else {
+        // Drop the reservation; a waiting pin re-faults synchronously and
+        // observes the error itself.
+        frames_.erase(it);
+      }
+    }
+    DRX_CHECK(loads_inflight_ > 0);
+    --loads_inflight_;
+  }
+  cv_.notify_all();
+  return st;
+}
+
+Status ChunkCache::flush_sync_locked(std::unique_lock<std::mutex>& lock,
+                                     Status surfaced) {
+  // Single-threaded legacy shape: write dirty frames in place. io_mu_ is
+  // taken under mu_ here, which is safe because no pool workers exist.
+  (void)lock;
+  for (auto& [address, frame] : frames_) {
+    if (!frame.dirty) continue;
     ++stats_.writebacks;
     obs::registry().counter(kWritebacks).add();
-    DRX_RETURN_IF_ERROR(file_->write_chunk(
-        victim,
-        std::span<const std::byte>(it->second.data.get(),
-                                   checked_size(file_->chunk_bytes()))));
+    Status st;
+    {
+      std::lock_guard<std::mutex> io(io_mu_);
+      st = file_->write_chunk(
+          address, std::span<const std::byte>(frame.data.get(), chunk_size()));
+    }
+    if (!st.is_ok()) {
+      record_error_locked(st, /*surfaced=*/true);
+      return surfaced.is_ok() ? st : surfaced;
+    }
+    frame.dirty = false;
   }
-  frames_.erase(it);
-  ++stats_.evictions;
-  obs::registry().counter(kEvictions).add();
-  return Status::ok();
+  return surfaced;
+}
+
+Status ChunkCache::flush_async_locked(std::unique_lock<std::mutex>& lock,
+                                      Status surfaced) {
+  const std::size_t cb = chunk_size();
+  for (;;) {
+    auto it = std::find_if(frames_.begin(), frames_.end(), [](const auto& kv) {
+      return kv.second.dirty && !kv.second.loading;
+    });
+    if (it == frames_.end()) break;
+    const std::uint64_t address = it->first;
+    Frame& frame = it->second;  // node-stable; pinned below, so not erased
+    frame.dirty = false;        // claimed; a concurrent set may re-mark it
+    ++frame.pins;               // holds the frame across the unlocked write
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_it);
+      frame.in_lru = false;
+    }
+    lock.unlock();
+    Status st;
+    {
+      std::lock_guard<std::mutex> io(io_mu_);
+      st = file_->write_chunk(
+          address, std::span<const std::byte>(frame.data.get(), cb));
+    }
+    lock.lock();
+    ++stats_.writebacks;
+    obs::registry().counter(kWritebacks).add();
+    if (--frame.pins == 0) {
+      lru_.push_front(address);
+      frame.lru_it = lru_.begin();
+      frame.in_lru = true;
+    }
+    if (!st.is_ok()) {
+      frame.dirty = true;
+      record_error_locked(st, /*surfaced=*/true);
+      return surfaced.is_ok() ? st : surfaced;
+    }
+  }
+  return surfaced;
 }
 
 Status ChunkCache::flush() {
-  for (auto& [address, frame] : frames_) {
-    if (frame.dirty) {
-      ++stats_.writebacks;
-      obs::registry().counter(kWritebacks).add();
-      DRX_RETURN_IF_ERROR(file_->write_chunk(
-          address,
-          std::span<const std::byte>(frame.data.get(),
-                                     checked_size(file_->chunk_bytes()))));
-      frame.dirty = false;
-    }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (async()) {
+    // Barrier: drain write-behind and in-flight speculative loads.
+    cv_.wait(lock, [this] {
+      return pending_writes_.empty() && loads_inflight_ == 0;
+    });
   }
-  return Status::ok();
+  Status surfaced;
+  if (!last_error_.is_ok() && error_unsurfaced_) {
+    error_unsurfaced_ = false;
+    surfaced = last_error_;
+  }
+  return async() ? flush_async_locked(lock, std::move(surfaced))
+                 : flush_sync_locked(lock, std::move(surfaced));
 }
 
 Status ChunkCache::invalidate() {
   DRX_RETURN_IF_ERROR(flush());
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto it = frames_.begin(); it != frames_.end();) {
-    if (it->second.pins == 0) {
+    if (it->second.pins == 0 && !it->second.loading) {
       if (it->second.in_lru) lru_.erase(it->second.lru_it);
       it = frames_.erase(it);
     } else {
@@ -111,6 +483,49 @@ Status ChunkCache::invalidate() {
     }
   }
   return Status::ok();
+}
+
+Status ChunkCache::last_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_error_;
+}
+
+ChunkCache::Stats ChunkCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t ChunkCache::resident() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frames_.size();
+}
+
+Status CachedDrxFile::read_box(const Box& box, MemoryOrder order,
+                               std::span<std::byte> out) {
+  DRX_CHECK(out.size() == checked_mul(box.volume(), file_->element_bytes()));
+  const Box full{Index(file_->rank(), 0),
+                 Index(file_->bounds().begin(), file_->bounds().end())};
+  const Box clipped = box.intersect(full);
+  if (clipped.empty()) return Status::ok();
+  // Announce the whole box before the first pin: an async cache turns
+  // this into coalesced background faults the pins below then hit.
+  file_->prefetch_box(clipped);
+  Status result;
+  for_each_index(space_.covering_chunks(clipped), [&](const Index& c) {
+    if (!result.is_ok()) return;
+    const Box clip = space_.chunk_box(c).intersect(clipped);
+    if (clip.empty()) return;
+    const std::uint64_t q = file_->chunk_address(c);
+    auto pinned = cache_.pin(q);
+    if (!pinned.is_ok()) {
+      result = pinned.status();
+      return;
+    }
+    scatter_chunk_into_box(space_, file_->element_bytes(), pinned.value(), clip,
+                           box, order, out);
+    cache_.unpin(q, /*dirty=*/false);
+  });
+  return result;
 }
 
 }  // namespace drx::core

@@ -6,75 +6,193 @@
 // be evicted; unpinning with `dirty` schedules write-back. CachedDrxFile
 // layers element/box access on top, so repeated touches to a hot chunk
 // cost one I/O instead of one per element.
+//
+// Async engine (docs/ASYNC_IO.md): when constructed with io_threads > 0
+// the cache runs on a drx::io::AsyncIoPool and becomes fully thread-safe:
+//  - read-ahead: a detectably sequential miss run (consecutive miss
+//    addresses) speculatively faults the next DRX_PREFETCH_DEPTH chunk
+//    addresses into frames with ONE coalesced storage read, before they
+//    are pinned;
+//  - write-behind: dirty evictions enqueue their write-back instead of
+//    blocking the evicting pin(); flush() is a barrier that drains the
+//    queue and surfaces the first deferred error (sticky: last_error()
+//    keeps reporting it, and the destructor logs it rather than dropping
+//    a failed final flush on the floor).
+// io_threads == 0 (the default) reproduces the synchronous legacy
+// semantics exactly.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <cstring>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "core/drx_file.hpp"
+#include "core/scatter.hpp"
+#include "io/async_pool.hpp"
+#include "io/config.hpp"
+#include "io/prefetch.hpp"
 
 namespace drx::core {
 
-class ChunkCache {
+class ChunkCache final : public io::PrefetchSink {
  public:
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
     std::uint64_t writebacks = 0;
+    // Async-engine counters (all zero in synchronous mode).
+    std::uint64_t deferred_writebacks = 0;  ///< write-backs queued, not blocked on
+    std::uint64_t write_queue_hits = 0;     ///< misses served from a queued write
+    std::uint64_t prefetch_issued = 0;      ///< chunks speculatively requested
+    std::uint64_t prefetch_useful = 0;      ///< prefetched chunks later pinned
+    std::uint64_t prefetch_wasted = 0;      ///< prefetched chunks evicted unpinned
+    std::uint64_t prefetch_waits = 0;       ///< pins that waited on an in-flight load
+  };
+
+  /// Async-engine configuration; the default is fully synchronous.
+  struct AsyncOptions {
+    int io_threads = 0;               ///< 0 = legacy synchronous cache
+    std::uint64_t prefetch_depth = 0; ///< read-ahead chunks (needs threads > 0)
+
+    /// DRX_IO_THREADS / DRX_PREFETCH_DEPTH (or their test overrides).
+    static AsyncOptions from_config() {
+      return AsyncOptions{io::io_threads(), io::prefetch_depth()};
+    }
   };
 
   /// `capacity` chunks stay resident. The cache serves exactly one
-  /// DrxFile; the file must outlive the cache.
+  /// DrxFile; the file must outlive the cache. This overload picks up the
+  /// process async configuration (env knobs).
   ChunkCache(DrxFile& file, std::size_t capacity)
-      : file_(&file), capacity_(capacity) {
-    DRX_CHECK(capacity >= 1);
-  }
+      : ChunkCache(file, capacity, AsyncOptions::from_config()) {}
 
-  ~ChunkCache() { (void)flush(); }
+  ChunkCache(DrxFile& file, std::size_t capacity, const AsyncOptions& async);
+
+  /// Flushes (logging, not dropping, any write-back failure), then joins
+  /// the I/O workers.
+  ~ChunkCache() override;
   ChunkCache(const ChunkCache&) = delete;
   ChunkCache& operator=(const ChunkCache&) = delete;
 
   /// Pins the chunk at linear address `address` into the pool, faulting it
   /// from the file on a miss, and returns its buffer. The buffer stays
   /// valid (and the frame unevictable) until the matching unpin().
+  /// Thread-safe.
   Result<std::span<std::byte>> pin(std::uint64_t address);
 
   /// Releases a pin; `dirty` marks the buffer modified (written back on
-  /// eviction or flush — write-back, not write-through).
+  /// eviction or flush — write-back, not write-through). Thread-safe.
   void unpin(std::uint64_t address, bool dirty);
 
-  /// Writes back every dirty frame (pinned or not) without evicting.
+  /// Barrier + write-back: drains in-flight read-ahead and write-behind,
+  /// surfaces the first deferred write error, then writes back every
+  /// dirty frame (pinned or not) without evicting.
   Status flush();
 
   /// Flush + drop all unpinned frames (cold-cache tool for benches).
   Status invalidate();
 
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
-  [[nodiscard]] std::size_t resident() const noexcept {
-    return frames_.size();
+  /// Speculatively faults chunks [first, first + count) into frames using
+  /// one coalesced read on the I/O pool. Advisory: resident chunks, full
+  /// capacity, or a synchronous cache reduce or drop the request. Never
+  /// blocks on the I/O it starts.
+  void prefetch(std::uint64_t first, std::uint64_t count);
+
+  /// io::PrefetchSink — DrxFile::prefetch_box() lands here.
+  void prefetch_range(std::uint64_t first, std::uint64_t count) override {
+    prefetch(first, count);
   }
+
+  /// First write-back failure observed (deferred or not). Sticky: remains
+  /// observable after flush() has returned it.
+  [[nodiscard]] Status last_error() const;
+
+  /// True when the cache runs on worker threads (io_threads > 0).
+  [[nodiscard]] bool async() const noexcept { return pool_ != nullptr; }
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t resident() const;
 
  private:
   struct Frame {
     std::unique_ptr<std::byte[]> data;
     int pins = 0;
     bool dirty = false;
-    std::list<std::uint64_t>::iterator lru_it;  ///< valid when pins == 0
+    bool loading = false;     ///< speculative/foreground fault in flight
+    bool prefetched = false;  ///< faulted ahead of demand, not yet pinned
+    std::list<std::uint64_t>::iterator lru_it;  ///< valid when in_lru
     bool in_lru = false;
   };
 
-  Status evict_one();
+  /// A dirty buffer evicted under write-behind, keyed by address until its
+  /// worker write completes. `seq` orders replacements: re-evicting the
+  /// same address swaps the buffer and bumps seq, and the (single) job for
+  /// the address re-writes until it observes a stable seq — so the newest
+  /// data always lands last.
+  struct PendingWrite {
+    std::shared_ptr<std::byte[]> data;
+    std::uint64_t seq = 0;
+  };
+
+  [[nodiscard]] std::size_t chunk_size() const;
+
+  // All *_locked helpers require mu_ held. Lock order: mu_ may be held
+  // while taking io_mu_ (sync flush), but io_mu_ is never held while
+  // taking mu_.
+  Status evict_one_locked(std::unique_lock<std::mutex>& lock,
+                          std::vector<std::uint64_t>& write_submits);
+  void queue_write_locked(std::uint64_t address,
+                          std::unique_ptr<std::byte[]> data,
+                          std::vector<std::uint64_t>& write_submits);
+  void record_error_locked(const Status& status, bool surfaced);
+  /// Reserves loading frames for a contiguous eligible run starting at
+  /// `first`; returns the run length (0 = nothing to do).
+  std::uint64_t reserve_readahead_locked(
+      std::unique_lock<std::mutex>& lock, std::uint64_t first,
+      std::uint64_t want, std::vector<std::uint64_t>& write_submits);
+  void submit_writes(const std::vector<std::uint64_t>& addresses);
+
+  // Pool jobs (run on workers; inline mode never reaches them).
+  Status run_write_job(std::uint64_t address);
+  Status run_prefetch_job(std::uint64_t first, std::uint64_t count);
+
+  Status flush_sync_locked(std::unique_lock<std::mutex>& lock,
+                           Status surfaced);
+  Status flush_async_locked(std::unique_lock<std::mutex>& lock,
+                            Status surfaced);
 
   DrxFile* file_;
-  std::size_t capacity_;
+  const std::size_t capacity_;
+  std::uint64_t prefetch_depth_ = 0;
+  std::unique_ptr<io::AsyncIoPool> pool_;  ///< null = synchronous legacy mode
+
+  mutable std::mutex mu_;        ///< cache structures, stats, error state
+  std::condition_variable cv_;   ///< load completion / queue-drain signal
+  std::mutex io_mu_;             ///< serializes DrxFile storage access
   std::unordered_map<std::uint64_t, Frame> frames_;
-  std::list<std::uint64_t> lru_;  ///< unpinned frames, front = most recent
+  std::list<std::uint64_t> lru_;  ///< unpinned ready frames, front = MRU
+  std::unordered_map<std::uint64_t, PendingWrite> pending_writes_;
+  std::uint64_t loads_inflight_ = 0;  ///< outstanding prefetch jobs
   Stats stats_;
+
+  // Sequential-scan detector: a miss at last_miss_ + 1 extends the run;
+  // anything else restarts it. Read-ahead fires once the run reaches
+  // kSequentialThreshold, and sets last_miss_ to the end of the issued
+  // window so prefetch hits keep the run alive.
+  static constexpr int kSequentialThreshold = 2;
+  static constexpr std::uint64_t kNoAddress = ~std::uint64_t{0};
+  std::uint64_t last_miss_ = kNoAddress;
+  int seq_run_ = 0;
+
+  Status last_error_;            ///< first write-back failure (sticky)
+  bool error_unsurfaced_ = false;  ///< true until flush() returns it once
 };
 
 /// Element/box access through the pool. Same semantics as DrxFile element
@@ -82,8 +200,13 @@ class ChunkCache {
 class CachedDrxFile {
  public:
   CachedDrxFile(DrxFile& file, std::size_t capacity_chunks)
+      : CachedDrxFile(file, capacity_chunks,
+                      ChunkCache::AsyncOptions::from_config()) {}
+
+  CachedDrxFile(DrxFile& file, std::size_t capacity_chunks,
+                const ChunkCache::AsyncOptions& async)
       : file_(&file),
-        cache_(file, capacity_chunks),
+        cache_(file, capacity_chunks, async),
         space_(file.metadata().chunk_space()) {}
 
   template <typename T>
@@ -112,10 +235,16 @@ class CachedDrxFile {
     return Status::ok();
   }
 
+  /// Reads element box [box.lo, box.hi) into `out` (linearized in
+  /// `order`) through the pool, announcing the whole box as a prefetch
+  /// hint first so an async cache faults it with coalesced reads.
+  Status read_box(const Box& box, MemoryOrder order, std::span<std::byte> out);
+
+  /// Announces an upcoming read of `box` (see DrxFile::prefetch_box).
+  void prefetch_box(const Box& box) { file_->prefetch_box(box); }
+
   Status flush() { return cache_.flush(); }
-  [[nodiscard]] const ChunkCache::Stats& stats() const noexcept {
-    return cache_.stats();
-  }
+  [[nodiscard]] ChunkCache::Stats stats() const { return cache_.stats(); }
   [[nodiscard]] ChunkCache& cache() noexcept { return cache_; }
 
  private:

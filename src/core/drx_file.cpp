@@ -1,6 +1,8 @@
 #include "core/drx_file.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "core/scatter.hpp"
 #include "obs/metrics.hpp"
@@ -240,6 +242,48 @@ Status DrxFile::read_chunk(std::uint64_t address, std::span<std::byte> out) {
   obs::registry().counter(kBytes).add(out.size());
   obs::ScopedSpan span("core.read_chunk", "core", out.size());
   return data_->read_at(checked_mul(address, meta_.chunk_bytes()), out);
+}
+
+Status DrxFile::read_chunks(std::uint64_t first_address, std::uint64_t count,
+                            std::span<std::byte> out) {
+  DRX_CHECK(out.size() == checked_mul(count, meta_.chunk_bytes()));
+  if (count == 0) return Status::ok();
+  static const obs::MetricId kReads = obs::counter_id("core.chunk_reads");
+  static const obs::MetricId kBatches =
+      obs::counter_id("core.chunk_read_batches");
+  static const obs::MetricId kBytes = obs::counter_id("core.bytes_read");
+  obs::registry().counter(kReads).add(count);
+  obs::registry().counter(kBatches).add();
+  obs::registry().counter(kBytes).add(out.size());
+  obs::ScopedSpan span("core.read_chunks_batch", "core", out.size());
+  return data_->read_at(checked_mul(first_address, meta_.chunk_bytes()), out);
+}
+
+void DrxFile::prefetch_box(const Box& box) {
+  if (prefetch_sink_ == nullptr) return;
+  const Box clipped = box.intersect(Box{Index(rank(), 0), bounds()});
+  if (clipped.empty()) return;
+  // Element box -> covering chunk-index box -> sorted linear addresses ->
+  // maximal contiguous runs, one hint per run.
+  Box chunks(Index(rank(), 0), Index(rank(), 0));
+  for (std::size_t d = 0; d < rank(); ++d) {
+    chunks.lo[d] = clipped.lo[d] / meta_.chunk_shape[d];
+    chunks.hi[d] = (clipped.hi[d] - 1) / meta_.chunk_shape[d] + 1;
+  }
+  std::vector<std::uint64_t> addresses;
+  addresses.reserve(checked_size(chunks.volume()));
+  for_each_index(chunks, [&](const Index& c) {
+    addresses.push_back(meta_.mapping.address_of(c));
+  });
+  std::sort(addresses.begin(), addresses.end());
+  std::size_t run_begin = 0;
+  for (std::size_t i = 1; i <= addresses.size(); ++i) {
+    if (i == addresses.size() || addresses[i] != addresses[i - 1] + 1) {
+      prefetch_sink_->prefetch_range(addresses[run_begin],
+                                     static_cast<std::uint64_t>(i - run_begin));
+      run_begin = i;
+    }
+  }
 }
 
 Status DrxFile::write_chunk(std::uint64_t address,

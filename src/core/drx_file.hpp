@@ -16,6 +16,7 @@
 #include <string>
 
 #include "core/metadata.hpp"
+#include "io/prefetch.hpp"
 #include "pfs/storage.hpp"
 
 namespace drx::core {
@@ -112,6 +113,30 @@ class DrxFile {
   Status read_chunk(std::uint64_t address, std::span<std::byte> out);
   Status write_chunk(std::uint64_t address, std::span<const std::byte> in);
 
+  /// Reads `count` chunks at consecutive linear addresses starting at
+  /// `first_address` with ONE storage request (chunk addresses are
+  /// contiguous in the .xta by construction) — the coalescing primitive
+  /// behind sequential read-ahead. `out` must hold count * chunk_bytes().
+  Status read_chunks(std::uint64_t first_address, std::uint64_t count,
+                     std::span<std::byte> out);
+
+  // ---- prefetch hints (docs/ASYNC_IO.md) --------------------------------
+  // Layers that know future access patterns announce them here; a cache
+  // layered on this file (ChunkCache) registers itself as the sink and
+  // turns hints into background faults. Hints are advisory: with no sink
+  // attached they are dropped.
+
+  /// Hints that every chunk overlapping element box [box.lo, box.hi) is
+  /// about to be read. Never blocks on I/O.
+  void prefetch_box(const Box& box);
+
+  void set_prefetch_sink(io::PrefetchSink* sink) noexcept {
+    prefetch_sink_ = sink;
+  }
+  [[nodiscard]] io::PrefetchSink* prefetch_sink() const noexcept {
+    return prefetch_sink_;
+  }
+
   /// Persists metadata (also called by extend/create).
   Status flush();
 
@@ -141,6 +166,7 @@ class DrxFile {
   std::unique_ptr<pfs::Storage> data_;
   Metadata meta_;
   ChunkSpace chunk_space_;
+  io::PrefetchSink* prefetch_sink_ = nullptr;  ///< not owned; may be null
 };
 
 }  // namespace drx::core

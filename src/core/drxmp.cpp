@@ -1,9 +1,13 @@
 #include "core/drxmp.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
+#include <future>
 #include <numeric>
 
+#include "io/async_pool.hpp"
+#include "io/config.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
 
@@ -12,6 +16,15 @@ namespace drx::core {
 namespace {
 std::string meta_name(const std::string& name) { return name + ".xmd"; }
 std::string data_name(const std::string& name) { return name + ".xta"; }
+
+/// Chunks per pipelined zone-read round; 0 disables pipelining (legacy
+/// single-shot read). Derived from the async-engine knobs so the feature
+/// stays off unless DRX_IO_THREADS is set.
+std::uint64_t zone_read_batch() {
+  if (io::io_threads() <= 0) return 0;
+  const std::uint64_t depth = io::prefetch_depth();
+  return depth > 0 ? depth : 8;
+}
 }  // namespace
 
 Result<DrxMpFile> DrxMpFile::create(simpi::Comm& comm, pfs::Pfs& fs,
@@ -224,6 +237,12 @@ Status DrxMpFile::read_my_zone(const Distribution& dist, MemoryOrder order,
   for (const Box& z : dist.zones_of(comm_->rank())) {
     for_each_index(z, [&](const Index& c) { chunks.push_back(c); });
   }
+
+  if (const std::uint64_t batch = zone_read_batch(); batch > 0) {
+    return read_my_zone_pipelined(dist, order, out, collective, chunks, box,
+                                  batch);
+  }
+
   std::vector<std::byte> staging(
       checked_size(checked_mul(chunks.size(), chunk_bytes())));
   DRX_RETURN_IF_ERROR(read_chunks(chunks, staging, collective));
@@ -237,6 +256,72 @@ Status DrxMpFile::read_my_zone(const Distribution& dist, MemoryOrder order,
             checked_size(checked_mul(i, chunk_bytes())),
             checked_size(chunk_bytes())),
         clip, box, order, out);
+  }
+  return Status::ok();
+}
+
+Status DrxMpFile::read_my_zone_pipelined(const Distribution& dist,
+                                         MemoryOrder order,
+                                         std::span<std::byte> out,
+                                         bool collective,
+                                         std::span<const Index> chunks,
+                                         const Box& box, std::uint64_t batch) {
+  const std::uint64_t cb = chunk_bytes();
+  const auto n = static_cast<std::uint64_t>(chunks.size());
+
+  // Collective rounds must line up across ranks. The distribution is
+  // derived from replicated metadata, so every rank computes the same
+  // global round count locally: the surplus rounds of chunk-poor ranks
+  // participate with empty chunk lists.
+  std::uint64_t rounds = ceil_div(n, batch);
+  if (collective) {
+    for (int r = 0; r < comm_->size(); ++r) {
+      std::uint64_t count = 0;
+      for (const Box& z : dist.zones_of(r)) count += z.volume();
+      rounds = std::max(rounds, ceil_div(count, batch));
+    }
+  }
+  if (rounds == 0) return Status::ok();  // every rank agrees: nothing to read
+  obs::ScopedSpan span("core.zone_read_pipelined", "core",
+                       checked_mul(n, cb));
+
+  // One worker keeps the collective call order identical on every rank;
+  // the pipeline depth is one round, double-buffered.
+  io::AsyncIoPool pool({.threads = 1, .queue_capacity = 2});
+  std::array<std::vector<std::byte>, 2> staging;
+
+  const auto round_chunks = [&](std::uint64_t r) {
+    const std::uint64_t begin = std::min(n, r * batch);
+    const std::uint64_t end = std::min(n, (r + 1) * batch);
+    return chunks.subspan(checked_size(begin), checked_size(end - begin));
+  };
+  const auto issue = [&](std::uint64_t r) {
+    const std::span<const Index> part = round_chunks(r);
+    std::vector<std::byte>& buf = staging[r % 2];
+    buf.resize(checked_size(checked_mul(part.size(), cb)));
+    return pool.submit_with_future(
+        [this, part, bufspan = std::span<std::byte>(buf), collective] {
+          return read_chunks(part, bufspan, collective);
+        });
+  };
+
+  std::future<Status> inflight = issue(0);
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    // Collective errors surface identically on every rank (the aggregator
+    // result is allreduced), so breaking out of the round loop together
+    // is deadlock-free.
+    DRX_RETURN_IF_ERROR(inflight.get());
+    if (r + 1 < rounds) inflight = issue(r + 1);
+    const std::span<const Index> part = round_chunks(r);
+    const std::span<const std::byte> buf(staging[r % 2]);
+    for (std::size_t i = 0; i < part.size(); ++i) {
+      const Box clip = chunk_space_.chunk_box(part[i]).intersect(box);
+      if (clip.empty()) continue;
+      scatter_chunk_into_box(
+          chunk_space_, meta_.element_bytes(),
+          buf.subspan(checked_size(checked_mul(i, cb)), checked_size(cb)),
+          clip, box, order, out);
+    }
   }
   return Status::ok();
 }

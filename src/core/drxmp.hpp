@@ -174,6 +174,14 @@ class DrxMpFile {
   Status transfer_chunks(std::span<const Index> chunks, void* staging,
                          bool collective, bool writing);
 
+  /// Round-pipelined zone read (docs/ASYNC_IO.md): splits the chunk list
+  /// into batches and reads batch r+1 on an I/O worker while batch r is
+  /// scattered into `out`. Active only when io::io_threads() > 0.
+  Status read_my_zone_pipelined(const Distribution& dist, MemoryOrder order,
+                                std::span<std::byte> out, bool collective,
+                                std::span<const Index> chunks, const Box& box,
+                                std::uint64_t batch);
+
   Status read_box_impl(const Box& box, MemoryOrder order,
                        std::span<std::byte> out, bool collective);
   Status write_box_impl(const Box& box, MemoryOrder order,

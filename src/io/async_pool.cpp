@@ -1,0 +1,177 @@
+#include "io/async_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "io/config.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace drx::io {
+
+namespace {
+
+const obs::MetricId kSubmitted = obs::counter_id("io.pool.submitted");
+const obs::MetricId kCompleted = obs::counter_id("io.pool.completed");
+const obs::MetricId kInline = obs::counter_id("io.pool.inline_runs");
+const obs::MetricId kFailed = obs::counter_id("io.pool.failed");
+const obs::MetricId kDrains = obs::counter_id("io.pool.drains");
+const obs::MetricId kQueueDepth = obs::histogram_id("io.pool.queue_depth");
+const obs::MetricId kJobUs = obs::histogram_id("io.pool.job_us");
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<std::uint64_t>(v);
+}
+
+// Overrides: the sentinel means "defer to the environment".
+constexpr int kThreadsFromEnv = -1;
+std::atomic<int> g_io_threads_override{kThreadsFromEnv};
+std::atomic<std::uint64_t> g_prefetch_override{kPrefetchFromEnv};
+
+}  // namespace
+
+int io_threads() noexcept {
+  const int o = g_io_threads_override.load(std::memory_order_relaxed);
+  if (o >= 0) return o;
+  // Read once: the engine treats the environment as process-constant.
+  static const int from_env = [] {
+    const auto v = env_u64("DRX_IO_THREADS", 0);
+    return static_cast<int>(v > 64 ? 64 : v);
+  }();
+  return from_env;
+}
+
+std::uint64_t prefetch_depth() noexcept {
+  const std::uint64_t o = g_prefetch_override.load(std::memory_order_relaxed);
+  if (o != kPrefetchFromEnv) return o;
+  static const std::uint64_t from_env = env_u64("DRX_PREFETCH_DEPTH", 0);
+  return from_env;
+}
+
+void set_io_threads(int threads) noexcept {
+  g_io_threads_override.store(threads < 0 ? kThreadsFromEnv : threads,
+                              std::memory_order_relaxed);
+}
+
+void set_prefetch_depth(std::uint64_t depth) noexcept {
+  g_prefetch_override.store(depth, std::memory_order_relaxed);
+}
+
+AsyncIoPool::AsyncIoPool(const Options& options) : options_(options) {
+  DRX_CHECK(options.queue_capacity >= 1);
+  const int n = options.threads < 0 ? 0 : options.threads;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+AsyncIoPool::~AsyncIoPool() {
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void AsyncIoPool::finish_one(const Status& status) {
+  // mu_ must be held by the caller.
+  ++stats_.completed;
+  obs::registry().counter(kCompleted).add();
+  if (!status.is_ok()) {
+    ++stats_.failed;
+    obs::registry().counter(kFailed).add();
+  }
+}
+
+void AsyncIoPool::submit(Job job, Completion done) {
+  DRX_CHECK(job != nullptr);
+  if (!async()) {
+    // Inline synchronous path: same observable order as the legacy code —
+    // the work (and its completion) happens before submit() returns.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.submitted;
+      ++stats_.inline_runs;
+    }
+    obs::registry().counter(kSubmitted).add();
+    obs::registry().counter(kInline).add();
+    const Status status = job();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      finish_one(status);
+    }
+    if (done) done(status);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  space_cv_.wait(lock,
+                 [this] { return queue_.size() < options_.queue_capacity; });
+  queue_.push_back(Task{std::move(job), std::move(done)});
+  ++stats_.submitted;
+  obs::registry().counter(kSubmitted).add();
+  obs::registry().histogram(kQueueDepth).observe(queue_.size());
+  lock.unlock();
+  work_cv_.notify_one();
+}
+
+std::future<Status> AsyncIoPool::submit_with_future(Job job) {
+  auto promise = std::make_shared<std::promise<Status>>();
+  std::future<Status> future = promise->get_future();
+  submit(std::move(job),
+         [promise](const Status& s) { promise->set_value(s); });
+  return future;
+}
+
+void AsyncIoPool::drain() {
+  obs::registry().counter(kDrains).add();
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+std::size_t AsyncIoPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+AsyncIoPool::Stats AsyncIoPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void AsyncIoPool::worker_loop() {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stop_ and nothing left to do
+    Task task = std::move(queue_.front());
+    queue_.pop_front();
+    ++running_;
+    lock.unlock();
+    space_cv_.notify_one();
+
+    Status status;
+    {
+      obs::ScopedSpan span("io.pool.job", "io");
+      obs::ScopedTimer timer(kJobUs);
+      status = task.job();
+    }
+    if (task.done) task.done(status);
+
+    lock.lock();
+    --running_;
+    finish_one(status);
+    const bool idle = queue_.empty() && running_ == 0;
+    lock.unlock();
+    if (idle) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace drx::io

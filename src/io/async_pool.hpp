@@ -1,0 +1,98 @@
+// Background I/O engine for the DRX stack (docs/ASYNC_IO.md).
+//
+// A small fixed pool of worker threads servicing a bounded FIFO of
+// Status-returning jobs. Consumers (ChunkCache write-behind/read-ahead,
+// drxmp zone-read pipelining, mpio aggregator fan-out) submit closures
+// and either wait on a future, register a completion callback, or use
+// drain() as a barrier.
+//
+// Two properties the rest of the stack leans on:
+//  - threads == 0 degrades to *inline* execution: submit() runs the job
+//    (and its completion) on the calling thread before returning, so the
+//    synchronous legacy code paths and the async ones share one shape.
+//  - the submission queue is bounded: a fast producer blocks in submit()
+//    rather than queueing unbounded dirty buffers (write-behind
+//    backpressure). Corollary: a job must never submit to its own pool,
+//    or a full queue deadlocks.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace drx::io {
+
+class AsyncIoPool {
+ public:
+  using Job = std::function<Status()>;
+  using Completion = std::function<void(const Status&)>;
+
+  struct Options {
+    int threads = 0;                  ///< 0 = inline synchronous execution
+    std::size_t queue_capacity = 256; ///< max jobs waiting (not running)
+  };
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t inline_runs = 0;  ///< jobs executed on the caller's thread
+    std::uint64_t failed = 0;       ///< jobs whose Status was an error
+  };
+
+  explicit AsyncIoPool(const Options& options);
+  ~AsyncIoPool();  ///< drains outstanding jobs, then joins the workers
+  AsyncIoPool(const AsyncIoPool&) = delete;
+  AsyncIoPool& operator=(const AsyncIoPool&) = delete;
+
+  /// True when worker threads exist (threads > 0 at construction).
+  [[nodiscard]] bool async() const noexcept { return !workers_.empty(); }
+  [[nodiscard]] int threads() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Enqueues `job`; `done` (optional) runs right after it on the same
+  /// thread. Blocks while the queue is at capacity. Inline mode runs
+  /// everything before returning.
+  void submit(Job job, Completion done = nullptr);
+
+  /// submit() variant yielding the job's Status through a future.
+  std::future<Status> submit_with_future(Job job);
+
+  /// Barrier: returns once every job submitted before the call (queued or
+  /// running) has completed.
+  void drain();
+
+  /// Queued-but-not-yet-running jobs right now.
+  [[nodiscard]] std::size_t queue_depth() const;
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Task {
+    Job job;
+    Completion done;
+  };
+
+  void worker_loop();
+  void finish_one(const Status& status);
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< workers: queue non-empty or stop
+  std::condition_variable space_cv_;  ///< producers: queue below capacity
+  std::condition_variable idle_cv_;   ///< drain(): everything completed
+  std::deque<Task> queue_;
+  std::size_t running_ = 0;  ///< jobs currently executing on workers
+  bool stop_ = false;
+  Stats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace drx::io

@@ -1,0 +1,32 @@
+// Runtime knobs for the async chunk I/O engine (docs/ASYNC_IO.md).
+//
+// Both knobs are read from the environment once at startup and can be
+// overridden programmatically (tests and benches flip them without
+// re-exec'ing). The zero values select the fully synchronous legacy
+// paths, which are the defaults: async I/O is opt-in.
+//
+//   DRX_IO_THREADS     worker threads per AsyncIoPool consumer
+//                      (0 = no threads; every submission runs inline,
+//                      reproducing the pre-async synchronous semantics)
+//   DRX_PREFETCH_DEPTH chunks of speculative read-ahead issued when a
+//                      cache detects a sequential miss run (0 = off;
+//                      only active when DRX_IO_THREADS > 0)
+#pragma once
+
+#include <cstdint>
+
+namespace drx::io {
+
+/// Worker-thread count consumers should size their pools with.
+[[nodiscard]] int io_threads() noexcept;
+
+/// Read-ahead depth in chunks for sequential-scan prefetching.
+[[nodiscard]] std::uint64_t prefetch_depth() noexcept;
+
+/// Programmatic overrides (tests/benches). Negative `threads` restores
+/// the environment-derived value; so does `kPrefetchFromEnv` for depth.
+inline constexpr std::uint64_t kPrefetchFromEnv = ~std::uint64_t{0};
+void set_io_threads(int threads) noexcept;
+void set_prefetch_depth(std::uint64_t depth) noexcept;
+
+}  // namespace drx::io

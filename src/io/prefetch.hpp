@@ -1,0 +1,23 @@
+// Prefetch hint plumbing between layers that *know* future access
+// patterns (zone reads, box scans) and layers that *hold* chunk frames
+// (ChunkCache). The sink interface lives here, below both, so core can
+// forward hints without a dependency cycle.
+#pragma once
+
+#include <cstdint>
+
+namespace drx::io {
+
+/// Receiver of speculative chunk-read hints. Implementations must treat
+/// hints as advisory: dropping one is always legal, and prefetch_range
+/// must never block on the I/O it starts.
+class PrefetchSink {
+ public:
+  virtual ~PrefetchSink() = default;
+
+  /// Hints that linear chunk addresses [first, first + count) are about
+  /// to be read. Thread-safe.
+  virtual void prefetch_range(std::uint64_t first, std::uint64_t count) = 0;
+};
+
+}  // namespace drx::io

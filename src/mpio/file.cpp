@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <future>
 
+#include "io/async_pool.hpp"
+#include "io/config.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/checked.hpp"
@@ -428,47 +431,87 @@ Status File::transfer_collective(std::uint64_t offset_etypes, void* buf,
     static const obs::MetricId kPieces = obs::counter_id("mpio.agg_pieces");
     static const obs::MetricId kRuns = obs::counter_id("mpio.agg_runs");
     obs::registry().counter(kPieces).add(agg_pieces.size());
+
+    // Coalesce the sorted pieces into device-access runs.
+    struct Run {
+      std::size_t begin, end;        ///< range in `order`
+      std::uint64_t off, end_off;    ///< file byte range covered
+    };
+    std::vector<Run> runs;
     std::size_t run_begin = 0;
+    const std::uint64_t gap_allowed =
+        writing ? 0 : g_read_sieve_gap.load(std::memory_order_relaxed);
     while (run_begin < order.size()) {
-      // Grow a run of pieces coalescible into one device access.
       const std::uint64_t run_off = agg_pieces[order[run_begin]].offset;
       std::uint64_t run_end_off =
           run_off + agg_pieces[order[run_begin]].length;
       std::size_t run_end = run_begin + 1;
-      const std::uint64_t gap_allowed =
-          writing ? 0 : g_read_sieve_gap.load(std::memory_order_relaxed);
       while (run_end < order.size()) {
         const Piece& nxt = agg_pieces[order[run_end]];
         if (nxt.offset > run_end_off + gap_allowed) break;
         run_end_off = std::max(run_end_off, nxt.offset + nxt.length);
         ++run_end;
       }
+      runs.push_back(Run{run_begin, run_end, run_off, run_end_off});
+      run_begin = run_end;
+    }
 
-      std::vector<std::byte> staging(checked_size(run_end_off - run_off));
+    const auto do_run = [&](const Run& run) -> Status {
+      std::vector<std::byte> staging(checked_size(run.end_off - run.off));
       if (writing) {
         // Assemble then write. Exact-adjacency coalescing means every byte
         // of the staging buffer is covered by some piece.
-        for (std::size_t i = run_begin; i < run_end; ++i) {
+        for (std::size_t i = run.begin; i < run.end; ++i) {
           const Piece& piece = agg_pieces[order[i]];
-          std::memcpy(staging.data() + (piece.offset - run_off),
+          std::memcpy(staging.data() + (piece.offset - run.off),
                       agg_payload[order[i]], checked_size(piece.length));
         }
-        io_status = state_->handle.write_at(run_off, staging);
-      } else {
-        io_status = state_->handle.read_at(run_off, staging);
-        if (io_status.is_ok()) {
-          for (std::size_t i = run_begin; i < run_end; ++i) {
-            const Piece& piece = agg_pieces[order[i]];
-            std::memcpy(replies[static_cast<std::size_t>(piece.source)].data() +
-                            piece.reply_pos,
-                        staging.data() + (piece.offset - run_off),
-                        checked_size(piece.length));
-          }
+        return state_->handle.write_at(run.off, staging);
+      }
+      Status st = state_->handle.read_at(run.off, staging);
+      if (st.is_ok()) {
+        // Runs cover disjoint file ranges, so their reply targets are
+        // disjoint too: scattering from workers is race-free.
+        for (std::size_t i = run.begin; i < run.end; ++i) {
+          const Piece& piece = agg_pieces[order[i]];
+          std::memcpy(replies[static_cast<std::size_t>(piece.source)].data() +
+                          piece.reply_pos,
+                      staging.data() + (piece.offset - run.off),
+                      checked_size(piece.length));
         }
       }
-      if (!io_status.is_ok()) break;
-      obs::registry().counter(kRuns).add();
-      run_begin = run_end;
+      return st;
+    };
+
+    const int fan = io::io_threads();
+    if (fan > 1 && runs.size() > 1) {
+      // Fan the runs out over an I/O pool: the PFS serializes per server,
+      // so runs landing on different servers proceed concurrently
+      // (docs/ASYNC_IO.md).
+      io::AsyncIoPool pool(
+          {std::min(fan, static_cast<int>(runs.size())), runs.size()});
+      std::vector<std::future<Status>> results;
+      results.reserve(runs.size());
+      for (const Run& run : runs) {
+        results.push_back(
+            pool.submit_with_future([&do_run, &run] { return do_run(run); }));
+      }
+      std::uint64_t completed_runs = 0;
+      for (std::future<Status>& f : results) {
+        const Status st = f.get();
+        if (st.is_ok()) {
+          ++completed_runs;
+        } else if (io_status.is_ok()) {
+          io_status = st;  // first failure wins; remaining runs still join
+        }
+      }
+      obs::registry().counter(kRuns).add(completed_runs);
+    } else {
+      for (const Run& run : runs) {
+        io_status = do_run(run);
+        if (!io_status.is_ok()) break;
+        obs::registry().counter(kRuns).add();
+      }
     }
   }
 
