@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Warn-only bench regression check against the committed baseline.
+
+Compares a fresh DRX_BENCH_JSON report file against BENCH_baseline.json:
+benches are matched by name, rows by their leading label cells, and every
+shared numeric cell is compared. Simulated-time and request-count columns
+are deterministic, so drift beyond the tolerance is a real behavior
+change, not scheduler noise — but machine-dependent effects can still
+leak in, so this script NEVER fails the build: it prints WARN lines for
+CI logs (and the doctor artifact) and always exits 0.
+
+Usage: check_bench_regression.py <baseline.json> <current.json> [tolerance]
+
+`tolerance` is the allowed relative drift (default 0.25 = 25%).
+"""
+
+import json
+import sys
+
+
+def load_reports(path):
+    reports = {}
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            doc = json.loads(line)
+            reports[doc["bench"]] = doc
+    if not reports:
+        raise SystemExit(f"{path}: no bench report lines")
+    return reports
+
+
+def as_number(cell):
+    try:
+        return float(cell)
+    except (TypeError, ValueError):
+        return None
+
+
+def row_key(row):
+    """Leading non-numeric cells identify the row (pattern/mode labels)."""
+    key = []
+    for cell in row:
+        if as_number(cell) is not None:
+            break
+        key.append(cell)
+    return tuple(key)
+
+
+def compare_tables(name, base, cur, tolerance):
+    warnings = []
+    headers = base["table"]["headers"]
+    base_rows = {row_key(r): r for r in base["table"]["rows"]}
+    cur_rows = {row_key(r): r for r in cur["table"]["rows"]}
+    for key, brow in base_rows.items():
+        crow = cur_rows.get(key)
+        if crow is None:
+            warnings.append(f"{name}: row {key} missing from current report")
+            continue
+        for col, (bcell, ccell) in enumerate(zip(brow, crow)):
+            bval, cval = as_number(bcell), as_number(ccell)
+            if bval is None or cval is None:
+                continue
+            if bval == 0:
+                drift = 0.0 if cval == 0 else float("inf")
+            else:
+                drift = (cval - bval) / bval
+            if abs(drift) > tolerance:
+                col_name = headers[col] if col < len(headers) else f"col{col}"
+                warnings.append(
+                    f"{name} {'/'.join(key)} [{col_name}]: "
+                    f"{bval:g} -> {cval:g} ({drift:+.0%})")
+    for key in cur_rows.keys() - base_rows.keys():
+        warnings.append(f"{name}: new row {key} not in baseline "
+                        "(update BENCH_baseline.json)")
+    return warnings
+
+
+def main():
+    if len(sys.argv) not in (3, 4):
+        raise SystemExit(__doc__)
+    baseline = load_reports(sys.argv[1])
+    current = load_reports(sys.argv[2])
+    tolerance = float(sys.argv[3]) if len(sys.argv) == 4 else 0.25
+
+    warnings = []
+    for name, base in baseline.items():
+        cur = current.get(name)
+        if cur is None:
+            warnings.append(f"{name}: bench missing from current report")
+            continue
+        warnings.extend(compare_tables(name, base, cur, tolerance))
+
+    compared = sorted(set(baseline) & set(current))
+    print(f"compared {len(compared)} bench(es) against baseline "
+          f"(tolerance {tolerance:.0%}): {', '.join(compared)}")
+    for msg in warnings:
+        print(f"WARN: {msg}")
+    if not warnings:
+        print("OK: all bench rows within tolerance")
+    return 0  # warn-only by design
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
 
@@ -204,6 +205,7 @@ restart:
 
   ++stats_.misses;
   obs::registry().counter(kMisses).add();
+  obs::profile_chunk(obs::ChunkOp::kCacheMiss, address, 0);
 
   // Sequential-scan detector (async mode only): consecutive miss
   // addresses accumulate a run; once it is long enough, read ahead.

@@ -6,6 +6,7 @@
 
 #include "core/scatter.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
 namespace drx::core {
@@ -240,6 +241,7 @@ Status DrxFile::read_chunk(std::uint64_t address, std::span<std::byte> out) {
   static const obs::MetricId kBytes = obs::counter_id("core.bytes_read");
   obs::registry().counter(kReads).add();
   obs::registry().counter(kBytes).add(out.size());
+  obs::profile_chunk(obs::ChunkOp::kRead, address, out.size());
   obs::ScopedSpan span("core.read_chunk", "core", out.size());
   return data_->read_at(checked_mul(address, meta_.chunk_bytes()), out);
 }
@@ -255,6 +257,12 @@ Status DrxFile::read_chunks(std::uint64_t first_address, std::uint64_t count,
   obs::registry().counter(kReads).add(count);
   obs::registry().counter(kBatches).add();
   obs::registry().counter(kBytes).add(out.size());
+  if (obs::profile_enabled()) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      obs::profile_chunk(obs::ChunkOp::kRead, first_address + i,
+                         meta_.chunk_bytes());
+    }
+  }
   obs::ScopedSpan span("core.read_chunks_batch", "core", out.size());
   return data_->read_at(checked_mul(first_address, meta_.chunk_bytes()), out);
 }
@@ -293,6 +301,7 @@ Status DrxFile::write_chunk(std::uint64_t address,
   static const obs::MetricId kBytes = obs::counter_id("core.bytes_written");
   obs::registry().counter(kWrites).add();
   obs::registry().counter(kBytes).add(in.size());
+  obs::profile_chunk(obs::ChunkOp::kWrite, address, in.size());
   obs::ScopedSpan span("core.write_chunk", "core", in.size());
   return data_->write_at(checked_mul(address, meta_.chunk_bytes()), in);
 }

@@ -8,6 +8,7 @@
 
 #include "io/async_pool.hpp"
 #include "io/config.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
 
@@ -177,6 +178,15 @@ Status DrxMpFile::transfer_chunks(std::span<const Index> chunks,
   std::vector<std::uint64_t> addresses(n);
   for (std::size_t i = 0; i < n; ++i) {
     addresses[i] = meta_.mapping.address_of(chunks[i]);
+  }
+  if (obs::profile_enabled()) {
+    // Heatmap layer: every chunk this rank's zone transfer touches,
+    // attributed to the calling rank (the zone owner).
+    const obs::ChunkOp op =
+        writing ? obs::ChunkOp::kWrite : obs::ChunkOp::kRead;
+    for (std::size_t i = 0; i < n; ++i) {
+      obs::profile_chunk(op, addresses[i], cb);
+    }
   }
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);

@@ -8,6 +8,7 @@
 #include "io/async_pool.hpp"
 #include "io/config.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "util/checked.hpp"
 
@@ -456,7 +457,11 @@ Status File::transfer_collective(std::uint64_t offset_etypes, void* buf,
       run_begin = run_end;
     }
 
-    const auto do_run = [&](const Run& run) -> Status {
+    // Aggregator attribution must be captured here: fan-out pool threads
+    // run outside this rank's RankScope.
+    const int agg_rank = obs::current_rank();
+    const auto do_run = [&, agg_rank](const Run& run) -> Status {
+      obs::profile_aggregator(agg_rank, 1, run.end_off - run.off);
       std::vector<std::byte> staging(checked_size(run.end_off - run.off));
       if (writing) {
         // Assemble then write. Exact-adjacency coalescing means every byte

@@ -1,0 +1,438 @@
+#include "obs/analysis.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+
+#include "obs/json.hpp"
+
+namespace drx::obs::analysis {
+
+namespace {
+
+std::string format(const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+Severity severity_for_ratio(double ratio) {
+  if (ratio >= kErrorRatio) return Severity::kError;
+  if (ratio >= kWarnRatio) return Severity::kWarn;
+  return Severity::kInfo;
+}
+
+}  // namespace
+
+std::string_view severity_name(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarn: return "warn";
+    case Severity::kError: return "error";
+  }
+  return "info";
+}
+
+std::size_t count_severity(const Report& r, Severity s) {
+  std::size_t n = 0;
+  for (const Finding& f : r.findings) {
+    if (f.severity == s) ++n;
+  }
+  return n;
+}
+
+bool has_errors(const Report& r) {
+  return count_severity(r, Severity::kError) != 0;
+}
+
+std::string report_to_text(const Report& r) {
+  std::string out = format(
+      "drx_doctor: %zu finding(s) (%zu error, %zu warn, %zu info)\n",
+      r.findings.size(), count_severity(r, Severity::kError),
+      count_severity(r, Severity::kWarn), count_severity(r, Severity::kInfo));
+  if (r.findings.empty()) {
+    return "drx_doctor: no findings - all clear\n";
+  }
+  for (const Finding& f : r.findings) {
+    out += format("  [%-5s] %s: %s (score %.2f)\n",
+                  std::string(severity_name(f.severity)).c_str(),
+                  f.id.c_str(), f.message.c_str(), f.score);
+  }
+  return out;
+}
+
+void report_to_json(const Report& r, JsonWriter& w) {
+  w.begin_object();
+  w.key("format").value("drx-doctor");
+  w.key("version").value(std::uint64_t{1});
+  w.key("errors").value(
+      static_cast<std::uint64_t>(count_severity(r, Severity::kError)));
+  w.key("warnings").value(
+      static_cast<std::uint64_t>(count_severity(r, Severity::kWarn)));
+  w.key("findings").begin_array();
+  for (const Finding& f : r.findings) {
+    w.begin_object();
+    w.key("id").value(f.id);
+    w.key("severity").value(severity_name(f.severity));
+    w.key("score").value(f.score);
+    w.key("message").value(f.message);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+ImbalanceStat imbalance(std::span<const double> values,
+                        std::span<const int> ids) {
+  ImbalanceStat s;
+  s.n = values.size();
+  if (values.empty()) return s;
+  double sum = 0.0;
+  std::size_t imax = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    sum += values[i];
+    if (values[i] > values[imax]) imax = i;
+  }
+  s.max = values[imax];
+  s.mean = sum / static_cast<double>(values.size());
+  s.ratio = s.mean > 0.0 ? s.max / s.mean : 1.0;
+  s.argmax = ids.size() == values.size() ? ids[imax]
+                                         : static_cast<int>(imax);
+  return s;
+}
+
+namespace {
+
+/// Reduces a profile table to a per-id load vector, then to an
+/// ImbalanceStat. `include` filters entries (e.g. drop host rank -1);
+/// `seed_ids` pre-seeds entities at zero load so participants that
+/// recorded no traffic still weigh the distribution down.
+template <typename Cell, typename IdFn, typename LoadFn, typename Pred>
+ImbalanceStat reduce_imbalance(const std::vector<Cell>& cells,
+                               std::span<const int> seed_ids, IdFn id_of,
+                               LoadFn load_of, Pred include) {
+  std::map<int, double> load;
+  for (int id : seed_ids) {
+    if (id >= 0) load[id] = 0.0;
+  }
+  for (const Cell& c : cells) {
+    if (!include(c)) continue;
+    load[id_of(c)] += load_of(c);
+  }
+  std::vector<double> values;
+  std::vector<int> ids;
+  values.reserve(load.size());
+  ids.reserve(load.size());
+  for (const auto& [id, v] : load) {
+    ids.push_back(id);
+    values.push_back(v);
+  }
+  return imbalance(values, ids);
+}
+
+}  // namespace
+
+ImbalanceStat rank_chunk_imbalance(const ProfileSnapshot& p) {
+  return reduce_imbalance(
+      p.chunk, p.ranks, [](const ChunkCell& c) { return c.rank; },
+      [](const ChunkCell& c) { return static_cast<double>(c.bytes); },
+      [](const ChunkCell& c) { return c.rank >= 0; });
+}
+
+ImbalanceStat rank_pfs_imbalance(const ProfileSnapshot& p) {
+  return reduce_imbalance(
+      p.pfs, p.ranks, [](const PfsCell& c) { return c.rank; },
+      [](const PfsCell& c) { return static_cast<double>(c.bytes); },
+      [](const PfsCell& c) { return c.rank >= 0; });
+}
+
+ImbalanceStat pfs_server_imbalance(const ProfileSnapshot& p) {
+  return reduce_imbalance(
+      p.pfs, {}, [](const PfsCell& c) { return static_cast<int>(c.server); },
+      [](const PfsCell& c) { return static_cast<double>(c.bytes); },
+      [](const PfsCell&) { return true; });
+}
+
+ImbalanceStat aggregator_imbalance(const ProfileSnapshot& p) {
+  // Not seeded with p.ranks: two-phase I/O legitimately appoints a subset
+  // of ranks as aggregators, so only ranks that aggregated are compared.
+  return reduce_imbalance(
+      p.aggregator, {}, [](const AggCell& c) { return c.rank; },
+      [](const AggCell& c) { return static_cast<double>(c.bytes); },
+      [](const AggCell& c) { return c.rank >= 0; });
+}
+
+void analyze_profile(const ProfileSnapshot& p, std::vector<Finding>& out) {
+  // Imbalance findings are emitted even when balanced (severity info):
+  // comparing a BLOCK run against a BLOCK_CYCLIC run needs both scores.
+  if (const ImbalanceStat s = rank_chunk_imbalance(p); s.n >= 2) {
+    Finding f;
+    f.id = "rank-imbalance";
+    f.severity = severity_for_ratio(s.ratio);
+    f.score = s.ratio;
+    f.message = format(
+        "rank %d does %.1fx mean chunk-traffic bytes "
+        "(max %.0f vs mean %.0f over %zu ranks)",
+        s.argmax, s.ratio, s.max, s.mean, s.n);
+    if (f.severity != Severity::kInfo) {
+      f.message += " - zone split is skewed; consider a BLOCK_CYCLIC "
+                   "distribution";
+    }
+    out.push_back(std::move(f));
+  }
+  if (const ImbalanceStat s = rank_pfs_imbalance(p); s.n >= 2) {
+    out.push_back(Finding{
+        "pfs-rank-imbalance", severity_for_ratio(s.ratio), s.ratio,
+        format("rank %d does %.1fx mean pfs bytes (max %.0f vs mean %.0f)",
+               s.argmax, s.ratio, s.max, s.mean)});
+  }
+  if (const ImbalanceStat s = pfs_server_imbalance(p); s.n >= 2) {
+    out.push_back(Finding{
+        "pfs-hot-server", severity_for_ratio(s.ratio), s.ratio,
+        format("pfs server %d serves %.1fx mean bytes - striping imbalance",
+               s.argmax, s.ratio)});
+  }
+  if (const ImbalanceStat s = aggregator_imbalance(p); s.n >= 2) {
+    out.push_back(Finding{
+        "aggregator-skew", severity_for_ratio(s.ratio), s.ratio,
+        format("aggregator on rank %d moves %.1fx mean device bytes",
+               s.argmax, s.ratio)});
+  }
+}
+
+void analyze_metrics(const MetricsSnapshot& snap, std::vector<Finding>& out) {
+  if (const std::uint64_t dropped = snap.counter("obs.trace.dropped");
+      dropped != 0) {
+    out.push_back(Finding{
+        "trace-dropped", Severity::kError, static_cast<double>(dropped),
+        format("%llu trace event(s) dropped (ring full) - the trace is "
+               "truncated",
+               static_cast<unsigned long long>(dropped))});
+  }
+
+  const std::uint64_t hits = snap.counter("core.cache.hits");
+  const std::uint64_t misses = snap.counter("core.cache.misses");
+  const std::uint64_t evictions = snap.counter("core.cache.evictions");
+  if (hits + misses >= 100) {
+    const double hit_rate = static_cast<double>(hits) /
+                            static_cast<double>(hits + misses);
+    if (hit_rate < 0.5 && evictions * 2 > misses) {
+      out.push_back(Finding{
+          "cache-thrash", Severity::kWarn, 1.0 - hit_rate,
+          format("cache hit rate %.0f%% with %llu evictions on %llu misses "
+                 "- working set exceeds cache capacity",
+                 hit_rate * 100.0,
+                 static_cast<unsigned long long>(evictions),
+                 static_cast<unsigned long long>(misses))});
+    }
+  }
+
+  const std::uint64_t issued = snap.counter("core.cache.prefetch_issued");
+  const std::uint64_t useful = snap.counter("core.cache.prefetch_useful");
+  const std::uint64_t wasted = snap.counter("core.cache.prefetch_wasted");
+  if (issued >= 16) {
+    const double wasted_frac = static_cast<double>(wasted) /
+                               static_cast<double>(issued);
+    const double useful_frac = static_cast<double>(useful) /
+                               static_cast<double>(issued);
+    if (wasted_frac > 0.5) {
+      out.push_back(Finding{
+          "prefetch-waste", Severity::kWarn, wasted_frac,
+          format("%.0f%% of %llu prefetched chunks were evicted unused - "
+                 "read-ahead outruns the access pattern",
+                 wasted_frac * 100.0,
+                 static_cast<unsigned long long>(issued))});
+    } else if (useful_frac < 0.5) {
+      out.push_back(Finding{
+          "prefetch-low-yield", Severity::kInfo, useful_frac,
+          format("only %.0f%% of %llu prefetched chunks were used so far",
+                 useful_frac * 100.0,
+                 static_cast<unsigned long long>(issued))});
+    }
+  }
+}
+
+MetricsSnapshot metrics_from_json(const JsonValue& doc) {
+  MetricsSnapshot snap;
+  if (const JsonValue* counters = doc.find("counters");
+      counters != nullptr && counters->is_object()) {
+    for (const auto& [name, v] : counters->object) {
+      snap.counters.push_back(CounterSample{name, v.as_uint()});
+    }
+  }
+  if (const JsonValue* hists = doc.find("histograms");
+      hists != nullptr && hists->is_object()) {
+    for (const auto& [name, v] : hists->object) {
+      HistogramSample h;
+      h.name = name;
+      h.count = v.uint_at("count");
+      h.sum = v.uint_at("sum");
+      if (const JsonValue* buckets = v.find("buckets");
+          buckets != nullptr && buckets->is_array()) {
+        const std::size_t n =
+            std::min(buckets->array.size(), kHistogramBuckets);
+        for (std::size_t b = 0; b < n; ++b) {
+          h.buckets[b] = buckets->array[b].as_uint();
+        }
+      }
+      snap.histograms.push_back(std::move(h));
+    }
+  }
+  return snap;
+}
+
+Result<TraceSummary> summarize_trace(const JsonValue& doc) {
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return Status(ErrorCode::kCorrupt,
+                  "not a trace document (no traceEvents array)");
+  }
+  TraceSummary t;
+
+  struct Interval {
+    double start, end;
+  };
+  std::map<int, std::vector<Interval>> by_rank;
+  std::uint64_t x_events = 0;
+  for (const JsonValue& e : events->array) {
+    const JsonValue* ph = e.find("ph");
+    if (ph == nullptr || ph->as_string() != "X") continue;
+    ++x_events;
+    const int rank = static_cast<int>(e.number_at("pid")) - 1;
+    const double ts = e.number_at("ts");
+    const double dur = e.number_at("dur");
+    by_rank[rank].push_back(Interval{ts, ts + dur});
+    if (dur > t.longest_dur_us) {
+      t.longest_dur_us = dur;
+      t.longest_rank = rank;
+      const JsonValue* name = e.find("name");
+      t.longest_name = name != nullptr ? std::string(name->as_string())
+                                       : std::string("?");
+    }
+  }
+
+  for (auto& [rank, intervals] : by_rank) {
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval& a, const Interval& b) {
+                return a.start < b.start;
+              });
+    // Union of intervals: nested/overlapping spans only count once.
+    double busy = 0.0;
+    double cover_end = -1.0;
+    for (const Interval& iv : intervals) {
+      if (iv.start >= cover_end) {
+        busy += iv.end - iv.start;
+        cover_end = iv.end;
+      } else if (iv.end > cover_end) {
+        busy += iv.end - cover_end;
+        cover_end = iv.end;
+      }
+    }
+    if (rank >= 0) {
+      t.per_rank.push_back(RankBusy{rank, busy});
+      t.critical_path_us = std::max(t.critical_path_us, busy);
+    }
+  }
+
+  // The writer's own metadata record is authoritative for totals.
+  if (const JsonValue* meta = doc.find("metadata"); meta != nullptr) {
+    t.events = meta->uint_at("events", x_events);
+    t.dropped = meta->uint_at("dropped");
+  } else {
+    t.events = x_events;
+  }
+  return t;
+}
+
+void analyze_trace(const TraceSummary& t, std::vector<Finding>& out) {
+  if (t.dropped != 0) {
+    out.push_back(Finding{
+        "trace-dropped", Severity::kError, static_cast<double>(t.dropped),
+        format("%llu trace event(s) dropped (ring full) - the trace is "
+               "truncated",
+               static_cast<unsigned long long>(t.dropped))});
+  }
+  if (t.per_rank.size() >= 2) {
+    std::vector<double> busy;
+    std::vector<int> ids;
+    for (const RankBusy& rb : t.per_rank) {
+      busy.push_back(rb.busy_us);
+      ids.push_back(rb.rank);
+    }
+    const ImbalanceStat s = imbalance(busy, ids);
+    out.push_back(Finding{
+        "rank-busy-imbalance", severity_for_ratio(s.ratio), s.ratio,
+        format("rank %d is busy %.1fx the mean (%.1f ms vs %.1f ms) - it "
+               "is the straggler on the critical path",
+               s.argmax, s.ratio, s.max / 1000.0, s.mean / 1000.0)});
+  }
+  if (t.events != 0 && !t.longest_name.empty()) {
+    out.push_back(Finding{
+        "critical-path", Severity::kInfo, t.critical_path_us / 1000.0,
+        format("critical path %.1f ms; longest span \"%s\" %.1f ms on "
+               "rank %d",
+               t.critical_path_us / 1000.0, t.longest_name.c_str(),
+               t.longest_dur_us / 1000.0, t.longest_rank)});
+  }
+}
+
+void analyze_series(const JsonValue& doc, std::vector<Finding>& out,
+                    std::size_t min_stall_samples) {
+  const JsonValue* samples = doc.find("samples");
+  if (samples == nullptr || !samples->is_array() ||
+      samples->array.size() < 2) {
+    return;
+  }
+
+  // Total byte movement per sample: any counter whose name mentions
+  // "bytes" (core.bytes_read, pfs.bytes_written, mpio.bytes_read, ...).
+  std::vector<double> activity;
+  std::vector<double> t_us;
+  activity.reserve(samples->array.size());
+  for (const JsonValue& s : samples->array) {
+    double total = 0.0;
+    if (const JsonValue* counters = s.find("counters");
+        counters != nullptr && counters->is_object()) {
+      for (const auto& [name, v] : counters->object) {
+        if (name.find("bytes") != std::string::npos) total += v.as_number();
+      }
+    }
+    activity.push_back(total);
+    t_us.push_back(s.number_at("t_us"));
+  }
+
+  // Longest run of zero-delta samples with activity resuming afterwards.
+  std::size_t best_len = 0;
+  std::size_t best_end = 0;
+  std::size_t run = 0;
+  for (std::size_t i = 1; i < activity.size(); ++i) {
+    if (activity[i] - activity[i - 1] <= 0.0) {
+      ++run;
+    } else {
+      if (run > best_len) {
+        best_len = run;
+        best_end = i - 1;
+      }
+      run = 0;
+    }
+  }
+  if (best_len >= min_stall_samples) {
+    const double stall_ms =
+        (t_us[best_end] - t_us[best_end - best_len]) / 1000.0;
+    out.push_back(Finding{
+        "io-stall", Severity::kWarn, static_cast<double>(best_len),
+        format("I/O stalled for %zu consecutive samples (~%.1f ms) before "
+               "resuming - possible flush stall or lost overlap",
+               best_len, stall_ms)});
+  }
+  out.push_back(Finding{
+      "series", Severity::kInfo, static_cast<double>(samples->array.size()),
+      format("time series: %zu samples spanning %.1f ms",
+             samples->array.size(), (t_us.back() - t_us.front()) / 1000.0)});
+}
+
+}  // namespace drx::obs::analysis

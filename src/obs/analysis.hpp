@@ -1,0 +1,138 @@
+// Pure analysis functions over observability artifacts: metrics
+// snapshots, access-profile heatmaps (obs/profile.hpp), trace JSON, and
+// sampled time series. Each detector appends Findings; drx_doctor is a
+// thin CLI over this header, and tests drive the detectors directly on
+// synthetic inputs.
+//
+// The detectors encode the paper's performance story: balanced zone
+// partitions (rank imbalance), even striping (hot pfs servers), two-phase
+// aggregation that actually amortizes (aggregator skew), and a cache/
+// read-ahead pipeline that overlaps instead of thrashing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "util/error.hpp"
+
+namespace drx::obs {
+class JsonWriter;
+struct JsonValue;
+}  // namespace drx::obs
+
+namespace drx::obs::analysis {
+
+// ---- findings -------------------------------------------------------------
+
+enum class Severity : std::uint8_t { kInfo = 0, kWarn = 1, kError = 2 };
+
+[[nodiscard]] std::string_view severity_name(Severity s);
+
+struct Finding {
+  std::string id;        ///< stable kebab-case detector id
+  Severity severity = Severity::kInfo;
+  double score = 0.0;    ///< detector magnitude (ratio, fraction, count)
+  std::string message;   ///< one human-readable sentence
+};
+
+struct Report {
+  std::vector<Finding> findings;
+};
+
+[[nodiscard]] std::size_t count_severity(const Report& r, Severity s);
+[[nodiscard]] bool has_errors(const Report& r);
+
+[[nodiscard]] std::string report_to_text(const Report& r);
+
+/// Emits {"format":"drx-doctor", ...} into a writer position expecting a
+/// value (strict JSON, validated in tests with obs::json_validate).
+void report_to_json(const Report& r, JsonWriter& w);
+
+// ---- imbalance math -------------------------------------------------------
+
+/// max/mean skew over a per-entity load vector. `ids` (optional, parallel
+/// to `values`) names the argmax entity; otherwise argmax is the index.
+struct ImbalanceStat {
+  std::size_t n = 0;
+  double max = 0.0;
+  double mean = 0.0;
+  double ratio = 1.0;  ///< max/mean; 1.0 = perfectly balanced
+  int argmax = -1;
+};
+
+[[nodiscard]] ImbalanceStat imbalance(std::span<const double> values,
+                                      std::span<const int> ids = {});
+
+/// Imbalance thresholds shared by all skew detectors.
+inline constexpr double kWarnRatio = 1.5;
+inline constexpr double kErrorRatio = 4.0;
+
+// ---- profile detectors ----------------------------------------------------
+
+/// Per-rank chunk-traffic bytes (heatmap rows summed; host rank -1
+/// excluded — it is not a zone owner). Ranks in p.ranks that recorded no
+/// traffic count as zero load: an idle participant IS the skew.
+[[nodiscard]] ImbalanceStat rank_chunk_imbalance(const ProfileSnapshot& p);
+
+/// Per-rank pfs bytes ("rank 3 does 2.4x mean pfs bytes").
+[[nodiscard]] ImbalanceStat rank_pfs_imbalance(const ProfileSnapshot& p);
+
+/// Per-server pfs bytes (hot server / striping imbalance).
+[[nodiscard]] ImbalanceStat pfs_server_imbalance(const ProfileSnapshot& p);
+
+/// Per-rank aggregator device-access bytes (two-phase skew).
+[[nodiscard]] ImbalanceStat aggregator_imbalance(const ProfileSnapshot& p);
+
+/// Runs every profile detector. Imbalance findings are always emitted
+/// (info when balanced) so balanced and skewed runs are comparable.
+void analyze_profile(const ProfileSnapshot& p, std::vector<Finding>& out);
+
+// ---- metrics detectors ----------------------------------------------------
+
+/// Cache thrash, prefetch effectiveness (issued vs useful vs wasted), and
+/// dropped trace events, from plain counters.
+void analyze_metrics(const MetricsSnapshot& snap, std::vector<Finding>& out);
+
+/// Rebuilds a (counter + histogram count/sum) snapshot from the JSON
+/// rendering metrics_to_json produces — the form embedded in bench
+/// reports, which drx_doctor ingests.
+[[nodiscard]] MetricsSnapshot metrics_from_json(const JsonValue& doc);
+
+// ---- trace analysis -------------------------------------------------------
+
+struct RankBusy {
+  int rank = -1;
+  double busy_us = 0.0;  ///< union of span intervals (critical path length)
+};
+
+struct TraceSummary {
+  std::uint64_t events = 0;
+  std::uint64_t dropped = 0;
+  std::vector<RankBusy> per_rank;  ///< simulated ranks only (rank >= 0)
+  double critical_path_us = 0.0;   ///< max per-rank busy: the straggler
+  std::string longest_name;        ///< single longest span
+  double longest_dur_us = 0.0;
+  int longest_rank = -1;
+};
+
+/// Digests a parsed Trace Event Format document (as written by
+/// obs::write_trace). Per-rank busy time is the union of that rank's span
+/// intervals, so nested spans do not double-count.
+[[nodiscard]] Result<TraceSummary> summarize_trace(const JsonValue& doc);
+
+void analyze_trace(const TraceSummary& t, std::vector<Finding>& out);
+
+// ---- time-series analysis -------------------------------------------------
+
+/// Detects I/O stalls in a "drx-series" document: >= `min_stall_samples`
+/// consecutive samples with zero byte-counter movement while activity
+/// resumes later (flush stalls, lost overlap).
+void analyze_series(const JsonValue& doc, std::vector<Finding>& out,
+                    std::size_t min_stall_samples = 3);
+
+}  // namespace drx::obs::analysis

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "util/error.hpp"
 
@@ -295,6 +296,273 @@ bool json_validate(std::string_view text) {
   if (!p.value()) return false;
   p.skip_ws();
   return p.eof();
+}
+
+// ---- DOM parsing ----------------------------------------------------------
+
+namespace {
+
+void append_utf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+/// Same grammar as the validating Parser, but builds JsonValues. Kept as
+/// a separate walker so the hot validation path stays allocation-free.
+struct DomParser {
+  std::string_view s;
+  std::size_t pos = 0;
+  int depth = 0;
+  static constexpr int kMaxDepth = 256;
+
+  [[nodiscard]] bool eof() const { return pos >= s.size(); }
+  [[nodiscard]] char peek() const { return s[pos]; }
+
+  void skip_ws() {
+    while (!eof() && (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                      s[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool literal(std::string_view lit) {
+    if (s.substr(pos, lit.size()) != lit) return false;
+    pos += lit.size();
+    return true;
+  }
+
+  bool hex4(std::uint32_t& out) {
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (eof()) return false;
+      const char c = s[pos++];
+      std::uint32_t d = 0;
+      if (c >= '0' && c <= '9') {
+        d = static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        d = static_cast<std::uint32_t>(c - 'a') + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        d = static_cast<std::uint32_t>(c - 'A') + 10;
+      } else {
+        return false;
+      }
+      out = out * 16 + d;
+    }
+    return true;
+  }
+
+  bool string(std::string& out) {
+    out.clear();
+    if (eof() || s[pos] != '"') return false;
+    ++pos;
+    while (!eof()) {
+      const char c = s[pos];
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        ++pos;
+        continue;
+      }
+      ++pos;
+      if (eof()) return false;
+      const char e = s[pos++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!hex4(cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (!literal("\\u")) return false;
+            std::uint32_t lo = 0;
+            if (!hex4(lo) || lo < 0xDC00 || lo > 0xDFFF) return false;
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return false;  // unpaired low surrogate
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;
+  }
+
+  bool number(double& out) {
+    const std::size_t start = pos;
+    if (!eof() && s[pos] == '-') ++pos;
+    if (eof() || std::isdigit(static_cast<unsigned char>(s[pos])) == 0)
+      return false;
+    if (s[pos] == '0') {
+      ++pos;
+    } else {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(s[pos])) != 0)
+        ++pos;
+    }
+    if (!eof() && s[pos] == '.') {
+      ++pos;
+      if (eof() || std::isdigit(static_cast<unsigned char>(s[pos])) == 0)
+        return false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(s[pos])) != 0)
+        ++pos;
+    }
+    if (!eof() && (s[pos] == 'e' || s[pos] == 'E')) {
+      ++pos;
+      if (!eof() && (s[pos] == '+' || s[pos] == '-')) ++pos;
+      if (eof() || std::isdigit(static_cast<unsigned char>(s[pos])) == 0)
+        return false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(s[pos])) != 0)
+        ++pos;
+    }
+    // The slice is a valid JSON number, which strtod always accepts.
+    out = std::strtod(std::string(s.substr(start, pos - start)).c_str(),
+                      nullptr);
+    return true;
+  }
+
+  bool value(JsonValue& out) {
+    if (++depth > kMaxDepth) return false;
+    skip_ws();
+    if (eof()) return false;
+    bool ok = false;
+    switch (peek()) {
+      case '{': ok = object(out); break;
+      case '[': ok = array(out); break;
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        ok = string(out.string);
+        break;
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        ok = literal("true");
+        break;
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        ok = literal("false");
+        break;
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        ok = literal("null");
+        break;
+      default:
+        out.kind = JsonValue::Kind::kNumber;
+        ok = number(out.number);
+        break;
+    }
+    --depth;
+    return ok;
+  }
+
+  bool object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(key)) return false;
+      skip_ws();
+      if (eof() || peek() != ':') return false;
+      ++pos;
+      JsonValue member;
+      if (!value(member)) return false;
+      out.object.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (eof()) return false;
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      if (!value(element)) return false;
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (eof()) return false;
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos;
+        return true;
+      }
+      return false;
+    }
+  }
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Result<JsonValue> json_parse(std::string_view text) {
+  DomParser p{text};
+  JsonValue root;
+  if (!p.value(root)) {
+    return Status(ErrorCode::kCorrupt,
+                  "malformed JSON at byte " + std::to_string(p.pos));
+  }
+  p.skip_ws();
+  if (!p.eof()) {
+    return Status(ErrorCode::kCorrupt,
+                  "trailing garbage after JSON document at byte " +
+                      std::to_string(p.pos));
+  }
+  return root;
 }
 
 }  // namespace drx::obs

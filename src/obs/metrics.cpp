@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "obs/json.hpp"
+#include "obs/profile.hpp"
 #include "util/logging.hpp"
 #include "util/serde.hpp"
 
@@ -65,6 +66,25 @@ std::uint64_t now_ns() {
 
 thread_local Registry* tls_registry = nullptr;
 thread_local int tls_rank = -1;
+
+/// Rank registries currently installed by live RankScopes, so a sampler
+/// thread can see in-flight rank increments before they fold. A scope
+/// unregisters *before* merging into its parent: a concurrent
+/// live_snapshot may transiently undercount (monotonically recovered by
+/// the next sample) but never double-counts.
+std::mutex g_live_mu;
+std::vector<const Registry*> g_live_registries;
+
+void register_live(const Registry* reg) {
+  std::lock_guard<std::mutex> lock(g_live_mu);
+  g_live_registries.push_back(reg);
+}
+
+void unregister_live(const Registry* reg) {
+  std::lock_guard<std::mutex> lock(g_live_mu);
+  auto it = std::find(g_live_registries.begin(), g_live_registries.end(), reg);
+  if (it != g_live_registries.end()) g_live_registries.erase(it);
+}
 
 std::mutex g_aggregated_mu;
 MetricsSnapshot g_aggregated;
@@ -293,13 +313,27 @@ Registry& registry() noexcept {
 
 int current_rank() noexcept { return tls_rank; }
 
+MetricsSnapshot live_snapshot() {
+  MetricsSnapshot snap = process_registry().snapshot();
+  std::lock_guard<std::mutex> lock(g_live_mu);
+  for (const Registry* reg : g_live_registries) {
+    snap.merge(reg->snapshot());
+  }
+  return snap;
+}
+
 RankScope::RankScope(int rank)
     : prev_registry_(tls_registry), prev_rank_(tls_rank) {
   tls_registry = &registry_;
   tls_rank = rank;
+  register_live(&registry_);
+  // Idle ranks must still appear in access profiles: zero traffic from a
+  // participant is the signal the imbalance detectors exist to catch.
+  profile_rank(rank);
 }
 
 RankScope::~RankScope() {
+  unregister_live(&registry_);
   tls_registry = prev_registry_;
   tls_rank = prev_rank_;
   registry_.merge_into(registry());
@@ -311,6 +345,44 @@ ScopedTimer::ScopedTimer(MetricId hist_id) noexcept
 ScopedTimer::~ScopedTimer() {
   const std::uint64_t elapsed_us = (now_ns() - start_ns_) / 1000;
   registry().histogram(id_).observe(elapsed_us);
+}
+
+namespace {
+
+/// Largest value a log2 bucket can hold: bucket i counts values with
+/// bit_width == i, so its range is [2^(i-1), 2^i - 1] (bucket 0 holds 0).
+std::uint64_t bucket_upper_bound(std::size_t i) {
+  if (i == 0) return 0;
+  if (i >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << i) - 1;
+}
+
+}  // namespace
+
+HistogramSummary summarize_histogram(const HistogramSample& h) {
+  HistogramSummary s;
+  s.count = h.count;
+  if (h.count == 0) return s;
+  s.mean = static_cast<double>(h.sum) / static_cast<double>(h.count);
+  const auto quantile = [&](double q) {
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(h.count) + 0.5);
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      cum += h.buckets[b];
+      if (cum >= target && cum != 0) return bucket_upper_bound(b);
+    }
+    return bucket_upper_bound(kHistogramBuckets - 1);
+  };
+  s.p50 = quantile(0.50);
+  s.p95 = quantile(0.95);
+  for (std::size_t b = kHistogramBuckets; b-- > 0;) {
+    if (h.buckets[b] != 0) {
+      s.max = bucket_upper_bound(b);
+      break;
+    }
+  }
+  return s;
 }
 
 std::string metrics_to_text(const MetricsSnapshot& snap) {
@@ -331,13 +403,16 @@ std::string metrics_to_text(const MetricsSnapshot& snap) {
   }
   out += "histograms:\n";
   for (const HistogramSample& h : snap.histograms) {
-    const double mean =
-        h.count == 0 ? 0.0
-                     : static_cast<double>(h.sum) / static_cast<double>(h.count);
-    std::snprintf(buf, sizeof(buf), "  %-*s count=%llu sum=%llu mean=%.1f\n",
+    const HistogramSummary s = summarize_histogram(h);
+    std::snprintf(buf, sizeof(buf),
+                  "  %-*s count=%llu sum=%llu mean=%.1f p50<=%llu p95<=%llu "
+                  "max<=%llu\n",
                   static_cast<int>(width), h.name.c_str(),
                   static_cast<unsigned long long>(h.count),
-                  static_cast<unsigned long long>(h.sum), mean);
+                  static_cast<unsigned long long>(h.sum), s.mean,
+                  static_cast<unsigned long long>(s.p50),
+                  static_cast<unsigned long long>(s.p95),
+                  static_cast<unsigned long long>(s.max));
     out += buf;
   }
   return out;
@@ -352,9 +427,13 @@ void metrics_to_json(const MetricsSnapshot& snap, JsonWriter& w) {
   w.end_object();
   w.key("histograms").begin_object();
   for (const HistogramSample& h : snap.histograms) {
+    const HistogramSummary s = summarize_histogram(h);
     w.key(h.name).begin_object();
     w.key("count").value(h.count);
     w.key("sum").value(h.sum);
+    w.key("p50").value(s.p50);
+    w.key("p95").value(s.p95);
+    w.key("max").value(s.max);
     w.key("buckets").begin_array();
     // Trailing zero buckets are elided to keep reports small.
     std::size_t last = kHistogramBuckets;

@@ -145,6 +145,11 @@ Registry& registry() noexcept;
 /// The whole-process registry (rank registries fold into it on exit).
 Registry& process_registry() noexcept;
 
+/// Live whole-process view: the process registry merged with every rank
+/// registry currently installed by a RankScope. This is what a sampler
+/// thread reads mid-run, when rank totals have not folded yet.
+[[nodiscard]] MetricsSnapshot live_snapshot();
+
 /// Simulated rank of the calling thread, or -1 outside any RankScope.
 int current_rank() noexcept;
 
@@ -178,6 +183,22 @@ class ScopedTimer {
   MetricId id_;
   std::uint64_t start_ns_;
 };
+
+// ---- derived statistics ---------------------------------------------------
+
+/// Quantiles derived from the log2 buckets. A quantile is reported as the
+/// upper bound of the bucket it falls in (2^i - 1), i.e. within 2x of the
+/// true value — the right resolution for byte sizes and latencies that
+/// span decades.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p95 = 0;
+  std::uint64_t max = 0;  ///< upper bound of the highest occupied bucket
+};
+
+[[nodiscard]] HistogramSummary summarize_histogram(const HistogramSample& h);
 
 // ---- rendering & cross-run plumbing ---------------------------------------
 

@@ -1,0 +1,275 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
+
+namespace drx::obs {
+
+namespace detail {
+std::atomic<bool> g_profile_enabled{false};
+}  // namespace detail
+
+namespace {
+
+struct ChunkCounts {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct PfsCounts {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct AggCounts {
+  std::uint64_t runs = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// All tables behind one mutex: profiling is opt-in, and a std::map keyed
+/// by (rank, key) gives deterministic dump order for free. The leaf lock
+/// of the whole obs layer — callers may hold cache or pfs server locks.
+struct ProfileState {
+  std::mutex mu;
+  std::string path;
+  std::set<int> ranks;  ///< participants (RankScope), traffic or not
+  std::map<std::pair<int, std::uint64_t>, ChunkCounts> chunk;
+  std::map<std::pair<int, std::uint32_t>, PfsCounts> pfs;
+  std::map<int, AggCounts> aggregator;
+};
+
+ProfileState& state() {
+  static ProfileState* s = new ProfileState;  // leaked: used from atexit
+  return *s;
+}
+
+void flush_profile_at_exit() {
+  const Status s = flush_profile();
+  if (!s.is_ok()) {
+    std::fprintf(stderr, "[drx E] DRX_PROFILE flush failed: %s\n",
+                 s.message().c_str());
+  }
+}
+
+/// Reads DRX_PROFILE once at startup; set_profile_path can override later.
+struct EnvInit {
+  EnvInit() {
+    const char* env = std::getenv("DRX_PROFILE");
+    if (env != nullptr && env[0] != '\0') {
+      state().path = env;
+      detail::g_profile_enabled.store(true, std::memory_order_relaxed);
+      std::atexit(flush_profile_at_exit);
+    }
+  }
+};
+EnvInit g_env_init;
+
+}  // namespace
+
+namespace detail {
+
+void profile_chunk_slow(int op, std::uint64_t address, std::uint64_t bytes) {
+  const int rank = current_rank();
+  ProfileState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  ChunkCounts& cell = s.chunk[{rank, address}];
+  switch (static_cast<ChunkOp>(op)) {
+    case ChunkOp::kRead: ++cell.reads; break;
+    case ChunkOp::kWrite: ++cell.writes; break;
+    case ChunkOp::kCacheMiss: ++cell.misses; break;
+  }
+  cell.bytes += bytes;
+}
+
+void profile_pfs_slow(bool write, std::uint32_t server, std::uint64_t bytes) {
+  const int rank = current_rank();
+  ProfileState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  PfsCounts& cell = s.pfs[{rank, server}];
+  if (write) {
+    ++cell.writes;
+  } else {
+    ++cell.reads;
+  }
+  cell.bytes += bytes;
+}
+
+void profile_aggregator_slow(int rank, std::uint64_t runs,
+                             std::uint64_t bytes) {
+  ProfileState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  AggCounts& cell = s.aggregator[rank];
+  cell.runs += runs;
+  cell.bytes += bytes;
+}
+
+void profile_rank_slow(int rank) {
+  if (rank < 0) return;  // the host thread is not a participant
+  ProfileState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.ranks.insert(rank);
+}
+
+}  // namespace detail
+
+void set_profile_path(const std::string& path) {
+  ProfileState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.path = path;
+  detail::g_profile_enabled.store(!path.empty(), std::memory_order_relaxed);
+}
+
+std::string profile_path() {
+  ProfileState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.path;
+}
+
+ProfileSnapshot profile_snapshot() {
+  ProfileSnapshot snap;
+  ProfileState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  snap.ranks.assign(s.ranks.begin(), s.ranks.end());
+  snap.chunk.reserve(s.chunk.size());
+  for (const auto& [key, c] : s.chunk) {
+    snap.chunk.push_back(ChunkCell{key.first, key.second, c.reads, c.writes,
+                                   c.misses, c.bytes});
+  }
+  snap.pfs.reserve(s.pfs.size());
+  for (const auto& [key, c] : s.pfs) {
+    snap.pfs.push_back(
+        PfsCell{key.first, key.second, c.reads, c.writes, c.bytes});
+  }
+  snap.aggregator.reserve(s.aggregator.size());
+  for (const auto& [rank, c] : s.aggregator) {
+    snap.aggregator.push_back(AggCell{rank, c.runs, c.bytes});
+  }
+  return snap;
+}
+
+void clear_profile() {
+  ProfileState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.ranks.clear();
+  s.chunk.clear();
+  s.pfs.clear();
+  s.aggregator.clear();
+}
+
+void profile_to_json(const ProfileSnapshot& snap, JsonWriter& w) {
+  w.begin_object();
+  w.key("format").value("drx-profile");
+  w.key("version").value(std::uint64_t{1});
+  w.key("ranks").begin_array();
+  for (int r : snap.ranks) w.value(r);
+  w.end_array();
+  w.key("chunk").begin_array();
+  for (const ChunkCell& c : snap.chunk) {
+    w.begin_object();
+    w.key("rank").value(c.rank);
+    w.key("address").value(c.address);
+    w.key("reads").value(c.reads);
+    w.key("writes").value(c.writes);
+    w.key("misses").value(c.misses);
+    w.key("bytes").value(c.bytes);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("pfs").begin_array();
+  for (const PfsCell& c : snap.pfs) {
+    w.begin_object();
+    w.key("rank").value(c.rank);
+    w.key("server").value(static_cast<std::uint64_t>(c.server));
+    w.key("reads").value(c.reads);
+    w.key("writes").value(c.writes);
+    w.key("bytes").value(c.bytes);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("aggregator").begin_array();
+  for (const AggCell& c : snap.aggregator) {
+    w.begin_object();
+    w.key("rank").value(c.rank);
+    w.key("runs").value(c.runs);
+    w.key("bytes").value(c.bytes);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+Result<ProfileSnapshot> profile_from_json(std::string_view text) {
+  DRX_ASSIGN_OR_RETURN(JsonValue doc, json_parse(text));
+  if (doc.find("format") == nullptr ||
+      doc.find("format")->as_string() != "drx-profile") {
+    return Status(ErrorCode::kCorrupt, "not a drx-profile document");
+  }
+  if (doc.uint_at("version") != 1) {
+    return Status(ErrorCode::kUnsupported, "unknown drx-profile version");
+  }
+  ProfileSnapshot snap;
+  if (const JsonValue* arr = doc.find("ranks"); arr != nullptr) {
+    for (const JsonValue& e : arr->array) {
+      snap.ranks.push_back(static_cast<int>(e.as_int()));
+    }
+  }
+  if (const JsonValue* arr = doc.find("chunk"); arr != nullptr) {
+    for (const JsonValue& e : arr->array) {
+      snap.chunk.push_back(ChunkCell{
+          static_cast<int>(e.number_at("rank", -1)), e.uint_at("address"),
+          e.uint_at("reads"), e.uint_at("writes"), e.uint_at("misses"),
+          e.uint_at("bytes")});
+    }
+  }
+  if (const JsonValue* arr = doc.find("pfs"); arr != nullptr) {
+    for (const JsonValue& e : arr->array) {
+      snap.pfs.push_back(
+          PfsCell{static_cast<int>(e.number_at("rank", -1)),
+                  static_cast<std::uint32_t>(e.uint_at("server")),
+                  e.uint_at("reads"), e.uint_at("writes"), e.uint_at("bytes")});
+    }
+  }
+  if (const JsonValue* arr = doc.find("aggregator"); arr != nullptr) {
+    for (const JsonValue& e : arr->array) {
+      snap.aggregator.push_back(
+          AggCell{static_cast<int>(e.number_at("rank", -1)),
+                  e.uint_at("runs"), e.uint_at("bytes")});
+    }
+  }
+  return snap;
+}
+
+Status write_profile(const std::string& path) {
+  JsonWriter w;
+  profile_to_json(profile_snapshot(), w);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status(ErrorCode::kIoError, "cannot open profile file: " + path);
+  }
+  out << w.str() << "\n";
+  if (!out.good()) {
+    return Status(ErrorCode::kIoError, "short write to profile file: " + path);
+  }
+  DRX_LOG_INFO << "wrote access profile to " << path;
+  return Status::ok();
+}
+
+Status flush_profile() {
+  const std::string path = profile_path();
+  if (path.empty()) return Status::ok();
+  return write_profile(path);
+}
+
+}  // namespace drx::obs

@@ -1,0 +1,141 @@
+// Access profiling: sparse per-rank heatmaps over the chunk grid plus
+// per-pfs-server and per-aggregator traffic tables (ROADMAP: the layer
+// that shows *where* zone traffic lands, not just how much of it there
+// was — the paper's balanced-partitioning story made observable).
+//
+// Profiling is off unless DRX_PROFILE=<path> is set (or a test installs a
+// path via set_profile_path). When off, every record call is a single
+// relaxed-atomic-bool branch — no locks, no allocation — so the hooks can
+// stay in ChunkCache / DrxFile / drxmp / mpio / pfs hot paths permanently.
+//
+// Cells are sparse-binned: only (rank, chunk-address) pairs that saw
+// traffic occupy memory, so extendible growth of the array never costs
+// anything here. The JSON dump written at exit is parseable back with
+// profile_from_json (drx_doctor's input path).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace drx::obs {
+
+class JsonWriter;
+
+namespace detail {
+extern std::atomic<bool> g_profile_enabled;
+void profile_chunk_slow(int op, std::uint64_t address, std::uint64_t bytes);
+void profile_pfs_slow(bool write, std::uint32_t server, std::uint64_t bytes);
+void profile_aggregator_slow(int rank, std::uint64_t runs,
+                             std::uint64_t bytes);
+void profile_rank_slow(int rank);
+}  // namespace detail
+
+/// True iff accesses are being recorded. The one branch on the fast path.
+inline bool profile_enabled() noexcept {
+  return detail::g_profile_enabled.load(std::memory_order_relaxed);
+}
+
+/// What happened to a chunk (the three heatmap layers).
+enum class ChunkOp : std::uint8_t { kRead = 0, kWrite = 1, kCacheMiss = 2 };
+
+/// Records one chunk access attributed to the calling thread's rank
+/// (obs::current_rank(); -1 = host). `bytes` may be 0 for cache misses.
+inline void profile_chunk(ChunkOp op, std::uint64_t address,
+                          std::uint64_t bytes) noexcept {
+  if (!profile_enabled()) return;
+  detail::profile_chunk_slow(static_cast<int>(op), address, bytes);
+}
+
+/// Records one pfs server request attributed to the calling rank.
+inline void profile_pfs(bool write, std::uint32_t server,
+                        std::uint64_t bytes) noexcept {
+  if (!profile_enabled()) return;
+  detail::profile_pfs_slow(write, server, bytes);
+}
+
+/// Records aggregator device-access work done on behalf of `rank` (passed
+/// explicitly: mpio runs may execute on pool threads outside RankScope).
+inline void profile_aggregator(int rank, std::uint64_t runs,
+                               std::uint64_t bytes) noexcept {
+  if (!profile_enabled()) return;
+  detail::profile_aggregator_slow(rank, runs, bytes);
+}
+
+/// Registers `rank` as a participant of the run (called by RankScope).
+/// Ranks that then record no traffic still show up in the snapshot, so
+/// the imbalance detectors see their zero load — an idle rank IS the
+/// skew, not a missing sample.
+inline void profile_rank(int rank) noexcept {
+  if (!profile_enabled()) return;
+  detail::profile_rank_slow(rank);
+}
+
+// ---- snapshotting & serialization -----------------------------------------
+
+/// One (rank, chunk address) heatmap cell.
+struct ChunkCell {
+  int rank = -1;
+  std::uint64_t address = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// One (rank, pfs server) traffic cell.
+struct PfsCell {
+  int rank = -1;
+  std::uint32_t server = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Aggregated device-access work performed by one rank's aggregator.
+struct AggCell {
+  int rank = -1;
+  std::uint64_t runs = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Point-in-time copy of the profile tables, sorted by (rank, key).
+struct ProfileSnapshot {
+  std::vector<int> ranks;  ///< participating ranks (ascending), incl. idle
+  std::vector<ChunkCell> chunk;
+  std::vector<PfsCell> pfs;
+  std::vector<AggCell> aggregator;
+
+  [[nodiscard]] bool empty() const {
+    return chunk.empty() && pfs.empty() && aggregator.empty();
+  }
+};
+
+/// Overrides the output path (test hook; DRX_PROFILE is read once at
+/// startup). A non-empty path enables recording; empty disables.
+void set_profile_path(const std::string& path);
+[[nodiscard]] std::string profile_path();
+
+[[nodiscard]] ProfileSnapshot profile_snapshot();
+
+/// Drops all recorded cells (test isolation).
+void clear_profile();
+
+/// Emits the snapshot as one JSON object (format "drx-profile" v1) into a
+/// writer position expecting a value.
+void profile_to_json(const ProfileSnapshot& snap, JsonWriter& w);
+
+/// Parses a document produced by profile_to_json (drx_doctor ingestion).
+[[nodiscard]] Result<ProfileSnapshot> profile_from_json(std::string_view text);
+
+/// Writes the current snapshot as JSON to `path`.
+Status write_profile(const std::string& path);
+
+/// write_profile() to the configured path (no-op status if none).
+Status flush_profile();
+
+}  // namespace drx::obs

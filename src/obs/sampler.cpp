@@ -1,0 +1,189 @@
+#include "obs/sampler.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
+
+namespace drx::obs {
+
+SampleRing::SampleRing(std::size_t capacity) : slots_(capacity) {
+  DRX_CHECK(capacity >= 1);
+}
+
+void SampleRing::push(Sample s) {
+  slots_[head_] = std::move(s);
+  head_ = (head_ + 1) % slots_.size();
+  if (size_ < slots_.size()) ++size_;
+  ++pushed_;
+}
+
+std::vector<Sample> SampleRing::ordered() const {
+  std::vector<Sample> out;
+  out.reserve(size_);
+  // Oldest sample sits at head_ once the ring has wrapped.
+  const std::size_t start = size_ == slots_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(slots_[(start + i) % slots_.size()]);
+  }
+  return out;
+}
+
+namespace {
+
+/// Sampler thread state. The condition variable (not sleep) makes
+/// stop_sampler prompt, so tests with 1 ms intervals do not linger.
+struct SamplerState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::unique_ptr<SampleRing> ring;
+  std::thread worker;
+  bool running = false;
+  bool stop_requested = false;
+};
+
+SamplerState& state() {
+  static SamplerState* s = new SamplerState;  // leaked: used from atexit
+  return *s;
+}
+
+void take_sample_locked(SamplerState& s) {
+  if (s.ring == nullptr) s.ring = std::make_unique<SampleRing>(
+      kDefaultSeriesCapacity);
+  s.ring->push(Sample{trace_now_ns() / 1000, live_snapshot()});
+}
+
+void sampler_main(std::uint64_t interval_ms) {
+  SamplerState& s = state();
+  std::unique_lock<std::mutex> lock(s.mu);
+  while (!s.stop_requested) {
+    // Sample first so even one interval's worth of run gets a point;
+    // live_snapshot only takes shared locks, so holding mu here cannot
+    // deadlock against metric writers.
+    take_sample_locked(s);
+    s.cv.wait_for(lock,
+                  std::chrono::milliseconds(
+                      static_cast<std::int64_t>(interval_ms)),
+                  [&] { return s.stop_requested; });
+  }
+}
+
+void stop_and_dump_at_exit() {
+  stop_sampler();
+  const char* path = std::getenv("DRX_STATS_SERIES");
+  const std::string out =
+      (path != nullptr && path[0] != '\0') ? path : "drx_series.json";
+  const Status st = write_series(out);
+  if (!st.is_ok()) {
+    std::fprintf(stderr, "[drx E] DRX_STATS_INTERVAL series dump failed: %s\n",
+                 st.message().c_str());
+  }
+}
+
+/// Reads DRX_STATS_INTERVAL once at startup.
+struct EnvInit {
+  EnvInit() {
+    const char* env = std::getenv("DRX_STATS_INTERVAL");
+    if (env == nullptr || env[0] == '\0') return;
+    const long ms = std::strtol(env, nullptr, 10);
+    if (ms <= 0) return;
+    start_sampler(static_cast<std::uint64_t>(ms));
+    std::atexit(stop_and_dump_at_exit);
+  }
+};
+EnvInit g_env_init;
+
+}  // namespace
+
+void start_sampler(std::uint64_t interval_ms, std::size_t capacity) {
+  DRX_CHECK(interval_ms >= 1);
+  stop_sampler();
+  SamplerState& s = state();
+  std::unique_lock<std::mutex> lock(s.mu);
+  s.ring = std::make_unique<SampleRing>(capacity);
+  s.stop_requested = false;
+  s.running = true;
+  s.worker = std::thread(sampler_main, interval_ms);
+}
+
+void stop_sampler() {
+  SamplerState& s = state();
+  std::thread worker;
+  {
+    std::unique_lock<std::mutex> lock(s.mu);
+    if (!s.running) return;
+    s.stop_requested = true;
+    s.running = false;
+    worker = std::move(s.worker);
+  }
+  s.cv.notify_all();
+  if (worker.joinable()) worker.join();
+}
+
+bool sampler_running() {
+  SamplerState& s = state();
+  std::unique_lock<std::mutex> lock(s.mu);
+  return s.running;
+}
+
+void sampler_sample_now() {
+  SamplerState& s = state();
+  std::unique_lock<std::mutex> lock(s.mu);
+  take_sample_locked(s);
+}
+
+std::vector<Sample> sampler_series() {
+  SamplerState& s = state();
+  std::unique_lock<std::mutex> lock(s.mu);
+  return s.ring != nullptr ? s.ring->ordered() : std::vector<Sample>{};
+}
+
+void clear_sampler_series() {
+  SamplerState& s = state();
+  std::unique_lock<std::mutex> lock(s.mu);
+  s.ring.reset();
+}
+
+void series_to_json(const std::vector<Sample>& series, JsonWriter& w) {
+  w.begin_object();
+  w.key("format").value("drx-series");
+  w.key("version").value(std::uint64_t{1});
+  w.key("samples").begin_array();
+  for (const Sample& s : series) {
+    w.begin_object();
+    w.key("t_us").value(s.t_us);
+    w.key("counters").begin_object();
+    for (const CounterSample& c : s.metrics.counters) {
+      w.key(c.name).value(c.value);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+Status write_series(const std::string& path) {
+  JsonWriter w;
+  series_to_json(sampler_series(), w);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status(ErrorCode::kIoError, "cannot open series file: " + path);
+  }
+  out << w.str() << "\n";
+  if (!out.good()) {
+    return Status(ErrorCode::kIoError, "short write to series file: " + path);
+  }
+  DRX_LOG_INFO << "wrote metric time series to " << path;
+  return Status::ok();
+}
+
+}  // namespace drx::obs

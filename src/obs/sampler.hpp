@@ -1,0 +1,76 @@
+// Time-series metric sampling: a background thread snapshots the live
+// metrics view (obs::live_snapshot) every DRX_STATS_INTERVAL milliseconds
+// into a fixed-capacity in-memory ring, and the series is dumped as JSON
+// at exit (DRX_STATS_SERIES, default "drx_series.json"). Turns averaged-
+// away transients — read-ahead ramp-up, write-behind flush stalls — into
+// visible rate-over-time curves.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace drx::obs {
+
+class JsonWriter;
+
+/// One timestamped snapshot.
+struct Sample {
+  std::uint64_t t_us = 0;  ///< trace clock (process-relative) microseconds
+  MetricsSnapshot metrics;
+};
+
+/// Fixed-capacity ring of samples; push overwrites the oldest once full.
+class SampleRing {
+ public:
+  explicit SampleRing(std::size_t capacity);
+
+  void push(Sample s);
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  [[nodiscard]] std::uint64_t total_pushed() const { return pushed_; }
+
+  /// Samples oldest-first (at most capacity() of them).
+  [[nodiscard]] std::vector<Sample> ordered() const;
+
+ private:
+  std::vector<Sample> slots_;
+  std::size_t head_ = 0;  ///< next slot to write
+  std::size_t size_ = 0;
+  std::uint64_t pushed_ = 0;
+};
+
+inline constexpr std::size_t kDefaultSeriesCapacity = 4096;
+
+/// Starts the sampler thread (idempotent: restarts with new settings if
+/// already running). `interval_ms` must be >= 1.
+void start_sampler(std::uint64_t interval_ms,
+                   std::size_t capacity = kDefaultSeriesCapacity);
+
+/// Stops and joins the sampler thread; the collected series survives and
+/// stays readable via sampler_series(). Safe when not running.
+void stop_sampler();
+
+[[nodiscard]] bool sampler_running();
+
+/// Takes one sample immediately (works with or without the thread; used
+/// at the end of multi-rank runs so short jobs get a final data point).
+void sampler_sample_now();
+
+/// Copy of the collected series, oldest-first.
+[[nodiscard]] std::vector<Sample> sampler_series();
+
+/// Drops all collected samples (test isolation).
+void clear_sampler_series();
+
+/// Emits the series as one JSON object (format "drx-series" v1): each
+/// sample carries its timestamp and the counter values at that instant.
+void series_to_json(const std::vector<Sample>& series, JsonWriter& w);
+
+/// Writes the current series as JSON to `path`.
+Status write_series(const std::string& path);
+
+}  // namespace drx::obs

@@ -104,6 +104,10 @@ void record_span(const char* name, const char* category, std::uint64_t ts_ns,
   std::lock_guard<std::mutex> lock(s.mu);
   if (s.events.size() >= kMaxEvents) {
     ++s.dropped;
+    // Surfaced as a counter so truncated traces are machine-detectable
+    // (drx_doctor flags any nonzero obs.trace.dropped as an error).
+    static const MetricId kDropped = counter_id("obs.trace.dropped");
+    registry().counter(kDropped).add();
     return;
   }
   s.events.push_back(TraceEvent{name, category, ts_ns, dur_ns, bytes,
@@ -158,7 +162,11 @@ Status write_trace(const std::string& path) {
     }
     out << "}";
   }
-  out << "\n]}\n";
+  // Top-level metadata record: lets tools (drx_doctor) detect a truncated
+  // trace without scanning stderr. Extra top-level keys are legal in the
+  // Trace Event Format's JSON Object form.
+  out << "\n],\"metadata\":{\"events\":" << events.size()
+      << ",\"dropped\":" << dropped << "}}\n";
   if (!out.good()) {
     return Status(ErrorCode::kIoError, "short write to trace file: " + path);
   }

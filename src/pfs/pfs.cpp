@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "util/checked.hpp"
 
@@ -101,6 +102,8 @@ Status FileHandle::read_at(std::uint64_t offset, std::span<std::byte> out) {
   std::vector<std::byte> staging;
   for (const auto& seg : state_->map_range(offset, out.size())) {
     staging.resize(checked_size(seg.length));
+    obs::profile_pfs(/*write=*/false,
+                     static_cast<std::uint32_t>(seg.server), seg.length);
     {
       obs::ScopedSpan seg_span("pfs.server_read", "pfs", seg.length);
       std::lock_guard<std::mutex> lock(state_->servers[seg.server]->mu);
@@ -137,6 +140,8 @@ Status FileHandle::write_at(std::uint64_t offset,
                   checked_size(piece.length));
       run += piece.length;
     }
+    obs::profile_pfs(/*write=*/true,
+                     static_cast<std::uint32_t>(seg.server), seg.length);
     obs::ScopedSpan seg_span("pfs.server_write", "pfs", seg.length);
     std::lock_guard<std::mutex> lock(state_->servers[seg.server]->mu);
     DRX_RETURN_IF_ERROR(

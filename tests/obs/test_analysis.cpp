@@ -1,0 +1,359 @@
+// Detector unit tests (obs/analysis.hpp) on synthetic inputs: imbalance
+// math, profile/metrics/trace/series detectors, and report rendering.
+#include "obs/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+
+namespace drx::obs::analysis {
+namespace {
+
+const Finding* find_by_id(const std::vector<Finding>& fs,
+                          std::string_view id) {
+  for (const Finding& f : fs) {
+    if (f.id == id) return &f;
+  }
+  return nullptr;
+}
+
+TEST(Imbalance, MathAndArgmax) {
+  const double flat[] = {10.0, 10.0, 10.0, 10.0};
+  ImbalanceStat s = imbalance(flat);
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.ratio, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean, 10.0);
+
+  const double skewed[] = {10.0, 10.0, 60.0, 0.0};
+  const int ids[] = {5, 6, 7, 8};
+  s = imbalance(skewed, ids);
+  EXPECT_DOUBLE_EQ(s.max, 60.0);
+  EXPECT_DOUBLE_EQ(s.mean, 20.0);
+  EXPECT_DOUBLE_EQ(s.ratio, 3.0);
+  EXPECT_EQ(s.argmax, 7);  // named by ids, not by index
+
+  EXPECT_EQ(imbalance({}).n, 0u);
+  const double zeros[] = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(imbalance(zeros).ratio, 1.0);  // no load = balanced
+}
+
+ProfileSnapshot skewed_profile() {
+  // Rank 0 moves 4x the chunk bytes of each of ranks 1..3; host rank -1
+  // must be excluded from the reduction.
+  ProfileSnapshot p;
+  p.chunk.push_back(ChunkCell{0, 0, 4, 0, 0, 4000});
+  p.chunk.push_back(ChunkCell{0, 1, 4, 0, 0, 4000});
+  p.chunk.push_back(ChunkCell{1, 2, 1, 0, 0, 2000});
+  p.chunk.push_back(ChunkCell{2, 3, 1, 0, 0, 2000});
+  p.chunk.push_back(ChunkCell{3, 4, 1, 0, 0, 2000});
+  p.chunk.push_back(ChunkCell{-1, 5, 9, 9, 9, 999999});
+  p.pfs.push_back(PfsCell{0, 0, 10, 0, 9000});
+  p.pfs.push_back(PfsCell{1, 1, 10, 0, 1000});
+  p.pfs.push_back(PfsCell{2, 1, 10, 0, 1000});
+  p.pfs.push_back(PfsCell{3, 0, 10, 0, 1000});
+  p.aggregator.push_back(AggCell{0, 4, 8000});
+  p.aggregator.push_back(AggCell{1, 4, 1000});
+  return p;
+}
+
+TEST(ProfileDetectors, RankChunkImbalanceExcludesHost) {
+  const ImbalanceStat s = rank_chunk_imbalance(skewed_profile());
+  EXPECT_EQ(s.n, 4u);  // ranks 0..3; the -1 host cell is ignored
+  EXPECT_EQ(s.argmax, 0);
+  EXPECT_DOUBLE_EQ(s.max, 8000.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3500.0);
+  EXPECT_NEAR(s.ratio, 8000.0 / 3500.0, 1e-12);
+}
+
+TEST(ProfileDetectors, AnalyzeProfileFlagsSkewAndSuggestsCyclic) {
+  std::vector<Finding> fs;
+  analyze_profile(skewed_profile(), fs);
+
+  const Finding* rank = find_by_id(fs, "rank-imbalance");
+  ASSERT_NE(rank, nullptr);
+  EXPECT_EQ(rank->severity, Severity::kWarn);  // 2.29x is >= kWarnRatio
+  EXPECT_NE(rank->message.find("rank 0"), std::string::npos);
+  EXPECT_NE(rank->message.find("BLOCK_CYCLIC"), std::string::npos);
+
+  const Finding* pfs_rank = find_by_id(fs, "pfs-rank-imbalance");
+  ASSERT_NE(pfs_rank, nullptr);
+  EXPECT_EQ(pfs_rank->severity, Severity::kWarn);  // 9000 vs mean 3000 = 3.0x
+  EXPECT_NEAR(pfs_rank->score, 3.0, 1e-12);
+
+  const Finding* server = find_by_id(fs, "pfs-hot-server");
+  ASSERT_NE(server, nullptr);  // server 0: 10000 vs server 1: 2000
+  EXPECT_EQ(server->severity, Severity::kWarn);
+
+  const Finding* agg = find_by_id(fs, "aggregator-skew");
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->severity, Severity::kWarn);
+}
+
+TEST(ProfileDetectors, BalancedProfileStaysInfo) {
+  ProfileSnapshot p;
+  for (int r = 0; r < 4; ++r) {
+    p.chunk.push_back(ChunkCell{r, static_cast<std::uint64_t>(r), 1, 1, 0,
+                                1000});
+  }
+  std::vector<Finding> fs;
+  analyze_profile(p, fs);
+  const Finding* rank = find_by_id(fs, "rank-imbalance");
+  ASSERT_NE(rank, nullptr);  // still emitted, for run-to-run comparison
+  EXPECT_EQ(rank->severity, Severity::kInfo);
+  EXPECT_NEAR(rank->score, 1.0, 1e-12);
+  EXPECT_EQ(rank->message.find("BLOCK_CYCLIC"), std::string::npos);
+}
+
+TEST(ProfileDetectors, IdleParticipantsCountAsZeroLoad) {
+  // Ranks 2 and 3 participated (RankScope) but moved no chunks: the
+  // imbalance must be computed over all four ranks, not the busy two.
+  ProfileSnapshot p;
+  p.ranks = {0, 1, 2, 3};
+  p.chunk.push_back(ChunkCell{0, 0, 0, 4, 0, 1000});
+  p.chunk.push_back(ChunkCell{1, 1, 0, 4, 0, 1000});
+  const ImbalanceStat s = rank_chunk_imbalance(p);
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 500.0);
+  EXPECT_DOUBLE_EQ(s.ratio, 2.0);
+}
+
+TEST(ProfileDetectors, SingleRankEmitsNothing) {
+  ProfileSnapshot p;
+  p.chunk.push_back(ChunkCell{0, 0, 1, 0, 0, 100});
+  std::vector<Finding> fs;
+  analyze_profile(p, fs);
+  EXPECT_TRUE(fs.empty());  // n < 2: imbalance is meaningless
+}
+
+MetricsSnapshot with_counter(MetricsSnapshot snap, const std::string& name,
+                             std::uint64_t value) {
+  snap.counters.push_back(CounterSample{name, value});
+  return snap;
+}
+
+TEST(MetricsDetectors, CacheThrash) {
+  MetricsSnapshot snap;
+  snap = with_counter(std::move(snap), "core.cache.hits", 30);
+  snap = with_counter(std::move(snap), "core.cache.misses", 70);
+  snap = with_counter(std::move(snap), "core.cache.evictions", 60);
+  std::vector<Finding> fs;
+  analyze_metrics(snap, fs);
+  const Finding* f = find_by_id(fs, "cache-thrash");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kWarn);
+  EXPECT_NEAR(f->score, 0.7, 1e-12);  // miss rate
+
+  // A high hit rate must not trip the detector even with evictions.
+  MetricsSnapshot healthy;
+  healthy = with_counter(std::move(healthy), "core.cache.hits", 95);
+  healthy = with_counter(std::move(healthy), "core.cache.misses", 5);
+  healthy = with_counter(std::move(healthy), "core.cache.evictions", 100);
+  fs.clear();
+  analyze_metrics(healthy, fs);
+  EXPECT_EQ(find_by_id(fs, "cache-thrash"), nullptr);
+
+  // Too little traffic: no verdict either way.
+  MetricsSnapshot tiny;
+  tiny = with_counter(std::move(tiny), "core.cache.hits", 1);
+  tiny = with_counter(std::move(tiny), "core.cache.misses", 9);
+  tiny = with_counter(std::move(tiny), "core.cache.evictions", 9);
+  fs.clear();
+  analyze_metrics(tiny, fs);
+  EXPECT_EQ(find_by_id(fs, "cache-thrash"), nullptr);
+}
+
+TEST(MetricsDetectors, PrefetchWasteAndLowYield) {
+  MetricsSnapshot wasteful;
+  wasteful = with_counter(std::move(wasteful),
+                          "core.cache.prefetch_issued", 100);
+  wasteful = with_counter(std::move(wasteful),
+                          "core.cache.prefetch_useful", 20);
+  wasteful = with_counter(std::move(wasteful),
+                          "core.cache.prefetch_wasted", 70);
+  std::vector<Finding> fs;
+  analyze_metrics(wasteful, fs);
+  const Finding* waste = find_by_id(fs, "prefetch-waste");
+  ASSERT_NE(waste, nullptr);
+  EXPECT_EQ(waste->severity, Severity::kWarn);
+  EXPECT_NEAR(waste->score, 0.7, 1e-12);
+
+  MetricsSnapshot pending;
+  pending = with_counter(std::move(pending),
+                         "core.cache.prefetch_issued", 100);
+  pending = with_counter(std::move(pending),
+                         "core.cache.prefetch_useful", 20);
+  pending = with_counter(std::move(pending),
+                         "core.cache.prefetch_wasted", 10);
+  fs.clear();
+  analyze_metrics(pending, fs);
+  const Finding* low = find_by_id(fs, "prefetch-low-yield");
+  ASSERT_NE(low, nullptr);
+  EXPECT_EQ(low->severity, Severity::kInfo);
+  EXPECT_EQ(find_by_id(fs, "prefetch-waste"), nullptr);
+}
+
+TEST(MetricsDetectors, DroppedTracesAreAnError) {
+  MetricsSnapshot snap;
+  snap = with_counter(std::move(snap), "obs.trace.dropped", 12);
+  std::vector<Finding> fs;
+  analyze_metrics(snap, fs);
+  const Finding* f = find_by_id(fs, "trace-dropped");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kError);
+  EXPECT_DOUBLE_EQ(f->score, 12.0);
+}
+
+TEST(MetricsFromJson, RebuildsCountersAndHistograms) {
+  auto doc = json_parse(
+      "{\"counters\":{\"a\":5,\"b\":7},"
+      "\"histograms\":{\"h\":{\"count\":2,\"sum\":10,"
+      "\"buckets\":[0,1,1]}}}");
+  ASSERT_TRUE(doc.is_ok());
+  const MetricsSnapshot snap = metrics_from_json(doc.value());
+  EXPECT_EQ(snap.counter("a"), 5u);
+  EXPECT_EQ(snap.counter("b"), 7u);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 2u);
+  EXPECT_EQ(snap.histograms[0].sum, 10u);
+  EXPECT_EQ(snap.histograms[0].buckets[1], 1u);
+  EXPECT_EQ(snap.histograms[0].buckets[2], 1u);
+}
+
+// A two-rank trace: rank 0 (pid 1) has a 100us span containing a nested
+// 60us span (busy must be 100, not 160) plus a disjoint 20us span; rank 1
+// (pid 2) has a single 40us span. Host (pid 0) spans are ignored for the
+// per-rank table.
+constexpr const char* kTrace =
+    "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+    "{\"name\":\"outer\",\"cat\":\"t\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+    "\"ts\":0,\"dur\":100},\n"
+    "{\"name\":\"inner\",\"cat\":\"t\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+    "\"ts\":20,\"dur\":60},\n"
+    "{\"name\":\"tail\",\"cat\":\"t\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+    "\"ts\":150,\"dur\":20},\n"
+    "{\"name\":\"short\",\"cat\":\"t\",\"ph\":\"X\",\"pid\":2,\"tid\":1,"
+    "\"ts\":0,\"dur\":40},\n"
+    "{\"name\":\"host\",\"cat\":\"t\",\"ph\":\"X\",\"pid\":0,\"tid\":1,"
+    "\"ts\":0,\"dur\":1000}\n"
+    "],\"metadata\":{\"events\":5,\"dropped\":0}}";
+
+TEST(TraceAnalysis, NestedSpansUnionNotSum) {
+  auto doc = json_parse(kTrace);
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  auto sr = summarize_trace(doc.value());
+  ASSERT_TRUE(sr.is_ok()) << sr.status().to_string();
+  const TraceSummary& t = sr.value();
+
+  EXPECT_EQ(t.events, 5u);
+  EXPECT_EQ(t.dropped, 0u);
+  ASSERT_EQ(t.per_rank.size(), 2u);  // pid 0 (host) excluded
+  EXPECT_EQ(t.per_rank[0].rank, 0);
+  EXPECT_DOUBLE_EQ(t.per_rank[0].busy_us, 120.0);  // 100 union + 20 tail
+  EXPECT_EQ(t.per_rank[1].rank, 1);
+  EXPECT_DOUBLE_EQ(t.per_rank[1].busy_us, 40.0);
+  EXPECT_DOUBLE_EQ(t.critical_path_us, 120.0);
+  EXPECT_EQ(t.longest_name, "host");  // longest single span overall
+  EXPECT_DOUBLE_EQ(t.longest_dur_us, 1000.0);
+
+  std::vector<Finding> fs;
+  analyze_trace(t, fs);
+  const Finding* imb = find_by_id(fs, "rank-busy-imbalance");
+  ASSERT_NE(imb, nullptr);
+  EXPECT_NEAR(imb->score, 120.0 / 80.0, 1e-12);
+  EXPECT_EQ(imb->severity, Severity::kWarn);  // 1.5x is exactly kWarnRatio
+  EXPECT_NE(find_by_id(fs, "critical-path"), nullptr);
+}
+
+TEST(TraceAnalysis, DroppedEventsBecomeError) {
+  auto doc = json_parse(
+      "{\"traceEvents\":[],\"metadata\":{\"events\":0,\"dropped\":3}}");
+  ASSERT_TRUE(doc.is_ok());
+  auto sr = summarize_trace(doc.value());
+  ASSERT_TRUE(sr.is_ok());
+  std::vector<Finding> fs;
+  analyze_trace(sr.value(), fs);
+  const Finding* f = find_by_id(fs, "trace-dropped");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kError);
+}
+
+TEST(TraceAnalysis, RejectsNonTraceDocuments) {
+  auto doc = json_parse("{\"format\":\"drx-series\"}");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_FALSE(summarize_trace(doc.value()).is_ok());
+}
+
+std::string series_doc(const std::vector<double>& bytes) {
+  std::string s = "{\"format\":\"drx-series\",\"version\":1,\"samples\":[";
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    if (i != 0) s += ",";
+    s += "{\"t_us\":" + std::to_string(i * 1000) +
+         ",\"counters\":{\"pfs.bytes_read\":" +
+         std::to_string(static_cast<long long>(bytes[i])) + "}}";
+  }
+  s += "]}";
+  return s;
+}
+
+TEST(SeriesAnalysis, DetectsStallWithResumption) {
+  // Activity, then 4 flat samples, then resumption.
+  auto doc = series_doc({0, 100, 200, 200, 200, 200, 200, 300, 400});
+  auto parsed = json_parse(doc);
+  ASSERT_TRUE(parsed.is_ok());
+  std::vector<Finding> fs;
+  analyze_series(parsed.value(), fs);
+  const Finding* stall = find_by_id(fs, "io-stall");
+  ASSERT_NE(stall, nullptr);
+  EXPECT_EQ(stall->severity, Severity::kWarn);
+  EXPECT_DOUBLE_EQ(stall->score, 4.0);
+  EXPECT_NE(find_by_id(fs, "series"), nullptr);
+}
+
+TEST(SeriesAnalysis, TrailingFlatTailIsNotAStall) {
+  // The run never resumes (job simply ended): no stall finding.
+  auto parsed = json_parse(series_doc({0, 100, 200, 200, 200, 200, 200}));
+  ASSERT_TRUE(parsed.is_ok());
+  std::vector<Finding> fs;
+  analyze_series(parsed.value(), fs);
+  EXPECT_EQ(find_by_id(fs, "io-stall"), nullptr);
+  EXPECT_NE(find_by_id(fs, "series"), nullptr);
+}
+
+TEST(Report, TextAndJsonRenderings) {
+  Report r;
+  r.findings.push_back(Finding{"rank-imbalance", Severity::kError, 4.5,
+                               "rank 3 does 4.5x mean bytes"});
+  r.findings.push_back(
+      Finding{"series", Severity::kInfo, 9.0, "time series: 9 samples"});
+  EXPECT_TRUE(has_errors(r));
+  EXPECT_EQ(count_severity(r, Severity::kError), 1u);
+  EXPECT_EQ(count_severity(r, Severity::kWarn), 0u);
+
+  const std::string text = report_to_text(r);
+  EXPECT_NE(text.find("[error]"), std::string::npos);
+  EXPECT_NE(text.find("rank-imbalance"), std::string::npos);
+
+  JsonWriter w;
+  report_to_json(r, w);
+  ASSERT_TRUE(json_validate(w.str())) << w.str();
+  auto doc = json_parse(w.str());
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc.value().find("format")->as_string(), "drx-doctor");
+  EXPECT_EQ(doc.value().uint_at("errors"), 1u);
+  ASSERT_TRUE(doc.value().find("findings")->is_array());
+  EXPECT_EQ(doc.value().find("findings")->array.size(), 2u);
+
+  EXPECT_EQ(report_to_text(Report{}),
+            "drx_doctor: no findings - all clear\n");
+  JsonWriter we;
+  report_to_json(Report{}, we);
+  EXPECT_TRUE(json_validate(we.str()));
+}
+
+}  // namespace
+}  // namespace drx::obs::analysis

@@ -1,0 +1,173 @@
+// End-to-end doctor acceptance test: a 4-rank run with a hot region under
+// a BLOCK zone split must be flagged as rank-imbalanced (with the
+// BLOCK_CYCLIC suggestion), the same workload under BLOCK_CYCLIC must
+// score materially lower, and the doctor JSON report must validate.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/drxmp.hpp"
+#include "core/zone.hpp"
+#include "obs/analysis.hpp"
+#include "obs/json.hpp"
+#include "obs/profile.hpp"
+#include "pfs/pfs.hpp"
+#include "simpi/runtime.hpp"
+
+namespace drx::obs {
+namespace {
+
+using analysis::Finding;
+using analysis::Severity;
+
+constexpr int kRanks = 4;
+
+const Finding* find_by_id(const std::vector<Finding>& fs,
+                          std::string_view id) {
+  for (const Finding& f : fs) {
+    if (f.id == id) return &f;
+  }
+  return nullptr;
+}
+
+/// Runs a 4-rank job against a fresh array (elements {64,16}, chunks
+/// {8,8} -> an 8x2 chunk grid) where only the "hot" half of the grid
+/// (chunk rows 0..3) is written: each rank writes the hot chunks that
+/// `dist` assigns to it. Returns the access-profile heatmap of the run.
+ProfileSnapshot run_hot_half_workload(const std::string& name,
+                                      const core::Distribution& dist) {
+  clear_profile();
+  pfs::PfsConfig cfg;
+  pfs::Pfs fs(cfg);
+  simpi::run(kRanks, [&](simpi::Comm& comm) {
+    core::DrxFile::Options opts;
+    opts.dtype = core::ElementType::kInt32;
+    auto fr = core::DrxMpFile::create(comm, fs, name, core::Shape{64, 16},
+                                      core::Shape{8, 8}, opts);
+    ASSERT_TRUE(fr.is_ok());
+    core::DrxMpFile file = std::move(fr).value();
+
+    std::vector<core::Index> mine;
+    for (const core::Index& chunk : dist.chunks_of(comm.rank())) {
+      if (chunk[0] < 4) mine.push_back(chunk);  // hot half only
+    }
+    std::vector<std::byte> staging(
+        mine.size() * static_cast<std::size_t>(file.chunk_bytes()));
+    ASSERT_TRUE(
+        file.write_chunks(mine, staging, /*collective=*/true).is_ok());
+    ASSERT_TRUE(file.close().is_ok());
+  });
+  ProfileSnapshot snap = profile_snapshot();
+  clear_profile();
+  return snap;
+}
+
+class DoctorFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "drx_doctor_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".json";
+    clear_profile();
+    set_profile_path(path_);
+  }
+  void TearDown() override {
+    set_profile_path("");
+    clear_profile();
+    std::remove(path_.c_str());
+  }
+
+  std::string path_;
+};
+
+TEST_F(DoctorFixture, BlockSplitOfHotRegionIsFlaggedCyclicIsNot) {
+  const core::Shape grid{8, 2};
+  const core::Distribution block = core::Distribution::block(grid, kRanks);
+  const core::Distribution cyclic =
+      core::Distribution::block_cyclic(grid, kRanks, core::Shape{1, 1});
+
+  const ProfileSnapshot block_snap =
+      run_hot_half_workload("skew_block", block);
+  const ProfileSnapshot cyclic_snap =
+      run_hot_half_workload("skew_cyclic", cyclic);
+
+  // BLOCK over a 2x2 process grid puts all 8 hot chunks on the two
+  // coord0==0 ranks: 2 of 4 ranks carry everything -> ratio 2.0.
+  const analysis::ImbalanceStat bs =
+      analysis::rank_chunk_imbalance(block_snap);
+  EXPECT_EQ(bs.n, 4u);
+  EXPECT_NEAR(bs.ratio, 2.0, 1e-9);
+
+  // BLOCK_CYCLIC(1,1) deals the hot rows across all 4 ranks evenly.
+  const analysis::ImbalanceStat cs =
+      analysis::rank_chunk_imbalance(cyclic_snap);
+  EXPECT_EQ(cs.n, 4u);
+  EXPECT_NEAR(cs.ratio, 1.0, 1e-9);
+
+  // The detector flags BLOCK (warn + remediation hint)...
+  std::vector<Finding> block_fs;
+  analysis::analyze_profile(block_snap, block_fs);
+  const Finding* flagged = find_by_id(block_fs, "rank-imbalance");
+  ASSERT_NE(flagged, nullptr);
+  EXPECT_EQ(flagged->severity, Severity::kWarn);
+  EXPECT_NEAR(flagged->score, 2.0, 1e-9);
+  EXPECT_NE(flagged->message.find("BLOCK_CYCLIC"), std::string::npos);
+
+  // ...and reports BLOCK_CYCLIC as balanced, materially lower.
+  std::vector<Finding> cyclic_fs;
+  analysis::analyze_profile(cyclic_snap, cyclic_fs);
+  const Finding* balanced = find_by_id(cyclic_fs, "rank-imbalance");
+  ASSERT_NE(balanced, nullptr);
+  EXPECT_EQ(balanced->severity, Severity::kInfo);
+  EXPECT_GT(flagged->score, balanced->score + 0.5);
+
+  // The doctor report over the skewed run is strict JSON and carries the
+  // finding with its score.
+  analysis::Report report;
+  report.findings = block_fs;
+  JsonWriter w;
+  analysis::report_to_json(report, w);
+  ASSERT_TRUE(json_validate(w.str())) << w.str();
+  auto doc = json_parse(w.str());
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc.value().find("format")->as_string(), "drx-doctor");
+  EXPECT_EQ(doc.value().uint_at("errors"), 0u);
+  EXPECT_GE(doc.value().uint_at("warnings"), 1u);
+  const JsonValue* findings = doc.value().find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_TRUE(findings->is_array());
+  bool saw_imbalance = false;
+  for (const JsonValue& f : findings->array) {
+    if (f.find("id") != nullptr &&
+        f.find("id")->as_string() == "rank-imbalance") {
+      saw_imbalance = true;
+      EXPECT_NEAR(f.number_at("score"), 2.0, 1e-9);
+      EXPECT_EQ(f.find("severity")->as_string(), "warn");
+    }
+  }
+  EXPECT_TRUE(saw_imbalance);
+}
+
+TEST_F(DoctorFixture, ProfileRoundTripPreservesDetectorVerdict) {
+  // The profile written by DRX_PROFILE and re-read by drx_doctor must
+  // produce the same imbalance verdict as the in-memory snapshot.
+  const core::Shape grid{8, 2};
+  const core::Distribution block = core::Distribution::block(grid, kRanks);
+  const ProfileSnapshot snap = run_hot_half_workload("skew_rt", block);
+
+  JsonWriter w;
+  profile_to_json(snap, w);
+  auto reread = profile_from_json(w.str());
+  ASSERT_TRUE(reread.is_ok()) << reread.status().to_string();
+  const analysis::ImbalanceStat a = analysis::rank_chunk_imbalance(snap);
+  const analysis::ImbalanceStat b =
+      analysis::rank_chunk_imbalance(reread.value());
+  EXPECT_EQ(a.n, b.n);
+  EXPECT_DOUBLE_EQ(a.ratio, b.ratio);
+  EXPECT_EQ(a.argmax, b.argmax);
+}
+
+}  // namespace
+}  // namespace drx::obs

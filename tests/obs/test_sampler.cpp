@@ -1,0 +1,146 @@
+// Time-series sampler (obs/sampler.hpp): SampleRing wraparound, the
+// background thread lifecycle, manual sampling, and the "drx-series" JSON
+// dump.
+#include "obs/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace drx::obs {
+namespace {
+
+Sample make_sample(std::uint64_t t) {
+  Sample s;
+  s.t_us = t;
+  return s;
+}
+
+TEST(SampleRing, FillsThenWrapsOldestFirst) {
+  SampleRing ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_TRUE(ring.ordered().empty());
+
+  ring.push(make_sample(10));
+  ring.push(make_sample(20));
+  EXPECT_EQ(ring.size(), 2u);
+  auto partial = ring.ordered();
+  ASSERT_EQ(partial.size(), 2u);
+  EXPECT_EQ(partial[0].t_us, 10u);
+  EXPECT_EQ(partial[1].t_us, 20u);
+
+  for (std::uint64_t t = 30; t <= 100; t += 10) ring.push(make_sample(t));
+  EXPECT_EQ(ring.size(), 4u);          // capped at capacity
+  EXPECT_EQ(ring.total_pushed(), 10u);  // but every push was counted
+
+  // After 10 pushes into 4 slots, the survivors are the last 4,
+  // oldest-first.
+  auto wrapped = ring.ordered();
+  ASSERT_EQ(wrapped.size(), 4u);
+  EXPECT_EQ(wrapped[0].t_us, 70u);
+  EXPECT_EQ(wrapped[1].t_us, 80u);
+  EXPECT_EQ(wrapped[2].t_us, 90u);
+  EXPECT_EQ(wrapped[3].t_us, 100u);
+}
+
+TEST(Sampler, ManualSamplesCaptureLiveCounters) {
+  stop_sampler();  // a DRX_STATS_INTERVAL-started thread would add samples
+  clear_sampler_series();
+  static const MetricId kSamplerTest = counter_id("test.sampler.manual");
+  registry().counter(kSamplerTest).add(7);
+
+  sampler_sample_now();
+  registry().counter(kSamplerTest).add(3);
+  sampler_sample_now();
+
+  auto series = sampler_series();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_LE(series[0].t_us, series[1].t_us);
+  EXPECT_GE(series[0].metrics.counter("test.sampler.manual"), 7u);
+  EXPECT_EQ(series[1].metrics.counter("test.sampler.manual"),
+            series[0].metrics.counter("test.sampler.manual") + 3);
+  clear_sampler_series();
+}
+
+TEST(Sampler, ThreadStartsSamplesAndStops) {
+  stop_sampler();  // a DRX_STATS_INTERVAL-started thread may be running
+  clear_sampler_series();
+  ASSERT_FALSE(sampler_running());
+  start_sampler(/*interval_ms=*/1, /*capacity=*/64);
+  EXPECT_TRUE(sampler_running());
+
+  // The thread samples once immediately, then every interval; give it a
+  // few periods and require at least one sample (scheduler-agnostic).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (sampler_series().empty() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(sampler_series().empty());
+
+  stop_sampler();
+  EXPECT_FALSE(sampler_running());
+  stop_sampler();  // idempotent
+
+  // Series survives the stop.
+  EXPECT_FALSE(sampler_series().empty());
+  auto series = sampler_series();
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_LE(series[i - 1].t_us, series[i].t_us);
+  }
+  clear_sampler_series();
+}
+
+TEST(Sampler, RestartReplacesRing) {
+  clear_sampler_series();
+  start_sampler(/*interval_ms=*/1, /*capacity=*/2);
+  start_sampler(/*interval_ms=*/1, /*capacity=*/8);  // restart, new capacity
+  EXPECT_TRUE(sampler_running());
+  stop_sampler();
+  clear_sampler_series();
+}
+
+TEST(Sampler, SeriesJsonValidatesAndRoundsTrips) {
+  stop_sampler();
+  clear_sampler_series();
+  static const MetricId kBytes = counter_id("test.sampler.bytes");
+  registry().counter(kBytes).add(100);
+  sampler_sample_now();
+  registry().counter(kBytes).add(50);
+  sampler_sample_now();
+
+  JsonWriter w;
+  series_to_json(sampler_series(), w);
+  const std::string text = w.str();
+  ASSERT_TRUE(json_validate(text)) << text;
+
+  auto doc = json_parse(text);
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  const JsonValue* format = doc.value().find("format");
+  ASSERT_NE(format, nullptr);
+  EXPECT_EQ(format->as_string(), "drx-series");
+  const JsonValue* samples = doc.value().find("samples");
+  ASSERT_NE(samples, nullptr);
+  ASSERT_TRUE(samples->is_array());
+  ASSERT_EQ(samples->array.size(), 2u);
+  const JsonValue* counters = samples->array[1].find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GE(counters->uint_at("test.sampler.bytes"), 150u);
+  clear_sampler_series();
+}
+
+TEST(Sampler, EmptySeriesStillValidJson) {
+  clear_sampler_series();
+  JsonWriter w;
+  series_to_json({}, w);
+  EXPECT_TRUE(json_validate(w.str())) << w.str();
+}
+
+}  // namespace
+}  // namespace drx::obs

@@ -4,12 +4,15 @@
 //   drx_stats <snapshot>            # text table (snapshot written via
 //                                   # DRX_METRICS=<path>)
 //   drx_stats --json <snapshot>     # same snapshot as a JSON object
+//   drx_stats --diff <a> <b>        # per-metric delta table b - a
+//                                   # (--json for machine-readable form)
 //   drx_stats --check-json <file>   # exit 0 iff <file> is well-formed
 //                                   # JSON (used by CI on DRX_TRACE output)
 //
 // The text and JSON renderings are the same ones drx_inspect --stats and
 // the bench JSON reports use (obs::metrics_to_text / metrics_to_json), so
 // every surface prints metrics identically.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -73,9 +76,121 @@ int render(const std::string& path, bool json) {
   return 0;
 }
 
+drx::Result<drx::obs::MetricsSnapshot> load_snapshot(
+    const std::string& path) {
+  std::vector<char> raw;
+  if (!read_file(path, raw)) {
+    return drx::Status(drx::ErrorCode::kIoError, "cannot read " + path);
+  }
+  return drx::obs::MetricsSnapshot::deserialize(std::span(
+      reinterpret_cast<const std::byte*>(raw.data()), raw.size()));
+}
+
+int diff(const std::string& a_path, const std::string& b_path, bool json) {
+  auto a = load_snapshot(a_path);
+  auto b = load_snapshot(b_path);
+  for (const auto* r : {&a, &b}) {
+    if (!r->is_ok()) {
+      std::fprintf(stderr, "error: %s\n", r->status().to_string().c_str());
+      return 1;
+    }
+  }
+
+  // Union of metric names, in b's order then a-only extras; delta = b - a
+  // (negative deltas mean the metric only appears in the baseline, e.g. a
+  // run that skipped a phase).
+  struct CounterDelta {
+    std::string name;
+    std::int64_t delta;
+  };
+  std::vector<CounterDelta> counters;
+  for (const auto& c : b.value().counters) {
+    counters.push_back(CounterDelta{
+        c.name, static_cast<std::int64_t>(c.value) -
+                    static_cast<std::int64_t>(a.value().counter(c.name))});
+  }
+  for (const auto& c : a.value().counters) {
+    if (std::find_if(b.value().counters.begin(), b.value().counters.end(),
+                     [&](const auto& s) { return s.name == c.name; }) ==
+        b.value().counters.end()) {
+      counters.push_back(
+          CounterDelta{c.name, -static_cast<std::int64_t>(c.value)});
+    }
+  }
+
+  struct HistDelta {
+    std::string name;
+    std::int64_t count;
+    std::int64_t sum;
+  };
+  const auto hist_of = [](const drx::obs::MetricsSnapshot& s,
+                          const std::string& name)
+      -> const drx::obs::HistogramSample* {
+    for (const auto& h : s.histograms) {
+      if (h.name == name) return &h;
+    }
+    return nullptr;
+  };
+  std::vector<HistDelta> hists;
+  for (const auto& h : b.value().histograms) {
+    const auto* prev = hist_of(a.value(), h.name);
+    hists.push_back(HistDelta{
+        h.name,
+        static_cast<std::int64_t>(h.count) -
+            static_cast<std::int64_t>(prev != nullptr ? prev->count : 0),
+        static_cast<std::int64_t>(h.sum) -
+            static_cast<std::int64_t>(prev != nullptr ? prev->sum : 0)});
+  }
+  for (const auto& h : a.value().histograms) {
+    if (hist_of(b.value(), h.name) == nullptr) {
+      hists.push_back(HistDelta{h.name,
+                                -static_cast<std::int64_t>(h.count),
+                                -static_cast<std::int64_t>(h.sum)});
+    }
+  }
+
+  if (json) {
+    drx::obs::JsonWriter w;
+    w.begin_object();
+    w.key("counters").begin_object();
+    for (const auto& c : counters) w.key(c.name).value(c.delta);
+    w.end_object();
+    w.key("histograms").begin_object();
+    for (const auto& h : hists) {
+      w.key(h.name).begin_object();
+      w.key("count").value(h.count);
+      w.key("sum").value(h.sum);
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+
+  std::size_t width = 0;
+  for (const auto& c : counters) width = std::max(width, c.name.size());
+  for (const auto& h : hists) width = std::max(width, h.name.size());
+  std::printf("delta %s -> %s\ncounters:\n", a_path.c_str(), b_path.c_str());
+  for (const auto& c : counters) {
+    if (c.delta == 0) continue;  // unchanged metrics stay out of the way
+    std::printf("  %-*s %+lld\n", static_cast<int>(width), c.name.c_str(),
+                static_cast<long long>(c.delta));
+  }
+  std::printf("histograms:\n");
+  for (const auto& h : hists) {
+    if (h.count == 0 && h.sum == 0) continue;
+    std::printf("  %-*s count=%+lld sum=%+lld\n", static_cast<int>(width),
+                h.name.c_str(), static_cast<long long>(h.count),
+                static_cast<long long>(h.sum));
+  }
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: drx_stats [--json] <snapshot>\n"
+               "       drx_stats [--json] --diff <a> <b>\n"
                "       drx_stats --check-json <file>\n");
 }
 
@@ -84,22 +199,29 @@ void usage() {
 int main(int argc, char** argv) {
   bool json = false;
   bool check = false;
-  std::string path;
+  bool do_diff = false;
+  std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (std::strcmp(argv[i], "--check-json") == 0) {
       check = true;
-    } else if (path.empty()) {
-      path = argv[i];
+    } else if (std::strcmp(argv[i], "--diff") == 0) {
+      do_diff = true;
     } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (do_diff) {
+    if (paths.size() != 2 || check) {
       usage();
       return 2;
     }
+    return diff(paths[0], paths[1], json);
   }
-  if (path.empty() || (json && check)) {
+  if (paths.size() != 1 || (json && check)) {
     usage();
     return 2;
   }
-  return check ? check_json(path) : render(path, json);
+  return check ? check_json(paths[0]) : render(paths[0], json);
 }
