@@ -6,29 +6,42 @@ benches are matched by name, rows by their leading label cells, and every
 shared numeric cell is compared. Simulated-time and request-count columns
 are deterministic, so drift beyond the tolerance is a real behavior
 change, not scheduler noise — but machine-dependent effects can still
-leak in, so this script NEVER fails the build: it prints WARN lines for
-CI logs (and the doctor artifact) and always exits 0.
-
-Usage: check_bench_regression.py <baseline.json> <current.json> [tolerance]
-
-`tolerance` is the allowed relative drift (default 0.25 = 25%).
+leak in, so drift NEVER fails the build: it prints WARN lines for CI
+logs (and the doctor artifact) and exits 0. Unreadable or malformed
+input, on the other hand, is a broken pipeline and exits 2.
 """
 
+import argparse
 import json
 import sys
 
 
+class InputError(Exception):
+    """A report file is unreadable or is not DRX_BENCH_JSON."""
+
+
 def load_reports(path):
     reports = {}
-    with open(path, encoding="utf-8") as f:
-        for line in f:
-            line = line.strip()
-            if not line:
-                continue
-            doc = json.loads(line)
-            reports[doc["bench"]] = doc
+    try:
+        with open(path, encoding="utf-8") as f:
+            for line_no, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError as err:
+                    raise InputError(f"{path}:{line_no}: invalid JSON: {err}")
+                if not isinstance(doc, dict) or "bench" not in doc \
+                        or "table" not in doc:
+                    raise InputError(
+                        f"{path}:{line_no}: not a DRX_BENCH_JSON report line "
+                        "(missing 'bench'/'table')")
+                reports[doc["bench"]] = doc
+    except OSError as err:
+        raise InputError(f"{path}: {err}")
     if not reports:
-        raise SystemExit(f"{path}: no bench report lines")
+        raise InputError(f"{path}: no bench report lines")
     return reports
 
 
@@ -78,12 +91,27 @@ def compare_tables(name, base, cur, tolerance):
     return warnings
 
 
-def main():
-    if len(sys.argv) not in (3, 4):
-        raise SystemExit(__doc__)
-    baseline = load_reports(sys.argv[1])
-    current = load_reports(sys.argv[2])
-    tolerance = float(sys.argv[3]) if len(sys.argv) == 4 else 0.25
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="check_bench_regression.py",
+        description="Compare a fresh DRX_BENCH_JSON report against the "
+                    "committed baseline and print WARN lines for numeric "
+                    "cells drifting beyond the tolerance.",
+        epilog="Exit codes: 0 on success (drift only warns, by design), "
+               "2 if either report is unreadable or malformed.")
+    parser.add_argument("baseline", help="committed BENCH_baseline.json")
+    parser.add_argument("current", help="freshly generated report")
+    parser.add_argument(
+        "tolerance", nargs="?", type=float, default=0.25,
+        help="allowed relative drift per cell (default: 0.25 = 25%%)")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_reports(args.baseline)
+        current = load_reports(args.current)
+    except InputError as err:
+        print(f"ERROR: {err}", file=sys.stderr)
+        return 2
 
     warnings = []
     for name, base in baseline.items():
@@ -91,11 +119,11 @@ def main():
         if cur is None:
             warnings.append(f"{name}: bench missing from current report")
             continue
-        warnings.extend(compare_tables(name, base, cur, tolerance))
+        warnings.extend(compare_tables(name, base, cur, args.tolerance))
 
     compared = sorted(set(baseline) & set(current))
     print(f"compared {len(compared)} bench(es) against baseline "
-          f"(tolerance {tolerance:.0%}): {', '.join(compared)}")
+          f"(tolerance {args.tolerance:.0%}): {', '.join(compared)}")
     for msg in warnings:
         print(f"WARN: {msg}")
     if not warnings:

@@ -6,44 +6,73 @@ async engine off (DRX_IO_THREADS=0) and one with read-ahead enabled — and
 fails unless prefetch-on beats prefetch-off on the sequential streaming
 scan, both in simulated time and in storage request count (the request
 count is deterministic, so a scheduler hiccup cannot mask a regression).
-
-Usage: check_prefetch_gate.py <bench-off.json> <bench-on.json>
 """
 
+import argparse
 import json
 import sys
 
 
+class InputError(Exception):
+    """A report file is unreadable or is not a bench_chunk_cache report."""
+
+
 def load_report(path):
-    with open(path, encoding="utf-8") as f:
-        line = f.readline().strip()
-    doc = json.loads(line)
-    if doc.get("bench") != "bench_chunk_cache":
-        raise SystemExit(f"{path}: expected a bench_chunk_cache report")
+    try:
+        with open(path, encoding="utf-8") as f:
+            line = f.readline().strip()
+    except OSError as err:
+        raise InputError(f"{path}: {err}")
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError as err:
+        raise InputError(f"{path}: invalid JSON: {err}")
+    if not isinstance(doc, dict) or doc.get("bench") != "bench_chunk_cache":
+        raise InputError(f"{path}: expected a bench_chunk_cache report")
     return doc
 
 
 def sequential_cached_row(doc, path):
-    rows = doc["table"]["rows"]
+    try:
+        rows = doc["table"]["rows"]
+    except (KeyError, TypeError):
+        raise InputError(f"{path}: report has no table rows")
     for i, row in enumerate(rows):
-        if row[0] == "sequential sweep":
-            cached = rows[i + 1]
-            if not cached[1].startswith("CachedDrxFile"):
-                raise SystemExit(f"{path}: unexpected row layout: {cached}")
-            return float(cached[2]), int(cached[3])
-    raise SystemExit(f"{path}: no 'sequential sweep' row found")
+        if row and row[0] == "sequential sweep":
+            try:
+                cached = rows[i + 1]
+                if not cached[1].startswith("CachedDrxFile"):
+                    raise InputError(
+                        f"{path}: unexpected row layout: {cached}")
+                return float(cached[2]), int(cached[3])
+            except (IndexError, ValueError, AttributeError):
+                raise InputError(
+                    f"{path}: malformed 'sequential sweep' rows")
+    raise InputError(f"{path}: no 'sequential sweep' row found")
 
 
-def main():
-    if len(sys.argv) != 3:
-        raise SystemExit(__doc__)
-    off_path, on_path = sys.argv[1], sys.argv[2]
-    off = load_report(off_path)
-    on = load_report(on_path)
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="check_prefetch_gate.py",
+        description="Fail unless the read-ahead run beats the synchronous "
+                    "run on the sequential scan, in both simulated time "
+                    "and storage request count.",
+        epilog="Exit codes: 0 gate passed, 1 gate failed, 2 if a report "
+               "is unreadable or malformed.")
+    parser.add_argument("bench_off", help="report with DRX_IO_THREADS=0")
+    parser.add_argument("bench_on", help="report with read-ahead enabled")
+    args = parser.parse_args(argv)
 
-    off_ms, off_reqs = sequential_cached_row(off, off_path)
-    on_ms, on_reqs = sequential_cached_row(on, on_path)
-    issued = on["metrics"]["counters"].get("core.cache.prefetch_issued", 0)
+    try:
+        off = load_report(args.bench_off)
+        on = load_report(args.bench_on)
+        off_ms, off_reqs = sequential_cached_row(off, args.bench_off)
+        on_ms, on_reqs = sequential_cached_row(on, args.bench_on)
+    except InputError as err:
+        print(f"ERROR: {err}", file=sys.stderr)
+        return 2
+    issued = on.get("metrics", {}).get("counters", {}).get(
+        "core.cache.prefetch_issued", 0)
 
     print(f"sequential cached scan: off {off_ms:.1f} sim ms / {off_reqs} "
           f"requests, on {on_ms:.1f} sim ms / {on_reqs} requests "

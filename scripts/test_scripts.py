@@ -1,0 +1,308 @@
+#!/usr/bin/env python3
+"""Unit tests for the scripts/ checkers, run from ctest as `scripts_unit`.
+
+Written against stdlib unittest so the suite runs in the bare CI image;
+the test names follow pytest conventions, so `pytest scripts/` collects
+them too where pytest is available.
+"""
+
+import contextlib
+import importlib.util
+import io
+import json
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+SCRIPTS_DIR = Path(__file__).resolve().parent
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(
+        name, SCRIPTS_DIR / f"{name}.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+bench_regression = _load("check_bench_regression")
+prefetch_gate = _load("check_prefetch_gate")
+lint_drx = _load("lint_drx")
+
+
+def run_main(mod, argv):
+    """Runs mod.main(argv), returning (exit_code, stdout, stderr)."""
+    out, err = io.StringIO(), io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        try:
+            code = mod.main(argv)
+        except SystemExit as exc:  # argparse --help / usage errors
+            code = exc.code if isinstance(exc.code, int) else 2
+    return code, out.getvalue(), err.getvalue()
+
+
+def write_report(directory, name, docs):
+    path = Path(directory) / name
+    path.write_text("".join(json.dumps(d) + "\n" for d in docs),
+                    encoding="utf-8")
+    return str(path)
+
+
+def bench_doc(bench, rows, counters=None):
+    doc = {"bench": bench,
+           "table": {"headers": ["pattern", "backend", "sim ms", "requests"],
+                     "rows": rows}}
+    if counters is not None:
+        doc["metrics"] = {"counters": counters}
+    return doc
+
+
+def cache_rows(sim_ms, requests):
+    return [["sequential sweep", "DrxFile", "99.0", "999"],
+            ["", f"CachedDrxFile depth=4", str(sim_ms), str(requests)]]
+
+
+class TestBenchRegression(unittest.TestCase):
+    def test_help_exits_zero(self):
+        code, out, _ = run_main(bench_regression, ["--help"])
+        self.assertEqual(code, 0)
+
+    def test_missing_file_exits_two(self):
+        code, _, err = run_main(
+            bench_regression, ["/nonexistent/a.json", "/nonexistent/b.json"])
+        self.assertEqual(code, 2)
+        self.assertIn("ERROR", err)
+
+    def test_invalid_json_exits_two(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            bad = Path(tmp) / "bad.json"
+            bad.write_text("{not json\n", encoding="utf-8")
+            good = write_report(tmp, "good.json",
+                                [bench_doc("b", [["r", "x", "1", "2"]])])
+            code, _, err = run_main(bench_regression, [good, str(bad)])
+        self.assertEqual(code, 2)
+        self.assertIn("invalid JSON", err)
+
+    def test_non_report_json_exits_two(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = write_report(tmp, "r.json", [{"rows": []}])
+            code, _, err = run_main(bench_regression, [path, path])
+        self.assertEqual(code, 2)
+        self.assertIn("not a DRX_BENCH_JSON", err)
+
+    def test_identical_reports_ok(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = write_report(tmp, "r.json",
+                                [bench_doc("b", [["r", "x", "10", "20"]])])
+            code, out, _ = run_main(bench_regression, [path, path])
+        self.assertEqual(code, 0)
+        self.assertIn("OK: all bench rows within tolerance", out)
+
+    def test_drift_warns_but_exits_zero(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            base = write_report(tmp, "base.json",
+                                [bench_doc("b", [["r", "x", "10", "20"]])])
+            cur = write_report(tmp, "cur.json",
+                               [bench_doc("b", [["r", "x", "20", "20"]])])
+            code, out, _ = run_main(bench_regression, [base, cur, "0.25"])
+        self.assertEqual(code, 0)  # warn-only by design
+        self.assertIn("WARN:", out)
+        self.assertIn("+100%", out)
+
+
+class TestPrefetchGate(unittest.TestCase):
+    def test_help_exits_zero(self):
+        code, _, _ = run_main(prefetch_gate, ["--help"])
+        self.assertEqual(code, 0)
+
+    def test_missing_file_exits_two(self):
+        code, _, err = run_main(
+            prefetch_gate, ["/nonexistent/off.json", "/nonexistent/on.json"])
+        self.assertEqual(code, 2)
+        self.assertIn("ERROR", err)
+
+    def test_invalid_json_exits_two(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            bad = Path(tmp) / "bad.json"
+            bad.write_text("][", encoding="utf-8")
+            code, _, err = run_main(prefetch_gate, [str(bad), str(bad)])
+        self.assertEqual(code, 2)
+        self.assertIn("invalid JSON", err)
+
+    def test_wrong_bench_exits_two(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = write_report(
+                tmp, "r.json", [bench_doc("bench_other", cache_rows(1, 1))])
+            code, _, err = run_main(prefetch_gate, [path, path])
+        self.assertEqual(code, 2)
+        self.assertIn("bench_chunk_cache", err)
+
+    def test_gate_passes_when_prefetch_wins(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            off = write_report(tmp, "off.json", [bench_doc(
+                "bench_chunk_cache", cache_rows(10.0, 100))])
+            on = write_report(tmp, "on.json", [bench_doc(
+                "bench_chunk_cache", cache_rows(8.0, 80),
+                {"core.cache.prefetch_issued": 5})])
+            code, out, _ = run_main(prefetch_gate, [off, on])
+        self.assertEqual(code, 0)
+        self.assertIn("PASS", out)
+
+    def test_gate_fails_on_regression(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            off = write_report(tmp, "off.json", [bench_doc(
+                "bench_chunk_cache", cache_rows(10.0, 100))])
+            on = write_report(tmp, "on.json", [bench_doc(
+                "bench_chunk_cache", cache_rows(12.0, 120),
+                {"core.cache.prefetch_issued": 5})])
+            code, _, err = run_main(prefetch_gate, [off, on])
+        self.assertEqual(code, 1)
+        self.assertIn("FAIL", err)
+
+
+class TestLintDrx(unittest.TestCase):
+    def _tree(self, tmp, files):
+        root = Path(tmp)
+        for rel, body in files.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(body, encoding="utf-8")
+        return str(root)
+
+    def test_help_exits_zero(self):
+        code, _, _ = run_main(lint_drx, ["--help"])
+        self.assertEqual(code, 0)
+
+    def test_missing_src_exits_two(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            code, _, err = run_main(lint_drx, ["--root", tmp])
+        self.assertEqual(code, 2)
+        self.assertIn("no src", err)
+
+    def test_clean_tree_exits_zero(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {
+                "src/a.cpp": "util::MutexLock lock(mu_);\n"})
+            code, out, _ = run_main(lint_drx, ["--root", root])
+        self.assertEqual(code, 0)
+        self.assertIn("clean", out)
+
+    def test_raw_primitive_flagged(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {"src/a.cpp": "std::mutex m;\n"})
+            code, out, _ = run_main(lint_drx, ["--root", root])
+        self.assertEqual(code, 1)
+        self.assertIn("raw-sync-primitive", out)
+
+    def test_suppression_with_reason_accepted(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {
+                "src/a.cpp":
+                "// drx-lint: allow(raw-sync-primitive) interop shim\n"
+                "std::mutex m;\n"})
+            code, _, _ = run_main(lint_drx, ["--root", root])
+        self.assertEqual(code, 0)
+
+    def test_suppression_without_reason_flagged(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {
+                "src/a.cpp":
+                "// drx-lint: allow(raw-sync-primitive)\n"
+                "std::mutex m;\n"})
+            code, out, _ = run_main(lint_drx, ["--root", root])
+        self.assertEqual(code, 1)
+        self.assertIn("suppression-without-reason", out)
+
+    def test_unannotated_mutex_member_flagged(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {
+                "src/a.hpp": "class C {\n  util::Mutex mu_;\n};\n"})
+            code, out, _ = run_main(lint_drx, ["--root", root])
+        self.assertEqual(code, 1)
+        self.assertIn("unannotated-mutex-member", out)
+
+    def test_guarded_mutex_member_clean(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {
+                "src/a.hpp": "class C {\n  util::Mutex mu_;\n"
+                             "  int x DRX_GUARDED_BY(mu_);\n};\n"})
+            code, _, _ = run_main(lint_drx, ["--root", root])
+        self.assertEqual(code, 0)
+
+    def test_axial_mutation_outside_metadata_flagged(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {
+                "src/core/other.cpp": "meta_.mapping.extend(0, 2);\n"})
+            code, out, _ = run_main(lint_drx, ["--root", root])
+        self.assertEqual(code, 1)
+        self.assertIn("axial-mutation", out)
+
+    def test_axial_mutation_in_metadata_allowed(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {
+                "src/core/metadata.cpp": "mapping.extend(0, 2);\n"})
+            code, _, _ = run_main(lint_drx, ["--root", root])
+        self.assertEqual(code, 0)
+
+    def test_obs_slow_call_outside_obs_flagged(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {
+                "src/core/a.cpp": "detail::profile_chunk_slow(ev);\n"})
+            code, out, _ = run_main(lint_drx, ["--root", root])
+        self.assertEqual(code, 1)
+        self.assertIn("hot-path-obs-guard", out)
+
+    def test_cache_lock_io_flagged(self):
+        body = ("Status ChunkCache::pin(std::uint64_t a) {\n"
+                "  util::MutexLock lock(mu_);\n"
+                "  file_->read_chunk(a, span);\n"
+                "}\n")
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {"src/core/chunk_cache.cpp": body})
+            code, out, _ = run_main(lint_drx, ["--root", root])
+        self.assertEqual(code, 1)
+        self.assertIn("cache-lock-io", out)
+
+    def test_cache_io_after_unlock_clean(self):
+        body = ("Status ChunkCache::pin(std::uint64_t a) {\n"
+                "  util::MutexLock lock(mu_);\n"
+                "  lock.unlock();\n"
+                "  file_->read_chunk(a, span);\n"
+                "  lock.lock();\n"
+                "}\n")
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {"src/core/chunk_cache.cpp": body})
+            code, _, _ = run_main(lint_drx, ["--root", root])
+        self.assertEqual(code, 0)
+
+    def test_cache_lock_scope_ends_at_brace(self):
+        body = ("Status ChunkCache::run_job(std::uint64_t a) {\n"
+                "  {\n"
+                "    util::MutexLock lock(mu_);\n"
+                "  }\n"
+                "  file_->write_chunk(a, span);\n"
+                "}\n")
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {"src/core/chunk_cache.cpp": body})
+            code, _, _ = run_main(lint_drx, ["--root", root])
+        self.assertEqual(code, 0)
+
+    def test_locked_helper_allocation_flagged(self):
+        body = ("ChunkCache::Buffer ChunkCache::grab_locked() {\n"
+                "  return std::make_unique<std::byte[]>(n);\n"
+                "}\n")
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {"src/core/chunk_cache.cpp": body})
+            code, out, _ = run_main(lint_drx, ["--root", root])
+        self.assertEqual(code, 1)
+        self.assertIn("cache-lock-alloc", out)
+
+    def test_repo_tree_is_clean(self):
+        repo = SCRIPTS_DIR.parent
+        code, out, _ = run_main(lint_drx, ["--root", str(repo)])
+        self.assertEqual(code, 0, f"lint_drx findings in repo:\n{out}")
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -68,6 +68,24 @@ void ChunkCache::record_error_locked(const Status& status, bool surfaced) {
   }
 }
 
+std::unique_ptr<std::byte[]> ChunkCache::take_buffer_locked() {
+  if (!free_buffers_.empty()) {
+    std::unique_ptr<std::byte[]> buffer = std::move(free_buffers_.back());
+    free_buffers_.pop_back();
+    return buffer;
+  }
+  // Cold start only: steady state recycles eviction buffers, so the miss
+  // path never allocates while holding the cache lock.
+  // drx-lint: allow(cache-lock-alloc) cold-start fill; bounded by capacity_
+  return std::make_unique<std::byte[]>(chunk_size());
+}
+
+void ChunkCache::recycle_buffer_locked(std::unique_ptr<std::byte[]> buffer) {
+  if (free_buffers_.size() < capacity_) {
+    free_buffers_.push_back(std::move(buffer));
+  }
+}
+
 void ChunkCache::queue_write_locked(std::uint64_t address,
                                     std::unique_ptr<std::byte[]> data,
                                     std::vector<std::uint64_t>& write_submits) {
@@ -81,8 +99,14 @@ void ChunkCache::queue_write_locked(std::uint64_t address,
   if (fresh) write_submits.push_back(address);
 }
 
-Status ChunkCache::evict_one_locked(std::unique_lock<std::mutex>& lock,
-                                    std::vector<std::uint64_t>& write_submits) {
+// Body suppression (docs/STATIC_ANALYSIS.md): the synchronous write-back
+// branch releases the caller's mu_ lock through the MutexLock& parameter,
+// which the analysis cannot track across a function boundary. The
+// DRX_REQUIRES(mu_) contract on the declaration still checks every call
+// site; mu_ is held on entry and on exit.
+Status ChunkCache::evict_one_locked(util::MutexLock& lock,
+                                    std::vector<std::uint64_t>& write_submits)
+    DRX_NO_THREAD_SAFETY_ANALYSIS {
   if (lru_.empty()) {
     return Status(ErrorCode::kFailedPrecondition,
                   "all cache frames are pinned");
@@ -99,7 +123,10 @@ Status ChunkCache::evict_one_locked(std::unique_lock<std::mutex>& lock,
     ++stats_.prefetch_wasted;
     obs::registry().counter(kPrefWasted).add();
   }
-  if (!frame.dirty) return Status::ok();
+  if (!frame.dirty) {
+    recycle_buffer_locked(std::move(frame.data));
+    return Status::ok();
+  }
 
   if (async()) {
     // Write-behind: hand the buffer to the pool instead of blocking.
@@ -107,14 +134,17 @@ Status ChunkCache::evict_one_locked(std::unique_lock<std::mutex>& lock,
     return Status::ok();
   }
   // Synchronous legacy path: write back before the eviction completes.
+  // The frame was erased from frames_ above, so this thread owns its
+  // buffer exclusively across the unlocked write.
   lock.unlock();
   Status st;
   {
-    std::lock_guard<std::mutex> io(io_mu_);
+    util::MutexLock io(io_mu_);
     st = file_->write_chunk(
         victim, std::span<const std::byte>(frame.data.get(), chunk_size()));
   }
   lock.lock();
+  recycle_buffer_locked(std::move(frame.data));
   ++stats_.writebacks;
   obs::registry().counter(kWritebacks).add();
   if (!st.is_ok()) record_error_locked(st, /*surfaced=*/true);
@@ -122,7 +152,7 @@ Status ChunkCache::evict_one_locked(std::unique_lock<std::mutex>& lock,
 }
 
 std::uint64_t ChunkCache::reserve_readahead_locked(
-    std::unique_lock<std::mutex>& lock, std::uint64_t first, std::uint64_t want,
+    util::MutexLock& lock, std::uint64_t first, std::uint64_t want,
     std::vector<std::uint64_t>& write_submits) {
   const std::uint64_t total = file_->metadata().mapping.total_chunks();
   // Never let speculation displace more than half the pool.
@@ -150,7 +180,7 @@ std::uint64_t ChunkCache::reserve_readahead_locked(
 
   for (std::uint64_t i = 0; i < run; ++i) {
     Frame frame;
-    frame.data = std::make_unique<std::byte[]>(chunk_size());
+    frame.data = take_buffer_locked();
     frame.loading = true;
     frame.prefetched = true;
     const auto [pos, inserted] = frames_.emplace(first + i, std::move(frame));
@@ -172,19 +202,20 @@ void ChunkCache::submit_writes(const std::vector<std::uint64_t>& addresses) {
 
 Result<std::span<std::byte>> ChunkCache::pin(std::uint64_t address) {
   const std::size_t cb = chunk_size();
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
 restart:
   auto it = frames_.find(address);
-  if (it != frames_.end() && it->second.loading) {
-    // A speculative fault for this chunk is in flight: wait for it rather
-    // than issuing a duplicate read.
+  if (it != frames_.end() && (it->second.loading || it->second.flushing)) {
+    // A speculative fault for this chunk is in flight (or flush owns the
+    // buffer for a write-back): wait rather than touching the buffer.
     ++stats_.prefetch_waits;
     obs::registry().counter(kPrefWaits).add();
     obs::ScopedTimer wait_timer(kPrefWaitUs);
     do {
       cv_.wait(lock);
       it = frames_.find(address);
-    } while (it != frames_.end() && it->second.loading);
+    } while (it != frames_.end() &&
+             (it->second.loading || it->second.flushing));
   }
   if (it != frames_.end()) {
     Frame& frame = it->second;
@@ -232,7 +263,7 @@ restart:
   // correct and cheaper than re-reading the file.
   if (auto pw = pending_writes_.find(address); pw != pending_writes_.end()) {
     Frame frame;
-    frame.data = std::make_unique<std::byte[]>(cb);
+    frame.data = take_buffer_locked();
     std::memcpy(frame.data.get(), pw->second.data.get(), cb);
     frame.pins = 1;
     frame.dirty = true;  // storage still holds stale bytes for this chunk
@@ -253,7 +284,7 @@ restart:
   std::byte* buffer = nullptr;
   {
     Frame frame;
-    frame.data = std::make_unique<std::byte[]>(cb);
+    frame.data = take_buffer_locked();
     frame.pins = 1;
     frame.loading = true;
     buffer = frame.data.get();
@@ -277,7 +308,7 @@ restart:
 
   Status st;
   {
-    std::lock_guard<std::mutex> io(io_mu_);
+    util::MutexLock io(io_mu_);
     st = file_->read_chunk(address, std::span<std::byte>(buffer, cb));
   }
 
@@ -285,6 +316,7 @@ restart:
   auto pos = frames_.find(address);
   DRX_CHECK(pos != frames_.end() && pos->second.loading);
   if (!st.is_ok()) {
+    recycle_buffer_locked(std::move(pos->second.data));
     frames_.erase(pos);
     lock.unlock();
     cv_.notify_all();
@@ -297,7 +329,7 @@ restart:
 }
 
 void ChunkCache::unpin(std::uint64_t address, bool dirty) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = frames_.find(address);
   DRX_CHECK_MSG(it != frames_.end(), "unpin of non-resident chunk");
   Frame& frame = it->second;
@@ -307,6 +339,9 @@ void ChunkCache::unpin(std::uint64_t address, bool dirty) {
     lru_.push_front(address);
     frame.lru_it = lru_.begin();
     frame.in_lru = true;
+    // flush_async_locked parks until a dirty frame's last pin drops so it
+    // can claim the buffer for an exclusive write-back.
+    if (flush_waiters_ > 0) cv_.notify_all();
   }
 }
 
@@ -315,7 +350,7 @@ void ChunkCache::prefetch(std::uint64_t first, std::uint64_t count) {
   std::vector<std::uint64_t> write_submits;
   std::uint64_t run = 0;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     run = reserve_readahead_locked(lock, first, count, write_submits);
   }
   if (!write_submits.empty()) submit_writes(write_submits);
@@ -330,7 +365,7 @@ Status ChunkCache::run_write_job(std::uint64_t address) {
     std::shared_ptr<std::byte[]> data;
     std::uint64_t seq = 0;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       auto it = pending_writes_.find(address);
       DRX_CHECK(it != pending_writes_.end());  // only this job erases it
       data = it->second.data;
@@ -338,7 +373,7 @@ Status ChunkCache::run_write_job(std::uint64_t address) {
     }
     Status st;
     {
-      std::lock_guard<std::mutex> io(io_mu_);
+      util::MutexLock io(io_mu_);
       st = file_->write_chunk(address,
                               std::span<const std::byte>(data.get(), cb));
     }
@@ -347,7 +382,7 @@ Status ChunkCache::run_write_job(std::uint64_t address) {
                       << "): " << st.to_string();
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       ++stats_.writebacks;
       obs::registry().counter(kWritebacks).add();
       if (!st.is_ok()) record_error_locked(st, /*surfaced=*/false);
@@ -367,12 +402,12 @@ Status ChunkCache::run_prefetch_job(std::uint64_t first, std::uint64_t count) {
   auto staging = std::make_unique<std::byte[]>(total);
   Status st;
   {
-    std::lock_guard<std::mutex> io(io_mu_);
+    util::MutexLock io(io_mu_);
     st = file_->read_chunks(first, count,
                             std::span<std::byte>(staging.get(), total));
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     for (std::uint64_t i = 0; i < count; ++i) {
       auto it = frames_.find(first + i);
       if (it == frames_.end() || !it->second.loading) continue;
@@ -382,6 +417,7 @@ Status ChunkCache::run_prefetch_job(std::uint64_t first, std::uint64_t count) {
       } else {
         // Drop the reservation; a waiting pin re-faults synchronously and
         // observes the error itself.
+        recycle_buffer_locked(std::move(it->second.data));
         frames_.erase(it);
       }
     }
@@ -392,10 +428,10 @@ Status ChunkCache::run_prefetch_job(std::uint64_t first, std::uint64_t count) {
   return st;
 }
 
-Status ChunkCache::flush_sync_locked(std::unique_lock<std::mutex>& lock,
-                                     Status surfaced) {
+Status ChunkCache::flush_sync_locked(util::MutexLock& lock, Status surfaced) {
   // Single-threaded legacy shape: write dirty frames in place. io_mu_ is
   // taken under mu_ here, which is safe because no pool workers exist.
+  // drx-lint: allow(cache-lock-io) sync mode has no concurrency to stall
   (void)lock;
   for (auto& [address, frame] : frames_) {
     if (!frame.dirty) continue;
@@ -403,7 +439,7 @@ Status ChunkCache::flush_sync_locked(std::unique_lock<std::mutex>& lock,
     obs::registry().counter(kWritebacks).add();
     Status st;
     {
-      std::lock_guard<std::mutex> io(io_mu_);
+      util::MutexLock io(io_mu_);
       st = file_->write_chunk(
           address, std::span<const std::byte>(frame.data.get(), chunk_size()));
     }
@@ -416,8 +452,13 @@ Status ChunkCache::flush_sync_locked(std::unique_lock<std::mutex>& lock,
   return surfaced;
 }
 
-Status ChunkCache::flush_async_locked(std::unique_lock<std::mutex>& lock,
-                                      Status surfaced) {
+// Body suppression (docs/STATIC_ANALYSIS.md): the write-back window
+// releases the caller's mu_ through the MutexLock& parameter, which the
+// analysis cannot track across a function boundary. The DRX_REQUIRES(mu_)
+// contract on the declaration still checks every call site; mu_ is held
+// on entry and on exit.
+Status ChunkCache::flush_async_locked(util::MutexLock& lock, Status surfaced)
+    DRX_NO_THREAD_SAFETY_ANALYSIS {
   const std::size_t cb = chunk_size();
   for (;;) {
     auto it = std::find_if(frames_.begin(), frames_.end(), [](const auto& kv) {
@@ -426,27 +467,47 @@ Status ChunkCache::flush_async_locked(std::unique_lock<std::mutex>& lock,
     if (it == frames_.end()) break;
     const std::uint64_t address = it->first;
     Frame& frame = it->second;  // node-stable; pinned below, so not erased
-    frame.dirty = false;        // claimed; a concurrent set may re-mark it
-    ++frame.pins;               // holds the frame across the unlocked write
+    if (frame.pins > 0) {
+      // A pinned writer may be storing into frame.data right now with no
+      // lock held (pin() hands out the raw span); reading the buffer for
+      // the storage write would race with those stores. Park until the
+      // last pin drops, then rescan — the unpin that releases it marks
+      // dirty first, so the frame is still eligible.
+      ++flush_waiters_;
+      cv_.wait(lock, [this, address] {
+        mu_.assert_held();
+        const auto f = frames_.find(address);
+        return f == frames_.end() || f->second.pins == 0;
+      });
+      --flush_waiters_;
+      continue;
+    }
+    frame.dirty = false;    // claimed; a later set re-marks it
+    frame.flushing = true;  // new pins wait instead of touching the buffer
+    ++frame.pins;           // holds the frame across the unlocked write
     if (frame.in_lru) {
       lru_.erase(frame.lru_it);
       frame.in_lru = false;
     }
+    // With zero foreign pins and `flushing` blocking new ones, this
+    // thread owns frame.data exclusively across the unlocked write.
     lock.unlock();
     Status st;
     {
-      std::lock_guard<std::mutex> io(io_mu_);
+      util::MutexLock io(io_mu_);
       st = file_->write_chunk(
           address, std::span<const std::byte>(frame.data.get(), cb));
     }
     lock.lock();
     ++stats_.writebacks;
     obs::registry().counter(kWritebacks).add();
+    frame.flushing = false;
     if (--frame.pins == 0) {
       lru_.push_front(address);
       frame.lru_it = lru_.begin();
       frame.in_lru = true;
     }
+    cv_.notify_all();  // wake pins parked on the flushing frame
     if (!st.is_ok()) {
       frame.dirty = true;
       record_error_locked(st, /*surfaced=*/true);
@@ -457,10 +518,11 @@ Status ChunkCache::flush_async_locked(std::unique_lock<std::mutex>& lock,
 }
 
 Status ChunkCache::flush() {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (async()) {
     // Barrier: drain write-behind and in-flight speculative loads.
     cv_.wait(lock, [this] {
+      mu_.assert_held();
       return pending_writes_.empty() && loads_inflight_ == 0;
     });
   }
@@ -475,7 +537,7 @@ Status ChunkCache::flush() {
 
 Status ChunkCache::invalidate() {
   DRX_RETURN_IF_ERROR(flush());
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (auto it = frames_.begin(); it != frames_.end();) {
     if (it->second.pins == 0 && !it->second.loading) {
       if (it->second.in_lru) lru_.erase(it->second.lru_it);
@@ -484,21 +546,24 @@ Status ChunkCache::invalidate() {
       ++it;
     }
   }
+  // Invalidation is the cold-cache tool: release the recycled buffers too
+  // so a subsequent run starts from genuinely empty memory.
+  free_buffers_.clear();
   return Status::ok();
 }
 
 Status ChunkCache::last_error() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return last_error_;
 }
 
 ChunkCache::Stats ChunkCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_;
 }
 
 std::size_t ChunkCache::resident() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return frames_.size();
 }
 

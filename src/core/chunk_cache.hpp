@@ -22,12 +22,10 @@
 // semantics exactly.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <cstring>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -37,6 +35,7 @@
 #include "io/async_pool.hpp"
 #include "io/config.hpp"
 #include "io/prefetch.hpp"
+#include "util/sync.hpp"
 
 namespace drx::core {
 
@@ -93,7 +92,9 @@ class ChunkCache final : public io::PrefetchSink {
 
   /// Barrier + write-back: drains in-flight read-ahead and write-behind,
   /// surfaces the first deferred write error, then writes back every
-  /// dirty frame (pinned or not) without evicting.
+  /// dirty frame without evicting. A dirty frame that is still pinned is
+  /// written after its last pin drops (flush waits for it — do not call
+  /// flush() while holding a pin on this cache).
   Status flush();
 
   /// Flush + drop all unpinned frames (cold-cache tool for benches).
@@ -126,6 +127,7 @@ class ChunkCache final : public io::PrefetchSink {
     int pins = 0;
     bool dirty = false;
     bool loading = false;     ///< speculative/foreground fault in flight
+    bool flushing = false;    ///< flush owns the buffer for a write-back
     bool prefetched = false;  ///< faulted ahead of demand, not yet pinned
     std::list<std::uint64_t>::iterator lru_it;  ///< valid when in_lru
     bool in_lru = false;
@@ -146,41 +148,63 @@ class ChunkCache final : public io::PrefetchSink {
   // All *_locked helpers require mu_ held. Lock order: mu_ may be held
   // while taking io_mu_ (sync flush), but io_mu_ is never held while
   // taking mu_.
-  Status evict_one_locked(std::unique_lock<std::mutex>& lock,
-                          std::vector<std::uint64_t>& write_submits);
+  Status evict_one_locked(util::MutexLock& lock,
+                          std::vector<std::uint64_t>& write_submits)
+      DRX_REQUIRES(mu_);
   void queue_write_locked(std::uint64_t address,
                           std::unique_ptr<std::byte[]> data,
-                          std::vector<std::uint64_t>& write_submits);
-  void record_error_locked(const Status& status, bool surfaced);
+                          std::vector<std::uint64_t>& write_submits)
+      DRX_REQUIRES(mu_);
+  void record_error_locked(const Status& status, bool surfaced)
+      DRX_REQUIRES(mu_);
   /// Reserves loading frames for a contiguous eligible run starting at
   /// `first`; returns the run length (0 = nothing to do).
   std::uint64_t reserve_readahead_locked(
-      std::unique_lock<std::mutex>& lock, std::uint64_t first,
-      std::uint64_t want, std::vector<std::uint64_t>& write_submits);
-  void submit_writes(const std::vector<std::uint64_t>& addresses);
+      util::MutexLock& lock, std::uint64_t first, std::uint64_t want,
+      std::vector<std::uint64_t>& write_submits) DRX_REQUIRES(mu_);
+  void submit_writes(const std::vector<std::uint64_t>& addresses)
+      DRX_EXCLUDES(mu_);
+
+  /// Chunk-sized frame buffer from the free list (evictions recycle their
+  /// buffers there), allocating only when the list is empty — so the
+  /// steady-state miss path never mallocs under the cache lock.
+  [[nodiscard]] std::unique_ptr<std::byte[]> take_buffer_locked()
+      DRX_REQUIRES(mu_);
+  void recycle_buffer_locked(std::unique_ptr<std::byte[]> buffer)
+      DRX_REQUIRES(mu_);
 
   // Pool jobs (run on workers; inline mode never reaches them).
-  Status run_write_job(std::uint64_t address);
-  Status run_prefetch_job(std::uint64_t first, std::uint64_t count);
+  Status run_write_job(std::uint64_t address) DRX_EXCLUDES(mu_);
+  Status run_prefetch_job(std::uint64_t first, std::uint64_t count)
+      DRX_EXCLUDES(mu_);
 
-  Status flush_sync_locked(std::unique_lock<std::mutex>& lock,
-                           Status surfaced);
-  Status flush_async_locked(std::unique_lock<std::mutex>& lock,
-                            Status surfaced);
+  Status flush_sync_locked(util::MutexLock& lock, Status surfaced)
+      DRX_REQUIRES(mu_);
+  Status flush_async_locked(util::MutexLock& lock, Status surfaced)
+      DRX_REQUIRES(mu_);
 
   DrxFile* file_;
   const std::size_t capacity_;
   std::uint64_t prefetch_depth_ = 0;
   std::unique_ptr<io::AsyncIoPool> pool_;  ///< null = synchronous legacy mode
 
-  mutable std::mutex mu_;        ///< cache structures, stats, error state
-  std::condition_variable cv_;   ///< load completion / queue-drain signal
-  std::mutex io_mu_;             ///< serializes DrxFile storage access
-  std::unordered_map<std::uint64_t, Frame> frames_;
-  std::list<std::uint64_t> lru_;  ///< unpinned ready frames, front = MRU
-  std::unordered_map<std::uint64_t, PendingWrite> pending_writes_;
-  std::uint64_t loads_inflight_ = 0;  ///< outstanding prefetch jobs
-  Stats stats_;
+  mutable util::Mutex mu_;  ///< cache structures, stats, error state
+  util::CondVar cv_;        ///< load completion / queue-drain signal
+  // drx-lint: allow(unannotated-mutex-member) serializes access to the
+  // caller-owned DrxFile; there is no member field to annotate.
+  util::Mutex io_mu_;       ///< serializes DrxFile storage access
+  std::unordered_map<std::uint64_t, Frame> frames_ DRX_GUARDED_BY(mu_);
+  /// Unpinned ready frames, front = MRU.
+  std::list<std::uint64_t> lru_ DRX_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, PendingWrite> pending_writes_
+      DRX_GUARDED_BY(mu_);
+  /// Recycled chunk-sized frame buffers (bounded by capacity_).
+  std::vector<std::unique_ptr<std::byte[]>> free_buffers_ DRX_GUARDED_BY(mu_);
+  std::uint64_t loads_inflight_ DRX_GUARDED_BY(mu_) = 0;  ///< prefetch jobs
+  /// Flushes parked until a dirty frame's last pin drops (unpin notifies
+  /// cv_ only while this is nonzero, keeping the unpin fast path quiet).
+  std::size_t flush_waiters_ DRX_GUARDED_BY(mu_) = 0;
+  Stats stats_ DRX_GUARDED_BY(mu_);
 
   // Sequential-scan detector: a miss at last_miss_ + 1 extends the run;
   // anything else restarts it. Read-ahead fires once the run reaches
@@ -188,11 +212,13 @@ class ChunkCache final : public io::PrefetchSink {
   // window so prefetch hits keep the run alive.
   static constexpr int kSequentialThreshold = 2;
   static constexpr std::uint64_t kNoAddress = ~std::uint64_t{0};
-  std::uint64_t last_miss_ = kNoAddress;
-  int seq_run_ = 0;
+  std::uint64_t last_miss_ DRX_GUARDED_BY(mu_) = kNoAddress;
+  int seq_run_ DRX_GUARDED_BY(mu_) = 0;
 
-  Status last_error_;            ///< first write-back failure (sticky)
-  bool error_unsurfaced_ = false;  ///< true until flush() returns it once
+  /// First write-back failure (sticky).
+  Status last_error_ DRX_GUARDED_BY(mu_);
+  /// True until flush() returns the error once.
+  bool error_unsurfaced_ DRX_GUARDED_BY(mu_) = false;
 };
 
 /// Element/box access through the pool. Same semantics as DrxFile element

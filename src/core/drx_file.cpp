@@ -90,16 +90,12 @@ Status DrxFile::extend(std::size_t dim, std::uint64_t delta) {
   }
   if (delta == 0) return Status::ok();
 
-  meta_.element_bounds[dim] = checked_add(meta_.element_bounds[dim], delta);
-  const Shape needed = chunk_space_.chunk_bounds_for(meta_.element_bounds);
-  if (needed[dim] > meta_.mapping.bounds()[dim]) {
-    const std::uint64_t grow = needed[dim] - meta_.mapping.bounds()[dim];
-    const std::uint64_t first = meta_.mapping.extend(dim, grow);
+  if (const auto first = meta_.extend_elements(dim, delta)) {
     // Zero-fill the appended segment (it is physically contiguous: new
     // chunks always append to the file).
     const std::uint64_t chunk_sz = meta_.chunk_bytes();
     std::vector<std::byte> zeros(checked_size(chunk_sz), std::byte{0});
-    for (std::uint64_t q = first; q < meta_.mapping.total_chunks(); ++q) {
+    for (std::uint64_t q = *first; q < meta_.mapping.total_chunks(); ++q) {
       DRX_RETURN_IF_ERROR(data_->write_at(q * chunk_sz, zeros));
     }
   }

@@ -464,11 +464,7 @@ Status DrxMpFile::extend_all(std::size_t dim, std::uint64_t delta) {
   if (delta > 0) {
     // Deterministic, identical update on every rank keeps the replicated
     // metadata consistent without communication.
-    meta_.element_bounds[dim] = checked_add(meta_.element_bounds[dim], delta);
-    const Shape needed =
-        chunk_space_.chunk_bounds_for(meta_.element_bounds);
-    if (needed[dim] > meta_.mapping.bounds()[dim]) {
-      meta_.mapping.extend(dim, needed[dim] - meta_.mapping.bounds()[dim]);
+    if (meta_.extend_elements(dim, delta).has_value()) {
       DRX_RETURN_IF_ERROR(data_.set_size(meta_.data_file_bytes()));
     }
   }

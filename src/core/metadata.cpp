@@ -25,6 +25,15 @@ Metadata::Metadata(ElementType t, MemoryOrder order, Shape elem_bounds,
   DRX_CHECK(element_bounds.size() == chunk_shape.size());
 }
 
+std::optional<std::uint64_t> Metadata::extend_elements(std::size_t dim,
+                                                       std::uint64_t delta) {
+  DRX_CHECK(dim < rank());
+  element_bounds[dim] = checked_add(element_bounds[dim], delta);
+  const Shape needed = chunk_space().chunk_bounds_for(element_bounds);
+  if (needed[dim] <= mapping.bounds()[dim]) return std::nullopt;
+  return mapping.extend(dim, needed[dim] - mapping.bounds()[dim]);
+}
+
 std::vector<std::byte> Metadata::to_bytes() const {
   ByteWriter payload;
   payload.put_u8(static_cast<std::uint8_t>(dtype));

@@ -48,6 +48,16 @@ struct Metadata {
     return checked_mul(mapping.total_chunks(), chunk_bytes());
   }
 
+  /// The one sanctioned axial-vector mutation (scripts/lint_drx.py rule
+  /// `axial-mutation`): grows dimension `dim` by `delta` elements,
+  /// extending the chunk grid through the axial mapping when the new
+  /// bounds spill past it. Returns the linear address of the first
+  /// appended chunk, or nullopt when the existing grid already covers the
+  /// new bounds. The caller must already have validated `dim` and is
+  /// responsible for materializing storage for the appended chunks.
+  std::optional<std::uint64_t> extend_elements(std::size_t dim,
+                                               std::uint64_t delta);
+
   /// Full serialized .xmd image (magic + version + payload + checksum).
   [[nodiscard]] std::vector<std::byte> to_bytes() const;
   static Result<Metadata> from_bytes(std::span<const std::byte> data);

@@ -74,7 +74,7 @@ AsyncIoPool::AsyncIoPool(const Options& options) : options_(options) {
 AsyncIoPool::~AsyncIoPool() {
   drain();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -82,7 +82,6 @@ AsyncIoPool::~AsyncIoPool() {
 }
 
 void AsyncIoPool::finish_one(const Status& status) {
-  // mu_ must be held by the caller.
   ++stats_.completed;
   obs::registry().counter(kCompleted).add();
   if (!status.is_ok()) {
@@ -97,7 +96,7 @@ void AsyncIoPool::submit(Job job, Completion done) {
     // Inline synchronous path: same observable order as the legacy code —
     // the work (and its completion) happens before submit() returns.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       ++stats_.submitted;
       ++stats_.inline_runs;
     }
@@ -105,15 +104,17 @@ void AsyncIoPool::submit(Job job, Completion done) {
     obs::registry().counter(kInline).add();
     const Status status = job();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       finish_one(status);
     }
     if (done) done(status);
     return;
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  space_cv_.wait(lock,
-                 [this] { return queue_.size() < options_.queue_capacity; });
+  util::MutexLock lock(mu_);
+  space_cv_.wait(lock, [this] {
+    mu_.assert_held();
+    return queue_.size() < options_.queue_capacity;
+  });
   queue_.push_back(Task{std::move(job), std::move(done)});
   ++stats_.submitted;
   obs::registry().counter(kSubmitted).add();
@@ -132,24 +133,30 @@ std::future<Status> AsyncIoPool::submit_with_future(Job job) {
 
 void AsyncIoPool::drain() {
   obs::registry().counter(kDrains).add();
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+  util::MutexLock lock(mu_);
+  idle_cv_.wait(lock, [this] {
+    mu_.assert_held();
+    return queue_.empty() && running_ == 0;
+  });
 }
 
 std::size_t AsyncIoPool::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return queue_.size();
 }
 
 AsyncIoPool::Stats AsyncIoPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_;
 }
 
 void AsyncIoPool::worker_loop() {
   for (;;) {
-    std::unique_lock<std::mutex> lock(mu_);
-    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    util::MutexLock lock(mu_);
+    work_cv_.wait(lock, [this] {
+      mu_.assert_held();
+      return stop_ || !queue_.empty();
+    });
     if (queue_.empty()) return;  // stop_ and nothing left to do
     Task task = std::move(queue_.front());
     queue_.pop_front();

@@ -16,16 +16,15 @@
 //    or a full queue deadlocks.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/sync.hpp"
 
 namespace drx::io {
 
@@ -81,17 +80,17 @@ class AsyncIoPool {
   };
 
   void worker_loop();
-  void finish_one(const Status& status);
+  void finish_one(const Status& status) DRX_REQUIRES(mu_);
 
   const Options options_;
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   ///< workers: queue non-empty or stop
-  std::condition_variable space_cv_;  ///< producers: queue below capacity
-  std::condition_variable idle_cv_;   ///< drain(): everything completed
-  std::deque<Task> queue_;
-  std::size_t running_ = 0;  ///< jobs currently executing on workers
-  bool stop_ = false;
-  Stats stats_;
+  mutable util::Mutex mu_;
+  util::CondVar work_cv_;   ///< workers: queue non-empty or stop
+  util::CondVar space_cv_;  ///< producers: queue below capacity
+  util::CondVar idle_cv_;   ///< drain(): everything completed
+  std::deque<Task> queue_ DRX_GUARDED_BY(mu_);
+  std::size_t running_ DRX_GUARDED_BY(mu_) = 0;  ///< jobs executing on workers
+  bool stop_ DRX_GUARDED_BY(mu_) = false;
+  Stats stats_ DRX_GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
 };
 

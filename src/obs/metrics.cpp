@@ -6,7 +6,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <mutex>
 #include <unordered_map>
 
 #include "obs/json.hpp"
@@ -23,10 +22,10 @@ enum class MetricKind : std::uint8_t { kCounter, kHistogram };
 /// Process-global name -> id intern table. Never destroyed: metric ids may
 /// be used from static destructors (atexit dump).
 struct InternTable {
-  std::mutex mu;
-  std::unordered_map<std::string, MetricId> ids;
-  std::vector<std::string> names;      // index = id
-  std::vector<MetricKind> kinds;       // index = id
+  util::Mutex mu;
+  std::unordered_map<std::string, MetricId> ids DRX_GUARDED_BY(mu);
+  std::vector<std::string> names DRX_GUARDED_BY(mu);  // index = id
+  std::vector<MetricKind> kinds DRX_GUARDED_BY(mu);   // index = id
 };
 
 InternTable& interns() {
@@ -36,7 +35,7 @@ InternTable& interns() {
 
 MetricId intern(std::string_view name, MetricKind kind) {
   InternTable& t = interns();
-  std::lock_guard<std::mutex> lock(t.mu);
+  util::MutexLock lock(t.mu);
   auto it = t.ids.find(std::string(name));
   if (it != t.ids.end()) {
     DRX_CHECK_MSG(t.kinds[it->second] == kind,
@@ -52,7 +51,7 @@ MetricId intern(std::string_view name, MetricKind kind) {
 
 std::string metric_name(MetricId id) {
   InternTable& t = interns();
-  std::lock_guard<std::mutex> lock(t.mu);
+  util::MutexLock lock(t.mu);
   DRX_CHECK(id < t.names.size());
   return t.names[id];
 }
@@ -72,22 +71,22 @@ thread_local int tls_rank = -1;
 /// unregisters *before* merging into its parent: a concurrent
 /// live_snapshot may transiently undercount (monotonically recovered by
 /// the next sample) but never double-counts.
-std::mutex g_live_mu;
-std::vector<const Registry*> g_live_registries;
+util::Mutex g_live_mu;
+std::vector<const Registry*> g_live_registries DRX_GUARDED_BY(g_live_mu);
 
 void register_live(const Registry* reg) {
-  std::lock_guard<std::mutex> lock(g_live_mu);
+  util::MutexLock lock(g_live_mu);
   g_live_registries.push_back(reg);
 }
 
 void unregister_live(const Registry* reg) {
-  std::lock_guard<std::mutex> lock(g_live_mu);
+  util::MutexLock lock(g_live_mu);
   auto it = std::find(g_live_registries.begin(), g_live_registries.end(), reg);
   if (it != g_live_registries.end()) g_live_registries.erase(it);
 }
 
-std::mutex g_aggregated_mu;
-MetricsSnapshot g_aggregated;
+util::Mutex g_aggregated_mu;
+MetricsSnapshot g_aggregated DRX_GUARDED_BY(g_aggregated_mu);
 
 /// Writes the process registry to $DRX_METRICS (binary snapshot readable
 /// by drx_stats) when the process exits.
@@ -137,12 +136,12 @@ void Histogram::observe(std::uint64_t v) noexcept {
 
 Counter& Registry::counter(MetricId id) {
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    util::ReaderMutexLock lock(mu_);
     if (id < counters_.size() && counters_[id] != nullptr) {
       return *counters_[id];
     }
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  util::WriterMutexLock lock(mu_);
   if (id >= counters_.size()) counters_.resize(id + 1);
   if (counters_[id] == nullptr) counters_[id] = std::make_unique<Counter>();
   return *counters_[id];
@@ -150,12 +149,12 @@ Counter& Registry::counter(MetricId id) {
 
 Histogram& Registry::histogram(MetricId id) {
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    util::ReaderMutexLock lock(mu_);
     if (id < histograms_.size() && histograms_[id] != nullptr) {
       return *histograms_[id];
     }
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  util::WriterMutexLock lock(mu_);
   if (id >= histograms_.size()) histograms_.resize(id + 1);
   if (histograms_[id] == nullptr) {
     histograms_[id] = std::make_unique<Histogram>();
@@ -165,7 +164,7 @@ Histogram& Registry::histogram(MetricId id) {
 
 MetricsSnapshot Registry::snapshot() const {
   MetricsSnapshot snap;
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  util::ReaderMutexLock lock(mu_);
   for (MetricId id = 0; id < counters_.size(); ++id) {
     if (counters_[id] == nullptr) continue;
     snap.counters.push_back(CounterSample{metric_name(id),
@@ -186,7 +185,7 @@ MetricsSnapshot Registry::snapshot() const {
 }
 
 void Registry::merge_into(Registry& dst) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  util::ReaderMutexLock lock(mu_);
   for (MetricId id = 0; id < counters_.size(); ++id) {
     if (counters_[id] == nullptr || counters_[id]->value() == 0) continue;
     dst.counter(id).add(counters_[id]->value());
@@ -203,7 +202,7 @@ void Registry::merge_into(Registry& dst) const {
 }
 
 void Registry::reset() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  util::WriterMutexLock lock(mu_);
   counters_.clear();
   histograms_.clear();
 }
@@ -315,7 +314,7 @@ int current_rank() noexcept { return tls_rank; }
 
 MetricsSnapshot live_snapshot() {
   MetricsSnapshot snap = process_registry().snapshot();
-  std::lock_guard<std::mutex> lock(g_live_mu);
+  util::MutexLock lock(g_live_mu);
   for (const Registry* reg : g_live_registries) {
     snap.merge(reg->snapshot());
   }
@@ -447,12 +446,12 @@ void metrics_to_json(const MetricsSnapshot& snap, JsonWriter& w) {
 }
 
 void set_aggregated_snapshot(MetricsSnapshot snap) {
-  std::lock_guard<std::mutex> lock(g_aggregated_mu);
+  util::MutexLock lock(g_aggregated_mu);
   g_aggregated = std::move(snap);
 }
 
 MetricsSnapshot aggregated_snapshot() {
-  std::lock_guard<std::mutex> lock(g_aggregated_mu);
+  util::MutexLock lock(g_aggregated_mu);
   return g_aggregated;
 }
 

@@ -23,13 +23,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/sync.hpp"
 
 namespace drx::obs {
 
@@ -133,9 +133,10 @@ class Registry {
   void reset();
 
  private:
-  mutable std::shared_mutex mu_;
-  std::vector<std::unique_ptr<Counter>> counters_;      // index = MetricId
-  std::vector<std::unique_ptr<Histogram>> histograms_;  // index = MetricId
+  mutable util::SharedMutex mu_;
+  // index = MetricId
+  std::vector<std::unique_ptr<Counter>> counters_ DRX_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Histogram>> histograms_ DRX_GUARDED_BY(mu_);
 };
 
 /// The registry increments should go to on this thread: the innermost

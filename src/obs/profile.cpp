@@ -5,12 +5,12 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <set>
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "util/logging.hpp"
+#include "util/sync.hpp"
 
 namespace drx::obs {
 
@@ -42,12 +42,13 @@ struct AggCounts {
 /// by (rank, key) gives deterministic dump order for free. The leaf lock
 /// of the whole obs layer — callers may hold cache or pfs server locks.
 struct ProfileState {
-  std::mutex mu;
-  std::string path;
-  std::set<int> ranks;  ///< participants (RankScope), traffic or not
-  std::map<std::pair<int, std::uint64_t>, ChunkCounts> chunk;
-  std::map<std::pair<int, std::uint32_t>, PfsCounts> pfs;
-  std::map<int, AggCounts> aggregator;
+  util::Mutex mu;
+  std::string path DRX_GUARDED_BY(mu);
+  /// Participants (RankScope), traffic or not.
+  std::set<int> ranks DRX_GUARDED_BY(mu);
+  std::map<std::pair<int, std::uint64_t>, ChunkCounts> chunk DRX_GUARDED_BY(mu);
+  std::map<std::pair<int, std::uint32_t>, PfsCounts> pfs DRX_GUARDED_BY(mu);
+  std::map<int, AggCounts> aggregator DRX_GUARDED_BY(mu);
 };
 
 ProfileState& state() {
@@ -68,7 +69,11 @@ struct EnvInit {
   EnvInit() {
     const char* env = std::getenv("DRX_PROFILE");
     if (env != nullptr && env[0] != '\0') {
-      state().path = env;
+      ProfileState& s = state();
+      {
+        util::MutexLock lock(s.mu);
+        s.path = env;
+      }
       detail::g_profile_enabled.store(true, std::memory_order_relaxed);
       std::atexit(flush_profile_at_exit);
     }
@@ -83,7 +88,7 @@ namespace detail {
 void profile_chunk_slow(int op, std::uint64_t address, std::uint64_t bytes) {
   const int rank = current_rank();
   ProfileState& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   ChunkCounts& cell = s.chunk[{rank, address}];
   switch (static_cast<ChunkOp>(op)) {
     case ChunkOp::kRead: ++cell.reads; break;
@@ -96,7 +101,7 @@ void profile_chunk_slow(int op, std::uint64_t address, std::uint64_t bytes) {
 void profile_pfs_slow(bool write, std::uint32_t server, std::uint64_t bytes) {
   const int rank = current_rank();
   ProfileState& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   PfsCounts& cell = s.pfs[{rank, server}];
   if (write) {
     ++cell.writes;
@@ -109,7 +114,7 @@ void profile_pfs_slow(bool write, std::uint32_t server, std::uint64_t bytes) {
 void profile_aggregator_slow(int rank, std::uint64_t runs,
                              std::uint64_t bytes) {
   ProfileState& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   AggCounts& cell = s.aggregator[rank];
   cell.runs += runs;
   cell.bytes += bytes;
@@ -118,7 +123,7 @@ void profile_aggregator_slow(int rank, std::uint64_t runs,
 void profile_rank_slow(int rank) {
   if (rank < 0) return;  // the host thread is not a participant
   ProfileState& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   s.ranks.insert(rank);
 }
 
@@ -126,21 +131,21 @@ void profile_rank_slow(int rank) {
 
 void set_profile_path(const std::string& path) {
   ProfileState& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   s.path = path;
   detail::g_profile_enabled.store(!path.empty(), std::memory_order_relaxed);
 }
 
 std::string profile_path() {
   ProfileState& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   return s.path;
 }
 
 ProfileSnapshot profile_snapshot() {
   ProfileSnapshot snap;
   ProfileState& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   snap.ranks.assign(s.ranks.begin(), s.ranks.end());
   snap.chunk.reserve(s.chunk.size());
   for (const auto& [key, c] : s.chunk) {
@@ -161,7 +166,7 @@ ProfileSnapshot profile_snapshot() {
 
 void clear_profile() {
   ProfileState& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   s.ranks.clear();
   s.chunk.clear();
   s.pfs.clear();

@@ -1,17 +1,16 @@
 #include "obs/sampler.hpp"
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <mutex>
 #include <thread>
 #include <utility>
 
 #include "obs/json.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
+#include "util/sync.hpp"
 
 namespace drx::obs {
 
@@ -42,12 +41,12 @@ namespace {
 /// Sampler thread state. The condition variable (not sleep) makes
 /// stop_sampler prompt, so tests with 1 ms intervals do not linger.
 struct SamplerState {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::unique_ptr<SampleRing> ring;
-  std::thread worker;
-  bool running = false;
-  bool stop_requested = false;
+  util::Mutex mu;
+  util::CondVar cv;
+  std::unique_ptr<SampleRing> ring DRX_GUARDED_BY(mu);
+  std::thread worker DRX_GUARDED_BY(mu);
+  bool running DRX_GUARDED_BY(mu) = false;
+  bool stop_requested DRX_GUARDED_BY(mu) = false;
 };
 
 SamplerState& state() {
@@ -55,7 +54,7 @@ SamplerState& state() {
   return *s;
 }
 
-void take_sample_locked(SamplerState& s) {
+void take_sample_locked(SamplerState& s) DRX_REQUIRES(s.mu) {
   if (s.ring == nullptr) s.ring = std::make_unique<SampleRing>(
       kDefaultSeriesCapacity);
   s.ring->push(Sample{trace_now_ns() / 1000, live_snapshot()});
@@ -63,7 +62,7 @@ void take_sample_locked(SamplerState& s) {
 
 void sampler_main(std::uint64_t interval_ms) {
   SamplerState& s = state();
-  std::unique_lock<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   while (!s.stop_requested) {
     // Sample first so even one interval's worth of run gets a point;
     // live_snapshot only takes shared locks, so holding mu here cannot
@@ -72,7 +71,10 @@ void sampler_main(std::uint64_t interval_ms) {
     s.cv.wait_for(lock,
                   std::chrono::milliseconds(
                       static_cast<std::int64_t>(interval_ms)),
-                  [&] { return s.stop_requested; });
+                  [&] {
+                    s.mu.assert_held();
+                    return s.stop_requested;
+                  });
   }
 }
 
@@ -107,7 +109,7 @@ void start_sampler(std::uint64_t interval_ms, std::size_t capacity) {
   DRX_CHECK(interval_ms >= 1);
   stop_sampler();
   SamplerState& s = state();
-  std::unique_lock<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   s.ring = std::make_unique<SampleRing>(capacity);
   s.stop_requested = false;
   s.running = true;
@@ -118,7 +120,7 @@ void stop_sampler() {
   SamplerState& s = state();
   std::thread worker;
   {
-    std::unique_lock<std::mutex> lock(s.mu);
+    util::MutexLock lock(s.mu);
     if (!s.running) return;
     s.stop_requested = true;
     s.running = false;
@@ -130,25 +132,25 @@ void stop_sampler() {
 
 bool sampler_running() {
   SamplerState& s = state();
-  std::unique_lock<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   return s.running;
 }
 
 void sampler_sample_now() {
   SamplerState& s = state();
-  std::unique_lock<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   take_sample_locked(s);
 }
 
 std::vector<Sample> sampler_series() {
   SamplerState& s = state();
-  std::unique_lock<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   return s.ring != nullptr ? s.ring->ordered() : std::vector<Sample>{};
 }
 
 void clear_sampler_series() {
   SamplerState& s = state();
-  std::unique_lock<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   s.ring.reset();
 }
 

@@ -4,12 +4,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <mutex>
 #include <set>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "util/logging.hpp"
+#include "util/sync.hpp"
 
 namespace drx::obs {
 
@@ -33,10 +33,10 @@ struct TraceEvent {
 constexpr std::size_t kMaxEvents = 1U << 20;
 
 struct TraceState {
-  std::mutex mu;
-  std::string path;
-  std::vector<TraceEvent> events;
-  std::uint64_t dropped = 0;
+  util::Mutex mu;
+  std::string path DRX_GUARDED_BY(mu);
+  std::vector<TraceEvent> events DRX_GUARDED_BY(mu);
+  std::uint64_t dropped DRX_GUARDED_BY(mu) = 0;
 };
 
 TraceState& state() {
@@ -65,7 +65,11 @@ struct EnvInit {
   EnvInit() {
     const char* env = std::getenv("DRX_TRACE");
     if (env != nullptr && env[0] != '\0') {
-      state().path = env;
+      TraceState& s = state();
+      {
+        util::MutexLock lock(s.mu);
+        s.path = env;
+      }
       detail::g_trace_enabled.store(true, std::memory_order_relaxed);
       std::atexit(flush_at_exit);
     }
@@ -85,14 +89,14 @@ std::uint64_t trace_now_ns() {
 
 void set_trace_path(const std::string& path) {
   TraceState& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   s.path = path;
   detail::g_trace_enabled.store(!path.empty(), std::memory_order_relaxed);
 }
 
 std::string trace_path() {
   TraceState& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   return s.path;
 }
 
@@ -101,7 +105,7 @@ void record_span(const char* name, const char* category, std::uint64_t ts_ns,
   const int rank = current_rank();
   const std::uint32_t tid = thread_tid();
   TraceState& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   if (s.events.size() >= kMaxEvents) {
     ++s.dropped;
     // Surfaced as a counter so truncated traces are machine-detectable
@@ -119,7 +123,7 @@ Status write_trace(const std::string& path) {
   std::uint64_t dropped = 0;
   {
     TraceState& s = state();
-    std::lock_guard<std::mutex> lock(s.mu);
+    util::MutexLock lock(s.mu);
     events = s.events;
     dropped = s.dropped;
   }
@@ -185,20 +189,20 @@ Status flush_trace() {
 
 void clear_trace() {
   TraceState& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   s.events.clear();
   s.dropped = 0;
 }
 
 std::size_t trace_event_count() {
   TraceState& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   return s.events.size();
 }
 
 std::uint64_t trace_dropped_count() {
   TraceState& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   return s.dropped;
 }
 

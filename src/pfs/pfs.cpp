@@ -10,8 +10,13 @@
 namespace drx::pfs {
 
 /// An I/O server: a service point that handles one request at a time.
+/// The mutex guards the server's slice of every file: each (file, server)
+/// datafile in FileHandle::State, which GUARDED_BY cannot express across
+/// structs (the static contract lives in the access pattern below: every
+/// datafiles[s] touch holds servers[s]->mu).
 struct Pfs::Server {
-  std::mutex mu;
+  // drx-lint: allow(unannotated-mutex-member) guards fields of another struct
+  util::Mutex mu;
 };
 
 /// Striped file state: one datafile (BlockDevice) per server, plus the
@@ -32,8 +37,8 @@ struct FileHandle::State {
   std::vector<std::shared_ptr<Pfs::Server>> servers;
   std::vector<std::unique_ptr<BlockDevice>> datafiles;
 
-  std::mutex size_mu;
-  std::uint64_t logical_size = 0;
+  util::Mutex size_mu;
+  std::uint64_t logical_size DRX_GUARDED_BY(size_mu) = 0;
 
   /// One scatter/gather piece of a server request: `length` bytes at
   /// `buf_offset` in the caller's buffer.
@@ -94,7 +99,7 @@ Status FileHandle::read_at(std::uint64_t offset, std::span<std::byte> out) {
   DRX_CHECK(valid());
   obs::ScopedSpan span("pfs.read", "pfs", out.size());
   {
-    std::lock_guard<std::mutex> lock(state_->size_mu);
+    util::MutexLock lock(state_->size_mu);
     if (checked_add(offset, out.size()) > state_->logical_size) {
       return Status(ErrorCode::kOutOfRange, "read past end of file");
     }
@@ -106,7 +111,7 @@ Status FileHandle::read_at(std::uint64_t offset, std::span<std::byte> out) {
                      static_cast<std::uint32_t>(seg.server), seg.length);
     {
       obs::ScopedSpan seg_span("pfs.server_read", "pfs", seg.length);
-      std::lock_guard<std::mutex> lock(state_->servers[seg.server]->mu);
+      util::MutexLock lock(state_->servers[seg.server]->mu);
       BlockDevice& device = *state_->datafiles[seg.server];
       // The range is inside the logical file size (checked above) but may
       // cross a sparse hole whose stripes were never materialized on this
@@ -143,11 +148,11 @@ Status FileHandle::write_at(std::uint64_t offset,
     obs::profile_pfs(/*write=*/true,
                      static_cast<std::uint32_t>(seg.server), seg.length);
     obs::ScopedSpan seg_span("pfs.server_write", "pfs", seg.length);
-    std::lock_guard<std::mutex> lock(state_->servers[seg.server]->mu);
+    util::MutexLock lock(state_->servers[seg.server]->mu);
     DRX_RETURN_IF_ERROR(
         state_->datafiles[seg.server]->write(seg.local_offset, staging));
   }
-  std::lock_guard<std::mutex> lock(state_->size_mu);
+  util::MutexLock lock(state_->size_mu);
   state_->logical_size =
       std::max(state_->logical_size, checked_add(offset, data.size()));
   return Status::ok();
@@ -155,17 +160,17 @@ Status FileHandle::write_at(std::uint64_t offset,
 
 std::uint64_t FileHandle::size() const {
   DRX_CHECK(valid());
-  std::lock_guard<std::mutex> lock(state_->size_mu);
+  util::MutexLock lock(state_->size_mu);
   return state_->logical_size;
 }
 
 Status FileHandle::truncate(std::uint64_t new_size) {
   DRX_CHECK(valid());
-  std::lock_guard<std::mutex> size_lock(state_->size_mu);
+  util::MutexLock size_lock(state_->size_mu);
   // Resize every datafile to exactly the portion of new_size it holds;
   // growth zero-fills (sparse-file semantics).
   for (std::size_t s = 0; s < state_->servers.size(); ++s) {
-    std::lock_guard<std::mutex> lock(state_->servers[s]->mu);
+    util::MutexLock lock(state_->servers[s]->mu);
     const std::uint64_t n = state_->servers.size();
     const std::uint64_t full_stripes = new_size / state_->stripe;
     const std::uint64_t rem = new_size % state_->stripe;
@@ -196,7 +201,7 @@ Pfs::Pfs(PfsConfig config) : config_(config) {
 Pfs::~Pfs() = default;
 
 Result<FileHandle> Pfs::create(const std::string& name, bool overwrite) {
-  std::lock_guard<std::mutex> lock(ns_mu_);
+  util::MutexLock lock(ns_mu_);
   if (files_.contains(name) && !overwrite) {
     return Status(ErrorCode::kAlreadyExists, "file exists: " + name);
   }
@@ -213,7 +218,7 @@ Result<FileHandle> Pfs::create(const std::string& name, bool overwrite) {
 }
 
 Result<FileHandle> Pfs::open(const std::string& name) {
-  std::lock_guard<std::mutex> lock(ns_mu_);
+  util::MutexLock lock(ns_mu_);
   auto it = files_.find(name);
   if (it == files_.end()) {
     return Status(ErrorCode::kNotFound, "no such file: " + name);
@@ -222,12 +227,12 @@ Result<FileHandle> Pfs::open(const std::string& name) {
 }
 
 bool Pfs::exists(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(ns_mu_);
+  util::MutexLock lock(ns_mu_);
   return files_.contains(name);
 }
 
 Status Pfs::remove(const std::string& name) {
-  std::lock_guard<std::mutex> lock(ns_mu_);
+  util::MutexLock lock(ns_mu_);
   if (files_.erase(name) == 0) {
     return Status(ErrorCode::kNotFound, "no such file: " + name);
   }
@@ -235,7 +240,7 @@ Status Pfs::remove(const std::string& name) {
 }
 
 std::vector<std::string> Pfs::list() const {
-  std::lock_guard<std::mutex> lock(ns_mu_);
+  util::MutexLock lock(ns_mu_);
   std::vector<std::string> names;
   names.reserve(files_.size());
   for (const auto& [name, _] : files_) names.push_back(name);
@@ -243,11 +248,11 @@ std::vector<std::string> Pfs::list() const {
 }
 
 std::vector<IoStats> Pfs::server_stats() const {
-  std::lock_guard<std::mutex> lock(ns_mu_);
+  util::MutexLock lock(ns_mu_);
   std::vector<IoStats> stats(servers_.size());
   for (const auto& [_, state] : files_) {
     for (std::size_t s = 0; s < servers_.size(); ++s) {
-      std::lock_guard<std::mutex> server_lock(servers_[s]->mu);
+      util::MutexLock server_lock(servers_[s]->mu);
       stats[s] += state->datafiles[s]->stats();
     }
   }

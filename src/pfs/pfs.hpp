@@ -16,7 +16,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -24,6 +23,7 @@
 #include "pfs/block_device.hpp"
 #include "pfs/cost_model.hpp"
 #include "util/error.hpp"
+#include "util/sync.hpp"
 
 namespace drx::pfs {
 
@@ -99,8 +99,9 @@ class Pfs {
   PfsConfig config_;
   std::vector<std::unique_ptr<Server>> servers_;
 
-  mutable std::mutex ns_mu_;
-  std::map<std::string, std::shared_ptr<FileHandle::State>> files_;
+  mutable util::Mutex ns_mu_;
+  std::map<std::string, std::shared_ptr<FileHandle::State>> files_
+      DRX_GUARDED_BY(ns_mu_);
 };
 
 }  // namespace drx::pfs

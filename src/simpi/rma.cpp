@@ -71,7 +71,7 @@ std::byte* Window::target_base(int target_rank, std::uint64_t offset,
   return reinterpret_cast<std::byte*>(bases_[r]) + offset;
 }
 
-std::mutex& Window::target_mutex(int target_rank) const {
+util::Mutex& Window::target_mutex(int target_rank) const {
   return shared_->locks[static_cast<std::size_t>(target_rank)];
 }
 
@@ -79,7 +79,7 @@ void Window::get(int target_rank, std::uint64_t target_offset,
                  std::span<std::byte> out) {
   note_rma("simpi.rma.gets", "simpi.rma.bytes_get", out.size());
   const std::byte* src = target_base(target_rank, target_offset, out.size());
-  std::lock_guard<std::mutex> lock(target_mutex(target_rank));
+  util::MutexLock lock(target_mutex(target_rank));
   std::memcpy(out.data(), src, out.size());
 }
 
@@ -87,7 +87,7 @@ void Window::put(int target_rank, std::uint64_t target_offset,
                  std::span<const std::byte> data) {
   note_rma("simpi.rma.puts", "simpi.rma.bytes_put", data.size());
   std::byte* dst = target_base(target_rank, target_offset, data.size());
-  std::lock_guard<std::mutex> lock(target_mutex(target_rank));
+  util::MutexLock lock(target_mutex(target_rank));
   std::memcpy(dst, data.data(), data.size());
 }
 

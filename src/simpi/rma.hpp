@@ -10,11 +10,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "simpi/comm.hpp"
+#include "util/sync.hpp"
 
 namespace drx::simpi {
 
@@ -56,7 +56,7 @@ class Window {
     detail::note_rma_accumulate(data.size_bytes());
     std::byte* base = target_base(target_rank, target_offset,
                                   data.size_bytes());
-    std::lock_guard<std::mutex> lock(target_mutex(target_rank));
+    util::MutexLock lock(target_mutex(target_rank));
     T* dst = reinterpret_cast<T*>(base);
     for (std::size_t i = 0; i < data.size(); ++i) dst[i] += data[i];
   }
@@ -68,11 +68,15 @@ class Window {
   /// Validates the target range and returns its local address.
   std::byte* target_base(int target_rank, std::uint64_t offset,
                          std::uint64_t len) const;
-  std::mutex& target_mutex(int target_rank) const;
+  util::Mutex& target_mutex(int target_rank) const;
 
+  /// The per-target lock table. Each lock serializes one-sided access to
+  /// that rank's exposed region — memory owned by user code, so there is
+  /// no field here for GUARDED_BY to name.
   struct Shared {
     explicit Shared(std::size_t n) : locks(n) {}
-    std::vector<std::mutex> locks;
+    // drx-lint: allow(unannotated-mutex-member) guards caller-owned memory
+    std::vector<util::Mutex> locks;
   };
 
   Comm* comm_;

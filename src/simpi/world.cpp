@@ -11,7 +11,7 @@ namespace detail {
 
 void Mailbox::push(Message msg) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     queue_.push_back(std::move(msg));
   }
   cv_.notify_all();
@@ -26,7 +26,7 @@ bool Mailbox::matches(const Message& m, int source, int tag,
 }
 
 Message Mailbox::pop(int source, int tag, std::uint32_t context) {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (;;) {
     auto it = std::find_if(queue_.begin(), queue_.end(),
                            [&](const Message& m) {
@@ -43,7 +43,7 @@ Message Mailbox::pop(int source, int tag, std::uint32_t context) {
 
 std::optional<Message> Mailbox::try_pop(int source, int tag,
                                         std::uint32_t context) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = std::find_if(queue_.begin(), queue_.end(),
                          [&](const Message& m) {
                            return matches(m, source, tag, context);
@@ -56,7 +56,7 @@ std::optional<Message> Mailbox::try_pop(int source, int tag,
 
 void Mailbox::probe(int source, int tag, std::uint32_t context,
                     int& out_source, int& out_tag, std::size_t& out_size) {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (;;) {
     auto it = std::find_if(queue_.begin(), queue_.end(),
                            [&](const Message& m) {
@@ -73,7 +73,7 @@ void Mailbox::probe(int source, int tag, std::uint32_t context,
 }
 
 void BarrierState::arrive_and_wait() {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const std::uint64_t my_generation = generation_;
   if (++arrived_ == nranks_) {
     arrived_ = 0;
@@ -81,7 +81,10 @@ void BarrierState::arrive_and_wait() {
     cv_.notify_all();
     return;
   }
-  cv_.wait(lock, [&] { return generation_ != my_generation; });
+  cv_.wait(lock, [&] {
+    mu_.assert_held();
+    return generation_ != my_generation;
+  });
 }
 
 }  // namespace detail
@@ -97,7 +100,7 @@ detail::Mailbox& World::mailbox(int rank) {
 }
 
 detail::BarrierState& World::barrier(std::uint32_t context, int nranks) {
-  std::lock_guard<std::mutex> lock(barrier_mu_);
+  util::MutexLock lock(barrier_mu_);
   for (auto& [id, state] : barriers_) {
     if (id == context) return *state;
   }
@@ -107,7 +110,7 @@ detail::BarrierState& World::barrier(std::uint32_t context, int nranks) {
 }
 
 std::uint32_t World::allocate_context() {
-  std::lock_guard<std::mutex> lock(context_mu_);
+  util::MutexLock lock(context_mu_);
   return next_context_++;
 }
 

@@ -8,15 +8,15 @@
 // RMA window implementation.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace drx::simpi {
 
@@ -58,9 +58,9 @@ class Mailbox {
   [[nodiscard]] bool matches(const Message& m, int source, int tag,
                              std::uint32_t context) const;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Message> queue_;
+  util::Mutex mu_;
+  util::CondVar cv_;
+  std::deque<Message> queue_ DRX_GUARDED_BY(mu_);
 };
 
 /// Centralized sense-reversing barrier, one instance per context id.
@@ -70,11 +70,11 @@ class BarrierState {
   void arrive_and_wait();
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
+  util::Mutex mu_;
+  util::CondVar cv_;
   int nranks_;
-  int arrived_ = 0;
-  std::uint64_t generation_ = 0;
+  int arrived_ DRX_GUARDED_BY(mu_) = 0;
+  std::uint64_t generation_ DRX_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace detail
@@ -101,13 +101,14 @@ class World {
   int nranks_;
   std::vector<detail::Mailbox> mailboxes_;
 
-  std::mutex barrier_mu_;
+  util::Mutex barrier_mu_;
   // BarrierState is neither movable nor copyable; store stable pointers.
   std::vector<std::pair<std::uint32_t, std::unique_ptr<detail::BarrierState>>>
-      barriers_;
+      barriers_ DRX_GUARDED_BY(barrier_mu_);
 
-  std::mutex context_mu_;
-  std::uint32_t next_context_ = 1;  // 0 is reserved for the world comm
+  util::Mutex context_mu_;
+  /// 0 is reserved for the world comm.
+  std::uint32_t next_context_ DRX_GUARDED_BY(context_mu_) = 1;
 };
 
 }  // namespace drx::simpi

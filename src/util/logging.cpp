@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "util/sync.hpp"
 
 namespace drx {
 
@@ -46,7 +47,9 @@ void set_log_level(LogLevel level) noexcept {
 }
 
 void log_message(LogLevel level, const std::string& msg) {
-  static std::mutex mu;
+  // Serializes the stderr stream only; there is no guarded field.
+  // drx-lint: allow(unannotated-mutex-member) interleaving guard for stderr
+  static util::Mutex mu;
   const char* tag = "?";
   switch (level) {
     case LogLevel::kError: tag = "E"; break;
@@ -55,7 +58,7 @@ void log_message(LogLevel level, const std::string& msg) {
     case LogLevel::kDebug: tag = "D"; break;
     case LogLevel::kOff: return;
   }
-  std::lock_guard<std::mutex> lock(mu);
+  util::MutexLock lock(mu);
   std::fprintf(stderr, "[drx %s] %s\n", tag, msg.c_str());
 }
 

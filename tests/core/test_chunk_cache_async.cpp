@@ -355,6 +355,72 @@ TEST(CachedDrxFileAsync, ReadBoxMatchesSyncModeResult) {
   EXPECT_EQ(out_a, out_s);
 }
 
+TEST(ChunkCacheAsync, FlushSurfacesErrorFromItsOwnWritebacks) {
+  FaultyStorage::Controls controls;
+  DrxFile file = make_faulty_file(controls, Shape{4, 4}, Shape{2, 2});
+  ChunkCache cache(file, 4, kAsync);
+
+  // Dirty frames stay resident (capacity 4, no eviction): the failing
+  // writes are queued by flush() itself, not by earlier evictions.
+  for (std::uint64_t q = 0; q < 4; ++q) {
+    auto p = cache.pin(q);
+    ASSERT_TRUE(p.is_ok());
+    const double v = static_cast<double>(q);
+    std::memcpy(p.value().data(), &v, sizeof(v));
+    cache.unpin(q, /*dirty=*/true);
+  }
+  controls.fail_writes_after = 0;
+
+  const Status first = cache.flush();
+  EXPECT_FALSE(first.is_ok());
+  EXPECT_EQ(first.code(), ErrorCode::kIoError);
+  // Surfaced once; sticky in last_error() afterwards.
+  controls.fail_writes_after = -1;
+  EXPECT_TRUE(cache.flush().is_ok());
+  EXPECT_EQ(cache.last_error().code(), ErrorCode::kIoError);
+}
+
+// Regression test for the flush/set race: flush() used to write a
+// frame's buffer to storage while a concurrent pinner was memcpy-ing
+// into the same bytes (pin() hands out raw spans, written without any
+// lock). flush now claims a frame only once its pin count drops to zero
+// and holds a flushing mark across the unlocked write, so a writer and
+// a flusher can never touch one buffer at the same time. Run under
+// -fsanitize=thread (ctest -R Tsan / CI tsan job) this fails on the old
+// code and is quiet on the new design.
+TEST(ChunkCacheAsync, ConcurrentFlushAndSetDoNotRaceOnFrameBuffer) {
+  FaultyStorage::Controls controls;
+  controls.write_delay_ms = 1;  // widen the unlocked write-back window
+  DrxFile file = make_faulty_file(controls, Shape{4, 4}, Shape{2, 2});
+  ChunkCache cache(file, 2, ChunkCache::AsyncOptions{1, 0});
+
+  constexpr int kIters = 200;
+  std::thread writer([&] {
+    for (int i = 1; i <= kIters; ++i) {
+      auto p = cache.pin(0);
+      ASSERT_TRUE(p.is_ok());
+      auto* slot = reinterpret_cast<double*>(p.value().data());
+      slot[0] = static_cast<double>(i);
+      cache.unpin(0, /*dirty=*/true);
+    }
+  });
+  std::thread flusher([&] {
+    for (int i = 0; i < kIters / 4; ++i) {
+      ASSERT_TRUE(cache.flush().is_ok());
+    }
+  });
+  writer.join();
+  flusher.join();
+
+  ASSERT_TRUE(cache.flush().is_ok());
+  EXPECT_TRUE(cache.last_error().is_ok());
+  std::vector<std::byte> chunk(checked_size(file.chunk_bytes()));
+  ASSERT_TRUE(file.read_chunk(0, chunk).is_ok());
+  double seen = 0;
+  std::memcpy(&seen, chunk.data(), sizeof(seen));
+  EXPECT_EQ(seen, static_cast<double>(kIters));
+}
+
 // Many simpi rank-threads hammering ONE shared cache: the TSan target.
 // Each rank owns a disjoint slice of chunk addresses (pin contents are
 // unsynchronized between pinners, so only owners touch bytes), but all

@@ -84,5 +84,65 @@ TEST(JsonValidate, RejectsOverlyDeepNesting) {
   EXPECT_TRUE(json_validate(fine));
 }
 
+// json_parse error paths: every rejection must come back as a kCorrupt
+// Status with a byte offset, never a crash or a half-built value.
+
+TEST(JsonParse, TruncatedInputReportsCorrupt) {
+  for (const char* doc : {"{\"a\": [1, 2", "[1, 2,", "{\"a\":", "\"unterm",
+                          "\"esc\\", "\"\\u00", "tru", "-"}) {
+    auto parsed = json_parse(doc);
+    ASSERT_FALSE(parsed.is_ok()) << "accepted truncated doc: " << doc;
+    EXPECT_EQ(parsed.status().code(), ErrorCode::kCorrupt) << doc;
+    EXPECT_NE(parsed.status().to_string().find("byte"), std::string::npos)
+        << "error should carry a byte offset: "
+        << parsed.status().to_string();
+  }
+}
+
+TEST(JsonParse, TrailingGarbageReportsCorrupt) {
+  auto parsed = json_parse("{\"a\": 1} extra");
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_EQ(parsed.status().code(), ErrorCode::kCorrupt);
+  EXPECT_NE(parsed.status().to_string().find("trailing"), std::string::npos);
+}
+
+TEST(JsonParse, BadSurrogatePairsRejected) {
+  // Unpaired high surrogate, high followed by a non-surrogate escape,
+  // bare low surrogate, and a low surrogate out of range.
+  for (const char* doc : {"\"\\ud834\"", "\"\\ud834\\u0041\"",
+                          "\"\\udd1e\"", "\"\\ud834\\ue000\""}) {
+    auto parsed = json_parse(doc);
+    EXPECT_FALSE(parsed.is_ok()) << "accepted bad surrogate doc: " << doc;
+  }
+}
+
+TEST(JsonParse, ValidSurrogatePairDecodesToUtf8) {
+  auto parsed = json_parse("\"\\ud834\\udd1e\"");  // U+1D11E, musical G clef
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  ASSERT_TRUE(parsed.value().is_string());
+  EXPECT_EQ(parsed.value().as_string(), "\xF0\x9D\x84\x9E");
+}
+
+TEST(JsonParse, DeepNestingRejectedAtLimitNotCrash) {
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  auto rejected = json_parse(deep);
+  ASSERT_FALSE(rejected.is_ok());
+  EXPECT_EQ(rejected.status().code(), ErrorCode::kCorrupt);
+
+  std::string fine(200, '[');
+  fine += "1";
+  fine += std::string(200, ']');
+  auto parsed = json_parse(fine);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const JsonValue* v = &parsed.value();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(v->is_array());
+    ASSERT_EQ(v->array.size(), 1u);
+    v = &v->array[0];
+  }
+  EXPECT_EQ(v->as_number(), 1.0);
+}
+
 }  // namespace
 }  // namespace drx::obs

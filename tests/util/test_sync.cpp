@@ -1,0 +1,176 @@
+// Behavioral tests for the annotated sync primitives (util/sync.hpp).
+//
+// The thread-safety annotations themselves are verified at compile time
+// by clang (-Wthread-safety, CI job `thread-safety`); these tests pin the
+// runtime semantics the annotated wrappers promise: mutual exclusion,
+// relockable MutexLock windows, CondVar wakeups, and shared/exclusive
+// reader-writer behavior — so a wrapper refactor cannot silently change
+// what the primitives do while keeping the annotations green.
+
+#include "util/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace drx::util {
+namespace {
+
+TEST(MutexTest, ProvidesMutualExclusion) {
+  Mutex mu;
+  int counter DRX_GUARDED_BY(mu) = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  MutexLock lock(mu);
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(MutexTest, TryLockFailsWhileHeldAndSucceedsAfterRelease) {
+  Mutex mu;
+  mu.lock();
+  std::atomic<bool> acquired{true};
+  std::thread probe([&] {
+    if (mu.try_lock()) {
+      mu.unlock();
+    } else {
+      acquired = false;
+    }
+  });
+  probe.join();
+  EXPECT_FALSE(acquired);
+  mu.unlock();
+  ASSERT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(MutexLockTest, UnlockReopensTheMutexAndRelockCloses) {
+  Mutex mu;
+  MutexLock lock(mu);
+  EXPECT_TRUE(lock.owns_lock());
+
+  lock.unlock();
+  EXPECT_FALSE(lock.owns_lock());
+  // Another thread can take the mutex inside the unlocked window.
+  std::thread other([&] {
+    MutexLock inner(mu);
+  });
+  other.join();
+
+  lock.lock();
+  EXPECT_TRUE(lock.owns_lock());
+}
+
+TEST(MutexLockTest, DestructorReleasesEvenAfterManualRelock) {
+  Mutex mu;
+  {
+    MutexLock lock(mu);
+    lock.unlock();
+    lock.lock();
+  }
+  // If the destructor leaked the lock this try_lock would fail.
+  ASSERT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(CondVarTest, PredicateWaitSeesGuardedWrite) {
+  Mutex mu;
+  CondVar cv;
+  bool ready DRX_GUARDED_BY(mu) = false;
+
+  std::thread producer([&] {
+    MutexLock lock(mu);
+    ready = true;
+    cv.notify_one();
+  });
+
+  {
+    MutexLock lock(mu);
+    cv.wait(lock, [&] {
+      mu.assert_held();
+      return ready;
+    });
+    EXPECT_TRUE(ready);
+  }
+  producer.join();
+}
+
+TEST(CondVarTest, WaitForTimesOutWhenPredicateStaysFalse) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  const bool woke = cv.wait_for(lock, std::chrono::milliseconds(10),
+                                [] { return false; });
+  EXPECT_FALSE(woke);
+  EXPECT_TRUE(lock.owns_lock());  // wait_for reacquires before returning
+}
+
+TEST(SharedMutexTest, ReadersShareWritersExclude) {
+  SharedMutex mu;
+  int value DRX_GUARDED_BY(mu) = 0;
+  std::atomic<int> concurrent_readers{0};
+  std::atomic<int> max_concurrent{0};
+  constexpr int kReaders = 4;
+
+  {
+    // Hold a reader lock on this thread; other readers must still enter.
+    ReaderMutexLock outer(mu);
+    std::vector<std::thread> readers;
+    readers.reserve(kReaders);
+    for (int t = 0; t < kReaders; ++t) {
+      readers.emplace_back([&] {
+        ReaderMutexLock r(mu);
+        const int now = concurrent_readers.fetch_add(1) + 1;
+        int prev = max_concurrent.load();
+        while (prev < now && !max_concurrent.compare_exchange_weak(prev, now)) {
+        }
+        EXPECT_EQ(value, 0);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        concurrent_readers.fetch_sub(1);
+      });
+    }
+    for (std::thread& r : readers) r.join();
+    EXPECT_GE(max_concurrent.load(), 2) << "readers never overlapped";
+  }
+
+  {
+    WriterMutexLock w(mu);
+    value = 42;
+  }
+  ReaderMutexLock r(mu);
+  EXPECT_EQ(value, 42);
+}
+
+TEST(SharedMutexTest, WriterWaitsForReader) {
+  SharedMutex mu;
+  std::atomic<bool> writer_done{false};
+  std::thread writer;
+  {
+    ReaderMutexLock r(mu);
+    writer = std::thread([&] {
+      WriterMutexLock w(mu);
+      writer_done = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_FALSE(writer_done) << "writer entered while a reader held mu";
+    // ~ReaderMutexLock releases the shared hold, letting the writer in.
+  }
+  writer.join();
+  EXPECT_TRUE(writer_done);
+}
+
+}  // namespace
+}  // namespace drx::util
