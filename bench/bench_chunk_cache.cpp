@@ -165,7 +165,8 @@ int main() {
   std::printf("\nexpected shape: sequential and hot-set accesses become "
               "nearly I/O-free (one fault per chunk / per working-set "
               "chunk); uniform random over an array that dwarfs the pool "
-              "can even lose — each miss moves a whole chunk where raw "
-              "access moved one element.\n");
+              "stays >= 1.0x — the DRX_CACHE_ADMIT ghost filter bypasses "
+              "scan misses instead of faulting whole chunks for them "
+              "(docs/PERFORMANCE.md).\n");
   return 0;
 }

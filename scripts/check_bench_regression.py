@@ -91,6 +91,33 @@ def compare_tables(name, base, cur, tolerance):
     return warnings
 
 
+def copy_coalescing_warnings(current, min_ratio):
+    """Check the run-coalescing invariant from docs/PERFORMANCE.md.
+
+    bench_scatter reports embed the obs counter snapshot; a healthy
+    CopyPlan data plane moves many elements per memcpy run, so
+    core.copy.elements / core.copy.runs must stay >= min_ratio. A ratio
+    near 1 means some path degraded back to element-granular copies.
+    """
+    doc = current.get("bench_scatter")
+    if doc is None:
+        return ["copy-coalescing: no bench_scatter report to check"]
+    counters = doc.get("metrics", {}).get("counters", {})
+    runs = counters.get("core.copy.runs", 0)
+    elements = counters.get("core.copy.elements", 0)
+    if runs <= 0 or elements <= 0:
+        return ["copy-coalescing: core.copy.runs/core.copy.elements "
+                "counters missing from bench_scatter metrics"]
+    ratio = elements / runs
+    print(f"copy-coalescing: {elements} elements over {runs} runs "
+          f"({ratio:.1f} elements/run, floor {min_ratio:g})")
+    if ratio < min_ratio:
+        return [f"copy-coalescing: only {ratio:.1f} elements per memcpy "
+                f"run (floor {min_ratio:g}) — a scatter/gather path has "
+                "regressed to element-granular copies"]
+    return []
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="check_bench_regression.py",
@@ -104,6 +131,11 @@ def main(argv=None):
     parser.add_argument(
         "tolerance", nargs="?", type=float, default=0.25,
         help="allowed relative drift per cell (default: 0.25 = 25%%)")
+    parser.add_argument(
+        "--copy-coalescing", type=float, nargs="?", const=5.0, default=None,
+        metavar="MIN_RATIO",
+        help="also require core.copy.elements/core.copy.runs >= MIN_RATIO "
+             "in the current bench_scatter metrics (default floor: 5)")
     args = parser.parse_args(argv)
 
     try:
@@ -120,6 +152,9 @@ def main(argv=None):
             warnings.append(f"{name}: bench missing from current report")
             continue
         warnings.extend(compare_tables(name, base, cur, args.tolerance))
+    if args.copy_coalescing is not None:
+        warnings.extend(copy_coalescing_warnings(current,
+                                                 args.copy_coalescing))
 
     compared = sorted(set(baseline) & set(current))
     print(f"compared {len(compared)} bench(es) against baseline "

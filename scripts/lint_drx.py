@@ -40,6 +40,18 @@ Rules (see docs/STATIC_ANALYSIS.md for the full rationale):
                           the ChunkCache lock mu_; buffers come from the
                           recycled free list (take_buffer_locked).
 
+  element-granular-copy   The data-plane hot paths (scatter/copy_plan,
+                          drx_file, chunk_cache, drxmp, and the dra_like /
+                          rowmajor baselines) must not walk elements with
+                          for_each_index: element movement goes through
+                          the run-coalesced core::CopyPlan
+                          (docs/PERFORMANCE.md). Chunk-GRID iteration is
+                          fine and is recognized when the call line
+                          mentions chunk/covering/zone; anything else
+                          (e.g. a row-granular loop) carries a
+                          suppression explaining why each visit moves a
+                          run, not an element.
+
 Suppressions: `// drx-lint: allow(<rule>) <reason>` on the offending
 line, in the contiguous comment block directly above it, or anywhere
 earlier in the same function body (the allowance resets at the next
@@ -70,6 +82,21 @@ OBS_SLOW_CALL = re.compile(r"\b(?:detail::)?(profile_\w+_slow|record_span)\s*\("
 AXIAL_EXTEND = re.compile(r"\bmapping\s*\.\s*extend\s*\(")
 CACHE_IO = re.compile(r"file_->(read_chunk|write_chunk|read_chunks)\s*\(")
 CACHE_ALLOC = re.compile(r"std::make_unique<\s*std::byte\[\]\s*>")
+ELEMENT_WALK = re.compile(r"\bfor_each_index\s*\(")
+CHUNK_GRID_HINT = re.compile(r"chunk|covering|zone", re.IGNORECASE)
+# Data-plane files where a per-element walk is a coalescing regression.
+HOT_COPY_FILES = {
+    "src/core/scatter.hpp",
+    "src/core/copy_plan.hpp",
+    "src/core/copy_plan.cpp",
+    "src/core/drx_file.cpp",
+    "src/core/chunk_cache.hpp",
+    "src/core/chunk_cache.cpp",
+    "src/core/drxmp.hpp",
+    "src/core/drxmp.cpp",
+    "src/baselines/dra_like.cpp",
+    "src/baselines/rowmajor_file.cpp",
+}
 SUPPRESS = re.compile(r"//\s*drx-lint:\s*allow\(([\w-]+)\)\s*(\S.*)?$")
 FUNC_DEF = re.compile(r"^[A-Za-z_][\w:<>,&*\s]*::\w+\s*\(|^\w[\w\s:<>,&*]*\s+\w+\s*\(.*\)\s*(?:const\s*)?(?:DRX_\w+\([^)]*\)\s*)*\{?\s*$")
 
@@ -182,6 +209,17 @@ def lint_common(path: Path, rel: str, lines: list[str],
                     "direct mapping.extend(); grow through "
                     "Metadata::extend_elements so element bounds and the "
                     "chunk grid stay consistent"))
+
+        if (rel in HOT_COPY_FILES
+                and "element-granular-copy" not in allowed
+                and ELEMENT_WALK.search(code)
+                and not CHUNK_GRID_HINT.search(code)):
+            findings.append(Finding(
+                path, i + 1, "element-granular-copy",
+                "per-element for_each_index walk in a data-plane hot "
+                "path; move elements through the run-coalesced "
+                "core::CopyPlan (chunk-grid iteration is recognized by "
+                "chunk/covering/zone on the call line)"))
 
 
 def lint_mutex_members(path: Path, lines: list[str],

@@ -110,6 +110,38 @@ class TestBenchRegression(unittest.TestCase):
         self.assertIn("WARN:", out)
         self.assertIn("+100%", out)
 
+    def test_copy_coalescing_healthy_ratio_ok(self):
+        doc = bench_doc("bench_scatter", [["r", "x", "10", "20"]],
+                        {"core.copy.runs": 100,
+                         "core.copy.elements": 100000})
+        with tempfile.TemporaryDirectory() as tmp:
+            path = write_report(tmp, "r.json", [doc])
+            code, out, _ = run_main(
+                bench_regression, [path, path, "--copy-coalescing"])
+        self.assertEqual(code, 0)
+        self.assertIn("1000.0 elements/run", out)
+        self.assertNotIn("WARN:", out)
+
+    def test_copy_coalescing_degraded_ratio_warns(self):
+        doc = bench_doc("bench_scatter", [["r", "x", "10", "20"]],
+                        {"core.copy.runs": 100,
+                         "core.copy.elements": 150})
+        with tempfile.TemporaryDirectory() as tmp:
+            path = write_report(tmp, "r.json", [doc])
+            code, out, _ = run_main(
+                bench_regression, [path, path, "--copy-coalescing", "5"])
+        self.assertEqual(code, 0)  # warn-only by design
+        self.assertIn("WARN: copy-coalescing", out)
+
+    def test_copy_coalescing_missing_counters_warns(self):
+        doc = bench_doc("bench_scatter", [["r", "x", "10", "20"]])
+        with tempfile.TemporaryDirectory() as tmp:
+            path = write_report(tmp, "r.json", [doc])
+            code, out, _ = run_main(
+                bench_regression, [path, path, "--copy-coalescing"])
+        self.assertEqual(code, 0)
+        self.assertIn("counters missing", out)
+
 
 class TestPrefetchGate(unittest.TestCase):
     def test_help_exits_zero(self):
@@ -297,6 +329,31 @@ class TestLintDrx(unittest.TestCase):
             code, out, _ = run_main(lint_drx, ["--root", root])
         self.assertEqual(code, 1)
         self.assertIn("cache-lock-alloc", out)
+
+    def test_element_walk_in_hot_copy_file_flagged(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {
+                "src/core/drx_file.cpp":
+                    "for_each_index(clip, [&](const Index& i) {});\n"})
+            code, out, _ = run_main(lint_drx, ["--root", root])
+        self.assertEqual(code, 1)
+        self.assertIn("element-granular-copy", out)
+
+    def test_element_walk_over_chunk_grid_allowed(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {
+                "src/core/drx_file.cpp":
+                    "for_each_index(space_.covering_chunks(box), fn);\n"})
+            code, _, _ = run_main(lint_drx, ["--root", root])
+        self.assertEqual(code, 0)
+
+    def test_element_walk_outside_hot_files_allowed(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {
+                "src/core/coords.hpp":
+                    "for_each_index(box, [&](const Index& i) {});\n"})
+            code, _, _ = run_main(lint_drx, ["--root", root])
+        self.assertEqual(code, 0)
 
     def test_repo_tree_is_clean(self):
         repo = SCRIPTS_DIR.parent

@@ -27,12 +27,22 @@ const obs::MetricId kPrefWasted = obs::counter_id("core.cache.prefetch_wasted");
 const obs::MetricId kPrefWaits = obs::counter_id("core.cache.prefetch_waits");
 const obs::MetricId kPrefWaitUs =
     obs::histogram_id("core.cache.prefetch_wait_us");
+const obs::MetricId kAdmitBypasses =
+    obs::counter_id("core.cache.admit_bypasses");
+const obs::MetricId kAdmitPromotions =
+    obs::counter_id("core.cache.admit_promotions");
 }  // namespace
 
 ChunkCache::ChunkCache(DrxFile& file, std::size_t capacity,
                        const AsyncOptions& async)
     : file_(&file), capacity_(capacity) {
   DRX_CHECK(capacity >= 1);
+  // Ghost filter: power-of-two table of recently bypassed addresses,
+  // sized a few multiples of capacity so probation outlives residency
+  // (bounded at 4096 slots of 8 bytes — no chunk buffers, just tags).
+  std::size_t ghost_slots = 64;
+  while (ghost_slots < 4 * capacity && ghost_slots < 4096) ghost_slots <<= 1;
+  ghost_.assign(ghost_slots, kNoAddress);
   if (async.io_threads > 0) {
     io::AsyncIoPool::Options pool_options;
     pool_options.threads = async.io_threads;
@@ -192,6 +202,77 @@ std::uint64_t ChunkCache::reserve_readahead_locked(
   // Keep the detector's run alive across the hits the prefetch creates.
   last_miss_ = first + run - 1;
   return run;
+}
+
+bool ChunkCache::should_bypass_locked(std::uint64_t address, bool write) {
+  // Resident (or in-flight) frames and queued write-behind buffers hold
+  // the newest bytes — the pin path must serve them.
+  if (frames_.count(address) != 0 || pending_writes_.count(address) != 0) {
+    return false;
+  }
+  const io::CacheAdmit mode = io::cache_admit();
+  if (mode == io::CacheAdmit::kAlways) return false;
+  if (mode == io::CacheAdmit::kNever) return true;
+  // auto: an async cache must admit writes — a bypass write racing an
+  // in-flight speculative load of the same chunk would be clobbered when
+  // that (stale) frame is later written back.
+  if (async() && write) return false;
+  const std::uint64_t prev = admit_last_miss_;
+  admit_last_miss_ = address;
+  if (prev != kNoAddress && (address == prev || address == prev + 1)) {
+    // Back-to-back misses on the same chunk (a hot element loop) or on
+    // consecutive addresses (a sequential scan): admit the streaming run.
+    return false;
+  }
+  std::uint64_t& slot = ghost_[address & (ghost_.size() - 1)];
+  if (slot == address) {
+    // Ghost re-touch promotes READ misses only: a read fault is one PFS
+    // request either way and later hits on the resident chunk are free.
+    // Promoting a write miss instead costs a fault read plus an eventual
+    // dirty writeback — two requests where the bypass pays exactly the
+    // one raw access would. The write still refreshes the probation slot
+    // so a following read of the same chunk promotes.
+    if (!write) {
+      ++stats_.admit_promotions;
+      obs::registry().counter(kAdmitPromotions).add();
+      return false;  // re-touched while on probation: demonstrated reuse
+    }
+    return true;
+  }
+  slot = address;
+  return true;
+}
+
+Result<bool> ChunkCache::read_element_bypassed(std::uint64_t address,
+                                               std::uint64_t offset,
+                                               std::span<std::byte> out) {
+  {
+    util::MutexLock lock(mu_);
+    if (!should_bypass_locked(address, /*write=*/false)) return false;
+    ++stats_.admit_bypasses;
+    obs::registry().counter(kAdmitBypasses).add();
+  }
+  const std::uint64_t base = checked_mul(address, file_->chunk_bytes());
+  util::MutexLock io(io_mu_);
+  DRX_RETURN_IF_ERROR(
+      file_->data_storage().read_at(checked_add(base, offset), out));
+  return true;
+}
+
+Result<bool> ChunkCache::write_element_bypassed(
+    std::uint64_t address, std::uint64_t offset,
+    std::span<const std::byte> value) {
+  {
+    util::MutexLock lock(mu_);
+    if (!should_bypass_locked(address, /*write=*/true)) return false;
+    ++stats_.admit_bypasses;
+    obs::registry().counter(kAdmitBypasses).add();
+  }
+  const std::uint64_t base = checked_mul(address, file_->chunk_bytes());
+  util::MutexLock io(io_mu_);
+  DRX_RETURN_IF_ERROR(
+      file_->data_storage().write_at(checked_add(base, offset), value));
+  return true;
 }
 
 void ChunkCache::submit_writes(const std::vector<std::uint64_t>& addresses) {
@@ -588,8 +669,7 @@ Status CachedDrxFile::read_box(const Box& box, MemoryOrder order,
       result = pinned.status();
       return;
     }
-    scatter_chunk_into_box(space_, file_->element_bytes(), pinned.value(), clip,
-                           box, order, out);
+    file_->scatter_chunk(pinned.value(), clip, box, order, out);
     cache_.unpin(q, /*dirty=*/false);
   });
   return result;

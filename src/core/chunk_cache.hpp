@@ -53,6 +53,9 @@ class ChunkCache final : public io::PrefetchSink {
     std::uint64_t prefetch_useful = 0;      ///< prefetched chunks later pinned
     std::uint64_t prefetch_wasted = 0;      ///< prefetched chunks evicted unpinned
     std::uint64_t prefetch_waits = 0;       ///< pins that waited on an in-flight load
+    // Admission-control counters (docs/PERFORMANCE.md).
+    std::uint64_t admit_bypasses = 0;    ///< element misses served by direct I/O
+    std::uint64_t admit_promotions = 0;  ///< ghost hits promoted to residency
   };
 
   /// Async-engine configuration; the default is fully synchronous.
@@ -89,6 +92,30 @@ class ChunkCache final : public io::PrefetchSink {
   /// Releases a pin; `dirty` marks the buffer modified (written back on
   /// eviction or flush — write-back, not write-through). Thread-safe.
   void unpin(std::uint64_t address, bool dirty);
+
+  // ---- scan-resistant admission (DRX_CACHE_ADMIT, docs/PERFORMANCE.md) --
+  // Element-granular access faults a whole chunk per miss, which LOSES to
+  // raw 8-byte element I/O when the pattern has no reuse (uniform random
+  // over an array that dwarfs the pool). These entry points consult the
+  // admission policy first: a non-resident chunk with no demonstrated
+  // reuse (no ghost-filter hit, not part of a sequential run) is NOT
+  // admitted — the element moves with one direct storage request, exactly
+  // what raw access would have cost — and its address is recorded in the
+  // ghost filter so a re-touch promotes it to a resident frame.
+
+  /// Admission-controlled element read at `offset` bytes into the chunk
+  /// at `address`. Returns true when served by bypass I/O; false when the
+  /// caller should pin() (chunk resident, pending, or admitted).
+  Result<bool> read_element_bypassed(std::uint64_t address,
+                                     std::uint64_t offset,
+                                     std::span<std::byte> out);
+
+  /// Admission-controlled element write. Same contract; under an async
+  /// cache writes always admit (a bypass write could race an in-flight
+  /// speculative load and lose the update on eviction).
+  Result<bool> write_element_bypassed(std::uint64_t address,
+                                      std::uint64_t offset,
+                                      std::span<const std::byte> value);
 
   /// Barrier + write-back: drains in-flight read-ahead and write-behind,
   /// surfaces the first deferred write error, then writes back every
@@ -144,6 +171,11 @@ class ChunkCache final : public io::PrefetchSink {
   };
 
   [[nodiscard]] std::size_t chunk_size() const;
+
+  /// Admission decision for an element-granular miss; updates the ghost
+  /// filter and sequential-run tracker. True = serve by bypass I/O.
+  [[nodiscard]] bool should_bypass_locked(std::uint64_t address, bool write)
+      DRX_REQUIRES(mu_);
 
   // All *_locked helpers require mu_ held. Lock order: mu_ may be held
   // while taking io_mu_ (sync flush), but io_mu_ is never held while
@@ -215,6 +247,16 @@ class ChunkCache final : public io::PrefetchSink {
   std::uint64_t last_miss_ DRX_GUARDED_BY(mu_) = kNoAddress;
   int seq_run_ DRX_GUARDED_BY(mu_) = 0;
 
+  /// Ghost/probation filter for scan-resistant admission: a small
+  /// direct-mapped table of recently bypassed chunk addresses (no
+  /// buffers). A miss that finds its address here has demonstrated reuse
+  /// and is admitted; everything else is served by bypass element I/O.
+  std::vector<std::uint64_t> ghost_ DRX_GUARDED_BY(mu_);
+  /// Last element-granular miss address (admitted or bypassed): a miss at
+  /// +1 extends a sequential element scan and admits immediately, so a
+  /// streaming sweep pays the probation fault only for its first chunk.
+  std::uint64_t admit_last_miss_ DRX_GUARDED_BY(mu_) = kNoAddress;
+
   /// First write-back failure (sticky).
   Status last_error_ DRX_GUARDED_BY(mu_);
   /// True until flush() returns the error once.
@@ -240,11 +282,15 @@ class CachedDrxFile {
     DRX_CHECK(ElementTypeOf<T>::value == file_->dtype());
     DRX_RETURN_IF_ERROR(check_index(index));
     const std::uint64_t q = file_->chunk_address(space_.chunk_of(index));
-    DRX_ASSIGN_OR_RETURN(std::span<std::byte> chunk, cache_.pin(q));
+    const std::uint64_t off = space_.offset_in_chunk(index) * sizeof(T);
     T v{};
-    std::memcpy(&v,
-                chunk.data() + space_.offset_in_chunk(index) * sizeof(T),
-                sizeof(T));
+    DRX_ASSIGN_OR_RETURN(
+        const bool bypassed,
+        cache_.read_element_bypassed(
+            q, off, std::as_writable_bytes(std::span<T>(&v, 1))));
+    if (bypassed) return v;
+    DRX_ASSIGN_OR_RETURN(std::span<std::byte> chunk, cache_.pin(q));
+    std::memcpy(&v, chunk.data() + off, sizeof(T));
     cache_.unpin(q, /*dirty=*/false);
     return v;
   }
@@ -254,9 +300,14 @@ class CachedDrxFile {
     DRX_CHECK(ElementTypeOf<T>::value == file_->dtype());
     DRX_RETURN_IF_ERROR(check_index(index));
     const std::uint64_t q = file_->chunk_address(space_.chunk_of(index));
+    const std::uint64_t off = space_.offset_in_chunk(index) * sizeof(T);
+    DRX_ASSIGN_OR_RETURN(
+        const bool bypassed,
+        cache_.write_element_bypassed(
+            q, off, std::as_bytes(std::span<const T>(&v, 1))));
+    if (bypassed) return Status::ok();
     DRX_ASSIGN_OR_RETURN(std::span<std::byte> chunk, cache_.pin(q));
-    std::memcpy(chunk.data() + space_.offset_in_chunk(index) * sizeof(T),
-                &v, sizeof(T));
+    std::memcpy(chunk.data() + off, &v, sizeof(T));
     cache_.unpin(q, /*dirty=*/true);
     return Status::ok();
   }

@@ -1,0 +1,228 @@
+#include "core/copy_plan.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+#include "util/checked.hpp"
+
+namespace drx::core {
+
+CopyPlan::CopyPlan(const ChunkSpace& cs, std::uint64_t esize, Shape clip_shape,
+                   Shape box_shape, MemoryOrder box_order)
+    : esize_(esize),
+      chunk_shape_(cs.chunk_shape()),
+      chunk_strides_(strides_of(cs.chunk_shape(), cs.in_chunk_order())),
+      box_strides_(strides_of(box_shape, box_order)),
+      clip_shape_(std::move(clip_shape)),
+      box_shape_(std::move(box_shape)),
+      box_order_(box_order) {
+  DRX_CHECK(esize_ > 0);
+  DRX_CHECK(clip_shape_.size() == cs.rank());
+  DRX_CHECK(box_shape_.size() == cs.rank());
+
+  // Collect the varying dimensions with byte strides on both sides;
+  // extent-1 dimensions contribute only to the base offsets.
+  std::vector<Loop> dims;
+  for (std::size_t d = 0; d < clip_shape_.size(); ++d) {
+    DRX_CHECK(clip_shape_[d] >= 1 && clip_shape_[d] <= chunk_shape_[d]);
+    elements_ = checked_mul(elements_, clip_shape_[d]);
+    if (clip_shape_[d] > 1) {
+      dims.push_back({clip_shape_[d],
+                      checked_mul(chunk_strides_[d], esize_),
+                      checked_mul(box_strides_[d], esize_)});
+    }
+  }
+
+  // Order loops so the destination side of a scatter (the box) is walked
+  // sequentially: innermost = smallest box stride.
+  std::sort(dims.begin(), dims.end(), [](const Loop& a, const Loop& b) {
+    return a.box_step > b.box_step;
+  });
+
+  // Fuse an outer dimension into its inner neighbour when the outer step
+  // equals the inner span on BOTH sides — the two loops then walk one
+  // dense range in the same order, so they collapse into a single loop
+  // (this is what turns per-row memcpys into multi-row blocks).
+  std::vector<Loop> fused;  // innermost-first while building
+  for (auto it = dims.rbegin(); it != dims.rend(); ++it) {
+    Loop cur = *it;
+    if (!fused.empty()) {
+      Loop& inner = fused.back();
+      if (cur.chunk_step == checked_mul(inner.chunk_step, inner.extent) &&
+          cur.box_step == checked_mul(inner.box_step, inner.extent)) {
+        inner.extent = checked_mul(inner.extent, cur.extent);
+        continue;
+      }
+    }
+    fused.push_back(cur);
+  }
+
+  // Peel the innermost level: a single memcpy when dense on both sides,
+  // otherwise a strided element loop with precomputed byte steps.
+  if (fused.empty()) {
+    run_bytes_ = esize_;  // degenerate single-element clip
+  } else {
+    const Loop inner = fused.front();
+    fused.erase(fused.begin());
+    if (inner.chunk_step == esize_ && inner.box_step == esize_) {
+      run_bytes_ = checked_mul(inner.extent, esize_);
+    } else {
+      run_bytes_ = esize_;
+      inner_count_ = inner.extent;
+      inner_chunk_step_ = inner.chunk_step;
+      inner_box_step_ = inner.box_step;
+    }
+  }
+
+  std::reverse(fused.begin(), fused.end());  // outermost first
+  loops_ = std::move(fused);
+
+  runs_ = inner_count_;
+  for (const Loop& l : loops_) runs_ = checked_mul(runs_, l.extent);
+}
+
+std::uint64_t CopyPlan::chunk_base_bytes(const Box& clip) const {
+  std::uint64_t off = 0;
+  for (std::size_t d = 0; d < clip.lo.size(); ++d) {
+    off = checked_add(
+        off, checked_mul(clip.lo[d] % chunk_shape_[d], chunk_strides_[d]));
+  }
+  return checked_mul(off, esize_);
+}
+
+std::uint64_t CopyPlan::box_base_bytes(const Box& clip, const Box& box) const {
+  std::uint64_t off = 0;
+  for (std::size_t d = 0; d < clip.lo.size(); ++d) {
+    DRX_CHECK(clip.lo[d] >= box.lo[d]);
+    off = checked_add(off,
+                      checked_mul(clip.lo[d] - box.lo[d], box_strides_[d]));
+  }
+  return checked_mul(off, esize_);
+}
+
+void CopyPlan::execute(std::size_t level, const std::byte* src,
+                       std::byte* dst, bool chunk_is_src) const {
+  if (level < loops_.size()) {
+    const Loop& l = loops_[level];
+    const std::uint64_t sstep = chunk_is_src ? l.chunk_step : l.box_step;
+    const std::uint64_t dstep = chunk_is_src ? l.box_step : l.chunk_step;
+    for (std::uint64_t i = 0; i < l.extent; ++i) {
+      execute(level + 1, src, dst, chunk_is_src);
+      src += sstep;
+      dst += dstep;
+    }
+    return;
+  }
+  if (inner_count_ == 1) {
+    std::memcpy(dst, src, checked_size(run_bytes_));
+    return;
+  }
+  const std::uint64_t sstep =
+      chunk_is_src ? inner_chunk_step_ : inner_box_step_;
+  const std::uint64_t dstep =
+      chunk_is_src ? inner_box_step_ : inner_chunk_step_;
+  for (std::uint64_t i = 0; i < inner_count_; ++i) {
+    std::memcpy(dst, src, checked_size(esize_));
+    src += sstep;
+    dst += dstep;
+  }
+}
+
+void CopyPlan::note_execution() const {
+  static const obs::MetricId kRuns = obs::counter_id("core.copy.runs");
+  static const obs::MetricId kElements = obs::counter_id("core.copy.elements");
+  static const obs::MetricId kRunBytes =
+      obs::histogram_id("core.copy.run_bytes");
+  auto& reg = obs::registry();
+  reg.counter(kRuns).add(runs_);
+  reg.counter(kElements).add(elements_);
+  reg.histogram(kRunBytes).observe(run_bytes_);
+}
+
+void CopyPlan::scatter(const Box& clip, const Box& box,
+                       std::span<const std::byte> chunk,
+                       std::span<std::byte> out) const {
+  DRX_CHECK(clip.shape() == clip_shape_);
+  DRX_CHECK(box.shape() == box_shape_);
+  execute(0, chunk.data() + chunk_base_bytes(clip),
+          out.data() + box_base_bytes(clip, box), /*chunk_is_src=*/true);
+  note_execution();
+}
+
+void CopyPlan::gather(const Box& clip, const Box& box,
+                      std::span<std::byte> chunk,
+                      std::span<const std::byte> in) const {
+  DRX_CHECK(clip.shape() == clip_shape_);
+  DRX_CHECK(box.shape() == box_shape_);
+  execute(0, in.data() + box_base_bytes(clip, box),
+          chunk.data() + chunk_base_bytes(clip), /*chunk_is_src=*/false);
+  note_execution();
+}
+
+namespace {
+
+constexpr std::size_t kMaxPlanEntries = 256;
+
+std::uint64_t shape_key_hash(const Shape& clip_shape, const Shape& box_shape,
+                             MemoryOrder order) {
+  // FNV-1a over the two shape vectors plus the order tag.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (std::uint64_t v : clip_shape) mix(v);
+  mix(0xB0u);  // separator so ([a,b],[c]) != ([a],[b,c])
+  for (std::uint64_t v : box_shape) mix(v);
+  mix(order == MemoryOrder::kRowMajor ? 0xC0u : 0xF0u);
+  return h;
+}
+
+}  // namespace
+
+PlanCache::PlanCache(ChunkSpace cs, std::uint64_t esize)
+    : cs_(std::move(cs)), esize_(esize) {
+  DRX_CHECK(esize_ > 0);
+}
+
+std::shared_ptr<const CopyPlan> PlanCache::plan_for(const Shape& clip_shape,
+                                                    const Shape& box_shape,
+                                                    MemoryOrder order) {
+  static const obs::MetricId kHits = obs::counter_id("core.copy.plan_hits");
+  static const obs::MetricId kMisses =
+      obs::counter_id("core.copy.plan_misses");
+  const std::uint64_t hash = shape_key_hash(clip_shape, box_shape, order);
+  {
+    util::MutexLock lock(mu_);
+    for (const Entry& e : entries_) {
+      if (e.hash == hash && e.order == order && e.clip_shape == clip_shape &&
+          e.box_shape == box_shape) {
+        obs::registry().counter(kHits).add();
+        return e.plan;
+      }
+    }
+  }
+  // Build outside the lock: plan construction allocates and is pure.
+  auto plan = std::make_shared<const CopyPlan>(cs_, esize_, clip_shape,
+                                               box_shape, order);
+  obs::registry().counter(kMisses).add();
+  util::MutexLock lock(mu_);
+  if (entries_.size() >= kMaxPlanEntries) entries_.clear();
+  entries_.push_back(Entry{hash, clip_shape, box_shape, order, plan});
+  return plan;
+}
+
+void PlanCache::scatter(const Box& clip, const Box& box, MemoryOrder order,
+                        std::span<const std::byte> chunk,
+                        std::span<std::byte> out) {
+  plan_for(clip.shape(), box.shape(), order)->scatter(clip, box, chunk, out);
+}
+
+void PlanCache::gather(const Box& clip, const Box& box, MemoryOrder order,
+                       std::span<std::byte> chunk,
+                       std::span<const std::byte> in) {
+  plan_for(clip.shape(), box.shape(), order)->gather(clip, box, chunk, in);
+}
+
+}  // namespace drx::core

@@ -143,15 +143,15 @@ Status DrxFile::write_element(std::span<const std::uint64_t> index,
 void DrxFile::scatter_chunk(std::span<const std::byte> chunk, const Box& clip,
                             const Box& box, MemoryOrder order,
                             std::span<std::byte> out) const {
-  scatter_chunk_into_box(chunk_space_, element_bytes(), chunk, clip, box,
-                         order, out);
+  if (clip.empty()) return;
+  plan_cache_->scatter(clip, box, order, chunk, out);
 }
 
 void DrxFile::gather_chunk(std::span<std::byte> chunk, const Box& clip,
                            const Box& box, MemoryOrder order,
                            std::span<const std::byte> in) const {
-  gather_box_into_chunk(chunk_space_, element_bytes(), chunk, clip, box,
-                        order, in);
+  if (clip.empty()) return;
+  plan_cache_->gather(clip, box, order, chunk, in);
 }
 
 Status DrxFile::read_box(const Box& box, MemoryOrder order,

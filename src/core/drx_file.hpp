@@ -15,6 +15,7 @@
 #include <span>
 #include <string>
 
+#include "core/copy_plan.hpp"
 #include "core/metadata.hpp"
 #include "io/prefetch.hpp"
 #include "pfs/storage.hpp"
@@ -113,6 +114,18 @@ class DrxFile {
   Status read_chunk(std::uint64_t address, std::span<std::byte> out);
   Status write_chunk(std::uint64_t address, std::span<const std::byte> in);
 
+  /// Run-coalesced scatter/gather between a chunk buffer and a
+  /// box-linearized user buffer for the element range `clip` (which lies
+  /// inside one chunk), through this file's memoized plan cache. Layers
+  /// that buffer chunks themselves (ChunkCache, drxmp) call these instead
+  /// of the one-shot free functions in scatter.hpp.
+  void scatter_chunk(std::span<const std::byte> chunk, const Box& clip,
+                     const Box& box, MemoryOrder order,
+                     std::span<std::byte> out) const;
+  void gather_chunk(std::span<std::byte> chunk, const Box& clip,
+                    const Box& box, MemoryOrder order,
+                    std::span<const std::byte> in) const;
+
   /// Reads `count` chunks at consecutive linear addresses starting at
   /// `first_address` with ONE storage request (chunk addresses are
   /// contiguous in the .xta by construction) — the coalescing primitive
@@ -149,23 +162,19 @@ class DrxFile {
       : meta_store_(std::move(meta_storage)),
         data_(std::move(data_storage)),
         meta_(std::move(meta)),
-        chunk_space_(meta_.chunk_space()) {}
+        chunk_space_(meta_.chunk_space()),
+        plan_cache_(std::make_unique<PlanCache>(chunk_space_,
+                                                meta_.element_bytes())) {}
 
   Status check_index(std::span<const std::uint64_t> index) const;
-
-  /// Scatter/gather between a chunk buffer and a box-linearized user
-  /// buffer for the element range `clip` (which lies inside one chunk).
-  void scatter_chunk(std::span<const std::byte> chunk, const Box& clip,
-                     const Box& box, MemoryOrder order,
-                     std::span<std::byte> out) const;
-  void gather_chunk(std::span<std::byte> chunk, const Box& clip,
-                    const Box& box, MemoryOrder order,
-                    std::span<const std::byte> in) const;
 
   std::unique_ptr<pfs::Storage> meta_store_;
   std::unique_ptr<pfs::Storage> data_;
   Metadata meta_;
   ChunkSpace chunk_space_;
+  /// Memoized run-coalesced copy plans shared by every box read/write of
+  /// this file (unique_ptr: PlanCache holds a Mutex and DrxFile moves).
+  std::unique_ptr<PlanCache> plan_cache_;
   io::PrefetchSink* prefetch_sink_ = nullptr;  ///< not owned; may be null
 };
 

@@ -260,12 +260,11 @@ Status DrxMpFile::read_my_zone(const Distribution& dist, MemoryOrder order,
   for (std::size_t i = 0; i < chunks.size(); ++i) {
     const Box clip = chunk_space_.chunk_box(chunks[i]).intersect(box);
     if (clip.empty()) continue;
-    scatter_chunk_into_box(
-        chunk_space_, meta_.element_bytes(),
-        std::span<const std::byte>(staging).subspan(
-            checked_size(checked_mul(i, chunk_bytes())),
-            checked_size(chunk_bytes())),
-        clip, box, order, out);
+    plan_cache_->scatter(clip, box, order,
+                         std::span<const std::byte>(staging).subspan(
+                             checked_size(checked_mul(i, chunk_bytes())),
+                             checked_size(chunk_bytes())),
+                         out);
   }
   return Status::ok();
 }
@@ -327,10 +326,10 @@ Status DrxMpFile::read_my_zone_pipelined(const Distribution& dist,
     for (std::size_t i = 0; i < part.size(); ++i) {
       const Box clip = chunk_space_.chunk_box(part[i]).intersect(box);
       if (clip.empty()) continue;
-      scatter_chunk_into_box(
-          chunk_space_, meta_.element_bytes(),
+      plan_cache_->scatter(
+          clip, box, order,
           buf.subspan(checked_size(checked_mul(i, cb)), checked_size(cb)),
-          clip, box, order, out);
+          out);
     }
   }
   return Status::ok();
@@ -351,12 +350,11 @@ Status DrxMpFile::write_my_zone(const Distribution& dist, MemoryOrder order,
   for (std::size_t i = 0; i < chunks.size(); ++i) {
     const Box clip = chunk_space_.chunk_box(chunks[i]).intersect(box);
     if (clip.empty()) continue;
-    gather_box_into_chunk(
-        chunk_space_, meta_.element_bytes(),
-        std::span<std::byte>(staging).subspan(
-            checked_size(checked_mul(i, chunk_bytes())),
-            checked_size(chunk_bytes())),
-        clip, box, order, in);
+    plan_cache_->gather(clip, box, order,
+                        std::span<std::byte>(staging).subspan(
+                            checked_size(checked_mul(i, chunk_bytes())),
+                            checked_size(chunk_bytes())),
+                        in);
   }
   return write_chunks(chunks, staging, collective);
 }
@@ -393,12 +391,11 @@ Status DrxMpFile::read_box_impl(const Box& box, MemoryOrder order,
   for (std::size_t i = 0; i < chunks.size(); ++i) {
     const Box clip = chunk_space_.chunk_box(chunks[i]).intersect(box);
     if (clip.empty()) continue;
-    scatter_chunk_into_box(
-        chunk_space_, meta_.element_bytes(),
-        std::span<const std::byte>(staging).subspan(
-            checked_size(checked_mul(i, chunk_bytes())),
-            checked_size(chunk_bytes())),
-        clip, box, order, out);
+    plan_cache_->scatter(clip, box, order,
+                         std::span<const std::byte>(staging).subspan(
+                             checked_size(checked_mul(i, chunk_bytes())),
+                             checked_size(chunk_bytes())),
+                         out);
   }
   return Status::ok();
 }
@@ -450,8 +447,9 @@ Status DrxMpFile::write_box_impl(const Box& box, MemoryOrder order,
           read_chunks(std::span<const Index>(single, 1), slot,
                       /*collective=*/false));
     }
-    gather_box_into_chunk(chunk_space_, meta_.element_bytes(), slot, covered,
-                          box, order, in);
+    if (!covered.empty()) {
+      plan_cache_->gather(covered, box, order, slot, in);
+    }
   }
   return write_chunks(chunks, staging, collective);
 }

@@ -2,13 +2,20 @@
 // buffers — the "on the fly" transposition of paper Sec. I: elements are
 // placed into the requested memory order as chunks stream through memory,
 // so no out-of-core transposition is ever needed.
+//
+// Since the run-coalescing rewrite (docs/PERFORMANCE.md) these free
+// functions build a CopyPlan and execute it, so copies move whole
+// contiguous runs per memcpy instead of one element each. Repeated-shape
+// call sites (DrxFile, drxmp, the baselines) should prefer a PlanCache
+// so the plan construction itself amortizes; these one-shot wrappers
+// exist for callers without a natural cache scope.
 #pragma once
 
-#include <cstring>
 #include <span>
 
 #include "core/chunk_space.hpp"
 #include "core/coords.hpp"
+#include "core/copy_plan.hpp"
 
 namespace drx::core {
 
@@ -19,15 +26,9 @@ inline void scatter_chunk_into_box(const ChunkSpace& cs, std::uint64_t esize,
                                    const Box& clip, const Box& box,
                                    MemoryOrder order,
                                    std::span<std::byte> out) {
-  const Shape box_shape = box.shape();
-  Index rel(cs.rank());
-  for_each_index(clip, [&](const Index& idx) {
-    const std::uint64_t src = cs.offset_in_chunk(idx);
-    for (std::size_t d = 0; d < cs.rank(); ++d) rel[d] = idx[d] - box.lo[d];
-    const std::uint64_t dst = linearize(rel, box_shape, order);
-    std::memcpy(out.data() + dst * esize, chunk.data() + src * esize,
-                checked_size(esize));
-  });
+  if (clip.empty()) return;
+  CopyPlan(cs, esize, clip.shape(), box.shape(), order)
+      .scatter(clip, box, chunk, out);
 }
 
 /// Inverse: fills the `clip` elements of `chunk` from `in` (box `box`
@@ -36,15 +37,9 @@ inline void gather_box_into_chunk(const ChunkSpace& cs, std::uint64_t esize,
                                   std::span<std::byte> chunk, const Box& clip,
                                   const Box& box, MemoryOrder order,
                                   std::span<const std::byte> in) {
-  const Shape box_shape = box.shape();
-  Index rel(cs.rank());
-  for_each_index(clip, [&](const Index& idx) {
-    const std::uint64_t dst = cs.offset_in_chunk(idx);
-    for (std::size_t d = 0; d < cs.rank(); ++d) rel[d] = idx[d] - box.lo[d];
-    const std::uint64_t src = linearize(rel, box_shape, order);
-    std::memcpy(chunk.data() + dst * esize, in.data() + src * esize,
-                checked_size(esize));
-  });
+  if (clip.empty()) return;
+  CopyPlan(cs, esize, clip.shape(), box.shape(), order)
+      .gather(clip, box, chunk, in);
 }
 
 }  // namespace drx::core

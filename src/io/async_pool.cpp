@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <string_view>
 
 #include "io/config.hpp"
 #include "obs/metrics.hpp"
@@ -32,6 +33,7 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
 constexpr int kThreadsFromEnv = -1;
 std::atomic<int> g_io_threads_override{kThreadsFromEnv};
 std::atomic<std::uint64_t> g_prefetch_override{kPrefetchFromEnv};
+std::atomic<CacheAdmit> g_cache_admit_override{CacheAdmit::kFromEnv};
 
 }  // namespace
 
@@ -60,6 +62,24 @@ void set_io_threads(int threads) noexcept {
 
 void set_prefetch_depth(std::uint64_t depth) noexcept {
   g_prefetch_override.store(depth, std::memory_order_relaxed);
+}
+
+CacheAdmit cache_admit() noexcept {
+  const CacheAdmit o = g_cache_admit_override.load(std::memory_order_relaxed);
+  if (o != CacheAdmit::kFromEnv) return o;
+  static const CacheAdmit from_env = [] {
+    const char* raw = std::getenv("DRX_CACHE_ADMIT");
+    if (raw == nullptr || *raw == '\0') return CacheAdmit::kAuto;
+    const std::string_view v(raw);
+    if (v == "always") return CacheAdmit::kAlways;
+    if (v == "never") return CacheAdmit::kNever;
+    return CacheAdmit::kAuto;  // "auto" and anything unrecognized
+  }();
+  return from_env;
+}
+
+void set_cache_admit(CacheAdmit mode) noexcept {
+  g_cache_admit_override.store(mode, std::memory_order_relaxed);
 }
 
 AsyncIoPool::AsyncIoPool(const Options& options) : options_(options) {

@@ -11,6 +11,11 @@
 //   DRX_PREFETCH_DEPTH chunks of speculative read-ahead issued when a
 //                      cache detects a sequential miss run (0 = off;
 //                      only active when DRX_IO_THREADS > 0)
+//   DRX_CACHE_ADMIT    ChunkCache admission policy for element-granular
+//                      misses (docs/PERFORMANCE.md): `auto` (default) uses
+//                      the ghost/probation filter so scan/random patterns
+//                      bypass the cache, `always` restores unconditional
+//                      admission, `never` bypasses every element miss
 #pragma once
 
 #include <cstdint>
@@ -23,10 +28,23 @@ namespace drx::io {
 /// Read-ahead depth in chunks for sequential-scan prefetching.
 [[nodiscard]] std::uint64_t prefetch_depth() noexcept;
 
+/// ChunkCache admission policy for element-granular misses.
+enum class CacheAdmit {
+  kAuto,    ///< ghost/probation filter: admit on demonstrated reuse
+  kAlways,  ///< legacy behavior: every element miss faults its chunk
+  kNever,   ///< every element miss bypasses to direct element I/O
+  kFromEnv  ///< sentinel for set_cache_admit(): defer to DRX_CACHE_ADMIT
+};
+
+/// Admission policy from DRX_CACHE_ADMIT (or its test override).
+[[nodiscard]] CacheAdmit cache_admit() noexcept;
+
 /// Programmatic overrides (tests/benches). Negative `threads` restores
-/// the environment-derived value; so does `kPrefetchFromEnv` for depth.
+/// the environment-derived value; so do `kPrefetchFromEnv` for depth and
+/// `CacheAdmit::kFromEnv` for the admission policy.
 inline constexpr std::uint64_t kPrefetchFromEnv = ~std::uint64_t{0};
 void set_io_threads(int threads) noexcept;
 void set_prefetch_depth(std::uint64_t depth) noexcept;
+void set_cache_admit(CacheAdmit mode) noexcept;
 
 }  // namespace drx::io

@@ -254,6 +254,26 @@ void analyze_metrics(const MetricsSnapshot& snap, std::vector<Finding>& out) {
                  static_cast<unsigned long long>(issued))});
     }
   }
+
+  // Run-coalescing health (docs/PERFORMANCE.md): the CopyPlan data plane
+  // batches scatter/gather into contiguous memcpy runs, so elements per
+  // run should be well above 1 on any realistic clip. A ratio near 1 on
+  // a non-trivial volume means some path degenerated into per-element
+  // copies (e.g. pathological strides or a consumer bypassing the plan).
+  const std::uint64_t copy_runs = snap.counter("core.copy.runs");
+  const std::uint64_t copy_elems = snap.counter("core.copy.elements");
+  if (copy_runs != 0 && copy_elems >= 4096) {
+    const double per_run = static_cast<double>(copy_elems) /
+                           static_cast<double>(copy_runs);
+    if (per_run < 4.0) {
+      out.push_back(Finding{
+          "copy-element-granular", Severity::kWarn, per_run,
+          format("scatter/gather averaged %.1f element(s) per memcpy run "
+                 "over %llu elements - copies are element-granular, not "
+                 "run-coalesced",
+                 per_run, static_cast<unsigned long long>(copy_elems))});
+    }
+  }
 }
 
 MetricsSnapshot metrics_from_json(const JsonValue& doc) {

@@ -66,6 +66,11 @@ Datatype Datatype::vector(std::uint64_t count, std::uint64_t blocklen,
   for (std::uint64_t i = 0; i < count; ++i) {
     const std::uint64_t origin = checked_mul(checked_mul(i, stride),
                                              base.extent_);
+    if (base.is_dense()) {
+      // Dense base: the whole blocklen run is one gap-free block.
+      blocks.push_back(Block{origin, checked_mul(blocklen, base.extent_)});
+      continue;
+    }
     for (std::uint64_t j = 0; j < blocklen; ++j) {
       const std::uint64_t shift =
           checked_add(origin, checked_mul(j, base.extent_));
@@ -91,11 +96,15 @@ Datatype Datatype::indexed(std::span<const std::uint64_t> blocklens,
   std::uint64_t extent = 0;
   for (std::size_t i = 0; i < blocklens.size(); ++i) {
     const std::uint64_t origin = checked_mul(displs[i], base.extent_);
-    for (std::uint64_t j = 0; j < blocklens[i]; ++j) {
-      const std::uint64_t shift =
-          checked_add(origin, checked_mul(j, base.extent_));
-      for (const Block& b : base.blocks_) {
-        blocks.push_back(Block{checked_add(shift, b.offset), b.length});
+    if (base.is_dense()) {
+      blocks.push_back(Block{origin, checked_mul(blocklens[i], base.extent_)});
+    } else {
+      for (std::uint64_t j = 0; j < blocklens[i]; ++j) {
+        const std::uint64_t shift =
+            checked_add(origin, checked_mul(j, base.extent_));
+        for (const Block& b : base.blocks_) {
+          blocks.push_back(Block{checked_add(shift, b.offset), b.length});
+        }
       }
     }
     extent = std::max(
@@ -111,11 +120,16 @@ Datatype Datatype::hindexed(std::span<const std::uint64_t> blocklens,
   std::vector<Block> blocks;
   std::uint64_t extent = 0;
   for (std::size_t i = 0; i < blocklens.size(); ++i) {
-    for (std::uint64_t j = 0; j < blocklens[i]; ++j) {
-      const std::uint64_t shift =
-          checked_add(byte_displs[i], checked_mul(j, base.extent_));
-      for (const Block& b : base.blocks_) {
-        blocks.push_back(Block{checked_add(shift, b.offset), b.length});
+    if (base.is_dense()) {
+      blocks.push_back(
+          Block{byte_displs[i], checked_mul(blocklens[i], base.extent_)});
+    } else {
+      for (std::uint64_t j = 0; j < blocklens[i]; ++j) {
+        const std::uint64_t shift =
+            checked_add(byte_displs[i], checked_mul(j, base.extent_));
+        for (const Block& b : base.blocks_) {
+          blocks.push_back(Block{checked_add(shift, b.offset), b.length});
+        }
       }
     }
     extent = std::max(extent, checked_add(byte_displs[i],
@@ -159,11 +173,18 @@ Datatype Datatype::subarray(std::span<const std::uint64_t> sizes,
           origin, checked_mul(checked_add(starts[d], idx[d]), stride[d]));
     }
     const std::uint64_t run = subsizes[fastest];
-    for (std::uint64_t j = 0; j < run; ++j) {
-      const std::uint64_t shift =
-          checked_mul(checked_add(origin, j), base.extent_);
-      for (const Block& b : base.blocks_) {
-        blocks.push_back(Block{checked_add(shift, b.offset), b.length});
+    if (base.is_dense()) {
+      // One Block per fastest-dimension row: the run-granular form the
+      // file-view flattener consumes without any per-element merging.
+      blocks.push_back(Block{checked_mul(origin, base.extent_),
+                             checked_mul(run, base.extent_)});
+    } else {
+      for (std::uint64_t j = 0; j < run; ++j) {
+        const std::uint64_t shift =
+            checked_mul(checked_add(origin, j), base.extent_);
+        for (const Block& b : base.blocks_) {
+          blocks.push_back(Block{checked_add(shift, b.offset), b.length});
+        }
       }
     }
     // Odometer over the non-fastest dimensions.

@@ -102,6 +102,14 @@ class Datatype {
 
   static void normalize(std::vector<Block>& blocks);
 
+  /// True when one item is a single gap-free block (payload == extent).
+  /// Builders exploit this to emit one Block per *run* instead of one per
+  /// base item — the run-granular fast path of docs/PERFORMANCE.md.
+  [[nodiscard]] bool is_dense() const noexcept {
+    return blocks_.size() == 1 && blocks_[0].offset == 0 &&
+           blocks_[0].length == extent_;
+  }
+
   std::vector<Block> blocks_;
   std::uint64_t extent_ = 0;
   std::uint64_t size_ = 0;

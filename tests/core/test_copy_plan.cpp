@@ -1,0 +1,306 @@
+// CopyPlan correctness and ChunkCache admission control
+// (docs/PERFORMANCE.md).
+//
+// The property test pins the run-coalescing engine to a naive per-element
+// reference across randomized geometries; the admission tests pin the
+// DRX_CACHE_ADMIT contract, including the headline regression guard:
+// uniform-random element access through the cache must never cost more
+// simulated storage time than raw access.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/chunk_cache.hpp"
+#include "core/copy_plan.hpp"
+#include "core/drx_file.hpp"
+#include "core/scatter.hpp"
+#include "io/config.hpp"
+#include "util/rng.hpp"
+
+namespace drx::core {
+namespace {
+
+/// The pre-plan element walk, kept as the oracle: one linearize() and one
+/// offset_in_chunk() per element.
+void reference_scatter(const ChunkSpace& cs, std::uint64_t esize,
+                       std::span<const std::byte> chunk, const Box& clip,
+                       const Box& box, MemoryOrder order,
+                       std::span<std::byte> out) {
+  const Shape box_shape = box.shape();
+  Index rel(clip.rank());
+  for_each_index(clip, [&](const Index& idx) {
+    const std::uint64_t src = cs.offset_in_chunk(idx);
+    for (std::size_t d = 0; d < rel.size(); ++d) rel[d] = idx[d] - box.lo[d];
+    const std::uint64_t dst = linearize(rel, box_shape, order);
+    std::memcpy(out.data() + dst * esize, chunk.data() + src * esize,
+                checked_size(esize));
+  });
+}
+
+void reference_gather(const ChunkSpace& cs, std::uint64_t esize,
+                      std::span<std::byte> chunk, const Box& clip,
+                      const Box& box, MemoryOrder order,
+                      std::span<const std::byte> in) {
+  const Shape box_shape = box.shape();
+  Index rel(clip.rank());
+  for_each_index(clip, [&](const Index& idx) {
+    const std::uint64_t dst = cs.offset_in_chunk(idx);
+    for (std::size_t d = 0; d < rel.size(); ++d) rel[d] = idx[d] - box.lo[d];
+    const std::uint64_t src = linearize(rel, box_shape, order);
+    std::memcpy(chunk.data() + dst * esize, in.data() + src * esize,
+                checked_size(esize));
+  });
+}
+
+std::vector<std::byte> random_bytes(SplitMix64& rng, std::uint64_t n) {
+  std::vector<std::byte> v(checked_size(n));
+  for (auto& b : v) b = static_cast<std::byte>(rng.next());
+  return v;
+}
+
+class CopyPlanP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CopyPlanP, ByteIdenticalToNaiveReference) {
+  SplitMix64 rng(GetParam());
+  const std::size_t k = rng.next_in(1, 4);
+  Shape chunk_shape(k);
+  for (std::size_t d = 0; d < k; ++d) chunk_shape[d] = rng.next_in(1, 6);
+  const MemoryOrder in_order = rng.next() % 2 == 0 ? MemoryOrder::kRowMajor
+                                                   : MemoryOrder::kColMajor;
+  const ChunkSpace cs(chunk_shape, in_order);
+  const std::uint64_t esize = std::uint64_t{1} << rng.next_below(4);
+
+  // A random clip inside a random (possibly non-origin) chunk, and a box
+  // extending past the clip on both sides so base offsets are exercised.
+  Index chunk_idx(k);
+  for (std::size_t d = 0; d < k; ++d) chunk_idx[d] = rng.next_below(3);
+  const Box cbox = cs.chunk_box(chunk_idx);
+  Box clip, box;
+  clip.lo.resize(k);
+  clip.hi.resize(k);
+  box.lo.resize(k);
+  box.hi.resize(k);
+  for (std::size_t d = 0; d < k; ++d) {
+    clip.lo[d] = cbox.lo[d] + rng.next_below(chunk_shape[d]);
+    clip.hi[d] = clip.lo[d] + rng.next_in(1, cbox.hi[d] - clip.lo[d]);
+    box.lo[d] = clip.lo[d] - std::min(clip.lo[d], rng.next_below(3));
+    box.hi[d] = clip.hi[d] + rng.next_below(3);
+  }
+  const MemoryOrder order = rng.next() % 2 == 0 ? MemoryOrder::kRowMajor
+                                                : MemoryOrder::kColMajor;
+
+  const CopyPlan plan(cs, esize, clip.shape(), box.shape(), order);
+  EXPECT_EQ(plan.elements(), clip.volume());
+  EXPECT_LE(plan.runs_per_execution(), plan.elements());
+
+  const std::uint64_t chunk_bytes = cs.elements_per_chunk() * esize;
+  const std::uint64_t box_bytes = box.volume() * esize;
+
+  // Scatter: untouched destination bytes must survive on both paths, so
+  // both outputs start from the same random image.
+  const auto chunk_src = random_bytes(rng, chunk_bytes);
+  auto out_plan = random_bytes(rng, box_bytes);
+  auto out_ref = out_plan;
+  plan.scatter(clip, box, chunk_src, out_plan);
+  reference_scatter(cs, esize, chunk_src, clip, box, order, out_ref);
+  EXPECT_EQ(out_plan, out_ref);
+
+  // Gather: same for untouched chunk bytes.
+  const auto box_src = random_bytes(rng, box_bytes);
+  auto chunk_plan = random_bytes(rng, chunk_bytes);
+  auto chunk_ref = chunk_plan;
+  plan.gather(clip, box, chunk_plan, box_src);
+  reference_gather(cs, esize, chunk_ref, clip, box, order, box_src);
+  EXPECT_EQ(chunk_plan, chunk_ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CopyPlanP,
+                         ::testing::Range<std::uint64_t>(7000, 7096));
+
+TEST(CopyPlan, FullChunkMatchingOrderIsOneRun) {
+  const ChunkSpace cs(Shape{4, 8}, MemoryOrder::kRowMajor);
+  const Box clip{{0, 0}, {4, 8}};
+  const Box box = clip;
+  const CopyPlan plan(cs, 8, clip.shape(), box.shape(),
+                      MemoryOrder::kRowMajor);
+  EXPECT_EQ(plan.runs_per_execution(), 1u);
+  EXPECT_TRUE(plan.innermost_contiguous());
+  EXPECT_EQ(plan.run_bytes(), 4u * 8u * 8u);
+}
+
+TEST(CopyPlan, RowClipsCoalesceAtLeastFiveFold) {
+  // The acceptance-criteria shape: innermost-contiguous clips must batch
+  // >= 5 elements per memcpy.
+  const ChunkSpace cs(Shape{16, 16}, MemoryOrder::kRowMajor);
+  const Box clip{{3, 0}, {16, 16}};
+  const Box box{{0, 0}, {32, 32}};
+  const CopyPlan plan(cs, 8, clip.shape(), box.shape(),
+                      MemoryOrder::kRowMajor);
+  EXPECT_TRUE(plan.innermost_contiguous());
+  EXPECT_GE(plan.elements() / plan.runs_per_execution(), 5u);
+}
+
+TEST(PlanCache, MemoizesByShapeTriple) {
+  PlanCache cache(ChunkSpace(Shape{8, 8}, MemoryOrder::kRowMajor), 8);
+  const Shape clip{4, 8};
+  const Shape box{16, 16};
+  const auto a = cache.plan_for(clip, box, MemoryOrder::kRowMajor);
+  const auto b = cache.plan_for(clip, box, MemoryOrder::kRowMajor);
+  EXPECT_EQ(a.get(), b.get());
+  const auto c = cache.plan_for(clip, box, MemoryOrder::kColMajor);
+  EXPECT_NE(a.get(), c.get());
+  const auto d = cache.plan_for(Shape{3, 8}, box, MemoryOrder::kRowMajor);
+  EXPECT_NE(a.get(), d.get());
+}
+
+TEST(Scatter, FreeFunctionsTolerateEmptyClip) {
+  const ChunkSpace cs(Shape{4, 4}, MemoryOrder::kRowMajor);
+  const Box empty{{2, 2}, {2, 2}};
+  const Box box{{0, 0}, {4, 4}};
+  std::vector<std::byte> chunk(4 * 4 * 8), buf(4 * 4 * 8);
+  scatter_chunk_into_box(cs, 8, chunk, empty, box, MemoryOrder::kRowMajor,
+                         buf);
+  gather_box_into_chunk(cs, 8, chunk, empty, box, MemoryOrder::kRowMajor,
+                        buf);
+}
+
+// ---- cache admission (DRX_CACHE_ADMIT) ---------------------------------
+
+/// Restores the admission override (and any modes the test set) on exit.
+struct AdmitGuard {
+  ~AdmitGuard() { io::set_cache_admit(io::CacheAdmit::kFromEnv); }
+};
+
+Result<DrxFile> make_file(std::uint64_t n, std::uint64_t chunk,
+                          pfs::MemStorage** raw) {
+  DrxFile::Options options;
+  options.dtype = ElementType::kDouble;
+  auto data = std::make_unique<pfs::MemStorage>();
+  *raw = data.get();
+  return DrxFile::create(std::make_unique<pfs::MemStorage>(),
+                         std::move(data), Shape{n, n}, Shape{chunk, chunk},
+                         options);
+}
+
+/// The bench_chunk_cache uniform-random scenario: 20000 element touches
+/// (25% writes) over a 512x512 double array in 16x16 chunks, 32 cache
+/// frames. Returns the simulated storage busy time of the run.
+double uniform_random_busy_us(bool cached) {
+  pfs::MemStorage* raw = nullptr;
+  auto file = make_file(512, 16, &raw);
+  EXPECT_TRUE(file.is_ok());
+  SplitMix64 rng(11);
+  const auto before = raw->stats();
+  auto touch = [&](auto&& get, auto&& set) {
+    for (int t = 0; t < 20000; ++t) {
+      Index idx{rng.next_below(512), rng.next_below(512)};
+      if (rng.next_below(4) == 0) {
+        EXPECT_TRUE(set(idx, static_cast<double>(t)));
+      } else {
+        EXPECT_TRUE(get(idx));
+      }
+    }
+  };
+  if (cached) {
+    CachedDrxFile cache(file.value(), 32);
+    touch([&](const Index& i) { return cache.get<double>(i).is_ok(); },
+          [&](const Index& i, double v) { return cache.set(i, v).is_ok(); });
+    EXPECT_TRUE(cache.flush().is_ok());
+    EXPECT_GT(cache.stats().admit_bypasses, 0u);
+  } else {
+    touch(
+        [&](const Index& i) {
+          return file.value().get<double>(i).is_ok();
+        },
+        [&](const Index& i, double v) {
+          return file.value().set(i, v).is_ok();
+        });
+  }
+  return (raw->stats() - before).busy_us;
+}
+
+TEST(CacheAdmit, UniformRandomCachedNeverSlowerThanRaw) {
+  AdmitGuard guard;
+  io::set_cache_admit(io::CacheAdmit::kAuto);
+  const double raw_us = uniform_random_busy_us(/*cached=*/false);
+  const double cached_us = uniform_random_busy_us(/*cached=*/true);
+  // The regression this guards: before scan-resistant admission the cached
+  // path cost ~1.25x raw here (BENCH_baseline.json). Bypass-on-miss makes
+  // every miss exactly as expensive as raw while hits remain free.
+  EXPECT_LE(cached_us, raw_us);
+}
+
+TEST(CacheAdmit, ModesChangeBypassBehavior) {
+  AdmitGuard guard;
+  pfs::MemStorage* raw = nullptr;
+  auto file = make_file(64, 8, &raw);
+  ASSERT_TRUE(file.is_ok());
+  SplitMix64 rng(29);
+  auto run = [&](io::CacheAdmit mode) {
+    io::set_cache_admit(mode);
+    CachedDrxFile cache(file.value(), 2);
+    for (int t = 0; t < 200; ++t) {
+      Index idx{rng.next_below(64), rng.next_below(64)};
+      EXPECT_TRUE(cache.get<double>(idx).is_ok());
+    }
+    const auto stats = cache.stats();
+    EXPECT_TRUE(cache.flush().is_ok());
+    return stats;
+  };
+  EXPECT_EQ(run(io::CacheAdmit::kAlways).admit_bypasses, 0u);
+  const auto never = run(io::CacheAdmit::kNever);
+  EXPECT_EQ(never.misses, 0u);  // no element miss ever faults a chunk
+  EXPECT_GT(never.admit_bypasses, 0u);
+  EXPECT_GT(run(io::CacheAdmit::kAuto).admit_bypasses, 0u);
+}
+
+TEST(CacheAdmit, GhostPromotionAdmitsOnReuse) {
+  AdmitGuard guard;
+  io::set_cache_admit(io::CacheAdmit::kAuto);
+  pfs::MemStorage* raw = nullptr;
+  auto file = make_file(64, 8, &raw);
+  ASSERT_TRUE(file.is_ok());
+  CachedDrxFile cache(file.value(), 4);
+  const Index a{1, 1};
+  const Index b{1, 2};   // same chunk as `a`
+  const Index far{60, 60};  // a different chunk, breaking the miss run
+  // First touches of cold chunks are probationary (bypassed)...
+  ASSERT_TRUE(cache.get<double>(a).is_ok());
+  EXPECT_EQ(cache.stats().admit_bypasses, 1u);
+  ASSERT_TRUE(cache.get<double>(far).is_ok());
+  EXPECT_EQ(cache.stats().admit_bypasses, 2u);
+  // ...the non-consecutive re-touch of `a` promotes it from the ghost...
+  ASSERT_TRUE(cache.get<double>(a).is_ok());
+  EXPECT_EQ(cache.stats().admit_promotions, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  // ...after which neighbours hit without I/O.
+  const auto reads_before = raw->stats().read_requests;
+  ASSERT_TRUE(cache.get<double>(b).is_ok());
+  EXPECT_EQ(raw->stats().read_requests, reads_before);
+  EXPECT_TRUE(cache.flush().is_ok());
+}
+
+TEST(CacheAdmit, HotElementWriteLoopAdmitsWithoutGhost) {
+  // Back-to-back misses on one chunk (the hot write loop of
+  // CachedDrxFile.ElementAccessReducesIo) admit on the second touch even
+  // though writes never promote from the ghost table.
+  AdmitGuard guard;
+  io::set_cache_admit(io::CacheAdmit::kAuto);
+  pfs::MemStorage* raw = nullptr;
+  auto file = make_file(64, 8, &raw);
+  ASSERT_TRUE(file.is_ok());
+  CachedDrxFile cache(file.value(), 4);
+  for (std::uint64_t j = 0; j < 8; ++j) {
+    ASSERT_TRUE(cache.set<double>(Index{0, j}, 1.0).is_ok());
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.admit_bypasses, 1u);  // only the first touch
+  EXPECT_EQ(stats.misses, 1u);          // one fault on the second
+  EXPECT_EQ(stats.hits, 6u);            // the rest are free
+  EXPECT_TRUE(cache.flush().is_ok());
+}
+
+}  // namespace
+}  // namespace drx::core

@@ -197,6 +197,35 @@ TEST(MetricsDetectors, PrefetchWasteAndLowYield) {
   EXPECT_EQ(find_by_id(fs, "prefetch-waste"), nullptr);
 }
 
+TEST(MetricsDetectors, CopyElementGranular) {
+  // 1.6 elements per run over a big volume: run coalescing has collapsed.
+  MetricsSnapshot degraded;
+  degraded = with_counter(std::move(degraded), "core.copy.elements", 8000);
+  degraded = with_counter(std::move(degraded), "core.copy.runs", 5000);
+  std::vector<Finding> fs;
+  analyze_metrics(degraded, fs);
+  const Finding* f = find_by_id(fs, "copy-element-granular");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kWarn);
+  EXPECT_NEAR(f->score, 1.6, 1e-12);  // elements per run
+
+  // Healthy coalescing (many elements per memcpy run): no finding.
+  MetricsSnapshot healthy;
+  healthy = with_counter(std::move(healthy), "core.copy.elements", 8000);
+  healthy = with_counter(std::move(healthy), "core.copy.runs", 100);
+  fs.clear();
+  analyze_metrics(healthy, fs);
+  EXPECT_EQ(find_by_id(fs, "copy-element-granular"), nullptr);
+
+  // Tiny volumes (single-element pokes) never trip the detector.
+  MetricsSnapshot tiny;
+  tiny = with_counter(std::move(tiny), "core.copy.elements", 64);
+  tiny = with_counter(std::move(tiny), "core.copy.runs", 64);
+  fs.clear();
+  analyze_metrics(tiny, fs);
+  EXPECT_EQ(find_by_id(fs, "copy-element-granular"), nullptr);
+}
+
 TEST(MetricsDetectors, DroppedTracesAreAnError) {
   MetricsSnapshot snap;
   snap = with_counter(std::move(snap), "obs.trace.dropped", 12);
