@@ -1,0 +1,112 @@
+// Perf smoke — marginal cost of the always-on causal instrumentation
+// (docs/OBSERVABILITY.md: OpScope, StageTimer, flight recorder) with
+// tracing OFF, the production configuration.
+//
+// Workload: hot-set cached element reads/writes — cache-hit dominated and
+// in-memory, so per-op instrumentation is the largest relative share it
+// ever reaches (real workloads bury it under storage time). Each mode
+// (flight recorder on = default, flight recorder off) runs the same
+// touch sequence; modes alternate across repetitions and the per-mode
+// minimum is kept, so one scheduler hiccup cannot skew the ratio.
+//
+// Expected shape: the flight-on / flight-off wall-time ratio stays under
+// 1.02. CI gates it warn-only via check_bench_regression.py
+// --obs-overhead; the wall-ms cells are machine-dependent and only the
+// ratio is meaningful.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/chunk_cache.hpp"
+#include "obs/flight.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+
+using namespace drx;  // NOLINT: bench brevity
+using core::CachedDrxFile;
+using core::DrxFile;
+using core::Shape;
+
+namespace {
+
+constexpr std::uint64_t kN = 256;
+constexpr std::uint64_t kChunk = 16;
+constexpr int kTouches = 60000;
+constexpr int kReps = 5;
+
+DrxFile make_array() {
+  DrxFile::Options options;
+  options.dtype = core::ElementType::kDouble;
+  auto f = DrxFile::create(std::make_unique<pfs::MemStorage>(),
+                           std::make_unique<pfs::MemStorage>(),
+                           Shape{kN, kN}, Shape{kChunk, kChunk}, options);
+  DRX_CHECK(f.is_ok());
+  return std::move(f).value();
+}
+
+/// One pass of hot-set gets/sets; returns wall nanoseconds.
+double run_pass(CachedDrxFile& cached) {
+  SplitMix64 rng(42);
+  const auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < kTouches; ++t) {
+    std::uint64_t idx[2];
+    if (rng.next_below(10) < 9) {
+      idx[0] = rng.next_below(2 * kChunk);
+      idx[1] = rng.next_below(4 * kChunk);
+    } else {
+      idx[0] = rng.next_below(kN);
+      idx[1] = rng.next_below(kN);
+    }
+    if ((t & 7) == 0) {
+      DRX_CHECK(cached.set<double>(idx, 1.0).is_ok());
+    } else {
+      DRX_CHECK(cached.get<double>(idx).is_ok());
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count());
+}
+
+}  // namespace
+
+int main() {
+  DRX_CHECK(!obs::trace_enabled());  // production config: tracing off
+  DrxFile file = make_array();
+  CachedDrxFile cached(file, /*capacity_chunks=*/64);
+
+  // Warm the cache and the code paths once outside measurement.
+  obs::set_flight_enabled(true);
+  (void)run_pass(cached);
+
+  double best_on = 0.0;
+  double best_off = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    obs::set_flight_enabled(true);
+    const double on = run_pass(cached);
+    obs::set_flight_enabled(false);
+    const double off = run_pass(cached);
+    if (rep == 0 || on < best_on) best_on = on;
+    if (rep == 0 || off < best_off) best_off = off;
+  }
+  obs::set_flight_enabled(true);  // restore the always-on default
+  DRX_CHECK(cached.flush().is_ok());
+
+  const double ratio = best_off > 0.0 ? best_on / best_off : 0.0;
+  bench::Table table({"mode", "touches", "wall ms", "ns/op"});
+  table.add_row({"flight-on", std::to_string(kTouches),
+                 bench::strf("%.2f", best_on / 1e6),
+                 bench::strf("%.0f", best_on / kTouches)});
+  table.add_row({"flight-off", std::to_string(kTouches),
+                 bench::strf("%.2f", best_off / 1e6),
+                 bench::strf("%.0f", best_off / kTouches)});
+  table.add_row({"overhead", bench::strf("%.3f", ratio)});
+  table.print();
+  std::printf("flight recorder overhead: %.1f%% (gate: < 2%% warn-only)\n",
+              (ratio - 1.0) * 100.0);
+  bench::write_json_report("bench_obs_overhead", table);
+  return 0;
+}

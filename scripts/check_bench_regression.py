@@ -118,6 +118,35 @@ def copy_coalescing_warnings(current, min_ratio):
     return []
 
 
+def obs_overhead_warnings(current, max_ratio):
+    """Check the always-on instrumentation gate from docs/OBSERVABILITY.md.
+
+    bench_obs_overhead reports the flight-on / flight-off wall-time ratio
+    of a cache-hit-dominated workload with tracing off. The causal
+    instrumentation is permanently on in production, so the ratio must
+    stay under max_ratio (default 1.02 = <2% overhead). Wall-clock cells
+    are machine-dependent; only the ratio row is gated.
+    """
+    doc = current.get("bench_obs_overhead")
+    if doc is None:
+        return ["obs-overhead: no bench_obs_overhead report to check"]
+    ratio = None
+    for row in doc["table"]["rows"]:
+        if row and row[0] == "overhead" and len(row) > 1:
+            ratio = as_number(row[1])
+    if ratio is None or ratio <= 0:
+        return ["obs-overhead: no 'overhead' ratio row in "
+                "bench_obs_overhead report"]
+    print(f"obs-overhead: flight-on/flight-off wall ratio {ratio:.3f} "
+          f"(gate {max_ratio:g})")
+    if ratio > max_ratio:
+        return [f"obs-overhead: always-on instrumentation costs "
+                f"{(ratio - 1) * 100:.1f}% with tracing off "
+                f"(gate {(max_ratio - 1) * 100:g}%) — a hot path lost its "
+                "enabled-flag guard"]
+    return []
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="check_bench_regression.py",
@@ -136,6 +165,13 @@ def main(argv=None):
         metavar="MIN_RATIO",
         help="also require core.copy.elements/core.copy.runs >= MIN_RATIO "
              "in the current bench_scatter metrics (default floor: 5)")
+    parser.add_argument(
+        "--obs-overhead", type=float, nargs="?", const=1.02, default=None,
+        metavar="MAX_RATIO",
+        help="also require the bench_obs_overhead flight-on/flight-off "
+             "wall-time ratio <= MAX_RATIO (default gate: 1.02, i.e. <2%% "
+             "always-on instrumentation overhead; warn-only like "
+             "everything else)")
     args = parser.parse_args(argv)
 
     try:
@@ -155,6 +191,8 @@ def main(argv=None):
     if args.copy_coalescing is not None:
         warnings.extend(copy_coalescing_warnings(current,
                                                  args.copy_coalescing))
+    if args.obs_overhead is not None:
+        warnings.extend(obs_overhead_warnings(current, args.obs_overhead))
 
     compared = sorted(set(baseline) & set(current))
     print(f"compared {len(compared)} bench(es) against baseline "

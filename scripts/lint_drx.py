@@ -52,6 +52,15 @@ Rules (see docs/STATIC_ANALYSIS.md for the full rationale):
                           suppression explaining why each visit moves a
                           run, not an element.
 
+  pool-submit-opctx       Every AsyncIoPool submit()/submit_with_future()
+                          call site outside src/io/ must propagate the
+                          causal context: the call must pass
+                          obs::current_op() or an explicit OpContext as
+                          its first argument (docs/OBSERVABILITY.md).
+                          A deliberately-empty obs::OpContext{} is
+                          allowed only with a suppression explaining why
+                          no op can be in flight.
+
 Suppressions: `// drx-lint: allow(<rule>) <reason>` on the offending
 line, in the contiguous comment block directly above it, or anywhere
 earlier in the same function body (the allowance resets at the next
@@ -82,6 +91,9 @@ OBS_SLOW_CALL = re.compile(r"\b(?:detail::)?(profile_\w+_slow|record_span)\s*\("
 AXIAL_EXTEND = re.compile(r"\bmapping\s*\.\s*extend\s*\(")
 CACHE_IO = re.compile(r"file_->(read_chunk|write_chunk|read_chunks)\s*\(")
 CACHE_ALLOC = re.compile(r"std::make_unique<\s*std::byte\[\]\s*>")
+POOL_SUBMIT = re.compile(r"(?:\.|->)\s*submit(?:_with_future)?\s*\(")
+OPCTX_ARG = re.compile(r"\bcurrent_op\s*\(\s*\)")
+OPCTX_EMPTY = re.compile(r"\bOpContext\s*\{")
 ELEMENT_WALK = re.compile(r"\bfor_each_index\s*\(")
 CHUNK_GRID_HINT = re.compile(r"chunk|covering|zone", re.IGNORECASE)
 # Data-plane files where a per-element walk is a coalescing regression.
@@ -209,6 +221,25 @@ def lint_common(path: Path, rel: str, lines: list[str],
                     "direct mapping.extend(); grow through "
                     "Metadata::extend_elements so element bounds and the "
                     "chunk grid stay consistent"))
+
+        if (not rel.startswith("src/io/")
+                and "pool-submit-opctx" not in allowed
+                and POOL_SUBMIT.search(code)):
+            # The context may sit on the next line when the call wraps.
+            snippet = code + (strip_comments_and_strings(lines[i + 1])
+                              if i + 1 < len(lines) else "")
+            if OPCTX_EMPTY.search(snippet):
+                findings.append(Finding(
+                    path, i + 1, "pool-submit-opctx",
+                    "AsyncIoPool submit with an empty obs::OpContext{} "
+                    "severs the causal chain; pass obs::current_op() or "
+                    "suppress with the reason no op can be in flight"))
+            elif not OPCTX_ARG.search(snippet):
+                findings.append(Finding(
+                    path, i + 1, "pool-submit-opctx",
+                    "AsyncIoPool submit without a causal context; pass "
+                    "obs::current_op() as the first argument so stage "
+                    "attribution and flow arrows follow the op"))
 
         if (rel in HOT_COPY_FILES
                 and "element-granular-copy" not in allowed

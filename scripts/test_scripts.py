@@ -142,6 +142,40 @@ class TestBenchRegression(unittest.TestCase):
         self.assertEqual(code, 0)
         self.assertIn("counters missing", out)
 
+    @staticmethod
+    def _overhead_doc(ratio):
+        return {"bench": "bench_obs_overhead",
+                "table": {"headers": ["mode", "touches", "wall ms", "ns/op"],
+                          "rows": [["flight-on", "1000", "10.2", "170"],
+                                   ["flight-off", "1000", "10.0", "167"],
+                                   ["overhead", f"{ratio:.3f}"]]}}
+
+    def test_obs_overhead_under_gate_ok(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = write_report(tmp, "r.json", [self._overhead_doc(1.01)])
+            code, out, _ = run_main(
+                bench_regression, [path, path, "--obs-overhead"])
+        self.assertEqual(code, 0)
+        self.assertIn("wall ratio 1.010", out)
+        self.assertNotIn("WARN: obs-overhead", out)
+
+    def test_obs_overhead_over_gate_warns(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = write_report(tmp, "r.json", [self._overhead_doc(1.10)])
+            code, out, _ = run_main(
+                bench_regression, [path, path, "--obs-overhead"])
+        self.assertEqual(code, 0)  # warn-only by design
+        self.assertIn("WARN: obs-overhead", out)
+
+    def test_obs_overhead_missing_bench_warns(self):
+        doc = bench_doc("bench_scatter", [["r", "x", "10", "20"]])
+        with tempfile.TemporaryDirectory() as tmp:
+            path = write_report(tmp, "r.json", [doc])
+            code, out, _ = run_main(
+                bench_regression, [path, path, "--obs-overhead", "1.02"])
+        self.assertEqual(code, 0)
+        self.assertIn("no bench_obs_overhead report", out)
+
 
 class TestPrefetchGate(unittest.TestCase):
     def test_help_exits_zero(self):
@@ -352,6 +386,58 @@ class TestLintDrx(unittest.TestCase):
             root = self._tree(tmp, {
                 "src/core/coords.hpp":
                     "for_each_index(box, [&](const Index& i) {});\n"})
+            code, _, _ = run_main(lint_drx, ["--root", root])
+        self.assertEqual(code, 0)
+
+    def test_pool_submit_without_context_flagged(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {
+                "src/core/a.cpp": "pool_->submit([this] { return run(); });\n"})
+            code, out, _ = run_main(lint_drx, ["--root", root])
+        self.assertEqual(code, 1)
+        self.assertIn("pool-submit-opctx", out)
+
+    def test_pool_submit_with_current_op_clean(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {
+                "src/core/a.cpp":
+                    "pool_->submit(obs::current_op(), [this] { run(); });\n"})
+            code, _, _ = run_main(lint_drx, ["--root", root])
+        self.assertEqual(code, 0)
+
+    def test_pool_submit_context_on_next_line_clean(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {
+                "src/mpio/a.cpp":
+                    "results.push_back(pool.submit_with_future(\n"
+                    "    obs::current_op(), [&] { return run(); }));\n"})
+            code, _, _ = run_main(lint_drx, ["--root", root])
+        self.assertEqual(code, 0)
+
+    def test_pool_submit_empty_context_flagged(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {
+                "src/core/a.cpp":
+                    "pool_->submit(obs::OpContext{}, [this] { run(); });\n"})
+            code, out, _ = run_main(lint_drx, ["--root", root])
+        self.assertEqual(code, 1)
+        self.assertIn("severs the causal chain", out)
+
+    def test_pool_submit_empty_context_suppressed_clean(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {
+                "src/core/a.cpp":
+                    "// drx-lint: allow(pool-submit-opctx) startup path, "
+                    "no op can be in flight\n"
+                    "pool_->submit(obs::OpContext{}, [this] { run(); });\n"})
+            code, _, _ = run_main(lint_drx, ["--root", root])
+        self.assertEqual(code, 0)
+
+    def test_pool_submit_inside_src_io_exempt(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {
+                "src/io/async_pool.cpp":
+                    "pool_->submit([this] { return run(); });\n"})
             code, _, _ = run_main(lint_drx, ["--root", root])
         self.assertEqual(code, 0)
 

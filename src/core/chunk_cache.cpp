@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/opctx.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
@@ -71,11 +73,13 @@ std::size_t ChunkCache::chunk_size() const {
   return checked_size(file_->chunk_bytes());
 }
 
-void ChunkCache::record_error_locked(const Status& status, bool surfaced) {
+bool ChunkCache::record_error_locked(const Status& status, bool surfaced) {
   if (last_error_.is_ok()) {
     last_error_ = status;
     error_unsurfaced_ = !surfaced;
+    return !surfaced;
   }
+  return false;
 }
 
 std::unique_ptr<std::byte[]> ChunkCache::take_buffer_locked() {
@@ -253,6 +257,7 @@ Result<bool> ChunkCache::read_element_bypassed(std::uint64_t address,
     obs::registry().counter(kAdmitBypasses).add();
   }
   const std::uint64_t base = checked_mul(address, file_->chunk_bytes());
+  obs::StageTimer io_timer(obs::Stage::kIoService);
   util::MutexLock io(io_mu_);
   DRX_RETURN_IF_ERROR(
       file_->data_storage().read_at(checked_add(base, offset), out));
@@ -269,6 +274,7 @@ Result<bool> ChunkCache::write_element_bypassed(
     obs::registry().counter(kAdmitBypasses).add();
   }
   const std::uint64_t base = checked_mul(address, file_->chunk_bytes());
+  obs::StageTimer io_timer(obs::Stage::kIoService);
   util::MutexLock io(io_mu_);
   DRX_RETURN_IF_ERROR(
       file_->data_storage().write_at(checked_add(base, offset), value));
@@ -277,13 +283,16 @@ Result<bool> ChunkCache::write_element_bypassed(
 
 void ChunkCache::submit_writes(const std::vector<std::uint64_t>& addresses) {
   for (const std::uint64_t address : addresses) {
-    pool_->submit([this, address] { return run_write_job(address); });
+    pool_->submit(obs::current_op(),
+                  [this, address] { return run_write_job(address); });
   }
 }
 
 Result<std::span<std::byte>> ChunkCache::pin(std::uint64_t address) {
   const std::size_t cb = chunk_size();
+  obs::StageTimer lock_wait(obs::Stage::kLockWait);
   util::MutexLock lock(mu_);
+  lock_wait.stop();
 restart:
   auto it = frames_.find(address);
   if (it != frames_.end() && (it->second.loading || it->second.flushing)) {
@@ -292,6 +301,9 @@ restart:
     ++stats_.prefetch_waits;
     obs::registry().counter(kPrefWaits).add();
     obs::ScopedTimer wait_timer(kPrefWaitUs);
+    // Waiting for someone else's fill of this chunk is cache-fault time
+    // from the op's perspective.
+    obs::StageTimer fault_wait(obs::Stage::kCacheFault);
     do {
       cv_.wait(lock);
       it = frames_.find(address);
@@ -331,6 +343,10 @@ restart:
   }
 
   obs::ScopedSpan fault_span("core.cache_fault", "core", file_->chunk_bytes());
+  // Fault handling (eviction, frame reservation, readahead setup) is
+  // cache-fault time; stopped before the storage read below so the I/O
+  // itself attributes to Stage::kIoService, not here.
+  obs::StageTimer fault_timer(obs::Stage::kCacheFault);
   std::vector<std::uint64_t> write_submits;
   while (frames_.size() >= capacity_) {
     DRX_RETURN_IF_ERROR(evict_one_locked(lock, write_submits));
@@ -383,10 +399,12 @@ restart:
   if (readahead_n > 0) {
     const std::uint64_t first = address + 1;
     const std::uint64_t count = readahead_n;
-    pool_->submit(
-        [this, first, count] { return run_prefetch_job(first, count); });
+    pool_->submit(obs::current_op(), [this, first, count] {
+      return run_prefetch_job(first, count);
+    });
   }
 
+  fault_timer.stop();
   Status st;
   {
     util::MutexLock io(io_mu_);
@@ -410,7 +428,9 @@ restart:
 }
 
 void ChunkCache::unpin(std::uint64_t address, bool dirty) {
+  obs::StageTimer lock_wait(obs::Stage::kLockWait);
   util::MutexLock lock(mu_);
+  lock_wait.stop();
   auto it = frames_.find(address);
   DRX_CHECK_MSG(it != frames_.end(), "unpin of non-resident chunk");
   Frame& frame = it->second;
@@ -436,7 +456,9 @@ void ChunkCache::prefetch(std::uint64_t first, std::uint64_t count) {
   }
   if (!write_submits.empty()) submit_writes(write_submits);
   if (run > 0) {
-    pool_->submit([this, first, run] { return run_prefetch_job(first, run); });
+    pool_->submit(obs::current_op(), [this, first, run] {
+      return run_prefetch_job(first, run);
+    });
   }
 }
 
@@ -462,17 +484,33 @@ Status ChunkCache::run_write_job(std::uint64_t address) {
       DRX_LOG(kError) << "deferred chunk write-back failed (address " << address
                       << "): " << st.to_string();
     }
+    bool dump_flight = false;
+    bool replaced = false;
     {
       util::MutexLock lock(mu_);
       ++stats_.writebacks;
       obs::registry().counter(kWritebacks).add();
-      if (!st.is_ok()) record_error_locked(st, /*surfaced=*/false);
+      if (!st.is_ok()) {
+        dump_flight = record_error_locked(st, /*surfaced=*/false);
+      }
       auto it = pending_writes_.find(address);
       DRX_CHECK(it != pending_writes_.end());
-      if (it->second.seq != seq) continue;  // replaced mid-write: go again
-      pending_writes_.erase(it);
+      if (it->second.seq != seq) {
+        replaced = true;  // replaced mid-write: go again
+      } else {
+        pending_writes_.erase(it);
+      }
     }
     cv_.notify_all();
+    if (dump_flight && obs::flight_enabled()) {
+      // First sticky deferred error: nobody may ever call flush() to see
+      // it, so capture the causal context now, outside the cache lock.
+      const Status ds = obs::dump_flight("deferred-io-error");
+      if (!ds.is_ok()) {
+        DRX_LOG(kError) << "flight dump failed: " << ds.to_string();
+      }
+    }
+    if (replaced) continue;
     return st;
   }
 }
@@ -650,6 +688,7 @@ std::size_t ChunkCache::resident() const {
 
 Status CachedDrxFile::read_box(const Box& box, MemoryOrder order,
                                std::span<std::byte> out) {
+  obs::OpScope op("op.cached_read_box");
   DRX_CHECK(out.size() == checked_mul(box.volume(), file_->element_bytes()));
   const Box full{Index(file_->rank(), 0),
                  Index(file_->bounds().begin(), file_->bounds().end())};

@@ -33,6 +33,7 @@
 #include "core/drx_file.hpp"
 #include "core/scatter.hpp"
 #include "io/async_pool.hpp"
+#include "obs/opctx.hpp"
 #include "io/config.hpp"
 #include "io/prefetch.hpp"
 #include "util/sync.hpp"
@@ -187,7 +188,9 @@ class ChunkCache final : public io::PrefetchSink {
                           std::unique_ptr<std::byte[]> data,
                           std::vector<std::uint64_t>& write_submits)
       DRX_REQUIRES(mu_);
-  void record_error_locked(const Status& status, bool surfaced)
+  /// Returns true when `status` became the sticky error AND is not yet
+  /// surfaced to a caller — the trigger for a flight-recorder dump.
+  bool record_error_locked(const Status& status, bool surfaced)
       DRX_REQUIRES(mu_);
   /// Reserves loading frames for a contiguous eligible run starting at
   /// `first`; returns the run length (0 = nothing to do).
@@ -279,6 +282,7 @@ class CachedDrxFile {
 
   template <typename T>
   Result<T> get(std::span<const std::uint64_t> index) {
+    obs::OpScope op("op.cached_get");
     DRX_CHECK(ElementTypeOf<T>::value == file_->dtype());
     DRX_RETURN_IF_ERROR(check_index(index));
     const std::uint64_t q = file_->chunk_address(space_.chunk_of(index));
@@ -297,6 +301,7 @@ class CachedDrxFile {
 
   template <typename T>
   Status set(std::span<const std::uint64_t> index, const T& v) {
+    obs::OpScope op("op.cached_set");
     DRX_CHECK(ElementTypeOf<T>::value == file_->dtype());
     DRX_RETURN_IF_ERROR(check_index(index));
     const std::uint64_t q = file_->chunk_address(space_.chunk_of(index));

@@ -6,6 +6,7 @@
 
 #include "core/scatter.hpp"
 #include "obs/metrics.hpp"
+#include "obs/opctx.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
@@ -85,6 +86,7 @@ Status DrxFile::flush() {
 }
 
 Status DrxFile::extend(std::size_t dim, std::uint64_t delta) {
+  obs::OpScope op("op.extend");
   if (dim >= rank()) {
     return Status(ErrorCode::kInvalidArgument, "dimension out of range");
   }
@@ -116,11 +118,13 @@ Status DrxFile::check_index(std::span<const std::uint64_t> index) const {
 
 Status DrxFile::read_element(std::span<const std::uint64_t> index,
                              std::span<std::byte> out) {
+  obs::OpScope op("op.read_element");
   DRX_RETURN_IF_ERROR(check_index(index));
   DRX_CHECK(out.size() == element_bytes());
   const Index chunk = chunk_space_.chunk_of(index);
   const std::uint64_t q = meta_.mapping.address_of(chunk);
   const std::uint64_t off = chunk_space_.offset_in_chunk(index);
+  obs::StageTimer io(obs::Stage::kIoService);
   return data_->read_at(
       checked_add(checked_mul(q, meta_.chunk_bytes()),
                   checked_mul(off, element_bytes())),
@@ -129,11 +133,13 @@ Status DrxFile::read_element(std::span<const std::uint64_t> index,
 
 Status DrxFile::write_element(std::span<const std::uint64_t> index,
                               std::span<const std::byte> value) {
+  obs::OpScope op("op.write_element");
   DRX_RETURN_IF_ERROR(check_index(index));
   DRX_CHECK(value.size() == element_bytes());
   const Index chunk = chunk_space_.chunk_of(index);
   const std::uint64_t q = meta_.mapping.address_of(chunk);
   const std::uint64_t off = chunk_space_.offset_in_chunk(index);
+  obs::StageTimer io(obs::Stage::kIoService);
   return data_->write_at(
       checked_add(checked_mul(q, meta_.chunk_bytes()),
                   checked_mul(off, element_bytes())),
@@ -144,6 +150,7 @@ void DrxFile::scatter_chunk(std::span<const std::byte> chunk, const Box& clip,
                             const Box& box, MemoryOrder order,
                             std::span<std::byte> out) const {
   if (clip.empty()) return;
+  obs::StageTimer copy(obs::Stage::kCopy);
   plan_cache_->scatter(clip, box, order, chunk, out);
 }
 
@@ -151,11 +158,13 @@ void DrxFile::gather_chunk(std::span<std::byte> chunk, const Box& clip,
                            const Box& box, MemoryOrder order,
                            std::span<const std::byte> in) const {
   if (clip.empty()) return;
+  obs::StageTimer copy(obs::Stage::kCopy);
   plan_cache_->gather(clip, box, order, chunk, in);
 }
 
 Status DrxFile::read_box(const Box& box, MemoryOrder order,
                          std::span<std::byte> out) {
+  obs::OpScope op("op.read_box");
   if (box.rank() != rank()) {
     return Status(ErrorCode::kInvalidArgument, "box rank mismatch");
   }
@@ -183,6 +192,7 @@ Status DrxFile::read_box(const Box& box, MemoryOrder order,
 
 Status DrxFile::write_box(const Box& box, MemoryOrder order,
                           std::span<const std::byte> in) {
+  obs::OpScope op("op.write_box");
   if (box.rank() != rank()) {
     return Status(ErrorCode::kInvalidArgument, "box rank mismatch");
   }
@@ -216,6 +226,7 @@ Status DrxFile::write_box(const Box& box, MemoryOrder order,
 }
 
 Status DrxFile::scan_read_all(MemoryOrder order, std::span<std::byte> out) {
+  obs::OpScope op("op.scan_read_all");
   const Box full{Index(rank(), 0), meta_.element_bounds};
   DRX_CHECK(out.size() == checked_mul(full.volume(), element_bytes()));
   std::vector<std::byte> chunk_buf(checked_size(meta_.chunk_bytes()));
@@ -239,6 +250,7 @@ Status DrxFile::read_chunk(std::uint64_t address, std::span<std::byte> out) {
   obs::registry().counter(kBytes).add(out.size());
   obs::profile_chunk(obs::ChunkOp::kRead, address, out.size());
   obs::ScopedSpan span("core.read_chunk", "core", out.size());
+  obs::StageTimer io(obs::Stage::kIoService);
   return data_->read_at(checked_mul(address, meta_.chunk_bytes()), out);
 }
 
@@ -260,6 +272,7 @@ Status DrxFile::read_chunks(std::uint64_t first_address, std::uint64_t count,
     }
   }
   obs::ScopedSpan span("core.read_chunks_batch", "core", out.size());
+  obs::StageTimer io(obs::Stage::kIoService);
   return data_->read_at(checked_mul(first_address, meta_.chunk_bytes()), out);
 }
 
@@ -299,6 +312,7 @@ Status DrxFile::write_chunk(std::uint64_t address,
   obs::registry().counter(kBytes).add(in.size());
   obs::profile_chunk(obs::ChunkOp::kWrite, address, in.size());
   obs::ScopedSpan span("core.write_chunk", "core", in.size());
+  obs::StageTimer io(obs::Stage::kIoService);
   return data_->write_at(checked_mul(address, meta_.chunk_bytes()), in);
 }
 

@@ -8,6 +8,7 @@
 
 #include "io/async_pool.hpp"
 #include "io/config.hpp"
+#include "obs/opctx.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
@@ -240,6 +241,7 @@ Status DrxMpFile::write_chunks(std::span<const Index> chunks,
 
 Status DrxMpFile::read_my_zone(const Distribution& dist, MemoryOrder order,
                                std::span<std::byte> out, bool collective) {
+  obs::OpScope op("op.read_my_zone");
   const Box box = zone_element_box(dist, comm_->rank());
   DRX_CHECK(out.size() == checked_mul(box.volume(), meta_.element_bytes()));
 
@@ -257,6 +259,7 @@ Status DrxMpFile::read_my_zone(const Distribution& dist, MemoryOrder order,
       checked_size(checked_mul(chunks.size(), chunk_bytes())));
   DRX_RETURN_IF_ERROR(read_chunks(chunks, staging, collective));
 
+  obs::StageTimer copy(obs::Stage::kCopy);
   for (std::size_t i = 0; i < chunks.size(); ++i) {
     const Box clip = chunk_space_.chunk_box(chunks[i]).intersect(box);
     if (clip.empty()) continue;
@@ -309,6 +312,7 @@ Status DrxMpFile::read_my_zone_pipelined(const Distribution& dist,
     std::vector<std::byte>& buf = staging[r % 2];
     buf.resize(checked_size(checked_mul(part.size(), cb)));
     return pool.submit_with_future(
+        obs::current_op(),
         [this, part, bufspan = std::span<std::byte>(buf), collective] {
           return read_chunks(part, bufspan, collective);
         });
@@ -323,6 +327,7 @@ Status DrxMpFile::read_my_zone_pipelined(const Distribution& dist,
     if (r + 1 < rounds) inflight = issue(r + 1);
     const std::span<const Index> part = round_chunks(r);
     const std::span<const std::byte> buf(staging[r % 2]);
+    obs::StageTimer copy(obs::Stage::kCopy);
     for (std::size_t i = 0; i < part.size(); ++i) {
       const Box clip = chunk_space_.chunk_box(part[i]).intersect(box);
       if (clip.empty()) continue;
@@ -338,6 +343,7 @@ Status DrxMpFile::read_my_zone_pipelined(const Distribution& dist,
 Status DrxMpFile::write_my_zone(const Distribution& dist, MemoryOrder order,
                                 std::span<const std::byte> in,
                                 bool collective) {
+  obs::OpScope op("op.write_my_zone");
   const Box box = zone_element_box(dist, comm_->rank());
   DRX_CHECK(in.size() == checked_mul(box.volume(), meta_.element_bytes()));
 
@@ -347,25 +353,30 @@ Status DrxMpFile::write_my_zone(const Distribution& dist, MemoryOrder order,
   }
   std::vector<std::byte> staging(
       checked_size(checked_mul(chunks.size(), chunk_bytes())), std::byte{0});
-  for (std::size_t i = 0; i < chunks.size(); ++i) {
-    const Box clip = chunk_space_.chunk_box(chunks[i]).intersect(box);
-    if (clip.empty()) continue;
-    plan_cache_->gather(clip, box, order,
-                        std::span<std::byte>(staging).subspan(
-                            checked_size(checked_mul(i, chunk_bytes())),
-                            checked_size(chunk_bytes())),
-                        in);
+  {
+    obs::StageTimer copy(obs::Stage::kCopy);
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      const Box clip = chunk_space_.chunk_box(chunks[i]).intersect(box);
+      if (clip.empty()) continue;
+      plan_cache_->gather(clip, box, order,
+                          std::span<std::byte>(staging).subspan(
+                              checked_size(checked_mul(i, chunk_bytes())),
+                              checked_size(chunk_bytes())),
+                          in);
+    }
   }
   return write_chunks(chunks, staging, collective);
 }
 
 Status DrxMpFile::read_box_all(const Box& box, MemoryOrder order,
                                std::span<std::byte> out) {
+  obs::OpScope op("op.read_box_all");
   return read_box_impl(box, order, out, /*collective=*/true);
 }
 
 Status DrxMpFile::read_box_independent(const Box& box, MemoryOrder order,
                                        std::span<std::byte> out) {
+  obs::OpScope op("op.read_box_independent");
   return read_box_impl(box, order, out, /*collective=*/false);
 }
 
@@ -388,6 +399,7 @@ Status DrxMpFile::read_box_impl(const Box& box, MemoryOrder order,
       checked_size(checked_mul(chunks.size(), chunk_bytes())));
   DRX_RETURN_IF_ERROR(read_chunks(chunks, staging, collective));
 
+  obs::StageTimer copy(obs::Stage::kCopy);
   for (std::size_t i = 0; i < chunks.size(); ++i) {
     const Box clip = chunk_space_.chunk_box(chunks[i]).intersect(box);
     if (clip.empty()) continue;
@@ -402,11 +414,13 @@ Status DrxMpFile::read_box_impl(const Box& box, MemoryOrder order,
 
 Status DrxMpFile::write_box_all(const Box& box, MemoryOrder order,
                                 std::span<const std::byte> in) {
+  obs::OpScope op("op.write_box_all");
   return write_box_impl(box, order, in, /*collective=*/true);
 }
 
 Status DrxMpFile::write_box_independent(const Box& box, MemoryOrder order,
                                         std::span<const std::byte> in) {
+  obs::OpScope op("op.write_box_independent");
   return write_box_impl(box, order, in, /*collective=*/false);
 }
 
@@ -448,6 +462,7 @@ Status DrxMpFile::write_box_impl(const Box& box, MemoryOrder order,
                       /*collective=*/false));
     }
     if (!covered.empty()) {
+      obs::StageTimer copy(obs::Stage::kCopy);
       plan_cache_->gather(covered, box, order, slot, in);
     }
   }
@@ -455,6 +470,7 @@ Status DrxMpFile::write_box_impl(const Box& box, MemoryOrder order,
 }
 
 Status DrxMpFile::extend_all(std::size_t dim, std::uint64_t delta) {
+  obs::OpScope op("op.extend_all");
   if (dim >= rank()) {
     return Status(ErrorCode::kInvalidArgument, "dimension out of range");
   }

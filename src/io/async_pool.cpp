@@ -110,11 +110,14 @@ void AsyncIoPool::finish_one(const Status& status) {
   }
 }
 
-void AsyncIoPool::submit(Job job, Completion done) {
+void AsyncIoPool::submit(const obs::OpContext& ctx, Job job, Completion done) {
   DRX_CHECK(job != nullptr);
   if (!async()) {
     // Inline synchronous path: same observable order as the legacy code —
-    // the work (and its completion) happens before submit() returns.
+    // the work (and its completion) happens before submit() returns. No
+    // flow events (there is no thread handoff to draw an arrow across),
+    // but the context is still installed so stage attribution works when
+    // a caller submits on behalf of another thread's op.
     {
       util::MutexLock lock(mu_);
       ++stats_.submitted;
@@ -122,7 +125,11 @@ void AsyncIoPool::submit(Job job, Completion done) {
     }
     obs::registry().counter(kSubmitted).add();
     obs::registry().counter(kInline).add();
-    const Status status = job();
+    Status status;
+    {
+      obs::OpRestore restore(ctx);
+      status = job();
+    }
     {
       util::MutexLock lock(mu_);
       finish_one(status);
@@ -130,12 +137,32 @@ void AsyncIoPool::submit(Job job, Completion done) {
     if (done) done(status);
     return;
   }
+  // Submit side of the causal arrow ("s" flow phase) and the start of the
+  // queue-wait clock. Guarded so the disabled-everything path stays free
+  // of clock reads.
+  std::uint64_t flow_id = 0;
+  if (obs::trace_enabled() || obs::flight_enabled()) {
+    flow_id = obs::next_flow_id();
+    obs::record_flow_out(flow_id, ctx);
+  }
   util::MutexLock lock(mu_);
-  space_cv_.wait(lock, [this] {
-    mu_.assert_held();
-    return queue_.size() < options_.queue_capacity;
-  });
-  queue_.push_back(Task{std::move(job), std::move(done)});
+  {
+    // Backpressure (queue at capacity) is queue-wait time from the op's
+    // point of view: the op is stalled on the async engine.
+    const std::uint64_t wait_start =
+        ctx.op != 0 ? obs::trace_now_ns() : 0;
+    space_cv_.wait(lock, [this] {
+      mu_.assert_held();
+      return queue_.size() < options_.queue_capacity;
+    });
+    if (ctx.op != 0) {
+      obs::add_stage_ns(ctx, obs::Stage::kQueueWait,
+                        obs::trace_now_ns() - wait_start);
+    }
+  }
+  const std::uint64_t enqueue_ns = ctx.op != 0 ? obs::trace_now_ns() : 0;
+  queue_.push_back(Task{std::move(job), std::move(done), ctx, flow_id,
+                        enqueue_ns});
   ++stats_.submitted;
   obs::registry().counter(kSubmitted).add();
   obs::registry().histogram(kQueueDepth).observe(queue_.size());
@@ -143,10 +170,11 @@ void AsyncIoPool::submit(Job job, Completion done) {
   work_cv_.notify_one();
 }
 
-std::future<Status> AsyncIoPool::submit_with_future(Job job) {
+std::future<Status> AsyncIoPool::submit_with_future(const obs::OpContext& ctx,
+                                                    Job job) {
   auto promise = std::make_shared<std::promise<Status>>();
   std::future<Status> future = promise->get_future();
-  submit(std::move(job),
+  submit(ctx, std::move(job),
          [promise](const Status& s) { promise->set_value(s); });
   return future;
 }
@@ -184,8 +212,20 @@ void AsyncIoPool::worker_loop() {
     lock.unlock();
     space_cv_.notify_one();
 
+    // Consume side of the causal arrow: close the queue-wait clock, emit
+    // the "f" flow phase, and run the job under the submitter's OpContext
+    // so everything it touches attributes to the originating op.
+    if (task.enqueue_ns != 0) {
+      obs::add_stage_ns(task.ctx, obs::Stage::kQueueWait,
+                        obs::trace_now_ns() - task.enqueue_ns);
+    }
+    if (task.flow_id != 0 &&
+        (obs::trace_enabled() || obs::flight_enabled())) {
+      obs::record_flow_in(task.flow_id, task.ctx);
+    }
     Status status;
     {
+      obs::OpRestore restore(task.ctx);
       obs::ScopedSpan span("io.pool.job", "io");
       obs::ScopedTimer timer(kJobUs);
       status = task.job();

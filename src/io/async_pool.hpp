@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/opctx.hpp"
 #include "util/error.hpp"
 #include "util/sync.hpp"
 
@@ -59,10 +60,17 @@ class AsyncIoPool {
   /// Enqueues `job`; `done` (optional) runs right after it on the same
   /// thread. Blocks while the queue is at capacity. Inline mode runs
   /// everything before returning.
-  void submit(Job job, Completion done = nullptr);
+  ///
+  /// `ctx` is the submitter's causal context (obs::current_op() at the
+  /// call site — lint_drx enforces propagation): it is restored on the
+  /// worker thread so stage attribution follows the op, queue time is
+  /// charged to Stage::kQueueWait, and a flow-event pair links the submit
+  /// to the dequeue in trace/flight output. Pass obs::OpContext{} only
+  /// where no op can be in flight (lint: allow(pool-submit-opctx)).
+  void submit(const obs::OpContext& ctx, Job job, Completion done = nullptr);
 
   /// submit() variant yielding the job's Status through a future.
-  std::future<Status> submit_with_future(Job job);
+  std::future<Status> submit_with_future(const obs::OpContext& ctx, Job job);
 
   /// Barrier: returns once every job submitted before the call (queued or
   /// running) has completed.
@@ -77,6 +85,9 @@ class AsyncIoPool {
   struct Task {
     Job job;
     Completion done;
+    obs::OpContext ctx;            ///< restored on the worker for the job
+    std::uint64_t flow_id = 0;     ///< 0 = no flow event pair for this task
+    std::uint64_t enqueue_ns = 0;  ///< 0 = queue wait not attributed
   };
 
   void worker_loop();

@@ -498,8 +498,8 @@ Status File::transfer_collective(std::uint64_t offset_etypes, void* buf,
       std::vector<std::future<Status>> results;
       results.reserve(runs.size());
       for (const Run& run : runs) {
-        results.push_back(
-            pool.submit_with_future([&do_run, &run] { return do_run(run); }));
+        results.push_back(pool.submit_with_future(
+            obs::current_op(), [&do_run, &run] { return do_run(run); }));
       }
       std::uint64_t completed_runs = 0;
       for (std::future<Status>& f : results) {

@@ -255,6 +255,36 @@ void analyze_metrics(const MetricsSnapshot& snap, std::vector<Finding>& out) {
     }
   }
 
+  // Causal stage attribution (docs/OBSERVABILITY.md): every closed op
+  // bumps obs.op.dominant.<stage>; a majority stuck in one wait stage is
+  // an actionable bottleneck, not noise.
+  const std::uint64_t op_count = snap.counter("obs.op.count");
+  if (op_count >= 16) {
+    const double ops = static_cast<double>(op_count);
+    const double queue_frac =
+        static_cast<double>(snap.counter("obs.op.dominant.queue_wait")) / ops;
+    const double lock_frac =
+        static_cast<double>(snap.counter("obs.op.dominant.lock_wait")) / ops;
+    if (queue_frac > 0.5) {
+      out.push_back(Finding{
+          "op-queue-wait-dominated", Severity::kWarn, queue_frac,
+          format("%.0f%% of %llu ops spend most of their time waiting in "
+                 "the async I/O queue - the pool is saturated; raise "
+                 "DRX_IO_THREADS",
+                 queue_frac * 100.0,
+                 static_cast<unsigned long long>(op_count))});
+    }
+    if (lock_frac > 0.5) {
+      out.push_back(Finding{
+          "op-lock-wait-dominated", Severity::kWarn, lock_frac,
+          format("%.0f%% of %llu ops spend most of their time blocked on "
+                 "the ChunkCache mutex - shard the cache or shrink "
+                 "critical sections",
+                 lock_frac * 100.0,
+                 static_cast<unsigned long long>(op_count))});
+    }
+  }
+
   // Run-coalescing health (docs/PERFORMANCE.md): the CopyPlan data plane
   // batches scatter/gather into contiguous memcpy runs, so elements per
   // run should be well above 1 on any realistic clip. A ratio near 1 on
@@ -320,8 +350,31 @@ Result<TraceSummary> summarize_trace(const JsonValue& doc) {
   std::uint64_t x_events = 0;
   for (const JsonValue& e : events->array) {
     const JsonValue* ph = e.find("ph");
-    if (ph == nullptr || ph->as_string() != "X") continue;
+    if (ph == nullptr) continue;
+    if (ph->as_string() == "s") ++t.flows;
+    if (ph->as_string() != "X") continue;
     ++x_events;
+    const JsonValue* cat = e.find("cat");
+    if (cat != nullptr && cat->as_string() == "op") {
+      OpStat op;
+      const JsonValue* name = e.find("name");
+      op.name = name != nullptr ? std::string(name->as_string()) : "?";
+      op.dur_us = e.number_at("dur");
+      op.rank = static_cast<int>(e.number_at("pid")) - 1;
+      if (const JsonValue* args = e.find("args"); args != nullptr) {
+        op.op = args->uint_at("op");
+        for (std::size_t s = 0; s < kStageCount; ++s) {
+          op.stage_us[s] =
+              args->number_at(std::string(stage_name(static_cast<Stage>(s))) +
+                              "_ns") /
+              1000.0;
+        }
+        if (const JsonValue* dom = args->find("dominant"); dom != nullptr) {
+          op.dominant = std::string(dom->as_string());
+        }
+      }
+      t.ops.push_back(std::move(op));
+    }
     const int rank = static_cast<int>(e.number_at("pid")) - 1;
     const double ts = e.number_at("ts");
     const double dur = e.number_at("dur");
@@ -398,6 +451,115 @@ void analyze_trace(const TraceSummary& t, std::vector<Finding>& out) {
                t.critical_path_us / 1000.0, t.longest_name.c_str(),
                t.longest_dur_us / 1000.0, t.longest_rank)});
   }
+  if (!t.ops.empty()) {
+    const OpStat* slowest = &t.ops.front();
+    for (const OpStat& op : t.ops) {
+      if (op.dur_us > slowest->dur_us) slowest = &op;
+    }
+    double dom_us = 0.0;
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      dom_us = std::max(dom_us, slowest->stage_us[s]);
+    }
+    out.push_back(Finding{
+        "op-critical-path", Severity::kInfo, slowest->dur_us / 1000.0,
+        format("slowest of %zu op(s): \"%s\" (op %llu) %.1f ms on rank %d, "
+               "dominant stage %s (%.1f ms)",
+               t.ops.size(), slowest->name.c_str(),
+               static_cast<unsigned long long>(slowest->op),
+               slowest->dur_us / 1000.0, slowest->rank,
+               slowest->dominant.empty() ? "?" : slowest->dominant.c_str(),
+               dom_us / 1000.0)});
+  }
+}
+
+void analyze_flight(const JsonValue& doc, std::vector<Finding>& out) {
+  if (const JsonValue* fmt = doc.find("format");
+      fmt == nullptr || fmt->as_string() != "drx-flight") {
+    out.push_back(Finding{
+        "flight-bad-format", Severity::kError, 0.0,
+        "not a drx-flight document (missing format marker)"});
+    return;
+  }
+  const JsonValue* reason_v = doc.find("reason");
+  const std::string reason(reason_v != nullptr ? reason_v->as_string()
+                                               : "unknown");
+
+  // Flatten the per-thread rings; track the most recent op on record.
+  struct Rec {
+    std::uint64_t seq = 0;
+    std::uint64_t op = 0;
+    std::uint64_t ts_ns = 0;
+    double dur_us = 0.0;
+    std::string kind;
+    std::string name;
+    int rank = -1;
+  };
+  std::vector<Rec> recs;
+  std::size_t threads = 0;
+  if (const JsonValue* tarr = doc.find("threads");
+      tarr != nullptr && tarr->is_array()) {
+    threads = tarr->array.size();
+    for (const JsonValue& t : tarr->array) {
+      const JsonValue* rarr = t.find("records");
+      if (rarr == nullptr || !rarr->is_array()) continue;
+      for (const JsonValue& r : rarr->array) {
+        Rec rec;
+        rec.seq = r.uint_at("seq");
+        rec.op = r.uint_at("op");
+        rec.ts_ns = r.uint_at("ts_ns");
+        rec.dur_us = r.number_at("dur_ns") / 1000.0;
+        const JsonValue* kind = r.find("kind");
+        rec.kind = kind != nullptr ? std::string(kind->as_string()) : "?";
+        const JsonValue* name = r.find("name");
+        rec.name = name != nullptr ? std::string(name->as_string()) : "?";
+        rec.rank = static_cast<int>(r.number_at("rank", -1.0));
+        recs.push_back(std::move(rec));
+      }
+    }
+  }
+
+  const Severity sev =
+      reason == "on-demand" ? Severity::kInfo : Severity::kWarn;
+  out.push_back(Finding{
+      "flight-dump", sev, static_cast<double>(recs.size()),
+      format("flight recorder dump (%s): %zu record(s) across %zu "
+             "thread(s)",
+             reason.c_str(), recs.size(), threads)});
+  if (recs.empty()) return;
+
+  // The causal chain of the most recent op: every surviving ring record
+  // carrying that op id, in sequence order — what the op did, across
+  // threads, right up to the failure.
+  std::uint64_t last_seq = 0;
+  std::uint64_t last_op = 0;
+  for (const Rec& r : recs) {
+    if (r.op != 0 && r.seq >= last_seq) {
+      last_seq = r.seq;
+      last_op = r.op;
+    }
+  }
+  if (last_op == 0) return;
+  std::vector<const Rec*> chain;
+  for (const Rec& r : recs) {
+    if (r.op == last_op) chain.push_back(&r);
+  }
+  std::sort(chain.begin(), chain.end(),
+            [](const Rec* a, const Rec* b) { return a->seq < b->seq; });
+  std::string path;
+  constexpr std::size_t kMaxChainNames = 8;
+  for (std::size_t i = 0; i < chain.size() && i < kMaxChainNames; ++i) {
+    if (i != 0) path += " -> ";
+    path += chain[i]->name;
+    if (chain[i]->kind == "flow_out") path += "(submit)";
+    if (chain[i]->kind == "flow_in") path += "(dequeue)";
+  }
+  if (chain.size() > kMaxChainNames) path += " -> ...";
+  out.push_back(Finding{
+      "flight-causal-chain", Severity::kInfo,
+      static_cast<double>(chain.size()),
+      format("last op %llu: %zu record(s): ",
+             static_cast<unsigned long long>(last_op), chain.size()) +
+          path});
 }
 
 void analyze_series(const JsonValue& doc, std::vector<Finding>& out,

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/opctx.hpp"
 #include "obs/profile.hpp"
 #include "util/error.hpp"
 
@@ -110,14 +111,27 @@ struct RankBusy {
   double busy_us = 0.0;  ///< union of span intervals (critical path length)
 };
 
+/// One op-summary event (cat "op") from a trace: wall time plus the
+/// per-stage attribution recorded by the closing OpScope.
+struct OpStat {
+  std::string name;
+  std::uint64_t op = 0;
+  double dur_us = 0.0;
+  std::array<double, kStageCount> stage_us{};
+  std::string dominant;
+  int rank = -1;
+};
+
 struct TraceSummary {
   std::uint64_t events = 0;
   std::uint64_t dropped = 0;
+  std::uint64_t flows = 0;         ///< submit->dequeue flow arrows ("s" phase)
   std::vector<RankBusy> per_rank;  ///< simulated ranks only (rank >= 0)
   double critical_path_us = 0.0;   ///< max per-rank busy: the straggler
   std::string longest_name;        ///< single longest span
   double longest_dur_us = 0.0;
   int longest_rank = -1;
+  std::vector<OpStat> ops;         ///< per-op stage attribution summaries
 };
 
 /// Digests a parsed Trace Event Format document (as written by
@@ -126,6 +140,14 @@ struct TraceSummary {
 [[nodiscard]] Result<TraceSummary> summarize_trace(const JsonValue& doc);
 
 void analyze_trace(const TraceSummary& t, std::vector<Finding>& out);
+
+// ---- flight-recorder analysis ---------------------------------------------
+
+/// Digests a "drx-flight" post-mortem dump (obs/flight.hpp): reports why
+/// and when the dump happened, and reconstructs the causal chain (spans,
+/// flow arrows, op summary) of the most recent op on record — the op
+/// that was in flight when things went wrong.
+void analyze_flight(const JsonValue& doc, std::vector<Finding>& out);
 
 // ---- time-series analysis -------------------------------------------------
 

@@ -1,0 +1,322 @@
+#include "obs/flight.hpp"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
+
+namespace drx::obs {
+
+namespace detail {
+// Always on: the whole point is that the recorder is running when the
+// process dies unexpectedly. Fixed memory, no output unless something dumps.
+std::atomic<bool> g_flight_enabled{true};
+}  // namespace detail
+
+namespace {
+
+constexpr std::size_t kFlightRingSize = 512;  // records kept per thread
+constexpr std::size_t kFlightThreads = 128;   // rings (threads) tracked
+constexpr std::size_t kFlightPathMax = 512;
+
+/// One flight record, all-atomic so a dump (possibly from another thread
+/// or a signal handler) can read concurrently with a writer without locks
+/// or TSan reports. `seq` is the torn-read guard: 0 while a writer is
+/// mid-update, otherwise a process-wide monotonic sequence number stored
+/// with release order after the payload.
+struct FlightRecord {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::uint64_t> ts_ns{0};
+  std::atomic<std::uint64_t> dur_ns{0};
+  std::atomic<std::uint64_t> arg{0};
+  std::atomic<std::uint64_t> op{0};
+  std::atomic<std::uint64_t> parent{0};
+  std::atomic<std::int32_t> rank{-1};
+  std::atomic<std::uint8_t> kind{0};
+};
+
+struct FlightRing {
+  std::atomic<std::uint64_t> head{0};  ///< total pushes; slot = head % size
+  std::uint32_t tid = 0;               ///< 1-based, fixed at registration
+  FlightRecord records[kFlightRingSize];
+};
+
+// Ring registry: a fixed array of pointers published with release order.
+// Rings are heap-allocated once per thread and intentionally never freed —
+// a crash dump must be able to walk rings of threads that already exited.
+std::atomic<FlightRing*> g_rings[kFlightThreads];
+std::atomic<std::uint32_t> g_ring_count{0};
+std::atomic<std::uint64_t> g_flight_seq{0};
+std::atomic<std::uint64_t> g_record_count{0};
+
+// Configured dump path, fixed storage so the signal path never allocates.
+char g_flight_path[kFlightPathMax] = "drx-flight.json";
+std::atomic<std::size_t> g_flight_path_len{
+    sizeof("drx-flight.json") - 1};
+
+FlightRing* ring_for_thread() noexcept {
+  thread_local FlightRing* ring = [] {
+    const std::uint32_t idx =
+        g_ring_count.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= kFlightThreads) return static_cast<FlightRing*>(nullptr);
+    auto* r = new FlightRing;  // never freed (see registry comment)
+    r->tid = idx + 1;
+    g_rings[idx].store(r, std::memory_order_release);
+    return r;
+  }();
+  return ring;
+}
+
+const char* kind_name(std::uint8_t kind) noexcept {
+  switch (static_cast<FlightKind>(kind)) {
+    case FlightKind::kSpan: return "span";
+    case FlightKind::kFlowOut: return "flow_out";
+    case FlightKind::kFlowIn: return "flow_in";
+    case FlightKind::kOp: return "op";
+  }
+  return "unknown";
+}
+
+/// Snapshot of one record, or false if it was torn/empty.
+struct RecordView {
+  std::uint64_t seq, ts_ns, dur_ns, arg, op, parent;
+  const char* name;
+  std::int32_t rank;
+  std::uint8_t kind;
+};
+
+bool read_record(const FlightRecord& rec, RecordView& out) noexcept {
+  const std::uint64_t s1 = rec.seq.load(std::memory_order_acquire);
+  if (s1 == 0) return false;
+  out.name = rec.name.load(std::memory_order_relaxed);
+  out.ts_ns = rec.ts_ns.load(std::memory_order_relaxed);
+  out.dur_ns = rec.dur_ns.load(std::memory_order_relaxed);
+  out.arg = rec.arg.load(std::memory_order_relaxed);
+  out.op = rec.op.load(std::memory_order_relaxed);
+  out.parent = rec.parent.load(std::memory_order_relaxed);
+  out.rank = rec.rank.load(std::memory_order_relaxed);
+  out.kind = rec.kind.load(std::memory_order_relaxed);
+  const std::uint64_t s2 = rec.seq.load(std::memory_order_acquire);
+  if (s1 != s2 || out.name == nullptr) return false;
+  out.seq = s1;
+  return true;
+}
+
+/// Minimal buffered fd writer usable from a signal handler: write(2) only,
+/// hand-rolled decimal formatting, fixed stack buffers.
+class SigWriter {
+ public:
+  explicit SigWriter(int fd) noexcept : fd_(fd) {}
+  ~SigWriter() { flush(); }
+
+  void put(const char* s) noexcept {
+    for (; *s != '\0'; ++s) put_char(*s);
+  }
+  void put_u64(std::uint64_t v) noexcept {
+    char digits[20];
+    int n = 0;
+    do {
+      digits[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) put_char(digits[--n]);
+  }
+  void put_i32(std::int32_t v) noexcept {
+    if (v < 0) {
+      put_char('-');
+      put_u64(static_cast<std::uint64_t>(-static_cast<std::int64_t>(v)));
+    } else {
+      put_u64(static_cast<std::uint64_t>(v));
+    }
+  }
+  void flush() noexcept {
+    std::size_t off = 0;
+    while (off < len_) {
+      const ssize_t n = ::write(fd_, buf_ + off, len_ - off);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+    len_ = 0;
+  }
+
+ private:
+  void put_char(char c) noexcept {
+    if (len_ == sizeof(buf_)) flush();
+    buf_[len_++] = c;
+  }
+  int fd_;
+  char buf_[1024];
+  std::size_t len_ = 0;
+};
+
+/// Shared dump body: both the regular and the signal-safe entry points
+/// funnel here; everything it does is async-signal-safe.
+void dump_rings(SigWriter& w, const char* reason) noexcept {
+  w.put("{\"format\":\"drx-flight\",\"version\":1,\"reason\":\"");
+  w.put(reason);
+  w.put("\",\"threads\":[");
+  const std::uint32_t count = g_ring_count.load(std::memory_order_relaxed);
+  bool first_thread = true;
+  for (std::uint32_t i = 0; i < count && i < kFlightThreads; ++i) {
+    const FlightRing* ring = g_rings[i].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    if (!first_thread) w.put(",");
+    first_thread = false;
+    w.put("\n{\"tid\":");
+    w.put_u64(ring->tid);
+    w.put(",\"records\":[");
+    const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+    const std::uint64_t n =
+        head < kFlightRingSize ? head : kFlightRingSize;
+    const std::uint64_t base = head - n;  // oldest surviving push index
+    bool first_rec = true;
+    for (std::uint64_t j = 0; j < n; ++j) {
+      const FlightRecord& rec =
+          ring->records[(base + j) % kFlightRingSize];
+      RecordView v{};
+      if (!read_record(rec, v)) continue;
+      if (!first_rec) w.put(",");
+      first_rec = false;
+      w.put("\n{\"seq\":");
+      w.put_u64(v.seq);
+      w.put(",\"kind\":\"");
+      w.put(kind_name(v.kind));
+      w.put("\",\"name\":\"");
+      w.put(v.name);
+      w.put("\",\"ts_ns\":");
+      w.put_u64(v.ts_ns);
+      w.put(",\"dur_ns\":");
+      w.put_u64(v.dur_ns);
+      w.put(",\"arg\":");
+      w.put_u64(v.arg);
+      w.put(",\"op\":");
+      w.put_u64(v.op);
+      w.put(",\"parent\":");
+      w.put_u64(v.parent);
+      w.put(",\"rank\":");
+      w.put_i32(v.rank);
+      w.put("}");
+    }
+    w.put("]}");
+  }
+  w.put("\n]}\n");
+  w.flush();
+}
+
+// ---- fatal-signal plumbing -------------------------------------------------
+
+struct sigaction g_old_segv;
+struct sigaction g_old_abrt;
+std::atomic<bool> g_handlers_installed{false};
+std::atomic<bool> g_dumped_on_signal{false};
+
+void flight_signal_handler(int sig, siginfo_t* /*info*/, void* /*uctx*/) {
+  if (!g_dumped_on_signal.exchange(true)) {
+    dump_flight_signal_safe(sig == SIGSEGV ? "fatal-signal:SIGSEGV"
+                                           : "fatal-signal:SIGABRT");
+  }
+  // Chain: restore whoever was installed before us (sanitizer runtimes,
+  // test harnesses) and re-deliver so the process still dies their way.
+  ::sigaction(sig, sig == SIGSEGV ? &g_old_segv : &g_old_abrt, nullptr);
+  ::raise(sig);
+}
+
+struct InstallAtInit {
+  InstallAtInit() { install_flight_signal_handlers(); }
+};
+InstallAtInit g_install_at_init;
+
+}  // namespace
+
+void set_flight_enabled(bool enabled) noexcept {
+  detail::g_flight_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void set_flight_path(const std::string& path) noexcept {
+  const std::size_t n =
+      path.size() < kFlightPathMax - 1 ? path.size() : kFlightPathMax - 1;
+  std::memcpy(g_flight_path, path.data(), n);
+  g_flight_path[n] = '\0';
+  g_flight_path_len.store(n, std::memory_order_release);
+}
+
+std::string flight_path() {
+  const std::size_t n = g_flight_path_len.load(std::memory_order_acquire);
+  return std::string(g_flight_path, n);
+}
+
+void flight_record(FlightKind kind, const char* name, std::uint64_t ts_ns,
+                   std::uint64_t dur_ns, std::uint64_t arg, std::uint64_t op,
+                   std::uint64_t parent) noexcept {
+  FlightRing* ring = ring_for_thread();
+  if (ring == nullptr || name == nullptr) return;  // registry full
+  const std::uint64_t slot =
+      ring->head.fetch_add(1, std::memory_order_relaxed) % kFlightRingSize;
+  FlightRecord& rec = ring->records[slot];
+  const std::uint64_t seq =
+      g_flight_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  rec.seq.store(0, std::memory_order_release);  // mark torn while updating
+  rec.name.store(name, std::memory_order_relaxed);
+  rec.ts_ns.store(ts_ns, std::memory_order_relaxed);
+  rec.dur_ns.store(dur_ns, std::memory_order_relaxed);
+  rec.arg.store(arg, std::memory_order_relaxed);
+  rec.op.store(op, std::memory_order_relaxed);
+  rec.parent.store(parent, std::memory_order_relaxed);
+  rec.rank.store(current_rank(), std::memory_order_relaxed);
+  rec.kind.store(static_cast<std::uint8_t>(kind), std::memory_order_relaxed);
+  rec.seq.store(seq, std::memory_order_release);
+  g_record_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t flight_record_count() noexcept {
+  return g_record_count.load(std::memory_order_relaxed);
+}
+
+Status dump_flight(const std::string& path, const char* reason) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status(ErrorCode::kIoError,
+                  "cannot open flight dump file: " + path);
+  }
+  {
+    SigWriter w(fd);
+    dump_rings(w, reason);
+  }
+  ::close(fd);
+  DRX_LOG_INFO << "wrote flight recorder dump to " << path << " (reason: "
+               << reason << ")";
+  return Status::ok();
+}
+
+Status dump_flight(const char* reason) {
+  return dump_flight(flight_path(), reason);
+}
+
+void dump_flight_signal_safe(const char* reason) noexcept {
+  const int fd = ::open(g_flight_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+  SigWriter w(fd);
+  dump_rings(w, reason);
+  w.flush();
+  ::close(fd);
+}
+
+void install_flight_signal_handlers() noexcept {
+  if (g_handlers_installed.exchange(true)) return;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_sigaction = flight_signal_handler;
+  sa.sa_flags = SA_SIGINFO | SA_NODEFER;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGSEGV, &sa, &g_old_segv);
+  ::sigaction(SIGABRT, &sa, &g_old_abrt);
+}
+
+}  // namespace drx::obs

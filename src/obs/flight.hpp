@@ -1,0 +1,77 @@
+// Always-on flight recorder: the last N span/flow/op records per thread,
+// kept in fixed-size lock-free rings and dumped as JSON on sticky deferred
+// I/O errors, fatal signals (SIGSEGV/SIGABRT), or on demand
+// (docs/OBSERVABILITY.md).
+//
+// Unlike tracing (opt-in via DRX_TRACE, unbounded until flushed), the
+// flight recorder is on by default with no environment variable: memory is
+// fixed (kFlightThreads rings x kFlightRingSize records), recording is a
+// relaxed-atomic fast path plus one clockless ring push, and the only
+// output ever written is a post-mortem. set_flight_enabled(false) exists
+// for benchmarks that want to measure the instrumentation floor.
+//
+// Record names must be string literals: rings store the pointer, and the
+// fatal-signal dump path reads them from a signal handler where no
+// allocation or locking is possible.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace drx::obs {
+
+namespace detail {
+extern std::atomic<bool> g_flight_enabled;
+}  // namespace detail
+
+/// True iff flight records are being captured (default: true).
+inline bool flight_enabled() noexcept {
+  return detail::g_flight_enabled.load(std::memory_order_relaxed);
+}
+
+/// Benchmark/test hook; the recorder is meant to stay on in production.
+void set_flight_enabled(bool enabled) noexcept;
+
+/// Where dumps land. Default "drx-flight.json" in the working directory.
+/// The path is copied into a fixed buffer (truncated if longer than
+/// ~511 bytes) so the fatal-signal writer never touches the heap.
+void set_flight_path(const std::string& path) noexcept;
+[[nodiscard]] std::string flight_path();
+
+enum class FlightKind : std::uint8_t {
+  kSpan = 0,     ///< a closed ScopedSpan (dur_ns, arg = bytes)
+  kFlowOut = 1,  ///< AsyncIoPool submit (arg = flow id)
+  kFlowIn = 2,   ///< AsyncIoPool worker dequeue (arg = flow id)
+  kOp = 3,       ///< a closed OpScope (dur_ns, arg = dominant stage index)
+};
+
+/// Pushes one record onto the calling thread's ring. `name` must be a
+/// string literal. Callers guard with flight_enabled().
+void flight_record(FlightKind kind, const char* name, std::uint64_t ts_ns,
+                   std::uint64_t dur_ns, std::uint64_t arg, std::uint64_t op,
+                   std::uint64_t parent) noexcept;
+
+/// Writes every thread's ring to `path` as one JSON object:
+///   {"format":"drx-flight","version":1,"reason":...,"threads":[...]}
+/// Safe to call concurrently with recording (torn records are skipped).
+Status dump_flight(const std::string& path, const char* reason);
+
+/// dump_flight() to the configured path.
+Status dump_flight(const char* reason);
+
+/// Async-signal-safe variant used by the SIGSEGV/SIGABRT handlers: writes
+/// with open(2)/write(2) and hand-rolled formatting only. Best effort.
+void dump_flight_signal_safe(const char* reason) noexcept;
+
+/// Installs chaining SIGSEGV/SIGABRT handlers that dump the flight rings
+/// once, restore the previous handler, and re-raise. Idempotent; called
+/// from a static initializer, exposed for tests.
+void install_flight_signal_handlers() noexcept;
+
+/// Total records ever pushed (test hook; monotonic, approximate).
+[[nodiscard]] std::uint64_t flight_record_count() noexcept;
+
+}  // namespace drx::obs

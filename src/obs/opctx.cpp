@@ -1,0 +1,105 @@
+#include "obs/opctx.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace drx::obs {
+
+namespace {
+
+// Interned once; indexed by Stage.
+struct StageMetricIds {
+  MetricId stage_us[kStageCount];
+  MetricId dominant[kStageCount];
+};
+
+const StageMetricIds& stage_metric_ids() {
+  static const StageMetricIds ids = [] {
+    StageMetricIds out;
+    for (std::size_t i = 0; i < kStageCount; ++i) {
+      const std::string name = stage_name(static_cast<Stage>(i));
+      out.stage_us[i] = histogram_id("obs.op.stage." + name + "_us");
+      out.dominant[i] = counter_id("obs.op.dominant." + name);
+    }
+    return out;
+  }();
+  return ids;
+}
+
+const MetricId kOpCount = counter_id("obs.op.count");
+const MetricId kOpTotalUs = histogram_id("obs.op.total_us");
+
+}  // namespace
+
+const char* stage_name(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kLockWait: return "lock_wait";
+    case Stage::kCacheFault: return "cache_fault";
+    case Stage::kQueueWait: return "queue_wait";
+    case Stage::kIoService: return "io_service";
+    case Stage::kCopy: return "copy";
+    case Stage::kOther: return "other";
+  }
+  return "unknown";
+}
+
+OpScope::OpScope(const char* name) noexcept {
+  if (detail::t_op.op != 0) return;  // nested: the outermost scope wins
+  std::uint64_t id =
+      detail::g_next_op.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (id == 0) id = detail::g_next_op.fetch_add(1, std::memory_order_relaxed);
+  detail::OpSlot& slot = detail::op_slots()[id & (detail::kOpSlots - 1)];
+  slot.op.store(id, std::memory_order_relaxed);
+  for (auto& ns : slot.stage_ns) ns.store(0, std::memory_order_relaxed);
+  detail::t_op = OpContext{id, detail::t_current_span};
+  name_ = name;
+  op_id_ = id;
+  start_ns_ = trace_now_ns();
+}
+
+OpScope::~OpScope() {
+  if (name_ == nullptr) return;
+  const std::uint64_t total_ns = trace_now_ns() - start_ns_;
+
+  detail::OpSlot& slot =
+      detail::op_slots()[op_id_ & (detail::kOpSlots - 1)];
+  std::uint64_t stage_ns[kStageCount] = {};
+  std::uint64_t attributed = 0;
+  for (std::size_t i = 0; i + 1 < kStageCount; ++i) {  // kOther derived below
+    stage_ns[i] = slot.stage_ns[i].load(std::memory_order_relaxed);
+    attributed += stage_ns[i];
+  }
+  // Stage clocks overlap the op's wall clock from other threads (a worker
+  // can service I/O while the op also copies), so the attributed sum can
+  // exceed wall time; clamp `other` at zero rather than going negative.
+  stage_ns[static_cast<std::size_t>(Stage::kOther)] =
+      total_ns > attributed ? total_ns - attributed : 0;
+
+  std::size_t dominant = static_cast<std::size_t>(Stage::kOther);
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    if (stage_ns[i] > stage_ns[dominant]) dominant = i;
+  }
+
+  const StageMetricIds& ids = stage_metric_ids();
+  Registry& reg = registry();
+  reg.counter(kOpCount).add();
+  reg.counter(ids.dominant[dominant]).add();
+  reg.histogram(kOpTotalUs).observe(total_ns / 1000);
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    if (stage_ns[i] != 0) {
+      reg.histogram(ids.stage_us[i]).observe(stage_ns[i] / 1000);
+    }
+  }
+
+  if (trace_enabled() || flight_enabled()) {
+    record_op_summary(name_, start_ns_, total_ns, op_id_, stage_ns,
+                      static_cast<Stage>(dominant));
+  }
+
+  // Release the slot: late adds from stragglers of this op now miss (by
+  // design), and the next op hashing here starts clean.
+  slot.op.store(0, std::memory_order_relaxed);
+  detail::t_op = OpContext{};
+}
+
+}  // namespace drx::obs

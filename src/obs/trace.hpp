@@ -2,9 +2,18 @@
 // (open in chrome://tracing or https://ui.perfetto.dev).
 //
 // Tracing is off unless DRX_TRACE=<path> is set in the environment (or a
-// test installs a path via set_trace_path). When off, every span is a
-// single relaxed-atomic-bool branch — no clock reads, no allocation, no
-// locks — so instrumentation can stay in hot paths permanently.
+// test installs a path via set_trace_path). When off, a span still feeds
+// the always-on flight recorder (obs/flight.hpp) — a bounded per-thread
+// ring — so the fast path is two relaxed-atomic-bool branches and, when
+// both sinks are off, no clock reads, no allocation, no locks.
+//
+// Causality: every armed span claims a span id and maintains the
+// thread-local current-span chain (obs/opctx.hpp), so OpContexts captured
+// at AsyncIoPool::submit carry their submit-side parent. Flow events
+// ("s"/"f" phases, record_flow_out/record_flow_in) draw the async arrows
+// in Perfetto linking a top-level op to the pool jobs and PFS requests it
+// caused; op-summary events (record_op_summary) carry the per-stage
+// attribution of each closed OpScope.
 //
 // Each simulated rank (obs::current_rank(), installed by simpi::run)
 // renders as its own pseudo-process: pid = rank + 1, pid 0 = the host
@@ -19,15 +28,25 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/flight.hpp"
+#include "obs/opctx.hpp"
 #include "util/error.hpp"
 
 namespace drx::obs {
 
 namespace detail {
 extern std::atomic<bool> g_trace_enabled;
+
+/// Slow path behind ~ScopedSpan: reads the clock once and fans out to the
+/// enabled sinks (trace buffer, flight ring), re-checking each sink's flag
+/// so an enable->disable race while a span is in flight stays benign.
+void record_span_end(const char* name, const char* category,
+                     std::uint64_t start_ns, std::uint64_t bytes,
+                     std::uint64_t span_id, std::uint64_t parent_span);
 }  // namespace detail
 
-/// True iff spans are being recorded. The one branch on the fast path.
+/// True iff spans are being recorded to the trace buffer. One of the two
+/// branches on the fast path (the other is flight_enabled()).
 inline bool trace_enabled() noexcept {
   return detail::g_trace_enabled.load(std::memory_order_relaxed);
 }
@@ -39,8 +58,24 @@ void set_trace_path(const std::string& path);
 
 /// Records a complete ("X") event. `ts_ns`/`dur_ns` are nanoseconds on
 /// the process-local monotonic clock; `bytes` != 0 adds an args payload.
+/// The current thread's op id (if any) is attached automatically.
 void record_span(const char* name, const char* category, std::uint64_t ts_ns,
                  std::uint64_t dur_ns, std::uint64_t bytes);
+
+/// Records the submit side ("s" flow phase) / consume side ("f" phase) of
+/// one async handoff. `flow_id` comes from next_flow_id(); `ctx` is the
+/// OpContext travelling with the job. Feeds both enabled sinks; callers
+/// guard with trace_enabled() || flight_enabled().
+void record_flow_out(std::uint64_t flow_id, const OpContext& ctx);
+void record_flow_in(std::uint64_t flow_id, const OpContext& ctx);
+
+/// Records the per-stage summary of a closed OpScope (an "X" event with
+/// cat "op" carrying stage nanoseconds + dominant stage in args, plus a
+/// flight record). Called by OpScope; exposed for tests.
+void record_op_summary(const char* name, std::uint64_t start_ns,
+                       std::uint64_t dur_ns, std::uint64_t op,
+                       const std::uint64_t (&stage_ns)[kStageCount],
+                       Stage dominant);
 
 /// Nanoseconds since the first trace clock read (monotonic).
 [[nodiscard]] std::uint64_t trace_now_ns();
@@ -50,30 +85,39 @@ class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name, const char* category,
                       std::uint64_t bytes = 0) noexcept {
-    if (!trace_enabled()) return;
+    if (!trace_enabled() && !flight_enabled()) return;
     name_ = name;
     category_ = category;
     bytes_ = bytes;
+    span_id_ = detail::g_next_span.fetch_add(1, std::memory_order_relaxed) + 1;
+    prev_span_ = detail::t_current_span;
+    detail::t_current_span = span_id_;
     start_ns_ = trace_now_ns();
   }
   ~ScopedSpan() {
-    if (name_ != nullptr) {
-      record_span(name_, category_, start_ns_, trace_now_ns() - start_ns_,
-                  bytes_);
-    }
+    if (name_ == nullptr) return;
+    detail::t_current_span = prev_span_;
+    detail::record_span_end(name_, category_, start_ns_, bytes_, span_id_,
+                            prev_span_);
   }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
   /// Attaches/updates the bytes arg after construction (e.g. once a
-  /// transfer size is known).
-  void set_bytes(std::uint64_t bytes) noexcept { bytes_ = bytes; }
+  /// transfer size is known). No-op on a disarmed span, so callers can
+  /// invoke it unconditionally from hot paths.
+  void set_bytes(std::uint64_t bytes) noexcept {
+    if (name_ == nullptr) return;
+    bytes_ = bytes;
+  }
 
  private:
-  const char* name_ = nullptr;  ///< nullptr = disarmed (tracing off)
+  const char* name_ = nullptr;  ///< nullptr = disarmed (all sinks off)
   const char* category_ = nullptr;
   std::uint64_t start_ns_ = 0;
   std::uint64_t bytes_ = 0;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t prev_span_ = 0;
 };
 
 /// Writes buffered events as Trace Event Format JSON to `path`.
@@ -85,7 +129,8 @@ Status flush_trace();
 /// Drops all buffered events (test isolation).
 void clear_trace();
 
-/// Number of events currently buffered (plus none that were dropped).
+/// Number of span events currently buffered (flow/op-summary events are
+/// counted separately in the written metadata).
 [[nodiscard]] std::size_t trace_event_count();
 
 /// Events dropped because the ring buffer filled.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/opctx.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "util/checked.hpp"
@@ -98,6 +99,7 @@ struct FileHandle::State {
 Status FileHandle::read_at(std::uint64_t offset, std::span<std::byte> out) {
   DRX_CHECK(valid());
   obs::ScopedSpan span("pfs.read", "pfs", out.size());
+  obs::StageTimer io(obs::Stage::kIoService);
   {
     util::MutexLock lock(state_->size_mu);
     if (checked_add(offset, out.size()) > state_->logical_size) {
@@ -136,6 +138,7 @@ Status FileHandle::write_at(std::uint64_t offset,
                             std::span<const std::byte> data) {
   DRX_CHECK(valid());
   obs::ScopedSpan span("pfs.write", "pfs", data.size());
+  obs::StageTimer io(obs::Stage::kIoService);
   std::vector<std::byte> staging;
   for (const auto& seg : state_->map_range(offset, data.size())) {
     staging.resize(checked_size(seg.length));

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "io/config.hpp"
+#include "obs/opctx.hpp"
 
 namespace drx::io {
 namespace {
@@ -18,7 +19,7 @@ TEST(AsyncIoPool, InlineModeRunsJobBeforeSubmitReturns) {
 
   int ran = 0;
   Status seen;
-  pool.submit([&] { ++ran; return Status::ok(); },
+  pool.submit(obs::OpContext{}, [&] { ++ran; return Status::ok(); },
               [&](const Status& st) { seen = st; ++ran; });
   // Inline execution: job and completion both finished already.
   EXPECT_EQ(ran, 2);
@@ -34,7 +35,7 @@ TEST(AsyncIoPool, WorkerModeCompletesAllJobs) {
 
   std::atomic<int> ran{0};
   for (int i = 0; i < 100; ++i) {
-    pool.submit([&ran] { ran.fetch_add(1); return Status::ok(); });
+    pool.submit(obs::OpContext{}, [&ran] { ran.fetch_add(1); return Status::ok(); });
   }
   pool.drain();
   EXPECT_EQ(ran.load(), 100);
@@ -45,9 +46,9 @@ TEST(AsyncIoPool, WorkerModeCompletesAllJobs) {
 
 TEST(AsyncIoPool, FutureCarriesJobStatus) {
   AsyncIoPool pool({.threads = 1, .queue_capacity = 2});
-  auto ok = pool.submit_with_future([] { return Status::ok(); });
+  auto ok = pool.submit_with_future(obs::OpContext{}, [] { return Status::ok(); });
   auto bad = pool.submit_with_future(
-      [] { return Status(ErrorCode::kIoError, "injected"); });
+      obs::OpContext{}, [] { return Status(ErrorCode::kIoError, "injected"); });
   EXPECT_TRUE(ok.get().is_ok());
   const Status st = bad.get();
   EXPECT_EQ(st.code(), ErrorCode::kIoError);
@@ -63,6 +64,7 @@ TEST(AsyncIoPool, CompletionRunsAfterJobWithItsStatus) {
   std::atomic<int> done_at{-1};
   std::atomic<bool> failed{false};
   pool.submit(
+      obs::OpContext{},
       [&] {
         job_at = order.fetch_add(1);
         return Status(ErrorCode::kCorrupt, "x");
@@ -83,7 +85,7 @@ TEST(AsyncIoPool, BoundedQueueAppliesBackpressureWithoutDeadlock) {
   AsyncIoPool pool({.threads = 1, .queue_capacity = 2});
   std::atomic<int> ran{0};
   for (int i = 0; i < 32; ++i) {
-    pool.submit([&ran] {
+    pool.submit(obs::OpContext{}, [&ran] {
       std::this_thread::sleep_for(std::chrono::microseconds(100));
       ran.fetch_add(1);
       return Status::ok();
@@ -102,7 +104,7 @@ TEST(AsyncIoPool, DrainIsABarrierFromManyProducers) {
   for (int t = 0; t < 4; ++t) {
     producers.emplace_back([&pool, &ran] {
       for (int i = 0; i < 50; ++i) {
-        pool.submit([&ran] { ran.fetch_add(1); return Status::ok(); });
+        pool.submit(obs::OpContext{}, [&ran] { ran.fetch_add(1); return Status::ok(); });
       }
     });
   }
@@ -116,7 +118,7 @@ TEST(AsyncIoPool, DestructorDrainsOutstandingJobs) {
   {
     AsyncIoPool pool({.threads = 2, .queue_capacity = 8});
     for (int i = 0; i < 20; ++i) {
-      pool.submit([&ran] { ran.fetch_add(1); return Status::ok(); });
+      pool.submit(obs::OpContext{}, [&ran] { ran.fetch_add(1); return Status::ok(); });
     }
   }  // dtor must complete every submitted job before joining
   EXPECT_EQ(ran.load(), 20);

@@ -384,5 +384,169 @@ TEST(Report, TextAndJsonRenderings) {
   EXPECT_TRUE(json_validate(we.str()));
 }
 
+
+// ---- causal op-stage detectors -------------------------------------------
+
+TEST(MetricsDetectors, QueueWaitDominatedSuggestsMoreIoThreads) {
+  MetricsSnapshot snap;
+  snap = with_counter(std::move(snap), "obs.op.count", 100);
+  snap = with_counter(std::move(snap), "obs.op.dominant.queue_wait", 80);
+  snap = with_counter(std::move(snap), "obs.op.dominant.io_service", 20);
+  std::vector<Finding> fs;
+  analyze_metrics(snap, fs);
+  const Finding* f = find_by_id(fs, "op-queue-wait-dominated");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kWarn);
+  EXPECT_NEAR(f->score, 0.8, 1e-12);
+  EXPECT_NE(f->message.find("DRX_IO_THREADS"), std::string::npos);
+
+  // A healthy mix must not trip it.
+  MetricsSnapshot healthy;
+  healthy = with_counter(std::move(healthy), "obs.op.count", 100);
+  healthy = with_counter(std::move(healthy),
+                         "obs.op.dominant.queue_wait", 20);
+  healthy = with_counter(std::move(healthy),
+                         "obs.op.dominant.io_service", 80);
+  fs.clear();
+  analyze_metrics(healthy, fs);
+  EXPECT_EQ(find_by_id(fs, "op-queue-wait-dominated"), nullptr);
+
+  // Too few ops: no verdict.
+  MetricsSnapshot tiny;
+  tiny = with_counter(std::move(tiny), "obs.op.count", 10);
+  tiny = with_counter(std::move(tiny), "obs.op.dominant.queue_wait", 10);
+  fs.clear();
+  analyze_metrics(tiny, fs);
+  EXPECT_EQ(find_by_id(fs, "op-queue-wait-dominated"), nullptr);
+}
+
+TEST(MetricsDetectors, LockWaitDominatedSuggestsShardingTheCache) {
+  MetricsSnapshot snap;
+  snap = with_counter(std::move(snap), "obs.op.count", 64);
+  snap = with_counter(std::move(snap), "obs.op.dominant.lock_wait", 40);
+  snap = with_counter(std::move(snap), "obs.op.dominant.copy", 24);
+  std::vector<Finding> fs;
+  analyze_metrics(snap, fs);
+  const Finding* f = find_by_id(fs, "op-lock-wait-dominated");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kWarn);
+  EXPECT_NEAR(f->score, 40.0 / 64.0, 1e-12);
+  EXPECT_NE(f->message.find("shard"), std::string::npos);
+}
+
+// A trace containing op-summary events (cat "op") and flow arrows, as
+// write_trace emits them.
+constexpr const char* kOpTrace =
+    "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+    "{\"name\":\"op.read_box\",\"cat\":\"op\",\"ph\":\"X\",\"pid\":1,"
+    "\"tid\":1,\"ts\":0,\"dur\":500,\"args\":{\"op\":7,"
+    "\"lock_wait_ns\":1000,\"cache_fault_ns\":2000,"
+    "\"queue_wait_ns\":400000,\"io_service_ns\":50000,"
+    "\"copy_ns\":10000,\"other_ns\":37000,"
+    "\"dominant\":\"queue_wait\"}},\n"
+    "{\"name\":\"op.read_box\",\"cat\":\"op\",\"ph\":\"X\",\"pid\":2,"
+    "\"tid\":1,\"ts\":0,\"dur\":200,\"args\":{\"op\":8,"
+    "\"lock_wait_ns\":0,\"cache_fault_ns\":0,"
+    "\"queue_wait_ns\":0,\"io_service_ns\":150000,"
+    "\"copy_ns\":20000,\"other_ns\":30000,"
+    "\"dominant\":\"io_service\"}},\n"
+    "{\"name\":\"drx.flow\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":1,"
+    "\"pid\":1,\"tid\":1,\"ts\":5,\"args\":{\"op\":7}},\n"
+    "{\"name\":\"drx.flow\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\","
+    "\"id\":1,\"pid\":1,\"tid\":2,\"ts\":9,\"args\":{\"op\":7}}\n"
+    "],\"metadata\":{\"events\":2,\"flows\":2,\"ops\":2,\"dropped\":0}}";
+
+TEST(TraceAnalysis, OpSummariesParseIntoStageAttribution) {
+  auto doc = json_parse(kOpTrace);
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  auto sr = summarize_trace(doc.value());
+  ASSERT_TRUE(sr.is_ok());
+  const TraceSummary& t = sr.value();
+  EXPECT_EQ(t.flows, 1u);  // one "s" phase
+  ASSERT_EQ(t.ops.size(), 2u);
+  EXPECT_EQ(t.ops[0].name, "op.read_box");
+  EXPECT_EQ(t.ops[0].op, 7u);
+  EXPECT_EQ(t.ops[0].rank, 0);
+  EXPECT_DOUBLE_EQ(t.ops[0].dur_us, 500.0);
+  EXPECT_DOUBLE_EQ(
+      t.ops[0].stage_us[static_cast<std::size_t>(Stage::kQueueWait)],
+      400.0);
+  EXPECT_EQ(t.ops[0].dominant, "queue_wait");
+
+  std::vector<Finding> fs;
+  analyze_trace(t, fs);
+  const Finding* f = find_by_id(fs, "op-critical-path");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kInfo);
+  EXPECT_NE(f->message.find("op.read_box"), std::string::npos);
+  EXPECT_NE(f->message.find("queue_wait"), std::string::npos);
+}
+
+// ---- flight-recorder analysis --------------------------------------------
+
+constexpr const char* kFlight =
+    "{\"format\":\"drx-flight\",\"version\":1,"
+    "\"reason\":\"deferred-io-error\",\"threads\":[\n"
+    "{\"tid\":1,\"records\":[\n"
+    "{\"seq\":1,\"kind\":\"span\",\"name\":\"core.read_chunk\","
+    "\"ts_ns\":100,\"dur_ns\":50,\"arg\":64,\"op\":9,\"parent\":0,"
+    "\"rank\":0},\n"
+    "{\"seq\":2,\"kind\":\"flow_out\",\"name\":\"drx.flow\","
+    "\"ts_ns\":200,\"dur_ns\":0,\"arg\":1,\"op\":9,\"parent\":0,"
+    "\"rank\":0}]},\n"
+    "{\"tid\":2,\"records\":[\n"
+    "{\"seq\":3,\"kind\":\"flow_in\",\"name\":\"drx.flow\","
+    "\"ts_ns\":300,\"dur_ns\":0,\"arg\":1,\"op\":9,\"parent\":0,"
+    "\"rank\":0},\n"
+    "{\"seq\":4,\"kind\":\"span\",\"name\":\"io.pool.job\","
+    "\"ts_ns\":310,\"dur_ns\":90,\"arg\":0,\"op\":9,\"parent\":0,"
+    "\"rank\":0}]}]}";
+
+TEST(FlightAnalysis, ReconstructsCausalChainOfLastOp) {
+  auto doc = json_parse(kFlight);
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  std::vector<Finding> fs;
+  analyze_flight(doc.value(), fs);
+
+  const Finding* dump = find_by_id(fs, "flight-dump");
+  ASSERT_NE(dump, nullptr);
+  EXPECT_EQ(dump->severity, Severity::kWarn);  // not an on-demand dump
+  EXPECT_NE(dump->message.find("deferred-io-error"), std::string::npos);
+  EXPECT_NEAR(dump->score, 4.0, 1e-12);  // four records
+
+  const Finding* chain = find_by_id(fs, "flight-causal-chain");
+  ASSERT_NE(chain, nullptr);
+  EXPECT_NEAR(chain->score, 4.0, 1e-12);  // all records belong to op 9
+  EXPECT_NE(chain->message.find("op 9"), std::string::npos);
+  EXPECT_NE(chain->message.find("core.read_chunk"), std::string::npos);
+  EXPECT_NE(chain->message.find("drx.flow(submit)"), std::string::npos);
+  EXPECT_NE(chain->message.find("io.pool.job"), std::string::npos);
+}
+
+TEST(FlightAnalysis, BadFormatIsAnError) {
+  auto doc = json_parse("{\"format\":\"something-else\"}");
+  ASSERT_TRUE(doc.is_ok());
+  std::vector<Finding> fs;
+  analyze_flight(doc.value(), fs);
+  const Finding* f = find_by_id(fs, "flight-bad-format");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kError);
+}
+
+TEST(FlightAnalysis, OnDemandDumpIsInfoWithoutChainWhenNoOps) {
+  auto doc = json_parse(
+      "{\"format\":\"drx-flight\",\"version\":1,"
+      "\"reason\":\"on-demand\",\"threads\":[{\"tid\":1,\"records\":["
+      "{\"seq\":1,\"kind\":\"span\",\"name\":\"test.s\",\"ts_ns\":1,"
+      "\"dur_ns\":2,\"arg\":0,\"op\":0,\"parent\":0,\"rank\":-1}]}]}");
+  ASSERT_TRUE(doc.is_ok());
+  std::vector<Finding> fs;
+  analyze_flight(doc.value(), fs);
+  const Finding* dump = find_by_id(fs, "flight-dump");
+  ASSERT_NE(dump, nullptr);
+  EXPECT_EQ(dump->severity, Severity::kInfo);
+  EXPECT_EQ(find_by_id(fs, "flight-causal-chain"), nullptr);
+}
+
 }  // namespace
 }  // namespace drx::obs::analysis

@@ -1,0 +1,208 @@
+// Causal op context (obs/opctx.hpp): op id claiming, per-stage
+// attribution, nesting rules, cross-thread restore, and the disarmed
+// fast paths that keep always-on instrumentation cheap.
+#include "obs/opctx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace drx::obs {
+namespace {
+
+std::uint64_t hist_count(const MetricsSnapshot& s, std::string_view name) {
+  for (const auto& h : s.histograms) {
+    if (h.name == name) return h.count;
+  }
+  return 0;
+}
+
+/// Busy-waits a little so a StageTimer observes a nonzero duration.
+void spin_ns(std::uint64_t ns) {
+  const std::uint64_t start = trace_now_ns();
+  while (trace_now_ns() - start < ns) {
+  }
+}
+
+TEST(OpContext, InactiveByDefault) {
+  EXPECT_FALSE(op_active());
+  EXPECT_EQ(current_op().op, 0u);
+}
+
+TEST(OpContext, OpScopeClaimsUniqueIdsAndClearsOnExit) {
+  std::uint64_t first = 0;
+  {
+    OpScope op("op.test_a");
+    first = op.id();
+    EXPECT_NE(first, 0u);
+    EXPECT_TRUE(op_active());
+    EXPECT_EQ(current_op().op, first);
+  }
+  EXPECT_FALSE(op_active());
+  OpScope op("op.test_b");
+  EXPECT_NE(op.id(), 0u);
+  EXPECT_NE(op.id(), first);
+}
+
+TEST(OpContext, NestedOpScopeIsInert) {
+  OpScope outer("op.outer");
+  const std::uint64_t id = outer.id();
+  {
+    OpScope inner("op.inner");
+    EXPECT_EQ(inner.id(), 0u);
+    EXPECT_EQ(current_op().op, id) << "inner scope must not steal the op";
+  }
+  EXPECT_EQ(current_op().op, id);
+}
+
+TEST(OpContext, StageAttributionFeedsHistogramsAndDominantCounter) {
+  const MetricsSnapshot before = registry().snapshot();
+  {
+    OpScope op("op.attr_test");
+    StageTimer io(Stage::kIoService);
+    spin_ns(200000);  // 200us: dominates everything else in the scope
+  }
+  const MetricsSnapshot after = registry().snapshot();
+  EXPECT_EQ(after.counter("obs.op.count"),
+            before.counter("obs.op.count") + 1);
+  EXPECT_EQ(after.counter("obs.op.dominant.io_service"),
+            before.counter("obs.op.dominant.io_service") + 1);
+  EXPECT_EQ(hist_count(after, "obs.op.stage.io_service_us"),
+            hist_count(before, "obs.op.stage.io_service_us") + 1);
+  EXPECT_EQ(hist_count(after, "obs.op.total_us"),
+            hist_count(before, "obs.op.total_us") + 1);
+}
+
+TEST(OpContext, StageTimerWithoutActiveOpIsFree) {
+  ASSERT_FALSE(op_active());
+  const MetricsSnapshot before = registry().snapshot();
+  {
+    StageTimer t(Stage::kCopy);
+    spin_ns(50000);
+  }
+  const MetricsSnapshot after = registry().snapshot();
+  EXPECT_EQ(after.counter("obs.op.count"), before.counter("obs.op.count"));
+}
+
+TEST(OpContext, NestedSameStageTimersCountOnce) {
+  const MetricsSnapshot before = registry().snapshot();
+  {
+    OpScope op("op.nested_stage");
+    StageTimer outer(Stage::kIoService);
+    {
+      // Inner layer of the same stage (drx_file read wrapping pfs read)
+      // must not double-attribute.
+      StageTimer inner(Stage::kIoService);
+      spin_ns(100000);
+    }
+  }
+  const MetricsSnapshot after = registry().snapshot();
+  // The dominant stage is io_service exactly once; with double-counting
+  // the io_service sum would exceed the op's wall time, which the clamp
+  // on kOther would expose as a zero-availability op. Count must move
+  // by one op.
+  EXPECT_EQ(after.counter("obs.op.count"),
+            before.counter("obs.op.count") + 1);
+  EXPECT_EQ(after.counter("obs.op.dominant.io_service"),
+            before.counter("obs.op.dominant.io_service") + 1);
+}
+
+TEST(OpContext, AddStageNsAcrossThreadsViaOpRestore) {
+  const MetricsSnapshot before = registry().snapshot();
+  {
+    OpScope op("op.cross_thread");
+    const OpContext ctx = current_op();
+    std::thread worker([ctx] {
+      EXPECT_FALSE(op_active()) << "fresh thread must start without an op";
+      OpRestore restore(ctx);
+      EXPECT_TRUE(op_active());
+      EXPECT_EQ(current_op().op, ctx.op);
+      StageTimer io(Stage::kIoService);
+      // Long enough that thread spawn/join overhead (charged to `other`)
+      // cannot out-dominate it on a loaded machine.
+      spin_ns(20000000);
+    });
+    worker.join();
+  }
+  const MetricsSnapshot after = registry().snapshot();
+  EXPECT_EQ(after.counter("obs.op.dominant.io_service"),
+            before.counter("obs.op.dominant.io_service") + 1);
+}
+
+TEST(OpContext, StaleSlotAddIsDropped) {
+  OpContext stale;
+  {
+    OpScope op("op.stale");
+    stale = current_op();
+  }
+  // The scope closed: the slot no longer belongs to this op, so the add
+  // must be silently dropped rather than corrupting a future op's stats.
+  add_stage_ns(stale, Stage::kCopy, 1000000);
+  const MetricsSnapshot before = registry().snapshot();
+  {
+    OpScope next("op.stale_next");
+    StageTimer io(Stage::kIoService);
+    spin_ns(100000);
+  }
+  const MetricsSnapshot after = registry().snapshot();
+  EXPECT_EQ(after.counter("obs.op.dominant.copy"),
+            before.counter("obs.op.dominant.copy"));
+}
+
+// Satellite regression: set_bytes on a disarmed span (tracing off AND
+// flight recorder off) must be a no-op, not a write into dead state.
+TEST(OpContext, SetBytesOnDisarmedSpanIsNoOp) {
+  ASSERT_TRUE(trace_path().empty());
+  set_flight_enabled(false);
+  const std::size_t events_before = trace_event_count();
+  const std::uint64_t flight_before = flight_record_count();
+  {
+    ScopedSpan span("test.disarmed", "test");
+    span.set_bytes(4096);  // must not arm the span or record anything
+  }
+  set_flight_enabled(true);
+  EXPECT_EQ(trace_event_count(), events_before);
+  EXPECT_EQ(flight_record_count(), flight_before);
+}
+
+// Enable->disable races: spans opened while tracing was on finish after
+// it turns off (and vice versa). Each sink re-checks its enabled flag at
+// record time, so this must neither crash nor deadlock (TSan-clean).
+TEST(OpContext, TraceToggleRaceWithSpansInFlight) {
+  const std::string path =
+      ::testing::TempDir() + "drx_opctx_toggle_race.json";
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  workers.reserve(3);
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        OpScope op("op.race");
+        ScopedSpan span("test.race", "test");
+        span.set_bytes(64);
+        StageTimer timer(Stage::kCopy);
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    set_trace_path(path);
+    set_flight_enabled(false);
+    set_flight_enabled(true);
+    set_trace_path("");
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : workers) w.join();
+  clear_trace();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace drx::obs

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -9,6 +11,7 @@
 #include <vector>
 
 #include "core/drxmp.hpp"
+#include "io/config.hpp"
 #include "obs/json.hpp"
 #include "simpi/runtime.hpp"
 
@@ -114,6 +117,109 @@ TEST_F(TraceFixture, CollectiveTransferSpansAllFourLayers) {
   }
   EXPECT_NE(text.find("\"process_name\""), std::string::npos);
   EXPECT_NE(text.find("\"rank 0\""), std::string::npos);
+}
+
+// Acceptance: a traced multi-rank zone read through the async engine
+// emits flow events causally linking the submitting op to the pool job
+// and on to the PFS requests it issues (docs/OBSERVABILITY.md).
+TEST_F(TraceFixture, AsyncZoneReadEmitsCausalFlowArrows) {
+  constexpr int kRanks = 4;
+  io::set_io_threads(1);  // enable the pipelined read path + worker flows
+  pfs::PfsConfig cfg;
+  cfg.num_servers = 2;
+  cfg.stripe_size = 256;
+  pfs::Pfs fs(cfg);
+  simpi::run(kRanks, [&](simpi::Comm& comm) {
+    core::DrxFile::Options opts;
+    opts.dtype = core::ElementType::kDouble;
+    auto fr = core::DrxMpFile::create(comm, fs, "flows", core::Shape{16, 16},
+                                      core::Shape{4, 4}, opts);
+    ASSERT_TRUE(fr.is_ok());
+    core::DrxMpFile file = std::move(fr).value();
+    const core::Distribution dist = file.block_distribution();
+    std::vector<std::byte> buf(static_cast<std::size_t>(
+        file.zone_buffer_bytes(dist, comm.rank())));
+    ASSERT_TRUE(file
+                    .write_my_zone(dist, core::MemoryOrder::kRowMajor, buf,
+                                   /*collective=*/true)
+                    .is_ok());
+    ASSERT_TRUE(file
+                    .read_my_zone(dist, core::MemoryOrder::kRowMajor, buf,
+                                  /*collective=*/true)
+                    .is_ok());
+    ASSERT_TRUE(file.close().is_ok());
+  });
+  io::set_io_threads(-1);  // restore env-derived default for sibling tests
+  ASSERT_TRUE(flush_trace().is_ok());
+
+  const std::string text = read_back();
+  ASSERT_TRUE(json_validate(text));
+  auto doc = json_parse(text);
+  ASSERT_TRUE(doc.is_ok());
+  const JsonValue* events = doc.value().find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  // Collect flow starts ("s") and finishes ("f"); every id must pair up,
+  // every flow carries the op id of the submitting operation.
+  std::vector<std::uint64_t> starts;
+  std::vector<std::uint64_t> finishes;
+  bool op_summary_seen = false;
+  bool pool_job_seen = false;
+  bool pfs_span_seen = false;
+  for (const JsonValue& e : events->array) {
+    const JsonValue* ph = e.find("ph");
+    if (ph == nullptr) continue;
+    if (ph->as_string() == "s" || ph->as_string() == "f") {
+      const JsonValue* cat = e.find("cat");
+      ASSERT_NE(cat, nullptr);
+      EXPECT_EQ(cat->as_string(), "flow");
+      const JsonValue* args = e.find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_NE(args->uint_at("op"), 0u)
+          << "flow event without a causal op id";
+      if (ph->as_string() == "s") {
+        starts.push_back(e.uint_at("id"));
+      } else {
+        EXPECT_EQ(e.find("bp")->as_string(), "e");
+        finishes.push_back(e.uint_at("id"));
+      }
+      continue;
+    }
+    if (ph->as_string() != "X") continue;
+    const JsonValue* name = e.find("name");
+    if (name == nullptr) continue;
+    if (const JsonValue* cat = e.find("cat");
+        cat != nullptr && cat->as_string() == "op") {
+      op_summary_seen = true;
+      const JsonValue* args = e.find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_NE(args->find("io_service_ns"), nullptr);
+      EXPECT_NE(args->find("dominant"), nullptr);
+    }
+    if (name->as_string() == "io.pool.job") {
+      pool_job_seen = true;
+      // The job ran under the submitting op's restored context.
+      const JsonValue* args = e.find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_NE(args->uint_at("op"), 0u);
+    }
+    if (name->as_string() == "pfs.read" || name->as_string() == "pfs.write") {
+      pfs_span_seen = true;
+    }
+  }
+  ASSERT_FALSE(starts.empty()) << "no flow arrows in the trace";
+  std::sort(starts.begin(), starts.end());
+  std::sort(finishes.begin(), finishes.end());
+  EXPECT_EQ(starts, finishes) << "unpaired flow start/finish ids";
+  EXPECT_TRUE(op_summary_seen) << "no op-summary event (cat \"op\")";
+  EXPECT_TRUE(pool_job_seen);
+  EXPECT_TRUE(pfs_span_seen);
+  // The writer accounts flows and ops in its metadata record.
+  const JsonValue* meta = doc.value().find("metadata");
+  ASSERT_NE(meta, nullptr);
+  EXPECT_GE(meta->uint_at("flows"), starts.size());
+  EXPECT_GE(meta->uint_at("ops"), 1u);
 }
 
 TEST_F(TraceFixture, ClearTraceDropsBufferedEvents) {

@@ -6,6 +6,7 @@
 //   --trace <trace.json>       DRX_TRACE Trace Event Format output
 //   --series <series.json>     DRX_STATS_INTERVAL time series
 //   --bench <report.json>      DRX_BENCH_JSON report file (one doc/line)
+//   --flight <flight.json>     flight-recorder post-mortem dump
 //
 // and runs the obs::analysis detectors: rank/server/aggregator imbalance,
 // cache thrash, prefetch effectiveness, dropped traces, critical path,
@@ -92,6 +93,15 @@ int analyze_series_file(const std::string& path, Report& report) {
   return 0;
 }
 
+int analyze_flight_file(const std::string& path, Report& report) {
+  std::string raw;
+  if (!read_file(path, raw)) return fail_input(path, "cannot read");
+  auto doc = drx::obs::json_parse(raw);
+  if (!doc.is_ok()) return fail_input(path, doc.status().to_string());
+  drx::obs::analysis::analyze_flight(doc.value(), report.findings);
+  return 0;
+}
+
 int analyze_bench_file(const std::string& path, Report& report) {
   std::string raw;
   if (!read_file(path, raw)) return fail_input(path, "cannot read");
@@ -131,7 +141,8 @@ void usage() {
                "                  [--profile <profile.json>]\n"
                "                  [--trace <trace.json>]\n"
                "                  [--series <series.json>]\n"
-               "                  [--bench <report.json>]\n");
+               "                  [--bench <report.json>]\n"
+               "                  [--flight <flight.json>]\n");
 }
 
 }  // namespace
@@ -147,7 +158,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--strict") {
       strict = true;
     } else if (arg == "--metrics" || arg == "--profile" || arg == "--trace" ||
-               arg == "--series" || arg == "--bench") {
+               arg == "--series" || arg == "--bench" ||
+               arg == "--flight") {
       if (i + 1 >= argc) {
         usage();
         return 2;
@@ -171,6 +183,7 @@ int main(int argc, char** argv) {
     if (kind == "trace") rc = analyze_trace_file(path, report);
     if (kind == "series") rc = analyze_series_file(path, report);
     if (kind == "bench") rc = analyze_bench_file(path, report);
+    if (kind == "flight") rc = analyze_flight_file(path, report);
     if (rc != 0) return rc;
   }
 

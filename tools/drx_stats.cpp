@@ -8,12 +8,17 @@
 //                                   # (--json for machine-readable form)
 //   drx_stats --check-json <file>   # exit 0 iff <file> is well-formed
 //                                   # JSON (used by CI on DRX_TRACE output)
+//   drx_stats --top <N> <file>      # N slowest ops with per-stage latency
+//                                   # breakdown, from a DRX_TRACE trace or
+//                                   # a drx-flight dump (flight records
+//                                   # carry only the dominant stage)
 //
 // The text and JSON renderings are the same ones drx_inspect --stats and
 // the bench JSON reports use (obs::metrics_to_text / metrics_to_json), so
 // every surface prints metrics identically.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <span>
@@ -21,8 +26,10 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/analysis.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/opctx.hpp"
 
 namespace {
 
@@ -187,11 +194,107 @@ int diff(const std::string& a_path, const std::string& b_path, bool json) {
   return 0;
 }
 
+/// Ops from a drx-flight dump: every kind=="op" ring record. Flight
+/// records are fixed-size, so only the dominant stage (the record's
+/// `arg`) survives, not the full per-stage breakdown.
+std::vector<drx::obs::analysis::OpStat> flight_ops(
+    const drx::obs::JsonValue& doc) {
+  std::vector<drx::obs::analysis::OpStat> ops;
+  const drx::obs::JsonValue* threads = doc.find("threads");
+  if (threads == nullptr || !threads->is_array()) return ops;
+  for (const auto& t : threads->array) {
+    const drx::obs::JsonValue* records = t.find("records");
+    if (records == nullptr || !records->is_array()) continue;
+    for (const auto& r : records->array) {
+      const drx::obs::JsonValue* kind = r.find("kind");
+      if (kind == nullptr || kind->as_string() != "op") continue;
+      drx::obs::analysis::OpStat op;
+      const drx::obs::JsonValue* name = r.find("name");
+      op.name = name != nullptr ? std::string(name->as_string()) : "?";
+      op.op = r.uint_at("op");
+      op.dur_us = r.number_at("dur_ns") / 1000.0;
+      op.rank = static_cast<int>(r.number_at("rank", -1.0));
+      const auto dom = r.uint_at("arg");
+      if (dom < drx::obs::kStageCount) {
+        op.dominant =
+            drx::obs::stage_name(static_cast<drx::obs::Stage>(dom));
+      }
+      ops.push_back(std::move(op));
+    }
+  }
+  return ops;
+}
+
+int top_ops(const std::string& path, std::size_t n) {
+  std::vector<char> raw;
+  if (!read_file(path, raw)) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  auto doc =
+      drx::obs::json_parse(std::string_view(raw.data(), raw.size()));
+  if (!doc.is_ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                 doc.status().to_string().c_str());
+    return 1;
+  }
+
+  std::vector<drx::obs::analysis::OpStat> ops;
+  bool from_flight = false;
+  if (doc.value().find("traceEvents") != nullptr) {
+    auto summary = drx::obs::analysis::summarize_trace(doc.value());
+    if (!summary.is_ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                   summary.status().to_string().c_str());
+      return 1;
+    }
+    ops = std::move(summary.value().ops);
+  } else if (const auto* fmt = doc.value().find("format");
+             fmt != nullptr && fmt->as_string() == "drx-flight") {
+    ops = flight_ops(doc.value());
+    from_flight = true;
+  } else {
+    std::fprintf(stderr,
+                 "error: %s is neither a trace (traceEvents) nor a "
+                 "drx-flight dump\n",
+                 path.c_str());
+    return 1;
+  }
+
+  std::stable_sort(ops.begin(), ops.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.dur_us > b.dur_us;
+                   });
+  if (ops.size() > n) ops.resize(n);
+
+  std::printf("top %zu op(s) by wall time from %s:\n", ops.size(),
+              path.c_str());
+  std::printf("%-24s %6s %5s %10s", "op", "id", "rank", "wall us");
+  if (!from_flight) {
+    for (std::size_t s = 0; s < drx::obs::kStageCount; ++s) {
+      std::printf(" %10s",
+                  drx::obs::stage_name(static_cast<drx::obs::Stage>(s)));
+    }
+  }
+  std::printf(" %10s\n", "dominant");
+  for (const auto& op : ops) {
+    std::printf("%-24s %6llu %5d %10.1f", op.name.c_str(),
+                static_cast<unsigned long long>(op.op), op.rank, op.dur_us);
+    if (!from_flight) {
+      for (const double us : op.stage_us) std::printf(" %10.1f", us);
+    }
+    std::printf(" %10s\n",
+                op.dominant.empty() ? "?" : op.dominant.c_str());
+  }
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: drx_stats [--json] <snapshot>\n"
                "       drx_stats [--json] --diff <a> <b>\n"
-               "       drx_stats --check-json <file>\n");
+               "       drx_stats --check-json <file>\n"
+               "       drx_stats --top <N> <trace.json|flight.json>\n");
 }
 
 }  // namespace
@@ -200,6 +303,7 @@ int main(int argc, char** argv) {
   bool json = false;
   bool check = false;
   bool do_diff = false;
+  std::size_t top_n = 0;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
@@ -208,9 +312,27 @@ int main(int argc, char** argv) {
       check = true;
     } else if (std::strcmp(argv[i], "--diff") == 0) {
       do_diff = true;
+    } else if (std::strcmp(argv[i], "--top") == 0) {
+      if (i + 1 >= argc) {
+        usage();
+        return 2;
+      }
+      char* end = nullptr;
+      top_n = std::strtoul(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || top_n == 0) {
+        usage();
+        return 2;
+      }
     } else {
       paths.emplace_back(argv[i]);
     }
+  }
+  if (top_n != 0) {
+    if (paths.size() != 1 || json || check || do_diff) {
+      usage();
+      return 2;
+    }
+    return top_ops(paths[0], top_n);
   }
   if (do_diff) {
     if (paths.size() != 2 || check) {
