@@ -1,0 +1,324 @@
+// Serving experiment — the sharded ChunkCache and the drx::serve session
+// layer under concurrent clients (docs/SERVING.md; ROADMAP item 1).
+//
+// Two tables:
+//
+//  bench_serving_scaling (closed loop): T threads hammer a shared
+//  CachedDrxFile with chunk-aligned box reads (5% writes) over a
+//  resident working set, across cache configurations:
+//    - 1 shard, fast path off  — the pre-sharding cache (baseline),
+//    - 8 shards, fast path off — per-shard locking alone,
+//    - 8 shards, fast path on  — plus the lock-free resident-read path.
+//  Reported: throughput, speedup vs baseline, lock_wait p95 (the PR6
+//  stage histogram — the locking cost made visible), fast-hit fraction.
+//  Expected shape: sharding relieves mutex contention and the fast path
+//  removes the mutex from resident reads entirely, so the bottom row
+//  should clear 2x the baseline with a collapsed lock_wait tail.
+//
+//  bench_serving (open loop): M sessions (M >> workers) submit requests
+//  at a fixed arrival rate through a Server; per-request latency is
+//  recorded exactly (submit-to-completion) and reported as p50/p95/p99,
+//  plus the achieved rate and the cache shard-imbalance ratio that the
+//  drx_doctor cache-shard-imbalance detector gates on. Open-loop
+//  arrivals, unlike closed-loop, expose queueing delay: a saturated
+//  server shows it as a p99 cliff, not a throughput plateau.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/chunk_cache.hpp"
+#include "io/config.hpp"
+#include "obs/opctx.hpp"
+#include "obs/trace.hpp"
+#include "serve/serve.hpp"
+#include "util/rng.hpp"
+
+using namespace drx;  // NOLINT: bench brevity
+using core::Box;
+using core::DrxFile;
+using core::Index;
+using core::MemoryOrder;
+using core::Shape;
+
+namespace {
+
+constexpr std::uint64_t kN = 512;
+constexpr std::uint64_t kChunk = 16;
+constexpr std::uint64_t kChunksPerDim = kN / kChunk;
+constexpr std::size_t kElem = sizeof(double);
+constexpr std::size_t kChunkBytes = kChunk * kChunk * kElem;
+// Working set: 8x8 block of chunks (64) inside a 128-chunk cache, so the
+// steady state is all-resident — the regime the fast path targets.
+constexpr std::uint64_t kHotDim = 8;
+constexpr std::size_t kCacheChunks = 128;
+
+DrxFile make_array() {
+  DrxFile::Options options;
+  options.dtype = core::ElementType::kDouble;
+  auto f = DrxFile::create(std::make_unique<pfs::MemStorage>(),
+                           std::make_unique<pfs::MemStorage>(),
+                           Shape{kN, kN}, Shape{kChunk, kChunk}, options);
+  DRX_CHECK(f.is_ok());
+  return std::move(f).value();
+}
+
+Box chunk_box(std::uint64_t cr, std::uint64_t cc) {
+  return Box{Index{cr * kChunk, cc * kChunk},
+             Index{(cr + 1) * kChunk, (cc + 1) * kChunk}};
+}
+
+Box hot_box(SplitMix64& rng) {
+  return chunk_box(rng.next_below(kHotDim), rng.next_below(kHotDim));
+}
+
+// ---- closed-loop scaling --------------------------------------------------
+
+struct ScalingConfig {
+  const char* label;
+  int shards;
+  bool fast;
+};
+
+struct ScalingResult {
+  double ops_per_s = 0;
+  std::uint64_t lock_wait_p95_us = 0;
+  double fast_frac = 0;
+};
+
+std::uint64_t histogram_p95(const obs::MetricsSnapshot& snap,
+                            const std::string& name) {
+  for (const auto& h : snap.histograms) {
+    if (h.name == name) return obs::summarize_histogram(h).p95;
+  }
+  return 0;
+}
+
+ScalingResult run_scaling(const ScalingConfig& cfg, int threads, int ops) {
+  obs::registry().reset();
+  io::set_cache_fast_reads(cfg.fast ? 1 : 0);
+  DrxFile file = make_array();
+  core::ChunkCache::AsyncOptions async =
+      core::ChunkCache::AsyncOptions::from_config();
+  async.shards = cfg.shards;
+  core::CachedDrxFile pool(file, kCacheChunks, async);
+
+  // Warm the working set so the measured phase is the resident regime.
+  std::vector<std::byte> warm(kChunkBytes);
+  for (std::uint64_t r = 0; r < kHotDim; ++r) {
+    for (std::uint64_t c = 0; c < kHotDim; ++c) {
+      DRX_CHECK(pool.read_box(chunk_box(r, c), MemoryOrder::kRowMajor,
+                              warm).is_ok());
+    }
+  }
+
+  // Element-granular accesses: each touch moves 8 bytes, so per-access
+  // cost is the cache's pin/unpin locking — the cost sharding and the
+  // fast path exist to remove. 95% point reads, 5% point writes.
+  constexpr int kBatch = 64;
+  const std::uint64_t t0 = obs::trace_now_ns();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&pool, t, ops] {
+      SplitMix64 rng(static_cast<std::uint64_t>(t) * 7919 + 1);
+      for (int i = 0; i < ops; ++i) {
+        obs::OpScope op("bench.serve.access");
+        for (int b = 0; b < kBatch; ++b) {
+          // Stack-backed index: a heap-allocated Index per 8-byte access
+          // would measure the allocator, not the cache.
+          const std::uint64_t idx[2] = {rng.next_below(kHotDim * kChunk),
+                                        rng.next_below(kHotDim * kChunk)};
+          if (rng.next_below(20) == 0) {
+            DRX_CHECK(pool.set<double>(idx, 1.0).is_ok());
+          } else {
+            DRX_CHECK(pool.get<double>(idx).is_ok());
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double secs =
+      static_cast<double>(obs::trace_now_ns() - t0) / 1e9;
+  DRX_CHECK(pool.flush().is_ok());
+
+  const obs::MetricsSnapshot snap = obs::registry().snapshot();
+  const core::ChunkCache::Stats stats = pool.cache().stats();
+  ScalingResult r;
+  r.ops_per_s = static_cast<double>(threads) * ops * kBatch / secs;
+  r.lock_wait_p95_us = histogram_p95(snap, "obs.op.stage.lock_wait_us");
+  r.fast_frac = stats.hits != 0 ? static_cast<double>(stats.fast_hits) /
+                                      static_cast<double>(stats.hits)
+                                : 0.0;
+  return r;
+}
+
+// ---- open-loop serving ----------------------------------------------------
+
+struct ServingResult {
+  double achieved_per_s = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p95_us = 0;
+  std::uint64_t p99_us = 0;
+  double imbalance = 0;
+};
+
+std::uint64_t exact_quantile(std::vector<std::uint64_t>& lat, double q) {
+  if (lat.empty()) return 0;
+  const std::size_t i = std::min(
+      lat.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(lat.size())));
+  return lat[i];
+}
+
+ServingResult run_serving(int rate_per_s, int requests, int sessions_n) {
+  obs::registry().reset();
+  DrxFile file = make_array();
+  serve::Server::Options options;
+  options.workers = 4;
+  options.cache_chunks = kCacheChunks;
+  options.cache = core::ChunkCache::AsyncOptions::from_config();
+  options.cache.shards = 8;
+  serve::Server server(file, options);
+
+  std::vector<serve::Session*> sessions;
+  sessions.reserve(static_cast<std::size_t>(sessions_n));
+  for (int s = 0; s < sessions_n; ++s) {
+    sessions.push_back(&server.open_session());
+  }
+
+  // Warm the hot set through the server, then drain so arrivals start
+  // against a quiet queue.
+  for (std::uint64_t r = 0; r < kHotDim; ++r) {
+    for (std::uint64_t c = 0; c < kHotDim; ++c) {
+      serve::Request req;
+      req.type = serve::RequestType::kPrefetch;
+      req.box = chunk_box(r, c);
+      sessions[0]->submit(std::move(req), [](const Status&) {});
+    }
+  }
+  server.drain();
+
+  const std::size_t n = static_cast<std::size_t>(requests);
+  std::vector<std::uint64_t> latency_us(n, 0);
+  std::vector<std::byte> out_pool(n * kChunkBytes);
+  std::atomic<std::size_t> done{0};
+
+  SplitMix64 rng(17);
+  const auto period =
+      std::chrono::nanoseconds(std::uint64_t{1000000000} /
+                               static_cast<std::uint64_t>(rate_per_s));
+  const std::uint64_t t0 = obs::trace_now_ns();
+  auto next = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::this_thread::sleep_until(next);
+    next += period;
+    serve::Request req;
+    req.box = hot_box(rng);
+    if (rng.next_below(10) == 0) {
+      req.type = serve::RequestType::kWrite;
+      req.data.assign(kChunkBytes, std::byte{0x5a});
+    } else {
+      req.type = serve::RequestType::kRead;
+      req.out = std::span<std::byte>(out_pool.data() + i * kChunkBytes,
+                                     kChunkBytes);
+    }
+    const std::uint64_t submit_ns = obs::trace_now_ns();
+    std::uint64_t* slot = &latency_us[i];
+    sessions[i % sessions.size()]->submit(
+        std::move(req), [slot, submit_ns, &done](const Status& st) {
+          DRX_CHECK(st.is_ok());
+          *slot = (obs::trace_now_ns() - submit_ns) / 1000;
+          done.fetch_add(1, std::memory_order_release);
+        });
+  }
+  server.drain();
+  const double secs = static_cast<double>(obs::trace_now_ns() - t0) / 1e9;
+  DRX_CHECK(done.load(std::memory_order_acquire) == n);
+  DRX_CHECK(server.flush().is_ok());
+
+  std::sort(latency_us.begin(), latency_us.end());
+  const std::vector<std::uint64_t> accesses =
+      server.array().cache().shard_accesses();
+  double total = 0;
+  double max = 0;
+  for (const std::uint64_t a : accesses) {
+    total += static_cast<double>(a);
+    max = std::max(max, static_cast<double>(a));
+  }
+  const double mean = total / static_cast<double>(accesses.size());
+
+  ServingResult r;
+  r.achieved_per_s = static_cast<double>(n) / secs;
+  r.p50_us = exact_quantile(latency_us, 0.50);
+  r.p95_us = exact_quantile(latency_us, 0.95);
+  r.p99_us = exact_quantile(latency_us, 0.99);
+  r.imbalance = mean > 0 ? max / mean : 1.0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const int threads = 8;
+  const int ops = 2000;
+  std::printf("serving: sharded chunk cache + session layer — closed-loop "
+              "%d threads x %d batches of 64 element accesses (5%% "
+              "writes) over a resident %llux%llu-chunk hot set, then "
+              "open-loop arrivals through drx::serve\n\n",
+              threads, ops, static_cast<unsigned long long>(kHotDim),
+              static_cast<unsigned long long>(kHotDim));
+  (void)kChunksPerDim;
+
+  const ScalingConfig configs[] = {
+      {"1 shard, fast off (pre-shard)", 1, false},
+      {"8 shards, fast off", 8, false},
+      {"8 shards, fast on", 8, true},
+  };
+  bench::Table scaling({"cache config", "ops/s", "speedup",
+                        "lock_wait p95 us", "fast-hit frac"});
+  double baseline = 0;
+  for (const ScalingConfig& cfg : configs) {
+    const ScalingResult r = run_scaling(cfg, threads, ops);
+    if (baseline == 0) baseline = r.ops_per_s;
+    scaling.add_row({cfg.label, bench::strf("%.0f", r.ops_per_s),
+                     bench::strf("%.2fx", r.ops_per_s / baseline),
+                     bench::strf("%llu", static_cast<unsigned long long>(
+                                             r.lock_wait_p95_us)),
+                     bench::strf("%.2f", r.fast_frac)});
+  }
+  io::set_cache_fast_reads(-1);  // back to DRX_CACHE_FAST_READS
+  scaling.print();
+  bench::write_json_report("bench_serving_scaling", scaling);
+
+  std::printf("\nopen-loop: 16 sessions over 4 workers, 8 shards — fixed "
+              "arrival rate, exact per-request latency\n\n");
+  bench::Table serving({"arrival/s", "achieved/s", "p50 us", "p95 us",
+                        "p99 us", "shard imbalance"});
+  for (const int rate : {2000, 8000}) {
+    const ServingResult r = run_serving(rate, 2000, 16);
+    serving.add_row({bench::strf("%d/s", rate),
+                     bench::strf("%.0f", r.achieved_per_s),
+                     bench::strf("%llu",
+                                 static_cast<unsigned long long>(r.p50_us)),
+                     bench::strf("%llu",
+                                 static_cast<unsigned long long>(r.p95_us)),
+                     bench::strf("%llu",
+                                 static_cast<unsigned long long>(r.p99_us)),
+                     bench::strf("%.2f", r.imbalance)});
+  }
+  serving.print();
+  bench::write_json_report("bench_serving", serving);
+
+  std::printf("\nexpected shape: sharding + the lock-free resident-read "
+              "path clear >= 2x the single-lock baseline on the read-mostly "
+              "mix with a collapsed lock_wait tail; open-loop p99 stays "
+              "bounded while the arrival rate is below saturation, and the "
+              "shard-imbalance ratio stays near 1 on this uniform hot set "
+              "(drx_doctor flags it at >= 1.5).\n");
+  return 0;
+}

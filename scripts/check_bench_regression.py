@@ -147,6 +147,79 @@ def obs_overhead_warnings(current, max_ratio):
     return []
 
 
+SERVING_BENCHES = ("bench_serving", "bench_serving_scaling")
+
+
+def serving_warnings(baseline, current, p99_factor, imbalance_max,
+                     min_scaling):
+    """Check the serving-latency gate from docs/SERVING.md (warn-only).
+
+    - bench_serving p99 may not exceed the baseline row by more than
+      p99_factor (tails are noisy; anything past that is a regression,
+      not jitter);
+    - the cache shard-imbalance ratio must stay below imbalance_max,
+      the same threshold the drx_doctor cache-shard-imbalance detector
+      warns at — a hot shard collapses per-shard locking back toward a
+      single lock;
+    - the closed-loop "8 shards, fast on" speedup over the pre-shard
+      single-lock row must stay >= min_scaling.
+    """
+    warnings = []
+    cur = current.get("bench_serving")
+    if cur is None:
+        warnings.append("serving: no bench_serving report to check")
+    else:
+        headers = cur["table"]["headers"]
+        base = baseline.get("bench_serving")
+        base_rows = ({row_key(r): r for r in base["table"]["rows"]}
+                     if base else {})
+        for row in cur["table"]["rows"]:
+            key = row_key(row)
+            label = "/".join(key) or "?"
+            named = dict(zip(headers, row))
+            p99 = as_number(named.get("p99 us"))
+            imbalance = as_number(named.get("shard imbalance"))
+            print(f"serving {label}: p99 "
+                  f"{p99 if p99 is not None else '?'} us, shard imbalance "
+                  f"{imbalance if imbalance is not None else '?'}")
+            if imbalance is not None and imbalance >= imbalance_max:
+                warnings.append(
+                    f"serving {label}: shard-imbalance ratio "
+                    f"{imbalance:g} >= {imbalance_max:g} — one cache shard "
+                    "is hot; per-shard locking is degrading toward a "
+                    "single lock")
+            brow = base_rows.get(key)
+            if brow is not None and p99 is not None:
+                bnamed = dict(zip(base["table"]["headers"], brow))
+                bp99 = as_number(bnamed.get("p99 us"))
+                if bp99 and p99 > bp99 * p99_factor:
+                    warnings.append(
+                        f"serving {label}: p99 {p99:g} us vs baseline "
+                        f"{bp99:g} us (> {p99_factor:g}x) — the serving "
+                        "tail regressed")
+    scaling = current.get("bench_serving_scaling")
+    if scaling is None:
+        warnings.append("serving: no bench_serving_scaling report to check")
+    else:
+        speedup = None
+        for row in scaling["table"]["rows"]:
+            if row and row[0].startswith("8 shards, fast on"):
+                named = dict(zip(scaling["table"]["headers"], row))
+                speedup = as_number(str(named.get("speedup", "")).rstrip("x"))
+        if speedup is None:
+            warnings.append("serving: no '8 shards, fast on' row in "
+                            "bench_serving_scaling")
+        else:
+            print(f"serving-scaling: 8 shards + fast path = {speedup:g}x "
+                  f"the single-lock cache (floor {min_scaling:g}x)")
+            if speedup < min_scaling:
+                warnings.append(
+                    f"serving: sharded-cache speedup {speedup:g}x under "
+                    f"the {min_scaling:g}x floor — sharding or the "
+                    "resident-read fast path stopped paying for itself")
+    return warnings
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="check_bench_regression.py",
@@ -172,6 +245,12 @@ def main(argv=None):
              "wall-time ratio <= MAX_RATIO (default gate: 1.02, i.e. <2%% "
              "always-on instrumentation overhead; warn-only like "
              "everything else)")
+    parser.add_argument(
+        "--serving", action="store_true",
+        help="serving-latency mode (docs/SERVING.md): compare only the "
+             "bench_serving/bench_serving_scaling tables and gate the p99 "
+             "tail (4x the baseline), the cache shard-imbalance ratio "
+             "(< 1.5) and the sharded-cache speedup (>= 1.5x); warn-only")
     args = parser.parse_args(argv)
 
     try:
@@ -181,13 +260,26 @@ def main(argv=None):
         print(f"ERROR: {err}", file=sys.stderr)
         return 2
 
+    if args.serving:
+        # Serving tables carry wall-clock latency cells; generic per-cell
+        # drift comparison would be pure noise, so only the targeted
+        # serving gates run in this mode.
+        baseline = {k: v for k, v in baseline.items()
+                    if k in SERVING_BENCHES}
+        current = {k: v for k, v in current.items() if k in SERVING_BENCHES}
+
     warnings = []
-    for name, base in baseline.items():
-        cur = current.get(name)
-        if cur is None:
-            warnings.append(f"{name}: bench missing from current report")
-            continue
-        warnings.extend(compare_tables(name, base, cur, args.tolerance))
+    if args.serving:
+        warnings.extend(serving_warnings(
+            baseline, current, p99_factor=4.0, imbalance_max=1.5,
+            min_scaling=1.5))
+    else:
+        for name, base in baseline.items():
+            cur = current.get(name)
+            if cur is None:
+                warnings.append(f"{name}: bench missing from current report")
+                continue
+            warnings.extend(compare_tables(name, base, cur, args.tolerance))
     if args.copy_coalescing is not None:
         warnings.extend(copy_coalescing_warnings(current,
                                                  args.copy_coalescing))

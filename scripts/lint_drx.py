@@ -32,13 +32,22 @@ Rules (see docs/STATIC_ANALYSIS.md for the full rationale):
                           element bounds from the chunk grid.
 
   cache-lock-io           No blocking chunk I/O (file_->read_chunk /
-                          write_chunk / read_chunks) while holding the
-                          ChunkCache lock mu_.
+                          write_chunk / read_chunks) while holding a
+                          ChunkCache lock (the legacy mu_ or a shard's
+                          .mu).
 
   cache-lock-alloc        No chunk-buffer allocation
                           (std::make_unique<std::byte[]>) while holding
-                          the ChunkCache lock mu_; buffers come from the
+                          a ChunkCache lock; buffers come from the
                           recycled free list (take_buffer_locked).
+
+  cache-shard-pair        Never lock a second cache shard while one
+                          shard's .mu is held: two util::MutexLock
+                          acquisitions on shard mutexes in one scope
+                          deadlock against the opposite order. Cross-
+                          shard work (capacity borrowing) goes through
+                          the ordered ShardPairLock helper, which is the
+                          only code exempt from this rule.
 
   element-granular-copy   The data-plane hot paths (scatter/copy_plan,
                           drx_file, chunk_cache, drxmp, and the dra_like /
@@ -91,6 +100,10 @@ OBS_SLOW_CALL = re.compile(r"\b(?:detail::)?(profile_\w+_slow|record_span)\s*\("
 AXIAL_EXTEND = re.compile(r"\bmapping\s*\.\s*extend\s*\(")
 CACHE_IO = re.compile(r"file_->(read_chunk|write_chunk|read_chunks)\s*\(")
 CACHE_ALLOC = re.compile(r"std::make_unique<\s*std::byte\[\]\s*>")
+# The legacy global lock (mu_) or a shard lock (s.mu, shards_[i].mu);
+# leaf locks like seq_mu_ / io_mu_ match neither alternative.
+CACHE_LOCK_ACQUIRE = re.compile(
+    r"util::MutexLock\s+\w+\s*\(\s*((?:[\w\[\]\.]+\.)?mu_?)\s*\)")
 POOL_SUBMIT = re.compile(r"(?:\.|->)\s*submit(?:_with_future)?\s*\(")
 OPCTX_ARG = re.compile(r"\bcurrent_op\s*\(\s*\)")
 OPCTX_EMPTY = re.compile(r"\bOpContext\s*\{")
@@ -277,26 +290,48 @@ def lint_mutex_members(path: Path, lines: list[str],
 
 def lint_cache_lock(path: Path, lines: list[str],
                     findings: list[Finding]) -> None:
-    """Tracks whether the ChunkCache lock mu_ is held, by brace depth."""
+    """Tracks which ChunkCache locks are held, by brace depth.
+
+    Recognizes the legacy single lock (`mu_`) and per-shard locks
+    (`s.mu`, `shards_[i].mu`); the leaf locks (seq_mu_, error_mu_,
+    io_mu_) do not match either form and are exempt by construction.
+    """
     depth = 0
-    held_stack: list[int] = []  # brace depths at which mu_ was acquired
+    # (brace depth at acquisition, is-a-shard-lock)
+    held_stack: list[tuple[int, bool]] = []
     suspended = False  # between lock.unlock() and lock.lock()
+    shard_exempt = False  # inside the ordered ShardPairLock helper
     active: dict[str, int] = {}
     for i, raw in enumerate(lines):
         code = strip_comments_and_strings(raw)
-        if re.match(r"^\w[\w:<>,&*\s]*ChunkCache::\w+\s*\(", code):
+        if (re.match(r"^\w[\w:<>,&*\s]*ChunkCache::[\w:]+\s*\(", code)
+                or re.match(r"^ChunkCache::[\w:]+\s*\(", code)):
             held_stack.clear()
             suspended = False
             active.clear()
-            # *_locked helpers run with mu_ held by contract.
-            if re.search(r"ChunkCache::\w+_locked\s*\(", code):
-                held_stack.append(depth)
+            shard_exempt = ("ShardPairLock" in code
+                            or "lock_shard_pair" in code)
+            # *_locked helpers run with their shard's mu held by contract.
+            if re.search(r"ChunkCache::[\w:]*\w+_locked\s*\(", code):
+                held_stack.append((depth, True))
         m = SUPPRESS.search(raw)
         if m:
             active[m.group(1)] = i
 
-        if re.search(r"util::MutexLock\s+\w+\s*\(\s*mu_\s*\)", code):
-            held_stack.append(depth)
+        allowed = suppressions_for(lines, i, active)
+        lm = CACHE_LOCK_ACQUIRE.search(code)
+        if lm:
+            is_shard = lm.group(1).endswith(".mu")
+            if (is_shard and not shard_exempt
+                    and any(s for _, s in held_stack) and not suspended
+                    and "cache-shard-pair" not in allowed):
+                findings.append(Finding(
+                    path, i + 1, "cache-shard-pair",
+                    "second cache-shard lock taken while one is held; "
+                    "nesting shard mutexes deadlocks against the "
+                    "opposite order — use the ordered ShardPairLock "
+                    "helper"))
+            held_stack.append((depth, is_shard))
             suspended = False
         if re.search(r"\block\.unlock\s*\(\s*\)", code):
             suspended = True
@@ -304,20 +339,19 @@ def lint_cache_lock(path: Path, lines: list[str],
             suspended = False
 
         held = bool(held_stack) and not suspended
-        allowed = suppressions_for(lines, i, active)
         if held:
             if CACHE_IO.search(code) and "cache-lock-io" not in allowed:
                 findings.append(Finding(
                     path, i + 1, "cache-lock-io",
-                    "blocking chunk I/O while holding the cache lock mu_"))
+                    "blocking chunk I/O while holding a cache lock"))
             if CACHE_ALLOC.search(code) and "cache-lock-alloc" not in allowed:
                 findings.append(Finding(
                     path, i + 1, "cache-lock-alloc",
-                    "chunk-buffer allocation while holding the cache lock "
-                    "mu_; use take_buffer_locked()"))
+                    "chunk-buffer allocation while holding a cache lock; "
+                    "use take_buffer_locked()"))
 
         depth += code.count("{") - code.count("}")
-        while held_stack and depth < held_stack[-1]:
+        while held_stack and depth < held_stack[-1][0]:
             held_stack.pop()
 
 

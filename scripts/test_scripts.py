@@ -364,6 +364,50 @@ class TestLintDrx(unittest.TestCase):
         self.assertEqual(code, 1)
         self.assertIn("cache-lock-alloc", out)
 
+    def test_shard_pair_nested_lock_flagged(self):
+        body = ("void ChunkCache::move_capacity(std::size_t a, std::size_t b) {\n"
+                "  util::MutexLock la(shards_[a].mu);\n"
+                "  util::MutexLock lb(shards_[b].mu);\n"
+                "}\n")
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {"src/core/chunk_cache.cpp": body})
+            code, out, _ = run_main(lint_drx, ["--root", root])
+        self.assertEqual(code, 1)
+        self.assertIn("cache-shard-pair", out)
+
+    def test_shard_pair_in_pair_helper_exempt(self):
+        body = ("ChunkCache::ShardPairLock::ShardPairLock(ChunkCache& c,\n"
+                "    std::size_t a, std::size_t b) {\n"
+                "  util::MutexLock la(c.shards_[a].mu);\n"
+                "  util::MutexLock lb(c.shards_[b].mu);\n"
+                "}\n")
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {"src/core/chunk_cache.cpp": body})
+            code, _, _ = run_main(lint_drx, ["--root", root])
+        self.assertEqual(code, 0)
+
+    def test_sequential_shard_locks_clean(self):
+        body = ("void ChunkCache::sweep() {\n"
+                "  for (std::size_t i = 0; i < n; ++i) {\n"
+                "    util::MutexLock lock(shards_[i].mu);\n"
+                "  }\n"
+                "}\n")
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {"src/core/chunk_cache.cpp": body})
+            code, _, _ = run_main(lint_drx, ["--root", root])
+        self.assertEqual(code, 0)
+
+    def test_shard_lock_io_flagged(self):
+        body = ("Status ChunkCache::fill(std::uint64_t a) {\n"
+                "  util::MutexLock lock(s.mu);\n"
+                "  file_->read_chunk(a, span);\n"
+                "}\n")
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {"src/core/chunk_cache.cpp": body})
+            code, out, _ = run_main(lint_drx, ["--root", root])
+        self.assertEqual(code, 1)
+        self.assertIn("cache-lock-io", out)
+
     def test_element_walk_in_hot_copy_file_flagged(self):
         with tempfile.TemporaryDirectory() as tmp:
             root = self._tree(tmp, {

@@ -7,6 +7,25 @@
 // layers element/box access on top, so repeated touches to a hot chunk
 // cost one I/O instead of one per element.
 //
+// Sharding (docs/SERVING.md): the pool is split into N lock shards keyed
+// by a hash of the chunk address (DRX_CACHE_SHARDS; default 1 = the
+// legacy single-lock cache). Each shard owns its own mutex, LRU list,
+// ghost admission table, write-behind queue, and free-buffer pool, so
+// concurrent clients touching different chunks contend on different
+// locks. A shard whose frames are all pinned borrows capacity from a
+// sibling through the ordered two-shard lock (ShardPairLock) instead of
+// failing the pin — the ONLY sanctioned way to hold two shard mutexes at
+// once (scripts/lint_drx.py: cache-shard-pair).
+//
+// Fast path: resident, clean-of-writers chunks are *published* to a
+// per-shard table of atomic slots; a published chunk read
+// (try_pin_fast / try_read_fast) takes NO mutex — it CAS-pins the slot,
+// re-checks the address, copies, and release-unpins. Writers unpublish
+// under the shard mutex and spin until fast pins drain, so the buffer is
+// quiescent before any mutation. DRX_CACHE_FAST_READS=0 disables the
+// path (ablation knob for benches). Memory-ordering proof sketch in
+// docs/SERVING.md.
+//
 // Async engine (docs/ASYNC_IO.md): when constructed with io_threads > 0
 // the cache runs on a drx::io::AsyncIoPool and becomes fully thread-safe:
 //  - read-ahead: a detectably sequential miss run (consecutive miss
@@ -22,10 +41,12 @@
 // semantics exactly.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <list>
 #include <memory>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -33,6 +54,7 @@
 #include "core/drx_file.hpp"
 #include "core/scatter.hpp"
 #include "io/async_pool.hpp"
+#include "obs/metrics.hpp"
 #include "obs/opctx.hpp"
 #include "io/config.hpp"
 #include "io/prefetch.hpp"
@@ -41,9 +63,20 @@
 namespace drx::core {
 
 class ChunkCache final : public io::PrefetchSink {
+ private:
+  /// One published-frame slot: `word` packs a valid bit (kFastValid) with
+  /// a fast-pin count; `address`/`data` are written before the publishing
+  /// release-store on `word`, so a reader that acquires the valid bit
+  /// sees them (and the buffer fill that happened-before the publish).
+  struct FastSlot {
+    std::atomic<std::uint64_t> word{0};
+    std::atomic<std::uint64_t> address{~std::uint64_t{0}};
+    std::atomic<std::byte*> data{nullptr};
+  };
+
  public:
   struct Stats {
-    std::uint64_t hits = 0;
+    std::uint64_t hits = 0;         ///< includes fast_hits
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
     std::uint64_t writebacks = 0;
@@ -57,16 +90,21 @@ class ChunkCache final : public io::PrefetchSink {
     // Admission-control counters (docs/PERFORMANCE.md).
     std::uint64_t admit_bypasses = 0;    ///< element misses served by direct I/O
     std::uint64_t admit_promotions = 0;  ///< ghost hits promoted to residency
+    // Sharded-cache counters (docs/SERVING.md).
+    std::uint64_t fast_hits = 0;         ///< lock-free resident-read hits
+    std::uint64_t capacity_borrows = 0;  ///< frames moved between shards
   };
 
   /// Async-engine configuration; the default is fully synchronous.
   struct AsyncOptions {
     int io_threads = 0;               ///< 0 = legacy synchronous cache
     std::uint64_t prefetch_depth = 0; ///< read-ahead chunks (needs threads > 0)
+    int shards = 0;  ///< lock shards; 0 = DRX_CACHE_SHARDS (unset -> 1)
 
     /// DRX_IO_THREADS / DRX_PREFETCH_DEPTH (or their test overrides).
     static AsyncOptions from_config() {
-      return AsyncOptions{io::io_threads(), io::prefetch_depth()};
+      return AsyncOptions{io::io_threads(), io::prefetch_depth(),
+                          io::cache_shards()};
     }
   };
 
@@ -88,11 +126,58 @@ class ChunkCache final : public io::PrefetchSink {
   /// from the file on a miss, and returns its buffer. The buffer stays
   /// valid (and the frame unevictable) until the matching unpin().
   /// Thread-safe.
-  Result<std::span<std::byte>> pin(std::uint64_t address);
+  ///
+  /// `writable` declares intent to store through the returned span. A
+  /// writable pin unpublishes the frame from the lock-free read table and
+  /// drains concurrent fast readers first, so the stores never race a
+  /// fast-path memcpy. Read-only pins (`writable == false`) leave the
+  /// frame published. The default is writable (conservative: correct for
+  /// every legacy caller); unpin() must be called with the same flag.
+  Result<std::span<std::byte>> pin(std::uint64_t address,
+                                   bool writable = true);
 
   /// Releases a pin; `dirty` marks the buffer modified (written back on
-  /// eviction or flush — write-back, not write-through). Thread-safe.
-  void unpin(std::uint64_t address, bool dirty);
+  /// eviction or flush — write-back, not write-through). `writable` must
+  /// match the pin() that is being released. Thread-safe.
+  void unpin(std::uint64_t address, bool dirty, bool writable = true);
+
+  /// RAII lock-free read pin on a published chunk. Holding one freezes
+  /// the slot (unpublish spins until every FastPin drops), so bytes()
+  /// stays valid and quiescent for the pin's lifetime.
+  class FastPin {
+   public:
+    FastPin(FastPin&& other) noexcept
+        : slot_(other.slot_), bytes_(other.bytes_) {
+      other.slot_ = nullptr;
+    }
+    FastPin(const FastPin&) = delete;
+    FastPin& operator=(const FastPin&) = delete;
+    FastPin& operator=(FastPin&&) = delete;
+    ~FastPin() {
+      if (slot_ != nullptr) {
+        slot_->word.fetch_sub(1, std::memory_order_release);
+      }
+    }
+    [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+      return bytes_;
+    }
+
+   private:
+    friend class ChunkCache;
+    FastPin(FastSlot* slot, std::span<const std::byte> bytes) noexcept
+        : slot_(slot), bytes_(bytes) {}
+    FastSlot* slot_;
+    std::span<const std::byte> bytes_;
+  };
+
+  /// Lock-free read pin: succeeds iff the chunk is resident, published,
+  /// and DRX_CACHE_FAST_READS is on. Never blocks, never faults.
+  [[nodiscard]] std::optional<FastPin> try_pin_fast(std::uint64_t address);
+
+  /// Lock-free element read: copies out.size() bytes from `offset` within
+  /// the chunk when the fast path applies; false = take the slow path.
+  bool try_read_fast(std::uint64_t address, std::uint64_t offset,
+                     std::span<std::byte> out);
 
   // ---- scan-resistant admission (DRX_CACHE_ADMIT, docs/PERFORMANCE.md) --
   // Element-granular access faults a whole chunk per miss, which LOSES to
@@ -149,14 +234,29 @@ class ChunkCache final : public io::PrefetchSink {
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::size_t resident() const;
 
+  // ---- shard introspection (benches, drx_doctor imbalance feed) ---------
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shard_count_;
+  }
+  /// Shard that owns `address` (stable for the cache's lifetime).
+  [[nodiscard]] std::size_t shard_index(std::uint64_t address) const noexcept {
+    return static_cast<std::size_t>(mix_address(address)) & shard_mask_;
+  }
+  /// Per-shard access totals (pins + fast reads + bypassed elements) —
+  /// the load vector behind the cache-shard-imbalance doctor finding.
+  [[nodiscard]] std::vector<std::uint64_t> shard_accesses() const;
+
  private:
   struct Frame {
     std::unique_ptr<std::byte[]> data;
     int pins = 0;
+    int write_pins = 0;       ///< pins taken with writable intent
     bool dirty = false;
     bool loading = false;     ///< speculative/foreground fault in flight
     bool flushing = false;    ///< flush owns the buffer for a write-back
     bool prefetched = false;  ///< faulted ahead of demand, not yet pinned
+    bool published = false;   ///< visible to the lock-free fast path
     std::list<std::uint64_t>::iterator lru_it;  ///< valid when in_lru
     bool in_lru = false;
   };
@@ -171,99 +271,178 @@ class ChunkCache final : public io::PrefetchSink {
     std::uint64_t seq = 0;
   };
 
+  /// One lock shard: an independent cache slice over the addresses that
+  /// hash to it. Lock order: a shard's `mu` may be held while taking the
+  /// leaf locks seq_mu_ / error_mu_ / io_mu_; never another shard's `mu`
+  /// except through ShardPairLock (lint: cache-shard-pair).
+  struct Shard {
+    mutable util::Mutex mu;
+    util::CondVar cv;  ///< load completion / queue-drain signal
+    std::unordered_map<std::uint64_t, Frame> frames DRX_GUARDED_BY(mu);
+    /// Unpinned ready frames, front = MRU.
+    std::list<std::uint64_t> lru DRX_GUARDED_BY(mu);
+    std::unordered_map<std::uint64_t, PendingWrite> pending_writes
+        DRX_GUARDED_BY(mu);
+    /// Recycled chunk-sized frame buffers (bounded by the shard capacity).
+    std::vector<std::unique_ptr<std::byte[]>> free_buffers DRX_GUARDED_BY(mu);
+    std::uint64_t loads_inflight DRX_GUARDED_BY(mu) = 0;  ///< prefetch jobs
+    /// Flushes parked until a dirty frame's last pin drops (unpin notifies
+    /// cv only while this is nonzero, keeping the unpin fast path quiet).
+    std::size_t flush_waiters DRX_GUARDED_BY(mu) = 0;
+    /// Frames this shard may hold; adaptive via capacity borrowing, total
+    /// across shards conserved.
+    std::size_t capacity DRX_GUARDED_BY(mu) = 0;
+    Stats stats DRX_GUARDED_BY(mu);
+    /// Ghost/probation filter for scan-resistant admission: a small
+    /// direct-mapped table of recently bypassed chunk addresses (no
+    /// buffers). A miss that finds its address here has demonstrated
+    /// reuse and is admitted; everything else is served by bypass I/O.
+    std::vector<std::uint64_t> ghost DRX_GUARDED_BY(mu);
+    /// Published-frame table for the lock-free read path. The slots are
+    /// written under `mu` (publish/unpublish) and read without it.
+    std::unique_ptr<FastSlot[]> fast;
+    std::size_t fast_mask = 0;
+    /// Total accesses routed to this shard (imbalance detector feed).
+    std::atomic<std::uint64_t> accesses{0};
+    std::atomic<std::uint64_t> fast_hits{0};
+  };
+
+  /// Ordered two-shard acquisition: always locks the lower-indexed
+  /// shard's mutex first, so concurrent pair holders cannot deadlock.
+  /// The ONLY sanctioned way to hold two shard mutexes at once
+  /// (scripts/lint_drx.py: cache-shard-pair). Callers re-assert the
+  /// capabilities with shard.mu.assert_held() for the analysis.
+  class ShardPairLock {
+   public:
+    ShardPairLock(ChunkCache& cache, std::size_t a, std::size_t b);
+    ~ShardPairLock();
+    ShardPairLock(const ShardPairLock&) = delete;
+    ShardPairLock& operator=(const ShardPairLock&) = delete;
+
+   private:
+    util::Mutex& first_;
+    util::Mutex& second_;
+  };
+
+  /// splitmix64-style finalizer: decorrelates the shard choice from
+  /// sequential chunk addresses so scans spread over all shards.
+  [[nodiscard]] static std::uint64_t mix_address(std::uint64_t x) noexcept {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+  }
+
+  [[nodiscard]] Shard& shard_of(std::uint64_t address) const noexcept {
+    return shards_[shard_index(address)];
+  }
+  [[nodiscard]] std::size_t fast_slot_index(const Shard& s,
+                                            std::uint64_t address)
+      const noexcept {
+    // Upper hash bits: independent of the (low-bit) shard selection.
+    return static_cast<std::size_t>(mix_address(address) >> 32) & s.fast_mask;
+  }
+  void note_access(Shard& s, std::size_t index) const;
+
   [[nodiscard]] std::size_t chunk_size() const;
 
   /// Admission decision for an element-granular miss; updates the ghost
   /// filter and sequential-run tracker. True = serve by bypass I/O.
-  [[nodiscard]] bool should_bypass_locked(std::uint64_t address, bool write)
-      DRX_REQUIRES(mu_);
+  [[nodiscard]] bool should_bypass_locked(Shard& s, std::uint64_t address,
+                                          bool write) DRX_REQUIRES(s.mu);
 
-  // All *_locked helpers require mu_ held. Lock order: mu_ may be held
-  // while taking io_mu_ (sync flush), but io_mu_ is never held while
-  // taking mu_.
-  Status evict_one_locked(util::MutexLock& lock,
+  // All *_locked helpers require the owning shard's mu held.
+  Status evict_one_locked(Shard& s, util::MutexLock& lock,
                           std::vector<std::uint64_t>& write_submits)
-      DRX_REQUIRES(mu_);
-  void queue_write_locked(std::uint64_t address,
+      DRX_REQUIRES(s.mu);
+  void queue_write_locked(Shard& s, std::uint64_t address,
                           std::unique_ptr<std::byte[]> data,
                           std::vector<std::uint64_t>& write_submits)
-      DRX_REQUIRES(mu_);
-  /// Returns true when `status` became the sticky error AND is not yet
-  /// surfaced to a caller — the trigger for a flight-recorder dump.
-  bool record_error_locked(const Status& status, bool surfaced)
-      DRX_REQUIRES(mu_);
-  /// Reserves loading frames for a contiguous eligible run starting at
-  /// `first`; returns the run length (0 = nothing to do).
-  std::uint64_t reserve_readahead_locked(
-      util::MutexLock& lock, std::uint64_t first, std::uint64_t want,
-      std::vector<std::uint64_t>& write_submits) DRX_REQUIRES(mu_);
-  void submit_writes(const std::vector<std::uint64_t>& addresses)
-      DRX_EXCLUDES(mu_);
+      DRX_REQUIRES(s.mu);
+  void submit_writes(const std::vector<std::uint64_t>& addresses);
 
-  /// Chunk-sized frame buffer from the free list (evictions recycle their
-  /// buffers there), allocating only when the list is empty — so the
-  /// steady-state miss path never mallocs under the cache lock.
-  [[nodiscard]] std::unique_ptr<std::byte[]> take_buffer_locked()
-      DRX_REQUIRES(mu_);
-  void recycle_buffer_locked(std::unique_ptr<std::byte[]> buffer)
-      DRX_REQUIRES(mu_);
+  /// Publishes `frame` to the fast-read table when eligible (resident,
+  /// no writer pins, not loading/flushing/prefetched, slot free).
+  void maybe_publish_locked(Shard& s, std::uint64_t address, Frame& frame)
+      DRX_REQUIRES(s.mu);
+  /// Withdraws `frame` from the fast-read table and spins until every
+  /// fast pin drains — the buffer is quiescent when this returns.
+  void unpublish_locked(Shard& s, std::uint64_t address, Frame& frame)
+      DRX_REQUIRES(s.mu);
+
+  /// Moves one frame of capacity from a sibling shard with slack to the
+  /// shard at `home_index` (whose frames are all pinned). Called with NO
+  /// shard lock held; takes the ordered pair lock internally.
+  bool borrow_capacity(std::size_t home_index);
+
+  /// Records a write-back failure in the sticky error state (leaf lock
+  /// error_mu_). Returns true when `status` became the sticky error AND
+  /// is not yet surfaced to a caller — the flight-dump trigger.
+  bool record_error(const Status& status, bool surfaced);
+  /// The sticky error if a caller has not seen it yet (marks surfaced).
+  [[nodiscard]] Status take_unsurfaced_error();
+
+  /// Reserves loading frames for a contiguous eligible run starting at
+  /// `first`, locking one shard at a time; returns the run length
+  /// (0 = nothing to do). Called with no shard lock held.
+  std::uint64_t reserve_readahead(std::uint64_t first, std::uint64_t want);
+
+  /// Chunk-sized frame buffer from the shard free list (evictions recycle
+  /// their buffers there), allocating only when the list is empty — so
+  /// the steady-state miss path never mallocs under the shard lock.
+  [[nodiscard]] std::unique_ptr<std::byte[]> take_buffer_locked(Shard& s)
+      DRX_REQUIRES(s.mu);
+  void recycle_buffer_locked(Shard& s, std::unique_ptr<std::byte[]> buffer)
+      DRX_REQUIRES(s.mu);
 
   // Pool jobs (run on workers; inline mode never reaches them).
-  Status run_write_job(std::uint64_t address) DRX_EXCLUDES(mu_);
-  Status run_prefetch_job(std::uint64_t first, std::uint64_t count)
-      DRX_EXCLUDES(mu_);
+  Status run_write_job(std::uint64_t address);
+  Status run_prefetch_job(std::uint64_t first, std::uint64_t count);
 
-  Status flush_sync_locked(util::MutexLock& lock, Status surfaced)
-      DRX_REQUIRES(mu_);
-  Status flush_async_locked(util::MutexLock& lock, Status surfaced)
-      DRX_REQUIRES(mu_);
+  Status flush_shard_sync_locked(Shard& s, util::MutexLock& lock)
+      DRX_REQUIRES(s.mu);
+  Status flush_shard_async_locked(Shard& s, util::MutexLock& lock)
+      DRX_REQUIRES(s.mu);
 
   DrxFile* file_;
   const std::size_t capacity_;
   std::uint64_t prefetch_depth_ = 0;
+  bool fast_enabled_ = false;
   std::unique_ptr<io::AsyncIoPool> pool_;  ///< null = synchronous legacy mode
 
-  mutable util::Mutex mu_;  ///< cache structures, stats, error state
-  util::CondVar cv_;        ///< load completion / queue-drain signal
+  std::size_t shard_count_ = 1;
+  std::size_t shard_mask_ = 0;
+  std::unique_ptr<Shard[]> shards_;
+  /// Interned per-shard access counters: core.cache.shard.<i>.accesses.
+  std::vector<obs::MetricId> shard_access_ids_;
+
   // drx-lint: allow(unannotated-mutex-member) serializes access to the
   // caller-owned DrxFile; there is no member field to annotate.
-  util::Mutex io_mu_;       ///< serializes DrxFile storage access
-  std::unordered_map<std::uint64_t, Frame> frames_ DRX_GUARDED_BY(mu_);
-  /// Unpinned ready frames, front = MRU.
-  std::list<std::uint64_t> lru_ DRX_GUARDED_BY(mu_);
-  std::unordered_map<std::uint64_t, PendingWrite> pending_writes_
-      DRX_GUARDED_BY(mu_);
-  /// Recycled chunk-sized frame buffers (bounded by capacity_).
-  std::vector<std::unique_ptr<std::byte[]>> free_buffers_ DRX_GUARDED_BY(mu_);
-  std::uint64_t loads_inflight_ DRX_GUARDED_BY(mu_) = 0;  ///< prefetch jobs
-  /// Flushes parked until a dirty frame's last pin drops (unpin notifies
-  /// cv_ only while this is nonzero, keeping the unpin fast path quiet).
-  std::size_t flush_waiters_ DRX_GUARDED_BY(mu_) = 0;
-  Stats stats_ DRX_GUARDED_BY(mu_);
+  util::Mutex io_mu_;  ///< serializes DrxFile storage access (leaf)
 
   // Sequential-scan detector: a miss at last_miss_ + 1 extends the run;
   // anything else restarts it. Read-ahead fires once the run reaches
   // kSequentialThreshold, and sets last_miss_ to the end of the issued
-  // window so prefetch hits keep the run alive.
+  // window so prefetch hits keep the run alive. Global across shards
+  // (consecutive addresses hash to different shards) under the leaf lock
+  // seq_mu_.
   static constexpr int kSequentialThreshold = 2;
   static constexpr std::uint64_t kNoAddress = ~std::uint64_t{0};
-  std::uint64_t last_miss_ DRX_GUARDED_BY(mu_) = kNoAddress;
-  int seq_run_ DRX_GUARDED_BY(mu_) = 0;
-
-  /// Ghost/probation filter for scan-resistant admission: a small
-  /// direct-mapped table of recently bypassed chunk addresses (no
-  /// buffers). A miss that finds its address here has demonstrated reuse
-  /// and is admitted; everything else is served by bypass element I/O.
-  std::vector<std::uint64_t> ghost_ DRX_GUARDED_BY(mu_);
+  mutable util::Mutex seq_mu_;
+  std::uint64_t last_miss_ DRX_GUARDED_BY(seq_mu_) = kNoAddress;
+  int seq_run_ DRX_GUARDED_BY(seq_mu_) = 0;
   /// Last element-granular miss address (admitted or bypassed): a miss at
   /// +1 extends a sequential element scan and admits immediately, so a
   /// streaming sweep pays the probation fault only for its first chunk.
-  std::uint64_t admit_last_miss_ DRX_GUARDED_BY(mu_) = kNoAddress;
+  std::uint64_t admit_last_miss_ DRX_GUARDED_BY(seq_mu_) = kNoAddress;
 
-  /// First write-back failure (sticky).
-  Status last_error_ DRX_GUARDED_BY(mu_);
+  /// First write-back failure (sticky), under the leaf lock error_mu_.
+  mutable util::Mutex error_mu_;
+  Status last_error_ DRX_GUARDED_BY(error_mu_);
   /// True until flush() returns the error once.
-  bool error_unsurfaced_ DRX_GUARDED_BY(mu_) = false;
+  bool error_unsurfaced_ DRX_GUARDED_BY(error_mu_) = false;
 };
 
 /// Element/box access through the pool. Same semantics as DrxFile element
@@ -285,17 +464,26 @@ class CachedDrxFile {
     obs::OpScope op("op.cached_get");
     DRX_CHECK(ElementTypeOf<T>::value == file_->dtype());
     DRX_RETURN_IF_ERROR(check_index(index));
-    const std::uint64_t q = file_->chunk_address(space_.chunk_of(index));
-    const std::uint64_t off = space_.offset_in_chunk(index) * sizeof(T);
+    std::uint64_t q = 0;
+    std::uint64_t off = 0;
+    locate(index, q, off);
+    off *= sizeof(T);
     T v{};
+    // Lock-free path first: a published resident chunk costs two atomic
+    // RMWs and a memcpy — no mutex, no admission check.
+    if (cache_.try_read_fast(q, off,
+                             std::as_writable_bytes(std::span<T>(&v, 1)))) {
+      return v;
+    }
     DRX_ASSIGN_OR_RETURN(
         const bool bypassed,
         cache_.read_element_bypassed(
             q, off, std::as_writable_bytes(std::span<T>(&v, 1))));
     if (bypassed) return v;
-    DRX_ASSIGN_OR_RETURN(std::span<std::byte> chunk, cache_.pin(q));
+    DRX_ASSIGN_OR_RETURN(std::span<std::byte> chunk,
+                         cache_.pin(q, /*writable=*/false));
     std::memcpy(&v, chunk.data() + off, sizeof(T));
-    cache_.unpin(q, /*dirty=*/false);
+    cache_.unpin(q, /*dirty=*/false, /*writable=*/false);
     return v;
   }
 
@@ -304,23 +492,33 @@ class CachedDrxFile {
     obs::OpScope op("op.cached_set");
     DRX_CHECK(ElementTypeOf<T>::value == file_->dtype());
     DRX_RETURN_IF_ERROR(check_index(index));
-    const std::uint64_t q = file_->chunk_address(space_.chunk_of(index));
-    const std::uint64_t off = space_.offset_in_chunk(index) * sizeof(T);
+    std::uint64_t q = 0;
+    std::uint64_t off = 0;
+    locate(index, q, off);
+    off *= sizeof(T);
     DRX_ASSIGN_OR_RETURN(
         const bool bypassed,
         cache_.write_element_bypassed(
             q, off, std::as_bytes(std::span<const T>(&v, 1))));
     if (bypassed) return Status::ok();
-    DRX_ASSIGN_OR_RETURN(std::span<std::byte> chunk, cache_.pin(q));
+    DRX_ASSIGN_OR_RETURN(std::span<std::byte> chunk,
+                         cache_.pin(q, /*writable=*/true));
     std::memcpy(chunk.data() + off, &v, sizeof(T));
-    cache_.unpin(q, /*dirty=*/true);
+    cache_.unpin(q, /*dirty=*/true, /*writable=*/true);
     return Status::ok();
   }
 
   /// Reads element box [box.lo, box.hi) into `out` (linearized in
-  /// `order`) through the pool, announcing the whole box as a prefetch
-  /// hint first so an async cache faults it with coalesced reads.
+  /// `order`) through the pool. Chunks published to the lock-free table
+  /// scatter without touching any mutex; the rest are announced as one
+  /// prefetch hint (coalesced background faults) and pinned read-only.
   Status read_box(const Box& box, MemoryOrder order, std::span<std::byte> out);
+
+  /// Writes `in` (linearized in `order`) over element box
+  /// [box.lo, box.hi) through the pool with writable pins and dirty
+  /// unpins — write-back, not write-through.
+  Status write_box(const Box& box, MemoryOrder order,
+                   std::span<const std::byte> in);
 
   /// Announces an upcoming read of `box` (see DrxFile::prefetch_box).
   void prefetch_box(const Box& box) { file_->prefetch_box(box); }
@@ -340,6 +538,32 @@ class CachedDrxFile {
       }
     }
     return Status::ok();
+  }
+
+  // Allocation-free chunk/byte-offset resolution for the element paths.
+  // The generic chunk_of/offset_in_chunk pair builds heap-backed Index
+  // temporaries; three malloc/free rounds per 8-byte access would dwarf
+  // the lock-free read they feed (docs/SERVING.md).
+  static constexpr std::size_t kStackRank = 8;
+  void locate(std::span<const std::uint64_t> index, std::uint64_t& chunk,
+              std::uint64_t& offset) const {
+    const std::size_t r = index.size();
+    const Shape& cs = space_.chunk_shape();
+    if (r <= kStackRank) {
+      std::uint64_t chunk_c[kStackRank];
+      std::uint64_t within[kStackRank];
+      for (std::size_t d = 0; d < r; ++d) {
+        chunk_c[d] = index[d] / cs[d];
+        within[d] = index[d] % cs[d];
+      }
+      chunk = file_->chunk_address(
+          std::span<const std::uint64_t>(chunk_c, r));
+      offset = linearize(std::span<const std::uint64_t>(within, r), cs,
+                         space_.in_chunk_order());
+      return;
+    }
+    chunk = file_->chunk_address(space_.chunk_of(index));
+    offset = space_.offset_in_chunk(index);
   }
 
   DrxFile* file_;

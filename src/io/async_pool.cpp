@@ -17,6 +17,8 @@ const obs::MetricId kCompleted = obs::counter_id("io.pool.completed");
 const obs::MetricId kInline = obs::counter_id("io.pool.inline_runs");
 const obs::MetricId kFailed = obs::counter_id("io.pool.failed");
 const obs::MetricId kDrains = obs::counter_id("io.pool.drains");
+const obs::MetricId kBackgroundSubmitted =
+    obs::counter_id("io.pool.background_submitted");
 const obs::MetricId kQueueDepth = obs::histogram_id("io.pool.queue_depth");
 const obs::MetricId kJobUs = obs::histogram_id("io.pool.job_us");
 
@@ -34,6 +36,9 @@ constexpr int kThreadsFromEnv = -1;
 std::atomic<int> g_io_threads_override{kThreadsFromEnv};
 std::atomic<std::uint64_t> g_prefetch_override{kPrefetchFromEnv};
 std::atomic<CacheAdmit> g_cache_admit_override{CacheAdmit::kFromEnv};
+std::atomic<int> g_cache_shards_override{-1};
+std::atomic<int> g_cache_fast_reads_override{-1};
+std::atomic<std::uint64_t> g_serve_queue_depth_override{0};
 
 }  // namespace
 
@@ -82,6 +87,48 @@ void set_cache_admit(CacheAdmit mode) noexcept {
   g_cache_admit_override.store(mode, std::memory_order_relaxed);
 }
 
+int cache_shards() noexcept {
+  const int o = g_cache_shards_override.load(std::memory_order_relaxed);
+  if (o >= 0) return o;
+  static const int from_env = [] {
+    const auto v = env_u64("DRX_CACHE_SHARDS", 0);
+    return static_cast<int>(v > 64 ? 64 : v);
+  }();
+  return from_env;
+}
+
+void set_cache_shards(int shards) noexcept {
+  g_cache_shards_override.store(shards < 0 ? -1 : shards,
+                                std::memory_order_relaxed);
+}
+
+bool cache_fast_reads() noexcept {
+  const int o = g_cache_fast_reads_override.load(std::memory_order_relaxed);
+  if (o >= 0) return o != 0;
+  static const bool from_env = env_u64("DRX_CACHE_FAST_READS", 1) != 0;
+  return from_env;
+}
+
+void set_cache_fast_reads(int mode) noexcept {
+  g_cache_fast_reads_override.store(mode < 0 ? -1 : (mode != 0 ? 1 : 0),
+                                    std::memory_order_relaxed);
+}
+
+std::size_t serve_queue_depth() noexcept {
+  const std::uint64_t o =
+      g_serve_queue_depth_override.load(std::memory_order_relaxed);
+  if (o != 0) return static_cast<std::size_t>(o);
+  static const std::size_t from_env = [] {
+    const std::uint64_t v = env_u64("DRX_SERVE_QUEUE_DEPTH", 128);
+    return static_cast<std::size_t>(v == 0 ? 128 : v);
+  }();
+  return from_env;
+}
+
+void set_serve_queue_depth(std::size_t depth) noexcept {
+  g_serve_queue_depth_override.store(depth, std::memory_order_relaxed);
+}
+
 AsyncIoPool::AsyncIoPool(const Options& options) : options_(options) {
   DRX_CHECK(options.queue_capacity >= 1);
   const int n = options.threads < 0 ? 0 : options.threads;
@@ -110,7 +157,8 @@ void AsyncIoPool::finish_one(const Status& status) {
   }
 }
 
-void AsyncIoPool::submit(const obs::OpContext& ctx, Job job, Completion done) {
+void AsyncIoPool::submit(const obs::OpContext& ctx, Job job, Completion done,
+                         JobClass cls) {
   DRX_CHECK(job != nullptr);
   if (!async()) {
     // Inline synchronous path: same observable order as the legacy code —
@@ -153,7 +201,7 @@ void AsyncIoPool::submit(const obs::OpContext& ctx, Job job, Completion done) {
         ctx.op != 0 ? obs::trace_now_ns() : 0;
     space_cv_.wait(lock, [this] {
       mu_.assert_held();
-      return queue_.size() < options_.queue_capacity;
+      return queued_locked() < options_.queue_capacity;
     });
     if (ctx.op != 0) {
       obs::add_stage_ns(ctx, obs::Stage::kQueueWait,
@@ -161,21 +209,25 @@ void AsyncIoPool::submit(const obs::OpContext& ctx, Job job, Completion done) {
     }
   }
   const std::uint64_t enqueue_ns = ctx.op != 0 ? obs::trace_now_ns() : 0;
-  queue_.push_back(Task{std::move(job), std::move(done), ctx, flow_id,
-                        enqueue_ns});
+  queues_[static_cast<std::size_t>(cls)].push_back(
+      Task{std::move(job), std::move(done), ctx, flow_id, enqueue_ns});
   ++stats_.submitted;
+  if (cls == JobClass::kBackground) {
+    ++stats_.background_submitted;
+    obs::registry().counter(kBackgroundSubmitted).add();
+  }
   obs::registry().counter(kSubmitted).add();
-  obs::registry().histogram(kQueueDepth).observe(queue_.size());
+  obs::registry().histogram(kQueueDepth).observe(queued_locked());
   lock.unlock();
   work_cv_.notify_one();
 }
 
 std::future<Status> AsyncIoPool::submit_with_future(const obs::OpContext& ctx,
-                                                    Job job) {
+                                                    Job job, JobClass cls) {
   auto promise = std::make_shared<std::promise<Status>>();
   std::future<Status> future = promise->get_future();
   submit(ctx, std::move(job),
-         [promise](const Status& s) { promise->set_value(s); });
+         [promise](const Status& s) { promise->set_value(s); }, cls);
   return future;
 }
 
@@ -184,13 +236,13 @@ void AsyncIoPool::drain() {
   util::MutexLock lock(mu_);
   idle_cv_.wait(lock, [this] {
     mu_.assert_held();
-    return queue_.empty() && running_ == 0;
+    return queued_locked() == 0 && running_ == 0;
   });
 }
 
 std::size_t AsyncIoPool::queue_depth() const {
   util::MutexLock lock(mu_);
-  return queue_.size();
+  return queued_locked();
 }
 
 AsyncIoPool::Stats AsyncIoPool::stats() const {
@@ -198,16 +250,29 @@ AsyncIoPool::Stats AsyncIoPool::stats() const {
   return stats_;
 }
 
+std::size_t AsyncIoPool::pick_queue_locked() {
+  const std::size_t urgent = 0;
+  const std::size_t background = 1;
+  if (queues_[urgent].empty()) return background;
+  if (queues_[background].empty()) return urgent;
+  // Both classes waiting: urgent first, except every 4th dispatch serves
+  // the background queue so speculation keeps making progress under a
+  // continuous urgent stream (anti-starvation, docs/SERVING.md).
+  return (dispatches_ % 4 == 3) ? background : urgent;
+}
+
 void AsyncIoPool::worker_loop() {
   for (;;) {
     util::MutexLock lock(mu_);
     work_cv_.wait(lock, [this] {
       mu_.assert_held();
-      return stop_ || !queue_.empty();
+      return stop_ || queued_locked() != 0;
     });
-    if (queue_.empty()) return;  // stop_ and nothing left to do
-    Task task = std::move(queue_.front());
-    queue_.pop_front();
+    if (queued_locked() == 0) return;  // stop_ and nothing left to do
+    std::deque<Task>& queue = queues_[pick_queue_locked()];
+    ++dispatches_;
+    Task task = std::move(queue.front());
+    queue.pop_front();
     ++running_;
     lock.unlock();
     space_cv_.notify_one();
@@ -235,7 +300,7 @@ void AsyncIoPool::worker_loop() {
     lock.lock();
     --running_;
     finish_one(status);
-    const bool idle = queue_.empty() && running_ == 0;
+    const bool idle = queued_locked() == 0 && running_ == 0;
     lock.unlock();
     if (idle) idle_cv_.notify_all();
   }

@@ -39,11 +39,19 @@ class AsyncIoPool {
     std::size_t queue_capacity = 256; ///< max jobs waiting (not running)
   };
 
+  /// Two-class dispatch fairness (docs/SERVING.md): kUrgent jobs (demand
+  /// reads/writes, write-behind, serve sessions) are dispatched ahead of
+  /// kBackground jobs (speculative read-ahead, serve prefetch hints), but
+  /// every 4th dispatch takes the oldest background job so a continuous
+  /// urgent stream cannot starve speculation forever.
+  enum class JobClass : std::uint8_t { kUrgent = 0, kBackground = 1 };
+
   struct Stats {
     std::uint64_t submitted = 0;
     std::uint64_t completed = 0;
     std::uint64_t inline_runs = 0;  ///< jobs executed on the caller's thread
     std::uint64_t failed = 0;       ///< jobs whose Status was an error
+    std::uint64_t background_submitted = 0;  ///< JobClass::kBackground jobs
   };
 
   explicit AsyncIoPool(const Options& options);
@@ -67,10 +75,12 @@ class AsyncIoPool {
   /// charged to Stage::kQueueWait, and a flow-event pair links the submit
   /// to the dequeue in trace/flight output. Pass obs::OpContext{} only
   /// where no op can be in flight (lint: allow(pool-submit-opctx)).
-  void submit(const obs::OpContext& ctx, Job job, Completion done = nullptr);
+  void submit(const obs::OpContext& ctx, Job job, Completion done = nullptr,
+              JobClass cls = JobClass::kUrgent);
 
   /// submit() variant yielding the job's Status through a future.
-  std::future<Status> submit_with_future(const obs::OpContext& ctx, Job job);
+  std::future<Status> submit_with_future(const obs::OpContext& ctx, Job job,
+                                         JobClass cls = JobClass::kUrgent);
 
   /// Barrier: returns once every job submitted before the call (queued or
   /// running) has completed.
@@ -92,13 +102,20 @@ class AsyncIoPool {
 
   void worker_loop();
   void finish_one(const Status& status) DRX_REQUIRES(mu_);
+  [[nodiscard]] std::size_t queued_locked() const DRX_REQUIRES(mu_) {
+    return queues_[0].size() + queues_[1].size();
+  }
+  /// Picks the queue the next dispatch drains from (fairness policy).
+  [[nodiscard]] std::size_t pick_queue_locked() DRX_REQUIRES(mu_);
 
   const Options options_;
   mutable util::Mutex mu_;
   util::CondVar work_cv_;   ///< workers: queue non-empty or stop
   util::CondVar space_cv_;  ///< producers: queue below capacity
   util::CondVar idle_cv_;   ///< drain(): everything completed
-  std::deque<Task> queue_ DRX_GUARDED_BY(mu_);
+  /// Indexed by JobClass: [0] urgent, [1] background.
+  std::deque<Task> queues_[2] DRX_GUARDED_BY(mu_);
+  std::uint64_t dispatches_ DRX_GUARDED_BY(mu_) = 0;  ///< fairness clock
   std::size_t running_ DRX_GUARDED_BY(mu_) = 0;  ///< jobs executing on workers
   bool stop_ DRX_GUARDED_BY(mu_) = false;
   Stats stats_ DRX_GUARDED_BY(mu_);

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <string_view>
 
 #include "obs/json.hpp"
 
@@ -302,6 +304,75 @@ void analyze_metrics(const MetricsSnapshot& snap, std::vector<Finding>& out) {
                  "over %llu elements - copies are element-granular, not "
                  "run-coalesced",
                  per_run, static_cast<unsigned long long>(copy_elems))});
+    }
+  }
+
+  // Shard hash health (docs/SERVING.md): the sharded ChunkCache exports
+  // core.cache.shard.<i>.accesses. A hot shard means the chunk-id hash is
+  // clustering (or the workload genuinely hammers one region) and the
+  // per-shard locks degrade back toward a single global lock.
+  {
+    std::vector<double> shard_load;
+    std::vector<int> shard_ids;
+    double shard_total = 0.0;
+    for (const CounterSample& c : snap.counters) {
+      constexpr std::string_view kPrefix = "core.cache.shard.";
+      constexpr std::string_view kSuffix = ".accesses";
+      if (c.name.size() <= kPrefix.size() + kSuffix.size()) continue;
+      if (c.name.compare(0, kPrefix.size(), kPrefix) != 0) continue;
+      if (c.name.compare(c.name.size() - kSuffix.size(), kSuffix.size(),
+                         kSuffix) != 0) {
+        continue;
+      }
+      const std::string idx = c.name.substr(
+          kPrefix.size(), c.name.size() - kPrefix.size() - kSuffix.size());
+      shard_ids.push_back(std::atoi(idx.c_str()));
+      shard_load.push_back(static_cast<double>(c.value));
+      shard_total += static_cast<double>(c.value);
+    }
+    if (shard_load.size() >= 2 && shard_total >= 1024.0) {
+      const ImbalanceStat s = imbalance(shard_load, shard_ids);
+      if (s.ratio >= kWarnRatio) {
+        out.push_back(Finding{
+            "cache-shard-imbalance", severity_for_ratio(s.ratio), s.ratio,
+            format("cache shard %d takes %.1fx the mean access load "
+                   "(max %.0f vs mean %.0f over %zu shards) - per-shard "
+                   "locking degrades toward a single lock",
+                   s.argmax, s.ratio, s.max, s.mean, s.n)});
+      }
+    }
+  }
+
+  // Serving fairness (docs/SERVING.md): ~Server publishes the min/max
+  // completed-request count across sessions. A session pinned at zero
+  // while others complete work means its submissions starved in the
+  // bounded queue.
+  const std::uint64_t sessions = snap.counter("serve.sessions");
+  const std::uint64_t serve_done = snap.counter("serve.requests.completed");
+  if (sessions >= 2 && serve_done >= 64) {
+    const std::uint64_t smin = snap.counter("serve.session.completed_min");
+    const std::uint64_t smax = snap.counter("serve.session.completed_max");
+    if (smin == 0 && smax > 0) {
+      out.push_back(Finding{
+          "session-starvation", Severity::kError,
+          static_cast<double>(smax),
+          format("a session completed 0 requests while the busiest "
+                 "completed %llu (%llu sessions) - submissions starved in "
+                 "the serve queue",
+                 static_cast<unsigned long long>(smax),
+                 static_cast<unsigned long long>(sessions))});
+    } else if (smin > 0 &&
+               static_cast<double>(smax) / static_cast<double>(smin) >=
+                   kErrorRatio) {
+      const double ratio =
+          static_cast<double>(smax) / static_cast<double>(smin);
+      out.push_back(Finding{
+          "session-starvation", Severity::kWarn, ratio,
+          format("busiest session completed %.1fx the slowest (%llu vs "
+                 "%llu over %llu sessions) - serving is unfair under load",
+                 ratio, static_cast<unsigned long long>(smax),
+                 static_cast<unsigned long long>(smin),
+                 static_cast<unsigned long long>(sessions))});
     }
   }
 }

@@ -134,30 +134,44 @@ void Histogram::observe(std::uint64_t v) noexcept {
       1, std::memory_order_relaxed);
 }
 
+void Histogram::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
 Counter& Registry::counter(MetricId id) {
-  {
-    util::ReaderMutexLock lock(mu_);
-    if (id < counters_.size() && counters_[id] != nullptr) {
-      return *counters_[id];
+  // Steady state: one acquire load. The release store below publishes the
+  // fully constructed Counter, and slots never revert to null.
+  if (id < kFastIds) {
+    if (Counter* fast = fast_counters_[id].load(std::memory_order_acquire)) {
+      return *fast;
     }
   }
   util::WriterMutexLock lock(mu_);
   if (id >= counters_.size()) counters_.resize(id + 1);
   if (counters_[id] == nullptr) counters_[id] = std::make_unique<Counter>();
+  if (id < kFastIds) {
+    fast_counters_[id].store(counters_[id].get(), std::memory_order_release);
+  }
   return *counters_[id];
 }
 
 Histogram& Registry::histogram(MetricId id) {
-  {
-    util::ReaderMutexLock lock(mu_);
-    if (id < histograms_.size() && histograms_[id] != nullptr) {
-      return *histograms_[id];
+  if (id < kFastIds) {
+    if (Histogram* fast =
+            fast_histograms_[id].load(std::memory_order_acquire)) {
+      return *fast;
     }
   }
   util::WriterMutexLock lock(mu_);
   if (id >= histograms_.size()) histograms_.resize(id + 1);
   if (histograms_[id] == nullptr) {
     histograms_[id] = std::make_unique<Histogram>();
+  }
+  if (id < kFastIds) {
+    fast_histograms_[id].store(histograms_[id].get(),
+                               std::memory_order_release);
   }
   return *histograms_[id];
 }
@@ -202,9 +216,17 @@ void Registry::merge_into(Registry& dst) const {
 }
 
 void Registry::reset() {
+  // Zero in place rather than destroying: the lock-free slot table and
+  // any cached references stay valid across bench/test resets. Metrics
+  // touched before a reset reappear in later snapshots with value 0,
+  // which merge()/counter() treat the same as absent.
   util::WriterMutexLock lock(mu_);
-  counters_.clear();
-  histograms_.clear();
+  for (const auto& c : counters_) {
+    if (c != nullptr) c->reset();
+  }
+  for (const auto& h : histograms_) {
+    if (h != nullptr) h->reset();
+  }
 }
 
 void MetricsSnapshot::merge(const MetricsSnapshot& other) {
@@ -375,6 +397,7 @@ HistogramSummary summarize_histogram(const HistogramSample& h) {
   };
   s.p50 = quantile(0.50);
   s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
   for (std::size_t b = kHistogramBuckets; b-- > 0;) {
     if (h.buckets[b] != 0) {
       s.max = bucket_upper_bound(b);
@@ -432,6 +455,7 @@ void metrics_to_json(const MetricsSnapshot& snap, JsonWriter& w) {
     w.key("sum").value(h.sum);
     w.key("p50").value(s.p50);
     w.key("p95").value(s.p95);
+    w.key("p99").value(s.p99);
     w.key("max").value(s.max);
     w.key("buckets").begin_array();
     // Trailing zero buckets are elided to keep reports small.

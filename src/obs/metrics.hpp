@@ -51,6 +51,7 @@ class Counter {
   [[nodiscard]] std::uint64_t value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
 
  private:
   std::atomic<std::uint64_t> value_{0};
@@ -78,6 +79,8 @@ class Histogram {
   void accumulate(std::uint64_t count, std::uint64_t sum,
                   const std::array<std::uint64_t, kHistogramBuckets>& buckets)
       noexcept;
+
+  void reset() noexcept;
 
  private:
   std::atomic<std::uint64_t> count_{0};
@@ -129,14 +132,28 @@ class Registry {
   /// registry into the process registry).
   void merge_into(Registry& dst) const;
 
-  /// Zeroes every metric (bench/test isolation).
+  /// Zeroes every metric in place (bench/test isolation). Slot objects
+  /// are never destroyed, so references returned by counter()/histogram()
+  /// and the lock-free slot table below stay valid across resets.
   void reset();
 
  private:
+  /// Dense low ids resolve through this lock-free table once the slot is
+  /// created: the steady-state cost of counter()/histogram() is a single
+  /// acquire load instead of a SharedMutex round-trip — metric bumps sit
+  /// on the serving fast path (docs/SERVING.md). Ids past the table fall
+  /// back to the locked vectors.
+  static constexpr std::size_t kFastIds = 1024;
+
   mutable util::SharedMutex mu_;
   // index = MetricId
   std::vector<std::unique_ptr<Counter>> counters_ DRX_GUARDED_BY(mu_);
   std::vector<std::unique_ptr<Histogram>> histograms_ DRX_GUARDED_BY(mu_);
+  // Published with release after the locked vectors own the object;
+  // entries are only ever null -> non-null, and objects live until the
+  // registry dies.
+  std::array<std::atomic<Counter*>, kFastIds> fast_counters_{};
+  std::array<std::atomic<Histogram*>, kFastIds> fast_histograms_{};
 };
 
 /// The registry increments should go to on this thread: the innermost
@@ -196,6 +213,7 @@ struct HistogramSummary {
   double mean = 0.0;
   std::uint64_t p50 = 0;
   std::uint64_t p95 = 0;
+  std::uint64_t p99 = 0;  ///< serving-latency tail (docs/SERVING.md)
   std::uint64_t max = 0;  ///< upper bound of the highest occupied bucket
 };
 

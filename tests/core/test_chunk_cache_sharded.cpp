@@ -1,0 +1,238 @@
+// Sharded-cache tests (docs/SERVING.md): shard routing and per-shard
+// access counters, the lock-free resident-read fast path (publish /
+// unpublish / write coherence), capacity borrowing between shards, and
+// an amplified multi-shard stress mix that races fast-path readers
+// against writers, flushes, and invalidation. The ChunkCacheSharded.*
+// filter runs under TSan's amplified pass in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/chunk_cache.hpp"
+#include "io/config.hpp"
+#include "util/rng.hpp"
+
+namespace drx::core {
+namespace {
+
+DrxFile make_file(Shape bounds, Shape chunk) {
+  DrxFile::Options options;
+  options.dtype = ElementType::kDouble;
+  auto f = DrxFile::create(std::make_unique<pfs::MemStorage>(),
+                           std::make_unique<pfs::MemStorage>(),
+                           std::move(bounds), std::move(chunk), options);
+  EXPECT_TRUE(f.is_ok());
+  return std::move(f).value();
+}
+
+ChunkCache::AsyncOptions sharded(int shards) {
+  ChunkCache::AsyncOptions async;
+  async.shards = shards;
+  return async;
+}
+
+void write_value(ChunkCache& cache, std::uint64_t q, double v) {
+  auto p = cache.pin(q, /*writable=*/true);
+  ASSERT_TRUE(p.is_ok());
+  std::memcpy(p.value().data(), &v, sizeof(v));
+  cache.unpin(q, /*dirty=*/true, /*writable=*/true);
+}
+
+double read_value(ChunkCache& cache, std::uint64_t q) {
+  auto p = cache.pin(q, /*writable=*/false);
+  EXPECT_TRUE(p.is_ok());
+  double v = 0;
+  std::memcpy(&v, p.value().data(), sizeof(v));
+  cache.unpin(q, /*dirty=*/false, /*writable=*/false);
+  return v;
+}
+
+TEST(ChunkCacheSharded, ShardCountRoundsAndCaps) {
+  DrxFile file = make_file(Shape{16, 16}, Shape{2, 2});  // 64 chunks
+  ChunkCache c8(file, 32, sharded(8));
+  EXPECT_EQ(c8.shard_count(), 8u);
+  ChunkCache c6(file, 32, sharded(6));  // rounds down to a power of two
+  EXPECT_EQ(c6.shard_count(), 4u);
+  // Tiny capacity halves the shard count until every shard owns a frame.
+  ChunkCache c_tiny(file, 2, sharded(8));
+  EXPECT_LE(c_tiny.shard_count(), 2u);
+  EXPECT_GE(c_tiny.shard_count(), 1u);
+}
+
+TEST(ChunkCacheSharded, AccessesSpreadAcrossShardsAndAreCounted) {
+  DrxFile file = make_file(Shape{16, 16}, Shape{2, 2});  // 64 chunks
+  ChunkCache cache(file, 64, sharded(8));
+  for (std::uint64_t q = 0; q < 64; ++q) {
+    (void)read_value(cache, q);
+  }
+  const std::vector<std::uint64_t> accesses = cache.shard_accesses();
+  ASSERT_EQ(accesses.size(), 8u);
+  std::uint64_t total = 0;
+  std::size_t populated = 0;
+  for (const std::uint64_t a : accesses) {
+    total += a;
+    if (a != 0) ++populated;
+  }
+  EXPECT_EQ(total, 64u);
+  // The splitmix64 mix must not collapse 64 sequential chunk ids onto a
+  // couple of shards.
+  EXPECT_GE(populated, 4u);
+  for (std::uint64_t q = 0; q < 64; ++q) {
+    EXPECT_LT(cache.shard_index(q), 8u);
+  }
+}
+
+TEST(ChunkCacheSharded, FastPathServesResidentReads) {
+  DrxFile file = make_file(Shape{8, 8}, Shape{2, 2});
+  ChunkCache cache(file, 8, sharded(4));
+  write_value(cache, 3, 42.0);
+  // A cold chunk is not published: the fast path must decline.
+  EXPECT_FALSE(cache.try_pin_fast(7).has_value());
+  // A read pin publishes the frame on unpin.
+  EXPECT_EQ(read_value(cache, 3), 42.0);
+  auto fast = cache.try_pin_fast(3);
+  ASSERT_TRUE(fast.has_value());
+  double v = 0;
+  std::memcpy(&v, fast->bytes().data(), sizeof(v));
+  EXPECT_EQ(v, 42.0);
+  fast.reset();  // drop the pin before anyone needs to unpublish
+
+  double out = 0;
+  EXPECT_TRUE(cache.try_read_fast(
+      3, 0, std::span<std::byte>(reinterpret_cast<std::byte*>(&out),
+                                 sizeof(out))));
+  EXPECT_EQ(out, 42.0);
+  EXPECT_GE(cache.stats().fast_hits, 2u);
+}
+
+TEST(ChunkCacheSharded, WritePinUnpublishesAndRepublishes) {
+  DrxFile file = make_file(Shape{8, 8}, Shape{2, 2});
+  ChunkCache cache(file, 8, sharded(4));
+  EXPECT_EQ(read_value(cache, 5), 0.0);  // published now
+  ASSERT_TRUE(cache.try_pin_fast(5).has_value());
+
+  auto p = cache.pin(5, /*writable=*/true);
+  ASSERT_TRUE(p.is_ok());
+  // Write-pinned: the fast path must not see the frame mid-mutation.
+  EXPECT_FALSE(cache.try_pin_fast(5).has_value());
+  const double v = 7.0;
+  std::memcpy(p.value().data(), &v, sizeof(v));
+  cache.unpin(5, /*dirty=*/true, /*writable=*/true);
+
+  // Republished after the write completes — and coherent.
+  auto fast = cache.try_pin_fast(5);
+  ASSERT_TRUE(fast.has_value());
+  double seen = 0;
+  std::memcpy(&seen, fast->bytes().data(), sizeof(seen));
+  EXPECT_EQ(seen, 7.0);
+}
+
+TEST(ChunkCacheSharded, FastReadsDisabledByOption) {
+  io::set_cache_fast_reads(0);
+  DrxFile file = make_file(Shape{8, 8}, Shape{2, 2});
+  ChunkCache cache(file, 8, sharded(4));
+  EXPECT_EQ(read_value(cache, 1), 0.0);
+  EXPECT_FALSE(cache.try_pin_fast(1).has_value());
+  EXPECT_EQ(cache.stats().fast_hits, 0u);
+  io::set_cache_fast_reads(-1);  // back to DRX_CACHE_FAST_READS
+}
+
+TEST(ChunkCacheSharded, CapacityBorrowingRescuesAFullShard) {
+  DrxFile file = make_file(Shape{16, 16}, Shape{2, 2});  // 64 chunks
+  ChunkCache cache(file, 4, sharded(2));  // 2 frames per shard
+  ASSERT_EQ(cache.shard_count(), 2u);
+  // Three chunks routed to the same shard: pinning all three overflows
+  // that shard's capacity while every frame is pinned, which the cache
+  // must survive by borrowing a frame's worth of capacity from its peer.
+  const std::size_t target = cache.shard_index(0);
+  std::vector<std::uint64_t> same;
+  for (std::uint64_t q = 0; q < 64 && same.size() < 3; ++q) {
+    if (cache.shard_index(q) == target) same.push_back(q);
+  }
+  ASSERT_EQ(same.size(), 3u);
+  for (const std::uint64_t q : same) {
+    auto p = cache.pin(q, /*writable=*/true);
+    ASSERT_TRUE(p.is_ok()) << p.status().message();
+  }
+  EXPECT_GE(cache.stats().capacity_borrows, 1u);
+  for (const std::uint64_t q : same) {
+    cache.unpin(q, /*dirty=*/false, /*writable=*/true);
+  }
+  ASSERT_TRUE(cache.flush().is_ok());
+}
+
+// Amplified stress: fast-path readers race writers, flushes, and
+// invalidation across shards. Run under TSan in CI (amplified filter);
+// correctness here is "no crash, no torn value": every observed double
+// is a value some writer wrote (or the initial zero).
+TEST(ChunkCacheSharded, ConcurrentFastReadersVsWritersAndFlush) {
+  DrxFile file = make_file(Shape{16, 16}, Shape{2, 2});  // 64 chunks
+  ChunkCache cache(file, 32, sharded(8));
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 3;
+  constexpr int kOpsPerThread = 400;
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&cache, &failed, w] {
+      SplitMix64 rng(1000 + static_cast<std::uint64_t>(w));
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t q = rng.next_below(64);
+        auto p = cache.pin(q, /*writable=*/true);
+        if (!p.is_ok()) {
+          failed.store(true);
+          return;
+        }
+        const double v = static_cast<double>(1 + rng.next_below(1000));
+        std::memcpy(p.value().data(), &v, sizeof(v));
+        cache.unpin(q, /*dirty=*/true, /*writable=*/true);
+        if (i % 128 == 0) (void)cache.flush();
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&cache, &failed, r] {
+      SplitMix64 rng(2000 + static_cast<std::uint64_t>(r));
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t q = rng.next_below(64);
+        double v = -1.0;
+        if (auto fast = cache.try_pin_fast(q)) {
+          std::memcpy(&v, fast->bytes().data(), sizeof(v));
+        } else {
+          auto p = cache.pin(q, /*writable=*/false);
+          if (!p.is_ok()) {
+            failed.store(true);
+            return;
+          }
+          std::memcpy(&v, p.value().data(), sizeof(v));
+          cache.unpin(q, /*dirty=*/false, /*writable=*/false);
+        }
+        // Values are whole numbers in [0, 1000]; anything else is a torn
+        // read through the fast path.
+        if (!(v >= 0.0 && v <= 1000.0 && v == static_cast<double>(
+                                                  static_cast<int>(v)))) {
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+  threads.emplace_back([&cache] {
+    for (int i = 0; i < 20; ++i) {
+      (void)cache.flush();
+      std::this_thread::yield();
+    }
+  });
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+  ASSERT_TRUE(cache.flush().is_ok());
+  const ChunkCache::Stats stats = cache.stats();
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+}
+
+}  // namespace
+}  // namespace drx::core

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <thread>
 #include <vector>
 
@@ -122,6 +123,54 @@ TEST(AsyncIoPool, DestructorDrainsOutstandingJobs) {
     }
   }  // dtor must complete every submitted job before joining
   EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(AsyncIoPool, BackgroundJobsAreNotStarvedByAnUrgentStream) {
+  AsyncIoPool pool({.threads = 1, .queue_capacity = 64});
+  // Park the single worker so both queues fill up behind it, then watch
+  // the dispatch interleaving: urgent first, but every 4th dispatch must
+  // take the oldest background job (docs/SERVING.md anti-starvation).
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  pool.submit(obs::OpContext{}, [opened] {
+    opened.wait();
+    return Status::ok();
+  });
+
+  constexpr int kUrgent = 12;
+  constexpr int kBackground = 4;
+  std::atomic<int> seq{0};
+  std::atomic<int> first_background{-1};
+  std::atomic<int> last_urgent{-1};
+  for (int i = 0; i < kBackground; ++i) {
+    pool.submit(
+        obs::OpContext{}, [] { return Status::ok(); },
+        [&seq, &first_background](const Status&) {
+          const int pos = seq.fetch_add(1);
+          int expected = -1;
+          first_background.compare_exchange_strong(expected, pos);
+        },
+        AsyncIoPool::JobClass::kBackground);
+  }
+  for (int i = 0; i < kUrgent; ++i) {
+    pool.submit(
+        obs::OpContext{}, [] { return Status::ok(); },
+        [&seq, &last_urgent](const Status&) {
+          last_urgent.store(seq.fetch_add(1));
+        });
+  }
+  gate.set_value();
+  pool.drain();
+
+  EXPECT_EQ(seq.load(), kUrgent + kBackground);
+  EXPECT_EQ(pool.stats().background_submitted,
+            static_cast<std::uint64_t>(kBackground));
+  // Urgent jobs go first...
+  EXPECT_GT(first_background.load(), 0);
+  // ...but the first background job must be served well before the
+  // urgent stream ends (every 4th dispatch), not starved to the tail.
+  EXPECT_LT(first_background.load(), kUrgent - 1);
+  EXPECT_EQ(last_urgent.load(), kUrgent + kBackground - 1);
 }
 
 TEST(IoConfig, OverridesBeatEnvironmentAndRestore) {

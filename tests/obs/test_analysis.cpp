@@ -548,5 +548,92 @@ TEST(FlightAnalysis, OnDemandDumpIsInfoWithoutChainWhenNoOps) {
   EXPECT_EQ(find_by_id(fs, "flight-causal-chain"), nullptr);
 }
 
+MetricsSnapshot shard_counters(const std::vector<std::uint64_t>& accesses) {
+  MetricsSnapshot snap;
+  for (std::size_t i = 0; i < accesses.size(); ++i) {
+    snap.counters.push_back(CounterSample{
+        "core.cache.shard." + std::to_string(i) + ".accesses",
+        accesses[i]});
+  }
+  return snap;
+}
+
+TEST(MetricsDetectors, CacheShardImbalanceFlagsAHotShard) {
+  // Shard 2 takes 4x the mean: error-grade skew.
+  std::vector<Finding> fs;
+  analyze_metrics(shard_counters({100, 100, 1400, 100, 100, 100, 100, 100}),
+                  fs);
+  const Finding* f = find_by_id(fs, "cache-shard-imbalance");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kError);
+  EXPECT_NE(f->message.find("shard 2"), std::string::npos);
+
+  // Mild skew (2x the mean) warns.
+  fs.clear();
+  analyze_metrics(shard_counters({500, 500, 2000, 1000}), fs);
+  f = find_by_id(fs, "cache-shard-imbalance");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kWarn);
+}
+
+TEST(MetricsDetectors, BalancedShardsStaySilent) {
+  // Balanced load must not produce a finding at all (not even info):
+  // a quiet doctor is the acceptance criterion for a healthy hash.
+  std::vector<Finding> fs;
+  analyze_metrics(shard_counters({500, 520, 480, 510}), fs);
+  EXPECT_EQ(find_by_id(fs, "cache-shard-imbalance"), nullptr);
+
+  // A single shard (the legacy cache) is exempt regardless of volume.
+  fs.clear();
+  analyze_metrics(shard_counters({100000}), fs);
+  EXPECT_EQ(find_by_id(fs, "cache-shard-imbalance"), nullptr);
+
+  // Too little traffic: no verdict.
+  fs.clear();
+  analyze_metrics(shard_counters({10, 1, 1, 1}), fs);
+  EXPECT_EQ(find_by_id(fs, "cache-shard-imbalance"), nullptr);
+}
+
+MetricsSnapshot serve_spread(std::uint64_t sessions, std::uint64_t done,
+                             std::uint64_t min, std::uint64_t max) {
+  MetricsSnapshot snap;
+  snap.counters.push_back(CounterSample{"serve.sessions", sessions});
+  snap.counters.push_back(CounterSample{"serve.requests.completed", done});
+  snap.counters.push_back(
+      CounterSample{"serve.session.completed_min", min});
+  snap.counters.push_back(
+      CounterSample{"serve.session.completed_max", max});
+  return snap;
+}
+
+TEST(MetricsDetectors, SessionStarvation) {
+  // A session that completed nothing while others worked: error.
+  std::vector<Finding> fs;
+  analyze_metrics(serve_spread(8, 700, 0, 200), fs);
+  const Finding* f = find_by_id(fs, "session-starvation");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kError);
+
+  // Busiest session 5x the slowest: unfair, warn.
+  fs.clear();
+  analyze_metrics(serve_spread(8, 700, 20, 100), fs);
+  f = find_by_id(fs, "session-starvation");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kWarn);
+
+  // Even spread stays silent.
+  fs.clear();
+  analyze_metrics(serve_spread(8, 700, 80, 100), fs);
+  EXPECT_EQ(find_by_id(fs, "session-starvation"), nullptr);
+
+  // One session or trivial traffic: no verdict.
+  fs.clear();
+  analyze_metrics(serve_spread(1, 700, 0, 700), fs);
+  EXPECT_EQ(find_by_id(fs, "session-starvation"), nullptr);
+  fs.clear();
+  analyze_metrics(serve_spread(8, 10, 0, 10), fs);
+  EXPECT_EQ(find_by_id(fs, "session-starvation"), nullptr);
+}
+
 }  // namespace
 }  // namespace drx::obs::analysis

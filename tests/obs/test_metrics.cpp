@@ -25,6 +25,43 @@ TEST(Metrics, CounterIdIsStable) {
   EXPECT_EQ(counter_id("test.m.stable"), counter_id("test.m.stable"));
 }
 
+TEST(Metrics, ResetZeroesInPlaceAndKeepsReferencesValid) {
+  // The lock-free fast-id table hands out raw pointers, so reset() must
+  // zero slots in place rather than destroy them (docs/SERVING.md).
+  const MetricId cid = counter_id("test.m.reset.counter");
+  const MetricId hid = histogram_id("test.m.reset.hist");
+  Registry reg;
+  Counter& c = reg.counter(cid);
+  Histogram& h = reg.histogram(hid);
+  c.add(7);
+  h.observe(1023);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.bucket(10), 0u);
+  // The same slot objects keep accumulating after the reset.
+  EXPECT_EQ(&reg.counter(cid), &c);
+  EXPECT_EQ(&reg.histogram(hid), &h);
+  c.add(3);
+  EXPECT_EQ(reg.counter(cid).value(), 3u);
+}
+
+TEST(Metrics, ConcurrentLookupsShareOneSlot) {
+  // counter()/histogram() resolve through the lock-free table on the
+  // steady-state path; racing first-touch lookups must agree on the slot.
+  const MetricId cid = counter_id("test.m.race.counter");
+  Registry reg;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&reg, cid] {
+      for (int i = 0; i < 1000; ++i) reg.counter(cid).add();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.counter(cid).value(), 4000u);
+}
+
 TEST(Metrics, HistogramBucketsByBitWidth) {
   const MetricId id = histogram_id("test.m.hist");
   Registry reg;

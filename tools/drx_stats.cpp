@@ -6,8 +6,9 @@
 //   drx_stats --json <snapshot>     # same snapshot as a JSON object
 //   drx_stats --diff <a> <b>        # per-metric delta table b - a
 //                                   # (--json for machine-readable form)
-//   drx_stats --check-json <file>   # exit 0 iff <file> is well-formed
-//                                   # JSON (used by CI on DRX_TRACE output)
+//   drx_stats --check-json <file>   # exit 0 iff <file> is well-formed JSON
+//                                   # or JSON-lines (CI validates DRX_TRACE
+//                                   # and DRX_BENCH_JSON output with this)
 //   drx_stats --top <N> <file>      # N slowest ops with per-stage latency
 //                                   # breakdown, from a DRX_TRACE trace or
 //                                   # a drx-flight dump (flight records
@@ -51,12 +52,34 @@ int check_json(const std::string& path) {
     std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
     return 1;
   }
-  if (!drx::obs::json_validate(
-          std::string_view(text.data(), text.size()))) {
+  const std::string_view whole(text.data(), text.size());
+  if (drx::obs::json_validate(whole)) {
+    std::printf("%s: valid JSON (%zu bytes)\n", path.c_str(), text.size());
+    return 0;
+  }
+  // DRX_BENCH_JSON files are JSON-lines: each bench table appends one
+  // document per line, so a multi-table run is not a single document.
+  std::size_t records = 0;
+  std::string_view rest = whole;
+  while (!rest.empty()) {
+    const std::size_t nl = rest.find('\n');
+    const std::string_view line = rest.substr(0, nl);
+    rest = nl == std::string_view::npos ? std::string_view{}
+                                        : rest.substr(nl + 1);
+    if (line.empty()) continue;
+    if (!drx::obs::json_validate(line)) {
+      std::fprintf(stderr, "error: %s is not well-formed JSON\n",
+                   path.c_str());
+      return 1;
+    }
+    ++records;
+  }
+  if (records == 0) {
     std::fprintf(stderr, "error: %s is not well-formed JSON\n", path.c_str());
     return 1;
   }
-  std::printf("%s: valid JSON (%zu bytes)\n", path.c_str(), text.size());
+  std::printf("%s: valid JSON lines (%zu records, %zu bytes)\n", path.c_str(),
+              records, text.size());
   return 0;
 }
 
