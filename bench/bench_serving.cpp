@@ -22,9 +22,18 @@
 //  drx_doctor cache-shard-imbalance detector gates on. Open-loop
 //  arrivals, unlike closed-loop, expose queueing delay: a saturated
 //  server shows it as a p99 cliff, not a throughput plateau.
+//
+// With DRX_METRICS_PORT set, the embedded exporter is live during the
+// run; DRX_SCRAPE_OUT additionally triggers one mid-run self-scrape of
+// /metrics over real HTTP (while requests are in flight) and saves the
+// exposition — the CI perf-smoke step lints it with
+// scripts/check_exposition.py to prove a live scrape returns well-formed
+// serve.* and core.cache.* series.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -32,6 +41,7 @@
 #include "bench_util.hpp"
 #include "core/chunk_cache.hpp"
 #include "io/config.hpp"
+#include "obs/exporter.hpp"
 #include "obs/opctx.hpp"
 #include "obs/trace.hpp"
 #include "serve/serve.hpp"
@@ -175,6 +185,21 @@ std::uint64_t exact_quantile(std::vector<std::uint64_t>& lat, double q) {
   return lat[i];
 }
 
+/// One live self-scrape of the exporter's /metrics, saved to
+/// DRX_SCRAPE_OUT. No-op unless both DRX_SCRAPE_OUT and the exporter
+/// (DRX_METRICS_PORT) are active, so the regular regression runs — which
+/// compare latency cells — never pay for the HTTP round-trip.
+void maybe_self_scrape() {
+  const char* out_path = std::getenv("DRX_SCRAPE_OUT");
+  const std::uint16_t port = obs::exporter_port();
+  if (out_path == nullptr || out_path[0] == '\0' || port == 0) return;
+  auto body = obs::http_get("127.0.0.1", port, "/metrics");
+  DRX_CHECK(body.is_ok());
+  std::ofstream out(out_path, std::ios::trunc);
+  out << body.value();
+  DRX_CHECK(static_cast<bool>(out));
+}
+
 ServingResult run_serving(int rate_per_s, int requests, int sessions_n) {
   obs::registry().reset();
   DrxFile file = make_array();
@@ -217,6 +242,9 @@ ServingResult run_serving(int rate_per_s, int requests, int sessions_n) {
   for (std::size_t i = 0; i < n; ++i) {
     std::this_thread::sleep_until(next);
     next += period;
+    // Halfway through the arrivals the server is demonstrably mid-flight:
+    // scrape now so the saved exposition holds live serve.* series.
+    if (i == n / 2) maybe_self_scrape();
     serve::Request req;
     req.box = hot_box(rng);
     if (rng.next_below(10) == 0) {

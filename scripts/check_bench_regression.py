@@ -130,21 +130,39 @@ def obs_overhead_warnings(current, max_ratio):
     doc = current.get("bench_obs_overhead")
     if doc is None:
         return ["obs-overhead: no bench_obs_overhead report to check"]
+    warnings = []
     ratio = None
+    window_ratio = None
     for row in doc["table"]["rows"]:
         if row and row[0] == "overhead" and len(row) > 1:
             ratio = as_number(row[1])
+        if row and row[0] == "window_overhead" and len(row) > 1:
+            window_ratio = as_number(row[1])
     if ratio is None or ratio <= 0:
-        return ["obs-overhead: no 'overhead' ratio row in "
-                "bench_obs_overhead report"]
-    print(f"obs-overhead: flight-on/flight-off wall ratio {ratio:.3f} "
-          f"(gate {max_ratio:g})")
-    if ratio > max_ratio:
-        return [f"obs-overhead: always-on instrumentation costs "
+        warnings.append("obs-overhead: no 'overhead' ratio row in "
+                        "bench_obs_overhead report")
+    else:
+        print(f"obs-overhead: flight-on/flight-off wall ratio {ratio:.3f} "
+              f"(gate {max_ratio:g})")
+        if ratio > max_ratio:
+            warnings.append(
+                f"obs-overhead: always-on instrumentation costs "
                 f"{(ratio - 1) * 100:.1f}% with tracing off "
                 f"(gate {(max_ratio - 1) * 100:g}%) — a hot path lost its "
-                "enabled-flag guard"]
-    return []
+                "enabled-flag guard")
+    if window_ratio is None or window_ratio <= 0:
+        warnings.append("obs-overhead: no 'window_overhead' ratio row in "
+                        "bench_obs_overhead report")
+    else:
+        print(f"obs-overhead: window-on/window-off wall ratio "
+              f"{window_ratio:.3f} (gate {max_ratio:g})")
+        if window_ratio > max_ratio:
+            warnings.append(
+                f"obs-overhead: windowed metrics + scrape interference "
+                f"costs {(window_ratio - 1) * 100:.1f}% "
+                f"(gate {(max_ratio - 1) * 100:g}%) — the scrape path is "
+                "contending with the workload")
+    return warnings
 
 
 SERVING_BENCHES = ("bench_serving", "bench_serving_scaling")

@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Prometheus text-exposition (0.0.4) format lint for the drx exporter.
+
+Usage: check_exposition.py <scrape.prom | ->
+
+Validates a saved /metrics scrape (bench_serving's DRX_SCRAPE_OUT, or any
+curl of the embedded exporter) against the subset of the exposition
+format the drx exporter promises to emit:
+
+  - every sample line parses: name, optional {label="value",...}, float
+    value (inf/nan spellings included);
+  - metric and label names are legal Prometheus identifiers;
+  - every sample belongs to a family announced by a preceding # TYPE
+    line, and each family is typed at most once;
+  - counter families end in _total (the drx convention rate() relies on);
+  - histogram families are coherent per label set: le buckets are
+    cumulative non-decreasing, a +Inf bucket exists, and _count equals
+    the +Inf bucket;
+  - no duplicate series (same name and identical label set twice).
+
+Exit codes: 0 valid, 1 format violation (all violations are listed),
+2 unreadable input.
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# name{labels} value [timestamp] — labels and timestamp optional.
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<ts>-?\d+))?\s*$")
+LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def parse_value(text):
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def parse_labels(raw):
+    """Returns a sorted tuple of (name, value) pairs, or None on bad
+    syntax (unparseable chunk, duplicate label name)."""
+    if raw is None or raw == "":
+        return ()
+    pairs = []
+    pos = 0
+    while pos < len(raw):
+        match = LABEL.match(raw, pos)
+        if match is None:
+            return None
+        pairs.append((match.group(1), match.group(2)))
+        pos = match.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                return None
+            pos += 1
+    if len({name for name, _ in pairs}) != len(pairs):
+        return None
+    return tuple(sorted(pairs))
+
+
+def family_of(name):
+    """Strips the histogram sample suffixes back to the # TYPE family."""
+    for suffix in ("_bucket", "_count", "_sum"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def lint(lines):
+    problems = []
+    types = {}        # family -> type
+    seen_series = set()
+    # (family, labels-minus-le) -> list of (le, value) for histograms.
+    buckets = {}
+    counts = {}
+
+    for line_no, line in enumerate(lines, 1):
+        line = line.rstrip("\n")
+        if line == "":
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in TYPES:
+                    problems.append(f"line {line_no}: malformed TYPE line")
+                    continue
+                name = parts[2]
+                if not METRIC_NAME.match(name):
+                    problems.append(
+                        f"line {line_no}: bad metric name in TYPE: {name}")
+                elif name in types:
+                    problems.append(
+                        f"line {line_no}: duplicate TYPE for {name}")
+                else:
+                    types[name] = parts[3]
+                    if parts[3] == "counter" and not name.endswith("_total"):
+                        problems.append(
+                            f"line {line_no}: counter {name} does not end "
+                            "in _total")
+            # HELP and free comments pass.
+            continue
+
+        match = SAMPLE.match(line)
+        if match is None:
+            problems.append(f"line {line_no}: unparseable sample: {line!r}")
+            continue
+        name = match.group("name")
+        labels = parse_labels(match.group("labels"))
+        if labels is None:
+            problems.append(f"line {line_no}: bad label syntax: {line!r}")
+            continue
+        value = parse_value(match.group("value"))
+        if value is None:
+            problems.append(
+                f"line {line_no}: bad sample value: {match.group('value')}")
+            continue
+        for label_name, _ in labels:
+            if not LABEL_NAME.match(label_name):
+                problems.append(
+                    f"line {line_no}: bad label name: {label_name}")
+
+        series = (name, labels)
+        if series in seen_series:
+            problems.append(
+                f"line {line_no}: duplicate series {name}{dict(labels)}")
+        seen_series.add(series)
+
+        family = family_of(name)
+        if family in types and types[family] == "histogram":
+            rest = tuple(p for p in labels if p[0] != "le")
+            if name.endswith("_bucket"):
+                le = dict(labels).get("le")
+                if le is None:
+                    problems.append(
+                        f"line {line_no}: histogram bucket without le label")
+                else:
+                    le_val = float("inf") if le == "+Inf" else parse_value(le)
+                    if le_val is None:
+                        problems.append(
+                            f"line {line_no}: bad le value: {le}")
+                    else:
+                        buckets.setdefault((family, rest), []).append(
+                            (le_val, value, line_no))
+            elif name.endswith("_count"):
+                counts[(family, rest)] = (value, line_no)
+            family = None  # typed via the histogram family
+        if family is not None and name not in types:
+            problems.append(
+                f"line {line_no}: sample {name} has no preceding TYPE")
+
+    for (family, rest), entries in buckets.items():
+        entries.sort(key=lambda e: e[0])
+        prev = None
+        for le, value, line_no in entries:
+            if prev is not None and value < prev:
+                problems.append(
+                    f"line {line_no}: histogram {family} buckets not "
+                    f"cumulative at le={le:g}")
+            prev = value
+        if not entries or entries[-1][0] != float("inf"):
+            problems.append(f"histogram {family}{dict(rest)}: no +Inf bucket")
+        else:
+            inf_value = entries[-1][1]
+            count = counts.get((family, rest))
+            if count is not None and count[0] != inf_value:
+                problems.append(
+                    f"line {count[1]}: histogram {family} _count "
+                    f"{count[0]:g} != +Inf bucket {inf_value:g}")
+    return problems
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1 or argv[0].startswith("--"):
+        if argv and argv[0] in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        print(f"usage: check_exposition.py <scrape.prom | ->",
+              file=sys.stderr)
+        return 2
+    path = argv[0]
+    try:
+        if path == "-":
+            lines = sys.stdin.readlines()
+        else:
+            with open(path, encoding="utf-8") as f:
+                lines = f.readlines()
+    except OSError as err:
+        print(f"ERROR: {err}", file=sys.stderr)
+        return 2
+
+    problems = lint(lines)
+    samples = sum(1 for ln in lines
+                  if ln.strip() and not ln.startswith("#"))
+    for problem in problems:
+        print(f"BAD: {problem}")
+    if problems:
+        print(f"{path}: {len(problems)} format violation(s) over "
+              f"{samples} sample(s)")
+        return 1
+    print(f"{path}: valid Prometheus exposition ({samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,7 @@ def _load(name):
 
 bench_regression = _load("check_bench_regression")
 prefetch_gate = _load("check_prefetch_gate")
+exposition = _load("check_exposition")
 lint_drx = _load("lint_drx")
 
 
@@ -143,12 +144,17 @@ class TestBenchRegression(unittest.TestCase):
         self.assertIn("counters missing", out)
 
     @staticmethod
-    def _overhead_doc(ratio):
+    def _overhead_doc(ratio, window_ratio=1.005, with_window_row=True):
+        rows = [["flight-on", "1000", "10.2", "170"],
+                ["flight-off", "1000", "10.0", "167"],
+                ["window-on", "1000", "10.1", "168"],
+                ["window-off", "1000", "10.0", "167"],
+                ["overhead", f"{ratio:.3f}"]]
+        if with_window_row:
+            rows.append(["window_overhead", f"{window_ratio:.3f}"])
         return {"bench": "bench_obs_overhead",
                 "table": {"headers": ["mode", "touches", "wall ms", "ns/op"],
-                          "rows": [["flight-on", "1000", "10.2", "170"],
-                                   ["flight-off", "1000", "10.0", "167"],
-                                   ["overhead", f"{ratio:.3f}"]]}}
+                          "rows": rows}}
 
     def test_obs_overhead_under_gate_ok(self):
         with tempfile.TemporaryDirectory() as tmp:
@@ -157,6 +163,7 @@ class TestBenchRegression(unittest.TestCase):
                 bench_regression, [path, path, "--obs-overhead"])
         self.assertEqual(code, 0)
         self.assertIn("wall ratio 1.010", out)
+        self.assertIn("window-on/window-off wall ratio 1.005", out)
         self.assertNotIn("WARN: obs-overhead", out)
 
     def test_obs_overhead_over_gate_warns(self):
@@ -167,6 +174,25 @@ class TestBenchRegression(unittest.TestCase):
         self.assertEqual(code, 0)  # warn-only by design
         self.assertIn("WARN: obs-overhead", out)
 
+    def test_window_overhead_over_gate_warns(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = write_report(
+                tmp, "r.json", [self._overhead_doc(1.01, window_ratio=1.08)])
+            code, out, _ = run_main(
+                bench_regression, [path, path, "--obs-overhead"])
+        self.assertEqual(code, 0)  # warn-only by design
+        self.assertIn("WARN: obs-overhead: windowed metrics", out)
+
+    def test_window_overhead_missing_row_warns(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = write_report(
+                tmp, "r.json",
+                [self._overhead_doc(1.01, with_window_row=False)])
+            code, out, _ = run_main(
+                bench_regression, [path, path, "--obs-overhead"])
+        self.assertEqual(code, 0)
+        self.assertIn("no 'window_overhead' ratio row", out)
+
     def test_obs_overhead_missing_bench_warns(self):
         doc = bench_doc("bench_scatter", [["r", "x", "10", "20"]])
         with tempfile.TemporaryDirectory() as tmp:
@@ -175,6 +201,137 @@ class TestBenchRegression(unittest.TestCase):
                 bench_regression, [path, path, "--obs-overhead", "1.02"])
         self.assertEqual(code, 0)
         self.assertIn("no bench_obs_overhead report", out)
+
+
+VALID_SCRAPE = """\
+# HELP drx_serve_requests_total cumulative counter
+# TYPE drx_serve_requests_total counter
+drx_serve_requests_total 1234
+# TYPE drx_core_cache_shard_accesses gauge
+drx_core_cache_shard_accesses{shard="0"} 40
+drx_core_cache_shard_accesses{shard="1"} 25
+# TYPE drx_serve_request_latency_us histogram
+drx_serve_request_latency_us_bucket{window="60s",le="511"} 10
+drx_serve_request_latency_us_bucket{window="60s",le="16383"} 58
+drx_serve_request_latency_us_bucket{window="60s",le="+Inf"} 60
+drx_serve_request_latency_us_sum{window="60s"} 30720
+drx_serve_request_latency_us_count{window="60s"} 60
+"""
+
+
+class TestCheckExposition(unittest.TestCase):
+    def _lint(self, text):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "scrape.prom"
+            path.write_text(text, encoding="utf-8")
+            return run_main(exposition, [str(path)])
+
+    def test_help_exits_zero(self):
+        code, _, _ = run_main(exposition, ["--help"])
+        self.assertEqual(code, 0)
+
+    def test_missing_file_exits_two(self):
+        code, _, err = run_main(exposition, ["/nonexistent/scrape.prom"])
+        self.assertEqual(code, 2)
+        self.assertIn("ERROR", err)
+
+    def test_no_args_exits_two(self):
+        code, _, err = run_main(exposition, [])
+        self.assertEqual(code, 2)
+        self.assertIn("usage", err)
+
+    def test_valid_scrape_passes(self):
+        code, out, _ = self._lint(VALID_SCRAPE)
+        self.assertEqual(code, 0, out)
+        self.assertIn("valid Prometheus exposition", out)
+        self.assertIn("8 samples", out)
+
+    def test_empty_input_passes(self):
+        code, out, _ = self._lint("")
+        self.assertEqual(code, 0)
+        self.assertIn("0 samples", out)
+
+    def test_bad_metric_name_flagged(self):
+        code, out, _ = self._lint("# TYPE 9bad gauge\n")
+        self.assertEqual(code, 1)
+        self.assertIn("bad metric name", out)
+
+    def test_unparseable_sample_flagged(self):
+        code, out, _ = self._lint("# TYPE drx_x gauge\ndrx_x\n")
+        self.assertEqual(code, 1)
+        self.assertIn("unparseable sample", out)
+
+    def test_bad_value_flagged(self):
+        code, out, _ = self._lint("# TYPE drx_x gauge\ndrx_x notanum\n")
+        self.assertEqual(code, 1)
+        self.assertIn("bad sample value", out)
+
+    def test_sample_without_type_flagged(self):
+        code, out, _ = self._lint("drx_untyped 1\n")
+        self.assertEqual(code, 1)
+        self.assertIn("no preceding TYPE", out)
+
+    def test_duplicate_type_flagged(self):
+        code, out, _ = self._lint(
+            "# TYPE drx_x gauge\n# TYPE drx_x gauge\ndrx_x 1\n")
+        self.assertEqual(code, 1)
+        self.assertIn("duplicate TYPE", out)
+
+    def test_counter_without_total_suffix_flagged(self):
+        code, out, _ = self._lint("# TYPE drx_reqs counter\ndrx_reqs 1\n")
+        self.assertEqual(code, 1)
+        self.assertIn("does not end in _total", out)
+
+    def test_duplicate_series_flagged(self):
+        code, out, _ = self._lint(
+            '# TYPE drx_x gauge\ndrx_x{a="1"} 1\ndrx_x{a="1"} 2\n')
+        self.assertEqual(code, 1)
+        self.assertIn("duplicate series", out)
+
+    def test_bad_label_syntax_flagged(self):
+        code, out, _ = self._lint('# TYPE drx_x gauge\ndrx_x{a=1} 2\n')
+        self.assertEqual(code, 1)
+        self.assertIn("bad label syntax", out)
+
+    def test_non_cumulative_buckets_flagged(self):
+        code, out, _ = self._lint(
+            "# TYPE drx_h histogram\n"
+            'drx_h_bucket{le="1"} 10\n'
+            'drx_h_bucket{le="2"} 5\n'
+            'drx_h_bucket{le="+Inf"} 10\n'
+            "drx_h_sum 15\n"
+            "drx_h_count 10\n")
+        self.assertEqual(code, 1)
+        self.assertIn("not cumulative", out)
+
+    def test_missing_inf_bucket_flagged(self):
+        code, out, _ = self._lint(
+            "# TYPE drx_h histogram\n"
+            'drx_h_bucket{le="1"} 10\n'
+            "drx_h_sum 15\n"
+            "drx_h_count 10\n")
+        self.assertEqual(code, 1)
+        self.assertIn("no +Inf bucket", out)
+
+    def test_count_bucket_mismatch_flagged(self):
+        code, out, _ = self._lint(
+            "# TYPE drx_h histogram\n"
+            'drx_h_bucket{le="+Inf"} 10\n'
+            "drx_h_sum 15\n"
+            "drx_h_count 11\n")
+        self.assertEqual(code, 1)
+        self.assertIn("_count", out)
+
+    def test_histograms_keyed_per_label_set(self):
+        # Two windows of the same family are distinct label sets; each
+        # must be internally coherent but they need not agree.
+        code, out, _ = self._lint(
+            "# TYPE drx_h histogram\n"
+            'drx_h_bucket{window="10s",le="+Inf"} 3\n'
+            'drx_h_count{window="10s"} 3\n'
+            'drx_h_bucket{window="60s",le="+Inf"} 60\n'
+            'drx_h_count{window="60s"} 60\n')
+        self.assertEqual(code, 0, out)
 
 
 class TestPrefetchGate(unittest.TestCase):

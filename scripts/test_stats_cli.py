@@ -14,13 +14,26 @@ per-stage latency breakdown.
 """
 
 import json
+import struct
 import subprocess
 import sys
 import tempfile
+import time
 import unittest
 from pathlib import Path
 
 STATS = None
+
+
+def snapshot_bytes(counters):
+    """A binary MetricsSnapshot (obs/metrics.cpp serialize: "DRXM" v1,
+    little-endian, u32-length-prefixed names)."""
+    out = struct.pack("<III", 0x4452584D, 1, len(counters))
+    for name, value in counters:
+        raw = name.encode()
+        out += struct.pack("<I", len(raw)) + raw + struct.pack("<Q", value)
+    out += struct.pack("<I", 0)  # histograms
+    return out
 
 
 def run_stats(*args):
@@ -124,6 +137,79 @@ class TestStatsCli(unittest.TestCase):
         self.assertEqual(code, 0)
         self.assertIn("top 3 op(s)", out)
         self.assertIn("op.extend", out)
+
+    # ---- --watch (polling mode over the --diff machinery) ----------------
+
+    def _snapshot(self, name, counters):
+        path = self.tmp / name
+        path.write_bytes(snapshot_bytes(counters))
+        return str(path)
+
+    def test_watch_without_interval_is_usage_error(self):
+        code, _, _ = run_stats("--watch")
+        self.assertEqual(code, 2)
+
+    def test_watch_with_bad_interval_is_usage_error(self):
+        for bad in ("zero", "0", "-1"):
+            code, _, _ = run_stats("--watch", bad, "x.bin")
+            self.assertEqual(code, 2, f"interval {bad!r}")
+
+    def test_watch_needs_exactly_one_source(self):
+        code, _, _ = run_stats("--watch", "1", "a.bin", "b.bin")
+        self.assertEqual(code, 2)
+        code, _, _ = run_stats("--watch", "1")
+        self.assertEqual(code, 2)
+
+    def test_watch_excludes_other_modes(self):
+        code, _, _ = run_stats("--watch", "1", "--diff", "a.bin")
+        self.assertEqual(code, 2)
+        code, _, _ = run_stats("--watch", "1", "--top", "3", "a.bin")
+        self.assertEqual(code, 2)
+
+    def test_count_without_watch_is_usage_error(self):
+        snap = self._snapshot("s.bin", [("x", 1)])
+        code, _, _ = run_stats("--count", "2", snap)
+        self.assertEqual(code, 2)
+
+    def test_watch_missing_source_exits_one(self):
+        code, _, err = run_stats("--watch", "0.1", "--count", "1",
+                                 str(self.tmp / "absent.bin"))
+        self.assertEqual(code, 1)
+        self.assertIn("cannot read", err)
+
+    def test_watch_url_without_port_exits_one(self):
+        code, _, err = run_stats("--watch", "0.1", "--count", "1",
+                                 "http://127.0.0.1")
+        self.assertEqual(code, 1)
+        self.assertIn("port", err)
+
+    def test_watch_prints_delta_between_polls(self):
+        # Initial scrape sees A; the file is swapped to B during the
+        # sleep, so the one printed delta must be B - A.
+        path = self._snapshot("live.bin", [("serve.requests", 10)])
+        proc = subprocess.Popen(
+            [STATS, "--watch", "1.5", "--count", "1", path],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        time.sleep(0.5)  # well past the initial load, inside the sleep
+        Path(path).write_bytes(snapshot_bytes([("serve.requests", 17)]))
+        out, err = proc.communicate(timeout=60)
+        self.assertEqual(proc.returncode, 0,
+                         f"stdout:\n{out}\nstderr:\n{err}")
+        self.assertIn("delta prev -> now", out)
+        self.assertIn("serve.requests", out)
+        self.assertIn("+7", out)
+
+    def test_watch_json_delta_is_machine_readable(self):
+        path = self._snapshot("same.bin", [("serve.requests", 5)])
+        code, out, err = run_stats("--json", "--watch", "0.1", "--count",
+                                   "2", path)
+        self.assertEqual(code, 0, f"stdout:\n{out}\nstderr:\n{err}")
+        lines = [ln for ln in out.splitlines() if ln.strip()]
+        self.assertEqual(len(lines), 2)  # one delta document per poll
+        for line in lines:
+            doc = json.loads(line)
+            # Source unchanged between polls: every delta is zero.
+            self.assertEqual(doc["counters"].get("serve.requests", 0), 0)
 
     def test_top_flight_dump_prints_dominant_stage(self):
         path = self._file("flight.json", FLIGHT)

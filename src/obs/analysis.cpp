@@ -8,6 +8,7 @@
 #include <string_view>
 
 #include "obs/json.hpp"
+#include "obs/slo.hpp"
 
 namespace drx::obs::analysis {
 
@@ -686,6 +687,140 @@ void analyze_series(const JsonValue& doc, std::vector<Finding>& out,
       "series", Severity::kInfo, static_cast<double>(samples->array.size()),
       format("time series: %zu samples spanning %.1f ms",
              samples->array.size(), (t_us.back() - t_us.front()) / 1000.0)});
+}
+
+namespace {
+
+const HistogramSample* find_histogram(const MetricsSnapshot& snap,
+                                      std::string_view name) {
+  for (const HistogramSample& h : snap.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void analyze_window(const JsonValue& doc, std::vector<Finding>& out) {
+  if (const JsonValue* fmt = doc.find("format");
+      fmt == nullptr || fmt->as_string() != "drx-window") {
+    out.push_back(Finding{
+        "window-bad-format", Severity::kError, 0.0,
+        "not a drx-window document (missing format marker)"});
+    return;
+  }
+
+  // Slow window: the merged full-horizon view. Fast window: the latest
+  // *completed* epoch delta. Trailing baseline: the epochs before it.
+  MetricsSnapshot slow;
+  std::uint64_t slow_span_us = 0;
+  if (const JsonValue* w = doc.find("window"); w != nullptr) {
+    if (const JsonValue* m = w->find("metrics"); m != nullptr) {
+      slow = metrics_from_json(*m);
+    }
+    slow_span_us = w->uint_at("span_us");
+  }
+  MetricsSnapshot fast;
+  MetricsSnapshot baseline;
+  std::size_t trailing_epochs = 0;
+  if (const JsonValue* deltas = doc.find("epoch_deltas");
+      deltas != nullptr && deltas->is_array() && !deltas->array.empty()) {
+    for (std::size_t i = 0; i + 1 < deltas->array.size(); ++i) {
+      const JsonValue* m = deltas->array[i].find("metrics");
+      if (m != nullptr) baseline.merge(metrics_from_json(*m));
+      ++trailing_epochs;
+    }
+    if (const JsonValue* m = deltas->array.back().find("metrics");
+        m != nullptr) {
+      fast = metrics_from_json(*m);
+    }
+  }
+  // With no completed epoch yet, the merged view is the only window —
+  // burn rates then use it for both sides (degenerates to single-window
+  // alerting, which beats silence on a process that just started).
+  const bool have_fast = !fast.histograms.empty() || !fast.counters.empty();
+
+  // ---- slo-burn-rate --------------------------------------------------
+  if (const JsonValue* slos = doc.find("slo");
+      slos != nullptr && slos->is_array()) {
+    for (const JsonValue& t : slos->array) {
+      const JsonValue* hist_name = t.find("histogram");
+      if (hist_name == nullptr) continue;
+      SloTarget target;
+      target.histogram = std::string(hist_name->as_string());
+      target.target_us = t.uint_at("target_us");
+      target.budget = t.number_at("budget", 0.01);
+      const HistogramSample* slow_h = find_histogram(slow, target.histogram);
+      if (slow_h == nullptr || slow_h->count == 0) continue;
+      const HistogramSample* fast_h =
+          have_fast ? find_histogram(fast, target.histogram) : slow_h;
+      if (fast_h == nullptr) fast_h = slow_h;
+      const SloEval slow_eval = evaluate_slo(target, *slow_h);
+      const SloEval fast_eval = evaluate_slo(target, *fast_h);
+      const double burn = std::min(slow_eval.burn_rate, fast_eval.burn_rate);
+      Severity sev = Severity::kInfo;
+      if (slow_h->count >= kWindowMinCount) {
+        if (burn >= kBurnError) {
+          sev = Severity::kError;
+        } else if (burn >= kBurnWarn) {
+          sev = Severity::kWarn;
+        }
+      }
+      out.push_back(Finding{
+          "slo-burn-rate", sev, burn,
+          format("%s: burning error budget at %.1fx fast / %.1fx slow "
+                 "(target <=%lluus, budget %.2f%%; %llu/%llu over target "
+                 "in the %.1fs window)",
+                 target.histogram.c_str(), fast_eval.burn_rate,
+                 slow_eval.burn_rate,
+                 static_cast<unsigned long long>(target.target_us),
+                 target.budget * 100.0,
+                 static_cast<unsigned long long>(slow_eval.bad),
+                 static_cast<unsigned long long>(slow_eval.total),
+                 static_cast<double>(slow_span_us) / 1e6)});
+    }
+  }
+
+  // ---- window-regression ----------------------------------------------
+  // Latency histograms only: a shifted byte-size distribution is a
+  // workload change, not a regression.
+  if (have_fast && trailing_epochs > 0) {
+    for (const HistogramSample& cur : fast.histograms) {
+      if (cur.name.size() < 3 ||
+          cur.name.compare(cur.name.size() - 3, 3, "_us") != 0) {
+        continue;
+      }
+      const HistogramSample* base = find_histogram(baseline, cur.name);
+      if (base == nullptr) continue;
+      if (cur.count < kWindowMinCount || base->count < kWindowMinCount) {
+        continue;
+      }
+      const HistogramSummary cur_s = summarize_histogram(cur);
+      const HistogramSummary base_s = summarize_histogram(*base);
+      if (base_s.p95 == 0) continue;
+      const double ratio = static_cast<double>(cur_s.p95) /
+                           static_cast<double>(base_s.p95);
+      if (ratio < kRegressWarnRatio) continue;
+      out.push_back(Finding{
+          "window-regression",
+          ratio >= kRegressErrorRatio ? Severity::kError : Severity::kWarn,
+          ratio,
+          format("%s: p95 %.1fx the trailing baseline (%llu vs %lluus "
+                 "over %zu epoch(s)) - latency regressed within the live "
+                 "window",
+                 cur.name.c_str(), ratio,
+                 static_cast<unsigned long long>(cur_s.p95),
+                 static_cast<unsigned long long>(base_s.p95),
+                 trailing_epochs)});
+    }
+  }
+
+  out.push_back(Finding{
+      "window", Severity::kInfo, static_cast<double>(slow_span_us) / 1e6,
+      format("live window: %.1fs horizon, %zu trailing epoch(s), "
+             "%zu histogram(s) in view",
+             static_cast<double>(slow_span_us) / 1e6, trailing_epochs,
+             slow.histograms.size())});
 }
 
 }  // namespace drx::obs::analysis

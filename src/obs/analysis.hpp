@@ -157,4 +157,30 @@ void analyze_flight(const JsonValue& doc, std::vector<Finding>& out);
 void analyze_series(const JsonValue& doc, std::vector<Finding>& out,
                     std::size_t min_stall_samples = 3);
 
+// ---- live-window analysis -------------------------------------------------
+
+/// Multi-window burn-rate thresholds (both the fast and slow window must
+/// clear the bar, which filters blips without missing sustained
+/// breaches). 14.4 is the classic "2% of a 30-day budget per hour" page
+/// threshold; 6 the ticket threshold.
+inline constexpr double kBurnWarn = 6.0;
+inline constexpr double kBurnError = 14.4;
+
+/// window-regression thresholds in log2-quantile space: one bucket is a
+/// 2x step, so 4x (two buckets) is the smallest movement that cannot be
+/// rounding noise, and 8x is unambiguous.
+inline constexpr double kRegressWarnRatio = 4.0;
+inline constexpr double kRegressErrorRatio = 8.0;
+
+/// Observations below this (in both windows compared) mute the window
+/// detectors: quantile math over a handful of samples is noise.
+inline constexpr std::uint64_t kWindowMinCount = 16;
+
+/// Digests a "drx-window" document (obs/window.hpp): evaluates each
+/// embedded SLO target over the fast window (latest completed epoch) and
+/// the slow window (full ring horizon) — the slo-burn-rate detector —
+/// and compares the latest epoch's latency p95 against the merged
+/// trailing-epoch baseline (window-regression, *_us histograms only).
+void analyze_window(const JsonValue& doc, std::vector<Finding>& out);
+
 }  // namespace drx::obs::analysis

@@ -10,6 +10,7 @@
 
 #include "obs/json.hpp"
 #include "obs/profile.hpp"
+#include "obs/window.hpp"
 #include "util/logging.hpp"
 #include "util/serde.hpp"
 
@@ -220,13 +221,22 @@ void Registry::reset() {
   // any cached references stay valid across bench/test resets. Metrics
   // touched before a reset reappear in later snapshots with value 0,
   // which merge()/counter() treat the same as absent.
-  util::WriterMutexLock lock(mu_);
-  for (const auto& c : counters_) {
-    if (c != nullptr) c->reset();
+  {
+    util::WriterMutexLock lock(mu_);
+    for (const auto& c : counters_) {
+      if (c != nullptr) c->reset();
+    }
+    for (const auto& h : histograms_) {
+      if (h != nullptr) h->reset();
+    }
   }
-  for (const auto& h : histograms_) {
-    if (h != nullptr) h->reset();
-  }
+  // Window epochs captured before the reset are cumulative pre-reset
+  // values; subtracting them from post-reset snapshots would produce
+  // garbage deltas, so drop the ring. Must run after mu_ is released:
+  // a concurrent window_tick holds the window mutex while it calls
+  // live_snapshot() -> Registry::snapshot() -> mu_ (shared), so taking
+  // the window mutex while holding mu_ would be an ABBA deadlock.
+  if (this == &process_registry()) window_clear();
 }
 
 void MetricsSnapshot::merge(const MetricsSnapshot& other) {
@@ -263,6 +273,40 @@ std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
     if (c.name == name) return c.value;
   }
   return 0;
+}
+
+MetricsSnapshot snapshot_delta(const MetricsSnapshot& cur,
+                               const MetricsSnapshot& base) {
+  const auto sub = [](std::uint64_t a, std::uint64_t b) {
+    return a > b ? a - b : 0;
+  };
+  MetricsSnapshot out;
+  for (const CounterSample& c : cur.counters) {
+    const std::uint64_t v = sub(c.value, base.counter(c.name));
+    if (v != 0) out.counters.push_back(CounterSample{c.name, v});
+  }
+  for (const HistogramSample& h : cur.histograms) {
+    const HistogramSample* b = nullptr;
+    for (const HistogramSample& cand : base.histograms) {
+      if (cand.name == h.name) {
+        b = &cand;
+        break;
+      }
+    }
+    HistogramSample d;
+    d.name = h.name;
+    if (b == nullptr) {
+      d = h;
+    } else {
+      d.count = sub(h.count, b->count);
+      d.sum = sub(h.sum, b->sum);
+      for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+        d.buckets[i] = sub(h.buckets[i], b->buckets[i]);
+      }
+    }
+    if (d.count != 0) out.histograms.push_back(std::move(d));
+  }
+  return out;
 }
 
 std::vector<std::byte> MetricsSnapshot::serialize() const {
@@ -368,14 +412,18 @@ ScopedTimer::~ScopedTimer() {
   registry().histogram(id_).observe(elapsed_us);
 }
 
-namespace {
-
 /// Largest value a log2 bucket can hold: bucket i counts values with
 /// bit_width == i, so its range is [2^(i-1), 2^i - 1] (bucket 0 holds 0).
-std::uint64_t bucket_upper_bound(std::size_t i) {
+std::uint64_t histogram_bucket_upper_bound(std::size_t i) noexcept {
   if (i == 0) return 0;
   if (i >= 64) return ~std::uint64_t{0};
   return (std::uint64_t{1} << i) - 1;
+}
+
+namespace {
+
+std::uint64_t bucket_upper_bound(std::size_t i) {
+  return histogram_bucket_upper_bound(i);
 }
 
 }  // namespace

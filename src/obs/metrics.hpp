@@ -116,6 +116,15 @@ struct MetricsSnapshot {
   static Result<MetricsSnapshot> deserialize(std::span<const std::byte> data);
 };
 
+/// `cur - base` metric-by-metric, saturating at 0 (a Registry::reset
+/// between the two captures makes cur < base; a negative window would be
+/// nonsense). Metrics absent from `base` pass through whole; zero-valued
+/// results are dropped. This is the primitive the sliding-window views in
+/// obs/window.hpp are built from: log2 histograms subtract bucket-wise
+/// exactly as they merge.
+[[nodiscard]] MetricsSnapshot snapshot_delta(const MetricsSnapshot& cur,
+                                             const MetricsSnapshot& base);
+
 /// A set of metric values. Thread-safe; slot creation is lazy.
 class Registry {
  public:
@@ -218,6 +227,13 @@ struct HistogramSummary {
 };
 
 [[nodiscard]] HistogramSummary summarize_histogram(const HistogramSample& h);
+
+/// Largest value log2 bucket `i` can hold: 2^i - 1 (bucket 0 holds 0).
+/// Exposed for consumers that need real bucket edges — the Prometheus
+/// `le` labels in obs/exporter.cpp and the SLO good-bucket cutoff in
+/// obs/slo.cpp.
+[[nodiscard]] std::uint64_t histogram_bucket_upper_bound(
+    std::size_t i) noexcept;
 
 // ---- rendering & cross-run plumbing ---------------------------------------
 

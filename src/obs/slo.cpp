@@ -1,0 +1,122 @@
+#include "obs/slo.hpp"
+
+#include <cstdlib>
+#include <string_view>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "util/logging.hpp"
+#include "util/sync.hpp"
+
+namespace drx::obs {
+
+namespace {
+
+struct SloState {
+  util::Mutex mu;
+  std::vector<SloTarget> override_targets DRX_GUARDED_BY(mu);
+  bool has_override DRX_GUARDED_BY(mu) = false;
+  bool env_parsed DRX_GUARDED_BY(mu) = false;
+  std::vector<SloTarget> env_targets DRX_GUARDED_BY(mu);
+};
+
+SloState& state() {
+  static SloState* s = new SloState;  // leaked: usable from atexit dumps
+  return *s;
+}
+
+std::vector<SloTarget> default_targets() {
+  // 99% of serve requests within ~16ms — a deliberate log2 bucket edge
+  // (2^14 - 1) so evaluate_slo's conservative rounding is exact.
+  return {SloTarget{"serve.request.latency_us", 16383, 0.01}};
+}
+
+/// Parses one `<histogram>:<target_us>:<budget>` entry; returns false on
+/// malformed input.
+bool parse_entry(std::string_view entry, SloTarget& out) {
+  const std::size_t c1 = entry.find(':');
+  if (c1 == std::string_view::npos || c1 == 0) return false;
+  const std::size_t c2 = entry.find(':', c1 + 1);
+  if (c2 == std::string_view::npos) return false;
+  out.histogram = std::string(entry.substr(0, c1));
+  const std::string target(entry.substr(c1 + 1, c2 - c1 - 1));
+  const std::string budget(entry.substr(c2 + 1));
+  char* end = nullptr;
+  const unsigned long long t = std::strtoull(target.c_str(), &end, 10);
+  if (end == target.c_str() || *end != '\0') return false;
+  const double b = std::strtod(budget.c_str(), &end);
+  if (end == budget.c_str() || *end != '\0') return false;
+  if (b <= 0.0 || b > 1.0) return false;
+  out.target_us = static_cast<std::uint64_t>(t);
+  out.budget = b;
+  return true;
+}
+
+std::vector<SloTarget> parse_env(const char* env) {
+  std::string_view rest(env);
+  if (rest == "none") return {};
+  std::vector<SloTarget> targets;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view entry = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (entry.empty()) continue;
+    SloTarget t;
+    if (parse_entry(entry, t)) {
+      targets.push_back(std::move(t));
+    } else {
+      DRX_LOG(kWarn) << "DRX_SLO: skipping malformed entry '"
+                     << std::string(entry) << "'";
+    }
+  }
+  return targets;
+}
+
+}  // namespace
+
+SloEval evaluate_slo(const SloTarget& slo, const HistogramSample& h) {
+  SloEval e;
+  e.total = h.count;
+  if (e.total == 0) return e;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (histogram_bucket_upper_bound(b) > slo.target_us) e.bad += h.buckets[b];
+  }
+  e.bad_fraction = static_cast<double>(e.bad) / static_cast<double>(e.total);
+  e.burn_rate = slo.budget > 0.0 ? e.bad_fraction / slo.budget : 0.0;
+  return e;
+}
+
+std::vector<SloTarget> slo_targets() {
+  SloState& s = state();
+  util::MutexLock lock(s.mu);
+  if (s.has_override) return s.override_targets;
+  if (!s.env_parsed) {
+    const char* env = std::getenv("DRX_SLO");
+    s.env_targets = (env != nullptr && env[0] != '\0') ? parse_env(env)
+                                                       : default_targets();
+    s.env_parsed = true;
+  }
+  return s.env_targets;
+}
+
+void set_slo_targets(std::vector<SloTarget> targets) {
+  SloState& s = state();
+  util::MutexLock lock(s.mu);
+  s.has_override = !targets.empty();
+  s.override_targets = std::move(targets);
+}
+
+void slo_to_json(JsonWriter& w) {
+  w.begin_array();
+  for (const SloTarget& t : slo_targets()) {
+    w.begin_object();
+    w.key("histogram").value(t.histogram);
+    w.key("target_us").value(t.target_us);
+    w.key("budget").value(t.budget);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace drx::obs

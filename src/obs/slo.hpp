@@ -1,0 +1,61 @@
+// Service-level objectives over latency histograms (docs/OBSERVABILITY.md
+// "Live telemetry": SLO config).
+//
+// An SLO here is "fraction of observations above target_us must stay
+// under budget". Evaluated against windowed log2 histograms
+// (obs/window.hpp) it yields a *burn rate* — the classic multi-window
+// alerting signal: burn = bad_fraction / budget, so burn 1.0 spends the
+// budget exactly over the SLO period and burn 14.4 exhausts a 30-day
+// budget in ~2 days. drx_doctor's slo-burn-rate detector fires when both
+// the fast window (latest epoch) and the slow window (full ring horizon)
+// burn hot, which filters blips without missing sustained breaches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace drx::obs {
+
+class JsonWriter;
+
+struct SloTarget {
+  std::string histogram;          ///< latency histogram the SLO covers
+  std::uint64_t target_us = 0;    ///< objective: observations should be <=
+  double budget = 0.01;           ///< allowed fraction above target
+};
+
+struct SloEval {
+  std::uint64_t total = 0;  ///< observations in the window
+  std::uint64_t bad = 0;    ///< observations above target (conservative)
+  double bad_fraction = 0.0;
+  double burn_rate = 0.0;   ///< bad_fraction / budget
+};
+
+/// Counts every bucket whose upper bound exceeds target_us as bad: with
+/// log2 buckets the true threshold falls inside one bucket, and an SLO
+/// check must over-count rather than under-count violations. Practical
+/// targets should sit on a bucket edge (2^k - 1) to avoid the rounding.
+[[nodiscard]] SloEval evaluate_slo(const SloTarget& slo,
+                                   const HistogramSample& h);
+
+/// The process SLO set. Defaults to one serving objective
+/// (serve.request.latency_us <= 16383us for 99% of requests) unless
+/// DRX_SLO overrides it: comma-separated
+/// `<histogram>:<target_us>:<budget>` entries, e.g.
+/// `serve.request.latency_us:1023:0.001,io.pool.queue_wait_us:4095:0.05`.
+/// Malformed entries are skipped with a warning — telemetry config must
+/// never take the process down. DRX_SLO=none disables all targets.
+[[nodiscard]] std::vector<SloTarget> slo_targets();
+
+/// Programmatic override (tests); empty vector restores the
+/// DRX_SLO / default behavior on the next slo_targets() call.
+void set_slo_targets(std::vector<SloTarget> targets);
+
+/// Emits the targets array (window_to_json embeds it so drx_doctor can
+/// evaluate SLOs offline from the drx-window document alone).
+void slo_to_json(JsonWriter& w);
+
+}  // namespace drx::obs

@@ -1,0 +1,240 @@
+#include "obs/window.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "obs/slo.hpp"
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
+#include "util/sync.hpp"
+
+namespace drx::obs {
+
+namespace {
+
+struct Epoch {
+  std::uint64_t t_us = 0;
+  MetricsSnapshot snap;
+};
+
+struct WindowState {
+  util::Mutex mu;
+  // Oldest first; trimmed to cfg.epochs + 1 entries so consecutive-pair
+  // deltas yield up to cfg.epochs completed epochs.
+  std::vector<Epoch> ring DRX_GUARDED_BY(mu);
+  WindowConfig override_cfg DRX_GUARDED_BY(mu);
+  bool has_override DRX_GUARDED_BY(mu) = false;
+  bool env_parsed DRX_GUARDED_BY(mu) = false;
+  WindowConfig env_cfg DRX_GUARDED_BY(mu);
+  // A capture runs live_snapshot() outside mu (it takes the registry
+  // locks; see Registry::reset for the inverse ordering). This flag keeps
+  // concurrent tickers from stacking duplicate captures meanwhile.
+  bool capture_in_flight DRX_GUARDED_BY(mu) = false;
+  std::atomic<bool> enabled{true};
+};
+
+WindowState& state() {
+  static WindowState* s = new WindowState;  // leaked: atexit-safe
+  return *s;
+}
+
+WindowConfig parse_env(const char* env) {
+  WindowConfig cfg;
+  char* end = nullptr;
+  const unsigned long long secs = std::strtoull(env, &end, 10);
+  if (end == env || secs == 0 || secs > 86400) {
+    DRX_LOG(kWarn) << "DRX_STATS_WINDOW: bad epoch seconds in '" << env
+                   << "', keeping default";
+    return cfg;
+  }
+  cfg.epoch_ms = static_cast<std::uint64_t>(secs) * 1000;
+  if (*end == 'x') {
+    const char* epochs_str = end + 1;
+    const unsigned long long n = std::strtoull(epochs_str, &end, 10);
+    if (end == epochs_str || *end != '\0' || n == 0 || n > 1024) {
+      DRX_LOG(kWarn) << "DRX_STATS_WINDOW: bad epoch count in '" << env
+                     << "', keeping default";
+    } else {
+      cfg.epochs = static_cast<std::size_t>(n);
+    }
+  } else if (*end != '\0') {
+    DRX_LOG(kWarn) << "DRX_STATS_WINDOW: trailing garbage in '" << env
+                   << "', keeping default epoch count";
+  }
+  return cfg;
+}
+
+WindowConfig config_locked(WindowState& s) DRX_REQUIRES(s.mu) {
+  if (s.has_override) return s.override_cfg;
+  if (!s.env_parsed) {
+    const char* env = std::getenv("DRX_STATS_WINDOW");
+    s.env_cfg = (env != nullptr && env[0] != '\0') ? parse_env(env)
+                                                   : WindowConfig{};
+    s.env_parsed = true;
+  }
+  return s.env_cfg;
+}
+
+/// Captures one epoch. `force` skips the staleness check
+/// (window_record_epoch); otherwise only a due capture proceeds.
+void capture(bool force) {
+  WindowState& s = state();
+  const std::uint64_t now_us = trace_now_ns() / 1000;
+  WindowConfig cfg;
+  {
+    util::MutexLock lock(s.mu);
+    cfg = config_locked(s);
+    if (s.capture_in_flight) return;
+    if (!force && !s.ring.empty() &&
+        now_us - s.ring.back().t_us < cfg.epoch_ms * 1000) {
+      return;
+    }
+    s.capture_in_flight = true;
+  }
+  // The expensive part — registry walks under the registry locks — runs
+  // with mu released so scrapes never serialize against metric readers.
+  MetricsSnapshot snap = live_snapshot();
+  {
+    util::MutexLock lock(s.mu);
+    s.capture_in_flight = false;
+    // A clear/reconfigure may have raced the snapshot; dropping this
+    // capture keeps the ring homogeneous (next tick recaptures).
+    if (!s.ring.empty() && s.ring.back().t_us > now_us) return;
+    s.ring.push_back(Epoch{now_us, std::move(snap)});
+    while (s.ring.size() > cfg.epochs + 1) s.ring.erase(s.ring.begin());
+  }
+}
+
+}  // namespace
+
+WindowConfig window_config() noexcept {
+  WindowState& s = state();
+  util::MutexLock lock(s.mu);
+  return config_locked(s);
+}
+
+void set_window_config(const WindowConfig& cfg) {
+  WindowState& s = state();
+  util::MutexLock lock(s.mu);
+  if (cfg.epoch_ms == 0) {
+    s.has_override = false;
+  } else {
+    s.override_cfg = cfg;
+    if (s.override_cfg.epochs == 0) s.override_cfg.epochs = 1;
+    s.has_override = true;
+  }
+  s.ring.clear();
+}
+
+bool window_enabled() noexcept {
+  return state().enabled.load(std::memory_order_relaxed);
+}
+
+void set_window_enabled(bool on) noexcept {
+  state().enabled.store(on, std::memory_order_relaxed);
+  if (!on) window_clear();
+}
+
+void window_tick() {
+  if (!window_enabled()) return;
+  capture(/*force=*/false);
+}
+
+void window_record_epoch() {
+  if (!window_enabled()) return;
+  capture(/*force=*/true);
+}
+
+void window_clear() {
+  WindowState& s = state();
+  util::MutexLock lock(s.mu);
+  s.ring.clear();
+}
+
+WindowView window_view() {
+  WindowView view;
+  window_tick();
+  MetricsSnapshot live = live_snapshot();
+  view.now_us = trace_now_ns() / 1000;
+  WindowState& s = state();
+  util::MutexLock lock(s.mu);
+  if (!window_enabled() || s.ring.empty()) {
+    // No ring: report cumulative since boot so a fresh process still
+    // scrapes something; epochs == 0 marks the fallback.
+    view.delta = std::move(live);
+    return view;
+  }
+  const Epoch& oldest = s.ring.front();
+  view.span_us = view.now_us > oldest.t_us ? view.now_us - oldest.t_us : 0;
+  view.epochs = s.ring.size();
+  view.delta = snapshot_delta(live, oldest.snap);
+  return view;
+}
+
+std::vector<EpochDelta> window_epochs() {
+  window_tick();
+  WindowState& s = state();
+  util::MutexLock lock(s.mu);
+  std::vector<EpochDelta> out;
+  for (std::size_t i = 1; i < s.ring.size(); ++i) {
+    EpochDelta d;
+    d.t_us = s.ring[i].t_us;
+    d.span_us = s.ring[i].t_us - s.ring[i - 1].t_us;
+    d.delta = snapshot_delta(s.ring[i].snap, s.ring[i - 1].snap);
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+void window_to_json(JsonWriter& w) {
+  const WindowConfig cfg = window_config();
+  const WindowView view = window_view();
+  const std::vector<EpochDelta> epochs = window_epochs();
+  w.begin_object();
+  w.key("format").value("drx-window");
+  w.key("version").value(std::uint64_t{1});
+  w.key("config").begin_object();
+  w.key("epoch_ms").value(cfg.epoch_ms);
+  w.key("epochs").value(static_cast<std::uint64_t>(cfg.epochs));
+  w.key("horizon_ms").value(cfg.horizon_ms());
+  w.end_object();
+  w.key("slo");
+  slo_to_json(w);
+  w.key("now_us").value(view.now_us);
+  w.key("window").begin_object();
+  w.key("span_us").value(view.span_us);
+  w.key("epochs").value(static_cast<std::uint64_t>(view.epochs));
+  w.key("metrics");
+  metrics_to_json(view.delta, w);
+  w.end_object();
+  w.key("epoch_deltas").begin_array();
+  for (const EpochDelta& e : epochs) {
+    w.begin_object();
+    w.key("t_us").value(e.t_us);
+    w.key("span_us").value(e.span_us);
+    w.key("metrics");
+    metrics_to_json(e.delta, w);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+Status write_window(const std::string& path) {
+  JsonWriter w;
+  window_to_json(w);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status(ErrorCode::kIoError, "cannot open window dump file: " + path);
+  }
+  out << w.str() << '\n';
+  if (!out) {
+    return Status(ErrorCode::kIoError, "short write to window dump file: " + path);
+  }
+  return Status::ok();
+}
+
+}  // namespace drx::obs

@@ -72,12 +72,73 @@ void Session::submit(Request req, Completion done) {
 
 Server::Server(core::DrxFile& file, const Options& options)
     : file_(&file),
+      name_(options.name),
       cached_(file, options.cache_chunks, resolve_cache(options)),
-      pool_(resolve_pool(options)) {}
+      pool_(resolve_pool(options)) {
+  scrape_handle_ = obs::register_scrape_provider(
+      [this](std::vector<obs::ScrapeGauge>& out) { scrape(out); });
+}
 
 Server::~Server() {
+  // Unregister first: it blocks until no scrape is inside our callback,
+  // after which the exporter can no longer observe a dying server.
+  obs::unregister_scrape_provider(scrape_handle_);
   drain();
   publish_session_stats();
+}
+
+void Server::scrape(std::vector<obs::ScrapeGauge>& out) const {
+  const auto gauge = [&](std::string_view metric, double value,
+                         std::string session_label = {}) {
+    obs::ScrapeGauge g;
+    g.name = std::string(metric);
+    g.labels.emplace_back("array", name_);
+    if (!session_label.empty()) {
+      g.labels.emplace_back("session", std::move(session_label));
+    }
+    g.value = value;
+    out.push_back(std::move(g));
+  };
+  gauge("serve.queue.depth", static_cast<double>(pool_.queue_depth()));
+  const core::ChunkCache::Stats cache = cached_.stats();
+  const std::uint64_t accesses = cache.hits + cache.misses;
+  gauge("serve.cache.fast_hit_ratio",
+        accesses != 0 ? static_cast<double>(cache.fast_hits) /
+                            static_cast<double>(accesses)
+                      : 0.0);
+  // Per-session series are the canonical cardinality hazard: a busy
+  // server opens sessions per client. Emit the first kMaxSessionLabels
+  // individually and fold the rest into one "overflow" aggregate so the
+  // scrape stays bounded no matter how many clients connect.
+  util::MutexLock lock(mu_);
+  std::uint64_t over_submitted = 0;
+  std::uint64_t over_completed = 0;
+  std::uint64_t over_failed = 0;
+  std::size_t overflowed = 0;
+  for (const auto& session : sessions_) {
+    if (session->id() < obs::kMaxSessionLabels) {
+      const std::string label = std::to_string(session->id());
+      gauge("serve.session.submitted",
+            static_cast<double>(session->submitted()), label);
+      gauge("serve.session.completed",
+            static_cast<double>(session->completed()), label);
+      gauge("serve.session.failed",
+            static_cast<double>(session->failed()), label);
+    } else {
+      over_submitted += session->submitted();
+      over_completed += session->completed();
+      over_failed += session->failed();
+      ++overflowed;
+    }
+  }
+  if (overflowed != 0) {
+    gauge("serve.session.submitted", static_cast<double>(over_submitted),
+          "overflow");
+    gauge("serve.session.completed", static_cast<double>(over_completed),
+          "overflow");
+    gauge("serve.session.failed", static_cast<double>(over_failed),
+          "overflow");
+  }
 }
 
 Session& Server::open_session() {

@@ -34,12 +34,14 @@
 #include <future>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/chunk_cache.hpp"
 #include "core/coords.hpp"
 #include "core/drx_file.hpp"
 #include "io/async_pool.hpp"
+#include "obs/exporter.hpp"
 #include "util/error.hpp"
 #include "util/sync.hpp"
 
@@ -111,6 +113,10 @@ class Server {
     int workers = 2;             ///< pool threads (>= 1)
     std::size_t queue_depth = 0; ///< 0 = DRX_SERVE_QUEUE_DEPTH
     std::size_t cache_chunks = 64;  ///< shared ChunkCache capacity
+    /// Array label on this server's scrape series (the `array` label in
+    /// /metrics — docs/OBSERVABILITY.md "Live telemetry"). Keep it a
+    /// short fixed identifier: label values are time-series keys.
+    std::string name = "default";
     /// Cache engine config. shards == 0 resolves to DRX_CACHE_SHARDS,
     /// and — unlike a plain ChunkCache, whose unset default is the
     /// 1-shard legacy cache — an unset environment here defaults to 8
@@ -158,7 +164,13 @@ class Server {
   Status execute(Session& session, const Request& req,
                  std::uint64_t submit_ns);
 
+  /// Appends this server's live gauges (per-session request counters
+  /// capped at obs::kMaxSessionLabels + an "overflow" aggregate, queue
+  /// depth, cache fast-hit ratio) for the metrics exporter.
+  void scrape(std::vector<obs::ScrapeGauge>& out) const;
+
   core::DrxFile* file_;
+  std::string name_;
   core::CachedDrxFile cached_;
   // drx-lint: allow(unannotated-mutex-member) guards the array's
   // structure (bounds/metadata owned by DrxFile, not a member here):
@@ -168,6 +180,7 @@ class Server {
   mutable util::Mutex mu_;
   std::deque<std::unique_ptr<Session>> sessions_ DRX_GUARDED_BY(mu_);
   bool stats_published_ DRX_GUARDED_BY(mu_) = false;
+  int scrape_handle_ = 0;  ///< exporter provider registration
 };
 
 }  // namespace drx::serve

@@ -1,0 +1,316 @@
+// Sliding-window metric views (obs/window.hpp): snapshot-delta math,
+// epoch ring behavior, the Registry::reset() ring-clear contract, SLO
+// evaluation, and the drx-window document + analyze_window detectors.
+#include "obs/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/analysis.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+
+namespace drx::obs {
+namespace {
+
+/// Every test leaves the global window engine the way it found it.
+class WindowTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_window_enabled(true);
+    window_clear();
+  }
+  void TearDown() override {
+    set_window_config(WindowConfig{0, 0});  // back to env/default
+    set_slo_targets({});
+    set_window_enabled(true);
+    window_clear();
+  }
+};
+
+TEST_F(WindowTest, SnapshotDeltaSubtractsAndSaturates) {
+  MetricsSnapshot base;
+  base.counters.push_back(CounterSample{"a", 10});
+  base.counters.push_back(CounterSample{"gone", 99});
+  HistogramSample hb;
+  hb.name = "h";
+  hb.count = 4;
+  hb.sum = 100;
+  hb.buckets[3] = 4;
+  base.histograms.push_back(hb);
+
+  MetricsSnapshot cur;
+  cur.counters.push_back(CounterSample{"a", 17});
+  cur.counters.push_back(CounterSample{"new", 5});
+  // A reset between captures can make cur < base: must clamp to 0, not
+  // wrap.
+  cur.counters.push_back(CounterSample{"gone", 0});
+  HistogramSample hc = hb;
+  hc.count = 9;
+  hc.sum = 180;
+  hc.buckets[3] = 7;
+  hc.buckets[5] = 2;
+  cur.histograms.push_back(hc);
+
+  const MetricsSnapshot d = snapshot_delta(cur, base);
+  EXPECT_EQ(d.counter("a"), 7u);
+  EXPECT_EQ(d.counter("new"), 5u);
+  EXPECT_EQ(d.counter("gone"), 0u);  // saturated, and dropped as zero
+  ASSERT_EQ(d.histograms.size(), 1u);
+  EXPECT_EQ(d.histograms[0].count, 5u);
+  EXPECT_EQ(d.histograms[0].sum, 80u);
+  EXPECT_EQ(d.histograms[0].buckets[3], 3u);
+  EXPECT_EQ(d.histograms[0].buckets[5], 2u);
+}
+
+TEST_F(WindowTest, DefaultConfigIsTenSecondsBySixEpochs) {
+  set_window_config(WindowConfig{0, 0});
+  const WindowConfig cfg = window_config();
+  // DRX_STATS_WINDOW may override in exotic test environments, but the
+  // shape must hold: a positive epoch and a multi-epoch horizon.
+  EXPECT_GT(cfg.epoch_ms, 0u);
+  EXPECT_GT(cfg.epochs, 0u);
+  EXPECT_EQ(cfg.horizon_ms(), cfg.epoch_ms * cfg.epochs);
+}
+
+TEST_F(WindowTest, ViewIsDeltaSinceOldestEpoch) {
+  const MetricId c = counter_id("test.win.view.counter");
+  const MetricId h = histogram_id("test.win.view.lat_us");
+  process_registry().counter(c).add(5);
+  window_record_epoch();  // ring: [snapshot with 5]
+  process_registry().counter(c).add(7);
+  process_registry().histogram(h).observe(100);
+  const WindowView view = window_view();
+  EXPECT_EQ(view.epochs, 1u);
+  EXPECT_EQ(view.delta.counter("test.win.view.counter"), 7u);
+  bool found = false;
+  for (const HistogramSample& s : view.delta.histograms) {
+    if (s.name == "test.win.view.lat_us") {
+      found = true;
+      EXPECT_EQ(s.count, 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(WindowTest, EmptyRingFallsBackToCumulative) {
+  const MetricId c = counter_id("test.win.fallback.counter");
+  process_registry().counter(c).add(3);
+  window_clear();
+  set_window_enabled(false);
+  const WindowView view = window_view();
+  EXPECT_EQ(view.epochs, 0u);
+  EXPECT_GE(view.delta.counter("test.win.fallback.counter"), 3u);
+}
+
+TEST_F(WindowTest, EpochDeltasAreConsecutivePairs) {
+  const MetricId c = counter_id("test.win.epochs.counter");
+  window_record_epoch();
+  process_registry().counter(c).add(2);
+  window_record_epoch();
+  process_registry().counter(c).add(9);
+  window_record_epoch();
+  const std::vector<EpochDelta> epochs = window_epochs();
+  ASSERT_GE(epochs.size(), 2u);
+  const std::size_t n = epochs.size();
+  EXPECT_EQ(epochs[n - 2].delta.counter("test.win.epochs.counter"), 2u);
+  EXPECT_EQ(epochs[n - 1].delta.counter("test.win.epochs.counter"), 9u);
+}
+
+TEST_F(WindowTest, RingIsTrimmedToConfiguredEpochs) {
+  set_window_config(WindowConfig{1, 2});
+  for (int i = 0; i < 6; ++i) window_record_epoch();
+  EXPECT_LE(window_epochs().size(), 2u);
+  const WindowView view = window_view();
+  EXPECT_LE(view.epochs, 3u);  // epochs + 1 ring entries at most
+}
+
+TEST_F(WindowTest, RegistryResetClearsTheRing) {
+  // Regression: reset() used to zero the fast-id slots in place but
+  // leave pre-reset cumulative epochs in the ring, so the next window
+  // view subtracted a stale large baseline from a small post-reset live
+  // snapshot and reported garbage (saturated zeros).
+  const MetricId c = counter_id("test.win.reset.counter");
+  process_registry().counter(c).add(100);
+  window_record_epoch();
+  ASSERT_EQ(window_view().epochs, 1u);
+  process_registry().reset();
+  // The stale epoch must be gone: no completed epoch survives the reset
+  // (the tick inside window_epochs reseeds at most one fresh capture).
+  EXPECT_TRUE(window_epochs().empty());
+  // And new traffic is visible immediately — with the stale baseline
+  // still in the ring this delta would saturate to 0 (4 - 100).
+  process_registry().counter(c).add(4);
+  EXPECT_EQ(window_view().delta.counter("test.win.reset.counter"), 4u);
+}
+
+TEST_F(WindowTest, WindowJsonIsValidAndTagged) {
+  const MetricId h = histogram_id("test.win.json.lat_us");
+  window_record_epoch();
+  process_registry().histogram(h).observe(512);
+  window_record_epoch();
+  JsonWriter w;
+  window_to_json(w);
+  ASSERT_TRUE(json_validate(w.str()));
+  auto doc = json_parse(w.str());
+  ASSERT_TRUE(doc.is_ok());
+  const JsonValue* fmt = doc.value().find("format");
+  ASSERT_NE(fmt, nullptr);
+  EXPECT_EQ(fmt->as_string(), "drx-window");
+  EXPECT_NE(doc.value().find("config"), nullptr);
+  EXPECT_NE(doc.value().find("slo"), nullptr);
+  EXPECT_NE(doc.value().find("window"), nullptr);
+  EXPECT_NE(doc.value().find("epoch_deltas"), nullptr);
+}
+
+// ---- SLO math -------------------------------------------------------------
+
+HistogramSample latency_histogram(std::uint64_t fast, std::uint64_t slow) {
+  // `fast` observations land at ~512us (bucket 10, upper bound 1023),
+  // `slow` at ~65ms (bucket 17).
+  HistogramSample h;
+  h.name = "serve.request.latency_us";
+  h.count = fast + slow;
+  h.sum = fast * 512 + slow * 65000;
+  h.buckets[10] = fast;
+  h.buckets[17] = slow;
+  return h;
+}
+
+TEST(Slo, EvaluateCountsBucketsAboveTarget) {
+  SloTarget t{"serve.request.latency_us", 1023, 0.01};
+  const SloEval e = evaluate_slo(t, latency_histogram(98, 2));
+  EXPECT_EQ(e.total, 100u);
+  EXPECT_EQ(e.bad, 2u);
+  EXPECT_DOUBLE_EQ(e.bad_fraction, 0.02);
+  EXPECT_DOUBLE_EQ(e.burn_rate, 2.0);
+}
+
+TEST(Slo, EvaluateIsConservativeInsideABucket) {
+  // Target mid-bucket: the whole bucket counts as bad (over-counting is
+  // the safe direction for an SLO check).
+  SloTarget t{"serve.request.latency_us", 600, 0.01};
+  const SloEval e = evaluate_slo(t, latency_histogram(10, 0));
+  EXPECT_EQ(e.bad, 10u);
+}
+
+TEST(Slo, TargetsOverrideAndRestore) {
+  set_slo_targets({SloTarget{"x_us", 100, 0.5}});
+  auto targets = slo_targets();
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_EQ(targets[0].histogram, "x_us");
+  set_slo_targets({});
+  EXPECT_FALSE(slo_targets().empty());  // back to DRX_SLO/default set
+}
+
+// ---- analyze_window -------------------------------------------------------
+
+std::string window_doc(const HistogramSample& slow_h,
+                       const HistogramSample& fast_h,
+                       const HistogramSample& trail_h,
+                       std::uint64_t target_us, double budget) {
+  const auto metrics = [](JsonWriter& w, const HistogramSample& h) {
+    MetricsSnapshot snap;
+    snap.histograms.push_back(h);
+    metrics_to_json(snap, w);
+  };
+  JsonWriter w;
+  w.begin_object();
+  w.key("format").value("drx-window");
+  w.key("version").value(std::uint64_t{1});
+  w.key("slo").begin_array().begin_object();
+  w.key("histogram").value(slow_h.name);
+  w.key("target_us").value(target_us);
+  w.key("budget").value(budget);
+  w.end_object().end_array();
+  w.key("window").begin_object();
+  w.key("span_us").value(std::uint64_t{60000000});
+  w.key("metrics");
+  metrics(w, slow_h);
+  w.end_object();
+  w.key("epoch_deltas").begin_array();
+  w.begin_object();
+  w.key("t_us").value(std::uint64_t{10000000});
+  w.key("span_us").value(std::uint64_t{10000000});
+  w.key("metrics");
+  metrics(w, trail_h);
+  w.end_object();
+  w.begin_object();
+  w.key("t_us").value(std::uint64_t{20000000});
+  w.key("span_us").value(std::uint64_t{10000000});
+  w.key("metrics");
+  metrics(w, fast_h);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+TEST(AnalyzeWindow, SloBreachFiresBurnRateError) {
+  // 30% of requests over a 1% budget in BOTH windows: burn 30x >= 14.4.
+  const HistogramSample breach = latency_histogram(70, 30);
+  auto doc = json_parse(
+      window_doc(breach, breach, latency_histogram(70, 30), 1023, 0.01));
+  ASSERT_TRUE(doc.is_ok());
+  std::vector<analysis::Finding> findings;
+  analysis::analyze_window(doc.value(), findings);
+  bool fired = false;
+  for (const auto& f : findings) {
+    if (f.id == "slo-burn-rate") {
+      fired = true;
+      EXPECT_EQ(f.severity, analysis::Severity::kError);
+      EXPECT_GE(f.score, analysis::kBurnError);
+    }
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(AnalyzeWindow, FastWindowBlipAloneDoesNotPage) {
+  // Slow window healthy, fast window breaching: multi-window alerting
+  // stays quiet (info finding only).
+  auto doc = json_parse(window_doc(latency_histogram(998, 2),
+                                   latency_histogram(10, 30),
+                                   latency_histogram(500, 1), 1023, 0.01));
+  ASSERT_TRUE(doc.is_ok());
+  std::vector<analysis::Finding> findings;
+  analysis::analyze_window(doc.value(), findings);
+  for (const auto& f : findings) {
+    if (f.id == "slo-burn-rate") {
+      EXPECT_EQ(f.severity, analysis::Severity::kInfo);
+    }
+  }
+}
+
+TEST(AnalyzeWindow, RegressionAgainstTrailingBaseline) {
+  // Trailing epochs p95 ~1ms, latest epoch p95 ~65ms: an in-window
+  // latency regression (ratio ~64x >= 8x error bar).
+  auto doc = json_parse(window_doc(latency_histogram(100, 100),
+                                   latency_histogram(0, 100),
+                                   latency_histogram(100, 0), 1023, 1.0));
+  ASSERT_TRUE(doc.is_ok());
+  std::vector<analysis::Finding> findings;
+  analysis::analyze_window(doc.value(), findings);
+  bool fired = false;
+  for (const auto& f : findings) {
+    if (f.id == "window-regression") {
+      fired = true;
+      EXPECT_EQ(f.severity, analysis::Severity::kError);
+    }
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(AnalyzeWindow, BadFormatIsAnError) {
+  auto doc = json_parse(R"({"format":"drx-flight"})");
+  ASSERT_TRUE(doc.is_ok());
+  std::vector<analysis::Finding> findings;
+  analysis::analyze_window(doc.value(), findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].id, "window-bad-format");
+  EXPECT_EQ(findings[0].severity, analysis::Severity::kError);
+}
+
+}  // namespace
+}  // namespace drx::obs

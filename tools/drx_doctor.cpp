@@ -7,6 +7,9 @@
 //   --series <series.json>     DRX_STATS_INTERVAL time series
 //   --bench <report.json>      DRX_BENCH_JSON report file (one doc/line)
 //   --flight <flight.json>     flight-recorder post-mortem dump
+//   --window <window.json>     drx-window live-telemetry document (the
+//                              exporter's /window.json — SLO burn rates
+//                              and in-window latency regressions)
 //
 // and runs the obs::analysis detectors: rank/server/aggregator imbalance,
 // cache thrash, prefetch effectiveness, dropped traces, critical path,
@@ -102,6 +105,15 @@ int analyze_flight_file(const std::string& path, Report& report) {
   return 0;
 }
 
+int analyze_window_file(const std::string& path, Report& report) {
+  std::string raw;
+  if (!read_file(path, raw)) return fail_input(path, "cannot read");
+  auto doc = drx::obs::json_parse(raw);
+  if (!doc.is_ok()) return fail_input(path, doc.status().to_string());
+  drx::obs::analysis::analyze_window(doc.value(), report.findings);
+  return 0;
+}
+
 int analyze_bench_file(const std::string& path, Report& report) {
   std::string raw;
   if (!read_file(path, raw)) return fail_input(path, "cannot read");
@@ -142,7 +154,8 @@ void usage() {
                "                  [--trace <trace.json>]\n"
                "                  [--series <series.json>]\n"
                "                  [--bench <report.json>]\n"
-               "                  [--flight <flight.json>]\n");
+               "                  [--flight <flight.json>]\n"
+               "                  [--window <window.json>]\n");
 }
 
 }  // namespace
@@ -159,7 +172,7 @@ int main(int argc, char** argv) {
       strict = true;
     } else if (arg == "--metrics" || arg == "--profile" || arg == "--trace" ||
                arg == "--series" || arg == "--bench" ||
-               arg == "--flight") {
+               arg == "--flight" || arg == "--window") {
       if (i + 1 >= argc) {
         usage();
         return 2;
@@ -184,6 +197,7 @@ int main(int argc, char** argv) {
     if (kind == "series") rc = analyze_series_file(path, report);
     if (kind == "bench") rc = analyze_bench_file(path, report);
     if (kind == "flight") rc = analyze_flight_file(path, report);
+    if (kind == "window") rc = analyze_window_file(path, report);
     if (rc != 0) return rc;
   }
 
