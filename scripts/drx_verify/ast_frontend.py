@@ -1,0 +1,499 @@
+"""Clang AST JSON frontend for drx_verify.
+
+Consumes `compile_commands.json` and per-TU clang AST dumps
+(`clang++ <args> -fsyntax-only -Xclang -ast-dump=json`), lowering them
+to the same fact IR as the source frontend. Used by the `drx-verify`
+CI job where clang is guaranteed; the AST dumps are cached keyed on
+the source hash + command so warm runs skip clang entirely.
+
+Clang's JSON location encoding is differential: a node's "loc"/"range"
+omit "file" and "line" when unchanged from the previously printed
+node, so the walker maintains a cursor updated from every loc it
+passes (macro locations resolve through "expansionLoc"). Nodes whose
+cursor file is outside the repo (system headers) are skipped wholesale.
+
+Known limitation vs the source frontend: clang's JSON does not print
+the argument expressions of thread-safety attributes, so
+DRX_REQUIRES/DRX_ACQUIRE contracts are not recovered here — entry
+contexts from annotations are a source-frontend refinement. Include
+edges are likewise not in the AST; the CLI scans them textually for
+both frontends.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import shlex
+import subprocess
+from pathlib import Path
+
+from facts import (ACQUIRE, CALL, DISCARD, Event, Function, OK_CHECK,
+                   REACQUIRE, RELEASE, RETURN_INT, TUFacts, VALUE_CALL)
+
+LOCK_TYPES = ("MutexLock", "ReaderMutexLock", "WriterMutexLock")
+PASSTHROUGH = {
+    "ImplicitCastExpr", "ParenExpr", "ExprWithCleanups",
+    "MaterializeTemporaryExpr", "CXXBindTemporaryExpr", "ConstantExpr",
+    "FullComment",
+}
+FUNC_KINDS = {
+    "FunctionDecl", "CXXMethodDecl", "CXXConstructorDecl",
+    "CXXDestructorDecl", "CXXConversionDecl",
+}
+
+
+class AstError(Exception):
+    """Malformed AST JSON or compile_commands (exit code 3 at the CLI)."""
+
+
+def _expr_text(node: dict) -> str:
+    """Reconstructs a lock/callee expression as source-like text."""
+    if not isinstance(node, dict):
+        return ""
+    kind = node.get("kind", "")
+    inner = [n for n in node.get("inner", []) if isinstance(n, dict)]
+    if kind in PASSTHROUGH:
+        return _expr_text(inner[0]) if inner else ""
+    if kind == "DeclRefExpr":
+        ref = node.get("referencedDecl", {})
+        return ref.get("name", "")
+    if kind == "MemberExpr":
+        name = node.get("name", "")
+        base = _expr_text(inner[0]) if inner else ""
+        if not base or base == "this":
+            return name
+        return f"{base}{'->' if node.get('isArrow') else '.'}{name}"
+    if kind == "CXXThisExpr":
+        return "this"
+    if kind == "ArraySubscriptExpr" and len(inner) >= 2:
+        return f"{_expr_text(inner[0])}[{_expr_text(inner[1])}]"
+    if kind in ("CallExpr", "CXXMemberCallExpr", "CXXOperatorCallExpr"):
+        return f"{_expr_text(inner[0])}(...)" if inner else ""
+    if kind == "UnaryOperator":
+        op = node.get("opcode", "")
+        sub = _expr_text(inner[0]) if inner else ""
+        return f"{op}{sub}" if op in ("*", "&", "-") else sub
+    if inner:
+        return _expr_text(inner[0])
+    return ""
+
+
+class _Walker:
+    def __init__(self, repo_root: Path, default_file: str):
+        self.repo_root = repo_root
+        self.cur_file = default_file
+        self.cur_line = 0
+        self.functions: list[Function] = []
+        self.lambda_count = 0
+
+    # ---- location cursor -------------------------------------------------
+
+    def _touch_loc(self, loc) -> None:
+        if not isinstance(loc, dict):
+            return
+        if "expansionLoc" in loc:
+            loc = loc["expansionLoc"]
+        if "file" in loc:
+            self.cur_file = loc["file"]
+        if "line" in loc:
+            self.cur_line = loc["line"]
+
+    def _visit_locs(self, node: dict) -> tuple[str, int]:
+        self._touch_loc(node.get("loc"))
+        rng = node.get("range")
+        if isinstance(rng, dict):
+            self._touch_loc(rng.get("begin"))
+        return self.cur_file, self.cur_line
+
+    def _rel(self, path: str) -> str | None:
+        try:
+            p = Path(path)
+            if not p.is_absolute():
+                p = (self.repo_root / p)
+            return p.resolve().relative_to(
+                self.repo_root.resolve()).as_posix()
+        except ValueError:
+            return None
+
+    # ---- declaration walk ------------------------------------------------
+
+    def walk_decls(self, node: dict, context: list[str]) -> None:
+        kind = node.get("kind", "")
+        file, line = self._visit_locs(node)
+        inner = [n for n in node.get("inner", []) if isinstance(n, dict)]
+
+        if kind == "NamespaceDecl":
+            name = node.get("name", "")
+            sub = context + ([name] if name else [])
+            for child in inner:
+                self.walk_decls(child, sub)
+            return
+        if kind in ("CXXRecordDecl", "ClassTemplateDecl",
+                    "ClassTemplateSpecializationDecl"):
+            name = node.get("name", "")
+            sub = context + ([name] if name else [])
+            for child in inner:
+                self.walk_decls(child, sub)
+            return
+        if kind in ("LinkageSpecDecl", "TranslationUnitDecl",
+                    "FunctionTemplateDecl", "ExportDecl"):
+            for child in inner:
+                self.walk_decls(child, context)
+            return
+        if kind in FUNC_KINDS:
+            rel = self._rel(file)
+            if rel is None:
+                return  # outside the repo (system/header soup)
+            name = node.get("name", "")
+            if not name:
+                return
+            qual = "::".join(context + [name])
+            qt = node.get("type", {}).get("qualType", "")
+            ret = qt.split("(", 1)[0].strip() if "(" in qt else ""
+            body = next((n for n in inner
+                         if n.get("kind") == "CompoundStmt"), None)
+            fn = Function(name=qual, file=rel, line=line,
+                          return_type=ret.replace(" ", ""))
+            self.functions.append(fn)
+            if body is not None:
+                self.walk_body(body, fn, {}, current_call="")
+            return
+        # Other decls may still advance the cursor through their inners.
+        for child in inner:
+            self.walk_decls(child, context)
+
+    # ---- function-body walk ----------------------------------------------
+
+    def walk_body(self, node: dict, fn: Function,
+                  lock_vars: dict[str, str], current_call: str) -> None:
+        kind = node.get("kind", "")
+        file, line = self._visit_locs(node)
+        inner = [n for n in node.get("inner", []) if isinstance(n, dict)]
+
+        if kind == "CompoundStmt":
+            scope_locks: list[str] = []
+            for child in inner:
+                declared = self._visit_stmt(child, fn, lock_vars,
+                                            current_call)
+                scope_locks.extend(declared)
+            for expr in reversed(scope_locks):
+                fn.events.append(Event(RELEASE, expr, self.cur_line))
+            return
+        self._visit_stmt(node, fn, lock_vars, current_call)
+
+    def _visit_stmt(self, node: dict, fn: Function,
+                    lock_vars: dict[str, str],
+                    current_call: str) -> list[str]:
+        """Visits one statement; returns lock exprs it declared (so the
+        enclosing CompoundStmt can release them at scope exit)."""
+        kind = node.get("kind", "")
+        file, line = self._visit_locs(node)
+        inner = [n for n in node.get("inner", []) if isinstance(n, dict)]
+        declared: list[str] = []
+
+        if kind == "CompoundStmt":
+            self.walk_body(node, fn, lock_vars, current_call)
+            return []
+
+        if kind == "LambdaExpr":
+            self.lambda_count += 1
+            lfn = Function(
+                name=f"{fn.name}::<lambda@{line}>",
+                file=fn.file, line=line, is_lambda=True,
+                passed_to=current_call.split("->")[-1].split(".")[-1]
+                .split("::")[-1])
+            self.functions.append(lfn)
+            body = None
+            for child in inner:
+                if child.get("kind") == "CompoundStmt":
+                    body = child
+                self._visit_locs(child)
+            if body is not None:
+                self.walk_body(body, lfn, {}, current_call="")
+            return []
+
+        if kind in ("DeclStmt", "CXXCtorInitializer"):
+            for child in inner:
+                declared.extend(
+                    self._visit_stmt(child, fn, lock_vars, current_call))
+            return declared
+
+        if kind == "VarDecl":
+            qt = node.get("type", {}).get("qualType", "")
+            if any(t in qt for t in LOCK_TYPES) and "*" not in qt \
+                    and "&" not in qt:
+                ctor = self._find_kind(node, "CXXConstructExpr")
+                args = [n for n in (ctor or {}).get("inner", [])
+                        if isinstance(n, dict)]
+                expr = _expr_text(args[0]) if args else ""
+                if expr:
+                    lock_vars[node.get("name", "")] = expr
+                    fn.events.append(Event(ACQUIRE, expr, line))
+                    declared.append(expr)
+                for child in inner:
+                    self._visit_locs(child)
+                return declared
+            if "ShardPairLock" in qt:
+                fn.events.append(Event(ACQUIRE, "ShardPairLock", line))
+                declared.append("ShardPairLock")
+                for child in inner:
+                    self._visit_locs(child)
+                return declared
+            for child in inner:
+                declared.extend(
+                    self._visit_stmt(child, fn, lock_vars, current_call))
+            return declared
+
+        if kind == "CXXMemberCallExpr":
+            member = inner[0] if inner else {}
+            mname = member.get("name", "") \
+                if member.get("kind") == "MemberExpr" else ""
+            base_text = ""
+            minner = [n for n in member.get("inner", [])
+                      if isinstance(n, dict)]
+            if minner:
+                base_text = _expr_text(minner[0])
+            if mname in ("unlock", "lock") and base_text in lock_vars:
+                fn.events.append(Event(
+                    RELEASE if mname == "unlock" else REACQUIRE,
+                    lock_vars[base_text], line))
+            elif mname == "unlock" and base_text:
+                # A guard this function never constructed: caller-owned
+                # lock passed by reference (`*_locked` contract) —
+                # modeled as suspending the caller's lock.
+                fn.events.append(Event(
+                    RELEASE, f"<param:{base_text}>", line))
+            elif mname == "lock" and base_text and any(
+                    e.kind == RELEASE and e.data == f"<param:{base_text}>"
+                    for e in fn.events):
+                fn.events.append(Event(
+                    REACQUIRE, f"<param:{base_text}>", line))
+            elif mname == "value":
+                base = minner[0] if minner else {}
+                while base.get("kind") in PASSTHROUGH \
+                        and base.get("inner"):
+                    base = [n for n in base["inner"]
+                            if isinstance(n, dict)][0]
+                if base.get("kind", "").endswith("CallExpr"):
+                    binner = [n for n in base.get("inner", [])
+                              if isinstance(n, dict)]
+                    callee = _expr_text(binner[0]) if binner else ""
+                    fn.events.append(Event(
+                        VALUE_CALL,
+                        f"call:{callee}" if callee else "<temporary>",
+                        line))
+                else:
+                    obj = base_text.split("->")[-1].split(".")[-1]
+                    fn.events.append(Event(VALUE_CALL, obj, line))
+            elif mname == "is_ok":
+                # `x.status().is_ok()` checks x, not the temporary.
+                obj = re.sub(r"(?:\.|->)status\(\.\.\.\)$", "", base_text)
+                obj = obj.split("->")[-1].split(".")[-1]
+                fn.events.append(Event(OK_CHECK, obj, line))
+            elif mname == "status":
+                # Reading `x.status()` (DRX_RETURN_IF_ERROR(x.status()))
+                # is an explicit error inspection of x.
+                obj = base_text.split("->")[-1].split(".")[-1]
+                fn.events.append(Event(OK_CHECK, obj, line))
+            elif mname:
+                callee = _expr_text(member)
+                fn.events.append(Event(CALL, callee, line))
+                for child in inner[1:]:
+                    self._visit_stmt(child, fn, lock_vars,
+                                     current_call=callee)
+                return []
+            for child in inner[1:]:
+                self._visit_stmt(child, fn, lock_vars, current_call)
+            return []
+
+        if kind == "CallExpr":
+            callee = _expr_text(inner[0]) if inner else ""
+            if callee:
+                fn.events.append(Event(CALL, callee, line))
+            for child in inner[1:]:
+                self._visit_stmt(child, fn, lock_vars, current_call=callee)
+            return []
+
+        if kind == "CStyleCastExpr" \
+                and node.get("type", {}).get("qualType") == "void":
+            call = self._find_kind(node, "CallExpr") \
+                or self._find_kind(node, "CXXMemberCallExpr")
+            if call is not None:
+                cinner = [n for n in call.get("inner", [])
+                          if isinstance(n, dict)]
+                callee = _expr_text(cinner[0]) if cinner else ""
+                if callee:
+                    fn.events.append(Event(DISCARD, callee, line))
+            for child in inner:
+                self._visit_stmt(child, fn, lock_vars, current_call)
+            return []
+
+        if kind == "ReturnStmt":
+            neg = self._find_negative_int(node)
+            if neg is not None:
+                fn.events.append(Event(RETURN_INT, neg, line))
+            for child in inner:
+                self._visit_stmt(child, fn, lock_vars, current_call)
+            return []
+
+        if kind in ("IfStmt", "WhileStmt", "ForStmt", "DoStmt",
+                    "SwitchStmt", "ConditionalOperator",
+                    "BinaryOperator", "UnaryOperator"):
+            # Heuristic dominator: a boolean test of a named decl counts
+            # as an ok-check (matches `if (r)` / `if (!r)` idiom).
+            if kind == "IfStmt" and inner:
+                cond = inner[0]
+                name = self._bool_tested_name(cond)
+                if name:
+                    fn.events.append(Event(OK_CHECK, name, line))
+            for child in inner:
+                self._visit_stmt(child, fn, lock_vars, current_call)
+            return []
+
+        for child in inner:
+            declared.extend(
+                self._visit_stmt(child, fn, lock_vars, current_call))
+        return declared
+
+    # ---- small helpers ---------------------------------------------------
+
+    def _find_kind(self, node: dict, kind: str) -> dict | None:
+        if node.get("kind") == kind:
+            return node
+        for child in node.get("inner", []):
+            if isinstance(child, dict):
+                found = self._find_kind(child, kind)
+                if found is not None:
+                    return found
+        return None
+
+    def _find_negative_int(self, node: dict) -> str | None:
+        if node.get("kind") == "UnaryOperator" \
+                and node.get("opcode") == "-":
+            lit = self._find_kind(node, "IntegerLiteral")
+            if lit is not None:
+                return f"-{lit.get('value', '')}"
+        for child in node.get("inner", []):
+            if isinstance(child, dict):
+                found = self._find_negative_int(child)
+                if found is not None:
+                    return found
+        return None
+
+    def _bool_tested_name(self, cond: dict) -> str:
+        k = cond.get("kind", "")
+        inner = [n for n in cond.get("inner", []) if isinstance(n, dict)]
+        if k == "UnaryOperator" and cond.get("opcode") == "!" and inner:
+            return self._bool_tested_name(inner[0])
+        if k in PASSTHROUGH or k == "CXXOperatorCallExpr":
+            return self._bool_tested_name(inner[0]) if inner else ""
+        if k == "DeclRefExpr":
+            return cond.get("referencedDecl", {}).get("name", "")
+        return ""
+
+
+def parse_ast_json(data, repo_root: Path, tu_file: str) -> TUFacts:
+    if not isinstance(data, dict) or "kind" not in data:
+        raise AstError(f"{tu_file}: AST JSON has no root node")
+    if data.get("kind") != "TranslationUnitDecl":
+        raise AstError(
+            f"{tu_file}: root node is {data.get('kind')!r}, expected "
+            f"TranslationUnitDecl")
+    walker = _Walker(repo_root, tu_file)
+    walker.walk_decls(data, [])
+    return TUFacts(functions=walker.functions)
+
+
+def load_compile_commands(path: Path) -> list[dict]:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        raise AstError(f"cannot load {path}: {e}") from e
+    if not isinstance(data, list) or not all(
+            isinstance(e, dict) and "file" in e for e in data):
+        raise AstError(f"{path}: not a compile_commands.json array")
+    return data
+
+
+class AstFrontend:
+    def __init__(self, root: Path, compile_commands: Path,
+                 cache_dir: Path | None = None, clang: str = ""):
+        self.root = root
+        self.entries = load_compile_commands(compile_commands)
+        self.cache_dir = cache_dir
+        self.clang = clang
+
+    def _dump_args(self, entry: dict) -> list[str]:
+        if "arguments" in entry:
+            argv = list(entry["arguments"])
+        else:
+            argv = shlex.split(entry.get("command", ""))
+        if not argv:
+            raise AstError(f"empty command for {entry.get('file')}")
+        if self.clang:
+            argv[0] = self.clang
+        out: list[str] = []
+        skip = False
+        for a in argv:
+            if skip:
+                skip = False
+                continue
+            if a == "-o":
+                skip = True
+                continue
+            if a == "-c":
+                continue
+            out.append(a)
+        out += ["-fsyntax-only", "-Xclang", "-ast-dump=json", "-w"]
+        return out
+
+    def _cache_key(self, src: Path, argv: list[str]) -> str:
+        h = hashlib.sha256()
+        h.update(src.read_bytes())
+        h.update("\0".join(argv).encode())
+        return h.hexdigest()
+
+    def parse_tu(self, entry: dict) -> TUFacts:
+        src = Path(entry["file"])
+        if not src.is_absolute():
+            src = Path(entry.get("directory", ".")) / src
+        argv = self._dump_args(entry)
+        cached = None
+        if self.cache_dir is not None and src.exists():
+            key = self._cache_key(src, argv)
+            cached = self.cache_dir / f"{key}.json"
+            if cached.exists():
+                try:
+                    data = json.loads(cached.read_text(encoding="utf-8"))
+                except json.JSONDecodeError as e:
+                    raise AstError(f"corrupt AST cache {cached}: {e}") from e
+                return parse_ast_json(data, self.root, str(src))
+        try:
+            proc = subprocess.run(
+                argv, cwd=entry.get("directory", str(self.root)),
+                capture_output=True, text=True, check=False)
+        except OSError as e:
+            raise AstError(f"cannot run {argv[0]}: {e}") from e
+        if proc.returncode != 0:
+            raise AstError(
+                f"AST dump failed for {entry['file']}: "
+                f"{proc.stderr.strip()[:500]}")
+        try:
+            data = json.loads(proc.stdout)
+        except json.JSONDecodeError as e:
+            raise AstError(
+                f"malformed AST JSON for {entry['file']}: {e}") from e
+        if cached is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            cached.write_text(proc.stdout, encoding="utf-8")
+        return parse_ast_json(data, self.root, str(src))
+
+    def parse_all(self, file_filter=None) -> TUFacts:
+        facts = TUFacts()
+        for entry in self.entries:
+            if file_filter is not None and not file_filter(entry["file"]):
+                continue
+            facts.merge(self.parse_tu(entry))
+        return facts

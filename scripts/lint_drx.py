@@ -31,23 +31,31 @@ Rules (see docs/STATIC_ANALYSIS.md for the full rationale):
                           AxialMapping implementation desynchronize the
                           element bounds from the chunk grid.
 
-  cache-lock-io           No blocking chunk I/O (file_->read_chunk /
+  cache-lock-io [--fast]  No blocking chunk I/O (file_->read_chunk /
                           write_chunk / read_chunks) while holding a
                           ChunkCache lock (the legacy mu_ or a shard's
-                          .mu).
+                          .mu). MIGRATED: the interprocedural version is
+                          drx_verify's blocking-under-lock pass
+                          (scripts/drx_verify); this regex approximation
+                          only runs with --fast, as a cheap pre-commit
+                          check that needs no whole-program analysis.
 
   cache-lock-alloc        No chunk-buffer allocation
                           (std::make_unique<std::byte[]>) while holding
                           a ChunkCache lock; buffers come from the
                           recycled free list (take_buffer_locked).
 
-  cache-shard-pair        Never lock a second cache shard while one
+  cache-shard-pair [--fast]  Never lock a second cache shard while one
                           shard's .mu is held: two util::MutexLock
                           acquisitions on shard mutexes in one scope
                           deadlock against the opposite order. Cross-
                           shard work (capacity borrowing) goes through
                           the ordered ShardPairLock helper, which is the
-                          only code exempt from this rule.
+                          only code exempt from this rule. MIGRATED:
+                          drx_verify's lock-order pass owns this
+                          invariant (the cache.shard hierarchy level in
+                          docs/LOCK_ORDER.md); the regex version only
+                          runs with --fast.
 
   element-granular-copy   The data-plane hot paths (scatter/copy_plan,
                           drx_file, chunk_cache, drxmp, and the dra_like /
@@ -289,12 +297,17 @@ def lint_mutex_members(path: Path, lines: list[str],
 
 
 def lint_cache_lock(path: Path, lines: list[str],
-                    findings: list[Finding]) -> None:
+                    findings: list[Finding], fast: bool) -> None:
     """Tracks which ChunkCache locks are held, by brace depth.
 
     Recognizes the legacy single lock (`mu_`) and per-shard locks
     (`s.mu`, `shards_[i].mu`); the leaf locks (seq_mu_, error_mu_,
     io_mu_) do not match either form and are exempt by construction.
+
+    cache-lock-io and cache-shard-pair migrated to drx_verify's
+    interprocedural passes (blocking-under-lock / lock-order) and are
+    emitted only when `fast` is set; cache-lock-alloc has no drx_verify
+    counterpart and always runs.
     """
     depth = 0
     # (brace depth at acquisition, is-a-shard-lock)
@@ -322,7 +335,7 @@ def lint_cache_lock(path: Path, lines: list[str],
         lm = CACHE_LOCK_ACQUIRE.search(code)
         if lm:
             is_shard = lm.group(1).endswith(".mu")
-            if (is_shard and not shard_exempt
+            if (fast and is_shard and not shard_exempt
                     and any(s for _, s in held_stack) and not suspended
                     and "cache-shard-pair" not in allowed):
                 findings.append(Finding(
@@ -340,7 +353,8 @@ def lint_cache_lock(path: Path, lines: list[str],
 
         held = bool(held_stack) and not suspended
         if held:
-            if CACHE_IO.search(code) and "cache-lock-io" not in allowed:
+            if (fast and CACHE_IO.search(code)
+                    and "cache-lock-io" not in allowed):
                 findings.append(Finding(
                     path, i + 1, "cache-lock-io",
                     "blocking chunk I/O while holding a cache lock"))
@@ -355,7 +369,7 @@ def lint_cache_lock(path: Path, lines: list[str],
             held_stack.pop()
 
 
-def lint_tree(root: Path) -> list[Finding]:
+def lint_tree(root: Path, fast: bool = False) -> list[Finding]:
     findings: list[Finding] = []
     src = root / "src"
     if not src.is_dir():
@@ -370,7 +384,7 @@ def lint_tree(root: Path) -> list[Finding]:
         if rel != "src/util/sync.hpp":
             lint_mutex_members(path, lines, findings)
         if rel == "src/core/chunk_cache.cpp":
-            lint_cache_lock(path, lines, findings)
+            lint_cache_lock(path, lines, findings, fast)
     return findings
 
 
@@ -387,11 +401,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "-q", "--quiet", action="store_true",
         help="print only the finding count")
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="also run the regex approximations of rules that migrated "
+             "to drx_verify (cache-lock-io, cache-shard-pair) — a cheap "
+             "pre-commit stand-in for the whole-program passes")
     args = parser.parse_args(argv)
 
     root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
     try:
-        findings = lint_tree(root)
+        findings = lint_tree(root, fast=args.fast)
     except (FileNotFoundError, UnicodeDecodeError) as err:
         print(f"lint_drx: {err}", file=sys.stderr)
         return 2

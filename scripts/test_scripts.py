@@ -31,6 +31,24 @@ prefetch_gate = _load("check_prefetch_gate")
 exposition = _load("check_exposition")
 lint_drx = _load("lint_drx")
 
+# drx_verify is a package of sibling modules imported bare (it runs as
+# `python3 scripts/drx_verify`), so its directory must be importable
+# before its __main__ executes.
+DRX_VERIFY_DIR = SCRIPTS_DIR / "drx_verify"
+sys.path.insert(0, str(DRX_VERIFY_DIR))
+
+
+def _load_verify(name, filename):
+    spec = importlib.util.spec_from_file_location(
+        name, DRX_VERIFY_DIR / filename)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+drx_verify = _load_verify("drx_verify_cli", "__main__.py")
+ast_frontend = _load_verify("ast_frontend", "ast_frontend.py")
+
 
 def run_main(mod, argv):
     """Runs mod.main(argv), returning (exit_code, stdout, stderr)."""
@@ -476,16 +494,28 @@ class TestLintDrx(unittest.TestCase):
         self.assertEqual(code, 1)
         self.assertIn("hot-path-obs-guard", out)
 
-    def test_cache_lock_io_flagged(self):
+    def test_cache_lock_io_flagged_with_fast(self):
         body = ("Status ChunkCache::pin(std::uint64_t a) {\n"
                 "  util::MutexLock lock(mu_);\n"
                 "  file_->read_chunk(a, span);\n"
                 "}\n")
         with tempfile.TemporaryDirectory() as tmp:
             root = self._tree(tmp, {"src/core/chunk_cache.cpp": body})
-            code, out, _ = run_main(lint_drx, ["--root", root])
+            code, out, _ = run_main(lint_drx, ["--root", root, "--fast"])
         self.assertEqual(code, 1)
         self.assertIn("cache-lock-io", out)
+
+    def test_cache_lock_io_migrated_off_by_default(self):
+        # The interprocedural version lives in drx_verify; without --fast
+        # the regex approximation stays quiet.
+        body = ("Status ChunkCache::pin(std::uint64_t a) {\n"
+                "  util::MutexLock lock(mu_);\n"
+                "  file_->read_chunk(a, span);\n"
+                "}\n")
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {"src/core/chunk_cache.cpp": body})
+            code, _, _ = run_main(lint_drx, ["--root", root])
+        self.assertEqual(code, 0)
 
     def test_cache_io_after_unlock_clean(self):
         body = ("Status ChunkCache::pin(std::uint64_t a) {\n"
@@ -496,7 +526,7 @@ class TestLintDrx(unittest.TestCase):
                 "}\n")
         with tempfile.TemporaryDirectory() as tmp:
             root = self._tree(tmp, {"src/core/chunk_cache.cpp": body})
-            code, _, _ = run_main(lint_drx, ["--root", root])
+            code, _, _ = run_main(lint_drx, ["--root", root, "--fast"])
         self.assertEqual(code, 0)
 
     def test_cache_lock_scope_ends_at_brace(self):
@@ -508,7 +538,7 @@ class TestLintDrx(unittest.TestCase):
                 "}\n")
         with tempfile.TemporaryDirectory() as tmp:
             root = self._tree(tmp, {"src/core/chunk_cache.cpp": body})
-            code, _, _ = run_main(lint_drx, ["--root", root])
+            code, _, _ = run_main(lint_drx, ["--root", root, "--fast"])
         self.assertEqual(code, 0)
 
     def test_locked_helper_allocation_flagged(self):
@@ -528,7 +558,7 @@ class TestLintDrx(unittest.TestCase):
                 "}\n")
         with tempfile.TemporaryDirectory() as tmp:
             root = self._tree(tmp, {"src/core/chunk_cache.cpp": body})
-            code, out, _ = run_main(lint_drx, ["--root", root])
+            code, out, _ = run_main(lint_drx, ["--root", root, "--fast"])
         self.assertEqual(code, 1)
         self.assertIn("cache-shard-pair", out)
 
@@ -540,7 +570,7 @@ class TestLintDrx(unittest.TestCase):
                 "}\n")
         with tempfile.TemporaryDirectory() as tmp:
             root = self._tree(tmp, {"src/core/chunk_cache.cpp": body})
-            code, _, _ = run_main(lint_drx, ["--root", root])
+            code, _, _ = run_main(lint_drx, ["--root", root, "--fast"])
         self.assertEqual(code, 0)
 
     def test_sequential_shard_locks_clean(self):
@@ -551,7 +581,7 @@ class TestLintDrx(unittest.TestCase):
                 "}\n")
         with tempfile.TemporaryDirectory() as tmp:
             root = self._tree(tmp, {"src/core/chunk_cache.cpp": body})
-            code, _, _ = run_main(lint_drx, ["--root", root])
+            code, _, _ = run_main(lint_drx, ["--root", root, "--fast"])
         self.assertEqual(code, 0)
 
     def test_shard_lock_io_flagged(self):
@@ -561,7 +591,7 @@ class TestLintDrx(unittest.TestCase):
                 "}\n")
         with tempfile.TemporaryDirectory() as tmp:
             root = self._tree(tmp, {"src/core/chunk_cache.cpp": body})
-            code, out, _ = run_main(lint_drx, ["--root", root])
+            code, out, _ = run_main(lint_drx, ["--root", root, "--fast"])
         self.assertEqual(code, 1)
         self.assertIn("cache-lock-io", out)
 
@@ -646,6 +676,197 @@ class TestLintDrx(unittest.TestCase):
         repo = SCRIPTS_DIR.parent
         code, out, _ = run_main(lint_drx, ["--root", str(repo)])
         self.assertEqual(code, 0, f"lint_drx findings in repo:\n{out}")
+
+    def test_repo_tree_is_clean_fast(self):
+        repo = SCRIPTS_DIR.parent
+        code, out, _ = run_main(lint_drx, ["--root", str(repo), "--fast"])
+        self.assertEqual(code, 0, f"lint_drx --fast findings in repo:\n{out}")
+
+
+class TestDrxVerify(unittest.TestCase):
+    """CLI contract of the whole-program analyzer (scripts/drx_verify).
+
+    The analyzer's precision/recall over real defects is pinned by the
+    ctest corpus gate (tests/verify/check_corpus.py); these tests cover
+    the exit-code contract, the suppression syntax, and the AST walker
+    on a hand-written clang-style JSON fixture (no clang needed).
+    """
+
+    HIERARCHY = str(SCRIPTS_DIR.parent / "docs" / "LOCK_ORDER.md")
+
+    def _tree(self, tmp, files):
+        root = Path(tmp)
+        for rel, body in files.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(body, encoding="utf-8")
+        return str(root)
+
+    def _run(self, root, *extra):
+        return run_main(drx_verify, ["--root", root, "--hierarchy",
+                                     self.HIERARCHY, *extra])
+
+    def test_help_exits_zero(self):
+        code, _, _ = run_main(drx_verify, ["--help"])
+        self.assertEqual(code, 0)
+
+    def test_missing_src_root_exits_two(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            code, _, err = self._run(tmp)
+        self.assertEqual(code, 2)
+        self.assertIn("no such subtree", err)
+
+    def test_missing_hierarchy_exits_three(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            self._tree(tmp, {"src/a.cpp": "void f() {}\n"})
+            code, _, err = run_main(drx_verify, [
+                "--root", tmp,
+                "--hierarchy", str(Path(tmp) / "absent.md")])
+        self.assertEqual(code, 3)
+
+    def test_bad_compile_commands_exits_three(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {
+                "src/a.cpp": "void f() {}\n",
+                "build/compile_commands.json": "this is not json\n"})
+            code, _, err = self._run(
+                root, "--frontend", "ast",
+                "--compile-commands",
+                str(Path(root) / "build" / "compile_commands.json"))
+        self.assertEqual(code, 3)
+        self.assertIn("cannot load", err)
+
+    def test_compile_commands_not_an_array_exits_three(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {
+                "src/a.cpp": "void f() {}\n",
+                "build/compile_commands.json": "{\"file\": \"a.cpp\"}\n"})
+            code, _, err = self._run(
+                root, "--frontend", "ast",
+                "--compile-commands",
+                str(Path(root) / "build" / "compile_commands.json"))
+        self.assertEqual(code, 3)
+        self.assertIn("not a compile_commands.json array", err)
+
+    def test_malformed_ast_dump_exits_three(self):
+        # A stand-in "clang" that emits broken JSON: the CLI must report
+        # malformed input, not crash or pass.
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {
+                "src/a.cpp": "void f() {}\n",
+                "fake-clang": "#!/bin/sh\necho '{'\n"})
+            fake = Path(root) / "fake-clang"
+            fake.chmod(0o755)
+            cc = [{"directory": root, "file": "src/a.cpp",
+                   "command": "c++ -c src/a.cpp"}]
+            ccpath = Path(root) / "compile_commands.json"
+            ccpath.write_text(json.dumps(cc), encoding="utf-8")
+            code, _, err = self._run(
+                root, "--frontend", "ast",
+                "--compile-commands", str(ccpath), "--clang", str(fake))
+        self.assertEqual(code, 3)
+        self.assertIn("malformed AST JSON", err)
+
+    def test_ast_walker_on_synthetic_fixture(self):
+        # Clang-style AST JSON, hand-written: a function that acquires a
+        # MutexLock must yield ACQUIRE + scope-close RELEASE facts.
+        fixture = {
+            "kind": "TranslationUnitDecl",
+            "inner": [{
+                "kind": "NamespaceDecl", "name": "drx",
+                "inner": [{
+                    "kind": "FunctionDecl", "name": "touch",
+                    "loc": {"file": "src/core/a.cpp", "line": 3},
+                    "type": {"qualType": "void ()"},
+                    "inner": [{
+                        "kind": "CompoundStmt",
+                        "inner": [{
+                            "kind": "DeclStmt",
+                            "inner": [{
+                                "kind": "VarDecl", "name": "lock",
+                                "loc": {"line": 4},
+                                "type": {"qualType": "util::MutexLock"},
+                                "inner": [{
+                                    "kind": "CXXConstructExpr",
+                                    "inner": [{
+                                        "kind": "DeclRefExpr",
+                                        "referencedDecl": {"name": "mu_"},
+                                    }],
+                                }],
+                            }],
+                        }],
+                    }],
+                }],
+            }],
+        }
+        facts = ast_frontend.parse_ast_json(
+            fixture, SCRIPTS_DIR.parent, "src/core/a.cpp")
+        fns = [f for f in facts.functions if f.name == "drx::touch"]
+        self.assertEqual(len(fns), 1)
+        kinds = [(e.kind, e.data) for e in fns[0].events]
+        self.assertIn(("acquire", "mu_"), kinds)
+        self.assertIn(("release", "mu_"), kinds)
+
+    def test_ast_walker_rejects_wrong_root(self):
+        with self.assertRaises(ast_frontend.AstError):
+            ast_frontend.parse_ast_json(
+                {"kind": "CompoundStmt"}, SCRIPTS_DIR.parent, "x.cpp")
+        with self.assertRaises(ast_frontend.AstError):
+            ast_frontend.parse_ast_json(
+                ["not", "a", "dict"], SCRIPTS_DIR.parent, "x.cpp")
+
+    DEFECT = ("#include \"util/error.hpp\"\n"
+              "namespace drx {\n"
+              "Status spill() { return Status::ok(); }\n"
+              "void f() {\n"
+              "  (void)spill();\n"
+              "}\n"
+              "}  // namespace drx\n")
+
+    def test_discarded_status_found(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {"src/util/a.cpp": self.DEFECT})
+            code, out, _ = self._run(root)
+        self.assertEqual(code, 1)
+        self.assertIn("error-discipline", out)
+
+    def test_suppression_silences_finding(self):
+        body = self.DEFECT.replace(
+            "  (void)spill();",
+            "  // drx-verify: allow(error-discipline) best-effort spill\n"
+            "  (void)spill();")
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {"src/util/a.cpp": body})
+            code, _, _ = self._run(root)
+            strict_code, _, _ = self._run(root, "--strict")
+        self.assertEqual(code, 0)
+        self.assertEqual(strict_code, 0)  # justified: strict-clean too
+
+    def test_strict_rejects_bare_suppression(self):
+        body = self.DEFECT.replace(
+            "  (void)spill();",
+            "  // drx-verify: allow(error-discipline)\n"
+            "  (void)spill();")
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {"src/util/a.cpp": body})
+            code, _, _ = self._run(root)
+            strict_code, out, _ = self._run(root, "--strict")
+        self.assertEqual(code, 0)  # suppressed either way
+        self.assertEqual(strict_code, 1)  # but strict wants the reason
+
+    def test_json_and_text_reports_written(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self._tree(tmp, {"src/util/a.cpp": self.DEFECT})
+            jout = Path(tmp) / "out" / "findings.json"
+            tout = Path(tmp) / "out" / "findings.txt"
+            code, _, _ = self._run(root, "--json", str(jout),
+                                   "--text", str(tout), "-q")
+            payload = json.loads(jout.read_text(encoding="utf-8"))
+            text = tout.read_text(encoding="utf-8")
+        self.assertEqual(code, 1)
+        self.assertEqual(len(payload["findings"]), 1)
+        self.assertEqual(payload["findings"][0]["rule"], "error-discipline")
+        self.assertIn("error-discipline", text)
 
 
 if __name__ == "__main__":

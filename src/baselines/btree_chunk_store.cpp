@@ -163,8 +163,8 @@ Result<BTreeChunkStore::Node*> BTreeChunkStore::fetch(
 
 BTreeChunkStore::Node* BTreeChunkStore::put(std::uint64_t page_offset,
                                             Node node, bool dirty) {
-  // Eviction failures only matter on flush; drop the status here.
-  (void)evict_if_needed();
+  DRX_IGNORE_STATUS(evict_if_needed(),
+                    "eviction failures only matter on flush");
   lru_.push_front(page_offset);
   CacheEntry entry;
   entry.node = std::move(node);

@@ -39,18 +39,18 @@ class BTreeChunkStore {
 
   static constexpr std::uint64_t kPageBytes = 4096;
 
-  static Result<BTreeChunkStore> create(std::unique_ptr<pfs::Storage> storage,
+  [[nodiscard]] static Result<BTreeChunkStore> create(std::unique_ptr<pfs::Storage> storage,
                                         std::size_t rank,
                                         std::uint64_t chunk_bytes,
                                         const Options& options);
-  static Result<BTreeChunkStore> create(std::unique_ptr<pfs::Storage> storage,
+  [[nodiscard]] static Result<BTreeChunkStore> create(std::unique_ptr<pfs::Storage> storage,
                                         std::size_t rank,
                                         std::uint64_t chunk_bytes) {
     return create(std::move(storage), rank, chunk_bytes, Options{});
   }
-  static Result<BTreeChunkStore> open(std::unique_ptr<pfs::Storage> storage,
+  [[nodiscard]] static Result<BTreeChunkStore> open(std::unique_ptr<pfs::Storage> storage,
                                       const Options& options);
-  static Result<BTreeChunkStore> open(std::unique_ptr<pfs::Storage> storage) {
+  [[nodiscard]] static Result<BTreeChunkStore> open(std::unique_ptr<pfs::Storage> storage) {
     return open(std::move(storage), Options{});
   }
 
@@ -66,21 +66,21 @@ class BTreeChunkStore {
 
   /// File offset of the chunk with the given coordinates; kNotFound if the
   /// chunk was never written.
-  Result<std::uint64_t> lookup(std::span<const std::uint64_t> key);
+  [[nodiscard]] Result<std::uint64_t> lookup(std::span<const std::uint64_t> key);
 
   /// Writes (allocating on first write) the chunk at `key`.
-  Status write_chunk(std::span<const std::uint64_t> key,
+  [[nodiscard]] Status write_chunk(std::span<const std::uint64_t> key,
                      std::span<const std::byte> data);
 
   /// Reads the chunk at `key`; kNotFound if absent.
-  Status read_chunk(std::span<const std::uint64_t> key,
+  [[nodiscard]] Status read_chunk(std::span<const std::uint64_t> key,
                     std::span<std::byte> out);
 
   /// Writes back dirty cached nodes and the header.
-  Status flush();
+  [[nodiscard]] Status flush();
 
   /// Drops all cached nodes (flushing dirty ones) — models a cold cache.
-  Status drop_cache();
+  [[nodiscard]] Status drop_cache();
 
  private:
   BTreeChunkStore(std::unique_ptr<pfs::Storage> storage,
@@ -109,7 +109,7 @@ class BTreeChunkStore {
                           std::span<const std::uint64_t> b);
 
   std::vector<std::byte> encode_node(const Node& node) const;
-  Result<Node> decode_node(std::span<const std::byte> page) const;
+  [[nodiscard]] Result<Node> decode_node(std::span<const std::byte> page) const;
 
   // ---- cache -----------------------------------------------------------
   struct CacheEntry {
@@ -120,21 +120,21 @@ class BTreeChunkStore {
 
   /// Fetches a node (through the cache); the reference stays valid until
   /// the next fetch/put (callers copy what they need across fetches).
-  Result<Node*> fetch(std::uint64_t page_offset);
+  [[nodiscard]] Result<Node*> fetch(std::uint64_t page_offset);
   Node* put(std::uint64_t page_offset, Node node, bool dirty);
   void mark_dirty(std::uint64_t page_offset);
-  Status evict_if_needed();
-  Status write_node(std::uint64_t page_offset, const Node& node);
+  [[nodiscard]] Status evict_if_needed();
+  [[nodiscard]] Status write_node(std::uint64_t page_offset, const Node& node);
 
   std::uint64_t allocate_page();
   std::uint64_t allocate_chunk();
 
-  Status write_header();
-  Status read_header();
+  [[nodiscard]] Status write_header();
+  [[nodiscard]] Status read_header();
 
   /// Recursive insert; on child split returns the separator key + new
   /// right-sibling page via `split_key` / `split_page`.
-  Status insert_into(std::uint64_t page_offset,
+  [[nodiscard]] Status insert_into(std::uint64_t page_offset,
                      std::span<const std::uint64_t> key, std::uint64_t value,
                      bool* did_split, std::vector<std::uint64_t>* split_key,
                      std::uint64_t* split_page);

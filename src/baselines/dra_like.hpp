@@ -20,15 +20,15 @@ namespace drx::baselines {
 
 class DraLikeFile {
  public:
-  static Result<DraLikeFile> create(simpi::Comm& comm, pfs::Pfs& fs,
+  [[nodiscard]] static Result<DraLikeFile> create(simpi::Comm& comm, pfs::Pfs& fs,
                                     const std::string& name,
                                     core::Shape element_bounds,
                                     core::Shape chunk_shape,
                                     std::uint64_t element_bytes);
-  static Result<DraLikeFile> open(simpi::Comm& comm, pfs::Pfs& fs,
+  [[nodiscard]] static Result<DraLikeFile> open(simpi::Comm& comm, pfs::Pfs& fs,
                                   const std::string& name);
 
-  Status close();
+  [[nodiscard]] Status close();
 
   [[nodiscard]] const core::Shape& bounds() const noexcept {
     return element_bounds_;
@@ -51,9 +51,9 @@ class DraLikeFile {
   [[nodiscard]] core::Box zone_element_box(const core::Distribution& dist,
                                            int proc) const;
 
-  Status read_my_zone(const core::Distribution& dist, core::MemoryOrder order,
+  [[nodiscard]] Status read_my_zone(const core::Distribution& dist, core::MemoryOrder order,
                       std::span<std::byte> out, bool collective = true);
-  Status write_my_zone(const core::Distribution& dist,
+  [[nodiscard]] Status write_my_zone(const core::Distribution& dist,
                        core::MemoryOrder order, std::span<const std::byte> in,
                        bool collective = true);
 
@@ -74,7 +74,7 @@ class DraLikeFile {
                            core::MemoryOrder::kRowMajor);
   }
 
-  Status transfer_zone(const core::Distribution& dist,
+  [[nodiscard]] Status transfer_zone(const core::Distribution& dist,
                        core::MemoryOrder order, void* buf, bool collective,
                        bool writing);
 

@@ -28,14 +28,14 @@ class PnetcdfLikeFile {
  public:
   /// Collective creation. `bounds[0]` is the initial record count; the
   /// remaining dimensions are fixed.
-  static Result<PnetcdfLikeFile> create(simpi::Comm& comm, pfs::Pfs& fs,
+  [[nodiscard]] static Result<PnetcdfLikeFile> create(simpi::Comm& comm, pfs::Pfs& fs,
                                         const std::string& name,
                                         core::Shape bounds,
                                         std::uint64_t element_bytes);
-  static Result<PnetcdfLikeFile> open(simpi::Comm& comm, pfs::Pfs& fs,
+  [[nodiscard]] static Result<PnetcdfLikeFile> open(simpi::Comm& comm, pfs::Pfs& fs,
                                       const std::string& name);
 
-  Status close();
+  [[nodiscard]] Status close();
 
   [[nodiscard]] const core::Shape& bounds() const noexcept {
     return bounds_;
@@ -47,18 +47,18 @@ class PnetcdfLikeFile {
 
   /// Appends `count` zeroed records (collective; cheap — the NetCDF
   /// unlimited-dimension path).
-  Status append_records(std::uint64_t count);
+  [[nodiscard]] Status append_records(std::uint64_t count);
 
   /// Grows a FIXED dimension: enter define mode and copy every record
   /// into the new geometry (collective; rank 0 performs the copy).
   /// Returns payload bytes moved.
-  Result<std::uint64_t> redefine_grow(std::size_t dim, std::uint64_t delta);
+  [[nodiscard]] Result<std::uint64_t> redefine_grow(std::size_t dim, std::uint64_t delta);
 
   /// Collective write/read of whole records [first, first+count) from a
   /// row-major buffer.
-  Status write_records_all(std::uint64_t first, std::uint64_t count,
+  [[nodiscard]] Status write_records_all(std::uint64_t first, std::uint64_t count,
                            std::span<const std::byte> in);
-  Status read_records_all(std::uint64_t first, std::uint64_t count,
+  [[nodiscard]] Status read_records_all(std::uint64_t first, std::uint64_t count,
                           std::span<std::byte> out);
 
  private:
@@ -71,7 +71,7 @@ class PnetcdfLikeFile {
         esize_(esize),
         data_(std::move(data)) {}
 
-  Status persist_header();
+  [[nodiscard]] Status persist_header();
 
   static constexpr std::uint64_t kHeaderBytes = 1024;
   static constexpr std::uint32_t kMagic = 0x704E4331;  // "pNC1"

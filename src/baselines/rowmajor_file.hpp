@@ -21,7 +21,7 @@ namespace drx::baselines {
 
 class RowMajorFile {
  public:
-  static Result<RowMajorFile> create(
+  [[nodiscard]] static Result<RowMajorFile> create(
       std::unique_ptr<pfs::Storage> storage, core::Shape bounds,
       std::uint64_t element_bytes);
 
@@ -33,24 +33,24 @@ class RowMajorFile {
     return checked_product(bounds_);
   }
 
-  Status read_element(std::span<const std::uint64_t> index,
+  [[nodiscard]] Status read_element(std::span<const std::uint64_t> index,
                       std::span<std::byte> out);
-  Status write_element(std::span<const std::uint64_t> index,
+  [[nodiscard]] Status write_element(std::span<const std::uint64_t> index,
                        std::span<const std::byte> value);
 
   /// Reads element box [lo, hi) into `out` in the requested order. Issues
   /// one storage request per contiguous file run — exactly the access
   /// pattern a nested-loop application would generate.
-  Status read_box(const core::Box& box, core::MemoryOrder order,
+  [[nodiscard]] Status read_box(const core::Box& box, core::MemoryOrder order,
                   std::span<std::byte> out);
-  Status write_box(const core::Box& box, core::MemoryOrder order,
+  [[nodiscard]] Status write_box(const core::Box& box, core::MemoryOrder order,
                    std::span<const std::byte> in);
 
   /// Extends dimension `dim` by `delta`. dim == 0 appends zeroed rows;
   /// any other dimension rewrites the whole file (the reorganization the
   /// paper's scheme avoids). Returns the number of payload bytes moved by
   /// reorganization (0 for appends).
-  Result<std::uint64_t> extend(std::size_t dim, std::uint64_t delta);
+  [[nodiscard]] Result<std::uint64_t> extend(std::size_t dim, std::uint64_t delta);
 
   [[nodiscard]] pfs::Storage& storage() noexcept { return *storage_; }
 

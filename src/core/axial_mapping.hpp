@@ -122,7 +122,7 @@ class AxialMapping {
   // ---- persistence (.xmd payload) --------------------------------------
 
   void serialize(ByteWriter& out) const;
-  static Result<AxialMapping> deserialize(ByteReader& in);
+  [[nodiscard]] static Result<AxialMapping> deserialize(ByteReader& in);
 
   friend bool operator==(const AxialMapping&, const AxialMapping&) = default;
 

@@ -127,15 +127,15 @@ ChunkCache::ShardPairLock::ShardPairLock(ChunkCache& cache, std::size_t a,
                                          std::size_t b)
     DRX_NO_THREAD_SAFETY_ANALYSIS
     : first_(cache.shards_[std::min(a, b)].mu),
-      second_(cache.shards_[std::max(a, b)].mu) {
-  DRX_CHECK(a != b);
+      second_(cache.shards_[std::max(a, b)].mu),
+      same_(a == b) {
   first_.lock();
-  second_.lock();
+  if (!same_) second_.lock();
 }
 
 // Release order is the reverse of acquisition (see ctor suppression note).
 ChunkCache::ShardPairLock::~ShardPairLock() DRX_NO_THREAD_SAFETY_ANALYSIS {
-  second_.unlock();
+  if (!same_) second_.unlock();
   first_.unlock();
 }
 
@@ -710,7 +710,9 @@ std::uint64_t ChunkCache::reserve_readahead(std::uint64_t first,
     // Make room by evicting unpinned frames; their dirty write-backs are
     // deferred to the pool, so speculation never blocks on I/O here.
     while (s.frames.size() >= s.capacity && !s.lru.empty()) {
-      (void)evict_one_locked(s, lock, write_submits);
+      DRX_IGNORE_STATUS(evict_one_locked(s, lock, write_submits),
+                        "speculative fill: write-back errors are recorded "
+                        "by record_error and surface on flush()");
     }
     if (s.frames.size() >= s.capacity) break;
     Frame frame;
@@ -954,6 +956,9 @@ Status ChunkCache::flush() {
         return s.pending_writes.empty() && s.loads_inflight == 0;
       });
     }
+    // drx-verify: allow(blocking-under-lock) sync mode is single-threaded
+    // by construction — no pool workers exist to stall on the held shard
+    // lock (see flush_shard_sync_locked).
     const Status st = async() ? flush_shard_async_locked(s, lock)
                               : flush_shard_sync_locked(s, lock);
     if (direct.is_ok() && !st.is_ok()) direct = st;

@@ -133,7 +133,7 @@ class ChunkCache final : public io::PrefetchSink {
   /// fast-path memcpy. Read-only pins (`writable == false`) leave the
   /// frame published. The default is writable (conservative: correct for
   /// every legacy caller); unpin() must be called with the same flag.
-  Result<std::span<std::byte>> pin(std::uint64_t address,
+  [[nodiscard]] Result<std::span<std::byte>> pin(std::uint64_t address,
                                    bool writable = true);
 
   /// Releases a pin; `dirty` marks the buffer modified (written back on
@@ -192,14 +192,14 @@ class ChunkCache final : public io::PrefetchSink {
   /// Admission-controlled element read at `offset` bytes into the chunk
   /// at `address`. Returns true when served by bypass I/O; false when the
   /// caller should pin() (chunk resident, pending, or admitted).
-  Result<bool> read_element_bypassed(std::uint64_t address,
+  [[nodiscard]] Result<bool> read_element_bypassed(std::uint64_t address,
                                      std::uint64_t offset,
                                      std::span<std::byte> out);
 
   /// Admission-controlled element write. Same contract; under an async
   /// cache writes always admit (a bypass write could race an in-flight
   /// speculative load and lose the update on eviction).
-  Result<bool> write_element_bypassed(std::uint64_t address,
+  [[nodiscard]] Result<bool> write_element_bypassed(std::uint64_t address,
                                       std::uint64_t offset,
                                       std::span<const std::byte> value);
 
@@ -208,10 +208,10 @@ class ChunkCache final : public io::PrefetchSink {
   /// dirty frame without evicting. A dirty frame that is still pinned is
   /// written after its last pin drops (flush waits for it — do not call
   /// flush() while holding a pin on this cache).
-  Status flush();
+  [[nodiscard]] Status flush();
 
   /// Flush + drop all unpinned frames (cold-cache tool for benches).
-  Status invalidate();
+  [[nodiscard]] Status invalidate();
 
   /// Speculatively faults chunks [first, first + count) into frames using
   /// one coalesced read on the I/O pool. Advisory: resident chunks, full
@@ -248,6 +248,11 @@ class ChunkCache final : public io::PrefetchSink {
   [[nodiscard]] std::vector<std::uint64_t> shard_accesses() const;
 
  private:
+  /// White-box shim for tests/core/test_chunk_cache_sharded.cpp: exposes
+  /// ShardPairLock (self-pair and extreme-index coverage) without making
+  /// the pairing primitive public API.
+  friend struct ChunkCacheTestPeer;
+
   struct Frame {
     std::unique_ptr<std::byte[]> data;
     int pins = 0;
@@ -309,9 +314,11 @@ class ChunkCache final : public io::PrefetchSink {
 
   /// Ordered two-shard acquisition: always locks the lower-indexed
   /// shard's mutex first, so concurrent pair holders cannot deadlock.
-  /// The ONLY sanctioned way to hold two shard mutexes at once
-  /// (scripts/lint_drx.py: cache-shard-pair). Callers re-assert the
-  /// capabilities with shard.mu.assert_held() for the analysis.
+  /// A self-pair (a == b) collapses to a single acquisition, so callers
+  /// routing two addresses need not special-case them hashing to the
+  /// same shard (docs/LOCK_ORDER.md, cache.shard). The ONLY sanctioned
+  /// way to hold two shard mutexes at once (drx_verify: lock-order).
+  /// Callers re-assert the capabilities with shard.mu.assert_held().
   class ShardPairLock {
    public:
     ShardPairLock(ChunkCache& cache, std::size_t a, std::size_t b);
@@ -322,6 +329,7 @@ class ChunkCache final : public io::PrefetchSink {
    private:
     util::Mutex& first_;
     util::Mutex& second_;
+    const bool same_;  ///< a == b: second_ aliases first_, lock it once
   };
 
   /// splitmix64-style finalizer: decorrelates the shard choice from
@@ -354,7 +362,7 @@ class ChunkCache final : public io::PrefetchSink {
                                           bool write) DRX_REQUIRES(s.mu);
 
   // All *_locked helpers require the owning shard's mu held.
-  Status evict_one_locked(Shard& s, util::MutexLock& lock,
+  [[nodiscard]] Status evict_one_locked(Shard& s, util::MutexLock& lock,
                           std::vector<std::uint64_t>& write_submits)
       DRX_REQUIRES(s.mu);
   void queue_write_locked(Shard& s, std::uint64_t address,
@@ -398,12 +406,12 @@ class ChunkCache final : public io::PrefetchSink {
       DRX_REQUIRES(s.mu);
 
   // Pool jobs (run on workers; inline mode never reaches them).
-  Status run_write_job(std::uint64_t address);
-  Status run_prefetch_job(std::uint64_t first, std::uint64_t count);
+  [[nodiscard]] Status run_write_job(std::uint64_t address);
+  [[nodiscard]] Status run_prefetch_job(std::uint64_t first, std::uint64_t count);
 
-  Status flush_shard_sync_locked(Shard& s, util::MutexLock& lock)
+  [[nodiscard]] Status flush_shard_sync_locked(Shard& s, util::MutexLock& lock)
       DRX_REQUIRES(s.mu);
-  Status flush_shard_async_locked(Shard& s, util::MutexLock& lock)
+  [[nodiscard]] Status flush_shard_async_locked(Shard& s, util::MutexLock& lock)
       DRX_REQUIRES(s.mu);
 
   DrxFile* file_;
@@ -460,7 +468,7 @@ class CachedDrxFile {
         space_(file.metadata().chunk_space()) {}
 
   template <typename T>
-  Result<T> get(std::span<const std::uint64_t> index) {
+  [[nodiscard]] Result<T> get(std::span<const std::uint64_t> index) {
     obs::OpScope op("op.cached_get");
     DRX_CHECK(ElementTypeOf<T>::value == file_->dtype());
     DRX_RETURN_IF_ERROR(check_index(index));
@@ -488,7 +496,7 @@ class CachedDrxFile {
   }
 
   template <typename T>
-  Status set(std::span<const std::uint64_t> index, const T& v) {
+  [[nodiscard]] Status set(std::span<const std::uint64_t> index, const T& v) {
     obs::OpScope op("op.cached_set");
     DRX_CHECK(ElementTypeOf<T>::value == file_->dtype());
     DRX_RETURN_IF_ERROR(check_index(index));
@@ -512,23 +520,23 @@ class CachedDrxFile {
   /// `order`) through the pool. Chunks published to the lock-free table
   /// scatter without touching any mutex; the rest are announced as one
   /// prefetch hint (coalesced background faults) and pinned read-only.
-  Status read_box(const Box& box, MemoryOrder order, std::span<std::byte> out);
+  [[nodiscard]] Status read_box(const Box& box, MemoryOrder order, std::span<std::byte> out);
 
   /// Writes `in` (linearized in `order`) over element box
   /// [box.lo, box.hi) through the pool with writable pins and dirty
   /// unpins — write-back, not write-through.
-  Status write_box(const Box& box, MemoryOrder order,
+  [[nodiscard]] Status write_box(const Box& box, MemoryOrder order,
                    std::span<const std::byte> in);
 
   /// Announces an upcoming read of `box` (see DrxFile::prefetch_box).
   void prefetch_box(const Box& box) { file_->prefetch_box(box); }
 
-  Status flush() { return cache_.flush(); }
+  [[nodiscard]] Status flush() { return cache_.flush(); }
   [[nodiscard]] ChunkCache::Stats stats() const { return cache_.stats(); }
   [[nodiscard]] ChunkCache& cache() noexcept { return cache_; }
 
  private:
-  Status check_index(std::span<const std::uint64_t> index) const {
+  [[nodiscard]] Status check_index(std::span<const std::uint64_t> index) const {
     if (index.size() != file_->rank()) {
       return Status(ErrorCode::kInvalidArgument, "index rank mismatch");
     }

@@ -32,20 +32,20 @@ class DrxFile {
   /// Creates a fresh array over the given storage pair. `element_bounds`
   /// are the initial bounds (>= 1 chunk per dimension is allocated even
   /// for zero bounds); all chunks are zero-initialized.
-  static Result<DrxFile> create(std::unique_ptr<pfs::Storage> meta_storage,
+  [[nodiscard]] static Result<DrxFile> create(std::unique_ptr<pfs::Storage> meta_storage,
                                 std::unique_ptr<pfs::Storage> data_storage,
                                 Shape element_bounds, Shape chunk_shape,
                                 const Options& options);
 
   /// Opens an existing array; validates the .xmd image.
-  static Result<DrxFile> open(std::unique_ptr<pfs::Storage> meta_storage,
+  [[nodiscard]] static Result<DrxFile> open(std::unique_ptr<pfs::Storage> meta_storage,
                               std::unique_ptr<pfs::Storage> data_storage);
 
   /// POSIX convenience: `<name>.xmd` / `<name>.xta` on the host FS.
-  static Result<DrxFile> create_posix(const std::string& name,
+  [[nodiscard]] static Result<DrxFile> create_posix(const std::string& name,
                                       Shape element_bounds, Shape chunk_shape,
                                       const Options& options);
-  static Result<DrxFile> open_posix(const std::string& name);
+  [[nodiscard]] static Result<DrxFile> open_posix(const std::string& name);
 
   [[nodiscard]] const Metadata& metadata() const noexcept { return meta_; }
   [[nodiscard]] std::size_t rank() const noexcept { return meta_.rank(); }
@@ -61,17 +61,17 @@ class DrxFile {
   /// which dimension and when is the application's choice). Appends zeroed
   /// segments as needed; existing data never moves. Metadata is persisted
   /// immediately.
-  Status extend(std::size_t dim, std::uint64_t delta);
+  [[nodiscard]] Status extend(std::size_t dim, std::uint64_t delta);
 
   // ---- element access ---------------------------------------------------
 
-  Status read_element(std::span<const std::uint64_t> index,
+  [[nodiscard]] Status read_element(std::span<const std::uint64_t> index,
                       std::span<std::byte> out);
-  Status write_element(std::span<const std::uint64_t> index,
+  [[nodiscard]] Status write_element(std::span<const std::uint64_t> index,
                        std::span<const std::byte> value);
 
   template <typename T>
-  Result<T> get(std::span<const std::uint64_t> index) {
+  [[nodiscard]] Result<T> get(std::span<const std::uint64_t> index) {
     DRX_CHECK(ElementTypeOf<T>::value == meta_.dtype);
     T v{};
     DRX_RETURN_IF_ERROR(read_element(
@@ -80,7 +80,7 @@ class DrxFile {
   }
 
   template <typename T>
-  Status set(std::span<const std::uint64_t> index, const T& v) {
+  [[nodiscard]] Status set(std::span<const std::uint64_t> index, const T& v) {
     DRX_CHECK(ElementTypeOf<T>::value == meta_.dtype);
     return write_element(index, std::as_bytes(std::span<const T>(&v, 1)));
   }
@@ -90,17 +90,17 @@ class DrxFile {
   /// Reads element box [box.lo, box.hi) into `out`, linearized in `order`
   /// (the on-the-fly transposition of paper Sec. I). `out` must hold
   /// box.volume() * element_bytes() bytes.
-  Status read_box(const Box& box, MemoryOrder order, std::span<std::byte> out);
+  [[nodiscard]] Status read_box(const Box& box, MemoryOrder order, std::span<std::byte> out);
 
   /// Writes `in` (linearized in `order`) into element box [box.lo, box.hi).
-  Status write_box(const Box& box, MemoryOrder order,
+  [[nodiscard]] Status write_box(const Box& box, MemoryOrder order,
                    std::span<const std::byte> in);
 
   /// Reads the entire array by one sequential pass over the .xta file,
   /// placing elements via F*^-1 (paper Sec. II-A: "independent I/O of
   /// sub-array regions are done as sequential scan of the chunks on
   /// disk"). `out` must hold the full array in `order`.
-  Status scan_read_all(MemoryOrder order, std::span<std::byte> out);
+  [[nodiscard]] Status scan_read_all(MemoryOrder order, std::span<std::byte> out);
 
   // ---- chunk-level access (used by DRX-MP and the benches) --------------
 
@@ -111,8 +111,8 @@ class DrxFile {
   [[nodiscard]] std::uint64_t chunk_bytes() const {
     return meta_.chunk_bytes();
   }
-  Status read_chunk(std::uint64_t address, std::span<std::byte> out);
-  Status write_chunk(std::uint64_t address, std::span<const std::byte> in);
+  [[nodiscard]] Status read_chunk(std::uint64_t address, std::span<std::byte> out);
+  [[nodiscard]] Status write_chunk(std::uint64_t address, std::span<const std::byte> in);
 
   /// Run-coalesced scatter/gather between a chunk buffer and a
   /// box-linearized user buffer for the element range `clip` (which lies
@@ -130,7 +130,7 @@ class DrxFile {
   /// `first_address` with ONE storage request (chunk addresses are
   /// contiguous in the .xta by construction) — the coalescing primitive
   /// behind sequential read-ahead. `out` must hold count * chunk_bytes().
-  Status read_chunks(std::uint64_t first_address, std::uint64_t count,
+  [[nodiscard]] Status read_chunks(std::uint64_t first_address, std::uint64_t count,
                      std::span<std::byte> out);
 
   // ---- prefetch hints (docs/ASYNC_IO.md) --------------------------------
@@ -151,7 +151,7 @@ class DrxFile {
   }
 
   /// Persists metadata (also called by extend/create).
-  Status flush();
+  [[nodiscard]] Status flush();
 
   [[nodiscard]] pfs::Storage& data_storage() noexcept { return *data_; }
   [[nodiscard]] pfs::Storage& meta_storage() noexcept { return *meta_store_; }
@@ -166,7 +166,7 @@ class DrxFile {
         plan_cache_(std::make_unique<PlanCache>(chunk_space_,
                                                 meta_.element_bytes())) {}
 
-  Status check_index(std::span<const std::uint64_t> index) const;
+  [[nodiscard]] Status check_index(std::span<const std::uint64_t> index) const;
 
   std::unique_ptr<pfs::Storage> meta_store_;
   std::unique_ptr<pfs::Storage> data_;

@@ -34,19 +34,19 @@ class DrxMpFile {
   /// Collective creation of a fresh principal array (paper Sec. IV-B: the
   /// principal array "can be initialized either from a single serial
   /// process or from a parallel program").
-  static Result<DrxMpFile> create(simpi::Comm& comm, pfs::Pfs& fs,
+  [[nodiscard]] static Result<DrxMpFile> create(simpi::Comm& comm, pfs::Pfs& fs,
                                   const std::string& name,
                                   Shape element_bounds, Shape chunk_shape,
                                   const DrxFile::Options& options);
 
   /// Collective open: rank 0 reads the .xmd, broadcasts it, and every rank
   /// opens the .xta through MPI-IO.
-  static Result<DrxMpFile> open(simpi::Comm& comm, pfs::Pfs& fs,
+  [[nodiscard]] static Result<DrxMpFile> open(simpi::Comm& comm, pfs::Pfs& fs,
                                 const std::string& name);
 
   /// Collective close; persists metadata and reduces every rank's obs
   /// metrics registry to rank 0 (see aggregate_metrics()).
-  Status close();
+  [[nodiscard]] Status close();
 
   /// Collective: gathers each rank's metrics registry snapshot to rank 0
   /// and merges them. Rank 0 returns the cross-rank totals and publishes
@@ -85,46 +85,46 @@ class DrxMpFile {
   // in ascending linear-address order via an MPI-IO file view; collective
   // calls run two-phase across the communicator.
 
-  Status read_chunks(std::span<const Index> chunks,
+  [[nodiscard]] Status read_chunks(std::span<const Index> chunks,
                      std::span<std::byte> staging, bool collective);
-  Status write_chunks(std::span<const Index> chunks,
+  [[nodiscard]] Status write_chunks(std::span<const Index> chunks,
                       std::span<const std::byte> staging, bool collective);
 
   // ---- zone element I/O (BLOCK distributions) ----------------------------
   // Each rank transfers its own zone; `order` picks the in-memory
   // linearization (C or FORTRAN) with transposition done on the fly.
 
-  Status read_my_zone(const Distribution& dist, MemoryOrder order,
+  [[nodiscard]] Status read_my_zone(const Distribution& dist, MemoryOrder order,
                       std::span<std::byte> out, bool collective = true);
-  Status write_my_zone(const Distribution& dist, MemoryOrder order,
+  [[nodiscard]] Status write_my_zone(const Distribution& dist, MemoryOrder order,
                        std::span<const std::byte> in, bool collective = true);
 
   /// Collective read of an arbitrary per-rank element box (ranks may pass
   /// different, even overlapping boxes).
-  Status read_box_all(const Box& box, MemoryOrder order,
+  [[nodiscard]] Status read_box_all(const Box& box, MemoryOrder order,
                       std::span<std::byte> out);
 
   /// Independent read of an element box (no synchronization with peers).
-  Status read_box_independent(const Box& box, MemoryOrder order,
+  [[nodiscard]] Status read_box_independent(const Box& box, MemoryOrder order,
                               std::span<std::byte> out);
 
   /// Independent write of an element box (chunks touched must not be
   /// concurrently written by peers).
-  Status write_box_independent(const Box& box, MemoryOrder order,
+  [[nodiscard]] Status write_box_independent(const Box& box, MemoryOrder order,
                                std::span<const std::byte> in);
 
   /// Collective write of per-rank element boxes. Boxes of different ranks
   /// must not touch the same chunk (partitioning is along chunk
   /// boundaries, paper Sec. II-A); within that contract partial boundary
   /// chunks are read-modify-written locally.
-  Status write_box_all(const Box& box, MemoryOrder order,
+  [[nodiscard]] Status write_box_all(const Box& box, MemoryOrder order,
                        std::span<const std::byte> in);
 
   // ---- element access (independent; paper Sec. II-A: "An element can be
   // accessed either directly from the file or via a remote memory access") -
 
   template <typename T>
-  Result<T> get(std::span<const std::uint64_t> index) {
+  [[nodiscard]] Result<T> get(std::span<const std::uint64_t> index) {
     DRX_CHECK(ElementTypeOf<T>::value == meta_.dtype);
     T v{};
     Box one{Index(index.begin(), index.end()),
@@ -137,7 +137,7 @@ class DrxMpFile {
   }
 
   template <typename T>
-  Status set(std::span<const std::uint64_t> index, const T& v) {
+  [[nodiscard]] Status set(std::span<const std::uint64_t> index, const T& v) {
     DRX_CHECK(ElementTypeOf<T>::value == meta_.dtype);
     Box one{Index(index.begin(), index.end()),
             Index(index.begin(), index.end())};
@@ -151,10 +151,10 @@ class DrxMpFile {
   /// Collective extension of dimension `dim` by `delta` element indices.
   /// All ranks apply the same deterministic metadata update; rank 0
   /// persists the .xmd and grows the .xta (appended chunks read as zero).
-  Status extend_all(std::size_t dim, std::uint64_t delta);
+  [[nodiscard]] Status extend_all(std::size_t dim, std::uint64_t delta);
 
   /// Persists metadata from rank 0 (collective).
-  Status flush_metadata();
+  [[nodiscard]] Status flush_metadata();
 
   [[nodiscard]] std::uint64_t chunk_bytes() const {
     return meta_.chunk_bytes();
@@ -174,20 +174,20 @@ class DrxMpFile {
 
   /// Builds the (sorted-by-address) file and memory datatypes for a chunk
   /// list and performs the transfer.
-  Status transfer_chunks(std::span<const Index> chunks, void* staging,
+  [[nodiscard]] Status transfer_chunks(std::span<const Index> chunks, void* staging,
                          bool collective, bool writing);
 
   /// Round-pipelined zone read (docs/ASYNC_IO.md): splits the chunk list
   /// into batches and reads batch r+1 on an I/O worker while batch r is
   /// scattered into `out`. Active only when io::io_threads() > 0.
-  Status read_my_zone_pipelined(const Distribution& dist, MemoryOrder order,
+  [[nodiscard]] Status read_my_zone_pipelined(const Distribution& dist, MemoryOrder order,
                                 std::span<std::byte> out, bool collective,
                                 std::span<const Index> chunks, const Box& box,
                                 std::uint64_t batch);
 
-  Status read_box_impl(const Box& box, MemoryOrder order,
+  [[nodiscard]] Status read_box_impl(const Box& box, MemoryOrder order,
                        std::span<std::byte> out, bool collective);
-  Status write_box_impl(const Box& box, MemoryOrder order,
+  [[nodiscard]] Status write_box_impl(const Box& box, MemoryOrder order,
                         std::span<const std::byte> in, bool collective);
 
   simpi::Comm* comm_;

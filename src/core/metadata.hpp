@@ -60,7 +60,7 @@ struct Metadata {
 
   /// Full serialized .xmd image (magic + version + payload + checksum).
   [[nodiscard]] std::vector<std::byte> to_bytes() const;
-  static Result<Metadata> from_bytes(std::span<const std::byte> data);
+  [[nodiscard]] static Result<Metadata> from_bytes(std::span<const std::byte> data);
 
   friend bool operator==(const Metadata&, const Metadata&) = default;
 };

@@ -44,11 +44,11 @@ class File {
   File() = default;
 
   /// Collective open across `comm`.
-  static Result<File> open(simpi::Comm& comm, pfs::Pfs& fs,
+  [[nodiscard]] static Result<File> open(simpi::Comm& comm, pfs::Pfs& fs,
                            const std::string& name, int mode);
 
   /// Collective close.
-  Status close();
+  [[nodiscard]] Status close();
 
   [[nodiscard]] bool is_open() const noexcept { return state_ != nullptr; }
 
@@ -65,14 +65,14 @@ class File {
   // `offset` is in etypes relative to the view; buffers are described by a
   // count of memory-datatype items, as in MPI.
 
-  Status read_at(std::uint64_t offset, void* buf, std::uint64_t count,
+  [[nodiscard]] Status read_at(std::uint64_t offset, void* buf, std::uint64_t count,
                  const simpi::Datatype& memtype);
-  Status write_at(std::uint64_t offset, const void* buf, std::uint64_t count,
+  [[nodiscard]] Status write_at(std::uint64_t offset, const void* buf, std::uint64_t count,
                   const simpi::Datatype& memtype);
 
   /// Read/write at the individual file pointer, advancing it.
-  Status read(void* buf, std::uint64_t count, const simpi::Datatype& memtype);
-  Status write(const void* buf, std::uint64_t count,
+  [[nodiscard]] Status read(void* buf, std::uint64_t count, const simpi::Datatype& memtype);
+  [[nodiscard]] Status write(const void* buf, std::uint64_t count,
                const simpi::Datatype& memtype);
 
   /// MPI_File_seek with MPI_SEEK_SET semantics (etype units).
@@ -84,20 +84,20 @@ class File {
   // ranks acting as aggregators, aggregators perform large coalesced
   // accesses, and payloads are redistributed with alltoallv.
 
-  Status read_all(void* buf, std::uint64_t count,
+  [[nodiscard]] Status read_all(void* buf, std::uint64_t count,
                   const simpi::Datatype& memtype);
-  Status write_all(const void* buf, std::uint64_t count,
+  [[nodiscard]] Status write_all(const void* buf, std::uint64_t count,
                    const simpi::Datatype& memtype);
-  Status read_at_all(std::uint64_t offset, void* buf, std::uint64_t count,
+  [[nodiscard]] Status read_at_all(std::uint64_t offset, void* buf, std::uint64_t count,
                      const simpi::Datatype& memtype);
-  Status write_at_all(std::uint64_t offset, const void* buf,
+  [[nodiscard]] Status write_at_all(std::uint64_t offset, const void* buf,
                       std::uint64_t count, const simpi::Datatype& memtype);
 
   // ---- metadata ----------------------------------------------------------
 
   [[nodiscard]] std::uint64_t get_size() const;  ///< bytes (MPI_File_get_size)
-  Status set_size(std::uint64_t bytes);          ///< collective
-  Status sync();                                 ///< collective
+  [[nodiscard]] Status set_size(std::uint64_t bytes);          ///< collective
+  [[nodiscard]] Status sync();                                 ///< collective
 
  private:
   struct State {
@@ -112,17 +112,17 @@ class File {
 
   explicit File(std::unique_ptr<State> state) : state_(std::move(state)) {}
 
-  Status check_readable() const;
-  Status check_writable() const;
+  [[nodiscard]] Status check_readable() const;
+  [[nodiscard]] Status check_writable() const;
 
   /// Independent transfer core: maps the view range and performs per-extent
   /// PFS accesses through a pack/unpack staging buffer.
-  Status transfer_independent(std::uint64_t offset_etypes, void* buf,
+  [[nodiscard]] Status transfer_independent(std::uint64_t offset_etypes, void* buf,
                               std::uint64_t count,
                               const simpi::Datatype& memtype, bool writing);
 
   /// Two-phase collective transfer core.
-  Status transfer_collective(std::uint64_t offset_etypes, void* buf,
+  [[nodiscard]] Status transfer_collective(std::uint64_t offset_etypes, void* buf,
                              std::uint64_t count,
                              const simpi::Datatype& memtype, bool writing);
 

@@ -49,9 +49,9 @@ ProviderState& providers() {
 /// simply taking the same mutex.
 std::vector<ScrapeGauge> collect_gauges() {
   std::vector<ScrapeGauge> gauges;
-  ProviderState& s = providers();
-  util::MutexLock lock(s.mu);
-  for (const ProviderEntry& p : s.providers) {
+  ProviderState& ps = providers();
+  util::MutexLock lock(ps.mu);
+  for (const ProviderEntry& p : ps.providers) {
     std::vector<ScrapeGauge> mine;
     p.fn(mine);
     if (mine.size() > kMaxProviderGauges) {
@@ -381,22 +381,22 @@ EnvInit g_env_init;
 }  // namespace
 
 int register_scrape_provider(ScrapeProviderFn fn) {
-  ProviderState& s = providers();
-  util::MutexLock lock(s.mu);
-  const int handle = s.next_handle++;
-  s.providers.push_back(ProviderEntry{handle, std::move(fn)});
+  ProviderState& ps = providers();
+  util::MutexLock lock(ps.mu);
+  const int handle = ps.next_handle++;
+  ps.providers.push_back(ProviderEntry{handle, std::move(fn)});
   return handle;
 }
 
 void unregister_scrape_provider(int handle) {
-  ProviderState& s = providers();
-  util::MutexLock lock(s.mu);
-  s.providers.erase(
-      std::remove_if(s.providers.begin(), s.providers.end(),
+  ProviderState& ps = providers();
+  util::MutexLock lock(ps.mu);
+  ps.providers.erase(
+      std::remove_if(ps.providers.begin(), ps.providers.end(),
                      [&](const ProviderEntry& p) {
                        return p.handle == handle;
                      }),
-      s.providers.end());
+      ps.providers.end());
 }
 
 std::string render_prometheus() {

@@ -70,7 +70,7 @@ void unregister_scrape_provider(int handle);
 /// Starts the listener on 127.0.0.1:`port` (0 = ephemeral) and returns
 /// the bound port. Fails (kFailedPrecondition if already running,
 /// kIoError if the port is taken or socket setup fails).
-Result<std::uint16_t> start_exporter(std::uint16_t port);
+[[nodiscard]] Result<std::uint16_t> start_exporter(std::uint16_t port);
 
 /// Stops the listener and joins the thread. No-op when not running.
 void stop_exporter();
@@ -88,7 +88,7 @@ void stop_exporter();
 /// Minimal HTTP GET against a drx exporter (drx_top, drx_stats --watch,
 /// bench self-scrape, tests). Returns the response body on status 200;
 /// kIoError on connect/timeout errors or a non-200 response.
-Result<std::string> http_get(const std::string& host, std::uint16_t port,
+[[nodiscard]] Result<std::string> http_get(const std::string& host, std::uint16_t port,
                              const std::string& path, int timeout_ms = 2000);
 
 }  // namespace drx::obs

@@ -57,10 +57,10 @@ void flight_record(FlightKind kind, const char* name, std::uint64_t ts_ns,
 /// Writes every thread's ring to `path` as one JSON object:
 ///   {"format":"drx-flight","version":1,"reason":...,"threads":[...]}
 /// Safe to call concurrently with recording (torn records are skipped).
-Status dump_flight(const std::string& path, const char* reason);
+[[nodiscard]] Status dump_flight(const std::string& path, const char* reason);
 
 /// dump_flight() to the configured path.
-Status dump_flight(const char* reason);
+[[nodiscard]] Status dump_flight(const char* reason);
 
 /// Async-signal-safe variant used by the SIGSEGV/SIGABRT handlers: writes
 /// with open(2)/write(2) and hand-rolled formatting only. Best effort.

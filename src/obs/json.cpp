@@ -293,6 +293,8 @@ struct Parser {
 
 bool json_validate(std::string_view text) {
   Parser p{text};
+  // drx-verify: allow(error-discipline) Parser::value() parses one JSON
+  // value and returns bool — it is not util::Result.
   if (!p.value()) return false;
   p.skip_ws();
   return p.eof();

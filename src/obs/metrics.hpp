@@ -113,7 +113,7 @@ struct MetricsSnapshot {
   [[nodiscard]] std::uint64_t counter(std::string_view name) const;
 
   [[nodiscard]] std::vector<std::byte> serialize() const;
-  static Result<MetricsSnapshot> deserialize(std::span<const std::byte> data);
+  [[nodiscard]] static Result<MetricsSnapshot> deserialize(std::span<const std::byte> data);
 };
 
 /// `cur - base` metric-by-metric, saturating at 0 (a Registry::reset

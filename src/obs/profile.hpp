@@ -133,9 +133,9 @@ void profile_to_json(const ProfileSnapshot& snap, JsonWriter& w);
 [[nodiscard]] Result<ProfileSnapshot> profile_from_json(std::string_view text);
 
 /// Writes the current snapshot as JSON to `path`.
-Status write_profile(const std::string& path);
+[[nodiscard]] Status write_profile(const std::string& path);
 
 /// write_profile() to the configured path (no-op status if none).
-Status flush_profile();
+[[nodiscard]] Status flush_profile();
 
 }  // namespace drx::obs

@@ -71,6 +71,6 @@ void clear_sampler_series();
 void series_to_json(const std::vector<Sample>& series, JsonWriter& w);
 
 /// Writes the current series as JSON to `path`.
-Status write_series(const std::string& path);
+[[nodiscard]] Status write_series(const std::string& path);
 
 }  // namespace drx::obs

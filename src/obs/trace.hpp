@@ -121,10 +121,10 @@ class ScopedSpan {
 };
 
 /// Writes buffered events as Trace Event Format JSON to `path`.
-Status write_trace(const std::string& path);
+[[nodiscard]] Status write_trace(const std::string& path);
 
 /// write_trace() to the configured path (no-op status if none).
-Status flush_trace();
+[[nodiscard]] Status flush_trace();
 
 /// Drops all buffered events (test isolation).
 void clear_trace();

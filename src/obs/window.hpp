@@ -102,6 +102,6 @@ struct EpochDelta {
 void window_to_json(JsonWriter& w);
 
 /// Writes the drx-window document to `path` (DRX_WINDOW_DUMP at exit).
-Status write_window(const std::string& path);
+[[nodiscard]] Status write_window(const std::string& path);
 
 }  // namespace drx::obs

@@ -20,12 +20,12 @@ class BlockDevice {
   }
 
   /// Reads [offset, offset+out.size()); error if the range passes EOF.
-  Status read(std::uint64_t offset, std::span<std::byte> out);
+  [[nodiscard]] Status read(std::uint64_t offset, std::span<std::byte> out);
 
   /// Writes at offset, zero-filling any gap (sparse write semantics).
-  Status write(std::uint64_t offset, std::span<const std::byte> data);
+  [[nodiscard]] Status write(std::uint64_t offset, std::span<const std::byte> data);
 
-  Status truncate(std::uint64_t new_size);
+  [[nodiscard]] Status truncate(std::uint64_t new_size);
 
   [[nodiscard]] std::uint64_t size() const noexcept { return data_.size(); }
   [[nodiscard]] const IoStats& stats() const noexcept { return stats_; }

@@ -43,13 +43,13 @@ class FileHandle {
   [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
 
   /// Reads [offset, offset+out.size()); fails past EOF.
-  Status read_at(std::uint64_t offset, std::span<std::byte> out);
+  [[nodiscard]] Status read_at(std::uint64_t offset, std::span<std::byte> out);
 
   /// Writes, extending and zero-filling as needed.
-  Status write_at(std::uint64_t offset, std::span<const std::byte> data);
+  [[nodiscard]] Status write_at(std::uint64_t offset, std::span<const std::byte> data);
 
   [[nodiscard]] std::uint64_t size() const;
-  Status truncate(std::uint64_t new_size);
+  [[nodiscard]] Status truncate(std::uint64_t new_size);
 
   [[nodiscard]] std::uint64_t stripe_size() const;
 
@@ -70,9 +70,9 @@ class Pfs {
   Pfs& operator=(const Pfs&) = delete;
 
   Result<FileHandle> create(const std::string& name, bool overwrite = false);
-  Result<FileHandle> open(const std::string& name);
+  [[nodiscard]] Result<FileHandle> open(const std::string& name);
   [[nodiscard]] bool exists(const std::string& name) const;
-  Status remove(const std::string& name);
+  [[nodiscard]] Status remove(const std::string& name);
   [[nodiscard]] std::vector<std::string> list() const;
 
   [[nodiscard]] int num_servers() const noexcept {

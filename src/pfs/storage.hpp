@@ -27,7 +27,7 @@ class Storage {
   virtual ~Storage() = default;
 
   virtual Status read_at(std::uint64_t offset, std::span<std::byte> out) = 0;
-  virtual Status write_at(std::uint64_t offset,
+  [[nodiscard]] virtual Status write_at(std::uint64_t offset,
                           std::span<const std::byte> data) = 0;
   [[nodiscard]] virtual std::uint64_t size() const = 0;
   virtual Status truncate(std::uint64_t new_size) = 0;
@@ -40,18 +40,18 @@ class MemStorage final : public Storage {
   explicit MemStorage(CostModel model = CostModel{})
       : model_(model), device_(&model_) {}
 
-  Status read_at(std::uint64_t offset, std::span<std::byte> out) override {
+  [[nodiscard]] Status read_at(std::uint64_t offset, std::span<std::byte> out) override {
     return device_.read(offset, out);
   }
-  Status write_at(std::uint64_t offset,
+  [[nodiscard]] Status write_at(std::uint64_t offset,
                   std::span<const std::byte> data) override {
     return device_.write(offset, data);
   }
   [[nodiscard]] std::uint64_t size() const override { return device_.size(); }
-  Status truncate(std::uint64_t new_size) override {
+  [[nodiscard]] Status truncate(std::uint64_t new_size) override {
     return device_.truncate(new_size);
   }
-  Status flush() override { return Status::ok(); }
+  [[nodiscard]] Status flush() override { return Status::ok(); }
 
   [[nodiscard]] const IoStats& stats() const { return device_.stats(); }
 
@@ -64,18 +64,18 @@ class MemStorage final : public Storage {
 class PosixStorage final : public Storage {
  public:
   /// Opens (creating if absent) `path` for read/write.
-  static Result<std::unique_ptr<PosixStorage>> open(const std::string& path);
+  [[nodiscard]] static Result<std::unique_ptr<PosixStorage>> open(const std::string& path);
 
   ~PosixStorage() override;
   PosixStorage(const PosixStorage&) = delete;
   PosixStorage& operator=(const PosixStorage&) = delete;
 
-  Status read_at(std::uint64_t offset, std::span<std::byte> out) override;
-  Status write_at(std::uint64_t offset,
+  [[nodiscard]] Status read_at(std::uint64_t offset, std::span<std::byte> out) override;
+  [[nodiscard]] Status write_at(std::uint64_t offset,
                   std::span<const std::byte> data) override;
   [[nodiscard]] std::uint64_t size() const override { return size_; }
-  Status truncate(std::uint64_t new_size) override;
-  Status flush() override;
+  [[nodiscard]] Status truncate(std::uint64_t new_size) override;
+  [[nodiscard]] Status flush() override;
 
  private:
   explicit PosixStorage(std::FILE* f, std::uint64_t size)
@@ -92,18 +92,18 @@ class PfsStorage final : public Storage {
     DRX_CHECK(handle_.valid());
   }
 
-  Status read_at(std::uint64_t offset, std::span<std::byte> out) override {
+  [[nodiscard]] Status read_at(std::uint64_t offset, std::span<std::byte> out) override {
     return handle_.read_at(offset, out);
   }
-  Status write_at(std::uint64_t offset,
+  [[nodiscard]] Status write_at(std::uint64_t offset,
                   std::span<const std::byte> data) override {
     return handle_.write_at(offset, data);
   }
   [[nodiscard]] std::uint64_t size() const override { return handle_.size(); }
-  Status truncate(std::uint64_t new_size) override {
+  [[nodiscard]] Status truncate(std::uint64_t new_size) override {
     return handle_.truncate(new_size);
   }
-  Status flush() override { return Status::ok(); }
+  [[nodiscard]] Status flush() override { return Status::ok(); }
 
  private:
   FileHandle handle_;

@@ -143,7 +143,7 @@ class Server {
   void drain();
 
   /// Flushes the shared cache (write-back barrier).
-  Status flush();
+  [[nodiscard]] Status flush();
 
   /// The shared cached array (benches/tests: shard stats, direct access).
   [[nodiscard]] core::CachedDrxFile& array() noexcept { return cached_; }
@@ -161,7 +161,7 @@ class Server {
 
   std::future<Status> enqueue(Session& session, Request req);
   void enqueue(Session& session, Request req, Session::Completion done);
-  Status execute(Session& session, const Request& req,
+  [[nodiscard]] Status execute(Session& session, const Request& req,
                  std::uint64_t submit_ns);
 
   /// Appends this server's live gauges (per-session request counters

@@ -40,7 +40,7 @@ class [[nodiscard]] Status {
   Status(ErrorCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status ok() noexcept { return Status(); }
+  [[nodiscard]] static Status ok() noexcept { return Status(); }
 
   [[nodiscard]] bool is_ok() const noexcept { return code_ == ErrorCode::kOk; }
   explicit operator bool() const noexcept { return is_ok(); }
@@ -126,6 +126,17 @@ namespace detail {
   if (!DRX_CONCAT_(drx_res_, __LINE__).is_ok())    \
     return DRX_CONCAT_(drx_res_, __LINE__).status(); \
   lhs = std::move(DRX_CONCAT_(drx_res_, __LINE__)).value()
+
+/// Discards a Status/Result on purpose, with a written reason. Unlike a
+/// bare `(void)` cast this is a sanctioned discard: `-Wunused-result`
+/// stays satisfied, the reason survives next to the call, and drx_verify's
+/// error-discipline pass accepts it without a suppression comment.
+#define DRX_IGNORE_STATUS(expr, reason)                       \
+  do {                                                        \
+    const auto DRX_CONCAT_(drx_ignored_, __LINE__) = (expr);  \
+    (void)DRX_CONCAT_(drx_ignored_, __LINE__);                \
+    static_assert(sizeof(reason) > 1, "give a real reason");  \
+  } while (0)
 
 #define DRX_CONCAT_INNER_(a, b) a##b
 #define DRX_CONCAT_(a, b) DRX_CONCAT_INNER_(a, b)

@@ -41,13 +41,13 @@ class ByteReader {
  public:
   explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
 
-  Result<std::uint8_t> get_u8();
-  Result<std::uint32_t> get_u32();
-  Result<std::uint64_t> get_u64();
-  Result<std::int64_t> get_i64();
-  Result<double> get_f64();
-  Result<std::string> get_string();
-  Status get_bytes(std::span<std::byte> out);
+  [[nodiscard]] Result<std::uint8_t> get_u8();
+  [[nodiscard]] Result<std::uint32_t> get_u32();
+  [[nodiscard]] Result<std::uint64_t> get_u64();
+  [[nodiscard]] Result<std::int64_t> get_i64();
+  [[nodiscard]] Result<double> get_f64();
+  [[nodiscard]] Result<std::string> get_string();
+  [[nodiscard]] Status get_bytes(std::span<std::byte> out);
 
   [[nodiscard]] std::size_t remaining() const noexcept {
     return data_.size() - pos_;
@@ -55,7 +55,7 @@ class ByteReader {
   [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
 
  private:
-  Status need(std::size_t n);
+  [[nodiscard]] Status need(std::size_t n);
 
   std::span<const std::byte> data_;
   std::size_t pos_ = 0;

@@ -263,6 +263,14 @@ TEST_F(ExporterTest, ConcurrentScrapeVsResetNeverTearsOrCrashes) {
   ASSERT_TRUE(port.is_ok());
   const MetricId c = counter_id("test.exp.race.counter");
   const MetricId h = histogram_id("test.exp.race.lat_us");
+  // Materialize both slots before the race starts: interning a name does
+  // not create a registry slot, so a scrape that wins the first scheduling
+  // slice against the mutator would otherwise see an empty registry and an
+  // empty (well-formed, but family-less) exposition. reset() zeroes values
+  // in place and slots never revert to null, so after this every scrape
+  // carries at least the counter family.
+  process_registry().counter(c).add(3);
+  process_registry().histogram(h).observe(128);
   std::atomic<bool> stop{false};
   std::thread mutator([&] {
     while (!stop.load(std::memory_order_relaxed)) {

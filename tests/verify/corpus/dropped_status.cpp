@@ -1,0 +1,35 @@
+// drx_verify seeded defects: all three error-discipline shapes.
+//
+//  - a Status silently dropped through a `(void)` cast,
+//  - a Result unwrapped with no is_ok() check dominating it,
+//  - a raw negative error code returned instead of Status.
+//
+// Expected findings (pinned by tests/verify/check_corpus.py):
+//   error-discipline x3
+#include "util/error.hpp"
+
+namespace drx::verify_corpus {
+
+namespace {
+
+Status spill_to_disk() { return Status::ok(); }
+
+Result<int> parse_count() { return 3; }
+
+}  // namespace
+
+void ignore_spill_failure() {
+  (void)spill_to_disk();  // seeded: discards Status
+}
+
+int unchecked_unwrap() {
+  Result<int> r = parse_count();
+  return r.value();  // seeded: no is_ok() dominator
+}
+
+int legacy_errno_style(bool ok) {
+  if (ok) return 0;
+  return -1;  // seeded: raw error code return
+}
+
+}  // namespace drx::verify_corpus

@@ -1,0 +1,61 @@
+// drx_verify seeded defect: blocking work under the shard domain.
+//
+// The hierarchy's `ShardPairLock` pattern is deliberately
+// file-agnostic, so this TU's miniature pair-locker lands in
+// cache.shard — a `May block = no` domain. Draining a pool and
+// sleeping while it is held are exactly the serving-hot-path stalls
+// the blocking-under-lock pass exists to forbid.
+//
+// Expected findings (pinned by tests/verify/check_corpus.py):
+//   blocking-under-lock x2
+#include <chrono>
+#include <thread>
+
+#include "util/sync.hpp"
+
+namespace drx::verify_corpus {
+
+class MiniPool {
+ public:
+  void flush() {}
+};
+
+// Same shape as core's pair-locker: both mutexes held for the scope.
+class ShardPairLock {
+ public:
+  ShardPairLock(util::Mutex& a, util::Mutex& b)
+      DRX_NO_THREAD_SAFETY_ANALYSIS : first_(a), second_(b) {
+    first_.lock();
+    second_.lock();
+  }
+  ~ShardPairLock() DRX_NO_THREAD_SAFETY_ANALYSIS {
+    second_.unlock();
+    first_.unlock();
+  }
+  ShardPairLock(const ShardPairLock&) = delete;
+  ShardPairLock& operator=(const ShardPairLock&) = delete;
+
+ private:
+  util::Mutex& first_;
+  util::Mutex& second_;
+};
+
+class ShardedCounters {
+ public:
+  void rebalance_and_flush() {
+    ShardPairLock pair(mu_[0], mu_[1]);
+    pool_.flush();  // seeded: drains write-behind under cache.shard
+  }
+
+  void throttled_rebalance() {
+    ShardPairLock pair(mu_[0], mu_[1]);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(1));  // seeded: sleeps under cache.shard
+  }
+
+ private:
+  util::Mutex mu_[2];
+  MiniPool pool_;
+};
+
+}  // namespace drx::verify_corpus

@@ -1,0 +1,18 @@
+// drx_verify seeded defect: an upward include edge.
+//
+// This TU reassigns itself into module `util` (layer 0) and then
+// includes an `obs` (layer 1) header — includes must point strictly
+// down the module DAG in docs/LOCK_ORDER.md §Layering.
+// drx-verify: module(util)
+//
+// Expected findings (pinned by tests/verify/check_corpus.py):
+//   layering x1
+#include "obs/metrics.hpp"  // seeded: util (0) -> obs (1) is upward
+
+namespace drx::verify_corpus {
+
+const void* registry_identity() {
+  return static_cast<const void*>(&obs::registry());
+}
+
+}  // namespace drx::verify_corpus
