@@ -168,6 +168,81 @@ def obs_overhead_warnings(current, max_ratio):
 SERVING_BENCHES = ("bench_serving", "bench_serving_scaling")
 
 
+def compression_warnings(current, min_speedup, min_mb_saved):
+    """Check the compression gate from docs/COMPRESSION.md (warn-only).
+
+    - the bench_chunk_cache_compression "rle" row's effective-bandwidth
+      speedup over the uncompressed streaming scan must stay >=
+      min_speedup: decoding on the pool workers plus reading the stored
+      bytes has to beat moving the raw bytes, or the codec path stopped
+      paying for itself (or the slot layout lost its coalescibility);
+    - both compression tables must report PFS "MB saved" >= min_mb_saved
+      on their compressible workloads — a collapse here means chunks are
+      being stored raw (the encoder started bailing out).
+    """
+    warnings = []
+    scan = current.get("bench_chunk_cache_compression")
+    if scan is None:
+        warnings.append("compression: no bench_chunk_cache_compression "
+                        "report to check")
+    else:
+        headers = scan["table"]["headers"]
+        speedup = None
+        saved = None
+        for row in scan["table"]["rows"]:
+            if row and row[0] == "rle":
+                named = dict(zip(headers, row))
+                speedup = as_number(
+                    str(named.get("eff bw speedup", "")).rstrip("x"))
+                saved = as_number(named.get("MB saved"))
+        if speedup is None:
+            warnings.append("compression: no 'rle' speedup row in "
+                            "bench_chunk_cache_compression")
+        else:
+            print(f"compression: streaming-scan effective bandwidth = "
+                  f"{speedup:g}x uncompressed (floor {min_speedup:g}x)")
+            if speedup < min_speedup:
+                warnings.append(
+                    f"compression: effective-bandwidth speedup {speedup:g}x "
+                    f"under the {min_speedup:g}x floor — per-chunk decode "
+                    "plus stored-byte reads no longer beat the raw scan")
+        if saved is not None:
+            print(f"compression: streaming scan saved {saved:g} MB of PFS "
+                  f"traffic (floor {min_mb_saved:g})")
+            if saved < min_mb_saved:
+                warnings.append(
+                    f"compression: only {saved:g} MB of PFS traffic saved "
+                    f"(floor {min_mb_saved:g}) — the encoder is bailing "
+                    "out on a compressible workload")
+    coll = current.get("bench_collective_io_compression")
+    if coll is None:
+        warnings.append("compression: no bench_collective_io_compression "
+                        "report to check")
+    else:
+        headers = coll["table"]["headers"]
+        rle_rows = 0
+        for row in coll["table"]["rows"]:
+            named = dict(zip(headers, row))
+            if named.get("mode") != "rle":
+                continue
+            rle_rows += 1
+            saved = as_number(named.get("MB saved"))
+            label = "/".join(row_key(row))
+            if saved is None or saved < min_mb_saved:
+                warnings.append(
+                    f"compression {label}: collective read saved "
+                    f"{saved if saved is not None else '?'} MB "
+                    f"(floor {min_mb_saved:g}) — the slot-table file view "
+                    "is moving raw bytes")
+        if rle_rows == 0:
+            warnings.append("compression: no 'rle' rows in "
+                            "bench_collective_io_compression")
+        else:
+            print(f"compression: {rle_rows} collective-read rle row(s) "
+                  f"checked (floor {min_mb_saved:g} MB saved each)")
+    return warnings
+
+
 def serving_warnings(baseline, current, p99_factor, imbalance_max,
                      min_scaling):
     """Check the serving-latency gate from docs/SERVING.md (warn-only).
@@ -264,6 +339,13 @@ def main(argv=None):
              "always-on instrumentation overhead; warn-only like "
              "everything else)")
     parser.add_argument(
+        "--compression", action="store_true",
+        help="compression mode (docs/COMPRESSION.md): gate the "
+             "bench_chunk_cache_compression effective-bandwidth speedup "
+             "(>= 1.2x uncompressed) and the PFS bytes saved by both "
+             "compression tables (>= 1 MB on the compressible workloads); "
+             "warn-only")
+    parser.add_argument(
         "--serving", action="store_true",
         help="serving-latency mode (docs/SERVING.md): compare only the "
              "bench_serving/bench_serving_scaling tables and gate the p99 "
@@ -298,6 +380,9 @@ def main(argv=None):
                 warnings.append(f"{name}: bench missing from current report")
                 continue
             warnings.extend(compare_tables(name, base, cur, args.tolerance))
+    if args.compression:
+        warnings.extend(compression_warnings(current, min_speedup=1.2,
+                                             min_mb_saved=1.0))
     if args.copy_coalescing is not None:
         warnings.extend(copy_coalescing_warnings(current,
                                                  args.copy_coalescing))

@@ -1,0 +1,281 @@
+#include "codec/codec.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+namespace drx::codec {
+
+namespace {
+
+// ---- RLE: element-granular PackBits ------------------------------------
+//
+// Stream of tokens. Token t (u8):
+//   t & 0x80   -> run: (t & 0x7F) + 2 copies of the next element
+//                 (one element payload; counts 2..129)
+//   otherwise  -> literal: t + 1 verbatim elements follow (1..128)
+// Decoded element count must equal the chunk exactly; the stream must
+// end exactly at its last payload byte.
+
+constexpr std::size_t kRunMax = 129;   // (0x7F) + 2
+constexpr std::size_t kLitMax = 128;   // 0x7F + 1
+
+std::size_t rle_encode(std::span<const std::byte> raw, std::size_t w,
+                       std::span<std::byte> out) noexcept {
+  const std::size_t n = raw.size() / w;
+  const std::size_t cap = raw.size();  // must beat raw or we store raw
+  const std::byte* src = raw.data();
+  std::size_t pos = 0;
+
+  std::size_t i = 0;
+  while (i < n) {
+    // Length of the run of equal elements starting at i.
+    std::size_t run = 1;
+    while (i + run < n && run < kRunMax &&
+           std::memcmp(src + i * w, src + (i + run) * w, w) == 0) {
+      ++run;
+    }
+    if (run >= 2) {
+      if (pos + 1 + w > cap) return 0;
+      out[pos++] = static_cast<std::byte>(0x80 | (run - 2));
+      std::memcpy(out.data() + pos, src + i * w, w);
+      pos += w;
+      i += run;
+      continue;
+    }
+    // Literal block: extend until the next >=2 run or the cap.
+    std::size_t lit = 1;
+    while (i + lit < n && lit < kLitMax) {
+      if (i + lit + 1 < n &&
+          std::memcmp(src + (i + lit) * w, src + (i + lit + 1) * w, w) == 0) {
+        break;
+      }
+      ++lit;
+    }
+    if (pos + 1 + lit * w > cap) return 0;
+    out[pos++] = static_cast<std::byte>(lit - 1);
+    std::memcpy(out.data() + pos, src + i * w, lit * w);
+    pos += lit * w;
+    i += lit;
+  }
+  return pos >= cap ? 0 : pos;
+}
+
+Status rle_decode(std::span<const std::byte> stored, std::size_t w,
+                  std::span<std::byte> raw) noexcept {
+  const std::size_t n = raw.size() / w;
+  std::size_t pos = 0;
+  std::size_t written = 0;  // elements
+  while (pos < stored.size()) {
+    const auto t = static_cast<std::uint8_t>(stored[pos++]);
+    if (t & 0x80) {
+      const std::size_t count = static_cast<std::size_t>(t & 0x7F) + 2;
+      if (pos + w > stored.size() || written + count > n) {
+        return Status(ErrorCode::kCorrupt, "rle: run overflows chunk");
+      }
+      const std::byte* elem = stored.data() + pos;
+      pos += w;
+      for (std::size_t r = 0; r < count; ++r) {
+        std::memcpy(raw.data() + (written + r) * w, elem, w);
+      }
+      written += count;
+    } else {
+      const std::size_t count = static_cast<std::size_t>(t) + 1;
+      if (pos + count * w > stored.size() || written + count > n) {
+        return Status(ErrorCode::kCorrupt, "rle: literal overflows chunk");
+      }
+      std::memcpy(raw.data() + written * w, stored.data() + pos, count * w);
+      pos += count * w;
+      written += count;
+    }
+  }
+  if (written != n) {
+    return Status(ErrorCode::kCorrupt, "rle: stream ends short of chunk");
+  }
+  return Status::ok();
+}
+
+// ---- BitPack: frame-of-reference bit packing ---------------------------
+//
+// Layout: u8 width_bits, then min as `w` little-endian bytes (signed
+// interpretation), then ceil(n * width / 8) bytes of (v - min) deltas
+// packed LSB-first. Applicable to 4- and 8-byte elements; for wider
+// or floating data the signed frame usually yields width == 8*w and
+// the encoder reports no gain. Lossless for arbitrary bit patterns.
+
+std::uint64_t load_le(const std::byte* p, std::size_t w) noexcept {
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, w);  // host is little-endian in this project's CI
+  if (w == 4) {
+    // Sign-extend so the signed frame-of-reference stays tight.
+    v = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(static_cast<std::int32_t>(v)));
+  }
+  return v;
+}
+
+void store_le(std::byte* p, std::uint64_t v, std::size_t w) noexcept {
+  std::memcpy(p, &v, w);
+}
+
+/// Widest supported frame: keeps every shift below 64 so a plain u64
+/// bit accumulator suffices (-Wpedantic bans __int128). A frame wider
+/// than this could save at most ~12% — the encoder stores raw instead.
+constexpr unsigned bitpack_max_width(std::size_t w) noexcept {
+  return w == 4 ? 32u : 56u;
+}
+
+std::size_t bitpack_encode(std::span<const std::byte> raw, std::size_t w,
+                           std::span<std::byte> out) noexcept {
+  if (w != 4 && w != 8) return 0;
+  const std::size_t n = raw.size() / w;
+  if (n == 0) return 0;
+  std::int64_t mn = static_cast<std::int64_t>(load_le(raw.data(), w));
+  std::int64_t mx = mn;
+  for (std::size_t i = 1; i < n; ++i) {
+    const auto v = static_cast<std::int64_t>(load_le(raw.data() + i * w, w));
+    if (v < mn) mn = v;
+    if (v > mx) mx = v;
+  }
+  const std::uint64_t range =
+      static_cast<std::uint64_t>(mx) - static_cast<std::uint64_t>(mn);
+  const unsigned width =
+      range == 0 ? 0u : static_cast<unsigned>(std::bit_width(range));
+  if (width > bitpack_max_width(w)) return 0;
+  const std::size_t packed = (n * width + 7) / 8;
+  const std::size_t total = 1 + w + packed;
+  if (total >= raw.size()) return 0;
+
+  out[0] = static_cast<std::byte>(width);
+  store_le(out.data() + 1, static_cast<std::uint64_t>(mn), w);
+  std::size_t pos = 1 + w;
+  std::uint64_t acc = 0;
+  unsigned bits = 0;  // < 8 between values; bits + width < 64 always
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t delta = load_le(raw.data() + i * w, w) -
+                                static_cast<std::uint64_t>(mn);
+    acc |= delta << bits;
+    bits += width;
+    while (bits >= 8) {
+      out[pos++] = static_cast<std::byte>(static_cast<std::uint8_t>(acc));
+      acc >>= 8;
+      bits -= 8;
+    }
+  }
+  if (bits > 0) {
+    out[pos++] = static_cast<std::byte>(static_cast<std::uint8_t>(acc));
+  }
+  return pos;
+}
+
+Status bitpack_decode(std::span<const std::byte> stored, std::size_t w,
+                      std::span<std::byte> raw) noexcept {
+  if (w != 4 && w != 8) {
+    return Status(ErrorCode::kCorrupt, "bitpack: bad element width");
+  }
+  const std::size_t n = raw.size() / w;
+  if (stored.size() < 1 + w) {
+    return Status(ErrorCode::kCorrupt, "bitpack: truncated header");
+  }
+  const unsigned width = static_cast<std::uint8_t>(stored[0]);
+  if (width > bitpack_max_width(w)) {
+    return Status(ErrorCode::kCorrupt, "bitpack: implausible bit width");
+  }
+  const std::size_t packed = (n * width + 7) / 8;
+  if (stored.size() != 1 + w + packed) {
+    return Status(ErrorCode::kCorrupt, "bitpack: payload size mismatch");
+  }
+  std::uint64_t mn = 0;
+  std::memcpy(&mn, stored.data() + 1, w);
+  const std::uint64_t mask = width == 0 ? 0 : ((1ULL << width) - 1);
+  std::size_t pos = 1 + w;
+  std::uint64_t acc = 0;
+  unsigned bits = 0;  // < 8 between values; width <= 56 keeps shifts < 64
+  for (std::size_t i = 0; i < n; ++i) {
+    while (bits < width) {
+      acc |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(stored[pos++]))
+             << bits;
+      bits += 8;
+    }
+    const std::uint64_t delta = acc & mask;
+    acc >>= width;
+    bits -= width;
+    store_le(raw.data() + i * w, mn + delta, w);
+  }
+  // Canonical streams zero-pad the final byte; anything else is damage.
+  if (acc != 0) {
+    return Status(ErrorCode::kCorrupt, "bitpack: nonzero trailing bits");
+  }
+  return Status::ok();
+}
+
+std::atomic<int> g_default_codec{-1};  // -1 = not yet read from the env
+
+CodecId codec_from_env() noexcept {
+  const char* env = std::getenv("DRX_COMPRESS");
+  if (env == nullptr) return CodecId::kNone;
+  const auto parsed = parse_codec(env);
+  return parsed.value_or(CodecId::kNone);
+}
+
+}  // namespace
+
+std::optional<CodecId> parse_codec(std::string_view name) noexcept {
+  if (name == "off" || name == "none" || name == "0") return CodecId::kNone;
+  if (name == "rle" || name == "on" || name == "1") return CodecId::kRle;
+  if (name == "bitpack") return CodecId::kBitPack;
+  return std::nullopt;
+}
+
+CodecId default_codec() noexcept {
+  int v = g_default_codec.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = static_cast<int>(codec_from_env());
+    g_default_codec.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<CodecId>(v);
+}
+
+void set_default_codec(CodecId c) noexcept {
+  g_default_codec.store(static_cast<int>(c), std::memory_order_relaxed);
+}
+
+std::size_t max_encoded_bytes(std::size_t raw_bytes,
+                              std::size_t /*element_bytes*/) noexcept {
+  // Encoders bail out ("no gain") before ever exceeding the raw size,
+  // so a raw-sized scratch buffer is always enough.
+  return raw_bytes;
+}
+
+std::size_t encode(CodecId codec, std::span<const std::byte> raw,
+                   std::size_t element_bytes, std::span<std::byte> out) noexcept {
+  if (element_bytes == 0 || raw.size() % element_bytes != 0) return 0;
+  if (out.size() < max_encoded_bytes(raw.size(), element_bytes)) return 0;
+  switch (codec) {
+    case CodecId::kNone: return 0;
+    case CodecId::kRle: return rle_encode(raw, element_bytes, out);
+    case CodecId::kBitPack: return bitpack_encode(raw, element_bytes, out);
+  }
+  return 0;
+}
+
+Status decode(CodecId codec, std::span<const std::byte> stored,
+              std::size_t element_bytes, std::span<std::byte> raw) noexcept {
+  if (element_bytes == 0 || raw.size() % element_bytes != 0) {
+    return Status(ErrorCode::kInvalidArgument, "decode: bad element width");
+  }
+  switch (codec) {
+    case CodecId::kNone:
+      if (stored.size() != raw.size()) {
+        return Status(ErrorCode::kCorrupt, "identity: stored size mismatch");
+      }
+      std::memcpy(raw.data(), stored.data(), stored.size());
+      return Status::ok();
+    case CodecId::kRle: return rle_decode(stored, element_bytes, raw);
+    case CodecId::kBitPack: return bitpack_decode(stored, element_bytes, raw);
+  }
+  return Status(ErrorCode::kCorrupt, "unknown codec id");
+}
+
+}  // namespace drx::codec

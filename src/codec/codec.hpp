@@ -1,0 +1,93 @@
+// Per-chunk compression codecs (ROADMAP item 4).
+//
+// Chunks are compressed independently so the axial mapping F* still
+// resolves any chunk without touching its neighbours; the per-chunk
+// stored-size/offset table lives in `core::Metadata`, not here. This
+// module is deliberately low in the layering (util only): it knows
+// nothing about files, caches or metrics — callers time and count.
+//
+// Two real codecs plus the identity fallback:
+//   * kRle     — element-granular PackBits-style run-length encoding.
+//                Works for every element width; wins big on the
+//                zero-heavy / piecewise-constant grids scientific
+//                arrays are full of.
+//   * kBitPack — frame-of-reference bit packing for integer dtypes:
+//                store min(v) once, then (v - min) packed at the
+//                minimal bit width. Not applicable to float/complex.
+//   * kNone    — identity. Always available; `encode` falls back to it
+//                (by returning 0) whenever a codec cannot beat raw.
+//
+// Encoders never expand: if the encoded form would be >= the raw size
+// the encoder reports "no gain" and the caller stores the chunk raw
+// with a per-chunk kNone tag. Decoders validate exhaustively and
+// return kCorrupt on any malformed stream — compressed data crossing a
+// PFS is still just bytes on disk.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace drx::codec {
+
+enum class CodecId : std::uint8_t {
+  kNone = 0,     ///< identity: stored bytes are the raw chunk
+  kRle = 1,      ///< element-granular run-length encoding
+  kBitPack = 2,  ///< frame-of-reference bit packing (integer elements)
+};
+
+[[nodiscard]] constexpr bool valid_codec(std::uint8_t raw) noexcept {
+  return raw <= static_cast<std::uint8_t>(CodecId::kBitPack);
+}
+
+[[nodiscard]] constexpr std::string_view codec_name(CodecId c) noexcept {
+  switch (c) {
+    case CodecId::kNone: return "none";
+    case CodecId::kRle: return "rle";
+    case CodecId::kBitPack: return "bitpack";
+  }
+  return "?";
+}
+
+/// Parses a codec name as used by `DRX_COMPRESS` and tool flags.
+/// Accepts "off"/"none"/"0" (identity), "rle"/"on"/"1" (RLE is the
+/// default real codec) and "bitpack". Unknown names -> nullopt.
+[[nodiscard]] std::optional<CodecId> parse_codec(std::string_view name) noexcept;
+
+/// Reads `DRX_COMPRESS` once per process; unset or unparsable -> kNone
+/// so compression stays strictly opt-in. `set_default_codec` overrides
+/// programmatically (tests, benches).
+[[nodiscard]] CodecId default_codec() noexcept;
+void set_default_codec(CodecId c) noexcept;
+
+/// Upper bound on the encoded size of a raw buffer of `raw_bytes` bytes
+/// with `element_bytes`-wide elements, for sizing scratch buffers. The
+/// bound holds for every codec.
+[[nodiscard]] std::size_t max_encoded_bytes(std::size_t raw_bytes,
+                                            std::size_t element_bytes) noexcept;
+
+/// Encodes `raw` (a whole chunk, element width `element_bytes`, which
+/// must divide raw.size()) into `out` (>= max_encoded_bytes). Returns
+/// the encoded size, or 0 when the codec is inapplicable to this
+/// element width or cannot beat the raw size — the caller then stores
+/// the chunk raw, tagged kNone. `codec` == kNone always returns 0.
+/// Pure function of its inputs; safe to call concurrently.
+[[nodiscard]] std::size_t encode(CodecId codec, std::span<const std::byte> raw,
+                                 std::size_t element_bytes,
+                                 std::span<std::byte> out) noexcept;
+
+/// Decodes `stored` into exactly `raw.size()` bytes. `codec` is the
+/// per-chunk tag actually stored (kNone -> plain copy, sizes must
+/// match). Every structural violation — truncated stream, counts not
+/// summing to the chunk, trailing garbage, implausible bit widths —
+/// returns kCorrupt without writing out of bounds. Safe to call
+/// concurrently.
+[[nodiscard]] Status decode(CodecId codec, std::span<const std::byte> stored,
+                            std::size_t element_bytes,
+                            std::span<std::byte> raw) noexcept;
+
+}  // namespace drx::codec

@@ -353,11 +353,13 @@ Status ChunkCache::evict_one_locked(Shard& s, util::MutexLock& lock,
   // The frame was erased from s.frames above, so this thread owns its
   // buffer exclusively across the unlocked write.
   lock.unlock();
+  std::vector<std::byte> scratch;
+  const DrxFile::EncodedChunk enc = file_->encode_chunk(
+      std::span<const std::byte>(frame.data.get(), chunk_size()), scratch);
   Status st;
   {
     util::MutexLock io(io_mu_);
-    st = file_->write_chunk(
-        victim, std::span<const std::byte>(frame.data.get(), chunk_size()));
+    st = file_->write_chunk_encoded(victim, enc);
   }
   lock.lock();
   recycle_buffer_locked(s, std::move(frame.data));
@@ -445,6 +447,9 @@ bool ChunkCache::should_bypass_locked(Shard& s, std::uint64_t address,
 Result<bool> ChunkCache::read_element_bypassed(std::uint64_t address,
                                                std::uint64_t offset,
                                                std::span<std::byte> out) {
+  // Sub-chunk byte offsets have no storage address once chunks are
+  // encoded: compressed arrays always go through whole-chunk frames.
+  if (file_->compressed()) return false;
   const std::size_t si = shard_index(address);
   Shard& s = shards_[si];
   {
@@ -465,6 +470,7 @@ Result<bool> ChunkCache::read_element_bypassed(std::uint64_t address,
 Result<bool> ChunkCache::write_element_bypassed(
     std::uint64_t address, std::uint64_t offset,
     std::span<const std::byte> value) {
+  if (file_->compressed()) return false;  // see read_element_bypassed
   const std::size_t si = shard_index(address);
   Shard& s = shards_[si];
   {
@@ -637,7 +643,27 @@ restart:
 
   fault_timer.stop();
   Status st;
-  {
+  if (file_->compressed()) {
+    // Split fault: fetch the stored bytes under the io mutex, decode
+    // outside it — codec work must never serialize concurrent I/O. The
+    // reserved frame (loading=true) gives this thread exclusive
+    // ownership of `buffer`, so decoding into it lock-free is safe.
+    std::vector<std::byte> stored;
+    DrxFile::EncodedChunk enc;
+    {
+      util::MutexLock io(io_mu_);
+      auto r = file_->read_chunk_stored(address, stored);
+      if (r.is_ok()) {
+        enc = r.value();
+      } else {
+        st = r.status();
+      }
+    }
+    if (st.is_ok()) {
+      st = file_->decode_chunk(enc.codec, enc.bytes,
+                               std::span<std::byte>(buffer, cb));
+    }
+  } else {
     util::MutexLock io(io_mu_);
     st = file_->read_chunk(address, std::span<std::byte>(buffer, cb));
   }
@@ -764,11 +790,18 @@ Status ChunkCache::run_write_job(std::uint64_t address) {
       data = it->second.data;
       seq = it->second.seq;
     }
+    // Encode with NO lock held: the pending-write entry's shared_ptr
+    // keeps the buffer alive, a replacement bumps seq (observed below)
+    // rather than mutating bytes in place, and concurrent writers on
+    // other chunks keep streaming through io_mu_ while this worker
+    // compresses — codec cost overlaps I/O instead of serializing it.
+    std::vector<std::byte> scratch;
+    const DrxFile::EncodedChunk enc = file_->encode_chunk(
+        std::span<const std::byte>(data.get(), cb), scratch);
     Status st;
     {
       util::MutexLock io(io_mu_);
-      st = file_->write_chunk(address,
-                              std::span<const std::byte>(data.get(), cb));
+      st = file_->write_chunk_encoded(address, enc);
     }
     if (!st.is_ok()) {
       DRX_LOG(kError) << "deferred chunk write-back failed (address " << address
@@ -810,7 +843,24 @@ Status ChunkCache::run_prefetch_job(std::uint64_t first, std::uint64_t count) {
   const std::size_t total = checked_size(count) * cb;
   auto staging = std::make_unique<std::byte[]>(total);
   Status st;
-  {
+  if (file_->compressed()) {
+    // Fetch stored bytes under the io mutex, decompress into staging
+    // outside it: frames are published already-decoded, so readers
+    // never pay codec latency, and decode overlaps concurrent I/O.
+    std::vector<std::byte> stored;
+    std::vector<DrxFile::StoredRef> refs;
+    {
+      util::MutexLock io(io_mu_);
+      st = file_->read_chunks_stored(first, count, stored, refs);
+    }
+    for (std::size_t i = 0; st.is_ok() && i < refs.size(); ++i) {
+      st = file_->decode_chunk(
+          refs[i].codec,
+          std::span<const std::byte>(stored.data() + refs[i].offset,
+                                     refs[i].size),
+          std::span<std::byte>(staging.get() + i * cb, cb));
+    }
+  } else {
     util::MutexLock io(io_mu_);
     st = file_->read_chunks(first, count,
                             std::span<std::byte>(staging.get(), total));
@@ -917,11 +967,15 @@ Status ChunkCache::flush_shard_async_locked(Shard& s, util::MutexLock& lock)
     // published — concurrent fast pins read bytes the write-back is
     // persisting, which is exactly the newest data.
     lock.unlock();
+    // Shard lock dropped, io mutex not yet taken: encode overlaps other
+    // workers' storage traffic (and never blocks readers of this shard).
+    std::vector<std::byte> scratch;
+    const DrxFile::EncodedChunk enc = file_->encode_chunk(
+        std::span<const std::byte>(frame.data.get(), cb), scratch);
     Status st;
     {
       util::MutexLock io(io_mu_);
-      st = file_->write_chunk(
-          address, std::span<const std::byte>(frame.data.get(), cb));
+      st = file_->write_chunk_encoded(address, enc);
     }
     lock.lock();
     ++s.stats.writebacks;

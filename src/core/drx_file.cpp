@@ -1,16 +1,50 @@
 #include "core/drx_file.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "core/scatter.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/opctx.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
+#include "util/logging.hpp"
 
 namespace drx::core {
+
+namespace {
+
+/// Slot reservation for `stored` bytes: ~12.5% headroom rounded up to
+/// 64 so most re-encodes of mutated chunks still fit in place, capped
+/// at the raw chunk size (a slot never needs more — incompressible
+/// chunks are stored raw).
+std::uint64_t slot_capacity(std::uint64_t stored, std::uint64_t chunk_sz) {
+  const std::uint64_t padded = (stored + stored / 8 + 63) / 64 * 64;
+  return std::min(chunk_sz, std::max<std::uint64_t>(padded, 64));
+}
+
+/// raw bytes / elapsed microseconds ~= MB/s: the effective-bandwidth
+/// histogram of docs/COMPRESSION.md (what the consumer *observed*,
+/// decode included, vs bytes that actually crossed the storage).
+void record_effective_read_bw(std::size_t raw_bytes,
+                              std::chrono::steady_clock::time_point start) {
+  static const obs::MetricId kBw =
+      obs::histogram_id("core.codec.effective_read_mbps");
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  const auto us = std::max<std::int64_t>(1, ns / 1000);
+  obs::registry()
+      .histogram(kBw)
+      .observe(static_cast<std::uint64_t>(raw_bytes) /
+               static_cast<std::uint64_t>(us));
+}
+
+}  // namespace
 
 Result<DrxFile> DrxFile::create(std::unique_ptr<pfs::Storage> meta_storage,
                                 std::unique_ptr<pfs::Storage> data_storage,
@@ -27,13 +61,20 @@ Result<DrxFile> DrxFile::create(std::unique_ptr<pfs::Storage> meta_storage,
   }
   Metadata meta(options.dtype, options.in_chunk_order,
                 std::move(element_bounds), std::move(chunk_shape));
+  meta.codec = options.codec.value_or(codec::default_codec());
+  if (meta.compressed() &&
+      meta.chunk_bytes() > std::numeric_limits<std::uint32_t>::max()) {
+    return Status(ErrorCode::kUnsupported,
+                  "chunk too large for the per-chunk slot table");
+  }
   DrxFile file(std::move(meta_storage), std::move(data_storage),
                std::move(meta));
   // Zero-initialize the initial allocation so every allocated chunk is
   // readable immediately.
   DRX_RETURN_IF_ERROR(file.data_->truncate(0));
-  const std::uint64_t bytes = file.meta_.data_file_bytes();
-  if (bytes > 0) {
+  if (file.compressed()) {
+    DRX_RETURN_IF_ERROR(file.append_zero_chunks(0));
+  } else if (file.meta_.data_file_bytes() > 0) {
     std::vector<std::byte> zeros(checked_size(file.meta_.chunk_bytes()),
                                  std::byte{0});
     for (std::uint64_t q = 0; q < file.meta_.mapping.total_chunks(); ++q) {
@@ -51,7 +92,7 @@ Result<DrxFile> DrxFile::open(std::unique_ptr<pfs::Storage> meta_storage,
       checked_size(meta_storage->size()));
   DRX_RETURN_IF_ERROR(meta_storage->read_at(0, image));
   DRX_ASSIGN_OR_RETURN(Metadata meta, Metadata::from_bytes(image));
-  if (data_storage->size() < meta.data_file_bytes()) {
+  if (data_storage->size() < meta.stored_data_bytes()) {
     return Status(ErrorCode::kCorrupt,
                   ".xta smaller than the metadata requires");
   }
@@ -93,12 +134,16 @@ Status DrxFile::extend(std::size_t dim, std::uint64_t delta) {
   if (delta == 0) return Status::ok();
 
   if (const auto first = meta_.extend_elements(dim, delta)) {
-    // Zero-fill the appended segment (it is physically contiguous: new
-    // chunks always append to the file).
-    const std::uint64_t chunk_sz = meta_.chunk_bytes();
-    std::vector<std::byte> zeros(checked_size(chunk_sz), std::byte{0});
-    for (std::uint64_t q = *first; q < meta_.mapping.total_chunks(); ++q) {
-      DRX_RETURN_IF_ERROR(data_->write_at(q * chunk_sz, zeros));
+    if (compressed()) {
+      DRX_RETURN_IF_ERROR(append_zero_chunks(*first));
+    } else {
+      // Zero-fill the appended segment (it is physically contiguous:
+      // new chunks always append to the file).
+      const std::uint64_t chunk_sz = meta_.chunk_bytes();
+      std::vector<std::byte> zeros(checked_size(chunk_sz), std::byte{0});
+      for (std::uint64_t q = *first; q < meta_.mapping.total_chunks(); ++q) {
+        DRX_RETURN_IF_ERROR(data_->write_at(q * chunk_sz, zeros));
+      }
     }
   }
   return flush();
@@ -124,6 +169,16 @@ Status DrxFile::read_element(std::span<const std::uint64_t> index,
   const Index chunk = chunk_space_.chunk_of(index);
   const std::uint64_t q = meta_.mapping.address_of(chunk);
   const std::uint64_t off = chunk_space_.offset_in_chunk(index);
+  if (compressed()) {
+    // Sub-chunk byte offsets have no storage address once chunks are
+    // encoded: decode the whole chunk and pick the element out.
+    std::vector<std::byte> chunk_buf(checked_size(meta_.chunk_bytes()));
+    DRX_RETURN_IF_ERROR(read_chunk(q, chunk_buf));
+    std::memcpy(out.data(),
+                chunk_buf.data() + checked_size(checked_mul(off, element_bytes())),
+                checked_size(element_bytes()));
+    return Status::ok();
+  }
   obs::StageTimer io(obs::Stage::kIoService);
   return data_->read_at(
       checked_add(checked_mul(q, meta_.chunk_bytes()),
@@ -139,6 +194,16 @@ Status DrxFile::write_element(std::span<const std::uint64_t> index,
   const Index chunk = chunk_space_.chunk_of(index);
   const std::uint64_t q = meta_.mapping.address_of(chunk);
   const std::uint64_t off = chunk_space_.offset_in_chunk(index);
+  if (compressed()) {
+    // Whole-chunk read-modify-write: the encoded neighbours share the
+    // stored stream with this element.
+    std::vector<std::byte> chunk_buf(checked_size(meta_.chunk_bytes()));
+    DRX_RETURN_IF_ERROR(read_chunk(q, chunk_buf));
+    std::memcpy(chunk_buf.data() +
+                    checked_size(checked_mul(off, element_bytes())),
+                value.data(), checked_size(element_bytes()));
+    return write_chunk(q, chunk_buf);
+  }
   obs::StageTimer io(obs::Stage::kIoService);
   return data_->write_at(
       checked_add(checked_mul(q, meta_.chunk_bytes()),
@@ -162,6 +227,17 @@ void DrxFile::gather_chunk(std::span<std::byte> chunk, const Box& clip,
   plan_cache_->gather(clip, box, order, chunk, in);
 }
 
+std::vector<std::pair<std::uint64_t, Index>> DrxFile::chunks_by_address(
+    const Box& box) const {
+  std::vector<std::pair<std::uint64_t, Index>> chunks;
+  for_each_index(chunk_space_.covering_chunks(box), [&](const Index& cidx) {
+    chunks.emplace_back(meta_.mapping.address_of(cidx), cidx);
+  });
+  std::sort(chunks.begin(), chunks.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return chunks;
+}
+
 Status DrxFile::read_box(const Box& box, MemoryOrder order,
                          std::span<std::byte> out) {
   obs::OpScope op("op.read_box");
@@ -177,16 +253,13 @@ Status DrxFile::read_box(const Box& box, MemoryOrder order,
   if (box.empty()) return Status::ok();
 
   std::vector<std::byte> chunk_buf(checked_size(meta_.chunk_bytes()));
-  const Box chunk_range = chunk_space_.covering_chunks(box);
   Status status;
-  for_each_index(chunk_range, [&](const Index& cidx) {
-    if (!status.is_ok()) return;
-    const std::uint64_t q = meta_.mapping.address_of(cidx);
+  for (const auto& [q, cidx] : chunks_by_address(box)) {
     status = read_chunk(q, chunk_buf);
-    if (!status.is_ok()) return;
+    if (!status.is_ok()) break;
     const Box clip = chunk_space_.chunk_box(cidx).intersect(box);
     scatter_chunk(chunk_buf, clip, box, order, out);
-  });
+  }
   return status;
 }
 
@@ -205,11 +278,8 @@ Status DrxFile::write_box(const Box& box, MemoryOrder order,
   if (box.empty()) return Status::ok();
 
   std::vector<std::byte> chunk_buf(checked_size(meta_.chunk_bytes()));
-  const Box chunk_range = chunk_space_.covering_chunks(box);
   Status status;
-  for_each_index(chunk_range, [&](const Index& cidx) {
-    if (!status.is_ok()) return;
-    const std::uint64_t q = meta_.mapping.address_of(cidx);
+  for (const auto& [q, cidx] : chunks_by_address(box)) {
     const Box chunk_box = chunk_space_.chunk_box(cidx);
     const Box clip = chunk_box.intersect(box);
     // Read-modify-write unless the chunk is fully covered by the box.
@@ -217,11 +287,12 @@ Status DrxFile::write_box(const Box& box, MemoryOrder order,
       std::memset(chunk_buf.data(), 0, chunk_buf.size());
     } else {
       status = read_chunk(q, chunk_buf);
-      if (!status.is_ok()) return;
+      if (!status.is_ok()) break;
     }
     gather_chunk(chunk_buf, clip, box, order, in);
     status = write_chunk(q, chunk_buf);
-  });
+    if (!status.is_ok()) break;
+  }
   return status;
 }
 
@@ -244,6 +315,14 @@ Status DrxFile::scan_read_all(MemoryOrder order, std::span<std::byte> out) {
 
 Status DrxFile::read_chunk(std::uint64_t address, std::span<std::byte> out) {
   DRX_CHECK(out.size() == meta_.chunk_bytes());
+  if (compressed()) {
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::byte> scratch;
+    DRX_ASSIGN_OR_RETURN(EncodedChunk enc, read_chunk_stored(address, scratch));
+    DRX_RETURN_IF_ERROR(decode_chunk(enc.codec, enc.bytes, out));
+    record_effective_read_bw(out.size(), start);
+    return Status::ok();
+  }
   static const obs::MetricId kReads = obs::counter_id("core.chunk_reads");
   static const obs::MetricId kBytes = obs::counter_id("core.bytes_read");
   obs::registry().counter(kReads).add();
@@ -258,6 +337,22 @@ Status DrxFile::read_chunks(std::uint64_t first_address, std::uint64_t count,
                             std::span<std::byte> out) {
   DRX_CHECK(out.size() == checked_mul(count, meta_.chunk_bytes()));
   if (count == 0) return Status::ok();
+  if (compressed()) {
+    const auto start = std::chrono::steady_clock::now();
+    const std::size_t cb = checked_size(meta_.chunk_bytes());
+    std::vector<std::byte> scratch;
+    std::vector<StoredRef> refs;
+    DRX_RETURN_IF_ERROR(read_chunks_stored(first_address, count, scratch, refs));
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      DRX_RETURN_IF_ERROR(decode_chunk(
+          refs[i].codec,
+          std::span<const std::byte>(scratch.data() + refs[i].offset,
+                                     refs[i].size),
+          out.subspan(i * cb, cb)));
+    }
+    record_effective_read_bw(out.size(), start);
+    return Status::ok();
+  }
   static const obs::MetricId kReads = obs::counter_id("core.chunk_reads");
   static const obs::MetricId kBatches =
       obs::counter_id("core.chunk_read_batches");
@@ -306,14 +401,272 @@ void DrxFile::prefetch_box(const Box& box) {
 Status DrxFile::write_chunk(std::uint64_t address,
                             std::span<const std::byte> in) {
   DRX_CHECK(in.size() == meta_.chunk_bytes());
+  if (compressed()) {
+    std::vector<std::byte> scratch;
+    const EncodedChunk enc = encode_chunk(in, scratch);
+    return write_chunk_encoded(address, enc);
+  }
   static const obs::MetricId kWrites = obs::counter_id("core.chunk_writes");
   static const obs::MetricId kBytes = obs::counter_id("core.bytes_written");
   obs::registry().counter(kWrites).add();
   obs::registry().counter(kBytes).add(in.size());
   obs::profile_chunk(obs::ChunkOp::kWrite, address, in.size());
   obs::ScopedSpan span("core.write_chunk", "core", in.size());
+  sample_write_entropy(in);
   obs::StageTimer io(obs::Stage::kIoService);
   return data_->write_at(checked_mul(address, meta_.chunk_bytes()), in);
+}
+
+// ---- split codec / storage API (docs/COMPRESSION.md) --------------------
+
+DrxFile::EncodedChunk DrxFile::encode_chunk(
+    std::span<const std::byte> raw, std::vector<std::byte>& scratch) const {
+  DRX_CHECK(raw.size() == meta_.chunk_bytes());
+  if (!compressed()) return EncodedChunk{codec::CodecId::kNone, raw};
+  static const obs::MetricId kEncodeUs =
+      obs::histogram_id("core.codec.encode_us");
+  scratch.resize(codec::max_encoded_bytes(raw.size(),
+                                          checked_size(element_bytes())));
+  std::size_t n = 0;
+  {
+    obs::ScopedTimer timer(kEncodeUs);
+    n = codec::encode(meta_.codec, raw, checked_size(element_bytes()),
+                      scratch);
+  }
+  if (n == 0) return EncodedChunk{codec::CodecId::kNone, raw};
+  return EncodedChunk{meta_.codec,
+                      std::span<const std::byte>(scratch.data(), n)};
+}
+
+Status DrxFile::write_chunk_encoded(std::uint64_t address,
+                                    const EncodedChunk& enc) {
+  if (!compressed()) {
+    DRX_CHECK(enc.codec == codec::CodecId::kNone);
+    return write_chunk(address, enc.bytes);
+  }
+  if (address >= meta_.chunk_table.size()) {
+    return Status(ErrorCode::kOutOfRange, "chunk address out of range");
+  }
+  static const obs::MetricId kWrites = obs::counter_id("core.chunk_writes");
+  static const obs::MetricId kBytes = obs::counter_id("core.bytes_written");
+  static const obs::MetricId kRaw = obs::counter_id("core.codec.bytes_raw");
+  static const obs::MetricId kStored =
+      obs::counter_id("core.codec.bytes_stored");
+  static const obs::MetricId kRelocs =
+      obs::counter_id("core.codec.slot_relocations");
+  static const obs::MetricId kFrag =
+      obs::counter_id("core.codec.frag_bytes");
+  const std::uint64_t cb = meta_.chunk_bytes();
+  obs::registry().counter(kWrites).add();
+  obs::registry().counter(kBytes).add(cb);  // logical bytes, as ever
+  obs::registry().counter(kRaw).add(cb);
+  obs::registry().counter(kStored).add(enc.bytes.size());
+  obs::profile_chunk(obs::ChunkOp::kWrite, address, cb);
+  obs::ScopedSpan span("core.write_chunk", "core", enc.bytes.size());
+
+  ChunkSlot& slot = meta_.chunk_table[address];
+  const auto stored = static_cast<std::uint32_t>(enc.bytes.size());
+  obs::StageTimer io(obs::Stage::kIoService);
+  if (stored <= slot.capacity) {
+    DRX_RETURN_IF_ERROR(data_->write_at(slot.offset, enc.bytes));
+  } else {
+    // Doesn't fit: relocate to the end of the file; the old slot leaks
+    // (append-only, like extension — drx_inspect reports the frag).
+    const std::uint64_t offset = meta_.data_end;
+    DRX_RETURN_IF_ERROR(data_->write_at(offset, enc.bytes));
+    obs::registry().counter(kRelocs).add();
+    obs::registry().counter(kFrag).add(slot.capacity);
+    slot.offset = offset;
+    slot.capacity = static_cast<std::uint32_t>(slot_capacity(stored, cb));
+    meta_.data_end = checked_add(offset, slot.capacity);
+  }
+  slot.stored = stored;
+  slot.codec = static_cast<std::uint8_t>(enc.codec);
+  return Status::ok();
+}
+
+Result<DrxFile::EncodedChunk> DrxFile::read_chunk_stored(
+    std::uint64_t address, std::vector<std::byte>& scratch) {
+  const std::uint64_t cb = meta_.chunk_bytes();
+  static const obs::MetricId kReads = obs::counter_id("core.chunk_reads");
+  static const obs::MetricId kBytes = obs::counter_id("core.bytes_read");
+  obs::registry().counter(kReads).add();
+  obs::registry().counter(kBytes).add(cb);  // logical bytes, as ever
+  obs::profile_chunk(obs::ChunkOp::kRead, address, checked_size(cb));
+  if (!compressed()) {
+    scratch.resize(checked_size(cb));
+    obs::ScopedSpan span("core.read_chunk", "core", scratch.size());
+    obs::StageTimer io(obs::Stage::kIoService);
+    DRX_RETURN_IF_ERROR(data_->read_at(checked_mul(address, cb), scratch));
+    return EncodedChunk{codec::CodecId::kNone,
+                        std::span<const std::byte>(scratch)};
+  }
+  if (address >= meta_.chunk_table.size()) {
+    return Status(ErrorCode::kOutOfRange, "chunk address out of range");
+  }
+  const ChunkSlot& slot = meta_.chunk_table[address];
+  scratch.resize(slot.stored);
+  obs::ScopedSpan span("core.read_chunk", "core", scratch.size());
+  obs::StageTimer io(obs::Stage::kIoService);
+  DRX_RETURN_IF_ERROR(data_->read_at(slot.offset, scratch));
+  return EncodedChunk{static_cast<codec::CodecId>(slot.codec),
+                      std::span<const std::byte>(scratch)};
+}
+
+Status DrxFile::decode_chunk(codec::CodecId chunk_codec,
+                             std::span<const std::byte> stored,
+                             std::span<std::byte> raw) const {
+  DRX_CHECK(raw.size() == meta_.chunk_bytes());
+  static const obs::MetricId kDecodeUs =
+      obs::histogram_id("core.codec.decode_us");
+  Status st;
+  {
+    obs::ScopedTimer timer(kDecodeUs);
+    st = codec::decode(chunk_codec, stored, checked_size(element_bytes()),
+                       raw);
+  }
+  if (!st.is_ok() && obs::flight_enabled()) {
+    // Same discipline as deferred write-back errors: capture the causal
+    // context the moment damage is detected — the clean kCorrupt Status
+    // still propagates to the caller.
+    const Status ds = obs::dump_flight("corrupt-chunk");
+    if (!ds.is_ok()) {
+      DRX_LOG(kError) << "flight dump failed: " << ds.to_string();
+    }
+  }
+  return st;
+}
+
+Status DrxFile::read_chunks_stored(std::uint64_t first_address,
+                                   std::uint64_t count,
+                                   std::vector<std::byte>& scratch,
+                                   std::vector<StoredRef>& refs) {
+  refs.clear();
+  scratch.clear();
+  if (count == 0) return Status::ok();
+  const std::uint64_t cb = meta_.chunk_bytes();
+  if (!compressed()) {
+    scratch.resize(checked_size(checked_mul(count, cb)));
+    DRX_RETURN_IF_ERROR(read_chunks(first_address, count, scratch));
+    refs.reserve(checked_size(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      refs.push_back(StoredRef{codec::CodecId::kNone,
+                               checked_size(checked_mul(i, cb)),
+                               static_cast<std::uint32_t>(cb)});
+    }
+    return Status::ok();
+  }
+  if (first_address + count > meta_.chunk_table.size()) {
+    return Status(ErrorCode::kOutOfRange, "chunk range out of range");
+  }
+  static const obs::MetricId kReads = obs::counter_id("core.chunk_reads");
+  static const obs::MetricId kBatches =
+      obs::counter_id("core.chunk_read_batches");
+  static const obs::MetricId kBytes = obs::counter_id("core.bytes_read");
+  obs::registry().counter(kReads).add(count);
+  obs::registry().counter(kBatches).add();
+  obs::registry().counter(kBytes).add(checked_mul(count, cb));
+  if (obs::profile_enabled()) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      obs::profile_chunk(obs::ChunkOp::kRead, first_address + i,
+                         checked_size(cb));
+    }
+  }
+
+  // Slots of consecutive addresses are usually physically consecutive
+  // (they were created in address order): fetch the whole byte span in
+  // one request when it is dense enough, else fall back to one request
+  // per chunk packed tight into the scratch buffer.
+  std::uint64_t lo = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t hi = 0;
+  std::uint64_t hi_cap = 0;
+  std::uint64_t live = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const ChunkSlot& s = meta_.chunk_table[first_address + i];
+    lo = std::min(lo, s.offset);
+    hi = std::max(hi, s.offset + s.stored);
+    hi_cap = std::max(hi_cap, s.offset + s.capacity);
+    live += s.stored;
+  }
+  // Read through the last slot's capacity slack (when those bytes exist on
+  // disk) so consecutive batch reads over a packed layout stay
+  // head-contiguous — a streaming scan then costs one seek total, not one
+  // per batch.
+  hi = std::max(hi, std::min(hi_cap, data_->size()));
+  const std::uint64_t span_bytes = hi - lo;
+  obs::ScopedSpan span("core.read_chunks_batch", "core",
+                       checked_size(live));
+  refs.reserve(checked_size(count));
+  if (live * 2 >= span_bytes) {
+    scratch.resize(checked_size(span_bytes));
+    obs::StageTimer io(obs::Stage::kIoService);
+    DRX_RETURN_IF_ERROR(data_->read_at(lo, scratch));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const ChunkSlot& s = meta_.chunk_table[first_address + i];
+      refs.push_back(StoredRef{static_cast<codec::CodecId>(s.codec),
+                               checked_size(s.offset - lo), s.stored});
+    }
+    return Status::ok();
+  }
+  scratch.resize(checked_size(live));
+  std::size_t pos = 0;
+  obs::StageTimer io(obs::Stage::kIoService);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const ChunkSlot& s = meta_.chunk_table[first_address + i];
+    DRX_RETURN_IF_ERROR(data_->read_at(
+        s.offset, std::span<std::byte>(scratch.data() + pos, s.stored)));
+    refs.push_back(StoredRef{static_cast<codec::CodecId>(s.codec), pos,
+                             s.stored});
+    pos += s.stored;
+  }
+  return Status::ok();
+}
+
+Status DrxFile::append_zero_chunks(std::uint64_t first) {
+  const std::uint64_t cb = meta_.chunk_bytes();
+  std::vector<std::byte> zeros(checked_size(cb), std::byte{0});
+  std::vector<std::byte> scratch;
+  // All appended chunks share one encoded image (but each gets its own
+  // slot so later rewrites stay independent).
+  const EncodedChunk enc = encode_chunk(zeros, scratch);
+  const std::uint64_t total = meta_.mapping.total_chunks();
+  const auto stored = static_cast<std::uint32_t>(enc.bytes.size());
+  const auto cap = static_cast<std::uint32_t>(slot_capacity(stored, cb));
+  static const obs::MetricId kRaw = obs::counter_id("core.codec.bytes_raw");
+  static const obs::MetricId kStored =
+      obs::counter_id("core.codec.bytes_stored");
+  meta_.chunk_table.resize(checked_size(total));
+  for (std::uint64_t q = first; q < total; ++q) {
+    const std::uint64_t offset = meta_.data_end;
+    DRX_RETURN_IF_ERROR(data_->write_at(offset, enc.bytes));
+    meta_.chunk_table[q] = ChunkSlot{
+        offset, stored, cap, static_cast<std::uint8_t>(enc.codec)};
+    meta_.data_end = checked_add(offset, cap);
+    obs::registry().counter(kRaw).add(cb);
+    obs::registry().counter(kStored).add(stored);
+  }
+  return Status::ok();
+}
+
+void DrxFile::sample_write_entropy(std::span<const std::byte> in) {
+  // Every ~64th raw chunk write: trial-encode a bounded prefix so
+  // drx_doctor can hint when DRX_COMPRESS would pay. Amortized cost is
+  // a <=4KiB scan per 64 chunk writes.
+  if ((write_sample_clock_++ & 63) != 0) return;
+  static const obs::MetricId kSamples =
+      obs::counter_id("core.codec.samples");
+  static const obs::MetricId kRatio =
+      obs::histogram_id("core.codec.sample_ratio_pct");
+  const std::size_t w = checked_size(element_bytes());
+  const std::size_t sample = std::min<std::size_t>(in.size(), 4096 / w * w);
+  if (sample == 0) return;
+  std::vector<std::byte> scratch(sample);
+  const std::size_t n =
+      codec::encode(codec::CodecId::kRle, in.first(sample), w, scratch);
+  const std::uint64_t pct =
+      n == 0 ? 100 : (static_cast<std::uint64_t>(n) * 100) / sample;
+  obs::registry().counter(kSamples).add();
+  obs::registry().histogram(kRatio).observe(pct);
 }
 
 }  // namespace drx::core

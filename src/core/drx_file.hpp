@@ -12,9 +12,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "codec/codec.hpp"
 #include "core/copy_plan.hpp"
 #include "core/metadata.hpp"
 #include "io/prefetch.hpp"
@@ -27,6 +31,10 @@ class DrxFile {
   struct Options {
     ElementType dtype = ElementType::kDouble;
     MemoryOrder in_chunk_order = MemoryOrder::kRowMajor;
+    /// Array codec negotiated at create time and recorded in the .xmd
+    /// (docs/COMPRESSION.md). nullopt -> `codec::default_codec()`, i.e.
+    /// the `DRX_COMPRESS` env knob; compression stays strictly opt-in.
+    std::optional<codec::CodecId> codec;
   };
 
   /// Creates a fresh array over the given storage pair. `element_bounds`
@@ -114,6 +122,66 @@ class DrxFile {
   [[nodiscard]] Status read_chunk(std::uint64_t address, std::span<std::byte> out);
   [[nodiscard]] Status write_chunk(std::uint64_t address, std::span<const std::byte> in);
 
+  // ---- split codec / storage API (docs/COMPRESSION.md) ------------------
+  // read_chunk/write_chunk above compose these for compressed arrays.
+  // Layers that serialize storage access behind their own lock
+  // (ChunkCache's io mutex) call the split halves directly so encode/
+  // decode — pure CPU work — runs OUTSIDE that lock and overlaps I/O.
+
+  [[nodiscard]] bool compressed() const noexcept { return meta_.compressed(); }
+  [[nodiscard]] codec::CodecId codec() const noexcept { return meta_.codec; }
+
+  /// One encoded chunk: the per-chunk codec tag actually stored plus a
+  /// view of the stored bytes (into the caller's scratch or, for an
+  /// incompressible chunk, the raw input itself — no copy either way).
+  struct EncodedChunk {
+    codec::CodecId codec = codec::CodecId::kNone;
+    std::span<const std::byte> bytes;
+  };
+
+  /// Location of one chunk inside the scratch buffer filled by
+  /// `read_chunks_stored`.
+  struct StoredRef {
+    codec::CodecId codec = codec::CodecId::kNone;
+    std::size_t offset = 0;  ///< byte offset into the scratch buffer
+    std::uint32_t size = 0;  ///< stored bytes
+  };
+
+  /// Encodes a raw chunk with the array codec into `scratch` (resized
+  /// as needed), falling back per chunk to the identity codec when
+  /// encoding cannot beat raw. Pure CPU; safe from any thread with no
+  /// lock held. The returned view aliases `scratch` or `raw`.
+  [[nodiscard]] EncodedChunk encode_chunk(std::span<const std::byte> raw,
+                                          std::vector<std::byte>& scratch) const;
+
+  /// Stores an encoded chunk: in place when it fits the chunk's slot
+  /// capacity, else relocated to the end of the .xta (the old slot
+  /// leaks, append-only like extension). Touches the slot table and
+  /// storage — callers serialize this like any other chunk write.
+  [[nodiscard]] Status write_chunk_encoded(std::uint64_t address,
+                                           const EncodedChunk& enc);
+
+  /// Reads a chunk's stored bytes without decoding (resizes `scratch`).
+  [[nodiscard]] Result<EncodedChunk> read_chunk_stored(
+      std::uint64_t address, std::vector<std::byte>& scratch);
+
+  /// Decodes one stored chunk into exactly chunk_bytes() raw bytes.
+  /// Pure CPU; safe from any thread with no lock held. A malformed
+  /// stream returns kCorrupt (and dumps the flight recorder).
+  [[nodiscard]] Status decode_chunk(codec::CodecId chunk_codec,
+                                    std::span<const std::byte> stored,
+                                    std::span<std::byte> raw) const;
+
+  /// Stored-side counterpart of read_chunks: fetches `count` chunks at
+  /// consecutive addresses into `scratch`, coalescing neighbouring
+  /// slots into one storage request when the file layout allows, and
+  /// records where each chunk landed in `refs`. Decode the refs with
+  /// `decode_chunk` outside the storage lock.
+  [[nodiscard]] Status read_chunks_stored(std::uint64_t first_address,
+                                          std::uint64_t count,
+                                          std::vector<std::byte>& scratch,
+                                          std::vector<StoredRef>& refs);
+
   /// Run-coalesced scatter/gather between a chunk buffer and a
   /// box-linearized user buffer for the element range `clip` (which lies
   /// inside one chunk), through this file's memoized plan cache. Layers
@@ -167,6 +235,22 @@ class DrxFile {
                                                 meta_.element_bytes())) {}
 
   [[nodiscard]] Status check_index(std::span<const std::uint64_t> index) const;
+  /// Chunks covering element box `box` as (address, chunk index) pairs in
+  /// ascending storage-address order. Box transfers visit chunks in this
+  /// order so dense scans sweep the .xta near-sequentially, and — on
+  /// compressed arrays — slot relocations triggered by a bulk rewrite
+  /// append in address order, keeping the stored layout coalescible for
+  /// later streaming reads.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, Index>> chunks_by_address(
+      const Box& box) const;
+  /// Allocates slots for chunks [first, total_chunks) of a compressed
+  /// array and stores an encoded all-zeroes payload in each (create and
+  /// extend share this; appended chunks must read back as zeroes).
+  [[nodiscard]] Status append_zero_chunks(std::uint64_t first);
+  /// Cheap write-path entropy sampling for the drx_doctor
+  /// compression-would-pay hint (docs/COMPRESSION.md): every ~64th raw
+  /// chunk write trial-encodes a bounded prefix and records the ratio.
+  void sample_write_entropy(std::span<const std::byte> in);
 
   std::unique_ptr<pfs::Storage> meta_store_;
   std::unique_ptr<pfs::Storage> data_;
@@ -176,6 +260,11 @@ class DrxFile {
   /// this file (unique_ptr: PlanCache holds a Mutex and DrxFile moves).
   std::unique_ptr<PlanCache> plan_cache_;
   io::PrefetchSink* prefetch_sink_ = nullptr;  ///< not owned; may be null
+  /// Entropy-sampling clock for uncompressed writes. Plain (not atomic,
+  /// keeps DrxFile movable): every caller already serializes chunk
+  /// writes (ChunkCache behind its io mutex, everything else single
+  /// threaded), and a skewed sample cadence would be harmless anyway.
+  std::uint64_t write_sample_clock_ = 0;
 };
 
 }  // namespace drx::core

@@ -8,6 +8,8 @@
 
 #include "io/async_pool.hpp"
 #include "io/config.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
 #include "obs/opctx.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
@@ -36,6 +38,16 @@ Result<DrxMpFile> DrxMpFile::create(simpi::Comm& comm, pfs::Pfs& fs,
   if (element_bounds.size() != chunk_shape.size() || element_bounds.empty()) {
     return Status(ErrorCode::kInvalidArgument,
                   "element bounds and chunk shape must have equal rank >= 1");
+  }
+  // Compressed arrays are created (and written) with the serial DrxFile;
+  // DRX-MP serves them read-only via open(). Only an explicit codec
+  // request errors — the DRX_COMPRESS env knob deliberately does not
+  // reach collective creation, so setting it can never break writers.
+  if (options.codec.value_or(codec::CodecId::kNone) !=
+      codec::CodecId::kNone) {
+    return Status(ErrorCode::kUnsupported,
+                  "DRX-MP serves compressed arrays read-only; create them "
+                  "with the serial DrxFile");
   }
   Metadata meta(options.dtype, options.in_chunk_order,
                 std::move(element_bounds), std::move(chunk_shape));
@@ -92,7 +104,7 @@ Result<DrxMpFile> DrxMpFile::open(simpi::Comm& comm, pfs::Pfs& fs,
 
   auto data = mpio::File::open(comm, fs, data_name(name), mpio::kModeRdWr);
   if (!data.is_ok()) return data.status();
-  if (data.value().get_size() < meta.data_file_bytes()) {
+  if (data.value().get_size() < meta.stored_data_bytes()) {
     return Status(ErrorCode::kCorrupt, ".xta smaller than metadata requires");
   }
   return DrxMpFile(comm, fs, name, std::move(meta), std::move(data).value());
@@ -168,6 +180,13 @@ Box DrxMpFile::zone_element_box(const Distribution& dist, int proc) const {
 Status DrxMpFile::transfer_chunks(std::span<const Index> chunks,
                                   void* staging, bool collective,
                                   bool writing) {
+  if (meta_.compressed()) {
+    if (writing) {
+      return Status(ErrorCode::kUnsupported,
+                    "compressed DRX-MP arrays are read-only");
+    }
+    return transfer_chunks_compressed(chunks, staging, collective);
+  }
   const std::uint64_t cb = chunk_bytes();
   const std::size_t n = chunks.size();
   obs::ScopedSpan span(writing ? "core.write_chunks" : "core.read_chunks",
@@ -220,6 +239,96 @@ Status DrxMpFile::transfer_chunks(std::span<const Index> chunks,
   }
   return collective ? data_.read_at_all(0, staging, count, memtype)
                     : data_.read_at(0, staging, count, memtype);
+}
+
+Status DrxMpFile::transfer_chunks_compressed(std::span<const Index> chunks,
+                                             void* staging, bool collective) {
+  const std::uint64_t cb = chunk_bytes();
+  const std::size_t n = chunks.size();
+  obs::ScopedSpan span("core.read_chunks", "core", checked_mul(n, cb));
+
+  std::vector<std::uint64_t> addresses(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    addresses[i] = meta_.mapping.address_of(chunks[i]);
+    if (addresses[i] >= meta_.chunk_table.size()) {
+      return Status(ErrorCode::kOutOfRange, "chunk address out of range");
+    }
+  }
+  if (obs::profile_enabled()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      obs::profile_chunk(obs::ChunkOp::kRead, addresses[i], cb);
+    }
+  }
+
+  // Sort by slot offset, not by linear address: rewrites before the array
+  // reached DRX-MP may have relocated slots out of address order, and the
+  // MPI file view must be monotonic in file displacement.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return meta_.chunk_table[addresses[a]].offset <
+           meta_.chunk_table[addresses[b]].offset;
+  });
+
+  // Byte-granular view built from the slot table: block i covers exactly
+  // the stored bytes of the i-th slot in file-offset order, landing packed
+  // in a local compressed buffer.
+  std::vector<std::uint64_t> blocklens(n);
+  std::vector<std::uint64_t> file_displs(n);
+  std::vector<std::uint64_t> mem_displs(n);
+  std::uint64_t total_stored = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const ChunkSlot& slot = meta_.chunk_table[addresses[order[i]]];
+    blocklens[i] = slot.stored;
+    file_displs[i] = slot.offset;
+    mem_displs[i] = total_stored;
+    total_stored = checked_add(total_stored, slot.stored);
+  }
+  std::vector<std::byte> comp(checked_size(total_stored));
+
+  const simpi::Datatype byte_type = simpi::Datatype::bytes(1);
+  const simpi::Datatype filetype =
+      n == 0 ? simpi::Datatype::bytes(0)
+             : simpi::Datatype::hindexed(blocklens, file_displs, byte_type);
+  const simpi::Datatype memtype =
+      n == 0 ? simpi::Datatype::bytes(0)
+             : simpi::Datatype::hindexed(blocklens, mem_displs, byte_type);
+
+  data_.set_view(0, byte_type, n == 0 ? byte_type : filetype);
+  const std::uint64_t count = n == 0 ? 0 : 1;
+  DRX_RETURN_IF_ERROR(collective
+                          ? data_.read_at_all(0, comp.data(), count, memtype)
+                          : data_.read_at(0, comp.data(), count, memtype));
+
+  // Decode outside the collective so slow ranks never stall peers inside
+  // the I/O call; each chunk lands at its caller-order staging position.
+  static const obs::MetricId kDecodeUs =
+      obs::histogram_id("core.codec.decode_us");
+  auto* out = static_cast<std::byte*>(staging);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ChunkSlot& slot = meta_.chunk_table[addresses[order[i]]];
+    Status st;
+    {
+      obs::ScopedTimer timer(kDecodeUs);
+      st = codec::decode(
+          static_cast<codec::CodecId>(slot.codec),
+          std::span<const std::byte>(comp.data() + mem_displs[i],
+                                     slot.stored),
+          checked_size(meta_.element_bytes()),
+          std::span<std::byte>(out + checked_mul(order[i], cb),
+                               checked_size(cb)));
+    }
+    if (!st.is_ok()) {
+      if (obs::flight_enabled()) {
+        const Status ds = obs::dump_flight("corrupt-chunk");
+        if (!ds.is_ok()) {
+          DRX_LOG(kError) << "flight dump failed: " << ds.to_string();
+        }
+      }
+      return st;
+    }
+  }
+  return Status::ok();
 }
 
 Status DrxMpFile::read_chunks(std::span<const Index> chunks,
@@ -473,6 +582,12 @@ Status DrxMpFile::extend_all(std::size_t dim, std::uint64_t delta) {
   obs::OpScope op("op.extend_all");
   if (dim >= rank()) {
     return Status(ErrorCode::kInvalidArgument, "dimension out of range");
+  }
+  if (meta_.compressed()) {
+    // set_size(data_file_bytes) assumes the dense layout; growing a slot
+    // table collectively is out of scope for the read-only MP path.
+    return Status(ErrorCode::kUnsupported,
+                  "compressed DRX-MP arrays are read-only");
   }
   comm_->barrier();
   if (delta > 0) {

@@ -177,6 +177,15 @@ class DrxMpFile {
   [[nodiscard]] Status transfer_chunks(std::span<const Index> chunks, void* staging,
                          bool collective, bool writing);
 
+  /// Compressed-array read path (docs/COMPRESSION.md): the file view is
+  /// built from the per-chunk slot table (byte-granular, sorted by slot
+  /// offset), the stored bytes land in a local buffer and each chunk is
+  /// decoded into its `staging` position after the collective completes.
+  /// DRX-MP serves compressed arrays read-only.
+  [[nodiscard]] Status transfer_chunks_compressed(std::span<const Index> chunks,
+                                                  void* staging,
+                                                  bool collective);
+
   /// Round-pipelined zone read (docs/ASYNC_IO.md): splits the chunk list
   /// into batches and reads batch r+1 on an I/O worker while batch r is
   /// scattered into `out`. Active only when io::io_threads() > 0.

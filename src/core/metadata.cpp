@@ -1,5 +1,7 @@
 #include "core/metadata.hpp"
 
+#include <algorithm>
+
 namespace drx::core {
 
 namespace {
@@ -34,6 +36,21 @@ std::optional<std::uint64_t> Metadata::extend_elements(std::size_t dim,
   return mapping.extend(dim, needed[dim] - mapping.bounds()[dim]);
 }
 
+std::uint64_t Metadata::stored_data_bytes() const {
+  if (!compressed()) return data_file_bytes();
+  std::uint64_t end = 0;
+  for (const ChunkSlot& s : chunk_table) {
+    end = std::max(end, s.offset + s.stored);
+  }
+  return end;
+}
+
+std::uint64_t Metadata::stored_live_bytes() const {
+  std::uint64_t total = 0;
+  for (const ChunkSlot& s : chunk_table) total += s.stored;
+  return total;
+}
+
 std::vector<std::byte> Metadata::to_bytes() const {
   ByteWriter payload;
   payload.put_u8(static_cast<std::uint8_t>(dtype));
@@ -42,10 +59,21 @@ std::vector<std::byte> Metadata::to_bytes() const {
   for (std::uint64_t b : element_bounds) payload.put_u64(b);
   for (std::uint64_t c : chunk_shape) payload.put_u64(c);
   mapping.serialize(payload);
+  if (compressed()) {
+    payload.put_u8(static_cast<std::uint8_t>(codec));
+    payload.put_u64(data_end);
+    payload.put_u64(chunk_table.size());
+    for (const ChunkSlot& s : chunk_table) {
+      payload.put_u64(s.offset);
+      payload.put_u32(s.stored);
+      payload.put_u32(s.capacity);
+      payload.put_u8(s.codec);
+    }
+  }
 
   ByteWriter out;
   out.put_u32(kMagic);
-  out.put_u32(kVersion);
+  out.put_u32(compressed() ? kVersionCompressed : kVersion);
   out.put_u64(payload.size());
   out.put_u64(fnv1a(payload.bytes()));
   out.put_bytes(payload.bytes());
@@ -59,7 +87,7 @@ Result<Metadata> Metadata::from_bytes(std::span<const std::byte> data) {
     return Status(ErrorCode::kCorrupt, "bad .xmd magic");
   }
   DRX_ASSIGN_OR_RETURN(std::uint32_t version, reader.get_u32());
-  if (version != kVersion) {
+  if (version != kVersion && version != kVersionCompressed) {
     return Status(ErrorCode::kUnsupported, ".xmd version not supported");
   }
   DRX_ASSIGN_OR_RETURN(std::uint64_t payload_len, reader.get_u64());
@@ -110,6 +138,39 @@ Result<Metadata> Metadata::from_bytes(std::span<const std::byte> data) {
     if (meta.mapping.bounds()[d] < expect[d]) {
       return Status(ErrorCode::kCorrupt,
                     "chunk grid does not cover element bounds");
+    }
+  }
+
+  if (version == kVersionCompressed) {
+    DRX_ASSIGN_OR_RETURN(std::uint8_t codec_raw, body.get_u8());
+    if (!codec::valid_codec(codec_raw) ||
+        codec_raw == static_cast<std::uint8_t>(codec::CodecId::kNone)) {
+      return Status(ErrorCode::kCorrupt, "bad array codec id");
+    }
+    meta.codec = static_cast<codec::CodecId>(codec_raw);
+    DRX_ASSIGN_OR_RETURN(meta.data_end, body.get_u64());
+    DRX_ASSIGN_OR_RETURN(std::uint64_t slots, body.get_u64());
+    if (slots != meta.mapping.total_chunks()) {
+      return Status(ErrorCode::kCorrupt,
+                    "chunk table does not match the chunk grid");
+    }
+    const std::uint64_t chunk_sz = meta.chunk_bytes();
+    meta.chunk_table.resize(checked_size(slots));
+    for (ChunkSlot& s : meta.chunk_table) {
+      DRX_ASSIGN_OR_RETURN(s.offset, body.get_u64());
+      DRX_ASSIGN_OR_RETURN(s.stored, body.get_u32());
+      DRX_ASSIGN_OR_RETURN(s.capacity, body.get_u32());
+      DRX_ASSIGN_OR_RETURN(s.codec, body.get_u8());
+      if (!codec::valid_codec(s.codec) || s.stored > s.capacity ||
+          checked_add(s.offset, s.capacity) > meta.data_end) {
+        return Status(ErrorCode::kCorrupt, "chunk slot out of bounds");
+      }
+      const bool raw_slot =
+          s.codec == static_cast<std::uint8_t>(codec::CodecId::kNone);
+      if (raw_slot ? s.stored != chunk_sz
+                   : (s.stored == 0 || s.stored >= chunk_sz)) {
+        return Status(ErrorCode::kCorrupt, "chunk slot size implausible");
+      }
     }
   }
   return meta;

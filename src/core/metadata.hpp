@@ -10,6 +10,9 @@
 #include <optional>
 #include <string>
 
+#include <vector>
+
+#include "codec/codec.hpp"
 #include "core/axial_mapping.hpp"
 #include "core/chunk_space.hpp"
 #include "core/types.hpp"
@@ -17,15 +20,43 @@
 
 namespace drx::core {
 
+/// Physical location of one chunk's stored bytes in the .xta file of a
+/// compressed array (docs/COMPRESSION.md). The slot reserves `capacity`
+/// bytes starting at `offset`; `stored` of them are live. Rewrites that
+/// still fit update in place; larger rewrites relocate to the end of
+/// the file and leak the old slot (append-only, like extension itself).
+struct ChunkSlot {
+  std::uint64_t offset = 0;    ///< byte offset in the .xta
+  std::uint32_t stored = 0;    ///< bytes actually stored
+  std::uint32_t capacity = 0;  ///< bytes reserved at offset
+  std::uint8_t codec = 0;      ///< per-chunk codec::CodecId of the bytes
+
+  friend bool operator==(const ChunkSlot&, const ChunkSlot&) = default;
+};
+
 struct Metadata {
   static constexpr std::uint32_t kMagic = 0x44525831;  // "DRX1"
   static constexpr std::uint32_t kVersion = 1;
+  /// Version 2 adds the array codec and the per-chunk slot table. It is
+  /// written ONLY for compressed arrays: uncompressed arrays keep the
+  /// bit-identical version-1 image so `DRX_COMPRESS=off` stays exactly
+  /// the legacy format.
+  static constexpr std::uint32_t kVersionCompressed = 2;
 
   ElementType dtype = ElementType::kDouble;
   MemoryOrder in_chunk_order = MemoryOrder::kRowMajor;
   Shape element_bounds;  ///< instantaneous N_0 .. N_{k-1}
   Shape chunk_shape;     ///< c_0 .. c_{k-1}
   AxialMapping mapping;  ///< chunk-grid axial-vector state
+
+  /// Array-level codec negotiated at create time. kNone -> legacy dense
+  /// layout, empty chunk_table, version-1 serialization.
+  codec::CodecId codec = codec::CodecId::kNone;
+  /// One slot per linear chunk address (compressed arrays only).
+  std::vector<ChunkSlot> chunk_table;
+  /// High-water mark of the .xta file (compressed arrays only): the
+  /// next relocated/appended slot starts here.
+  std::uint64_t data_end = 0;
 
   Metadata() : mapping(Shape{1}) {}
   Metadata(ElementType t, MemoryOrder order, Shape elem_bounds,
@@ -43,10 +74,23 @@ struct Metadata {
   [[nodiscard]] std::uint64_t chunk_bytes() const {
     return checked_mul(checked_product(chunk_shape), element_bytes());
   }
-  /// Size the .xta file must have to hold all allocated chunks.
+  /// Logical (raw, decompressed) bytes of all allocated chunks. For
+  /// uncompressed arrays this is also the exact .xta size.
   [[nodiscard]] std::uint64_t data_file_bytes() const {
     return checked_mul(mapping.total_chunks(), chunk_bytes());
   }
+
+  [[nodiscard]] bool compressed() const noexcept {
+    return codec != codec::CodecId::kNone;
+  }
+  /// Minimal physical .xta size: the dense size for uncompressed
+  /// arrays; for compressed arrays the furthest *stored* byte (slot
+  /// capacity padding past it is reserved but never written, so it may
+  /// legitimately lie past EOF).
+  [[nodiscard]] std::uint64_t stored_data_bytes() const;
+  /// Live stored bytes across all chunk slots (excludes leaked holes
+  /// and capacity padding); the numerator of drx_inspect's ratio.
+  [[nodiscard]] std::uint64_t stored_live_bytes() const;
 
   /// The one sanctioned axial-vector mutation (scripts/lint_drx.py rule
   /// `axial-mutation`): grows dimension `dim` by `delta` elements,

@@ -376,6 +376,53 @@ void analyze_metrics(const MetricsSnapshot& snap, std::vector<Finding>& out) {
                  static_cast<unsigned long long>(sessions))});
     }
   }
+
+  // Codec economics (docs/COMPRESSION.md). Uncompressed writers sample
+  // every 64th chunk with an RLE trial (core.codec.sample_ratio_pct, in
+  // percent of raw size); a low median on a real write volume means the
+  // workload would pay for DRX_COMPRESS. Conversely, an active codec
+  // whose stored bytes barely undercut raw is pure CPU overhead.
+  const std::uint64_t codec_raw = snap.counter("core.codec.bytes_raw");
+  const std::uint64_t codec_stored = snap.counter("core.codec.bytes_stored");
+  const std::uint64_t codec_samples = snap.counter("core.codec.samples");
+  if (codec_raw == 0 && codec_samples >= 8) {
+    for (const HistogramSample& h : snap.histograms) {
+      if (h.name != "core.codec.sample_ratio_pct") continue;
+      const HistogramSummary s = summarize_histogram(h);
+      const double p50 = static_cast<double>(s.p50);
+      if (s.count >= 8 && p50 <= 60.0) {
+        out.push_back(Finding{
+            "compression-would-pay", Severity::kInfo, p50 / 100.0,
+            format("entropy samples of %llu uncompressed chunk writes "
+                   "compress to ~%.0f%% of raw (median RLE trial) - "
+                   "recreating the array with DRX_COMPRESS=rle would cut "
+                   "PFS bytes",
+                   static_cast<unsigned long long>(codec_samples), p50)});
+      }
+      break;
+    }
+  }
+  if (codec_stored != 0 && codec_raw >= 1u << 22) {
+    const double ratio = static_cast<double>(codec_raw) /
+                         static_cast<double>(codec_stored);
+    if (ratio < 1.1) {
+      out.push_back(Finding{
+          "compression-ineffective", Severity::kWarn, ratio,
+          format("codec stored %llu bytes for %llu raw (%.2fx) - the data "
+                 "barely compresses; DRX_COMPRESS=off avoids the encode "
+                 "cost",
+                 static_cast<unsigned long long>(codec_stored),
+                 static_cast<unsigned long long>(codec_raw), ratio)});
+    } else {
+      out.push_back(Finding{
+          "compression-effective", Severity::kInfo, ratio,
+          format("codec cut %llu raw bytes to %llu stored (%.2fx) - PFS "
+                 "traffic saved %.0f%%",
+                 static_cast<unsigned long long>(codec_raw),
+                 static_cast<unsigned long long>(codec_stored), ratio,
+                 (1.0 - 1.0 / ratio) * 100.0)});
+    }
+  }
 }
 
 MetricsSnapshot metrics_from_json(const JsonValue& doc) {

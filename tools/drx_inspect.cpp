@@ -11,6 +11,7 @@
 // Prints the metadata a DRX/DRX-MP process replicates on open: rank,
 // element type, bounds, chunk shape, data-file geometry, and the axial
 // vectors with their expansion records.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -79,6 +80,29 @@ int inspect_json(const std::string& name) {
   w.key("total_chunks").value(m.mapping.total_chunks());
   w.key("chunk_bytes").value(m.chunk_bytes());
   w.key("data_file_bytes").value(m.data_file_bytes());
+  w.key("codec").value(codec::codec_name(m.codec));
+  if (m.compressed()) {
+    const std::uint64_t live = m.stored_live_bytes();
+    w.key("stored_bytes").value(live);
+    w.key("data_end").value(m.data_end);
+    w.key("compression_ratio")
+        .value(live == 0 ? 0.0
+                         : static_cast<double>(m.data_file_bytes()) /
+                               static_cast<double>(live));
+    w.key("chunk_slots").begin_array();
+    for (std::size_t a = 0; a < m.chunk_table.size(); ++a) {
+      const core::ChunkSlot& slot = m.chunk_table[a];
+      w.begin_object();
+      w.key("address").value(static_cast<std::uint64_t>(a));
+      w.key("offset").value(slot.offset);
+      w.key("stored").value(static_cast<std::uint64_t>(slot.stored));
+      w.key("capacity").value(static_cast<std::uint64_t>(slot.capacity));
+      w.key("codec").value(
+          codec::codec_name(static_cast<codec::CodecId>(slot.codec)));
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.key("axial_records").value(m.mapping.total_records());
   w.key("axial_vectors").begin_array();
   for (std::size_t d = 0; d < m.rank(); ++d) {
@@ -155,6 +179,37 @@ int inspect(const std::string& name, bool chunk_table) {
               static_cast<unsigned long long>(m.data_file_bytes()));
   std::printf("  axial records E : %llu (F* cost ~ O(k + log E))\n",
               static_cast<unsigned long long>(m.mapping.total_records()));
+  std::printf("  codec           : %s\n",
+              std::string(codec::codec_name(m.codec)).c_str());
+  if (m.compressed()) {
+    const std::uint64_t live = m.stored_live_bytes();
+    const double ratio = live == 0
+                             ? 0.0
+                             : static_cast<double>(m.data_file_bytes()) /
+                                   static_cast<double>(live);
+    std::printf("  stored bytes    : %llu of %llu logical (ratio %.2fx, "
+                "data_end %llu)\n",
+                static_cast<unsigned long long>(live),
+                static_cast<unsigned long long>(m.data_file_bytes()),
+                ratio, static_cast<unsigned long long>(m.data_end));
+    constexpr std::size_t kMaxSlotRows = 64;
+    std::printf("  chunk slots (address: offset stored/capacity codec):\n");
+    for (std::size_t a = 0;
+         a < std::min(m.chunk_table.size(), kMaxSlotRows); ++a) {
+      const core::ChunkSlot& slot = m.chunk_table[a];
+      std::printf("    %6zu: %10llu %8llu/%-8llu %s\n", a,
+                  static_cast<unsigned long long>(slot.offset),
+                  static_cast<unsigned long long>(slot.stored),
+                  static_cast<unsigned long long>(slot.capacity),
+                  std::string(codec::codec_name(
+                                  static_cast<codec::CodecId>(slot.codec)))
+                      .c_str());
+    }
+    if (m.chunk_table.size() > kMaxSlotRows) {
+      std::printf("    ... %zu more (use --json for the full slot table)\n",
+                  m.chunk_table.size() - kMaxSlotRows);
+    }
+  }
 
   for (std::size_t d = 0; d < m.rank(); ++d) {
     std::printf("  axial vector D%zu:\n", d);
